@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the compression subsystem: the three §6.5
+//! codecs (throughput per element) and the LZ4 checkpoint codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sw_compress::{lz4, AdaptiveCodec, Codec16, F16Codec, FieldStats, NormCodec};
+
+fn wavefield(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let t = i as f32 * 0.013;
+            (t.sin() * (0.3 * t).cos()) * 1.0e-2
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let data = wavefield(1 << 16);
+    let stats = FieldStats::of_slice(&data);
+    let mut enc = vec![0u16; data.len()];
+    let mut dec = vec![0f32; data.len()];
+    let mut group = c.benchmark_group("codec16");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    let f16 = F16Codec;
+    let adaptive = AdaptiveCodec::from_stats(&stats);
+    let norm = NormCodec::from_stats(&stats);
+    group.bench_function(BenchmarkId::new("encode", "f16"), |b| {
+        b.iter(|| f16.encode_slice(&data, &mut enc))
+    });
+    group.bench_function(BenchmarkId::new("encode", "adaptive"), |b| {
+        b.iter(|| adaptive.encode_slice(&data, &mut enc))
+    });
+    group.bench_function(BenchmarkId::new("encode", "norm"), |b| {
+        b.iter(|| norm.encode_slice(&data, &mut enc))
+    });
+    norm.encode_slice(&data, &mut enc);
+    group.bench_function(BenchmarkId::new("decode", "f16"), |b| {
+        b.iter(|| f16.decode_slice(&enc, &mut dec))
+    });
+    group.bench_function(BenchmarkId::new("decode", "adaptive"), |b| {
+        b.iter(|| adaptive.decode_slice(&enc, &mut dec))
+    });
+    group.bench_function(BenchmarkId::new("decode", "norm"), |b| {
+        b.iter(|| norm.decode_slice(&enc, &mut dec))
+    });
+    group.finish();
+
+    let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let compressed = lz4::compress(&bytes);
+    let mut group = c.benchmark_group("lz4");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("compress_wavefield", |b| b.iter(|| lz4::compress(&bytes)));
+    group.bench_function("decompress_wavefield", |b| {
+        b.iter(|| lz4::decompress(&compressed).unwrap())
+    });
+    let zeros = vec![0u8; bytes.len()];
+    group.bench_function("compress_zeros", |b| b.iter(|| lz4::compress(&zeros)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codecs
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark of the simulated DMA engine across the Table-3
+//! block sizes — the cost of the functional copy plus the bandwidth model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sw_arch::dma::DmaEngine;
+
+fn bench_dma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dma_get");
+    for block in [32usize, 128, 512, 2048] {
+        let floats = block / 4;
+        let src = vec![1.0f32; floats];
+        let mut dst = vec![0.0f32; floats];
+        group.throughput(Throughput::Bytes(block as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, _| {
+            let mut engine = DmaEngine::one_cg();
+            b.iter(|| engine.get_f32(&src, &mut dst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_dma
+}
+criterion_main!(benches);

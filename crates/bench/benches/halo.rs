@@ -1,0 +1,53 @@
+//! Criterion benchmark of the halo-exchange path: face pack/unpack and a
+//! full multi-field exchange between two ranks.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sw_grid::halo::{Face, HaloSpec};
+use sw_grid::{Dims3, Field3};
+use sw_parallel::{Fabric, RankGrid};
+
+fn bench_halo(c: &mut Criterion) {
+    let d = Dims3::new(48, 48, 64);
+    let mut f = Field3::new(d, 2);
+    f.fill_with(|x, y, z| (x + y + z) as f32);
+    let spec = HaloSpec { width: 2 };
+    let face_bytes = (spec.face_len(&f).x_face * 4) as u64;
+
+    let mut group = c.benchmark_group("halo");
+    group.throughput(Throughput::Bytes(face_bytes));
+    let mut buf = Vec::new();
+    group.bench_function("pack_east", |b| b.iter(|| spec.pack(&f, Face::East, &mut buf)));
+    spec.pack(&f, Face::East, &mut buf);
+    let packed = buf.clone();
+    group.bench_function("unpack_west", |b| {
+        b.iter(|| spec.unpack(&mut f, Face::West, &packed))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("exchange");
+    group.throughput(Throughput::Bytes(face_bytes * 9));
+    group.bench_function("two_ranks_nine_fields", |b| {
+        b.iter(|| {
+            let comms = Fabric::build(RankGrid::new(2, 1));
+            let ex = sw_parallel::HaloExchanger::standard();
+            std::thread::scope(|scope| {
+                for comm in &comms {
+                    scope.spawn(move || {
+                        let mut fields: Vec<Field3> =
+                            (0..9).map(|_| Field3::filled(d, 2, comm.rank as f32)).collect();
+                        let mut refs: Vec<&mut Field3> = fields.iter_mut().collect();
+                        ex.exchange(comm, &mut refs);
+                    });
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_halo
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion benchmarks for the solver kernels: serial vs Rayon-parallel,
+//! linear vs nonlinear — the real-host counterpart of Fig. 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sw_grid::Dims3;
+use sw_model::HalfspaceModel;
+use swquake_core::kernels;
+use swquake_core::state::{SolverState, StateOptions};
+
+fn noisy_state(n: usize, nonlinear: bool) -> SolverState {
+    let opts = StateOptions { sponge_width: 0, nonlinear, ..Default::default() };
+    let mut s = SolverState::from_model(
+        &HalfspaceModel::hard_rock(),
+        Dims3::cube(n),
+        100.0,
+        (0.0, 0.0, 0.0),
+        opts,
+    );
+    for (x, y, z) in s.dims.iter() {
+        let v = ((x * 31 + y * 17 + z * 7) % 23) as f32 - 11.0;
+        s.xx.set(x, y, z, v * 1e4);
+        s.xy.set(x, y, z, -v * 5e3);
+        s.u.set(x, y, z, v * 0.01);
+        s.v.set(x, y, z, v * 0.007);
+    }
+    s
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 48;
+    let points = (n * n * n) as u64;
+    let mut group = c.benchmark_group("kernels");
+    group.throughput(Throughput::Elements(points));
+
+    let mut s = noisy_state(n, false);
+    group.bench_function(BenchmarkId::new("dvelc", "serial"), |b| {
+        b.iter(|| {
+            kernels::dvelcx(&mut s);
+            kernels::dvelcy(&mut s);
+        })
+    });
+    let mut s = noisy_state(n, false);
+    group.bench_function(BenchmarkId::new("dvelc", "rayon"), |b| {
+        b.iter(|| kernels::dvelc_par(&mut s))
+    });
+    let mut s = noisy_state(n, false);
+    group.bench_function(BenchmarkId::new("dstrqc", "serial"), |b| {
+        b.iter(|| kernels::dstrqc(&mut s))
+    });
+    let mut s = noisy_state(n, false);
+    group.bench_function(BenchmarkId::new("dstrqc", "rayon"), |b| {
+        b.iter(|| kernels::dstrqc_par(&mut s))
+    });
+    let mut s = noisy_state(n, true);
+    group.bench_function("drprecpc_calc", |b| b.iter(|| kernels::drprecpc_calc(&mut s)));
+    let mut s = noisy_state(n, true);
+    kernels::drprecpc_calc(&mut s);
+    group.bench_function("drprecpc_app", |b| b.iter(|| kernels::drprecpc_app(&mut s)));
+    let mut s = noisy_state(n, false);
+    group.bench_function("fstr", |b| b.iter(|| kernels::fstr(&mut s)));
+    let mut s = noisy_state(n, false);
+    group.bench_function("apply_sponge", |b| b.iter(|| kernels::apply_sponge(&mut s)));
+    group.finish();
+
+    // Ablation: the §6.4 array-fusion layout experiment — nine strided
+    // scalar streams vs two unit-stride AoS streams.
+    let mut group = c.benchmark_group("fusion_ablation");
+    group.throughput(Throughput::Elements(points));
+    let mut s = noisy_state(n, false);
+    group.bench_function("dvelc_scalar_layout", |b| {
+        b.iter(|| {
+            kernels::dvelcx(&mut s);
+            kernels::dvelcy(&mut s);
+        })
+    });
+    let s = noisy_state(n, false);
+    let mut fused = kernels::FusedWavefield::from_state(&s);
+    group.bench_function("dvelc_fused_layout", |b| {
+        b.iter(|| kernels::dvelc_fused(&mut fused, &s))
+    });
+    let mut s2 = noisy_state(n, false);
+    group.bench_function("dstrqc_scalar_layout", |b| b.iter(|| kernels::dstrqc(&mut s2)));
+    let s2 = noisy_state(n, false);
+    let mut fused2 = kernels::FusedWavefield::from_state(&s2);
+    group.bench_function("dstrqc_fused_layout", |b| {
+        b.iter(|| kernels::dstrqc_fused(&mut fused2, &s2))
+    });
+    group.finish();
+
+    // full steps: the linear-vs-nonlinear cost ratio of §3
+    let mut group = c.benchmark_group("full_step");
+    group.throughput(Throughput::Elements(points));
+    for nonlinear in [false, true] {
+        let mut s = noisy_state(n, nonlinear);
+        let label = if nonlinear { "nonlinear" } else { "linear" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                kernels::fstr(&mut s);
+                kernels::dvelcx(&mut s);
+                kernels::dvelcy(&mut s);
+                kernels::fstr(&mut s);
+                kernels::dstrqc(&mut s);
+                if nonlinear {
+                    kernels::drprecpc_calc(&mut s);
+                    kernels::drprecpc_app(&mut s);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Regenerates Fig. 10: the Tangshan dynamic rupture — fault geometry,
+//! stress field, and the absolute-slip-rate snapshot at T = 10.5 s, with
+//! its rupture complexity on the curved northeast side.
+
+use sw_rupture::{dynamics::RuptureParams, FaultGeometry, RuptureSolver, TectonicStress};
+use sw_source::moment::mw_from_m0;
+
+fn main() {
+    swq_bench::header("Fig. 10: Tangshan dynamic rupture (paper-scale fault, 1-km cells)");
+    let geometry = FaultGeometry::tangshan((0.0, 0.0));
+    println!(
+        "fault: {} x {} cells ({} km x {} km), strike N30E bending to N{:.0}E on the NE side",
+        geometry.n_along,
+        geometry.n_down,
+        geometry.n_along,
+        geometry.n_down,
+        geometry.cell(geometry.n_along - 1, 0).strike
+    );
+    let mut params = RuptureParams::standard(1_000.0);
+    params.t_end = 30.0;
+    let solver =
+        RuptureSolver::new(geometry, &TectonicStress::north_china(), params, (0.35, 0.5));
+    let result = solver.solve(&[10.5]);
+
+    let m0 = result.total_moment(solver.params.shear_modulus, solver.geometry.cell_area());
+    println!(
+        "ruptured {:.0} % of the fault, Mw {:.2} (Tangshan 1976: M 7.8), \
+         mean front speed {:.0} m/s",
+        result.ruptured_fraction() * 100.0,
+        mw_from_m0(m0),
+        result.front_speed(&solver.geometry, solver.hypocenter)
+    );
+
+    // The T = 10.5 s slip-rate snapshot (Fig. 10b), down-dip averaged per
+    // along-strike column, as an ASCII profile.
+    let (t, rates) = &result.snapshots[0];
+    println!("\nabsolute slip rate at T = {t:.1} s (columns = along strike, SW -> NE):");
+    let nd = solver.geometry.n_down;
+    for band in 0..5 {
+        let k0 = band * nd / 5;
+        let k1 = (band + 1) * nd / 5;
+        let row: String = (0..solver.geometry.n_along)
+            .map(|j| {
+                let mean: f64 = (k0..k1).map(|k| rates[j * nd + k]).sum::<f64>() / (k1 - k0) as f64;
+                match mean {
+                    m if m > 2.0 => '#',
+                    m if m > 0.5 => '+',
+                    m if m > 0.05 => '.',
+                    _ => ' ',
+                }
+            })
+            .collect();
+        println!("depth band {band}: |{row}|");
+    }
+
+    // Rupture-front arrival map statistics: the bend region ruptures
+    // later / weaker.
+    let na = solver.geometry.n_along;
+    let mean_slip = |j0: usize, j1: usize| -> f64 {
+        let mut s = 0.0;
+        let mut n = 0;
+        for j in j0..j1 {
+            for k in 0..nd {
+                s += result.slip[j * nd + k];
+                n += 1;
+            }
+        }
+        s / n as f64
+    };
+    let sw = mean_slip(0, na / 3);
+    let mid = mean_slip(na / 3, 2 * na / 3);
+    let ne = mean_slip(2 * na / 3, na);
+    println!(
+        "\nmean slip: SW third {sw:.2} m, middle {mid:.2} m, NE (bent) third {ne:.2} m \
+         -> the bend suppresses the NE side relative to the central asperity \
+         ({:.0} % of the middle), the paper's 'more complexity' on the NE side",
+        ne / mid * 100.0
+    );
+}

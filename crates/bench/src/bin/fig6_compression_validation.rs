@@ -1,0 +1,105 @@
+//! Regenerates Fig. 6: validation of the on-the-fly compression — the
+//! seismograms of the Ninghe (near-fault, on sediment) and Cangzhou
+//! (far-field) stations with compression on and off.
+//!
+//! The paper's criterion is qualitative ("the lines still match well with
+//! each other even till the end of the 120-s simulation", with the coda
+//! "not perfectly" matching); here the normalized RMS misfit makes it
+//! quantitative, and ASCII traces make it visual.
+
+use sw_grid::Dims3;
+use sw_io::Station;
+use sw_model::TangshanModel;
+use sw_source::{m0_from_mw, MomentTensor, PointSource, SourceTimeFunction};
+use swquake_core::{SimConfig, Simulation};
+
+fn scenario(dims: Dims3, dx: f64, steps: usize) -> (TangshanModel, SimConfig) {
+    let model = TangshanModel::with_extent(
+        dims.nx as f64 * dx,
+        dims.ny as f64 * dx,
+        dims.nz as f64 * dx,
+    );
+    let mut cfg = SimConfig::new(dims, dx, steps);
+    cfg.options.sponge_width = 6;
+    let (ex, ey) = model.epicenter();
+    cfg.sources = vec![PointSource {
+        ix: ((ex / dx) as usize).min(dims.nx - 1),
+        iy: ((ey / dx) as usize).min(dims.ny - 1),
+        iz: dims.nz / 2,
+        moment: MomentTensor::double_couple(30.0, 90.0, 180.0, m0_from_mw(6.0)),
+        stf: SourceTimeFunction::Triangle { onset: 0.3, duration: 1.5 },
+    }];
+    cfg.stations = model
+        .stations
+        .iter()
+        .map(|(name, fx, fy)| Station {
+            name: name.clone(),
+            ix: ((fx * model.lx / dx) as usize).min(dims.nx - 1),
+            iy: ((fy * model.ly / dx) as usize).min(dims.ny - 1),
+        })
+        .collect();
+    (model, cfg)
+}
+
+fn ascii_trace(samples: &[[f32; 3]], width: usize) -> String {
+    let peak = samples.iter().map(|s| s[0].abs()).fold(1e-12, f32::max);
+    let stride = (samples.len() / width).max(1);
+    samples
+        .iter()
+        .step_by(stride)
+        .map(|s| {
+            let a = (s[0] / peak * 4.0).round() as i32;
+            match a {
+                i32::MIN..=-3 => '_',
+                -2 => ',',
+                -1 => '.',
+                0 => '-',
+                1 => '\'',
+                2 => '^',
+                _ => '!',
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    swq_bench::header("Fig. 6: compression validation for the Tangshan-like case");
+    let dims = Dims3::new(64, 64, 24);
+    let (model, cfg) = scenario(dims, 400.0, 500);
+
+    // Coarse statistics pass (Fig. 5a).
+    let (cmodel, ccfg) = scenario(Dims3::new(32, 32, 12), 800.0, 250);
+    let mut coarse = Simulation::new(&cmodel, &ccfg);
+    coarse.run(ccfg.steps);
+    let stats =
+        swquake_core::driver::rescale_coarse_stats(coarse.collect_stats(), 800.0, 400.0);
+
+    let mut base = Simulation::new(&model, &cfg);
+    base.run(cfg.steps);
+
+    let mut comp_cfg = cfg.clone();
+    comp_cfg.compression = true;
+    comp_cfg.compression_stats = stats;
+    let mut comp = Simulation::new(&model, &comp_cfg);
+    comp.run(cfg.steps);
+
+    println!("simulated {:.1} s at dx = 400 m\n", base.time);
+    for name in ["Ninghe", "Cangzhou"] {
+        let b = base.seismo.get(name).expect("station");
+        let c = comp.seismo.get(name).expect("station");
+        println!("{name} (x component, normalized):");
+        println!("  base: {}", ascii_trace(&b.samples, 100));
+        println!("  cmpr: {}", ascii_trace(&c.samples, 100));
+        println!(
+            "  peak base {:.3e} m/s, compressed {:.3e} m/s, normalized misfit {:.4}\n",
+            b.peak_horizontal(),
+            c.peak_horizontal(),
+            c.normalized_misfit(b)
+        );
+    }
+    println!(
+        "paper: sharp onsets match; coda differs slightly (accuracy loss accumulates \n\
+         with propagation time) but 'the lines still match well' — the misfits above \n\
+         quantify that statement."
+    );
+}

@@ -1,0 +1,69 @@
+//! Regenerates Fig. 8: weak scaling of the linear and nonlinear cases,
+//! with and without compression, 8,000 → 160,000 MPI processes (each
+//! core group keeps a 160 × 160 × 512 block).
+//!
+//! Also runs a *real* weak-scaling measurement at laptop scale: the same
+//! per-rank block on 1 → 2 → 4 simulated ranks, demonstrating that
+//! throughput grows with rank count in the actual solver.
+
+use std::time::Instant;
+use sw_arch::scaling::{MachineScalingModel, Variant, WEAK_PROCESS_COUNTS};
+use sw_grid::Dims3;
+use sw_model::HalfspaceModel;
+use sw_parallel::RankGrid;
+use swquake_core::driver::run_multirank;
+use swquake_core::SimConfig;
+
+fn main() {
+    swq_bench::header("Fig. 8: weak scaling, 8K - 160K processes (160x160x512 per CG)");
+    let m = MachineScalingModel::paper();
+    print!("{:>10}", "procs");
+    for v in Variant::ALL {
+        print!(" {:>21}", v.label());
+    }
+    println!();
+    for &p in WEAK_PROCESS_COUNTS.iter() {
+        print!("{p:>10}");
+        for v in Variant::ALL {
+            print!(" {:>14.2} Pflops", m.weak_point(v, p).pflops);
+        }
+        println!();
+    }
+    println!("\nat 160,000 processes (paper values in parentheses):");
+    for (v, paper_p, paper_e) in [
+        (Variant::ALL[0], 10.7, 97.9),
+        (Variant::ALL[1], 15.2, 80.1),
+        (Variant::ALL[2], 14.2, 96.5),
+        (Variant::ALL[3], 18.9, 79.5),
+    ] {
+        let pt = m.weak_point(v, 160_000);
+        println!(
+            "  {:>21}: {:>6.2} Pflops ({} vs {paper_p}), par. eff. {:>5.1} % ({paper_e} %)",
+            v.label(),
+            pt.pflops,
+            swq_bench::dev(pt.pflops, paper_p),
+            pt.efficiency * 100.0,
+        );
+    }
+
+    // Real laptop-scale weak scaling with the actual solver.
+    println!("\nhost weak scaling (24x24x32 block per rank, 20 steps, linear):");
+    let model = HalfspaceModel::hard_rock();
+    let block = Dims3::new(24, 24, 32);
+    for (mx, my) in [(1, 1), (2, 1), (2, 2)] {
+        let dims = Dims3::new(block.nx * mx, block.ny * my, block.nz);
+        let mut cfg = SimConfig::new(dims, 100.0, 20);
+        cfg.options.sponge_width = 0;
+        cfg.options.attenuation = false;
+        let t = Instant::now();
+        let out = run_multirank(&model, &cfg, RankGrid::new(mx, my));
+        let dt = t.elapsed().as_secs_f64();
+        println!(
+            "  {mx} x {my} ranks: {:>8} points, {:>6.2} s, {:>7.2} Mpts/s, {:.2} Gflop/s",
+            dims.len(),
+            dt,
+            dims.len() as f64 * 20.0 / dt / 1e6,
+            out.flops / dt / 1e9
+        );
+    }
+}

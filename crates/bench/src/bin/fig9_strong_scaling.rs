@@ -1,0 +1,69 @@
+//! Regenerates Fig. 9: strong scaling for three mesh resolutions
+//! (dx = 100 m / 50 m / 16 m over the 320 × 312 × 40 km Tangshan domain),
+//! all four variants, 8,000 → 160,000 processes.
+//!
+//! Plus a real host measurement: a fixed mesh solved on 1 / 2 / 4 ranks.
+
+use std::time::Instant;
+use sw_arch::scaling::{strong_meshes, MachineScalingModel, Variant, STRONG_PROCESS_COUNTS};
+use sw_grid::Dims3;
+use sw_model::HalfspaceModel;
+use sw_parallel::RankGrid;
+use swquake_core::driver::run_multirank;
+use swquake_core::SimConfig;
+
+fn main() {
+    swq_bench::header("Fig. 9: strong scaling, 8K - 160K processes, three mesh sizes");
+    let m = MachineScalingModel::paper();
+    for v in Variant::ALL {
+        println!("\n-- {} --", v.label());
+        print!("{:>10}", "procs");
+        for (dx, _) in strong_meshes() {
+            print!(" {:>16}", format!("dx={dx:.0}m speedup"));
+        }
+        println!();
+        for &p in STRONG_PROCESS_COUNTS.iter() {
+            print!("{p:>10}");
+            for (_, mesh) in strong_meshes() {
+                let pt = m.strong_point(v, mesh, p);
+                print!(" {:>16.2}", pt.speedup);
+            }
+            println!();
+        }
+        print!("{:>10}", "eff @160K");
+        for (_, mesh) in strong_meshes() {
+            let pt = m.strong_point(v, mesh, 160_000);
+            print!(" {:>15.1}%", pt.efficiency * 100.0);
+        }
+        println!();
+    }
+    println!(
+        "\npaper efficiencies at 160K: linear 53.3 / 63.6 / 79.9 %, \
+         nonlinear 53.3 / 73.6 / 75.6 %,\n\
+         linear+compress 51.2 / 67.5 / 75.8 %, nonlinear+compress 51.7 / 67.2 / 72.4 %\n\
+         (ideal speedup at 160K = 20.0)"
+    );
+
+    // Real strong scaling on this host.
+    println!("\nhost strong scaling (fixed 48x48x32 mesh, 20 steps, linear):");
+    let model = HalfspaceModel::hard_rock();
+    let dims = Dims3::new(48, 48, 32);
+    let mut t1 = 0.0;
+    for (mx, my) in [(1, 1), (2, 1), (2, 2)] {
+        let mut cfg = SimConfig::new(dims, 100.0, 20);
+        cfg.options.sponge_width = 0;
+        cfg.options.attenuation = false;
+        let t = Instant::now();
+        let _ = run_multirank(&model, &cfg, RankGrid::new(mx, my));
+        let dt = t.elapsed().as_secs_f64();
+        if mx * my == 1 {
+            t1 = dt;
+        }
+        println!(
+            "  {mx} x {my} ranks: {:>6.2} s, speedup {:.2} (ideal {})",
+            dt,
+            t1 / dt,
+            mx * my
+        );
+    }
+}

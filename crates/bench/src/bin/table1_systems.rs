@@ -1,0 +1,32 @@
+//! Regenerates Table 1: leadership-system comparison with the derived
+//! byte-per-flop column the paper's memory-wall argument rests on.
+
+use sw_arch::systems::TABLE1;
+
+fn main() {
+    swq_bench::header("Table 1: Sunway TaihuLight vs other leadership systems");
+    println!(
+        "{:<12} {:>12} {:>14} {:>12} {:>12} {:>14}",
+        "System", "PEAK Pflops", "LINPACK Pflops", "MEM TB", "BW TB/s", "BYTE per flop"
+    );
+    for row in TABLE1.iter() {
+        println!(
+            "{:<12} {:>12.1} {:>14.1} {:>12.1} {:>12.0} {:>14.3}",
+            row.name,
+            row.peak_pflops,
+            row.linpack_pflops,
+            row.mem_tb,
+            row.mem_bw_tbs,
+            row.byte_per_flop()
+        );
+    }
+    let thl = TABLE1[0].byte_per_flop();
+    let titan = TABLE1[3].byte_per_flop();
+    let k = TABLE1[5].byte_per_flop();
+    println!(
+        "\nTaihuLight byte/flop is 1/{:.1} of Titan and 1/{:.1} of K \
+         (paper: 1/5 of heterogeneous systems, 1/10 of K)",
+        titan / thl,
+        k / thl
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates Table 2: two decades of large-scale earthquake
+//! simulations, ending with this work's two configurations.
+
+use sw_arch::systems::table2;
+
+fn fmt_opt(v: Option<f64>, scale: f64, unit: &str) -> String {
+    match v {
+        Some(x) => format!("{:.2}{unit}", x / scale),
+        None => "-".to_string(),
+    }
+}
+
+fn main() {
+    swq_bench::header("Table 2: large-scale earthquake simulations on supercomputers");
+    println!(
+        "{:<28} {:>5} {:<18} {:>12} {:>10} {:>12} {:>9} {:>13}",
+        "Work", "Year", "Machine", "Grid points", "DOFs", "Flops", "Mem", "Method"
+    );
+    for r in table2() {
+        println!(
+            "{:<28} {:>5} {:<18} {:>12} {:>10} {:>12} {:>9} {:>13}",
+            r.work,
+            r.year,
+            r.machine,
+            fmt_opt(r.grid_points, 1e9, "B"),
+            fmt_opt(r.dofs, 1e9, "B"),
+            if r.flops >= 1e15 {
+                format!("{:.2}P", r.flops / 1e15)
+            } else if r.flops >= 1e12 {
+                format!("{:.1}T", r.flops / 1e12)
+            } else {
+                format!("{:.0}G", r.flops / 1e9)
+            },
+            fmt_opt(r.mem_bytes, 1e12, "TB"),
+            format!(
+                "{}{}",
+                r.method.label(),
+                if r.nonlinear { " nonlin" } else { "" }
+            ),
+        );
+    }
+    let rows = table2();
+    let ours = rows.last().unwrap();
+    let titan = rows.iter().find(|r| r.year == 2013).unwrap();
+    println!(
+        "\nvs the Titan FD line: {:.1}x performance, {:.1}x problem size \
+         (paper: 8x performance, 9-10x problem size)",
+        ours.flops / titan.flops,
+        ours.grid_points.unwrap() / titan.grid_points.unwrap()
+    );
+}

@@ -1,0 +1,80 @@
+//! Regenerates Table 4: computing and memory performance of the largest
+//! no-compression case — effectively used vs peak, per core group.
+//!
+//! The computing/bandwidth rows come from the calibrated kernel model;
+//! the memory row from the §3 array accounting at the extreme problem
+//! size; the LDM row from actually running the velocity kernel through
+//! the simulated SW26010 memory hierarchy and reading the allocator's
+//! high-water mark.
+
+use sw_arch::perf::{KernelPerfModel, OptLevel};
+use sw_arch::spec::CoreGroupSpec;
+use sw_grid::Dims3;
+use sw_model::HalfspaceModel;
+use swquake_core::state::{SolverState, StateOptions};
+use swquake_core::sunway::SunwayExecutor;
+
+fn main() {
+    swq_bench::header("Table 4: effectively used vs peak for the largest no-compression run");
+    let cg = CoreGroupSpec::sw26010();
+    let perf = KernelPerfModel::paper();
+
+    // Computing performance per CG (nonlinear, all memory optimizations).
+    let rate = perf.cg_flop_rate(true, OptLevel::Mem);
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}   paper: 98.7 Gflops / 765 Gflops = 12.9 %",
+        "Computing performance",
+        format!("{:.1} Gflops", rate / 1e9),
+        format!("{:.0} Gflops", cg.peak_flops / 1e9),
+        format!("{:.1} %", rate / cg.peak_flops * 100.0),
+    );
+
+    // Memory per CG: 3.99e12 points over 160,000 processes, 35+ arrays.
+    let points_per_cg = 3.99e12 / 160_000.0;
+    let used_mem = points_per_cg * perf.mem_bytes_per_point(true, false);
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}   paper: 5.2 GB / 5.5 GB = 94.5 %",
+        "Memory size",
+        format!("{:.2} GB", used_mem / 1e9),
+        format!("{:.2} GB", cg.usable_mem_bytes as f64 / 1e9),
+        format!("{:.1} %", used_mem / cg.usable_mem_bytes as f64 * 100.0),
+    );
+
+    // Memory bandwidth per CG.
+    let bw = perf.cg_bandwidth(true, OptLevel::Mem);
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}   paper: 25 GB/s / 34 GB/s = 73.5 %",
+        "Memory bandwidth",
+        format!("{:.1} GB/s", bw / 1e9),
+        format!("{:.0} GB/s", cg.mem_bandwidth / 1e9),
+        format!("{:.1} %", bw / cg.mem_bandwidth * 100.0),
+    );
+
+    // LDM: run the simulated-Sunway velocity kernel and read the
+    // high-water mark of the busiest CPE.
+    let opts = StateOptions { sponge_width: 0, attenuation: false, ..Default::default() };
+    let mut state = SolverState::from_model(
+        &HalfspaceModel::hard_rock(),
+        Dims3::new(8, 160, 512),
+        100.0,
+        (0.0, 0.0, 0.0),
+        opts,
+    );
+    let mut exec = SunwayExecutor::for_block(160, 512);
+    let cost = exec.run_dvelc(&mut state);
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}   paper: 60 KB / 64 KB = 93.8 %",
+        "LDM size",
+        format!("{:.1} KB", cost.ldm_high_water as f64 / 1024.0),
+        "64.0 KB",
+        format!("{:.1} %", cost.ldm_high_water as f64 / 65536.0 * 100.0),
+    );
+    println!(
+        "\nsimulated-Sunway velocity pass: {} tiles, {:.2} GB moved, \
+         effective DMA {:.1} GB/s, {} register messages",
+        cost.tiles,
+        cost.dma.total_bytes() as f64 / 1e9,
+        cost.dma.effective_bandwidth() / 1e9,
+        cost.reg.messages
+    );
+}

@@ -1,0 +1,52 @@
+//! Shared helpers for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the SC17
+//! paper and prints the paper's value next to the model/measurement, so
+//! EXPERIMENTS.md can be filled by running them.
+
+/// Format a floating value with engineering-style precision.
+pub fn eng(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.01 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Print a header followed by an underline of the same width.
+pub fn header(title: &str) {
+    println!("{title}");
+    println!("{}", "=".repeat(title.len()));
+}
+
+/// Relative deviation as a percentage string.
+pub fn dev(measured: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return "-".to_string();
+    }
+    format!("{:+.1}%", (measured - paper) / paper * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(eng(0.0), "0");
+        assert_eq!(eng(123.4), "123");
+        assert_eq!(eng(12.34), "12.3");
+        assert_eq!(eng(1.234), "1.23");
+        assert_eq!(eng(0.0001234), "1.234e-4");
+        assert_eq!(dev(110.0, 100.0), "+10.0%");
+        assert_eq!(dev(1.0, 0.0), "-");
+    }
+}

@@ -1,0 +1,511 @@
+//! The timestep driver.
+//!
+//! [`Simulation`] owns one (sub)domain's state and runs the paper's step
+//! sequence: free-surface imaging → velocity update (`dvelcx`/`dvelcy`) →
+//! stress update (`dstrqc`) → source injection (`addsrc`) → plasticity
+//! (`drprecpc_calc`/`app`) → Cerjan sponge, with recorders, flop
+//! accounting (§7.1), checkpoint/restart, and optional on-the-fly
+//! compression of the wavefields (§6.5): when enabled, every wavefield is
+//! stored 16-bit between steps, which is functionally simulated by a
+//! per-step encode/decode round trip through the Fig. 5d codecs.
+//!
+//! [`run_multirank`] runs the same step sequence on a 2-D rank grid with
+//! halo exchange (Fig. 4 level 1); its results are bit-identical to a
+//! single-rank run, which the integration tests pin down.
+
+use crate::flops::FlopCounter;
+use crate::kernels;
+use crate::state::{SolverState, StateOptions};
+use sw_compress::{Codec, Codec16, FieldStats};
+use sw_grid::{Dims3, Field3};
+use sw_io::checkpoint::{Checkpoint, RestartController};
+use sw_io::{PgvRecorder, SeismogramRecorder, SnapshotRecorder, Station};
+use sw_model::VelocityModel;
+use sw_parallel::{run_ranks, HaloExchanger, RankGrid};
+use sw_source::{PointSource, SourcePartitioner};
+
+/// The nine wavefields the compression scheme stores 16-bit.
+pub const COMPRESSED_FIELDS: [&str; 9] =
+    ["u", "v", "w", "xx", "yy", "zz", "xy", "xz", "yz"];
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Global mesh extents.
+    pub dims: Dims3,
+    /// Grid spacing, m.
+    pub dx: f64,
+    /// Steps to run.
+    pub steps: usize,
+    /// Physics options.
+    pub options: StateOptions,
+    /// Point sources (global indices).
+    pub sources: Vec<PointSource>,
+    /// Recording stations (global indices).
+    pub stations: Vec<Station>,
+    /// Surface snapshot times, s (empty = none); decimation stride.
+    pub snapshot_times: Vec<f64>,
+    /// Snapshot decimation stride.
+    pub snapshot_stride: usize,
+    /// Checkpoint every N steps (0 = never).
+    pub checkpoint_interval: u64,
+    /// Store wavefields 16-bit between steps (§6.5).
+    pub compression: bool,
+    /// Per-array statistics from a coarse pre-run (Fig. 5a). Without
+    /// them, compression falls back to per-step self statistics.
+    pub compression_stats: Vec<(String, FieldStats)>,
+    /// Physical position of grid index (0,0,0), m.
+    pub origin: (f64, f64, f64),
+}
+
+impl SimConfig {
+    /// A minimal config for a mesh.
+    pub fn new(dims: Dims3, dx: f64, steps: usize) -> Self {
+        Self {
+            dims,
+            dx,
+            steps,
+            options: StateOptions::default(),
+            sources: Vec::new(),
+            stations: Vec::new(),
+            snapshot_times: Vec::new(),
+            snapshot_stride: 4,
+            checkpoint_interval: 0,
+            compression: false,
+            compression_stats: Vec::new(),
+            origin: (0.0, 0.0, 0.0),
+        }
+    }
+}
+
+/// One running simulation (one rank's subdomain, or the whole domain).
+pub struct Simulation {
+    /// The solver state.
+    pub state: SolverState,
+    /// Rank-local sources.
+    pub sources: Vec<PointSource>,
+    /// Simulated time, s.
+    pub time: f64,
+    /// Steps taken.
+    pub step_count: u64,
+    /// Station recorder.
+    pub seismo: SeismogramRecorder,
+    /// Peak-ground-velocity recorder.
+    pub pgv: PgvRecorder,
+    /// Surface snapshot recorder.
+    pub snapshots: SnapshotRecorder,
+    /// Flop accounting.
+    pub flops: FlopCounter,
+    /// In-memory checkpoints taken by the restart controller.
+    pub checkpoints: Vec<Checkpoint>,
+    restart: RestartController,
+    snapshot_times: Vec<f64>,
+    next_snapshot: usize,
+    compression: Option<Vec<(usize, Codec)>>,
+}
+
+/// Index a wavefield by its `COMPRESSED_FIELDS` position.
+fn wavefield_mut(state: &mut SolverState, idx: usize) -> &mut Field3 {
+    match idx {
+        0 => &mut state.u,
+        1 => &mut state.v,
+        2 => &mut state.w,
+        3 => &mut state.xx,
+        4 => &mut state.yy,
+        5 => &mut state.zz,
+        6 => &mut state.xy,
+        7 => &mut state.xz,
+        _ => &mut state.yz,
+    }
+}
+
+fn wavefield(state: &SolverState, idx: usize) -> &Field3 {
+    match idx {
+        0 => &state.u,
+        1 => &state.v,
+        2 => &state.w,
+        3 => &state.xx,
+        4 => &state.yy,
+        5 => &state.zz,
+        6 => &state.xy,
+        7 => &state.xz,
+        _ => &state.yz,
+    }
+}
+
+impl Simulation {
+    /// Build a single-rank simulation over the full config domain.
+    pub fn new(model: &dyn VelocityModel, config: &SimConfig) -> Self {
+        let state =
+            SolverState::from_model(model, config.dims, config.dx, config.origin, config.options);
+        Self::from_state(state, config)
+    }
+
+    /// Build from an existing state (used by the multi-rank runner).
+    pub fn from_state(state: SolverState, config: &SimConfig) -> Self {
+        let d = state.dims;
+        let compression = config.compression.then(|| {
+            COMPRESSED_FIELDS
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let stats = config
+                        .compression_stats
+                        .iter()
+                        .find(|(n, _)| n == *name)
+                        .map(|(_, s)| *s)
+                        .unwrap_or_else(FieldStats::empty);
+                    (i, Codec::paper_assignment(name, &stats))
+                })
+                .collect()
+        });
+        Self {
+            state,
+            sources: config.sources.clone(),
+            time: 0.0,
+            step_count: 0,
+            seismo: SeismogramRecorder::new(config.stations.clone(), 0.0),
+            pgv: PgvRecorder::new(d.nx, d.ny),
+            snapshots: SnapshotRecorder::new(config.snapshot_stride),
+            flops: FlopCounter::default(),
+            checkpoints: Vec::new(),
+            restart: RestartController { interval: config.checkpoint_interval },
+            snapshot_times: config.snapshot_times.clone(),
+            next_snapshot: 0,
+            compression,
+        }
+    }
+
+    /// Advance one step (single-rank path: no halo exchange needed).
+    pub fn step(&mut self) {
+        self.step_interior();
+        self.finish_step();
+    }
+
+    /// The kernel sequence up to (not including) recording — split out so
+    /// the multi-rank runner can interleave halo exchanges.
+    fn step_interior(&mut self) {
+        let s = &mut self.state;
+        kernels::fstr(s);
+        kernels::dvelcx(s);
+        kernels::dvelcy(s);
+        kernels::fstr(s);
+        kernels::dstrqc(s);
+        kernels::addsrc(s, &self.sources, self.time);
+        if s.options.nonlinear {
+            kernels::drprecpc_calc(s);
+            kernels::drprecpc_app(s);
+        }
+        kernels::apply_sponge(s);
+        if let Some(codecs) = &self.compression {
+            for (idx, codec) in codecs {
+                let field = wavefield_mut(&mut self.state, *idx);
+                // Self-calibrating fallback when no coarse-run statistics
+                // were provided: rebuild the codec from this field's range.
+                let codec = match codec {
+                    Codec::Norm(n) if n.vmin() == 0.0 && n.vmax() == 1.0 => {
+                        Codec::Norm(sw_compress::NormCodec::from_stats(&FieldStats::of_field(
+                            field,
+                        )))
+                    }
+                    Codec::Adaptive(a) if a.exp_bits == 1 => {
+                        let stats = FieldStats::of_field(field);
+                        if stats.exponent_span() > 0 {
+                            Codec::Adaptive(sw_compress::AdaptiveCodec::from_stats(&stats))
+                        } else {
+                            *codec
+                        }
+                    }
+                    c => *c,
+                };
+                roundtrip_compress(field, &codec);
+            }
+        }
+    }
+
+    /// Recording, flop accounting, checkpointing, clock advance.
+    fn finish_step(&mut self) {
+        let s = &self.state;
+        self.seismo.record(&s.u, &s.v, &s.w);
+        self.pgv.record(&s.u, &s.v);
+        self.flops.charge_step(s.dims, s.options.nonlinear, s.options.attenuation);
+        self.time += s.dt;
+        self.step_count += 1;
+        if self.next_snapshot < self.snapshot_times.len()
+            && self.time >= self.snapshot_times[self.next_snapshot]
+        {
+            self.snapshots.capture(self.time, &s.u, &s.v, &s.w);
+            self.next_snapshot += 1;
+        }
+        if self.restart.due(self.step_count) {
+            self.checkpoints.push(self.make_checkpoint());
+        }
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Snapshot the full dynamic state.
+    pub fn make_checkpoint(&self) -> Checkpoint {
+        let mut fields = Vec::new();
+        for (i, name) in COMPRESSED_FIELDS.iter().enumerate() {
+            fields.push((name.to_string(), wavefield(&self.state, i).clone()));
+        }
+        for (i, r) in self.state.r.iter().enumerate() {
+            fields.push((format!("r{}", i + 1), r.clone()));
+        }
+        fields.push(("eqp".to_string(), self.state.eqp.clone()));
+        Checkpoint { step: self.step_count, time: self.time, fields }
+    }
+
+    /// Restore the dynamic state from a checkpoint.
+    pub fn restore(&mut self, ckpt: &Checkpoint) {
+        for (name, field) in &ckpt.fields {
+            if let Some(i) = COMPRESSED_FIELDS.iter().position(|n| n == name) {
+                *wavefield_mut(&mut self.state, i) = field.clone();
+            } else if let Some(rest) = name.strip_prefix('r') {
+                if let Ok(k) = rest.parse::<usize>() {
+                    self.state.r[k - 1] = field.clone();
+                }
+            } else if name == "eqp" {
+                self.state.eqp = field.clone();
+            }
+        }
+        self.step_count = ckpt.step;
+        self.time = ckpt.time;
+    }
+
+    /// Collect per-wavefield statistics (the Fig. 5a coarse-run product).
+    pub fn collect_stats(&self) -> Vec<(String, FieldStats)> {
+        COMPRESSED_FIELDS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.to_string(), FieldStats::of_field(wavefield(&self.state, i))))
+            .collect()
+    }
+}
+
+/// Remap coarse-run statistics (Fig. 5a) to a finer mesh: the stress
+/// arrays scale with the source cell volume ratio `(dx_c/dx_f)^3`
+/// (stress-glut injection density), while velocity amplitudes converge
+/// with resolution and keep their recorded ranges.
+pub fn rescale_coarse_stats(
+    stats: Vec<(String, FieldStats)>,
+    dx_coarse: f64,
+    dx_fine: f64,
+) -> Vec<(String, FieldStats)> {
+    let vol_ratio = (dx_coarse / dx_fine).powi(3) as f32;
+    stats
+        .into_iter()
+        .map(|(name, s)| {
+            let scaled = match name.as_str() {
+                "xx" | "yy" | "zz" | "xy" | "xz" | "yz" => s.scaled(vol_ratio),
+                _ => s,
+            };
+            (name, scaled)
+        })
+        .collect()
+}
+
+fn roundtrip_compress(field: &mut Field3, codec: &Codec) {
+    for v in field.raw_mut() {
+        *v = codec.decode(codec.encode(*v));
+    }
+}
+
+/// Output of a multi-rank run: merged observables.
+#[derive(Debug, Clone)]
+pub struct MultiRankOutput {
+    /// All stations' seismograms (merged across ranks).
+    pub seismograms: Vec<sw_io::recorder::Seismogram>,
+    /// Global PGV map.
+    pub pgv: PgvRecorder,
+    /// Total useful flops.
+    pub flops: f64,
+}
+
+/// Run `config` on an `Mx × My` rank grid; observables are merged and the
+/// wavefield evolution is bit-identical to the single-rank run.
+pub fn run_multirank(
+    model: &(dyn VelocityModel + Sync),
+    config: &SimConfig,
+    grid: RankGrid,
+) -> MultiRankOutput {
+    let global = config.dims;
+    let partitioner = SourcePartitioner::new(grid.mx, grid.my, global.nx, global.ny);
+    let per_rank_sources = partitioner.partition(&config.sources);
+    let exchanger = HaloExchanger::standard();
+    let results = run_ranks(grid, |comm| {
+        let (x0, y0, local) = grid.local_span(comm.rank, global);
+        let (px, py) = grid.coords_of(comm.rank);
+        let mut cfg = config.clone();
+        cfg.dims = local;
+        cfg.origin =
+            (config.origin.0 + x0 as f64 * config.dx, config.origin.1 + y0 as f64 * config.dx, config.origin.2);
+        cfg.options.global_span = Some((global, x0, y0));
+        cfg.sources = per_rank_sources[px * grid.my + py].clone();
+        cfg.stations = config
+            .stations
+            .iter()
+            .filter(|s| {
+                s.ix >= x0 && s.ix < x0 + local.nx && s.iy >= y0 && s.iy < y0 + local.ny
+            })
+            .map(|s| Station { name: s.name.clone(), ix: s.ix - x0, iy: s.iy - y0 })
+            .collect();
+        let mut sim = Simulation::new(model, &cfg);
+        for _ in 0..config.steps {
+            // stress halos feed the velocity stencils
+            {
+                let s = &mut sim.state;
+                exchanger.exchange(
+                    comm,
+                    &mut [&mut s.xx, &mut s.yy, &mut s.zz, &mut s.xy, &mut s.xz, &mut s.yz],
+                );
+            }
+            {
+                let s = &mut sim.state;
+                kernels::fstr(s);
+                kernels::dvelcx(s);
+                kernels::dvelcy(s);
+            }
+            // velocity halos feed the stress stencils
+            {
+                let s = &mut sim.state;
+                exchanger.exchange(comm, &mut [&mut s.u, &mut s.v, &mut s.w]);
+            }
+            {
+                let s = &mut sim.state;
+                kernels::fstr(s);
+                kernels::dstrqc(s);
+                kernels::addsrc(s, &sim.sources, sim.time);
+                if s.options.nonlinear {
+                    kernels::drprecpc_calc(s);
+                    kernels::drprecpc_app(s);
+                }
+                kernels::apply_sponge(s);
+            }
+            sim.finish_step();
+        }
+        (x0, y0, local, sim)
+    });
+    // Merge observables.
+    let mut seismograms = Vec::new();
+    let mut pgv = PgvRecorder::new(global.nx, global.ny);
+    let mut flops = 0.0;
+    for (x0, y0, local, sim) in results {
+        seismograms.extend(sim.seismo.seismograms().iter().cloned());
+        for x in 0..local.nx {
+            for y in 0..local.ny {
+                let v = sim.pgv.at(x, y);
+                let idx = (x0 + x) * global.ny + (y0 + y);
+                if v > pgv.pgv[idx] {
+                    pgv.pgv[idx] = v;
+                }
+            }
+        }
+        flops += sim.flops.flops;
+    }
+    MultiRankOutput { seismograms, pgv, flops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_model::HalfspaceModel;
+    use sw_source::{MomentTensor, SourceTimeFunction};
+
+    fn explosion_config(steps: usize) -> SimConfig {
+        let dims = Dims3::new(24, 24, 16);
+        let mut cfg = SimConfig::new(dims, 100.0, steps);
+        cfg.options.sponge_width = 4;
+        cfg.options.attenuation = false;
+        cfg.sources = vec![PointSource {
+            ix: 12,
+            iy: 12,
+            iz: 8,
+            moment: MomentTensor::explosion(1.0e13),
+            stf: SourceTimeFunction::Gaussian { delay: 0.05, sigma: 0.02 },
+        }];
+        cfg.stations = vec![Station { name: "S".into(), ix: 6, iy: 6 }];
+        cfg
+    }
+
+    #[test]
+    fn explosion_radiates_and_stays_finite() {
+        let cfg = explosion_config(60);
+        let model = HalfspaceModel::hard_rock();
+        let mut sim = Simulation::new(&model, &cfg);
+        sim.run(cfg.steps);
+        assert!(!sim.state.has_blown_up());
+        assert!(sim.pgv.max() > 0.0, "waves reached the surface");
+        let s = sim.seismo.get("S").unwrap();
+        assert_eq!(s.samples.len(), 60);
+        assert!(sim.flops.flops > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_restart_is_exact() {
+        let cfg = explosion_config(40);
+        let model = HalfspaceModel::hard_rock();
+        let mut sim = Simulation::new(&model, &cfg);
+        sim.run(20);
+        let ckpt = sim.make_checkpoint();
+        // run 20 more, then rewind and replay
+        sim.run(20);
+        let final_u = sim.state.u.clone();
+        let mut sim2 = Simulation::new(&model, &cfg);
+        sim2.restore(&ckpt);
+        assert_eq!(sim2.step_count, 20);
+        sim2.run(20);
+        assert_eq!(sim2.state.u.max_abs_diff(&final_u), 0.0, "restart must be bit-exact");
+    }
+
+    #[test]
+    fn compression_mode_stays_close_to_reference() {
+        let cfg = explosion_config(40);
+        let model = HalfspaceModel::hard_rock();
+        let mut reference = Simulation::new(&model, &cfg);
+        reference.run(cfg.steps);
+        let mut ccfg = cfg.clone();
+        ccfg.compression = true;
+        // use the reference run's stats as the "coarse run" product
+        let mut coarse = Simulation::new(&model, &cfg);
+        coarse.run(cfg.steps);
+        ccfg.compression_stats = coarse.collect_stats();
+        let mut compressed = Simulation::new(&model, &ccfg);
+        compressed.run(cfg.steps);
+        assert!(!compressed.state.has_blown_up());
+        let a = reference.seismo.get("S").unwrap();
+        let b = compressed.seismo.get("S").unwrap();
+        let misfit = b.normalized_misfit(a);
+        assert!(misfit < 0.25, "compressed misfit {misfit}");
+        assert!(misfit > 0.0, "compression is lossy");
+    }
+
+    #[test]
+    fn snapshots_fire_at_requested_times() {
+        let mut cfg = explosion_config(30);
+        let model = HalfspaceModel::hard_rock();
+        let dt = crate::staggered::stable_dt(cfg.dx, 6000.0);
+        cfg.snapshot_times = vec![5.0 * dt, 20.0 * dt];
+        let mut sim = Simulation::new(&model, &cfg);
+        sim.run(cfg.steps);
+        assert_eq!(sim.snapshots.snapshots.len(), 2);
+    }
+
+    #[test]
+    fn restart_controller_collects_checkpoints() {
+        let mut cfg = explosion_config(25);
+        cfg.checkpoint_interval = 10;
+        let model = HalfspaceModel::hard_rock();
+        let mut sim = Simulation::new(&model, &cfg);
+        sim.run(cfg.steps);
+        assert_eq!(sim.checkpoints.len(), 2);
+        assert_eq!(sim.checkpoints[0].step, 10);
+        assert_eq!(sim.checkpoints[1].step, 20);
+    }
+}

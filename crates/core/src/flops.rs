@@ -1,0 +1,101 @@
+//! Flop accounting, following §7.1's measurement convention.
+//!
+//! "The number of floating point operations are measured … by counting
+//! all floating point arithmetic instructions … Note that all the
+//! operations added for optimization purposes, such as the
+//! compression-related operations, are not counted in the number of
+//! FLOPs." The counts below are the per-point arithmetic of the kernels
+//! as written in this crate (counted from the source expressions).
+
+use sw_grid::Dims3;
+
+/// Per-point flops of one velocity-component divergence: three 4th-order
+/// differences (7 flops each) + combine (2) + scale (2).
+const VEL_FLOPS_PER_COMPONENT: f64 = 25.0;
+/// Velocity kernel: 3 components + buoyancy division.
+pub const DVELC_FLOPS: f64 = 3.0 * VEL_FLOPS_PER_COMPONENT + 1.0;
+/// Stress kernel: 6 strain rates (7 each) + 6 stress rates (~4 each) +
+/// divergence (2) + 6 memory-variable updates (~6 each).
+pub const DSTRQC_FLOPS: f64 = 6.0 * 7.0 + 6.0 * 4.0 + 2.0 + 6.0 * 6.0;
+/// Plasticity calc: mean (3) + deviator (6) + J2 (11) + sqrt (1) + yield
+/// (5) + compare/ratio (2).
+pub const DRPRECPC_CALC_FLOPS: f64 = 28.0;
+/// Plasticity apply on a yielding point: return mapping (14) + strain (6).
+pub const DRPRECPC_APP_FLOPS: f64 = 20.0;
+/// Free-surface imaging per surface point.
+pub const FSTR_FLOPS: f64 = 8.0;
+/// Sponge per point: 9 multiplies (+6 with attenuation).
+pub const SPONGE_FLOPS: f64 = 9.0;
+
+/// Flop counter accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlopCounter {
+    /// Useful flops (§7.1 convention).
+    pub flops: f64,
+    /// Steps counted.
+    pub steps: u64,
+}
+
+impl FlopCounter {
+    /// Charge one full time step over `dims` (interior points), with the
+    /// nonlinear kernels included or not.
+    pub fn charge_step(&mut self, dims: Dims3, nonlinear: bool, attenuation: bool) {
+        let n = dims.len() as f64;
+        let surface = (dims.nx * dims.ny) as f64;
+        let mut per_step = DVELC_FLOPS * n + FSTR_FLOPS * surface + SPONGE_FLOPS * n;
+        per_step += if attenuation { DSTRQC_FLOPS * n } else { (DSTRQC_FLOPS - 36.0) * n };
+        if nonlinear {
+            per_step += (DRPRECPC_CALC_FLOPS + DRPRECPC_APP_FLOPS) * n;
+        }
+        self.flops += per_step;
+        self.steps += 1;
+    }
+
+    /// Sustained flop rate for a measured wall time.
+    pub fn rate(&self, elapsed_seconds: f64) -> f64 {
+        if elapsed_seconds > 0.0 {
+            self.flops / elapsed_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonlinear_charges_more() {
+        let d = Dims3::cube(32);
+        let mut lin = FlopCounter::default();
+        let mut nl = FlopCounter::default();
+        lin.charge_step(d, false, true);
+        nl.charge_step(d, true, true);
+        assert!(nl.flops > lin.flops);
+        // the plasticity surcharge is 48 flops/point
+        let diff = (nl.flops - lin.flops) / d.len() as f64;
+        assert!((diff - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_and_steps() {
+        let mut c = FlopCounter::default();
+        c.charge_step(Dims3::cube(10), false, false);
+        c.charge_step(Dims3::cube(10), false, false);
+        assert_eq!(c.steps, 2);
+        assert!(c.rate(2.0) > 0.0);
+        assert_eq!(c.rate(0.0), 0.0);
+    }
+
+    #[test]
+    fn per_point_order_of_magnitude() {
+        // A linear attenuated step is a few hundred flops per point —
+        // the regime of the paper's accounting.
+        let d = Dims3::cube(100);
+        let mut c = FlopCounter::default();
+        c.charge_step(d, true, true);
+        let per_point = c.flops / d.len() as f64;
+        assert!((100.0..400.0).contains(&per_point), "per point {per_point}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Seismic-hazard maps (Fig. 11e–f).
+//!
+//! "The hazard map (expressed by seismic intensity) for Tangshan
+//! earthquake can be obtained by calculating the horizontal peak ground
+//! velocity." The PGV → intensity conversion follows the Chinese seismic
+//! intensity scale (GB/T 17742 class): `I = 3.00 + 3.77 · log₁₀(PGV)`
+//! with PGV in cm/s, clamped to the scale's 1–12 range.
+
+use sw_io::PgvRecorder;
+
+/// Chinese seismic intensity from horizontal PGV in m/s.
+pub fn intensity_from_pgv(pgv_ms: f32) -> f32 {
+    if pgv_ms <= 0.0 {
+        return 1.0;
+    }
+    let pgv_cms = pgv_ms * 100.0;
+    (3.00 + 3.77 * pgv_cms.log10()).clamp(1.0, 12.0)
+}
+
+/// A gridded intensity map derived from a PGV recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HazardMap {
+    /// Surface extents.
+    pub nx: usize,
+    /// Surface extents along y.
+    pub ny: usize,
+    /// Intensity per surface point, row-major (x, y).
+    pub intensity: Vec<f32>,
+}
+
+impl HazardMap {
+    /// Build from accumulated PGV.
+    pub fn from_pgv(rec: &PgvRecorder, nx: usize, ny: usize) -> Self {
+        let intensity = rec.pgv.iter().map(|&v| intensity_from_pgv(v)).collect();
+        Self { nx, ny, intensity }
+    }
+
+    /// Intensity at a surface point.
+    pub fn at(&self, x: usize, y: usize) -> f32 {
+        self.intensity[x * self.ny + y]
+    }
+
+    /// Maximum intensity on the map.
+    pub fn max(&self) -> f32 {
+        self.intensity.iter().copied().fold(1.0, f32::max)
+    }
+
+    /// Fraction of the map at or above `level` (the "red area" of
+    /// Fig. 11e–f is level ≥ 9).
+    pub fn fraction_at_or_above(&self, level: f32) -> f64 {
+        let n = self.intensity.iter().filter(|&&i| i >= level).count();
+        n as f64 / self.intensity.len() as f64
+    }
+
+    /// Render as an ASCII map (rows = y descending), digit = intensity.
+    pub fn ascii(&self) -> String {
+        let mut out = String::with_capacity((self.nx + 1) * self.ny);
+        for y in (0..self.ny).rev() {
+            for x in 0..self.nx {
+                let i = self.at(x, y).round() as u32;
+                out.push(char::from_digit(i.min(11), 12).unwrap_or('?'));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_scale_anchors() {
+        // 1 cm/s → III; 10 cm/s → ~VI.8; 1 m/s → ~X.5.
+        assert!((intensity_from_pgv(0.01) - 3.0).abs() < 0.01);
+        assert!((intensity_from_pgv(0.1) - 6.77).abs() < 0.01);
+        assert!((intensity_from_pgv(1.0) - 10.54).abs() < 0.01);
+        // clamping
+        assert_eq!(intensity_from_pgv(0.0), 1.0);
+        assert_eq!(intensity_from_pgv(1.0e-6), 1.0);
+        assert_eq!(intensity_from_pgv(100.0), 12.0);
+    }
+
+    #[test]
+    fn intensity_is_monotone_in_pgv() {
+        let mut prev = 0.0;
+        for e in -4..3 {
+            let i = intensity_from_pgv(10f32.powi(e));
+            assert!(i >= prev);
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn map_statistics() {
+        let mut rec = PgvRecorder::new(2, 2);
+        rec.pgv = vec![0.01, 0.1, 1.0, 0.0];
+        let map = HazardMap::from_pgv(&rec, 2, 2);
+        assert!((map.at(0, 0) - 3.0).abs() < 0.01);
+        assert!((map.max() - 10.54).abs() < 0.01);
+        assert!((map.fraction_at_or_above(9.0) - 0.25).abs() < 1e-12);
+        let ascii = map.ascii();
+        assert_eq!(ascii.lines().count(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! The paper's kernel set (§7.2).
+//!
+//! * [`velocity`] — `dvelcx` / `dvelcy`: the velocity updates (central
+//!   region and y-halo strips, split so halo communication overlaps the
+//!   central computation);
+//! * [`stress`] — `dstrqc`: the stress update with attenuation memory
+//!   variables;
+//! * [`freesurf`] — `fstr`: the stress-imaging free surface;
+//! * [`fused`] — velocity/stress updates on the §6.4 fused array layout
+//!   (the array-fusion ablation, bit-identical to the scalar kernels);
+//! * [`plastic`] — `drprecpc_calc` / `drprecpc_app`: Drucker–Prager
+//!   plasticity (paper eqs. 3–4);
+//! * [`parallel`] — Rayon-parallel variants of the two heavy kernels
+//!   (the host analogue of the Athread CPE pool), bit-identical to the
+//!   serial versions;
+//! * [`source`] — `addsrc`: moment-rate injection;
+//! * [`sponge`] — the Cerjan absorbing boundary.
+
+pub mod freesurf;
+pub mod fused;
+pub mod parallel;
+pub mod plastic;
+pub mod source;
+pub mod sponge;
+pub mod stress;
+pub mod velocity;
+
+pub use freesurf::fstr;
+pub use fused::{dstrqc_fused, dvelc_fused, FusedWavefield};
+pub use parallel::{dstrqc_par, dvelc_par};
+pub use plastic::{drprecpc_app, drprecpc_calc};
+pub use source::addsrc;
+pub use sponge::apply_sponge;
+pub use stress::dstrqc;
+pub use velocity::{dvelcx, dvelcy};

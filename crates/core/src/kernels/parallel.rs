@@ -1,0 +1,211 @@
+//! Rayon-parallel kernel variants (the host-side analogue of the Athread
+//! CPE pool).
+//!
+//! The paper's level-3 decomposition hands disjoint regions of a CG block
+//! to 64 CPE threads. On the host we hand disjoint **x planes** to the
+//! Rayon pool: the velocity update writes only `(u, v, w)` and reads only
+//! stress/density, and every plane's writes stay inside that plane, so
+//! the split is race-free by construction and the result is bit-identical
+//! to the serial kernels (pinned by tests — within one plane the
+//! floating-point evaluation order is unchanged).
+
+use crate::staggered::{dxm, dxp, dym, dyp, dzm, dzp};
+use crate::state::SolverState;
+use rayon::prelude::*;
+use sw_grid::HALO_WIDTH;
+
+/// Rayon-parallel velocity update (`dvelcx` + `dvelcy` in one pass).
+pub fn dvelc_par(s: &mut SolverState) {
+    let d = s.dims;
+    let p = s.u.padded_dims();
+    let stride = p.ny * p.nz;
+    let h = HALO_WIDTH;
+    let dt_dx = (s.dt / s.dx) as f32;
+    let (xx, yy, zz) = (&s.xx, &s.yy, &s.zz);
+    let (xy, xz, yz) = (&s.xy, &s.xz, &s.yz);
+    let rho = &s.rho;
+    let u_planes = s.u.raw_mut().par_chunks_mut(stride);
+    let v_planes = s.v.raw_mut().par_chunks_mut(stride);
+    let w_planes = s.w.raw_mut().par_chunks_mut(stride);
+    u_planes
+        .zip(v_planes)
+        .zip(w_planes)
+        .enumerate()
+        .skip(h)
+        .take(d.nx)
+        .for_each(|(px, ((up, vp), wp))| {
+            let x = px - h;
+            for y in 0..d.ny {
+                for z in 0..d.nz {
+                    let o = (y + h) * p.nz + (z + h);
+                    let b = dt_dx / rho.get(x, y, z);
+                    let du = dxp(xx, x, y, z) + dym(xy, x, y, z) + dzm(xz, x, y, z);
+                    let dv = dxm(xy, x, y, z) + dyp(yy, x, y, z) + dzm(yz, x, y, z);
+                    let dw = dxm(xz, x, y, z) + dym(yz, x, y, z) + dzp(zz, x, y, z);
+                    up[o] += b * du;
+                    vp[o] += b * dv;
+                    wp[o] += b * dw;
+                }
+            }
+        });
+}
+
+/// Rayon-parallel stress update (`dstrqc`): writes the six stresses and
+/// six memory variables, reads the velocities.
+pub fn dstrqc_par(s: &mut SolverState) {
+    let d = s.dims;
+    let p = s.xx.padded_dims();
+    let stride = p.ny * p.nz;
+    let h = HALO_WIDTH;
+    let inv_dx = (1.0 / s.dx) as f32;
+    let dt = s.dt as f32;
+    let atten = s.options.attenuation;
+    let tau = s.tau as f32;
+    let (a_coef, b_coef) = if atten {
+        ((2.0 * tau - dt) / (2.0 * tau + dt), 2.0 * dt / (2.0 * tau + dt))
+    } else {
+        (1.0, 0.0)
+    };
+    let (u, v, w) = (&s.u, &s.v, &s.w);
+    let (lam, mu, wp_f, ws_f) = (&s.lam, &s.mu, &s.wp, &s.ws);
+    let [r0, r1, r2, r3, r4, r5] = &mut s.r;
+    let planes = s
+        .xx
+        .raw_mut()
+        .par_chunks_mut(stride)
+        .zip(s.yy.raw_mut().par_chunks_mut(stride))
+        .zip(s.zz.raw_mut().par_chunks_mut(stride))
+        .zip(s.xy.raw_mut().par_chunks_mut(stride))
+        .zip(s.xz.raw_mut().par_chunks_mut(stride))
+        .zip(s.yz.raw_mut().par_chunks_mut(stride))
+        .zip(r0.raw_mut().par_chunks_mut(stride))
+        .zip(r1.raw_mut().par_chunks_mut(stride))
+        .zip(r2.raw_mut().par_chunks_mut(stride))
+        .zip(r3.raw_mut().par_chunks_mut(stride))
+        .zip(r4.raw_mut().par_chunks_mut(stride))
+        .zip(r5.raw_mut().par_chunks_mut(stride));
+    planes.enumerate().skip(h).take(d.nx).for_each(
+        |(px, (((((((((((pxx, pyy), pzz), pxy), pxz), pyz), pr0), pr1), pr2), pr3), pr4), pr5))| {
+            let x = px - h;
+            for y in 0..d.ny {
+                for z in 0..d.nz {
+                    let o = (y + h) * p.nz + (z + h);
+                    let l = lam.get(x, y, z);
+                    let m = mu.get(x, y, z);
+                    let exx = dxm(u, x, y, z) * inv_dx;
+                    let eyy = dym(v, x, y, z) * inv_dx;
+                    let ezz = dzm(w, x, y, z) * inv_dx;
+                    let div = exx + eyy + ezz;
+                    let exy = (dyp(u, x, y, z) + dxp(v, x, y, z)) * inv_dx;
+                    let exz = (dzp(u, x, y, z) + dxp(w, x, y, z)) * inv_dx;
+                    let eyz = (dzp(v, x, y, z) + dyp(w, x, y, z)) * inv_dx;
+                    let rates = [
+                        l * div + 2.0 * m * exx,
+                        l * div + 2.0 * m * eyy,
+                        l * div + 2.0 * m * ezz,
+                        m * exy,
+                        m * exz,
+                        m * eyz,
+                    ];
+                    let wpv = wp_f.get(x, y, z);
+                    let wsv = ws_f.get(x, y, z);
+                    let weights = [wpv, wpv, wpv, wsv, wsv, wsv];
+                    let stress: [&mut f32; 6] = [
+                        &mut pxx[o],
+                        &mut pyy[o],
+                        &mut pzz[o],
+                        &mut pxy[o],
+                        &mut pxz[o],
+                        &mut pyz[o],
+                    ];
+                    let mem: [&mut f32; 6] =
+                        [&mut pr0[o], &mut pr1[o], &mut pr2[o], &mut pr3[o], &mut pr4[o], &mut pr5[o]];
+                    for c in 0..6 {
+                        let e = rates[c];
+                        let (r_new, r_bar) = if atten {
+                            let rn = a_coef * *mem[c] + b_coef * weights[c] * e;
+                            (rn, 0.5 * (rn + *mem[c]))
+                        } else {
+                            (0.0, 0.0)
+                        };
+                        *stress[c] += dt * (e - r_bar);
+                        if atten {
+                            *mem[c] = r_new;
+                        }
+                    }
+                }
+            }
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{dstrqc, dvelcx, dvelcy};
+    use crate::state::StateOptions;
+    use sw_grid::Dims3;
+    use sw_model::HalfspaceModel;
+
+    fn noisy_state() -> SolverState {
+        let opts = StateOptions { sponge_width: 0, ..Default::default() };
+        let mut s = SolverState::from_model(
+            &HalfspaceModel::hard_rock(),
+            Dims3::new(12, 14, 10),
+            100.0,
+            (0.0, 0.0, 0.0),
+            opts,
+        );
+        for (x, y, z) in s.dims.iter() {
+            let v = ((x * 31 + y * 17 + z * 7) % 23) as f32 - 11.0;
+            s.xx.set(x, y, z, v * 1e4);
+            s.xy.set(x, y, z, -v * 5e3);
+            s.yz.set(x, y, z, v * 3e3);
+            s.u.set(x, y, z, v * 0.01);
+            s.v.set(x, y, z, -v * 0.02);
+            s.w.set(x, y, z, v * 0.005);
+        }
+        s
+    }
+
+    #[test]
+    fn parallel_velocity_matches_serial_bitwise() {
+        let mut serial = noisy_state();
+        dvelcx(&mut serial);
+        dvelcy(&mut serial);
+        let mut par = noisy_state();
+        dvelc_par(&mut par);
+        assert_eq!(serial.u.max_abs_diff(&par.u), 0.0);
+        assert_eq!(serial.v.max_abs_diff(&par.v), 0.0);
+        assert_eq!(serial.w.max_abs_diff(&par.w), 0.0);
+    }
+
+    #[test]
+    fn parallel_stress_matches_serial_bitwise() {
+        let mut serial = noisy_state();
+        dstrqc(&mut serial);
+        let mut par = noisy_state();
+        dstrqc_par(&mut par);
+        for (a, b) in serial.stress().iter().zip(par.stress().iter()) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+        for (a, b) in serial.r.iter().zip(par.r.iter()) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+    }
+
+    #[test]
+    fn repeated_steps_stay_identical() {
+        let mut serial = noisy_state();
+        let mut par = noisy_state();
+        for _ in 0..5 {
+            dvelcx(&mut serial);
+            dvelcy(&mut serial);
+            dstrqc(&mut serial);
+            dvelc_par(&mut par);
+            dstrqc_par(&mut par);
+        }
+        assert_eq!(serial.u.max_abs_diff(&par.u), 0.0);
+        assert_eq!(serial.xx.max_abs_diff(&par.xx), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Drucker–Prager plasticity (`drprecpc_calc`, `drprecpc_app`).
+//!
+//! Paper eqs. (3)–(4): the yield stress is
+//! `Y(σ) = max(0, c·cosφ − (σₘ + P_f)·sinφ)` and when the deviatoric
+//! stress magnitude `τ̄ = √J₂` exceeds `Y`, the deviator is scaled back
+//! onto the yield surface: `σᵢⱼ = σₘδᵢⱼ + r·sᵢⱼ` with `r = Y/τ̄`.
+//!
+//! Sign convention: compression is negative, so the lithostatic prestress
+//! `σ₀` (stored in the state) is negative and pore pressure `P_f`
+//! positive. The *dynamic* stress carried by the FD arrays rides on top of
+//! that prestress; the yield check uses the total mean stress.
+//!
+//! The paper reports `drprecpc_calc` as "the most time-consuming part of
+//! the entire program" — it touches every point, reads the whole stress
+//! tensor plus four material arrays, and takes a square root per point.
+
+use crate::state::SolverState;
+
+/// `drprecpc_calc`: compute the yield factor `r` for every point into
+/// `yldfac` (1.0 where elastic). Returns the number of yielding points.
+pub fn drprecpc_calc(s: &mut SolverState) -> usize {
+    debug_assert!(s.options.nonlinear);
+    let d = s.dims;
+    let mut yielding = 0usize;
+    for x in 0..d.nx {
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                let (sxx, syy, szz) =
+                    (s.xx.get(x, y, z), s.yy.get(x, y, z), s.zz.get(x, y, z));
+                let (sxy, sxz, syz) =
+                    (s.xy.get(x, y, z), s.xz.get(x, y, z), s.yz.get(x, y, z));
+                let mean_dyn = (sxx + syy + szz) / 3.0;
+                let mean_total = mean_dyn + s.sigma0.get(x, y, z);
+                // deviator of the total stress = deviator of the dynamic
+                // part (the prestress is isotropic)
+                let (dxx, dyy, dzz) = (sxx - mean_dyn, syy - mean_dyn, szz - mean_dyn);
+                let j2 = 0.5 * (dxx * dxx + dyy * dyy + dzz * dzz)
+                    + sxy * sxy
+                    + sxz * sxz
+                    + syz * syz;
+                let tau_bar = j2.sqrt();
+                let c = s.cohes.get(x, y, z);
+                let y_stress = (c * s.cosphi.get(x, y, z)
+                    - (mean_total + s.pf.get(x, y, z)) * s.sinphi.get(x, y, z))
+                .max(0.0);
+                let r = if tau_bar > y_stress && tau_bar > 0.0 {
+                    yielding += 1;
+                    y_stress / tau_bar
+                } else {
+                    1.0
+                };
+                s.yldfac.set(x, y, z, r);
+            }
+        }
+    }
+    yielding
+}
+
+/// `drprecpc_app`: apply the yield factors — scale the stress deviator
+/// back onto the yield surface and accumulate plastic strain.
+pub fn drprecpc_app(s: &mut SolverState) {
+    debug_assert!(s.options.nonlinear);
+    let d = s.dims;
+    for x in 0..d.nx {
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                let r = s.yldfac.get(x, y, z);
+                if r >= 1.0 {
+                    continue;
+                }
+                let (sxx, syy, szz) =
+                    (s.xx.get(x, y, z), s.yy.get(x, y, z), s.zz.get(x, y, z));
+                let mean = (sxx + syy + szz) / 3.0;
+                s.xx.set(x, y, z, mean + r * (sxx - mean));
+                s.yy.set(x, y, z, mean + r * (syy - mean));
+                s.zz.set(x, y, z, mean + r * (szz - mean));
+                s.xy.set(x, y, z, r * s.xy.get(x, y, z));
+                s.xz.set(x, y, z, r * s.xz.get(x, y, z));
+                s.yz.set(x, y, z, r * s.yz.get(x, y, z));
+                // plastic strain increment ~ the relaxed deviatoric stress
+                // over the shear modulus
+                let mu = s.mu.get(x, y, z).max(1.0);
+                let tau_rel = (1.0 - r)
+                    * ((sxx - mean).powi(2) + (syy - mean).powi(2) + (szz - mean).powi(2))
+                        .sqrt();
+                s.eqp.set(x, y, z, s.eqp.get(x, y, z) + tau_rel / mu);
+            }
+        }
+    }
+}
+
+/// J₂ deviatoric magnitude of the dynamic stress at a point (test probe).
+pub fn tau_bar_at(s: &SolverState, x: usize, y: usize, z: usize) -> f32 {
+    let (sxx, syy, szz) = (s.xx.get(x, y, z), s.yy.get(x, y, z), s.zz.get(x, y, z));
+    let mean = (sxx + syy + szz) / 3.0;
+    let j2 = 0.5
+        * ((sxx - mean).powi(2) + (syy - mean).powi(2) + (szz - mean).powi(2))
+        + s.xy.get(x, y, z).powi(2)
+        + s.xz.get(x, y, z).powi(2)
+        + s.yz.get(x, y, z).powi(2);
+    j2.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{PlasticityConfig, StateOptions};
+    use sw_grid::Dims3;
+    use sw_model::HalfspaceModel;
+
+    fn state() -> SolverState {
+        let opts = StateOptions {
+            sponge_width: 0,
+            nonlinear: true,
+            plasticity: PlasticityConfig {
+                cohesion_surface: 1.0e6,
+                cohesion_gradient: 0.0,
+                friction_angle_deg: 30.0,
+                fluid_pressure_ratio: 0.0,
+            },
+            ..Default::default()
+        };
+        SolverState::from_model(
+            &HalfspaceModel::hard_rock(),
+            Dims3::new(6, 6, 6),
+            100.0,
+            (0.0, 0.0, 0.0),
+            opts,
+        )
+    }
+
+    /// Yield stress formula check at a known point: Y = c·cosφ − (σm+Pf)·sinφ.
+    #[test]
+    fn yield_stress_matches_eq3() {
+        let mut s = state();
+        // Set shear well above yield at one point.
+        s.xy.set(3, 3, 3, 50.0e6);
+        let sigma0 = s.sigma0.get(3, 3, 3);
+        let expect_y = 1.0e6 * (30f32.to_radians().cos())
+            - sigma0 * 30f32.to_radians().sin();
+        let n = drprecpc_calc(&mut s);
+        assert!(n >= 1);
+        let r = s.yldfac.get(3, 3, 3);
+        assert!((r - expect_y / 50.0e6).abs() / r < 1e-4, "r {r}");
+    }
+
+    /// After apply, the stress sits exactly on the yield surface.
+    #[test]
+    fn return_mapping_lands_on_the_surface() {
+        let mut s = state();
+        s.xy.set(3, 3, 3, 50.0e6);
+        s.xx.set(3, 3, 3, 5.0e6);
+        s.yy.set(3, 3, 3, -2.0e6);
+        drprecpc_calc(&mut s);
+        drprecpc_app(&mut s);
+        // Recompute: τ̄ must equal Y within float tolerance.
+        let mean_total = (s.xx.get(3, 3, 3) + s.yy.get(3, 3, 3) + s.zz.get(3, 3, 3)) / 3.0
+            + s.sigma0.get(3, 3, 3);
+        let y = (s.cohes.get(3, 3, 3) * s.cosphi.get(3, 3, 3)
+            - (mean_total + s.pf.get(3, 3, 3)) * s.sinphi.get(3, 3, 3))
+        .max(0.0);
+        let tb = tau_bar_at(&s, 3, 3, 3);
+        assert!((tb - y).abs() / y < 1e-3, "tau {tb} vs Y {y}");
+        assert!(s.eqp.get(3, 3, 3) > 0.0, "plastic strain accumulated");
+    }
+
+    /// Elastic points are untouched by the apply pass.
+    #[test]
+    fn elastic_points_unchanged() {
+        let mut s = state();
+        s.xy.set(2, 2, 2, 1.0e3); // far below yield
+        let before = s.xy.get(2, 2, 2);
+        let n = drprecpc_calc(&mut s);
+        assert_eq!(n, 0, "nothing yields");
+        drprecpc_app(&mut s);
+        assert_eq!(s.xy.get(2, 2, 2), before);
+        assert_eq!(s.yldfac.get(2, 2, 2), 1.0);
+    }
+
+    /// Mean stress is preserved by the return mapping (only the deviator
+    /// scales).
+    #[test]
+    fn mean_stress_preserved() {
+        let mut s = state();
+        s.xx.set(3, 3, 3, 40.0e6);
+        s.yy.set(3, 3, 3, -10.0e6);
+        s.xy.set(3, 3, 3, 60.0e6);
+        let mean_before =
+            (s.xx.get(3, 3, 3) + s.yy.get(3, 3, 3) + s.zz.get(3, 3, 3)) / 3.0;
+        drprecpc_calc(&mut s);
+        drprecpc_app(&mut s);
+        let mean_after =
+            (s.xx.get(3, 3, 3) + s.yy.get(3, 3, 3) + s.zz.get(3, 3, 3)) / 3.0;
+        assert!((mean_before - mean_after).abs() <= mean_before.abs() * 1e-5);
+    }
+
+    /// Deeper points (more confinement) yield less for the same shear.
+    #[test]
+    fn confinement_raises_strength() {
+        let mut s = state();
+        let shear = 30.0e6f32;
+        s.xy.set(3, 3, 0, shear);
+        s.xy.set(3, 3, 5, shear);
+        drprecpc_calc(&mut s);
+        let r_shallow = s.yldfac.get(3, 3, 0);
+        let r_deep = s.yldfac.get(3, 3, 5);
+        assert!(r_deep > r_shallow, "deep {r_deep} vs shallow {r_shallow}");
+    }
+
+    /// Tensile mean stress can drive Y to zero: total deviatoric collapse.
+    #[test]
+    fn tension_cutoff() {
+        let mut s = state();
+        // Large tension overwhelming cohesion and lithostatic pressure.
+        let t = 200.0e6f32;
+        s.xx.set(3, 3, 0, t);
+        s.yy.set(3, 3, 0, t);
+        s.zz.set(3, 3, 0, t);
+        s.xy.set(3, 3, 0, 10.0e6);
+        drprecpc_calc(&mut s);
+        drprecpc_app(&mut s);
+        assert!(tau_bar_at(&s, 3, 3, 0) < 1.0, "deviator collapsed under tension");
+    }
+}

@@ -1,0 +1,142 @@
+//! Velocity updates (`dvelcx`, `dvelcy`).
+//!
+//! Paper eq. (1): `ρ ∂v/∂t = ∇·σ`. On the staggered grid, `u` lives at
+//! `(i+1/2, j, k)`, `v` at `(i, j+1/2, k)` and `w` at `(i, j, k+1/2)`, so
+//! each component's divergence mixes forward and backward operators.
+//!
+//! AWP-ODC splits the update into a *central* kernel (`dvelcx`) and the
+//! y-boundary strips (`dvelcy`) so the central region can compute while
+//! the y halos are in flight; both call into the same region update.
+
+use crate::staggered::{dxm, dxp, dym, dyp, dzm, dzp};
+use crate::state::SolverState;
+use std::ops::Range;
+use sw_grid::HALO_WIDTH;
+
+/// Update velocities in the sub-box `x_range × y_range` (full z).
+pub fn update_velocity_region(s: &mut SolverState, x_range: Range<usize>, y_range: Range<usize>) {
+    let d = s.dims;
+    let dt_dx = (s.dt / s.dx) as f32;
+    for x in x_range {
+        for y in y_range.clone() {
+            for z in 0..d.nz {
+                let b = dt_dx / s.rho.get(x, y, z);
+                let du = dxp(&s.xx, x, y, z) + dym(&s.xy, x, y, z) + dzm(&s.xz, x, y, z);
+                let dv = dxm(&s.xy, x, y, z) + dyp(&s.yy, x, y, z) + dzm(&s.yz, x, y, z);
+                let dw = dxm(&s.xz, x, y, z) + dym(&s.yz, x, y, z) + dzp(&s.zz, x, y, z);
+                s.u.set(x, y, z, s.u.get(x, y, z) + b * du);
+                s.v.set(x, y, z, s.v.get(x, y, z) + b * dv);
+                s.w.set(x, y, z, s.w.get(x, y, z) + b * dw);
+            }
+        }
+    }
+}
+
+/// `dvelcx`: the central region — all x, y away from the halo strips.
+pub fn dvelcx(s: &mut SolverState) {
+    let d = s.dims;
+    let h = HALO_WIDTH.min(d.ny / 2);
+    update_velocity_region(s, 0..d.nx, h..d.ny - h);
+}
+
+/// `dvelcy`: the two y-boundary strips of width `HALO_WIDTH` (computed
+/// after the y halo has arrived).
+pub fn dvelcy(s: &mut SolverState) {
+    let d = s.dims;
+    let h = HALO_WIDTH.min(d.ny / 2);
+    update_velocity_region(s, 0..d.nx, 0..h);
+    update_velocity_region(s, 0..d.nx, d.ny - h..d.ny);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateOptions;
+    use sw_grid::Dims3;
+    use sw_model::HalfspaceModel;
+
+    fn state() -> SolverState {
+        let opts = StateOptions { sponge_width: 0, ..Default::default() };
+        SolverState::from_model(
+            &HalfspaceModel::hard_rock(),
+            Dims3::new(10, 10, 8),
+            100.0,
+            (0.0, 0.0, 0.0),
+            opts,
+        )
+    }
+
+    #[test]
+    fn zero_stress_means_zero_acceleration() {
+        let mut s = state();
+        dvelcx(&mut s);
+        dvelcy(&mut s);
+        assert_eq!(s.peak_velocity(), 0.0);
+    }
+
+    /// A uniform xx gradient accelerates u like a body force ∂xx/∂x / ρ.
+    #[test]
+    fn uniform_gradient_gives_uniform_acceleration() {
+        let mut s = state();
+        let g = 1.0e6; // Pa per grid step
+        let d = s.dims;
+        // fill including halo so every interior stencil sees the ramp
+        for x in -2..(d.nx as isize + 2) {
+            for y in -2..(d.ny as isize + 2) {
+                for z in -2..(d.nz as isize + 2) {
+                    s.xx.set_i(x, y, z, g * x as f32);
+                }
+            }
+        }
+        dvelcx(&mut s);
+        dvelcy(&mut s);
+        let expect = (s.dt / s.dx) as f32 * g / 2700.0;
+        for x in 0..d.nx {
+            let got = s.u.get(x, 5, 3);
+            assert!((got - expect).abs() / expect < 1e-4, "u({x}) = {got} vs {expect}");
+        }
+        // v and w stay zero: no shear, no zz/yy
+        assert_eq!(s.v.max_abs(), 0.0);
+        assert_eq!(s.w.max_abs(), 0.0);
+    }
+
+    /// dvelcx + dvelcy together must equal one full-region update.
+    #[test]
+    fn split_kernels_cover_the_domain_once() {
+        let mut a = state();
+        let mut b = state();
+        // random-ish stress state
+        let d = a.dims;
+        for (x, y, z) in d.iter() {
+            let v = ((x * 7 + y * 13 + z * 29) % 17) as f32 - 8.0;
+            a.xx.set(x, y, z, v);
+            b.xx.set(x, y, z, v);
+            a.xy.set(x, y, z, 0.5 * v);
+            b.xy.set(x, y, z, 0.5 * v);
+            a.yz.set(x, y, z, -0.25 * v);
+            b.yz.set(x, y, z, -0.25 * v);
+        }
+        dvelcx(&mut a);
+        dvelcy(&mut a);
+        update_velocity_region(&mut b, 0..d.nx, 0..d.ny);
+        assert_eq!(a.u.max_abs_diff(&b.u), 0.0);
+        assert_eq!(a.v.max_abs_diff(&b.v), 0.0);
+        assert_eq!(a.w.max_abs_diff(&b.w), 0.0);
+    }
+
+    /// Momentum change scales inversely with density.
+    #[test]
+    fn buoyancy_scaling() {
+        let mut s = state();
+        s.xx.set(5, 5, 3, 1.0e6);
+        let mut heavy = s.clone();
+        for v in heavy.rho.raw_mut() {
+            *v *= 2.0;
+        }
+        dvelcx(&mut s);
+        dvelcx(&mut heavy);
+        let a = s.u.get(5, 5, 3);
+        let b = heavy.u.get(5, 5, 3);
+        assert!((a - 2.0 * b).abs() <= a.abs() * 1e-5, "a={a} b={b}");
+    }
+}

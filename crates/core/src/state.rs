@@ -1,0 +1,374 @@
+//! The full simulation state.
+//!
+//! §3 of the paper counts the arrays: a linear run needs 28 3-D arrays,
+//! the nonlinear Drucker–Prager run over 35 — "which almost increase 25 %
+//! of both the memory capacity and memory bandwidth". This module owns
+//! those arrays: three velocity components, six stresses, six attenuation
+//! memory variables, the material fields, and the plasticity set
+//! (cohesion, friction angle, fluid pressure, initial mean stress, yield
+//! factor, accumulated plastic strain), plus the Cerjan damping profile.
+
+use crate::staggered::stable_dt;
+use sw_grid::{Dims3, Field3, HALO_WIDTH};
+use sw_model::VelocityModel;
+
+/// Plasticity configuration (the depth-dependent Drucker–Prager inputs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlasticityConfig {
+    /// Cohesion at the surface, Pa.
+    pub cohesion_surface: f32,
+    /// Cohesion gradient with depth, Pa/m.
+    pub cohesion_gradient: f32,
+    /// Friction angle, degrees.
+    pub friction_angle_deg: f32,
+    /// Pore-fluid pressure as a fraction of lithostatic stress.
+    pub fluid_pressure_ratio: f32,
+}
+
+impl Default for PlasticityConfig {
+    fn default() -> Self {
+        Self {
+            cohesion_surface: 5.0e6,
+            cohesion_gradient: 500.0,
+            friction_angle_deg: 35.0,
+            fluid_pressure_ratio: 0.4,
+        }
+    }
+}
+
+/// Options controlling which physics a state carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateOptions {
+    /// Enable the attenuation memory variables.
+    pub attenuation: bool,
+    /// Enable Drucker–Prager plasticity.
+    pub nonlinear: bool,
+    /// Reference frequency for the attenuation mechanism, Hz.
+    pub reference_frequency: f64,
+    /// Cerjan sponge width in grid points.
+    pub sponge_width: usize,
+    /// Plasticity parameters.
+    pub plasticity: PlasticityConfig,
+    /// For a rank-local subdomain: the global extents and this
+    /// subdomain's (x, y) offset, so the sponge profile is computed in
+    /// global coordinates and multi-rank runs match single-rank runs
+    /// bit for bit.
+    pub global_span: Option<(Dims3, usize, usize)>,
+}
+
+impl Default for StateOptions {
+    fn default() -> Self {
+        Self {
+            attenuation: true,
+            nonlinear: false,
+            reference_frequency: 1.0,
+            sponge_width: 10,
+            plasticity: PlasticityConfig::default(),
+            global_span: None,
+        }
+    }
+}
+
+/// All simulation arrays for one (sub)domain.
+#[derive(Debug, Clone)]
+pub struct SolverState {
+    /// Interior extents.
+    pub dims: Dims3,
+    /// Grid spacing, m.
+    pub dx: f64,
+    /// Time step, s.
+    pub dt: f64,
+    /// Velocity x (stored at `(i+1/2, j, k)`).
+    pub u: Field3,
+    /// Velocity y (at `(i, j+1/2, k)`).
+    pub v: Field3,
+    /// Velocity z (at `(i, j, k+1/2)`).
+    pub w: Field3,
+    /// Normal stress xx (at integer points).
+    pub xx: Field3,
+    /// Normal stress yy.
+    pub yy: Field3,
+    /// Normal stress zz.
+    pub zz: Field3,
+    /// Shear stress xy (at `(i+1/2, j+1/2, k)`).
+    pub xy: Field3,
+    /// Shear stress xz (at `(i+1/2, j, k+1/2)`).
+    pub xz: Field3,
+    /// Shear stress yz (at `(i, j+1/2, k+1/2)`).
+    pub yz: Field3,
+    /// Attenuation memory variables, one per stress component.
+    pub r: [Field3; 6],
+    /// Lamé λ, Pa.
+    pub lam: Field3,
+    /// Shear modulus μ, Pa.
+    pub mu: Field3,
+    /// Density, kg/m³.
+    pub rho: Field3,
+    /// P attenuation weight `1/Qp`.
+    pub wp: Field3,
+    /// S attenuation weight `1/Qs`.
+    pub ws: Field3,
+    /// Cohesion, Pa (nonlinear only; empty-sized otherwise).
+    pub cohes: Field3,
+    /// sin of the friction angle.
+    pub sinphi: Field3,
+    /// cos of the friction angle.
+    pub cosphi: Field3,
+    /// Pore-fluid pressure, Pa.
+    pub pf: Field3,
+    /// Initial (lithostatic, effective) mean stress, Pa (negative in
+    /// compression).
+    pub sigma0: Field3,
+    /// Yield factor of the last plasticity pass (1 = elastic).
+    pub yldfac: Field3,
+    /// Accumulated plastic strain.
+    pub eqp: Field3,
+    /// Cerjan damping profile (multiplies velocity and stress).
+    pub dcrj: Field3,
+    /// Attenuation relaxation time, s.
+    pub tau: f64,
+    /// Options this state was built with.
+    pub options: StateOptions,
+}
+
+impl SolverState {
+    /// Build a state from a velocity model. `origin` is the physical
+    /// position (m) of grid index (0, 0, 0); depth = `origin.2 + z·dx`.
+    pub fn from_model(
+        model: &dyn VelocityModel,
+        dims: Dims3,
+        dx: f64,
+        origin: (f64, f64, f64),
+        options: StateOptions,
+    ) -> Self {
+        let dt = stable_dt(dx, model.vp_max() as f64);
+        let h = HALO_WIDTH;
+        let f = || Field3::new(dims, h);
+        let mut state = Self {
+            dims,
+            dx,
+            dt,
+            u: f(),
+            v: f(),
+            w: f(),
+            xx: f(),
+            yy: f(),
+            zz: f(),
+            xy: f(),
+            xz: f(),
+            yz: f(),
+            r: [f(), f(), f(), f(), f(), f()],
+            lam: f(),
+            mu: f(),
+            rho: f(),
+            wp: f(),
+            ws: f(),
+            cohes: f(),
+            sinphi: f(),
+            cosphi: f(),
+            pf: f(),
+            sigma0: f(),
+            yldfac: Field3::filled(dims, h, 1.0),
+            eqp: f(),
+            dcrj: Field3::filled(dims, h, 1.0),
+            tau: 1.0 / (2.0 * std::f64::consts::PI * options.reference_frequency),
+            options,
+        };
+        let p = options.plasticity;
+        let (sp, cp) = p.friction_angle_deg.to_radians().sin_cos();
+        for x in 0..dims.nx {
+            for y in 0..dims.ny {
+                for z in 0..dims.nz {
+                    let depth = origin.2 + (z as f64 + 0.5) * dx;
+                    let m = model.sample(
+                        origin.0 + (x as f64 + 0.5) * dx,
+                        origin.1 + (y as f64 + 0.5) * dx,
+                        depth,
+                    );
+                    state.lam.set(x, y, z, m.lambda());
+                    state.mu.set(x, y, z, m.mu());
+                    state.rho.set(x, y, z, m.rho);
+                    state.wp.set(x, y, z, 1.0 / m.qp);
+                    state.ws.set(x, y, z, 1.0 / m.qs);
+                    if options.nonlinear {
+                        let depth = depth as f32;
+                        let litho = -(m.rho - 1000.0) * 9.81 * depth; // effective, compressive < 0
+                        state.cohes.set(x, y, z, p.cohesion_surface + p.cohesion_gradient * depth);
+                        state.sinphi.set(x, y, z, sp);
+                        state.cosphi.set(x, y, z, cp);
+                        state.pf.set(x, y, z, -litho * p.fluid_pressure_ratio);
+                        state.sigma0.set(x, y, z, litho);
+                    }
+                }
+            }
+        }
+        state.build_sponge();
+        state
+    }
+
+    /// Fill the Cerjan damping profile: the five absorbing faces (not the
+    /// z = 0 free surface) taper over `sponge_width` points.
+    fn build_sponge(&mut self) {
+        let n = self.options.sponge_width;
+        if n == 0 {
+            return;
+        }
+        let alpha = 0.095f32; // classic Cerjan decay constant
+        let d = self.dims;
+        let (global, x_off, y_off) = self
+            .options
+            .global_span
+            .unwrap_or((d, 0, 0));
+        let factor = |dist: usize| -> f32 {
+            if dist >= n {
+                1.0
+            } else {
+                let a = alpha * (n - dist) as f32 / n as f32;
+                (-a * a * 10.0).exp()
+            }
+        };
+        for x in 0..d.nx {
+            for y in 0..d.ny {
+                for z in 0..d.nz {
+                    let gx = x + x_off;
+                    let gy = y + y_off;
+                    let dist = gx
+                        .min(global.nx - 1 - gx)
+                        .min(gy.min(global.ny - 1 - gy))
+                        .min(global.nz - 1 - z); // z = 0 face is the free surface
+                    self.dcrj.set(x, y, z, factor(dist));
+                }
+            }
+        }
+    }
+
+    /// Number of 3-D arrays the state carries (the §3 accounting).
+    pub fn array_count(&self) -> usize {
+        let base = 3 + 6 + 5 + 1; // vel + stress + material + dcrj
+        let atten = if self.options.attenuation { 6 + 2 } else { 0 };
+        let plast = if self.options.nonlinear { 7 } else { 0 };
+        base + atten + plast
+    }
+
+    /// The stress components as an array of references (xx..yz order).
+    pub fn stress(&self) -> [&Field3; 6] {
+        [&self.xx, &self.yy, &self.zz, &self.xy, &self.xz, &self.yz]
+    }
+
+    /// Kinetic energy of the interior, J (cell volume × ½ρv²).
+    pub fn kinetic_energy(&self) -> f64 {
+        let d = self.dims;
+        let vol = self.dx * self.dx * self.dx;
+        let mut e = 0.0f64;
+        for x in 0..d.nx {
+            for y in 0..d.ny {
+                let (us, vs, ws, rs) =
+                    (self.u.z_run(x, y), self.v.z_run(x, y), self.w.z_run(x, y), self.rho.z_run(x, y));
+                for z in 0..d.nz {
+                    let v2 = (us[z] * us[z] + vs[z] * vs[z] + ws[z] * ws[z]) as f64;
+                    e += 0.5 * rs[z] as f64 * v2;
+                }
+            }
+        }
+        e * vol
+    }
+
+    /// Largest absolute velocity anywhere (NaN-free sanity probe).
+    pub fn peak_velocity(&self) -> f32 {
+        self.u.max_abs().max(self.v.max_abs()).max(self.w.max_abs())
+    }
+
+    /// True when any velocity component has gone non-finite. (`max_abs`
+    /// cannot be used here: `f32::max` ignores NaN operands.)
+    pub fn has_blown_up(&self) -> bool {
+        [&self.u, &self.v, &self.w]
+            .iter()
+            .any(|f| f.raw().iter().any(|v| !v.is_finite()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_model::HalfspaceModel;
+
+    fn state(nonlinear: bool) -> SolverState {
+        let model = HalfspaceModel::hard_rock();
+        let options = StateOptions { nonlinear, ..Default::default() };
+        SolverState::from_model(&model, Dims3::new(12, 10, 8), 100.0, (0.0, 0.0, 0.0), options)
+    }
+
+    #[test]
+    fn array_count_matches_paper_scaling() {
+        let lin = state(false);
+        let nl = state(true);
+        assert!(nl.array_count() > lin.array_count());
+        // §3: moving to nonlinear adds ~25 % more arrays.
+        let ratio = nl.array_count() as f64 / lin.array_count() as f64;
+        assert!((1.15..1.45).contains(&ratio), "array ratio {ratio}");
+        assert!(lin.array_count() >= 20);
+        assert!(nl.array_count() >= 27);
+    }
+
+    #[test]
+    fn material_fields_are_sampled() {
+        let s = state(false);
+        let m = sw_model::Material::hard_rock();
+        assert!((s.mu.get(3, 3, 3) - m.mu()).abs() / m.mu() < 1e-6);
+        assert!((s.lam.get(3, 3, 3) - m.lambda()).abs() / m.lambda() < 1e-6);
+        assert_eq!(s.rho.get(0, 0, 0), 2700.0);
+        assert!((s.wp.get(0, 0, 0) - 1.0 / 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cfl_dt_is_stable_range() {
+        let s = state(false);
+        assert!(s.dt > 0.0 && s.dt < 100.0 / 6000.0, "dt {} s", s.dt);
+    }
+
+    #[test]
+    fn lithostatic_prestress_grows_with_depth() {
+        let s = state(true);
+        let shallow = s.sigma0.get(0, 0, 0);
+        let deep = s.sigma0.get(0, 0, 7);
+        assert!(shallow < 0.0, "compression is negative");
+        assert!(deep < shallow, "more compression at depth");
+        assert!(s.pf.get(0, 0, 7) > 0.0, "pore pressure positive");
+        assert!(s.cohes.get(0, 0, 7) > s.cohes.get(0, 0, 0));
+    }
+
+    #[test]
+    fn sponge_damps_edges_not_interior_or_surface() {
+        let s = state(false);
+        // Interior of a small grid is inside the sponge reach, so use the
+        // relative ordering instead of absolute 1.0.
+        let corner = s.dcrj.get(0, 5, 7);
+        let center = s.dcrj.get(6, 5, 1);
+        assert!(corner < center, "edges damp harder: {corner} vs {center}");
+        // free surface (z = 0) is not damped by the z criterion
+        let surf = s.dcrj.get(6, 5, 0);
+        assert!(surf >= corner);
+    }
+
+    #[test]
+    fn energy_and_blowup_probes() {
+        let mut s = state(false);
+        assert_eq!(s.kinetic_energy(), 0.0);
+        s.u.set(3, 3, 3, 2.0);
+        let e = s.kinetic_energy();
+        // ½ · 2700 · 4 · (100 m)³
+        assert!((e - 0.5 * 2700.0 * 4.0 * 1.0e6).abs() / e < 1e-6);
+        assert!(!s.has_blown_up());
+        s.v.set(0, 0, 0, f32::NAN);
+        assert!(s.has_blown_up());
+    }
+
+    #[test]
+    fn linear_state_skips_plasticity_arrays() {
+        let s = state(false);
+        assert_eq!(s.cohes.get(3, 3, 3), 0.0);
+        assert_eq!(s.sigma0.get(3, 3, 3), 0.0);
+        // yldfac defaults to elastic everywhere in both modes
+        assert_eq!(s.yldfac.get(3, 3, 3), 1.0);
+    }
+}

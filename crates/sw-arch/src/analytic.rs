@@ -1,0 +1,351 @@
+//! The analytic blocking model of §6.4 (equations 5–9).
+//!
+//! For every kernel the scheme must pick:
+//!
+//! * the CPE thread layout `Cy × Cz = 64` (eq. 5);
+//! * the LDM window `Wz × Wy × Wx` subject to the 64-KB capacity (eq. 6);
+//!
+//! so as to (1) minimize redundant halo DMA loads (eq. 7) and (2) maximize
+//! effective bandwidth, which grows with the contiguous DMA block size
+//! (Table 3) and therefore with `Wz` — pushing towards a small `Cz`. The
+//! paper's conclusion, which this model reproduces and the tests pin down,
+//! is `Cz = 1, Cy = 64` with `Wz ≈ 32` for 10 unfused arrays (eq. 8) and the
+//! fused layout reaching ≥ 432-byte DMA blocks (eq. 9).
+
+use crate::dma::{DmaDirection, DmaEngine};
+use serde::{Deserialize, Serialize};
+use sw_grid::tile::{AthreadLayout, LdmWindow};
+
+/// One array a kernel streams through the LDM: `components` fused floats per
+/// grid point (1 for a scalar array, 3 for the fused velocity, 6 for the
+/// fused stress / memory variables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArraySpec {
+    /// Fused floats per grid point.
+    pub components: usize,
+}
+
+impl ArraySpec {
+    /// A plain scalar array.
+    pub const fn scalar() -> Self {
+        Self { components: 1 }
+    }
+
+    /// A fused vector array of `k` components.
+    pub const fn fused(k: usize) -> Self {
+        Self { components: k }
+    }
+}
+
+/// The memory shape of one kernel, as the analytic model sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelShape {
+    /// Arrays streamed per point (reads + writes).
+    pub arrays: Vec<ArraySpec>,
+    /// Stencil halo width `H` (2 for the 4th-order scheme).
+    pub halo: usize,
+    /// x planes resident in LDM (≥ 2·H + 1 = 5 for the 4th-order stencil).
+    pub wx: usize,
+    /// y extent of the CG block (`Ny` in eq. 7).
+    pub block_ny: usize,
+    /// z extent of the CG block (`Nz` in eq. 7).
+    pub block_nz: usize,
+    /// Whether on-chip register communication serves intra-CG halos, leaving
+    /// only the CG-boundary threads to DMA them (§6.4).
+    pub register_comm: bool,
+}
+
+impl KernelShape {
+    /// Total fused floats per grid point across all arrays.
+    pub fn floats_per_point(&self) -> usize {
+        self.arrays.iter().map(|a| a.components).sum()
+    }
+
+    /// The `delcx` velocity-update kernel before fusion: 10 scalar arrays
+    /// (u, v, w, xx, yy, zz, xy, xz, yz, d) — the eq. (8) case.
+    pub fn delcx_unfused(block_ny: usize, block_nz: usize) -> Self {
+        Self {
+            arrays: vec![ArraySpec::scalar(); 10],
+            halo: 2,
+            wx: 5,
+            block_ny,
+            block_nz,
+            register_comm: false,
+        }
+    }
+
+    /// The `delcx` kernel after fusion: velocity vec3 + stress vec6 +
+    /// density scalar — the eq. (9) case.
+    pub fn delcx_fused(block_ny: usize, block_nz: usize) -> Self {
+        Self {
+            arrays: vec![ArraySpec::fused(3), ArraySpec::fused(6), ArraySpec::scalar()],
+            halo: 2,
+            wx: 5,
+            block_ny,
+            block_nz,
+            register_comm: true,
+        }
+    }
+}
+
+/// A concrete blocking configuration chosen by the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockingChoice {
+    /// CPE layout (`Cy`, `Cz`).
+    pub layout: AthreadLayout,
+    /// LDM window.
+    pub window: LdmWindow,
+    /// LDM bytes the window occupies (left side of eq. 6).
+    pub ldm_bytes: usize,
+    /// Largest per-array DMA block in bytes (`Wz · 4 · components`).
+    pub max_dma_block: usize,
+    /// Redundant halo points DMA-loaded per block pass (eq. 7).
+    pub redundant_loads: f64,
+    /// Bandwidth-weighted effective DMA throughput, bytes/s (1-CG scale).
+    pub effective_bandwidth: f64,
+    /// Estimated DMA seconds per pass over the CG block.
+    pub dma_seconds: f64,
+}
+
+/// The §6.4 analytic model.
+#[derive(Debug, Clone)]
+pub struct AnalyticModel {
+    ldm_capacity: usize,
+    dma: DmaEngine,
+}
+
+impl AnalyticModel {
+    /// Model for the SW26010's 64-KB LDM and Table 3 DMA curve.
+    pub fn sw26010() -> Self {
+        Self { ldm_capacity: 64 * 1024, dma: DmaEngine::one_cg() }
+    }
+
+    /// Redundant halo points DMA-loaded per pass — the physical form of
+    /// eq. (7).
+    ///
+    /// Every boundary between two LDM windows re-loads `2·H` halo rows or
+    /// planes. Boundaries come in two kinds: *intra-thread* (a thread's
+    /// region needs several windows) and *inter-thread* (adjacent CPE
+    /// regions). Register communication (§6.4) serves the inter-thread
+    /// halos over the row/column buses, so with it enabled only the
+    /// intra-thread window boundaries still pay DMA.
+    pub fn redundant_loads(&self, shape: &KernelShape, layout: AthreadLayout, w: LdmWindow) -> f64 {
+        let h = shape.halo as f64;
+        let ny = shape.block_ny as f64;
+        let nz = shape.block_nz as f64;
+        // z: each thread's z-span is Nz/Cz, cut into windows of Wz.
+        let region_nz = (shape.block_nz as f64 / layout.cz as f64).ceil();
+        let intra_z = layout.cz as f64 * ((region_nz / w.wz as f64).ceil() - 1.0).max(0.0);
+        let inter_z = (layout.cz - 1) as f64;
+        // y: the window's effective height excludes its own 2·H halo rows.
+        let eff_wy = (w.wy - 2 * shape.halo) as f64;
+        let region_ny = (shape.block_ny as f64 / layout.cy as f64).ceil();
+        let intra_y = layout.cy as f64 * ((region_ny / eff_wy).ceil() - 1.0).max(0.0);
+        let inter_y = (layout.cy - 1) as f64;
+        let (z_bnd, y_bnd) = if shape.register_comm {
+            (intra_z, intra_y)
+        } else {
+            (intra_z + inter_z, intra_y + inter_y)
+        };
+        2.0 * h * ny * z_bnd + 2.0 * h * nz * y_bnd
+    }
+
+    /// Evaluate one candidate configuration, or `None` if it violates the
+    /// LDM capacity (eq. 6).
+    pub fn evaluate(
+        &self,
+        shape: &KernelShape,
+        layout: AthreadLayout,
+        window: LdmWindow,
+    ) -> Option<BlockingChoice> {
+        let floats = shape.floats_per_point();
+        let ldm_bytes = window.wz * window.wy * window.wx * floats * 4;
+        if ldm_bytes >= self.ldm_capacity {
+            return None;
+        }
+        // Volume per pass over the CG block: every point, every array float.
+        let volume_floats = (shape.block_ny * shape.block_nz * shape.wx) as f64 * floats as f64;
+        let redundant = self.redundant_loads(shape, layout, window) * floats as f64;
+        // Bandwidth-weighted across arrays: each array moves its own share of
+        // bytes at its own block size.
+        let mut seconds = 0.0;
+        let mut max_block = 0;
+        let total_floats = volume_floats + redundant;
+        for a in &shape.arrays {
+            let block = window.wz * 4 * a.components;
+            max_block = max_block.max(block);
+            let share = a.components as f64 / floats as f64;
+            let bytes = total_floats * 4.0 * share;
+            seconds += bytes / self.dma.bandwidth(DmaDirection::Get, block);
+        }
+        let effective_bandwidth = total_floats * 4.0 / seconds;
+        Some(BlockingChoice {
+            layout,
+            window,
+            ldm_bytes,
+            max_dma_block: max_block,
+            redundant_loads: redundant,
+            effective_bandwidth,
+            dma_seconds: seconds,
+        })
+    }
+
+    /// Search layouts and windows for the configuration minimizing DMA time
+    /// per pass (redundant loads and block-size bandwidth both fold into
+    /// that single objective, matching the paper's two goals).
+    pub fn optimize(&self, shape: &KernelShape) -> BlockingChoice {
+        let floats = shape.floats_per_point();
+        let ldm_floats = self.ldm_capacity / 4;
+        let mut best: Option<BlockingChoice> = None;
+        for layout in AthreadLayout::all() {
+            let region_nz = shape.block_nz.div_ceil(layout.cz);
+            let region_ny = shape.block_ny.div_ceil(layout.cy);
+            // Candidate y windows: the minimal 2H+1 stencil height upward.
+            for wy in (2 * shape.halo + 1)..=(2 * shape.halo + 1 + region_ny).min(64) {
+                // Largest Wz fitting eq. (6), rounded down to 8 floats
+                // (32-byte DMA alignment), capped by the thread's region.
+                let mut wz = ldm_floats / (wy * shape.wx * floats);
+                wz = wz.min(region_nz);
+                wz -= wz % 8;
+                if wz < 8 {
+                    continue;
+                }
+                let window = LdmWindow { wz, wy, wx: shape.wx };
+                let Some(cand) = self.evaluate(shape, layout, window) else { continue };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        // Primary: DMA time. Ties: larger Wz (bigger blocks),
+                        // then smaller Cz (longest contiguous z per thread —
+                        // the paper's "a small value of Cz is preferred").
+                        cand.dma_seconds < b.dma_seconds * 0.999
+                            || (cand.dma_seconds < b.dma_seconds * 1.001
+                                && (cand.window.wz > b.window.wz
+                                    || (cand.window.wz == b.window.wz
+                                        && cand.layout.cz < b.layout.cz)))
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        best.expect("no feasible blocking configuration fits the LDM")
+    }
+}
+
+impl Default for AnalyticModel {
+    fn default() -> Self {
+        Self::sw26010()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NY: usize = 160;
+    const NZ: usize = 512;
+
+    /// eq. (8): 10 unfused arrays, Wy=9, Wx=5 → Wz around 32, DMA block 128 B.
+    #[test]
+    fn eq8_unfused_wz_around_32() {
+        let m = AnalyticModel::sw26010();
+        let shape = KernelShape::delcx_unfused(NY, NZ);
+        let w = LdmWindow { wz: 32, wy: 9, wx: 5 };
+        let c = m.evaluate(&shape, AthreadLayout::paper_optimal(), w).unwrap();
+        assert_eq!(c.max_dma_block, 128);
+        // ~50 % utilization at 128 B (paper text).
+        let util = c.effective_bandwidth / 34.0e9;
+        assert!((0.4..0.6).contains(&util), "eq8 utilization {util}");
+    }
+
+    /// eq. (9): fused delcx fits a much larger Wz and reaches ≥ 384-byte
+    /// blocks, lifting utilization to ~80 %.
+    #[test]
+    fn eq9_fused_reaches_large_blocks() {
+        let m = AnalyticModel::sw26010();
+        let shape = KernelShape::delcx_fused(NY, NZ);
+        let c = m.optimize(&shape);
+        assert!(c.max_dma_block >= 384, "fused block {} B", c.max_dma_block);
+        let util = c.effective_bandwidth / 34.0e9;
+        assert!(util > 0.65, "fused utilization {util}");
+    }
+
+    /// The paper's conclusion: with register-communication halos (the
+    /// production scheme), Cz = 1 (and hence Cy = 64) is optimal.
+    #[test]
+    fn optimizer_prefers_cz_1() {
+        let m = AnalyticModel::sw26010();
+        let unfused = KernelShape { register_comm: true, ..KernelShape::delcx_unfused(NY, NZ) };
+        for shape in [unfused, KernelShape::delcx_fused(NY, NZ)] {
+            let c = m.optimize(&shape);
+            assert_eq!(c.layout.cz, 1, "Cz=1 expected for {shape:?}");
+            assert_eq!(c.layout.cy, 64);
+        }
+    }
+
+    /// Fusion must strictly improve modeled DMA time for the same kernel.
+    #[test]
+    fn fusion_improves_dma_time() {
+        let m = AnalyticModel::sw26010();
+        let unfused = m.optimize(&KernelShape::delcx_unfused(NY, NZ));
+        let fused = m.optimize(&KernelShape::delcx_fused(NY, NZ));
+        assert!(
+            fused.dma_seconds < unfused.dma_seconds,
+            "fused {} s vs unfused {} s",
+            fused.dma_seconds,
+            unfused.dma_seconds
+        );
+    }
+
+    /// eq. (7) hand check with register communication on, Cz=1/Cy=64,
+    /// Wz=32, H=2, Ny=160, Nz=512: the only remaining redundant loads are
+    /// the intra-thread z-window boundaries,
+    /// 2·2·160·(512/32 − 1) = 9600 points; all 63 inter-thread y halos ride
+    /// the register buses.
+    #[test]
+    fn eq7_hand_computed() {
+        let m = AnalyticModel::sw26010();
+        let shape = KernelShape {
+            register_comm: true,
+            ..KernelShape::delcx_unfused(NY, NZ)
+        };
+        let w = LdmWindow { wz: 32, wy: 9, wx: 5 };
+        let r = m.redundant_loads(&shape, AthreadLayout::paper_optimal(), w);
+        assert!((r - 9600.0).abs() < 1e-9, "eq7 gave {r}");
+        // Without register communication the 63 inter-thread y boundaries
+        // each re-load 2·H·Nz = 2048 points: 9600 + 63·2048 = 138624.
+        let shape_dma = KernelShape { register_comm: false, ..shape };
+        let r2 = m.redundant_loads(&shape_dma, AthreadLayout::paper_optimal(), w);
+        assert!((r2 - (9600.0 + 63.0 * 2048.0)).abs() < 1e-9, "dma-only gave {r2}");
+    }
+
+    /// Register communication slashes the redundant-load term.
+    #[test]
+    fn register_comm_reduces_redundancy() {
+        let m = AnalyticModel::sw26010();
+        let mut shape = KernelShape::delcx_unfused(NY, NZ);
+        let w = LdmWindow { wz: 32, wy: 9, wx: 5 };
+        let layout = AthreadLayout::paper_optimal();
+        shape.register_comm = false;
+        let without = m.redundant_loads(&shape, layout, w);
+        shape.register_comm = true;
+        let with = m.redundant_loads(&shape, layout, w);
+        assert!(with < without * 0.5, "regcomm {with} vs dma-only {without}");
+    }
+
+    #[test]
+    fn evaluate_rejects_ldm_overflow() {
+        let m = AnalyticModel::sw26010();
+        let shape = KernelShape::delcx_unfused(NY, NZ);
+        let w = LdmWindow { wz: 512, wy: 9, wx: 5 };
+        assert!(m.evaluate(&shape, AthreadLayout::paper_optimal(), w).is_none());
+    }
+
+    #[test]
+    fn floats_per_point_counts_fusion() {
+        assert_eq!(KernelShape::delcx_unfused(NY, NZ).floats_per_point(), 10);
+        assert_eq!(KernelShape::delcx_fused(NY, NZ).floats_per_point(), 10);
+    }
+}

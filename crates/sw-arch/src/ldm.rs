@@ -1,0 +1,185 @@
+//! The 64-KB local data memory (LDM) of a CPE.
+//!
+//! The LDM is a user-managed scratchpad ("Sunway's user-controlled
+//! scratch-pad cache", §3): every byte a kernel wants close to the CPE must
+//! be placed explicitly, and over-subscription is a hard failure, not a
+//! slowdown. [`LdmAllocator`] models exactly that: a bump allocator over a
+//! fixed capacity whose failures force the same window-sizing decisions
+//! (eq. 6) the paper's analytic model makes.
+
+use std::fmt;
+
+/// Error returned when an allocation does not fit the remaining LDM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdmError {
+    /// Bytes requested (after alignment).
+    pub requested: usize,
+    /// Bytes still free.
+    pub available: usize,
+}
+
+impl fmt::Display for LdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LDM overflow: requested {} B but only {} B free",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for LdmError {}
+
+/// A handle to a region of LDM, usable as an index space into the backing
+/// buffer of a simulated CPE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdmRegion {
+    /// Byte offset of the region within the LDM.
+    pub offset: usize,
+    /// Region length in bytes.
+    pub len: usize,
+}
+
+impl LdmRegion {
+    /// The region as a range of f32 indices (offset and len must be 4-aligned).
+    pub fn f32_range(&self) -> std::ops::Range<usize> {
+        debug_assert_eq!(self.offset % 4, 0);
+        debug_assert_eq!(self.len % 4, 0);
+        self.offset / 4..(self.offset + self.len) / 4
+    }
+}
+
+/// Bump allocator over a fixed LDM capacity.
+#[derive(Debug, Clone)]
+pub struct LdmAllocator {
+    capacity: usize,
+    align: usize,
+    used: usize,
+    high_water: usize,
+}
+
+impl LdmAllocator {
+    /// Allocator over `capacity` bytes with allocation alignment `align`
+    /// (DMA transfers on SW26010 want 32-byte alignment).
+    pub fn new(capacity: usize, align: usize) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Self { capacity, align, used: 0, high_water: 0 }
+    }
+
+    /// The standard 64-KB CPE scratchpad.
+    pub fn sw26010() -> Self {
+        Self::new(64 * 1024, 32)
+    }
+
+    /// Allocate `bytes`, rounded up to the alignment.
+    pub fn alloc(&mut self, bytes: usize) -> Result<LdmRegion, LdmError> {
+        let rounded = bytes.div_ceil(self.align) * self.align;
+        let available = self.capacity - self.used;
+        if rounded > available {
+            return Err(LdmError { requested: rounded, available });
+        }
+        let region = LdmRegion { offset: self.used, len: rounded };
+        self.used += rounded;
+        self.high_water = self.high_water.max(self.used);
+        Ok(region)
+    }
+
+    /// Allocate space for `n` f32 values.
+    pub fn alloc_f32(&mut self, n: usize) -> Result<LdmRegion, LdmError> {
+        self.alloc(n * 4)
+    }
+
+    /// Release everything (a kernel's working set lives for one tile batch).
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes never exceeded across the allocator's lifetime — the "LDM size
+    /// effectively used" row of Table 4 (60 KB of 64 KB = 93.8 %).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// High-water utilization in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        self.high_water as f64 / self.capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_overflow() {
+        let mut ldm = LdmAllocator::sw26010();
+        let a = ldm.alloc(32 * 1024).unwrap();
+        assert_eq!(a.offset, 0);
+        let b = ldm.alloc(30 * 1024).unwrap();
+        assert_eq!(b.offset, 32 * 1024);
+        // 2 KB left; 3 KB must fail with a precise report.
+        let err = ldm.alloc(3 * 1024).unwrap_err();
+        assert_eq!(err.requested, 3 * 1024);
+        assert_eq!(err.available, 2 * 1024);
+    }
+
+    #[test]
+    fn alignment_is_applied() {
+        let mut ldm = LdmAllocator::new(1024, 32);
+        let a = ldm.alloc(1).unwrap();
+        assert_eq!(a.len, 32);
+        let b = ldm.alloc(33).unwrap();
+        assert_eq!(b.offset, 32);
+        assert_eq!(b.len, 64);
+    }
+
+    #[test]
+    fn reset_and_high_water() {
+        let mut ldm = LdmAllocator::sw26010();
+        ldm.alloc(60 * 1024).unwrap();
+        ldm.reset();
+        assert_eq!(ldm.used(), 0);
+        ldm.alloc(10 * 1024).unwrap();
+        // Table 4's utilization row tracks the high-water mark.
+        assert_eq!(ldm.high_water(), 60 * 1024);
+        assert!((ldm.utilization() - 60.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_region_range() {
+        let mut ldm = LdmAllocator::sw26010();
+        let r = ldm.alloc_f32(100).unwrap();
+        assert_eq!(r.f32_range().start, 0);
+        assert_eq!(r.f32_range().len(), 104); // rounded to 32 B = 8 floats
+    }
+
+    /// The paper's eq. (8) case: 10 arrays × Wy=9 × Wx=5 × Wz=32 floats must
+    /// fit; Wz=64 must not.
+    #[test]
+    fn paper_window_cases() {
+        let mut ldm = LdmAllocator::sw26010();
+        for _ in 0..10 {
+            ldm.alloc_f32(9 * 5 * 32).unwrap();
+        }
+        ldm.reset();
+        let mut ldm2 = LdmAllocator::sw26010();
+        let mut failed = false;
+        for _ in 0..10 {
+            if ldm2.alloc_f32(9 * 5 * 64).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "Wz=64 with 10 arrays must overflow the LDM");
+    }
+}

@@ -1,0 +1,41 @@
+//! SW26010 / Sunway TaihuLight architecture simulator.
+//!
+//! The paper's contribution is a set of *memory-system schemes* for the
+//! SW26010 processor: what to keep in the 64-KB LDM, what block sizes DMA
+//! transfers use, when register communication replaces redundant DMA halo
+//! loads, and how a 32→16-bit compression changes the bandwidth equation.
+//! Reproducing those schemes does not require Sunway silicon — it requires a
+//! substrate that *enforces the same capacities and charges the same costs*.
+//!
+//! This crate provides that substrate:
+//!
+//! * [`spec`] — the hardware constants of Fig. 2 / Table 1 (LDM size,
+//!   register-communication latencies, per-CG bandwidth and peak flops);
+//! * [`ldm`] — a 64-KB local-data-memory allocator that fails allocations
+//!   the way the real scratchpad does;
+//! * [`dma`] — a DMA engine whose block-size → bandwidth curve is calibrated
+//!   to the paper's Table 3, with get/put cost accounting;
+//! * [`regcomm`] — the 8×8 CPE register-communication mesh (1-cycle local,
+//!   11-cycle remote; row/column buses);
+//! * [`analytic`] — the §6.4 analytic model (eqs. 5–9) choosing the blocking
+//!   configuration `(Cy, Cz, Wy, Wz)`;
+//! * [`perf`] — the per-kernel roofline/perf model used for Fig. 7 and
+//!   Table 4;
+//! * [`scaling`] — the machine-scale weak/strong-scaling model (Figs. 8–9);
+//! * [`systems`] — the published datasets behind Tables 1 and 2.
+
+pub mod analytic;
+pub mod dma;
+pub mod ldm;
+pub mod perf;
+pub mod regcomm;
+pub mod scaling;
+pub mod spec;
+pub mod systems;
+
+pub use analytic::{AnalyticModel, BlockingChoice};
+pub use dma::{DmaDirection, DmaEngine, DmaStats};
+pub use ldm::{LdmAllocator, LdmError};
+pub use perf::{KernelPerfModel, KernelProfile, OptLevel};
+pub use regcomm::{RegCommStats, RegisterMesh};
+pub use spec::{CoreGroupSpec, Sw26010Spec, TaihuLightSpec};

@@ -1,0 +1,351 @@
+//! Machine-scale weak/strong scaling model (Figs. 8 and 9).
+//!
+//! The per-CG rates come from the kernel perf model ([`KernelPerfModel`]);
+//! this module extends them to 8,000–160,000 MPI processes.
+//!
+//! * **Weak scaling** (Fig. 8): each CG keeps a 160×160×512 block. The loss
+//!   at scale is modeled as a slowly growing overhead `1 + a·ln(P/P₀)` —
+//!   collective/jitter costs for the linear variants and, dominantly,
+//!   yield-region load imbalance for the nonlinear variants (the max over
+//!   ranks of the plasticity work grows with the number of ranks). The
+//!   coefficients are calibrated to the paper's parallel efficiencies
+//!   (97.9 % linear, 80.1 % nonlinear, 96.5 % / 79.5 % with compression).
+//!
+//! * **Strong scaling** (Fig. 9): a fixed mesh is split over more ranks, so
+//!   per-rank blocks shrink and two ratios degrade, exactly as §7.4 says:
+//!   the computation/communication ratio and "the ratio of the outer halo
+//!   region to the sub-volume size in proportion". The dominant modeled
+//!   term is the halo-padding compute overhead `(bx+2H')(by+2H')/(bx·by)`
+//!   (the halo strips are updated redundantly to enable overlap), with the
+//!   same `a·ln` overhead on top.
+
+use crate::perf::{KernelPerfModel, OptLevel};
+use crate::spec::TaihuLightSpec;
+use serde::{Deserialize, Serialize};
+use sw_grid::Dims3;
+
+/// A simulation variant of Fig. 8/9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Variant {
+    /// Drucker–Prager plasticity enabled.
+    pub nonlinear: bool,
+    /// On-the-fly compression enabled.
+    pub compressed: bool,
+}
+
+impl Variant {
+    /// The four variants in Fig. 8's legend order.
+    pub const ALL: [Variant; 4] = [
+        Variant { nonlinear: false, compressed: false },
+        Variant { nonlinear: true, compressed: false },
+        Variant { nonlinear: false, compressed: true },
+        Variant { nonlinear: true, compressed: true },
+    ];
+
+    /// Legend label as in Fig. 8.
+    pub fn label(&self) -> &'static str {
+        match (self.nonlinear, self.compressed) {
+            (false, false) => "Linear",
+            (true, false) => "Non-linear",
+            (false, true) => "Linear+Compress",
+            (true, true) => "Non-linear+Compress",
+        }
+    }
+
+    /// Optimization level the variant runs at.
+    pub fn level(&self) -> OptLevel {
+        if self.compressed {
+            OptLevel::Cmpr
+        } else {
+            OptLevel::Mem
+        }
+    }
+
+    /// Calibrated `a` coefficient of the `1 + a·ln(P/P₀)` overhead
+    /// (nonlinear variants pay plasticity load imbalance).
+    fn overhead_coeff(&self) -> f64 {
+        match (self.nonlinear, self.compressed) {
+            (false, false) => 0.00715,
+            (true, false) => 0.0828,
+            (false, true) => 0.0121,
+            (true, true) => 0.0859,
+        }
+    }
+}
+
+/// One point of a scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// MPI processes (core groups).
+    pub processes: usize,
+    /// Sustained performance, Pflop/s.
+    pub pflops: f64,
+    /// Parallel efficiency relative to the 8,000-process baseline.
+    pub efficiency: f64,
+    /// Speedup relative to the 8,000-process baseline.
+    pub speedup: f64,
+}
+
+/// Fig. 8/9 process counts.
+pub const WEAK_PROCESS_COUNTS: [usize; 12] = [
+    8_000, 12_000, 16_000, 24_000, 32_000, 40_000, 48_000, 64_000, 80_000, 96_000, 120_000,
+    160_000,
+];
+
+/// Fig. 9 process counts.
+pub const STRONG_PROCESS_COUNTS: [usize; 11] = [
+    8_000, 12_000, 16_000, 24_000, 32_000, 48_000, 64_000, 80_000, 100_000, 128_000, 160_000,
+];
+
+/// Baseline process count of both figures.
+pub const BASELINE_PROCESSES: usize = 8_000;
+
+/// The three strong-scaling meshes of Fig. 9 for the 320 × 312 × 40 km
+/// Tangshan domain.
+pub fn strong_meshes() -> [(f64, Dims3); 3] {
+    [
+        (100.0, Dims3::new(3_200, 3_120, 400)),
+        (50.0, Dims3::new(6_400, 6_240, 800)),
+        (16.0, Dims3::new(20_000, 19_500, 2_500)),
+    ]
+}
+
+/// Nearly-square factorization `Mx × My = p` with `Mx ≥ My`.
+pub fn process_grid(p: usize) -> (usize, usize) {
+    assert!(p > 0);
+    let mut my = (p as f64).sqrt() as usize;
+    while my > 1 && p % my != 0 {
+        my -= 1;
+    }
+    (p / my, my)
+}
+
+/// The machine-scale scaling model.
+#[derive(Debug, Clone)]
+pub struct MachineScalingModel {
+    perf: KernelPerfModel,
+    machine: TaihuLightSpec,
+    /// Per-CG weak-scaling block (Fig. 8 uses 160 × 160 × 512).
+    pub weak_block: Dims3,
+}
+
+impl MachineScalingModel {
+    /// Model with the paper's configuration.
+    pub fn paper() -> Self {
+        Self {
+            perf: KernelPerfModel::paper(),
+            machine: TaihuLightSpec::new(),
+            weak_block: Dims3::new(160, 160, 512),
+        }
+    }
+
+    /// The underlying kernel model.
+    pub fn perf(&self) -> &KernelPerfModel {
+        &self.perf
+    }
+
+    /// The machine.
+    pub fn machine(&self) -> &TaihuLightSpec {
+        &self.machine
+    }
+
+    /// The `1 + a·ln(P/P₀)` overhead factor (≥ 1, equal to 1 at or below
+    /// the baseline).
+    fn overhead(&self, variant: Variant, processes: usize) -> f64 {
+        if processes <= BASELINE_PROCESSES {
+            1.0
+        } else {
+            1.0 + variant.overhead_coeff()
+                * (processes as f64 / BASELINE_PROCESSES as f64).ln()
+        }
+    }
+
+    /// One weak-scaling point (Fig. 8): every process keeps `weak_block`.
+    pub fn weak_point(&self, variant: Variant, processes: usize) -> ScalingPoint {
+        assert!(
+            processes <= self.machine.total_core_groups(),
+            "more processes than core groups"
+        );
+        let rate_cg = self.perf.cg_flop_rate(variant.nonlinear, variant.level());
+        let eff = 1.0 / self.overhead(variant, processes);
+        let flops = rate_cg * processes as f64 * eff;
+        ScalingPoint {
+            processes,
+            pflops: flops / 1e15,
+            efficiency: eff,
+            speedup: processes as f64 / BASELINE_PROCESSES as f64 * eff,
+        }
+    }
+
+    /// The full weak-scaling curve for a variant.
+    pub fn weak_curve(&self, variant: Variant) -> Vec<ScalingPoint> {
+        WEAK_PROCESS_COUNTS.iter().map(|&p| self.weak_point(variant, p)).collect()
+    }
+
+    /// Redundant-compute padding factor for a mesh split over `p` ranks:
+    /// each rank updates its halo strips (width `H = 2` per side, both
+    /// velocity and stress passes) in addition to its interior.
+    pub fn padding_factor(&self, mesh: Dims3, processes: usize) -> f64 {
+        let (mx, my) = process_grid(processes);
+        let bx = (mesh.nx as f64 / mx as f64).max(1.0);
+        let by = (mesh.ny as f64 / my as f64).max(1.0);
+        let h = 2.0 * sw_grid::HALO_WIDTH as f64;
+        (bx + h) * (by + h) / (bx * by)
+    }
+
+    /// One strong-scaling point (Fig. 9) for a fixed `mesh`.
+    pub fn strong_point(&self, variant: Variant, mesh: Dims3, processes: usize) -> ScalingPoint {
+        let t_pp = self.perf.step_seconds_per_point(variant.nonlinear, variant.level());
+        let step = |p: usize| -> f64 {
+            let points = mesh.len() as f64 / p as f64;
+            points * self.padding_factor(mesh, p) * t_pp * self.overhead(variant, p)
+        };
+        let t = step(processes);
+        let t0 = step(BASELINE_PROCESSES);
+        let speedup = t0 / t;
+        let ideal = processes as f64 / BASELINE_PROCESSES as f64;
+        let flops = self.perf.flops_per_point(variant.nonlinear) * mesh.len() as f64 / t;
+        ScalingPoint {
+            processes,
+            pflops: flops / 1e15,
+            efficiency: speedup / ideal,
+            speedup,
+        }
+    }
+
+    /// The full strong-scaling curve for a variant and mesh.
+    pub fn strong_curve(&self, variant: Variant, mesh: Dims3) -> Vec<ScalingPoint> {
+        STRONG_PROCESS_COUNTS.iter().map(|&p| self.strong_point(variant, mesh, p)).collect()
+    }
+
+    /// Total memory footprint of a run in bytes (the paper's Table 2
+    /// column: 892 TB uncompressed / 724 TB compressed at the extremes).
+    pub fn run_memory_bytes(&self, variant: Variant, total_points: f64) -> f64 {
+        total_points * self.perf.mem_bytes_per_point(variant.nonlinear, variant.compressed)
+    }
+}
+
+impl Default for MachineScalingModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> MachineScalingModel {
+        MachineScalingModel::paper()
+    }
+
+    const V_LIN: Variant = Variant { nonlinear: false, compressed: false };
+    const V_NL: Variant = Variant { nonlinear: true, compressed: false };
+    const V_LINC: Variant = Variant { nonlinear: false, compressed: true };
+    const V_NLC: Variant = Variant { nonlinear: true, compressed: true };
+
+    /// Fig. 8 anchors at 160,000 processes: 10.7 / 15.2 / 14.2 / 18.9
+    /// Pflops. The model must land within 10 % of each.
+    #[test]
+    fn fig8_sustained_pflops() {
+        let model = m();
+        for (v, paper) in [(V_LIN, 10.7), (V_NL, 15.2), (V_LINC, 14.2), (V_NLC, 18.9)] {
+            let got = model.weak_point(v, 160_000).pflops;
+            let err = (got - paper).abs() / paper;
+            assert!(err < 0.10, "{}: {got:.2} vs paper {paper} ({:.0} %)", v.label(), err * 100.0);
+        }
+    }
+
+    /// Fig. 8 parallel efficiencies: 97.9 / 80.1 / 96.5 / 79.5 %.
+    #[test]
+    fn fig8_parallel_efficiency() {
+        let model = m();
+        for (v, paper) in [(V_LIN, 0.979), (V_NL, 0.801), (V_LINC, 0.965), (V_NLC, 0.795)] {
+            let got = model.weak_point(v, 160_000).efficiency;
+            assert!((got - paper).abs() < 0.01, "{}: eff {got} vs {paper}", v.label());
+        }
+    }
+
+    #[test]
+    fn weak_scaling_is_nearly_linear() {
+        let model = m();
+        let curve = model.weak_curve(V_NLC);
+        for w in curve.windows(2) {
+            assert!(w[1].pflops > w[0].pflops, "throughput grows with processes");
+        }
+        assert_eq!(curve[0].efficiency, 1.0);
+    }
+
+    /// Fig. 9: efficiency at 160 k improves with mesh size and sits in the
+    /// paper's 51–80 % band for every variant.
+    #[test]
+    fn fig9_strong_scaling_band() {
+        let model = m();
+        for v in Variant::ALL {
+            let mut last = 0.0;
+            for (_dx, mesh) in model_meshes() {
+                let e = model.strong_point(v, mesh, 160_000).efficiency;
+                assert!((0.40..0.92).contains(&e), "{} {mesh}: eff {e}", v.label());
+                assert!(e > last, "bigger mesh must scale better");
+                last = e;
+            }
+        }
+    }
+
+    fn model_meshes() -> [(f64, Dims3); 3] {
+        strong_meshes()
+    }
+
+    /// Paper figure values: linear dx=100 m reaches ~53.3 % at 160 k and
+    /// dx=16 m ~79.9 %.
+    #[test]
+    fn fig9_linear_anchor_points() {
+        let model = m();
+        let meshes = strong_meshes();
+        let e100 = model.strong_point(V_LIN, meshes[0].1, 160_000).efficiency;
+        assert!((e100 - 0.533).abs() < 0.05, "dx=100m eff {e100}");
+        let e16 = model.strong_point(V_LIN, meshes[2].1, 160_000).efficiency;
+        assert!((e16 - 0.799).abs() < 0.09, "dx=16m eff {e16}");
+    }
+
+    #[test]
+    fn process_grid_is_exact_and_near_square() {
+        for p in [8_000usize, 12_000, 160_000, 7, 64] {
+            let (mx, my) = process_grid(p);
+            assert_eq!(mx * my, p);
+            assert!(mx >= my);
+        }
+        assert_eq!(process_grid(160_000), (400, 400));
+    }
+
+    /// Table 2's memory columns: the 3.99 T-point uncompressed run takes
+    /// ~892 TB; the 7.8 T-point compressed run ~724 TB.
+    #[test]
+    fn table2_memory_footprints() {
+        let model = m();
+        let plain = model.run_memory_bytes(V_NL, 3.99e12) / 1e12;
+        assert!((plain - 892.0).abs() / 892.0 < 0.35, "uncompressed {plain} TB");
+        let comp = model.run_memory_bytes(V_NLC, 7.8e12) / 1e12;
+        assert!((comp - 724.0).abs() / 724.0 < 0.35, "compressed {comp} TB");
+        assert!(comp < plain * 2.0 * 0.55, "compression halves per-point memory");
+    }
+
+    #[test]
+    fn strong_scaling_speedup_monotone() {
+        let model = m();
+        let mesh = strong_meshes()[2].1;
+        let curve = model.strong_curve(V_NL, mesh);
+        for w in curve.windows(2) {
+            assert!(w[1].speedup > w[0].speedup);
+        }
+        let last = curve.last().unwrap();
+        assert!(last.speedup > 10.0 && last.speedup < 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more processes than core groups")]
+    fn weak_point_rejects_oversubscription() {
+        let model = m();
+        model.weak_point(V_LIN, 200_000);
+    }
+}

@@ -1,0 +1,223 @@
+//! Hardware constants of the SW26010 processor and the TaihuLight system.
+//!
+//! Sources: §5.1 and Fig. 2 of the paper, plus Table 1 (system totals) and
+//! Table 4 (per-CG peaks used in the utilization accounting).
+
+use serde::{Deserialize, Serialize};
+
+/// One core group (CG) of the SW26010: 1 MPE + an 8×8 CPE cluster + one
+/// memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreGroupSpec {
+    /// Computing processing elements per CG (8 × 8 mesh).
+    pub cpes: usize,
+    /// CPE mesh side (8).
+    pub mesh_side: usize,
+    /// Local data memory per CPE in bytes (64 KB, user-managed scratchpad).
+    pub ldm_bytes: usize,
+    /// Floating-point registers per CPE (Fig. 2).
+    pub registers_per_cpe: usize,
+    /// Peak single/double-issue flops of the whole CG in flop/s
+    /// (Table 4 quotes 765 Gflops peak per CG).
+    pub peak_flops: f64,
+    /// Peak flops of the MPE alone (one core of the same microarchitecture).
+    pub mpe_peak_flops: f64,
+    /// DDR3 bandwidth of the CG's memory controller, bytes/s (34 GB/s).
+    pub mem_bandwidth: f64,
+    /// Main memory attached to the CG, bytes (8 GB).
+    pub mem_bytes: usize,
+    /// Memory usable by the application per CG after the 2.5 GB/node system
+    /// and MPI reservation (Table 4 footnote: 5.5 GB usable of 8 GB).
+    pub usable_mem_bytes: usize,
+    /// Clock in Hz (1.45 GHz).
+    pub clock_hz: f64,
+    /// Local register access latency, cycles (Fig. 2).
+    pub reg_local_cycles: u64,
+    /// Remote register-communication latency, cycles (Fig. 2).
+    pub reg_remote_cycles: u64,
+    /// LDM access latency, cycles (Fig. 2).
+    pub ldm_cycles: u64,
+    /// Main-memory access latency, cycles (Fig. 2: 120+).
+    pub mem_cycles: u64,
+}
+
+impl CoreGroupSpec {
+    /// The SW26010 core group as shipped in TaihuLight.
+    pub const fn sw26010() -> Self {
+        Self {
+            cpes: 64,
+            mesh_side: 8,
+            ldm_bytes: 64 * 1024,
+            registers_per_cpe: 32,
+            peak_flops: 765.0e9,
+            // One 1.45 GHz core, 8 flops/cycle.
+            mpe_peak_flops: 11.6e9,
+            mem_bandwidth: 34.0e9,
+            mem_bytes: 8 << 30,
+            usable_mem_bytes: (55 << 30) / 10,
+            clock_hz: 1.45e9,
+            reg_local_cycles: 1,
+            reg_remote_cycles: 11,
+            ldm_cycles: 4,
+            mem_cycles: 120,
+        }
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+}
+
+/// The full SW26010 processor: 4 core groups.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sw26010Spec {
+    /// Core groups per processor.
+    pub core_groups: usize,
+    /// Per-CG constants.
+    pub cg: CoreGroupSpec,
+}
+
+impl Sw26010Spec {
+    /// The production SW26010.
+    pub const fn new() -> Self {
+        Self { core_groups: 4, cg: CoreGroupSpec::sw26010() }
+    }
+
+    /// Processing elements per chip (260: 4 × (64 + 1)).
+    pub const fn processing_elements(&self) -> usize {
+        self.core_groups * (self.cg.cpes + 1)
+    }
+
+    /// Peak flops per chip (> 3 Tflop/s).
+    pub fn peak_flops(&self) -> f64 {
+        self.core_groups as f64 * (self.cg.peak_flops + self.cg.mpe_peak_flops)
+    }
+
+    /// Aggregate memory bandwidth per chip (136 GB/s).
+    pub fn mem_bandwidth(&self) -> f64 {
+        self.core_groups as f64 * self.cg.mem_bandwidth
+    }
+
+    /// Memory per chip (32 GB).
+    pub fn mem_bytes(&self) -> usize {
+        self.core_groups * self.cg.mem_bytes
+    }
+}
+
+impl Default for Sw26010Spec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The full Sunway TaihuLight machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaihuLightSpec {
+    /// Number of SW26010 chips (40,960).
+    pub nodes: usize,
+    /// Per-chip constants.
+    pub chip: Sw26010Spec,
+    /// Network injection bandwidth per node, bytes/s (8 GB/s MPI effective).
+    pub net_bandwidth: f64,
+    /// Point-to-point network latency, seconds (~1 µs).
+    pub net_latency: f64,
+}
+
+impl TaihuLightSpec {
+    /// The production machine.
+    pub const fn new() -> Self {
+        Self {
+            nodes: 40_960,
+            chip: Sw26010Spec::new(),
+            net_bandwidth: 8.0e9,
+            net_latency: 1.0e-6,
+        }
+    }
+
+    /// Total core groups (= maximum MPI processes, 163,840; the paper's
+    /// extreme runs use 160,000 of them in a 400 × 400 grid).
+    pub const fn total_core_groups(&self) -> usize {
+        self.nodes * self.chip.core_groups
+    }
+
+    /// Total cores (10,649,600).
+    pub const fn total_cores(&self) -> usize {
+        self.nodes * self.chip.core_groups * (self.chip.cg.cpes + 1)
+    }
+
+    /// System peak in flop/s (~125 Pflops).
+    pub fn peak_flops(&self) -> f64 {
+        self.nodes as f64 * self.chip.peak_flops()
+    }
+
+    /// Total memory in bytes (1.31 PB).
+    pub fn total_mem_bytes(&self) -> f64 {
+        (self.nodes * self.chip.mem_bytes()) as f64
+    }
+
+    /// System byte-to-flop ratio (Table 1: 0.038).
+    pub fn byte_per_flop(&self) -> f64 {
+        self.nodes as f64 * self.chip.mem_bandwidth() / self.peak_flops()
+    }
+}
+
+impl Default for TaihuLightSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_has_260_processing_elements() {
+        let chip = Sw26010Spec::new();
+        assert_eq!(chip.processing_elements(), 260);
+        assert!(chip.peak_flops() > 3.0e12, "SW26010 peaks above 3 Tflops");
+        assert_eq!(chip.mem_bytes(), 32 << 30);
+        assert!((chip.mem_bandwidth() - 136.0e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn machine_matches_table1() {
+        let m = TaihuLightSpec::new();
+        assert_eq!(m.total_cores(), 10_649_600);
+        let peak_pflops = m.peak_flops() / 1e15;
+        assert!((124.0..128.5).contains(&peak_pflops), "peak {peak_pflops} Pflops");
+        // Table 1: byte-to-flop ratio 0.038, 1/5 of other heterogeneous systems.
+        let bpf = m.byte_per_flop();
+        assert!((0.03..0.05).contains(&bpf), "byte/flop {bpf}");
+        // 1.31 PB total memory.
+        let pb = m.total_mem_bytes() / 1e15;
+        assert!((1.2..1.5).contains(&pb), "total mem {pb} PB");
+    }
+
+    #[test]
+    fn fig2_latency_ordering() {
+        let cg = CoreGroupSpec::sw26010();
+        assert!(cg.reg_local_cycles < cg.ldm_cycles);
+        assert!(cg.ldm_cycles < cg.reg_remote_cycles);
+        assert!(cg.reg_remote_cycles < cg.mem_cycles);
+        assert_eq!(cg.reg_local_cycles, 1);
+        assert_eq!(cg.reg_remote_cycles, 11);
+        assert_eq!(cg.registers_per_cpe, 32);
+        assert_eq!(cg.ldm_bytes, 65_536);
+    }
+
+    #[test]
+    fn usable_memory_matches_table4() {
+        let cg = CoreGroupSpec::sw26010();
+        // Table 4: 5.5 GB usable per CG (8 GB minus system/MPI reservation).
+        let gb = cg.usable_mem_bytes as f64 / (1u64 << 30) as f64;
+        assert!((5.4..5.6).contains(&gb));
+    }
+
+    #[test]
+    fn max_mpi_processes_cover_400x400() {
+        let m = TaihuLightSpec::new();
+        assert!(m.total_core_groups() >= 400 * 400);
+    }
+}

@@ -1,0 +1,177 @@
+//! Published datasets behind Tables 1 and 2 of the paper.
+//!
+//! These are static reference data — the numbers the paper quotes for other
+//! leadership systems and for two decades of large-scale earthquake
+//! simulations — kept here so the `table1_systems` / `table2_prior_work`
+//! binaries can regenerate the tables and so tests can check the derived
+//! byte-to-flop claims ("TaihuLight's byte-to-flop ratio is 1/5 of other
+//! heterogeneous systems, and 1/10 of K").
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemRow {
+    /// System name.
+    pub name: &'static str,
+    /// Peak performance, Pflop/s.
+    pub peak_pflops: f64,
+    /// LINPACK performance, Pflop/s.
+    pub linpack_pflops: f64,
+    /// Total memory, TB.
+    pub mem_tb: f64,
+    /// Total memory bandwidth, TB/s.
+    pub mem_bw_tbs: f64,
+}
+
+impl SystemRow {
+    /// Byte-per-flop ratio (the last column of Table 1).
+    pub fn byte_per_flop(&self) -> f64 {
+        self.mem_bw_tbs / (self.peak_pflops * 1e3)
+    }
+}
+
+/// Table 1: a brief comparison between Sunway TaihuLight and other
+/// leadership systems.
+pub const TABLE1: [SystemRow; 6] = [
+    SystemRow { name: "TaihuLight", peak_pflops: 125.0, linpack_pflops: 93.0, mem_tb: 1310.0, mem_bw_tbs: 4473.0 },
+    SystemRow { name: "Tianhe-2", peak_pflops: 54.9, linpack_pflops: 33.9, mem_tb: 1375.0, mem_bw_tbs: 10312.0 },
+    SystemRow { name: "Piz Daint", peak_pflops: 25.3, linpack_pflops: 19.6, mem_tb: 425.6, mem_bw_tbs: 4256.0 },
+    SystemRow { name: "Titan", peak_pflops: 27.1, linpack_pflops: 17.6, mem_tb: 710.0, mem_bw_tbs: 5475.0 },
+    SystemRow { name: "Sequoia", peak_pflops: 20.1, linpack_pflops: 17.2, mem_tb: 1572.0, mem_bw_tbs: 4188.0 },
+    SystemRow { name: "K", peak_pflops: 11.28, linpack_pflops: 10.51, mem_tb: 1410.0, mem_bw_tbs: 5640.0 },
+];
+
+/// Numerical method of a prior-work row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// Finite differences (AWP-ODC and this work).
+    FiniteDifference,
+    /// Spectral element method (SPECFEM3D).
+    SpectralElement,
+    /// Discontinuous Galerkin FEM (SeisSol, EDGE).
+    DiscontinuousGalerkin,
+    /// Implicit FEM (GAMERA, GOJIRA).
+    ImplicitFem,
+}
+
+impl Method {
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::FiniteDifference => "FD",
+            Method::SpectralElement => "SEM",
+            Method::DiscontinuousGalerkin => "DG-FEM",
+            Method::ImplicitFem => "implicit FEM",
+        }
+    }
+}
+
+/// One row of Table 2 (unreported values are `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriorWorkRow {
+    /// Work / software name.
+    pub work: &'static str,
+    /// Publication year.
+    pub year: u32,
+    /// Machine used.
+    pub machine: &'static str,
+    /// Scale description (cores / GPUs / processors).
+    pub scale: &'static str,
+    /// Grid points (elements for FEM rows).
+    pub grid_points: Option<f64>,
+    /// Degrees of freedom.
+    pub dofs: Option<f64>,
+    /// Sustained performance, flop/s.
+    pub flops: f64,
+    /// Memory footprint, bytes.
+    pub mem_bytes: Option<f64>,
+    /// Numerical method.
+    pub method: Method,
+    /// Nonlinear rheology supported in the reported run.
+    pub nonlinear: bool,
+}
+
+/// Table 2: two decades of large-scale earthquake simulations, ending with
+/// this work's two configurations.
+pub fn table2() -> Vec<PriorWorkRow> {
+    use Method::*;
+    vec![
+        PriorWorkRow { work: "Bao et al.", year: 1996, machine: "Cray T3D", scale: "256 processors", grid_points: Some(13.4e6), dofs: Some(40.2e6), flops: 8e9, mem_bytes: Some(16e9), method: FiniteDifference, nonlinear: false },
+        PriorWorkRow { work: "SPECFEM3D", year: 2003, machine: "Earth Simulator", scale: "1,944 processors", grid_points: Some(5.5e9), dofs: Some(14.6e9), flops: 5e12, mem_bytes: Some(2.5e12), method: SpectralElement, nonlinear: false },
+        PriorWorkRow { work: "Carrington et al. (Ranger)", year: 2008, machine: "Ranger", scale: "32,000 cores", grid_points: None, dofs: None, flops: 28.7e12, mem_bytes: None, method: SpectralElement, nonlinear: false },
+        PriorWorkRow { work: "Carrington et al. (Jaguar)", year: 2008, machine: "Jaguar", scale: "29,000 cores", grid_points: None, dofs: None, flops: 35.7e12, mem_bytes: None, method: SpectralElement, nonlinear: false },
+        PriorWorkRow { work: "Rietmann et al.", year: 2012, machine: "Cray XK6", scale: "896 GPUs", grid_points: Some(8e9), dofs: Some(22e9), flops: 135e12, mem_bytes: Some(3.5e12), method: SpectralElement, nonlinear: false },
+        PriorWorkRow { work: "SeisSol", year: 2014, machine: "Tianhe-2", scale: "1,400,832 cores", grid_points: Some(191e6), dofs: Some(96e9), flops: 8.6e15, mem_bytes: None, method: DiscontinuousGalerkin, nonlinear: false },
+        PriorWorkRow { work: "EDGE", year: 2017, machine: "Cori-II", scale: "612,000 cores", grid_points: Some(341e6), dofs: None, flops: 10.4e15, mem_bytes: Some(32e12), method: DiscontinuousGalerkin, nonlinear: false },
+        PriorWorkRow { work: "GAMERA", year: 2014, machine: "K Computer", scale: "663,552 cores", grid_points: None, dofs: Some(27e9), flops: 0.804e15, mem_bytes: None, method: ImplicitFem, nonlinear: true },
+        PriorWorkRow { work: "GOJIRA", year: 2015, machine: "K Computer", scale: "663,552 cores", grid_points: Some(270e9), dofs: Some(1.08e12), flops: 1.97e15, mem_bytes: None, method: ImplicitFem, nonlinear: true },
+        PriorWorkRow { work: "AWP-ODC", year: 2010, machine: "Jaguar", scale: "223,074 cores", grid_points: Some(436e9), dofs: Some(1.31e12), flops: 220e12, mem_bytes: Some(127e12), method: FiniteDifference, nonlinear: false },
+        PriorWorkRow { work: "Cui et al.", year: 2013, machine: "Titan", scale: "16,384 GPUs", grid_points: Some(859e9), dofs: Some(2.58e12), flops: 2.33e15, mem_bytes: Some(250e12), method: FiniteDifference, nonlinear: false },
+        PriorWorkRow { work: "Roten et al.", year: 2016, machine: "Titan", scale: "8,192 GPUs", grid_points: Some(329e9), dofs: Some(987e9), flops: 1.6e15, mem_bytes: Some(129e12), method: FiniteDifference, nonlinear: true },
+        PriorWorkRow { work: "this work (no compression)", year: 2017, machine: "Sunway TaihuLight", scale: "10,140,000 cores", grid_points: Some(3.99e12), dofs: Some(11.98e12), flops: 15.2e15, mem_bytes: Some(892e12), method: FiniteDifference, nonlinear: true },
+        PriorWorkRow { work: "this work (compression)", year: 2017, machine: "Sunway TaihuLight", scale: "10,140,000 cores", grid_points: Some(7.8e12), dofs: Some(23.4e12), flops: 18.9e15, mem_bytes: Some(724e12), method: FiniteDifference, nonlinear: true },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1's last column: TaihuLight 0.038, K 0.5, the heterogeneous
+    /// systems ~0.17–0.21.
+    #[test]
+    fn byte_per_flop_column() {
+        let t = &TABLE1;
+        let find = |n: &str| t.iter().find(|r| r.name == n).unwrap();
+        assert!((find("TaihuLight").byte_per_flop() - 0.038).abs() < 0.003);
+        assert!((find("K").byte_per_flop() - 0.5).abs() < 0.01);
+        assert!((find("Titan").byte_per_flop() - 0.202).abs() < 0.005);
+        assert!((find("Tianhe-2").byte_per_flop() - 0.188).abs() < 0.005);
+    }
+
+    /// The paper's framing: TaihuLight's ratio is ~1/5 of the other
+    /// heterogeneous systems and ~1/10 of K.
+    #[test]
+    fn taihulight_ratio_claims() {
+        let thl = TABLE1[0].byte_per_flop();
+        let titan = TABLE1[3].byte_per_flop();
+        let k = TABLE1[5].byte_per_flop();
+        assert!((titan / thl - 5.0).abs() < 1.0, "Titan/THL {}", titan / thl);
+        assert!((k / thl - 10.0).abs() < 4.0, "K/THL {}", k / thl);
+    }
+
+    /// TaihuLight's spec module must agree with its Table 1 row.
+    #[test]
+    fn spec_consistent_with_table1() {
+        let spec = crate::spec::TaihuLightSpec::new();
+        let row = TABLE1[0];
+        assert!((spec.peak_flops() / 1e15 - row.peak_pflops).abs() / row.peak_pflops < 0.03);
+        assert!((spec.byte_per_flop() - row.byte_per_flop()).abs() < 0.01);
+    }
+
+    #[test]
+    fn table2_progression() {
+        let rows = table2();
+        assert_eq!(rows.len(), 14);
+        // Two decades: Gflops (1996) to ~19 Pflops (2017).
+        assert!(rows[0].flops < 1e10);
+        let last = rows.last().unwrap();
+        assert!(last.flops > 18e15);
+        assert!(last.nonlinear);
+        assert_eq!(last.method, Method::FiniteDifference);
+        // This work's problem sizes: 4-5x the largest previous FD run.
+        let titan2013 = rows.iter().find(|r| r.year == 2013).unwrap();
+        let ours = rows[rows.len() - 2];
+        let ratio = ours.grid_points.unwrap() / titan2013.grid_points.unwrap();
+        assert!((4.0..5.5).contains(&ratio), "problem-size ratio {ratio}");
+    }
+
+    #[test]
+    fn method_labels() {
+        assert_eq!(Method::FiniteDifference.label(), "FD");
+        assert_eq!(Method::SpectralElement.label(), "SEM");
+        assert_eq!(Method::DiscontinuousGalerkin.label(), "DG-FEM");
+        assert_eq!(Method::ImplicitFem.label(), "implicit FEM");
+    }
+}

@@ -1,0 +1,192 @@
+//! Method (2) of Fig. 5d: adaptive exponent width.
+//!
+//! "Method (2) determines the required exponent bit-width according to the
+//! recorded maximum dynamic range in the first part, and uses the rest bits
+//! for mantissa. Method (2) assures the coverage of the full dynamic range,
+//! and can reserve more bits for the mantissa parts of variables with a
+//! small dynamic range. The only disadvantage is the relatively high
+//! computational cost." (`Ne = ceil(log2(Emax − Emin))`, `Nf = 15 − Ne`.)
+//!
+//! Layout: 1 sign bit, `Ne` exponent bits, `15 − Ne` mantissa bits. The
+//! all-zero exponent code is reserved for zero (and magnitudes below the
+//! smallest recorded binade, which flush to zero), so the usable exponent
+//! codes are `1 ..= 2^Ne − 1`.
+
+use crate::stats::{unbiased_exponent, FieldStats};
+use crate::Codec16;
+
+/// The adaptive-exponent codec, parameterized by an array's recorded
+/// exponent range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveCodec {
+    exp_min: i32,
+    exp_max: i32,
+    /// Exponent field width in bits.
+    pub exp_bits: u32,
+    /// Mantissa field width in bits.
+    pub mant_bits: u32,
+}
+
+impl AdaptiveCodec {
+    /// Build from an exponent range `[exp_min, exp_max]` (unbiased).
+    pub fn new(exp_min: i32, exp_max: i32) -> Self {
+        assert!(exp_max >= exp_min, "empty exponent range");
+        // +1 binade for the range itself, +1 code reserved for zero.
+        let span = (exp_max - exp_min + 2) as u32;
+        let exp_bits = 32 - (span - 1).leading_zeros();
+        assert!(exp_bits <= 8, "dynamic range too wide for a 16-bit format");
+        Self { exp_min, exp_max, exp_bits, mant_bits: 15 - exp_bits }
+    }
+
+    /// Build from coarse-run statistics.
+    ///
+    /// The recorded `exp_min` is clamped to 30 binades below `exp_max`:
+    /// values smaller than ~1e-9 of the array's peak carry no signal, and
+    /// covering them would spend exponent bits that are far more valuable
+    /// as mantissa precision (the error that accumulates over thousands
+    /// of decompress–compute–compress steps is the *relative* one).
+    pub fn from_stats(stats: &FieldStats) -> Self {
+        if stats.exponent_span() == 0 {
+            // Array was identically zero in the coarse run; give it one
+            // binade around 1.0 so fine-run noise still encodes.
+            Self::new(0, 0)
+        } else {
+            // Four binades of headroom above the recorded maximum: the
+            // fine run resolves sharper pulses than the coarse pass, and
+            // saturation distorts far more than a coarser quantum.
+            let hi = stats.exp_max + 4;
+            Self::new(stats.exp_min.max(hi - 29), hi)
+        }
+    }
+}
+
+impl Codec16 for AdaptiveCodec {
+    fn encode(&self, v: f32) -> u16 {
+        if v == 0.0 || !v.is_finite() {
+            return if v.is_sign_negative() { 0x8000 } else { 0 };
+        }
+        let sign = if v < 0.0 { 0x8000u16 } else { 0 };
+        let e = unbiased_exponent(v);
+        if e < self.exp_min {
+            return sign; // below the recorded range: flush to zero
+        }
+        let e = e.min(self.exp_max); // clamp above (saturate)
+        let code = (e - self.exp_min + 1) as u16;
+        // Extract the top `mant_bits` of the 23-bit mantissa, rounding.
+        let bits = v.abs().to_bits();
+        let frac = bits & 0x007f_ffff;
+        let shift = 23 - self.mant_bits;
+        let mut mant = frac >> shift;
+        let rem = frac & ((1u32 << shift) - 1);
+        if e == unbiased_exponent(v) && rem >= (1u32 << (shift - 1)) {
+            mant += 1;
+            if mant >> self.mant_bits != 0 {
+                // Carry into the exponent.
+                mant = 0;
+                let code = (code + 1).min((1u16 << self.exp_bits) - 1);
+                return sign | (code << self.mant_bits) | mant as u16;
+            }
+        }
+        sign | (code << self.mant_bits) as u16 | mant as u16
+    }
+
+    fn decode(&self, c: u16) -> f32 {
+        let sign = if c & 0x8000 != 0 { -1.0f32 } else { 1.0 };
+        let body = c & 0x7fff;
+        let code = body >> self.mant_bits;
+        if code == 0 {
+            return 0.0 * sign;
+        }
+        let e = self.exp_min + code as i32 - 1;
+        let mant = (body & ((1 << self.mant_bits) - 1)) as u32;
+        let frac = mant << (23 - self.mant_bits);
+        let bits = (((e + 127) as u32) << 23) | frac;
+        sign * f32::from_bits(bits)
+    }
+
+    fn max_abs_error(&self) -> f32 {
+        // Half an ULP at the largest binade.
+        2.0f32.powi(self.exp_max) * 2.0f32.powi(-(self.mant_bits as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_range_gets_wide_mantissa() {
+        // One binade [1, 2): exponent needs to distinguish {zero, e=0} → 1 bit.
+        let c = AdaptiveCodec::new(0, 0);
+        assert_eq!(c.exp_bits, 1);
+        assert_eq!(c.mant_bits, 14);
+        let v = 1.234_567f32;
+        let r = c.decode(c.encode(v));
+        assert!((r - v).abs() < 2.0 * c.max_abs_error(), "r={r}");
+        assert!((r - v).abs() < 1e-3);
+    }
+
+    #[test]
+    fn wide_range_still_covers() {
+        // Exponents -20..=20: span 42 (+zero) → 6 bits.
+        let c = AdaptiveCodec::new(-20, 20);
+        assert_eq!(c.exp_bits, 6);
+        for v in [1.0e-6f32, 3.0e-3, 0.5, 1.0, 777.0, 9.5e5] {
+            let r = c.decode(c.encode(v));
+            let rel = ((r - v) / v).abs();
+            assert!(rel < 2.0f32.powi(-(c.mant_bits as i32 - 1)), "v={v} r={r}");
+        }
+    }
+
+    #[test]
+    fn zero_roundtrips_exactly() {
+        let c = AdaptiveCodec::new(-5, 5);
+        assert_eq!(c.decode(c.encode(0.0)), 0.0);
+        assert_eq!(c.decode(c.encode(-0.0)), 0.0);
+    }
+
+    #[test]
+    fn below_range_flushes_to_zero() {
+        let c = AdaptiveCodec::new(0, 4);
+        assert_eq!(c.decode(c.encode(1.0e-8)), 0.0);
+    }
+
+    #[test]
+    fn above_range_saturates_without_garbage() {
+        let c = AdaptiveCodec::new(0, 4);
+        let r = c.decode(c.encode(1.0e9));
+        // Clamped into the largest covered binade [16, 32).
+        assert!(r >= 16.0 && r < 32.0, "saturated to {r}");
+    }
+
+    #[test]
+    fn sign_is_preserved() {
+        let c = AdaptiveCodec::new(-3, 3);
+        assert!(c.decode(c.encode(-2.5)) < 0.0);
+        assert!(c.decode(c.encode(2.5)) > 0.0);
+    }
+
+    #[test]
+    fn from_stats_of_constant_zero_field() {
+        let s = FieldStats::of_slice(&[0.0, 0.0]);
+        let c = AdaptiveCodec::from_stats(&s);
+        assert_eq!(c.decode(c.encode(0.0)), 0.0);
+    }
+
+    #[test]
+    fn beats_f16_on_narrow_range() {
+        // For values in [1, 2), the adaptive codec keeps 14 mantissa bits
+        // vs binary16's 10 — the paper's motivation for method (2).
+        let c = AdaptiveCodec::new(0, 0);
+        let v = 1.000_3f32;
+        let adaptive_err = (c.decode(c.encode(v)) - v).abs();
+        let f16_err = (crate::f16::f16_to_f32(crate::f16::f32_to_f16(v)) - v).abs();
+        assert!(adaptive_err < f16_err, "adaptive {adaptive_err} vs f16 {f16_err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn range_wider_than_8_exponent_bits_is_rejected() {
+        let _ = AdaptiveCodec::new(-170, 170);
+    }
+}

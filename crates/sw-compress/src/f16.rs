@@ -1,0 +1,179 @@
+//! Method (1) of Fig. 5d: IEEE 754 binary16.
+//!
+//! "Method (1) directly uses the 16-bit half precision defined by the IEEE
+//! 754 standard, using 5 bits for the exponent and 10 bits for the
+//! mantissa." Conversion is implemented from scratch with round-to-nearest-
+//! even, gradual underflow to subnormals, and overflow to infinity — the
+//! numerical problems the paper warns about for wide-dynamic-range arrays
+//! (overflow) and narrow ones (wasted exponent bits) are therefore
+//! faithfully present.
+
+use crate::Codec16;
+
+/// Convert an f32 to IEEE binary16 bits with round-to-nearest-even.
+pub fn f32_to_f16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: keep a quiet-NaN payload bit so NaN stays NaN.
+        let nan_bit = if frac != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan_bit | ((frac >> 13) as u16 & 0x03ff);
+    }
+
+    // Unbiased exponent in f32 is exp - 127; f16 bias is 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow → signed infinity.
+        return sign | 0x7c00;
+    }
+    if unbiased >= -14 {
+        // Normal range: round 23-bit mantissa to 10 bits, nearest-even.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let mant = frac >> 13;
+        let round_bits = frac & 0x1fff;
+        let mut out = sign | half_exp | mant as u16;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (mant & 1) == 1) {
+            out += 1; // may carry into the exponent, which is correct
+        }
+        return out;
+    }
+    if unbiased >= -25 {
+        // Subnormal range: shift the implicit leading 1 into the mantissa.
+        let full = 0x0080_0000 | frac;
+        let shift = (-14 - unbiased + 13) as u32;
+        let mant = full >> shift;
+        let rem = full & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut out = sign | mant as u16;
+        if rem > half || (rem == half && (mant & 1) == 1) {
+            out += 1;
+        }
+        return out;
+    }
+    // Too small even for a subnormal: flush to signed zero.
+    sign
+}
+
+/// Convert IEEE binary16 bits back to f32.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let frac = (h & 0x03ff) as u32;
+    let bits = match (exp, frac) {
+        (0, 0) => sign,
+        (0, _) => {
+            // Subnormal: renormalize.
+            let lead = frac.leading_zeros() - 22; // zeros within the 10-bit field
+            let mant = (frac << (lead + 1)) & 0x03ff;
+            let e = 127 - 15 - lead;
+            sign | (e << 23) | (mant << 13)
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,
+        (0x1f, _) => sign | 0x7f80_0000 | (frac << 13),
+        _ => sign | ((exp + 127 - 15) << 23) | (frac << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// [`Codec16`] wrapper for binary16.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct F16Codec;
+
+impl Codec16 for F16Codec {
+    fn encode(&self, v: f32) -> u16 {
+        f32_to_f16(v)
+    }
+
+    fn decode(&self, c: u16) -> f32 {
+        f16_to_f32(c)
+    }
+
+    fn max_abs_error(&self) -> f32 {
+        // Relative error is 2^-11 per round trip; as an absolute bound it
+        // depends on magnitude, so report the bound at the f16 max (65504).
+        65504.0 * 0.000_488_28
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for v in [0.0f32, 1.0, -1.0, 2.0, 0.5, 1024.0, -2048.0, 0.25] {
+            assert_eq!(f16_to_f32(f32_to_f16(v)), v, "{v} must be exact in f16");
+        }
+    }
+
+    #[test]
+    fn relative_error_within_half_ulp() {
+        let mut v = 1.0e-4f32;
+        while v < 6.0e4 {
+            let r = f16_to_f32(f32_to_f16(v));
+            let rel = ((r - v) / v).abs();
+            assert!(rel <= 4.9e-4, "v={v} r={r} rel={rel}");
+            v *= 1.37;
+        }
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(f16_to_f32(f32_to_f16(1.0e6)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(-1.0e6)), f32::NEG_INFINITY);
+        // Largest finite f16.
+        assert_eq!(f16_to_f32(f32_to_f16(65504.0)), 65504.0);
+    }
+
+    #[test]
+    fn subnormals_and_underflow() {
+        // Smallest f16 subnormal is 2^-24 ≈ 5.96e-8.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f16_to_f32(f32_to_f16(tiny)), tiny);
+        // Below half of it: flush to zero.
+        let r = f16_to_f32(f32_to_f16(1.0e-9));
+        assert_eq!(r, 0.0);
+        // Sign preserved on flush.
+        assert!(f16_to_f32(f32_to_f16(-1.0e-9)).is_sign_negative());
+    }
+
+    #[test]
+    fn nan_and_inf_pass_through() {
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        assert_eq!(f16_to_f32(f32_to_f16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16; ties
+        // go to the even mantissa (1.0).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16_to_f32(f32_to_f16(halfway)), 1.0);
+        // Just above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(f16_to_f32(f32_to_f16(above)), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn mantissa_carry_into_exponent() {
+        // Rounding 1.9999999 up carries into the exponent → 2.0.
+        assert_eq!(f16_to_f32(f32_to_f16(1.999_999_9)), 2.0);
+    }
+
+    #[test]
+    fn codec_trait_slice_roundtrip() {
+        let codec = F16Codec;
+        let src: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.37).collect();
+        let mut enc = vec![0u16; src.len()];
+        let mut dec = vec![0f32; src.len()];
+        codec.encode_slice(&src, &mut enc);
+        codec.decode_slice(&enc, &mut dec);
+        for (a, b) in src.iter().zip(&dec) {
+            assert!((a - b).abs() <= a.abs() * 5e-4 + 1e-6);
+        }
+    }
+}

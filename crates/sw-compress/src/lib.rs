@@ -1,0 +1,62 @@
+//! On-the-fly field compression (§6.5, Fig. 5) and the LZ4 checkpoint codec.
+//!
+//! The paper's compression scheme stores simulation fields as 16-bit values
+//! in main memory and decompresses/recompresses them on the fly in the CPE
+//! LDM, doubling both the effective memory capacity and the effective
+//! bandwidth. Three lossy 32→16-bit codecs are used (Fig. 5d):
+//!
+//! 1. [`f16`](mod@f16) — IEEE 754 binary16 (1 sign / 5 exponent / 10 mantissa bits);
+//! 2. [`adaptive`] — exponent width fitted to the array's recorded dynamic
+//!    range, remaining bits spent on mantissa;
+//! 3. [`norm`] — per-array affine normalization into `[1, 2)` so the
+//!    exponent is constant and all 16 stored bits are mantissa (the
+//!    production choice for most velocity and stress arrays).
+//!
+//! The per-array statistics the codecs need come from a coarse-resolution
+//! pre-run ([`stats`], Fig. 5a). [`field`] wires a codec to a 3-D field with
+//! the plane-by-plane decompress–compute–compress workflow of Fig. 5c.
+//!
+//! [`lz4`] is an independent *lossless* block codec, implemented from
+//! scratch, used by the checkpoint/restart path (§6.2: "we integrate the LZ4
+//! compression" to shrink the 108-TB restart wavefields).
+
+pub mod adaptive;
+pub mod f16;
+pub mod field;
+pub mod lz4;
+pub mod norm;
+pub mod stats;
+
+pub use adaptive::AdaptiveCodec;
+pub use f16::{f16_to_f32, f32_to_f16, F16Codec};
+pub use field::{Codec, CompressedField3};
+pub use norm::NormCodec;
+pub use stats::FieldStats;
+
+/// Every lossy 16-bit codec compresses one f32 to one u16 and back.
+pub trait Codec16 {
+    /// Compress a single value.
+    fn encode(&self, v: f32) -> u16;
+    /// Decompress a single value.
+    fn decode(&self, c: u16) -> f32;
+
+    /// Worst-case absolute round-trip error for values inside the codec's
+    /// declared domain.
+    fn max_abs_error(&self) -> f32;
+
+    /// Compress a slice into a preallocated buffer.
+    fn encode_slice(&self, src: &[f32], dst: &mut [u16]) {
+        assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = self.encode(s);
+        }
+    }
+
+    /// Decompress a slice into a preallocated buffer.
+    fn decode_slice(&self, src: &[u16], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len());
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = self.decode(s);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-array statistics from the coarse pre-run (Fig. 5a).
+//!
+//! "Part (a) is a preprocessing step, which performs a complete simulation
+//! with a coarser resolution, so as to generate the statistics (such as the
+//! maximum and minimum values of variables), for the high-resolution
+//! simulations afterwards to utilize in their compression processes."
+//!
+//! [`FieldStats`] records the min/max values and the binary exponent range
+//! of one array; the adaptive codec (method 2) sizes its exponent field from
+//! the exponent range, and the normalization codec (method 3) uses min/max.
+
+use sw_grid::Field3;
+
+/// Min/max and exponent-range statistics of one simulation array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldStats {
+    /// Smallest value observed.
+    pub min: f32,
+    /// Largest value observed.
+    pub max: f32,
+    /// Smallest unbiased binary exponent among nonzero values.
+    pub exp_min: i32,
+    /// Largest unbiased binary exponent among nonzero values.
+    pub exp_max: i32,
+    /// Number of values observed.
+    pub count: u64,
+}
+
+impl FieldStats {
+    /// Empty statistics (identity for [`FieldStats::merge`]).
+    pub fn empty() -> Self {
+        Self { min: f32::INFINITY, max: f32::NEG_INFINITY, exp_min: i32::MAX, exp_max: i32::MIN, count: 0 }
+    }
+
+    /// Record one value.
+    pub fn observe(&mut self, v: f32) {
+        if !v.is_finite() {
+            return;
+        }
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v != 0.0 {
+            let e = unbiased_exponent(v);
+            self.exp_min = self.exp_min.min(e);
+            self.exp_max = self.exp_max.max(e);
+        }
+        self.count += 1;
+    }
+
+    /// Record a whole slice.
+    pub fn observe_slice(&mut self, vs: &[f32]) {
+        for &v in vs {
+            self.observe(v);
+        }
+    }
+
+    /// Statistics of a slice.
+    pub fn of_slice(vs: &[f32]) -> Self {
+        let mut s = Self::empty();
+        s.observe_slice(vs);
+        s
+    }
+
+    /// Statistics of a field's interior (the coarse-run collection step).
+    pub fn of_field(f: &Field3) -> Self {
+        let mut s = Self::empty();
+        let d = f.dims();
+        for x in 0..d.nx {
+            for y in 0..d.ny {
+                s.observe_slice(f.z_run(x, y));
+            }
+        }
+        s
+    }
+
+    /// Merge with statistics gathered elsewhere (across MPI ranks).
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            exp_min: self.exp_min.min(other.exp_min),
+            exp_max: self.exp_max.max(other.exp_max),
+            count: self.count + other.count,
+        }
+    }
+
+    /// Value range `max - min` (0 when empty or constant).
+    pub fn range(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.max - self.min).max(0.0)
+        }
+    }
+
+    /// Number of distinct binary exponents observed (`Ne` of Fig. 5d).
+    pub fn exponent_span(&self) -> u32 {
+        if self.exp_max < self.exp_min {
+            0
+        } else {
+            (self.exp_max - self.exp_min + 1) as u32
+        }
+    }
+
+    /// Scale the recorded range by a positive factor (used when remapping
+    /// statistics between resolutions: quantities that scale with cell
+    /// volume, like the injected stress glut, grow by `(dx_c/dx_f)^3`
+    /// when the mesh is refined).
+    pub fn scaled(&self, factor: f32) -> Self {
+        assert!(factor > 0.0);
+        if self.count == 0 {
+            return *self;
+        }
+        let shift = factor.log2().ceil() as i32;
+        Self {
+            min: self.min * factor,
+            max: self.max * factor,
+            exp_min: self.exp_min.saturating_add(shift.min(0)),
+            exp_max: self.exp_max.saturating_add(shift.max(0)),
+            count: self.count,
+        }
+    }
+
+    /// Widen the range by a safety factor — the dynamic range of the fine
+    /// run can slightly exceed what the coarse run saw.
+    pub fn widened(&self, factor: f32) -> Self {
+        assert!(factor >= 1.0);
+        if self.count == 0 {
+            return *self;
+        }
+        let mid = 0.5 * (self.min + self.max);
+        let half = 0.5 * self.range() * factor;
+        let mut s = *self;
+        s.min = mid - half;
+        s.max = mid + half;
+        s
+    }
+}
+
+impl Default for FieldStats {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// Unbiased binary exponent of a nonzero finite f32 (subnormals report the
+/// exponent of their leading bit).
+pub fn unbiased_exponent(v: f32) -> i32 {
+    debug_assert!(v != 0.0 && v.is_finite());
+    let bits = v.to_bits();
+    let exp = ((bits >> 23) & 0xff) as i32;
+    if exp == 0 {
+        // Subnormal: exponent of the highest set mantissa bit.
+        let frac = bits & 0x007f_ffff;
+        -126 - (frac.leading_zeros() as i32 - 9) - 1
+    } else {
+        exp - 127
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_grid::Dims3;
+
+    #[test]
+    fn observe_and_range() {
+        let s = FieldStats::of_slice(&[1.0, -3.0, 2.5, 0.0]);
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, 2.5);
+        assert_eq!(s.range(), 5.5);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn exponent_span_counts_binades() {
+        // 1.0 (e=0), 2.0 (e=1), 7.9 (e=2) → span 3.
+        let s = FieldStats::of_slice(&[1.0, 2.0, 7.9]);
+        assert_eq!(s.exponent_span(), 3);
+        assert_eq!(s.exp_min, 0);
+        assert_eq!(s.exp_max, 2);
+    }
+
+    #[test]
+    fn zeros_do_not_affect_exponents() {
+        let s = FieldStats::of_slice(&[0.0, 0.0, 4.0]);
+        assert_eq!(s.exponent_span(), 1);
+        assert_eq!(s.min, 0.0);
+    }
+
+    #[test]
+    fn unbiased_exponent_basics() {
+        assert_eq!(unbiased_exponent(1.0), 0);
+        assert_eq!(unbiased_exponent(2.0), 1);
+        assert_eq!(unbiased_exponent(0.5), -1);
+        assert_eq!(unbiased_exponent(-1.5e3), 10);
+        // Smallest normal.
+        assert_eq!(unbiased_exponent(f32::MIN_POSITIVE), -126);
+        // A subnormal one binade below.
+        assert_eq!(unbiased_exponent(f32::MIN_POSITIVE / 2.0), -127);
+    }
+
+    #[test]
+    fn merge_combines_ranges() {
+        let a = FieldStats::of_slice(&[1.0, 2.0]);
+        let b = FieldStats::of_slice(&[-5.0, 0.25]);
+        let m = a.merge(&b);
+        assert_eq!(m.min, -5.0);
+        assert_eq!(m.max, 2.0);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.exp_min, -2);
+        assert_eq!(m.exp_max, 2);
+    }
+
+    #[test]
+    fn of_field_scans_interior_only() {
+        let mut f = Field3::new(Dims3::cube(3), 2);
+        f.set_i(-1, 0, 0, 99.0); // halo value must be ignored
+        f.set(1, 1, 1, 7.0);
+        let s = FieldStats::of_field(&f);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.count, 27);
+    }
+
+    #[test]
+    fn widened_grows_symmetrically() {
+        let s = FieldStats::of_slice(&[-1.0, 3.0]).widened(1.5);
+        assert!((s.min - (-2.0)).abs() < 1e-6);
+        assert!((s.max - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_shifts_range_and_exponents() {
+        let s = FieldStats::of_slice(&[-1.0, 4.0]).scaled(8.0);
+        assert_eq!(s.min, -8.0);
+        assert_eq!(s.max, 32.0);
+        assert_eq!(s.exp_max, 2 + 3, "exp_max shifted by log2(8)");
+        assert_eq!(s.exp_min, 0, "exp_min not lowered by an upscale");
+        let down = FieldStats::of_slice(&[-1.0, 4.0]).scaled(0.25);
+        assert_eq!(down.max, 1.0);
+        assert_eq!(down.exp_min, 0 - 2);
+        // empty stats are unchanged
+        assert_eq!(FieldStats::empty().scaled(8.0), FieldStats::empty());
+    }
+
+    #[test]
+    fn infinities_are_ignored() {
+        let mut s = FieldStats::empty();
+        s.observe(f32::INFINITY);
+        s.observe(f32::NAN);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.range(), 0.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Scalar 3-D fields with stencil halos.
+//!
+//! A [`Field3`] owns an `(nx+2h) × (ny+2h) × (nz+2h)` allocation where `h` is
+//! the halo width; interior indices run over `0..nx` etc. and map to padded
+//! coordinates by adding `h`. Negative-offset stencil taps therefore never
+//! need bounds branches in the hot loops — they stay inside the allocation.
+
+use crate::dims::{Dims3, Idx3};
+
+/// A generic 3-D array without a halo, z fastest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array3<T> {
+    dims: Dims3,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Array3<T> {
+    /// Allocate with `T::default()` everywhere.
+    pub fn new(dims: Dims3) -> Self {
+        Self { dims, data: vec![T::default(); dims.len()] }
+    }
+}
+
+impl<T> Array3<T> {
+    /// Build from an existing flat vector; `data.len()` must equal `dims.len()`.
+    pub fn from_vec(dims: Dims3, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), dims.len(), "flat length must match dims");
+        Self { dims, data }
+    }
+
+    /// Grid extents.
+    pub fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    /// Flat read-only view in memory order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Flat mutable view in memory order.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the flat vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Immutable element access.
+    #[inline(always)]
+    pub fn at(&self, x: usize, y: usize, z: usize) -> &T {
+        &self.data[self.dims.offset(x, y, z)]
+    }
+
+    /// Mutable element access.
+    #[inline(always)]
+    pub fn at_mut(&mut self, x: usize, y: usize, z: usize) -> &mut T {
+        let o = self.dims.offset(x, y, z);
+        &mut self.data[o]
+    }
+
+    /// Map every element, producing a new array.
+    pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Array3<U> {
+        Array3 { dims: self.dims, data: self.data.iter().map(f).collect() }
+    }
+}
+
+impl<T> std::ops::Index<Idx3> for Array3<T> {
+    type Output = T;
+    #[inline(always)]
+    fn index(&self, (x, y, z): Idx3) -> &T {
+        self.at(x, y, z)
+    }
+}
+
+impl<T> std::ops::IndexMut<Idx3> for Array3<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, (x, y, z): Idx3) -> &mut T {
+        self.at_mut(x, y, z)
+    }
+}
+
+/// A single-precision scalar field with a halo of width `h` on every side.
+///
+/// Interior coordinates are `0..nx` × `0..ny` × `0..nz`; the backing store is
+/// padded so that stencil taps up to `h` points outside the interior are
+/// plain loads. All simulation state in the paper (velocity, stress,
+/// material, attenuation memory variables, plasticity arrays — the "over 35
+/// 3-D arrays" of the nonlinear case) is stored in fields of this shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field3 {
+    interior: Dims3,
+    padded: Dims3,
+    halo: usize,
+    data: Vec<f32>,
+}
+
+impl Field3 {
+    /// Allocate a zero-filled field with interior `dims` and halo width `halo`.
+    pub fn new(dims: Dims3, halo: usize) -> Self {
+        let padded = dims.padded(halo);
+        Self { interior: dims, padded, halo, data: vec![0.0; padded.len()] }
+    }
+
+    /// Allocate filled with `value`.
+    pub fn filled(dims: Dims3, halo: usize, value: f32) -> Self {
+        let padded = dims.padded(halo);
+        Self { interior: dims, padded, halo, data: vec![value; padded.len()] }
+    }
+
+    /// Interior extents (excluding halo).
+    pub fn dims(&self) -> Dims3 {
+        self.interior
+    }
+
+    /// Extents of the padded allocation.
+    pub fn padded_dims(&self) -> Dims3 {
+        self.padded
+    }
+
+    /// Halo width on each side.
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Linear offset into the padded store for interior coords (may be
+    /// negative-side halo when `x` etc. come in as signed via `at_i`).
+    #[inline(always)]
+    fn off(&self, x: usize, y: usize, z: usize) -> usize {
+        self.padded.offset(x + self.halo, y + self.halo, z + self.halo)
+    }
+
+    /// Read an interior (or halo, via signed coords) value.
+    #[inline(always)]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> f32 {
+        self.data[self.off(x, y, z)]
+    }
+
+    /// Write an interior value.
+    #[inline(always)]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: f32) {
+        let o = self.off(x, y, z);
+        self.data[o] = v;
+    }
+
+    /// Signed-coordinate read reaching into the halo: `x ∈ -h .. nx+h-1`.
+    #[inline(always)]
+    pub fn at_i(&self, x: isize, y: isize, z: isize) -> f32 {
+        let h = self.halo as isize;
+        debug_assert!(x >= -h && y >= -h && z >= -h);
+        let o = self
+            .padded
+            .offset((x + h) as usize, (y + h) as usize, (z + h) as usize);
+        self.data[o]
+    }
+
+    /// Signed-coordinate write reaching into the halo.
+    #[inline(always)]
+    pub fn set_i(&mut self, x: isize, y: isize, z: isize, v: f32) {
+        let h = self.halo as isize;
+        debug_assert!(x >= -h && y >= -h && z >= -h);
+        let o = self
+            .padded
+            .offset((x + h) as usize, (y + h) as usize, (z + h) as usize);
+        self.data[o] = v;
+    }
+
+    /// Raw padded storage (memory order, includes halo).
+    pub fn raw(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Raw padded storage, mutable.
+    pub fn raw_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The contiguous z-run (length `nz`) at interior `(x, y, 0..nz)`.
+    #[inline]
+    pub fn z_run(&self, x: usize, y: usize) -> &[f32] {
+        let o = self.off(x, y, 0);
+        &self.data[o..o + self.interior.nz]
+    }
+
+    /// Mutable contiguous z-run at interior `(x, y, 0..nz)`.
+    #[inline]
+    pub fn z_run_mut(&mut self, x: usize, y: usize) -> &mut [f32] {
+        let o = self.off(x, y, 0);
+        let nz = self.interior.nz;
+        &mut self.data[o..o + nz]
+    }
+
+    /// Fill interior from a closure over interior coordinates.
+    pub fn fill_with(&mut self, f: impl Fn(usize, usize, usize) -> f32) {
+        let d = self.interior;
+        for (x, y, z) in d.iter() {
+            self.set(x, y, z, f(x, y, z));
+        }
+    }
+
+    /// Copy the interior into a compact (halo-free) vector in memory order.
+    pub fn interior_to_vec(&self) -> Vec<f32> {
+        let d = self.interior;
+        let mut out = Vec::with_capacity(d.len());
+        for x in 0..d.nx {
+            for y in 0..d.ny {
+                out.extend_from_slice(self.z_run(x, y));
+            }
+        }
+        out
+    }
+
+    /// Overwrite the interior from a compact vector in memory order.
+    pub fn interior_from_slice(&mut self, src: &[f32]) {
+        let d = self.interior;
+        assert_eq!(src.len(), d.len());
+        for x in 0..d.nx {
+            for y in 0..d.ny {
+                let o = (x * d.ny + y) * d.nz;
+                self.z_run_mut(x, y).copy_from_slice(&src[o..o + d.nz]);
+            }
+        }
+    }
+
+    /// Maximum absolute interior value.
+    pub fn max_abs(&self) -> f32 {
+        let d = self.interior;
+        let mut m = 0.0f32;
+        for x in 0..d.nx {
+            for y in 0..d.ny {
+                for &v in self.z_run(x, y) {
+                    m = m.max(v.abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// Interior (min, max).
+    pub fn min_max(&self) -> (f32, f32) {
+        let d = self.interior;
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for x in 0..d.nx {
+            for y in 0..d.ny {
+                for &v in self.z_run(x, y) {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Sum of squared interior values (used by the energy-decay tests).
+    pub fn norm2(&self) -> f64 {
+        let d = self.interior;
+        let mut s = 0.0f64;
+        for x in 0..d.nx {
+            for y in 0..d.ny {
+                for &v in self.z_run(x, y) {
+                    s += (v as f64) * (v as f64);
+                }
+            }
+        }
+        s
+    }
+
+    /// Maximum absolute interior difference to another same-shape field.
+    pub fn max_abs_diff(&self, other: &Field3) -> f32 {
+        assert_eq!(self.interior, other.interior);
+        let d = self.interior;
+        let mut m = 0.0f32;
+        for x in 0..d.nx {
+            for y in 0..d.ny {
+                for (a, b) in self.z_run(x, y).iter().zip(other.z_run(x, y)) {
+                    m = m.max((a - b).abs());
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halo_padding_is_invisible_to_interior() {
+        let mut f = Field3::new(Dims3::new(3, 3, 3), 2);
+        f.set(0, 0, 0, 1.0);
+        f.set(2, 2, 2, 2.0);
+        assert_eq!(f.get(0, 0, 0), 1.0);
+        assert_eq!(f.get(2, 2, 2), 2.0);
+        // halo starts zeroed
+        assert_eq!(f.at_i(-1, 0, 0), 0.0);
+        assert_eq!(f.at_i(3, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn signed_access_reaches_halo() {
+        let mut f = Field3::new(Dims3::cube(2), 2);
+        f.set_i(-2, -2, -2, 7.0);
+        assert_eq!(f.at_i(-2, -2, -2), 7.0);
+        f.set_i(3, 3, 3, 8.0);
+        assert_eq!(f.at_i(3, 3, 3), 8.0);
+    }
+
+    #[test]
+    fn z_run_is_contiguous_interior() {
+        let mut f = Field3::new(Dims3::new(2, 2, 4), 1);
+        for z in 0..4 {
+            f.set(1, 1, z, z as f32);
+        }
+        assert_eq!(f.z_run(1, 1), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn interior_vec_roundtrip() {
+        let d = Dims3::new(3, 4, 5);
+        let mut f = Field3::new(d, 2);
+        f.fill_with(|x, y, z| (x * 100 + y * 10 + z) as f32);
+        let v = f.interior_to_vec();
+        let mut g = Field3::new(d, 2);
+        g.interior_from_slice(&v);
+        assert_eq!(f.max_abs_diff(&g), 0.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let mut f = Field3::new(Dims3::cube(3), 1);
+        f.set(1, 1, 1, -4.0);
+        f.set(0, 0, 0, 3.0);
+        assert_eq!(f.max_abs(), 4.0);
+        assert_eq!(f.min_max(), (-4.0, 3.0));
+        assert_eq!(f.norm2(), 25.0);
+    }
+
+    #[test]
+    fn array3_indexing() {
+        let mut a: Array3<u32> = Array3::new(Dims3::new(2, 3, 4));
+        a[(1, 2, 3)] = 42;
+        assert_eq!(a[(1, 2, 3)], 42);
+        assert_eq!(*a.at(1, 2, 3), 42);
+        let b = a.map(|v| v * 2);
+        assert_eq!(b[(1, 2, 3)], 84);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat length")]
+    fn from_vec_checks_len() {
+        let _ = Array3::from_vec(Dims3::cube(2), vec![0u8; 7]);
+    }
+}

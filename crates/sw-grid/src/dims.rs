@@ -1,0 +1,142 @@
+//! Grid extents and index arithmetic.
+//!
+//! Axis convention follows §6.3 of the paper: for the storage of all 3-D
+//! arrays the **z axis (vertical) is the fastest axis**, y the second, and x
+//! the slowest. Linear offset of `(x, y, z)` is therefore
+//! `(x * ny + y) * nz + z`.
+
+use serde::{Deserialize, Serialize};
+
+/// A 3-D index `(x, y, z)`.
+pub type Idx3 = (usize, usize, usize);
+
+/// Grid extents in points, `x` slowest / `z` fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dims3 {
+    /// Points along the slowest axis (one horizontal direction).
+    pub nx: usize,
+    /// Points along the middle axis (the other horizontal direction).
+    pub ny: usize,
+    /// Points along the fastest axis (vertical / depth).
+    pub nz: usize,
+}
+
+impl Dims3 {
+    /// Create extents from `(nx, ny, nz)`.
+    pub const fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self { nx, ny, nz }
+    }
+
+    /// Cubic extents `n × n × n`.
+    pub const fn cube(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Total number of points.
+    pub const fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True when any extent is zero.
+    pub const fn is_empty(&self) -> bool {
+        self.nx == 0 || self.ny == 0 || self.nz == 0
+    }
+
+    /// Linear offset of `(x, y, z)` with z fastest.
+    #[inline(always)]
+    pub const fn offset(&self, x: usize, y: usize, z: usize) -> usize {
+        (x * self.ny + y) * self.nz + z
+    }
+
+    /// Inverse of [`Dims3::offset`].
+    #[inline]
+    pub const fn coords(&self, offset: usize) -> Idx3 {
+        let z = offset % self.nz;
+        let rest = offset / self.nz;
+        let y = rest % self.ny;
+        let x = rest / self.ny;
+        (x, y, z)
+    }
+
+    /// True when `(x, y, z)` lies inside the extents.
+    #[inline]
+    pub const fn contains(&self, x: usize, y: usize, z: usize) -> bool {
+        x < self.nx && y < self.ny && z < self.nz
+    }
+
+    /// Extents grown by `h` points on every side of every axis (the padded
+    /// allocation for a stencil halo of width `h`).
+    pub const fn padded(&self, h: usize) -> Self {
+        Self::new(self.nx + 2 * h, self.ny + 2 * h, self.nz + 2 * h)
+    }
+
+    /// Iterate all interior indices in memory order (x, then y, then z).
+    pub fn iter(&self) -> impl Iterator<Item = Idx3> + '_ {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        (0..nx).flat_map(move |x| (0..ny).flat_map(move |y| (0..nz).map(move |z| (x, y, z))))
+    }
+
+    /// Memory footprint in bytes of one single-precision field of this size.
+    pub const fn bytes_f32(&self) -> usize {
+        self.len() * core::mem::size_of::<f32>()
+    }
+}
+
+impl std::fmt::Display for Dims3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.nx, self.ny, self.nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_is_fastest_axis() {
+        let d = Dims3::new(4, 5, 6);
+        assert_eq!(d.offset(0, 0, 0), 0);
+        assert_eq!(d.offset(0, 0, 1), 1); // +1 in z moves one slot
+        assert_eq!(d.offset(0, 1, 0), 6); // +1 in y moves nz slots
+        assert_eq!(d.offset(1, 0, 0), 30); // +1 in x moves ny*nz slots
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let d = Dims3::new(3, 7, 5);
+        for (x, y, z) in d.iter() {
+            assert_eq!(d.coords(d.offset(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn iter_is_memory_order() {
+        let d = Dims3::new(2, 2, 2);
+        let order: Vec<usize> = d.iter().map(|(x, y, z)| d.offset(x, y, z)).collect();
+        assert_eq!(order, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn padded_grows_both_sides() {
+        let d = Dims3::new(10, 20, 30).padded(2);
+        assert_eq!(d, Dims3::new(14, 24, 34));
+    }
+
+    #[test]
+    fn len_and_bytes() {
+        let d = Dims3::new(4, 5, 6);
+        assert_eq!(d.len(), 120);
+        assert_eq!(d.bytes_f32(), 480);
+        assert!(!d.is_empty());
+        assert!(Dims3::new(0, 5, 6).is_empty());
+    }
+
+    #[test]
+    fn contains_checks_every_axis() {
+        let d = Dims3::new(2, 3, 4);
+        assert!(d.contains(1, 2, 3));
+        assert!(!d.contains(2, 0, 0));
+        assert!(!d.contains(0, 3, 0));
+        assert!(!d.contains(0, 0, 4));
+    }
+}

@@ -1,0 +1,248 @@
+//! Halo-face packing for inter-rank exchange.
+//!
+//! The MPI level of the paper decomposes only the horizontal plane (x and y;
+//! §6.3(1)), so ranks exchange four faces: west/east (x) and south/north (y).
+//! Faces are packed into contiguous buffers (the pack/unpack kernels the
+//! paper lists among the "remaining kernels": `unpack_VY`, `gather_VX`,
+//! `unpack_VX`), shipped, and unpacked into the receiver's halo slabs.
+
+use crate::array3::Field3;
+use serde::{Deserialize, Serialize};
+
+/// One of the four exchanged faces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Face {
+    /// Low-x face (towards rank `(px-1, py)`).
+    West,
+    /// High-x face.
+    East,
+    /// Low-y face.
+    South,
+    /// High-y face.
+    North,
+}
+
+impl Face {
+    /// All four faces in a fixed order.
+    pub const ALL: [Face; 4] = [Face::West, Face::East, Face::South, Face::North];
+
+    /// The face a neighbour receives this one on.
+    pub fn opposite(self) -> Face {
+        match self {
+            Face::West => Face::East,
+            Face::East => Face::West,
+            Face::South => Face::North,
+            Face::North => Face::South,
+        }
+    }
+
+    /// Rank-grid offset `(dx, dy)` towards the neighbour behind this face.
+    pub fn offset(self) -> (isize, isize) {
+        match self {
+            Face::West => (-1, 0),
+            Face::East => (1, 0),
+            Face::South => (0, -1),
+            Face::North => (0, 1),
+        }
+    }
+}
+
+/// Geometry of a halo exchange: interior dims plus halo width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaloSpec {
+    /// Halo width (stencil half-width, 2 for the 4th-order scheme).
+    pub width: usize,
+}
+
+impl HaloSpec {
+    /// Number of f32 values in one packed face of `field`.
+    pub fn face_len(&self, field: &Field3) -> FaceLens {
+        let d = field.dims();
+        FaceLens {
+            x_face: self.width * d.ny * d.nz,
+            y_face: self.width * d.nx * d.nz,
+        }
+    }
+
+    /// Pack the `width` interior slabs adjacent to `face` into `buf`.
+    ///
+    /// Slab order is ascending coordinate; within a slab, memory order.
+    pub fn pack(&self, field: &Field3, face: Face, buf: &mut Vec<f32>) {
+        buf.clear();
+        let d = field.dims();
+        let h = self.width;
+        match face {
+            Face::West => {
+                for x in 0..h {
+                    for y in 0..d.ny {
+                        buf.extend_from_slice(field.z_run(x, y));
+                    }
+                }
+            }
+            Face::East => {
+                for x in d.nx - h..d.nx {
+                    for y in 0..d.ny {
+                        buf.extend_from_slice(field.z_run(x, y));
+                    }
+                }
+            }
+            Face::South => {
+                for x in 0..d.nx {
+                    for y in 0..h {
+                        buf.extend_from_slice(field.z_run(x, y));
+                    }
+                }
+            }
+            Face::North => {
+                for x in 0..d.nx {
+                    for y in d.ny - h..d.ny {
+                        buf.extend_from_slice(field.z_run(x, y));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unpack a buffer received from the neighbour behind `face` into this
+    /// field's halo slabs on that side.
+    pub fn unpack(&self, field: &mut Field3, face: Face, buf: &[f32]) {
+        let d = field.dims();
+        let h = self.width as isize;
+        let nz = d.nz;
+        let mut it = buf.chunks_exact(nz);
+        match face {
+            Face::West => {
+                for x in -h..0 {
+                    for y in 0..d.ny {
+                        write_zrun_i(field, x, y as isize, it.next().expect("short halo buffer"));
+                    }
+                }
+            }
+            Face::East => {
+                for x in d.nx as isize..d.nx as isize + h {
+                    for y in 0..d.ny {
+                        write_zrun_i(field, x, y as isize, it.next().expect("short halo buffer"));
+                    }
+                }
+            }
+            Face::South => {
+                for x in 0..d.nx {
+                    for y in -h..0 {
+                        write_zrun_i(field, x as isize, y, it.next().expect("short halo buffer"));
+                    }
+                }
+            }
+            Face::North => {
+                for x in 0..d.nx {
+                    for y in d.ny as isize..d.ny as isize + h {
+                        write_zrun_i(field, x as isize, y, it.next().expect("short halo buffer"));
+                    }
+                }
+            }
+        }
+        assert!(it.next().is_none(), "halo buffer longer than face");
+    }
+}
+
+/// Packed-face lengths for a given field shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaceLens {
+    /// Values in a west/east face.
+    pub x_face: usize,
+    /// Values in a south/north face.
+    pub y_face: usize,
+}
+
+fn write_zrun_i(field: &mut Field3, x: isize, y: isize, src: &[f32]) {
+    for (z, &v) in src.iter().enumerate() {
+        field.set_i(x, y, z as isize, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Dims3;
+
+    fn filled(d: Dims3) -> Field3 {
+        let mut f = Field3::new(d, 2);
+        f.fill_with(|x, y, z| (x * 10_000 + y * 100 + z) as f32);
+        f
+    }
+
+    #[test]
+    fn opposite_faces() {
+        for f in Face::ALL {
+            assert_eq!(f.opposite().opposite(), f);
+        }
+        assert_eq!(Face::West.opposite(), Face::East);
+    }
+
+    /// Two adjacent subdomains exchanging faces must see each other's
+    /// boundary values exactly where the stencil expects them.
+    #[test]
+    fn pack_unpack_between_neighbors_x() {
+        let d = Dims3::new(6, 4, 5);
+        let left = filled(d);
+        let mut right = filled(d);
+        let spec = HaloSpec { width: 2 };
+        let mut buf = Vec::new();
+        // left's East face becomes right's West halo.
+        spec.pack(&left, Face::East, &mut buf);
+        assert_eq!(buf.len(), spec.face_len(&left).x_face);
+        spec.unpack(&mut right, Face::West, &buf);
+        // right.at_i(-1, y, z) must equal left.get(nx-1, y, z), and
+        // right.at_i(-2, ..) equals left.get(nx-2, ..).
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                assert_eq!(right.at_i(-1, y as isize, z as isize), left.get(d.nx - 1, y, z));
+                assert_eq!(right.at_i(-2, y as isize, z as isize), left.get(d.nx - 2, y, z));
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_between_neighbors_y() {
+        let d = Dims3::new(3, 7, 4);
+        let south = filled(d);
+        let mut north = filled(d);
+        let spec = HaloSpec { width: 2 };
+        let mut buf = Vec::new();
+        spec.pack(&south, Face::North, &mut buf);
+        assert_eq!(buf.len(), spec.face_len(&south).y_face);
+        spec.unpack(&mut north, Face::South, &buf);
+        for x in 0..d.nx {
+            for z in 0..d.nz {
+                assert_eq!(north.at_i(x as isize, -1, z as isize), south.get(x, d.ny - 1, z));
+                assert_eq!(north.at_i(x as isize, -2, z as isize), south.get(x, d.ny - 2, z));
+            }
+        }
+    }
+
+    #[test]
+    fn east_then_west_roundtrip_preserves_interior() {
+        let d = Dims3::new(5, 5, 5);
+        let f = filled(d);
+        let spec = HaloSpec { width: 2 };
+        let mut buf = Vec::new();
+        spec.pack(&f, Face::West, &mut buf);
+        let mut g = f.clone();
+        spec.unpack(&mut g, Face::East, &buf);
+        // interior untouched
+        assert_eq!(f.max_abs_diff(&g), 0.0);
+        // halo filled with the packed values
+        for y in 0..d.ny {
+            assert_eq!(g.at_i(d.nx as isize, y as isize, 0), f.get(0, y, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than face")]
+    fn unpack_rejects_oversized_buffer() {
+        let d = Dims3::new(4, 4, 4);
+        let mut f = filled(d);
+        let spec = HaloSpec { width: 2 };
+        let buf = vec![0.0f32; spec.face_len(&f).x_face + d.nz];
+        spec.unpack(&mut f, Face::West, &buf);
+    }
+}

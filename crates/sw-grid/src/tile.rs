@@ -1,0 +1,324 @@
+//! The multi-level domain-decomposition geometry of Fig. 4.
+//!
+//! Level 1 (MPI) is handled by `sw-parallel`; this module provides the three
+//! on-node levels:
+//!
+//! 2. **CG blocking** ([`CgBlock`]) — the per-core-group block cut along the
+//!    y and z axes so that one block's working set fits the LDM budget;
+//! 3. **Athread decomposition** ([`AthreadLayout`]) — the `Cy × Cz = 64`
+//!    layout of CPE threads over a block (each thread iterates along x);
+//! 4. **LDM buffering** ([`LdmWindow`]) — the `Wy × Wz` window (times `Wx`
+//!    planes) each CPE loads into its 64-KB local data memory per DMA batch.
+
+use crate::dims::Dims3;
+use serde::{Deserialize, Serialize};
+
+/// A rectangular sub-box of a grid: start coordinates plus extents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CgBlock {
+    /// First interior x index covered by this block.
+    pub x0: usize,
+    /// First interior y index covered by this block.
+    pub y0: usize,
+    /// First interior z index covered by this block.
+    pub z0: usize,
+    /// Extents of the block.
+    pub dims: Dims3,
+}
+
+impl CgBlock {
+    /// The block covering a whole grid.
+    pub fn whole(dims: Dims3) -> Self {
+        Self { x0: 0, y0: 0, z0: 0, dims }
+    }
+
+    /// Number of points in the block.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// True when the block contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Exclusive upper corner.
+    pub fn end(&self) -> (usize, usize, usize) {
+        (self.x0 + self.dims.nx, self.y0 + self.dims.ny, self.z0 + self.dims.nz)
+    }
+}
+
+/// Split `n` points into `parts` nearly-equal contiguous ranges; the first
+/// `n % parts` ranges get one extra point. Returns `(start, len)` pairs.
+pub fn split_even(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0, "cannot split into zero parts");
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// Cut a grid into CG blocks along y and z (Fig. 4 level 2). The x extent is
+/// kept whole — each CPE thread streams along x.
+pub fn cg_blocks(dims: Dims3, blocks_y: usize, blocks_z: usize) -> Vec<CgBlock> {
+    let ys = split_even(dims.ny, blocks_y);
+    let zs = split_even(dims.nz, blocks_z);
+    let mut out = Vec::with_capacity(blocks_y * blocks_z);
+    for &(y0, ny) in &ys {
+        for &(z0, nz) in &zs {
+            out.push(CgBlock { x0: 0, y0, z0, dims: Dims3::new(dims.nx, ny, nz) });
+        }
+    }
+    out
+}
+
+/// The `Cy × Cz` layout of the 64 CPE threads over a CG block (Fig. 4
+/// level 3). The paper's analytic model (§6.4) concludes `Cz = 1, Cy = 64`
+/// is optimal in most cases because the z axis is fastest in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AthreadLayout {
+    /// Thread count along y.
+    pub cy: usize,
+    /// Thread count along z.
+    pub cz: usize,
+}
+
+impl AthreadLayout {
+    /// Construct; `cy * cz` must equal 64 (the CPE cluster size) — eq. (5).
+    pub fn new(cy: usize, cz: usize) -> Self {
+        assert_eq!(cy * cz, 64, "Cy*Cz must equal the 64 CPEs of a core group");
+        Self { cy, cz }
+    }
+
+    /// The paper's preferred configuration `Cz = 1, Cy = 64`.
+    pub fn paper_optimal() -> Self {
+        Self::new(64, 1)
+    }
+
+    /// All valid power-of-two layouts (the search space of the analytic model).
+    pub fn all() -> Vec<Self> {
+        [(1, 64), (2, 32), (4, 16), (8, 8), (16, 4), (32, 2), (64, 1)]
+            .into_iter()
+            .map(|(cy, cz)| Self::new(cy, cz))
+            .collect()
+    }
+
+    /// The region of `block` owned by CPE thread `tid ∈ 0..64`: thread grid
+    /// is row-major over (y, z).
+    pub fn region(&self, block: &CgBlock, tid: usize) -> CgBlock {
+        assert!(tid < 64);
+        let iy = tid / self.cz;
+        let iz = tid % self.cz;
+        let (y0, ny) = split_even(block.dims.ny, self.cy)[iy];
+        let (z0, nz) = split_even(block.dims.nz, self.cz)[iz];
+        CgBlock {
+            x0: block.x0,
+            y0: block.y0 + y0,
+            z0: block.z0 + z0,
+            dims: Dims3::new(block.dims.nx, ny, nz),
+        }
+    }
+
+    /// Neighbour thread id one step along y (for register-communication halo
+    /// exchange), if any.
+    pub fn neighbor_y(&self, tid: usize, step: isize) -> Option<usize> {
+        let iy = (tid / self.cz) as isize + step;
+        if iy < 0 || iy >= self.cy as isize {
+            None
+        } else {
+            Some(iy as usize * self.cz + tid % self.cz)
+        }
+    }
+
+    /// Neighbour thread id one step along z, if any.
+    pub fn neighbor_z(&self, tid: usize, step: isize) -> Option<usize> {
+        let iz = (tid % self.cz) as isize + step;
+        if iz < 0 || iz >= self.cz as isize {
+            None
+        } else {
+            Some(tid / self.cz * self.cz + iz as usize)
+        }
+    }
+}
+
+/// The LDM window each CPE loads per DMA batch (Fig. 4 level 4): `Wx` planes
+/// of `Wy × Wz` points, including the stencil halo in x.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LdmWindow {
+    /// z extent of the window (fastest axis — sets the DMA block size).
+    pub wz: usize,
+    /// y extent of the window, including `2·H` halo rows.
+    pub wy: usize,
+    /// Number of x planes resident (≥ 5 for the 4th-order stencil).
+    pub wx: usize,
+}
+
+impl LdmWindow {
+    /// LDM bytes needed for `n_arrays` single-precision arrays of this
+    /// window shape — left side of the paper's eq. (6).
+    pub const fn ldm_bytes(&self, n_arrays: usize) -> usize {
+        self.wz * self.wy * self.wx * n_arrays * 4
+    }
+
+    /// True when the window fits the SW26010's 64-KB LDM (eq. 6).
+    pub const fn fits_ldm(&self, n_arrays: usize) -> bool {
+        self.ldm_bytes(n_arrays) < 64 * 1024
+    }
+
+    /// DMA block size in bytes for a z-run of this window when each grid
+    /// point carries `components` fused floats.
+    pub const fn dma_block_bytes(&self, components: usize) -> usize {
+        self.wz * 4 * components
+    }
+}
+
+/// Iterator over the tiles a CPE region is processed in: steps of `wz` along
+/// z, `wy - 2*halo` effective rows along y, streaming all x.
+pub struct TileIter {
+    region: CgBlock,
+    window: LdmWindow,
+    halo: usize,
+    cur_y: usize,
+    cur_z: usize,
+    done: bool,
+}
+
+impl TileIter {
+    /// Tiles covering `region` with LDM window `window` and stencil halo
+    /// `halo` (the y window includes `2*halo` redundant rows).
+    pub fn new(region: CgBlock, window: LdmWindow, halo: usize) -> Self {
+        assert!(window.wy > 2 * halo, "window wy must exceed the halo rows");
+        let done = region.is_empty();
+        Self { region, window, halo, cur_y: 0, cur_z: 0, done }
+    }
+}
+
+impl Iterator for TileIter {
+    /// Each tile is the *effective* (halo-free) region it updates.
+    type Item = CgBlock;
+
+    fn next(&mut self) -> Option<CgBlock> {
+        if self.done {
+            return None;
+        }
+        let eff_y = self.window.wy - 2 * self.halo;
+        let ny = (self.region.dims.ny - self.cur_y).min(eff_y);
+        let nz = (self.region.dims.nz - self.cur_z).min(self.window.wz);
+        let tile = CgBlock {
+            x0: self.region.x0,
+            y0: self.region.y0 + self.cur_y,
+            z0: self.region.z0 + self.cur_z,
+            dims: Dims3::new(self.region.dims.nx, ny, nz),
+        };
+        self.cur_z += nz;
+        if self.cur_z >= self.region.dims.nz {
+            self.cur_z = 0;
+            self.cur_y += ny;
+            if self.cur_y >= self.region.dims.ny {
+                self.done = true;
+            }
+        }
+        Some(tile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_even_covers_exactly() {
+        for n in [1usize, 7, 64, 100, 513] {
+            for parts in [1usize, 2, 3, 8, 64] {
+                let s = split_even(n.max(parts), parts);
+                assert_eq!(s.len(), parts);
+                assert_eq!(s[0].0, 0);
+                let total: usize = s.iter().map(|&(_, l)| l).sum();
+                assert_eq!(total, n.max(parts));
+                for w in s.windows(2) {
+                    assert_eq!(w[0].0 + w[0].1, w[1].0, "ranges must be contiguous");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn athread_layout_requires_64() {
+        let l = AthreadLayout::paper_optimal();
+        assert_eq!((l.cy, l.cz), (64, 1));
+        assert_eq!(AthreadLayout::all().len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 CPEs")]
+    fn athread_layout_rejects_non_64() {
+        let _ = AthreadLayout::new(8, 4);
+    }
+
+    #[test]
+    fn regions_partition_block() {
+        let block = CgBlock::whole(Dims3::new(10, 160, 512));
+        for layout in AthreadLayout::all() {
+            let mut count = 0usize;
+            for tid in 0..64 {
+                count += layout.region(&block, tid).len();
+            }
+            assert_eq!(count, block.len(), "regions must tile the block");
+        }
+    }
+
+    #[test]
+    fn neighbors_in_thread_grid() {
+        let l = AthreadLayout::new(8, 8);
+        assert_eq!(l.neighbor_y(0, 1), Some(8));
+        assert_eq!(l.neighbor_y(0, -1), None);
+        assert_eq!(l.neighbor_z(0, 1), Some(1));
+        assert_eq!(l.neighbor_z(7, 1), None);
+        let col = AthreadLayout::paper_optimal();
+        assert_eq!(col.neighbor_y(5, 1), Some(6));
+        assert_eq!(col.neighbor_z(5, 1), None, "Cz=1 has no z neighbours");
+    }
+
+    #[test]
+    fn ldm_window_capacity_matches_paper_eq8_eq9() {
+        // eq. (8): 10 separate arrays, Wy=9, Wx=5 → max Wz ≈ 32 within 64 KB.
+        let w32 = LdmWindow { wz: 32, wy: 9, wx: 5 };
+        assert!(w32.fits_ldm(10));
+        let w64 = LdmWindow { wz: 64, wy: 9, wx: 5 };
+        assert!(!w64.fits_ldm(10));
+        // eq. (9): 3 fused arrays → max Wz ≈ 108.
+        let w108 = LdmWindow { wz: 108, wy: 9, wx: 5 };
+        assert!(w108.fits_ldm(3));
+        let w128 = LdmWindow { wz: 128, wy: 9, wx: 5 };
+        assert!(!w128.fits_ldm(3));
+    }
+
+    #[test]
+    fn tiles_cover_region_without_overlap() {
+        let region = CgBlock { x0: 0, y0: 3, z0: 5, dims: Dims3::new(4, 17, 100) };
+        let window = LdmWindow { wz: 32, wy: 9, wx: 5 };
+        let tiles: Vec<CgBlock> = TileIter::new(region, window, 2).collect();
+        let covered: usize = tiles.iter().map(CgBlock::len).sum();
+        assert_eq!(covered, region.len());
+        for t in &tiles {
+            assert!(t.dims.nz <= 32);
+            assert!(t.dims.ny <= 9 - 4);
+            assert!(t.y0 >= 3 && t.z0 >= 5);
+        }
+    }
+
+    #[test]
+    fn cg_blocks_tile_grid() {
+        let dims = Dims3::new(8, 160, 512);
+        let blocks = cg_blocks(dims, 2, 4);
+        assert_eq!(blocks.len(), 8);
+        let total: usize = blocks.iter().map(CgBlock::len).sum();
+        assert_eq!(total, dims.len());
+    }
+}

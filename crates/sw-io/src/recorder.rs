@@ -1,0 +1,255 @@
+//! Observation recorders (the "Snapshot/Seismo Recorder" of Fig. 3).
+//!
+//! * [`SeismogramRecorder`] — velocity time histories at named stations
+//!   (Fig. 6 / Fig. 11a–b);
+//! * [`SnapshotRecorder`] — decimated surface-velocity snapshots
+//!   (Fig. 11c–d);
+//! * [`PgvRecorder`] — horizontal peak ground velocity per surface point,
+//!   the input to the seismic-intensity hazard maps (Fig. 11e–f).
+
+use serde::{Deserialize, Serialize};
+use sw_grid::{Dims3, Field3};
+
+/// A recording station at a surface grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Station {
+    /// Station name.
+    pub name: String,
+    /// Grid index along x.
+    pub ix: usize,
+    /// Grid index along y.
+    pub iy: usize,
+}
+
+/// One station's recorded three-component velocity history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Seismogram {
+    /// The station.
+    pub station: Station,
+    /// Sample interval, s.
+    pub dt: f64,
+    /// Velocity samples `(vx, vy, vz)`, m/s.
+    pub samples: Vec<[f32; 3]>,
+}
+
+impl Seismogram {
+    /// Peak absolute horizontal velocity, m/s.
+    pub fn peak_horizontal(&self) -> f32 {
+        self.samples
+            .iter()
+            .map(|s| (s[0] * s[0] + s[1] * s[1]).sqrt())
+            .fold(0.0, f32::max)
+    }
+
+    /// Root-mean-square misfit of the x component against a reference
+    /// seismogram, normalized by the reference RMS — the quantitative
+    /// form of the Fig. 6 compressed-vs-base comparison.
+    pub fn normalized_misfit(&self, reference: &Seismogram) -> f64 {
+        assert_eq!(self.samples.len(), reference.samples.len());
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (a, b) in self.samples.iter().zip(&reference.samples) {
+            for c in 0..3 {
+                num += ((a[c] - b[c]) as f64).powi(2);
+                den += (b[c] as f64).powi(2);
+            }
+        }
+        if den == 0.0 {
+            if num == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (num / den).sqrt()
+        }
+    }
+}
+
+/// Records velocity histories at stations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeismogramRecorder {
+    records: Vec<Seismogram>,
+}
+
+impl SeismogramRecorder {
+    /// Recorder for `stations` sampling every `dt` seconds.
+    pub fn new(stations: Vec<Station>, dt: f64) -> Self {
+        Self {
+            records: stations
+                .into_iter()
+                .map(|station| Seismogram { station, dt, samples: Vec::new() })
+                .collect(),
+        }
+    }
+
+    /// Record one step: sample the surface (z = 0) velocity at every
+    /// station.
+    pub fn record(&mut self, u: &Field3, v: &Field3, w: &Field3) {
+        for rec in &mut self.records {
+            let (ix, iy) = (rec.station.ix, rec.station.iy);
+            rec.samples.push([u.get(ix, iy, 0), v.get(ix, iy, 0), w.get(ix, iy, 0)]);
+        }
+    }
+
+    /// The recorded seismograms.
+    pub fn seismograms(&self) -> &[Seismogram] {
+        &self.records
+    }
+
+    /// Look up one station by name.
+    pub fn get(&self, name: &str) -> Option<&Seismogram> {
+        self.records.iter().find(|r| r.station.name == name)
+    }
+}
+
+/// Records decimated surface snapshots of |v|.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotRecorder {
+    /// Take every `stride`-th point along x and y.
+    pub stride: usize,
+    /// Snapshots `(time, values)` with row-major decimated layout.
+    pub snapshots: Vec<(f64, Vec<f32>)>,
+}
+
+impl SnapshotRecorder {
+    /// Recorder with the given decimation.
+    pub fn new(stride: usize) -> Self {
+        assert!(stride > 0);
+        Self { stride, snapshots: Vec::new() }
+    }
+
+    /// Decimated extents for a mesh.
+    pub fn snapshot_dims(&self, dims: Dims3) -> (usize, usize) {
+        (dims.nx.div_ceil(self.stride), dims.ny.div_ceil(self.stride))
+    }
+
+    /// Capture the surface |v| field at time `t`.
+    pub fn capture(&mut self, t: f64, u: &Field3, v: &Field3, w: &Field3) {
+        let d = u.dims();
+        let mut out = Vec::new();
+        for x in (0..d.nx).step_by(self.stride) {
+            for y in (0..d.ny).step_by(self.stride) {
+                let (a, b, c) = (u.get(x, y, 0), v.get(x, y, 0), w.get(x, y, 0));
+                out.push((a * a + b * b + c * c).sqrt());
+            }
+        }
+        self.snapshots.push((t, out));
+    }
+}
+
+/// Accumulates horizontal peak ground velocity over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PgvRecorder {
+    nx: usize,
+    ny: usize,
+    /// Peak |v_horizontal| per surface point, row-major (x, y).
+    pub pgv: Vec<f32>,
+}
+
+impl PgvRecorder {
+    /// Recorder over an `nx × ny` surface.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        Self { nx, ny, pgv: vec![0.0; nx * ny] }
+    }
+
+    /// Fold in one step's surface velocities.
+    pub fn record(&mut self, u: &Field3, v: &Field3) {
+        let d = u.dims();
+        debug_assert_eq!((d.nx, d.ny), (self.nx, self.ny));
+        for x in 0..self.nx {
+            for y in 0..self.ny {
+                let (a, b) = (u.get(x, y, 0), v.get(x, y, 0));
+                let h = (a * a + b * b).sqrt();
+                let p = &mut self.pgv[x * self.ny + y];
+                if h > *p {
+                    *p = h;
+                }
+            }
+        }
+    }
+
+    /// PGV at a surface point.
+    pub fn at(&self, x: usize, y: usize) -> f32 {
+        self.pgv[x * self.ny + y]
+    }
+
+    /// Maximum PGV anywhere.
+    pub fn max(&self) -> f32 {
+        self.pgv.iter().copied().fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(val: f32) -> (Field3, Field3, Field3) {
+        let d = Dims3::new(4, 4, 3);
+        (
+            Field3::filled(d, 2, val),
+            Field3::filled(d, 2, -val),
+            Field3::filled(d, 2, 0.5 * val),
+        )
+    }
+
+    #[test]
+    fn seismograms_sample_surface_velocity() {
+        let mut rec = SeismogramRecorder::new(
+            vec![Station { name: "Ninghe".into(), ix: 1, iy: 2 }],
+            0.01,
+        );
+        let (u, v, w) = fields(2.0);
+        rec.record(&u, &v, &w);
+        let (u2, v2, w2) = fields(3.0);
+        rec.record(&u2, &v2, &w2);
+        let s = rec.get("Ninghe").unwrap();
+        assert_eq!(s.samples.len(), 2);
+        assert_eq!(s.samples[0], [2.0, -2.0, 1.0]);
+        assert!((s.peak_horizontal() - (9.0f32 + 9.0).sqrt()).abs() < 1e-6);
+        assert!(rec.get("Nowhere").is_none());
+    }
+
+    #[test]
+    fn misfit_zero_for_identical_and_positive_otherwise() {
+        let mut rec = SeismogramRecorder::new(
+            vec![Station { name: "A".into(), ix: 0, iy: 0 }],
+            0.01,
+        );
+        let (u, v, w) = fields(1.0);
+        rec.record(&u, &v, &w);
+        let a = rec.seismograms()[0].clone();
+        let mut b = a.clone();
+        assert_eq!(a.normalized_misfit(&b), 0.0);
+        b.samples[0][0] += 0.1;
+        assert!(a.normalized_misfit(&b) > 0.0);
+    }
+
+    #[test]
+    fn snapshots_are_decimated() {
+        let mut rec = SnapshotRecorder::new(2);
+        let (u, v, w) = fields(1.0);
+        rec.capture(0.5, &u, &v, &w);
+        let (sx, sy) = rec.snapshot_dims(u.dims());
+        assert_eq!((sx, sy), (2, 2));
+        assert_eq!(rec.snapshots.len(), 1);
+        assert_eq!(rec.snapshots[0].1.len(), 4);
+        let expect = (1.0f32 + 1.0 + 0.25).sqrt();
+        assert!((rec.snapshots[0].1[0] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pgv_keeps_the_running_maximum() {
+        let mut rec = PgvRecorder::new(4, 4);
+        let (u, v, _) = fields(1.0);
+        rec.record(&u, &v);
+        let first = rec.at(0, 0);
+        let (u2, v2, _) = fields(0.2);
+        rec.record(&u2, &v2);
+        assert_eq!(rec.at(0, 0), first, "smaller later motion keeps the peak");
+        let (u3, v3, _) = fields(5.0);
+        rec.record(&u3, &v3);
+        assert!(rec.at(0, 0) > first);
+        assert_eq!(rec.max(), rec.at(1, 1));
+    }
+}

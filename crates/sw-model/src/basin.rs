@@ -1,0 +1,175 @@
+//! Sediment basins.
+//!
+//! The sediments are the scientific heart of the paper's Fig. 11: "low
+//! spatial resolution such as 200 m is not enough to describe the basin
+//! structure very well (the maximum sediment depth is 800 m)", and the
+//! hazard redistribution ("the Luannan county … not located adjacent to the
+//! fault trace, also experienced great damage") is a sediment effect. A
+//! [`SedimentBasin`] is a smooth low-velocity inclusion whose depth map is a
+//! sum of Gaussian lobes.
+
+use crate::material::Material;
+use crate::model::VelocityModel;
+use serde::{Deserialize, Serialize};
+
+/// One Gaussian lobe of a basin's depth function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BasinLobe {
+    /// Lobe center x, m.
+    pub cx: f64,
+    /// Lobe center y, m.
+    pub cy: f64,
+    /// Gaussian radius along x, m.
+    pub rx: f64,
+    /// Gaussian radius along y, m.
+    pub ry: f64,
+    /// Peak sediment depth of the lobe, m.
+    pub depth: f64,
+}
+
+impl BasinLobe {
+    /// Sediment depth contributed at `(x, y)`.
+    pub fn depth_at(&self, x: f64, y: f64) -> f64 {
+        let dx = (x - self.cx) / self.rx;
+        let dy = (y - self.cy) / self.ry;
+        self.depth * (-(dx * dx + dy * dy)).exp()
+    }
+}
+
+/// A sediment basin overlaid on a background model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SedimentBasin {
+    /// Depth-map lobes (their max is the basin depth at a point).
+    pub lobes: Vec<BasinLobe>,
+    /// The sediment fill material.
+    pub fill: Material,
+    /// Transition thickness at the basin bottom, m (material blends over
+    /// this span instead of jumping).
+    pub transition: f64,
+}
+
+impl SedimentBasin {
+    /// Basin with a single lobe.
+    pub fn single(lobe: BasinLobe, fill: Material) -> Self {
+        Self { lobes: vec![lobe], fill, transition: 100.0 }
+    }
+
+    /// Sediment depth at `(x, y)` (zero outside the basin).
+    pub fn depth_at(&self, x: f64, y: f64) -> f64 {
+        self.lobes.iter().map(|l| l.depth_at(x, y)).fold(0.0, f64::max)
+    }
+
+    /// Deepest point of the depth map over a search grid.
+    pub fn max_depth(&self) -> f64 {
+        self.lobes.iter().map(|l| l.depth).fold(0.0, f64::max)
+    }
+
+    /// Material at `(x, y, depth)` given the background material below.
+    pub fn blend(&self, x: f64, y: f64, depth: f64, background: Material) -> Material {
+        let bottom = self.depth_at(x, y);
+        // A Gaussian depth map never reaches exactly zero; below one meter
+        // of fill the basin is structurally absent.
+        if bottom <= 1.0 || depth > bottom + self.transition {
+            return background;
+        }
+        if depth <= bottom {
+            // Inside the fill: stiffen slightly with depth so vs grows from
+            // its surface value (realistic compaction).
+            let t = if bottom > 0.0 { (depth / bottom) as f32 * 0.3 } else { 0.0 };
+            return self.fill.lerp(&background, t);
+        }
+        // Transition zone below the fill.
+        let t = ((depth - bottom) / self.transition) as f32;
+        self.fill.lerp(&background, 0.3 + 0.7 * t)
+    }
+}
+
+/// A background model with a sediment basin carved into its top.
+#[derive(Debug, Clone)]
+pub struct BasinModel<M: VelocityModel> {
+    /// The regional background.
+    pub background: M,
+    /// The basin.
+    pub basin: SedimentBasin,
+}
+
+impl<M: VelocityModel> VelocityModel for BasinModel<M> {
+    fn sample(&self, x: f64, y: f64, depth: f64) -> Material {
+        let bg = self.background.sample(x, y, depth);
+        self.basin.blend(x, y, depth, bg)
+    }
+
+    fn vp_max(&self) -> f32 {
+        self.background.vp_max().max(self.basin.fill.vp)
+    }
+
+    fn vs_min(&self) -> f32 {
+        self.background.vs_min().min(self.basin.fill.vs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::HalfspaceModel;
+
+    fn lobe() -> BasinLobe {
+        BasinLobe { cx: 0.0, cy: 0.0, rx: 10_000.0, ry: 20_000.0, depth: 800.0 }
+    }
+
+    #[test]
+    fn depth_peaks_at_center_and_decays() {
+        let b = SedimentBasin::single(lobe(), Material::sediment());
+        assert!((b.depth_at(0.0, 0.0) - 800.0).abs() < 1e-9);
+        assert!(b.depth_at(10_000.0, 0.0) < 800.0 * 0.4);
+        assert!(b.depth_at(100_000.0, 0.0) < 1.0, "far field is sediment-free");
+        assert_eq!(b.max_depth(), 800.0);
+    }
+
+    #[test]
+    fn multiple_lobes_take_max() {
+        let mut b = SedimentBasin::single(lobe(), Material::sediment());
+        b.lobes.push(BasinLobe { cx: 30_000.0, cy: 0.0, rx: 5_000.0, ry: 5_000.0, depth: 400.0 });
+        assert!((b.depth_at(30_000.0, 0.0) - 400.0).abs() < 1.0);
+        assert!((b.depth_at(0.0, 0.0) - 800.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn basin_model_is_slow_at_surface_fast_below() {
+        let m = BasinModel {
+            background: HalfspaceModel::hard_rock(),
+            basin: SedimentBasin::single(lobe(), Material::sediment()),
+        };
+        let surf = m.sample(0.0, 0.0, 10.0);
+        let deep = m.sample(0.0, 0.0, 5_000.0);
+        assert!(surf.vs < 1000.0, "sediment vs {}", surf.vs);
+        assert_eq!(deep, Material::hard_rock());
+        // Outside the basin the surface is rock too.
+        let outside = m.sample(80_000.0, 0.0, 10.0);
+        assert_eq!(outside, Material::hard_rock());
+    }
+
+    #[test]
+    fn transition_is_monotone_in_depth() {
+        let m = BasinModel {
+            background: HalfspaceModel::hard_rock(),
+            basin: SedimentBasin::single(lobe(), Material::sediment()),
+        };
+        let mut prev = 0.0;
+        for d in [0.0, 200.0, 600.0, 800.0, 850.0, 900.0, 1200.0] {
+            let vs = m.sample(0.0, 0.0, d).vs;
+            assert!(vs >= prev, "vs must not decrease with depth: {vs} at {d}");
+            prev = vs;
+        }
+    }
+
+    #[test]
+    fn vp_vs_extremes_account_for_fill() {
+        let m = BasinModel {
+            background: HalfspaceModel::hard_rock(),
+            basin: SedimentBasin::single(lobe(), Material::sediment()),
+        };
+        assert_eq!(m.vs_min(), Material::sediment().vs);
+        assert_eq!(m.vp_max(), 6000.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! 3-D earth models for `swquake` (the "3D Vel/Den Model" and "3D Model
+//! Interpolator" boxes of Fig. 3).
+//!
+//! The paper drives its Tangshan simulations with "the 3D velocity model of
+//! north China with resolutions of 25 km in horizontal and of 1–2 km in the
+//! vertical directions", plus a sediment layer for the strong-ground-motion
+//! runs (Fig. 10a shows sediment depths up to 800 m). Those observational
+//! datasets are proprietary, so this crate generates the same *class* of
+//! structure analytically:
+//!
+//! * [`model`] — the [`model::VelocityModel`] trait plus
+//!   half-space and depth-layered crustal models;
+//! * [`basin`] — low-velocity sediment basins with smooth depth functions
+//!   (the structure responsible for the paper's coda-wave and resolution
+//!   sensitivity results in Fig. 11);
+//! * [`tangshan`] — a Tangshan-like regional model: layered North-China
+//!   crust with a sediment basin around the epicenter;
+//! * [`grid`] — discretized material grids and the trilinear interpolator
+//!   that remaps a coarse model onto the simulation mesh.
+
+pub mod basin;
+pub mod grid;
+pub mod material;
+pub mod model;
+pub mod tangshan;
+
+pub use basin::SedimentBasin;
+pub use grid::MaterialGrid;
+pub use material::Material;
+pub use model::{HalfspaceModel, Layer, LayeredModel, VelocityModel};
+pub use tangshan::TangshanModel;

@@ -1,0 +1,119 @@
+//! Elastic/anelastic material properties at one point.
+
+use serde::{Deserialize, Serialize};
+
+/// Isotropic material: P/S velocities, density, and quality factors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    /// P-wave velocity, m/s.
+    pub vp: f32,
+    /// S-wave velocity, m/s.
+    pub vs: f32,
+    /// Density, kg/m³.
+    pub rho: f32,
+    /// P quality factor (attenuation).
+    pub qp: f32,
+    /// S quality factor.
+    pub qs: f32,
+}
+
+impl Material {
+    /// Construct and validate.
+    pub fn new(vp: f32, vs: f32, rho: f32, qp: f32, qs: f32) -> Self {
+        let m = Self { vp, vs, rho, qp, qs };
+        m.validate();
+        m
+    }
+
+    /// Hard rock reference (granitic basement).
+    pub fn hard_rock() -> Self {
+        Self::new(6000.0, 3464.0, 2700.0, 800.0, 400.0)
+    }
+
+    /// Shallow sediment (the basin fill of §8).
+    pub fn sediment() -> Self {
+        Self::new(1800.0, 600.0, 1900.0, 80.0, 40.0)
+    }
+
+    /// First Lamé parameter λ = ρ(vp² − 2 vs²), Pa.
+    pub fn lambda(&self) -> f32 {
+        self.rho * (self.vp * self.vp - 2.0 * self.vs * self.vs)
+    }
+
+    /// Shear modulus μ = ρ vs², Pa.
+    pub fn mu(&self) -> f32 {
+        self.rho * self.vs * self.vs
+    }
+
+    /// Poisson's ratio.
+    pub fn poisson(&self) -> f32 {
+        let r = (self.vp / self.vs).powi(2);
+        (r - 2.0) / (2.0 * (r - 1.0))
+    }
+
+    /// Panic unless the material is physically admissible.
+    pub fn validate(&self) {
+        assert!(self.vp > 0.0 && self.vs >= 0.0 && self.rho > 0.0, "non-positive material");
+        assert!(
+            self.vp > self.vs * std::f32::consts::SQRT_2,
+            "vp/vs must exceed sqrt(2) for positive lambda: vp={} vs={}",
+            self.vp,
+            self.vs
+        );
+        assert!(self.qp > 0.0 && self.qs > 0.0, "quality factors must be positive");
+    }
+
+    /// Linear blend towards `other` (used at basin edges to avoid
+    /// impedance discontinuities sharper than the mesh can carry).
+    pub fn lerp(&self, other: &Material, t: f32) -> Material {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: f32, b: f32| a + (b - a) * t;
+        Material {
+            vp: mix(self.vp, other.vp),
+            vs: mix(self.vs, other.vs),
+            rho: mix(self.rho, other.rho),
+            qp: mix(self.qp, other.qp),
+            qs: mix(self.qs, other.qs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lame_parameters_of_poisson_solid() {
+        // vp/vs = sqrt(3) → λ = μ, Poisson's ratio 0.25.
+        let m = Material::new(3464.0, 2000.0, 2700.0, 100.0, 50.0);
+        let ratio = m.lambda() / m.mu();
+        assert!((ratio - 1.0).abs() < 0.01, "lambda/mu {ratio}");
+        assert!((m.poisson() - 0.25).abs() < 0.005);
+    }
+
+    #[test]
+    fn reference_materials_are_valid() {
+        Material::hard_rock().validate();
+        Material::sediment().validate();
+        assert!(Material::sediment().vs < Material::hard_rock().vs);
+    }
+
+    #[test]
+    #[should_panic(expected = "sqrt(2)")]
+    fn rejects_unphysical_vp_vs() {
+        let _ = Material::new(1000.0, 900.0, 2000.0, 100.0, 50.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Material::hard_rock();
+        let b = Material::sediment();
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.vp - 0.5 * (a.vp + b.vp)).abs() < 1e-3);
+        // clamping
+        assert_eq!(a.lerp(&b, -3.0), a);
+        assert_eq!(a.lerp(&b, 7.0), b);
+    }
+}

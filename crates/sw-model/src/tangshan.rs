@@ -1,0 +1,197 @@
+//! A Tangshan-like regional model (§8).
+//!
+//! The paper's domain is 320 km × 312 km × 40 km covering Tangshan,
+//! Beijing, Tianjin, Cangzhou and the Bohai coast, with a layered
+//! North-China crust and coastal sediments up to 800 m deep (Fig. 10a).
+//! The survey data are not public; this module builds an analytic stand-in
+//! with the same structural elements at the published scales, and scales
+//! *down* cleanly for laptop-size runs (every length is a fraction of the
+//! domain, so a 32-km domain keeps the same geometry).
+
+use crate::basin::{BasinLobe, SedimentBasin};
+use crate::material::Material;
+use crate::model::{LayeredModel, VelocityModel};
+use serde::{Deserialize, Serialize};
+
+/// The Tangshan-like regional model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TangshanModel {
+    /// Domain extent along x (east), m.
+    pub lx: f64,
+    /// Domain extent along y (north), m.
+    pub ly: f64,
+    /// Domain depth, m.
+    pub lz: f64,
+    crust: LayeredModel,
+    basin: SedimentBasin,
+    /// Station locations (fractions of the domain): the paper's Ninghe
+    /// (near-fault, on sediment) and Cangzhou (far-field) stations.
+    pub stations: Vec<(String, f64, f64)>,
+}
+
+impl TangshanModel {
+    /// Paper-scale domain: 320 km × 312 km × 40 km.
+    pub fn paper_scale() -> Self {
+        Self::with_extent(320_000.0, 312_000.0, 40_000.0)
+    }
+
+    /// Same structure scaled to an arbitrary domain (horizontal features
+    /// scale with x/y, sediment depths and crustal layering stay physical
+    /// until the domain shrinks below them, in which case they scale too).
+    pub fn with_extent(lx: f64, ly: f64, lz: f64) -> Self {
+        let scale = (lz / 40_000.0).min(1.0);
+        // Sediment lobes: a broad coastal basin in the south-east (Bohai),
+        // a lobe under the epicentral region, and a smaller one near the
+        // Luannan area east of the fault (the hazard-redistribution case).
+        let basin = SedimentBasin {
+            lobes: vec![
+                BasinLobe {
+                    cx: 0.62 * lx,
+                    cy: 0.30 * ly,
+                    rx: 0.28 * lx,
+                    ry: 0.25 * ly,
+                    depth: 800.0 * scale,
+                },
+                BasinLobe {
+                    cx: 0.70 * lx,
+                    cy: 0.55 * ly,
+                    rx: 0.10 * lx,
+                    ry: 0.08 * ly,
+                    depth: 600.0 * scale,
+                },
+                BasinLobe {
+                    cx: 0.82 * lx,
+                    cy: 0.50 * ly,
+                    rx: 0.07 * lx,
+                    ry: 0.06 * ly,
+                    depth: 500.0 * scale,
+                },
+            ],
+            fill: Material::sediment(),
+            transition: 120.0 * scale.max(0.05),
+        };
+        let mut crust = LayeredModel::north_china();
+        if scale < 1.0 {
+            // Shrink layer tops with the domain so small test domains keep
+            // the full structural sequence.
+            let layers = crust
+                .layers()
+                .iter()
+                .map(|l| crate::model::Layer { top: l.top * scale, material: l.material })
+                .collect();
+            crust = LayeredModel::new(layers, true);
+        }
+        Self {
+            lx,
+            ly,
+            lz,
+            crust,
+            basin,
+            stations: vec![
+                ("Ninghe".to_string(), 0.66, 0.52),
+                ("Cangzhou".to_string(), 0.42, 0.18),
+            ],
+        }
+    }
+
+    /// The sediment depth map (for Fig. 10a-style output).
+    pub fn sediment_depth(&self, x: f64, y: f64) -> f64 {
+        self.basin.depth_at(x, y)
+    }
+
+    /// Epicenter position (fractions of the paper's Fig. 10a: inside the
+    /// coastal sediment, south of Tangshan city).
+    pub fn epicenter(&self) -> (f64, f64) {
+        (0.68 * self.lx, 0.56 * self.ly)
+    }
+
+    /// Station position in meters by name.
+    pub fn station(&self, name: &str) -> Option<(f64, f64)> {
+        self.stations
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, fx, fy)| (fx * self.lx, fy * self.ly))
+    }
+}
+
+impl VelocityModel for TangshanModel {
+    fn sample(&self, x: f64, y: f64, depth: f64) -> Material {
+        let bg = self.crust.sample(x, y, depth);
+        self.basin.blend(x, y, depth, bg)
+    }
+
+    fn vp_max(&self) -> f32 {
+        self.crust.vp_max()
+    }
+
+    fn vs_min(&self) -> f32 {
+        self.basin.fill.vs.min(self.crust.vs_min())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_dimensions() {
+        let m = TangshanModel::paper_scale();
+        assert_eq!(m.lx, 320_000.0);
+        assert_eq!(m.ly, 312_000.0);
+        assert_eq!(m.lz, 40_000.0);
+    }
+
+    #[test]
+    fn epicenter_sits_on_sediment() {
+        // §8.2: "the epicenter of Tangshan earthquake is located at the
+        // sediment basin".
+        let m = TangshanModel::paper_scale();
+        let (ex, ey) = m.epicenter();
+        assert!(m.sediment_depth(ex, ey) > 100.0, "epicentral sediment");
+        let surface = m.sample(ex, ey, 5.0);
+        assert!(surface.vs < 1500.0, "soft surface at the epicenter");
+    }
+
+    #[test]
+    fn max_sediment_depth_is_800m() {
+        let m = TangshanModel::paper_scale();
+        let mut max = 0.0f64;
+        for i in 0..64 {
+            for j in 0..64 {
+                let d = m.sediment_depth(m.lx * i as f64 / 63.0, m.ly * j as f64 / 63.0);
+                max = max.max(d);
+            }
+        }
+        assert!((700.0..=800.0).contains(&max), "max sediment {max} m");
+    }
+
+    #[test]
+    fn stations_exist_with_distinct_site_conditions() {
+        let m = TangshanModel::paper_scale();
+        let (nx, ny) = m.station("Ninghe").unwrap();
+        let (cx, cy) = m.station("Cangzhou").unwrap();
+        // Ninghe is near-fault and on thicker sediment than far Cangzhou's
+        // position in our analytic map.
+        let (ex, ey) = m.epicenter();
+        let d_ninghe = ((nx - ex).powi(2) + (ny - ey).powi(2)).sqrt();
+        let d_cangzhou = ((cx - ex).powi(2) + (cy - ey).powi(2)).sqrt();
+        assert!(d_ninghe < d_cangzhou, "Ninghe closer to the epicenter");
+        assert!(m.station("Atlantis").is_none());
+    }
+
+    #[test]
+    fn scaled_model_keeps_structure() {
+        let m = TangshanModel::with_extent(32_000.0, 31_200.0, 4_000.0);
+        let (ex, ey) = m.epicenter();
+        assert!(m.sediment_depth(ex, ey) > 10.0, "scaled sediment survives");
+        let deep = m.sample(ex, ey, 3_900.0);
+        assert!(deep.vp > 7000.0, "scaled Moho inside the domain: vp {}", deep.vp);
+    }
+
+    #[test]
+    fn velocity_extremes() {
+        let m = TangshanModel::paper_scale();
+        assert_eq!(m.vs_min(), Material::sediment().vs);
+        assert_eq!(m.vp_max(), 8000.0);
+    }
+}

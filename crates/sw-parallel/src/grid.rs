@@ -1,0 +1,118 @@
+//! The 2-D rank grid.
+
+use sw_grid::halo::Face;
+use sw_grid::tile::split_even;
+use sw_grid::Dims3;
+
+/// An `Mx × My` grid of MPI-like ranks covering the horizontal plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankGrid {
+    /// Ranks along x.
+    pub mx: usize,
+    /// Ranks along y.
+    pub my: usize,
+}
+
+impl RankGrid {
+    /// Construct a grid.
+    pub fn new(mx: usize, my: usize) -> Self {
+        assert!(mx > 0 && my > 0);
+        Self { mx, my }
+    }
+
+    /// Total ranks.
+    pub fn len(&self) -> usize {
+        self.mx * self.my
+    }
+
+    /// True for a degenerate single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Rank id of coordinates `(px, py)` (row-major over x).
+    pub fn rank_of(&self, px: usize, py: usize) -> usize {
+        assert!(px < self.mx && py < self.my);
+        px * self.my + py
+    }
+
+    /// Coordinates of a rank id.
+    pub fn coords_of(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.len());
+        (rank / self.my, rank % self.my)
+    }
+
+    /// Neighbour rank behind `face`, if any (no wraparound — the domain
+    /// boundary is absorbing).
+    pub fn neighbor(&self, rank: usize, face: Face) -> Option<usize> {
+        let (px, py) = self.coords_of(rank);
+        let (dx, dy) = face.offset();
+        let nx = px as isize + dx;
+        let ny = py as isize + dy;
+        if nx < 0 || ny < 0 || nx >= self.mx as isize || ny >= self.my as isize {
+            None
+        } else {
+            Some(self.rank_of(nx as usize, ny as usize))
+        }
+    }
+
+    /// Local subdomain of `rank` for a global mesh `global`: returns
+    /// `(x_start, y_start, local_dims)`. z is never decomposed.
+    pub fn local_span(&self, rank: usize, global: Dims3) -> (usize, usize, Dims3) {
+        let (px, py) = self.coords_of(rank);
+        let (x0, lx) = split_even(global.nx, self.mx)[px];
+        let (y0, ly) = split_even(global.ny, self.my)[py];
+        (x0, y0, Dims3::new(lx, ly, global.nz))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let g = RankGrid::new(4, 3);
+        for r in 0..12 {
+            let (px, py) = g.coords_of(r);
+            assert_eq!(g.rank_of(px, py), r);
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let g = RankGrid::new(3, 3);
+        let center = g.rank_of(1, 1);
+        assert_eq!(g.neighbor(center, Face::West), Some(g.rank_of(0, 1)));
+        assert_eq!(g.neighbor(center, Face::North), Some(g.rank_of(1, 2)));
+        let corner = g.rank_of(0, 0);
+        assert_eq!(g.neighbor(corner, Face::West), None);
+        assert_eq!(g.neighbor(corner, Face::South), None);
+        assert_eq!(g.neighbor(corner, Face::East), Some(g.rank_of(1, 0)));
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let g = RankGrid::new(4, 5);
+        for r in 0..g.len() {
+            for f in Face::ALL {
+                if let Some(n) = g.neighbor(r, f) {
+                    assert_eq!(g.neighbor(n, f.opposite()), Some(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_spans_tile_the_global_mesh() {
+        let g = RankGrid::new(3, 2);
+        let global = Dims3::new(100, 45, 16);
+        let mut covered = 0usize;
+        for r in 0..g.len() {
+            let (_, _, d) = g.local_span(r, global);
+            assert_eq!(d.nz, 16, "z never decomposed");
+            covered += d.nx * d.ny;
+        }
+        assert_eq!(covered * 16, global.len());
+    }
+}

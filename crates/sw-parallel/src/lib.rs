@@ -1,0 +1,26 @@
+//! MPI-like 2-D rank decomposition and halo exchange (Fig. 4, level 1).
+//!
+//! The paper decomposes only the horizontal plane into `Mx × My` MPI
+//! processes (z is never split; §6.3), "with the well-designed MPI scheme
+//! to hide halo communication in computation inherited from AWP-ODC". This
+//! crate provides the same structure at laptop scale: each simulated rank
+//! is a thread, faces travel over channels, and exchanges can be split
+//! into a post/finish pair so computation of the interior overlaps
+//! communication exactly as on the real machine.
+//!
+//! * [`grid`] — the rank grid: rank ↔ coordinates, neighbours, local
+//!   subdomain spans;
+//! * [`fabric`] — the communication fabric (per-rank mailboxes over
+//!   crossbeam channels);
+//! * [`exchange`] — field halo exchange (blocking and overlapped);
+//! * [`runner`] — scoped-thread rank runner collecting per-rank results.
+
+pub mod exchange;
+pub mod fabric;
+pub mod grid;
+pub mod runner;
+
+pub use exchange::HaloExchanger;
+pub use fabric::{Fabric, RankComm};
+pub use grid::RankGrid;
+pub use runner::run_ranks;

@@ -1,0 +1,106 @@
+//! Slip-weakening friction (§8.1).
+//!
+//! "A simple slip-weakening friction law with depth-depending parameters is
+//! implemented": the friction coefficient drops linearly from the static
+//! value μs to the dynamic value μd over the critical slip distance Dc.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear slip-weakening friction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlipWeakening {
+    /// Static friction coefficient.
+    pub mu_s: f64,
+    /// Dynamic friction coefficient.
+    pub mu_d: f64,
+    /// Critical slip-weakening distance, m.
+    pub dc: f64,
+}
+
+impl SlipWeakening {
+    /// Construct and validate.
+    pub fn new(mu_s: f64, mu_d: f64, dc: f64) -> Self {
+        assert!(mu_s > mu_d, "static friction must exceed dynamic");
+        assert!(mu_d >= 0.0 && dc > 0.0);
+        Self { mu_s, mu_d, dc }
+    }
+
+    /// Laboratory-like default.
+    pub fn standard() -> Self {
+        Self::new(0.60, 0.42, 0.40)
+    }
+
+    /// Depth-dependent parameters: the shallowest few kilometers are
+    /// velocity-strengthening-ish (higher Dc, smaller stress drop), which
+    /// keeps surface slip realistic.
+    pub fn at_depth(depth_m: f64) -> Self {
+        let shallow = (1.0 - depth_m / 5_000.0).clamp(0.0, 1.0);
+        Self::new(0.60, 0.42 + 0.10 * shallow, 0.40 + 0.40 * shallow)
+    }
+
+    /// Friction coefficient after `slip` meters of slip.
+    pub fn mu(&self, slip: f64) -> f64 {
+        if slip >= self.dc {
+            self.mu_d
+        } else {
+            self.mu_s - (self.mu_s - self.mu_d) * slip / self.dc
+        }
+    }
+
+    /// Frictional strength at `normal_stress` (Pa, compression positive)
+    /// after `slip` meters, with cohesion `c` (Pa) — the paper's eq. (3)
+    /// applied on the fault.
+    pub fn strength(&self, normal_stress: f64, slip: f64, cohesion: f64) -> f64 {
+        cohesion + self.mu(slip) * normal_stress.max(0.0)
+    }
+
+    /// Fracture energy `G = (μs − μd) σn Dc / 2` (J/m²).
+    pub fn fracture_energy(&self, normal_stress: f64) -> f64 {
+        0.5 * (self.mu_s - self.mu_d) * normal_stress * self.dc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weakening_is_linear_then_flat() {
+        let f = SlipWeakening::standard();
+        assert_eq!(f.mu(0.0), 0.60);
+        assert!((f.mu(0.2) - 0.51).abs() < 1e-12);
+        assert_eq!(f.mu(0.4), 0.42);
+        assert_eq!(f.mu(10.0), 0.42, "stays at dynamic friction");
+    }
+
+    #[test]
+    fn strength_scales_with_normal_stress() {
+        let f = SlipWeakening::standard();
+        let s1 = f.strength(50.0e6, 0.0, 0.0);
+        let s2 = f.strength(100.0e6, 0.0, 0.0);
+        assert!((s2 / s1 - 2.0).abs() < 1e-12);
+        assert_eq!(f.strength(-10.0e6, 0.0, 1.0e6), 1.0e6, "tension: cohesion only");
+    }
+
+    #[test]
+    fn depth_dependence_strengthens_the_shallow_fault() {
+        let shallow = SlipWeakening::at_depth(500.0);
+        let deep = SlipWeakening::at_depth(10_000.0);
+        assert!(shallow.mu_d > deep.mu_d, "smaller stress drop near the surface");
+        assert!(shallow.dc > deep.dc, "larger Dc near the surface");
+        assert_eq!(deep.mu_d, 0.42);
+    }
+
+    #[test]
+    fn fracture_energy_positive() {
+        let f = SlipWeakening::standard();
+        let g = f.fracture_energy(60.0e6);
+        assert!((g - 0.5 * 0.18 * 60.0e6 * 0.4).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed dynamic")]
+    fn rejects_strengthening_law() {
+        let _ = SlipWeakening::new(0.4, 0.6, 0.4);
+    }
+}

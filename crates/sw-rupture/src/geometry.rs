@@ -1,0 +1,182 @@
+//! Fault geometry.
+//!
+//! §8.1 describes the Tangshan fault: "the non-planar fault extends about
+//! 70 km and 35 km along the strike and dip directions", composed of
+//! "right-lateral strike-slip left-stepping echelon ruptures, with a
+//! general strike of N30°E" and extra curvature on the northeast side. We
+//! model the trace as a base strike plus a smooth along-strike bend,
+//! discretized into `n_along × n_down` cells.
+
+use serde::{Deserialize, Serialize};
+
+/// One cell of the discretized fault surface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultCell {
+    /// Position east, m.
+    pub x: f64,
+    /// Position north, m.
+    pub y: f64,
+    /// Depth, m.
+    pub z: f64,
+    /// Local strike, degrees east of north.
+    pub strike: f64,
+    /// Local dip, degrees.
+    pub dip: f64,
+}
+
+/// A (possibly curved) fault surface discretized into cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultGeometry {
+    /// Cells, row-major `[along * n_down + down]`.
+    pub cells: Vec<FaultCell>,
+    /// Cells along strike.
+    pub n_along: usize,
+    /// Cells down dip.
+    pub n_down: usize,
+    /// Cell size, m.
+    pub cell_size: f64,
+}
+
+impl FaultGeometry {
+    /// Build a vertical fault whose strike bends by `bend_deg` over the
+    /// last `bend_fraction` of its length (the Tangshan NE curvature).
+    /// `origin` is the southwest top corner, `length`/`width` in meters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn curved_strike_slip(
+        origin: (f64, f64),
+        length: f64,
+        width: f64,
+        cell_size: f64,
+        base_strike_deg: f64,
+        bend_deg: f64,
+        bend_fraction: f64,
+        top_depth: f64,
+    ) -> Self {
+        assert!(cell_size > 0.0 && length >= cell_size && width >= cell_size);
+        assert!((0.0..=1.0).contains(&bend_fraction));
+        let n_along = (length / cell_size).round() as usize;
+        let n_down = (width / cell_size).round() as usize;
+        let mut cells = Vec::with_capacity(n_along * n_down);
+        // Walk the trace integrating the local strike.
+        let (mut x, mut y) = origin;
+        for j in 0..n_along {
+            let s = (j as f64 + 0.5) / n_along as f64;
+            let bend_start = 1.0 - bend_fraction;
+            let local_bend = if s > bend_start && bend_fraction > 0.0 {
+                bend_deg * ((s - bend_start) / bend_fraction)
+            } else {
+                0.0
+            };
+            let strike = base_strike_deg + local_bend;
+            let rad = strike.to_radians();
+            // Strike direction: (sin, cos) in (east, north).
+            for k in 0..n_down {
+                cells.push(FaultCell {
+                    x,
+                    y,
+                    z: top_depth + (k as f64 + 0.5) * cell_size,
+                    strike,
+                    dip: 90.0,
+                });
+            }
+            x += cell_size * rad.sin();
+            y += cell_size * rad.cos();
+        }
+        Self { cells, n_along, n_down, cell_size }
+    }
+
+    /// The paper-scale Tangshan fault: 70 km × 35 km, strike N30°E with a
+    /// 25° bend over the northeast third, top at 1 km depth.
+    pub fn tangshan(origin: (f64, f64)) -> Self {
+        Self::curved_strike_slip(origin, 70_000.0, 35_000.0, 1_000.0, 30.0, 25.0, 0.33, 1_000.0)
+    }
+
+    /// Cell at `(along, down)`.
+    pub fn cell(&self, j: usize, k: usize) -> &FaultCell {
+        &self.cells[j * self.n_down + k]
+    }
+
+    /// Area of one cell, m².
+    pub fn cell_area(&self) -> f64 {
+        self.cell_size * self.cell_size
+    }
+
+    /// Index of the hypocenter cell (`fraction_along`, `fraction_down`).
+    pub fn hypocenter(&self, fraction_along: f64, fraction_down: f64) -> (usize, usize) {
+        let j = ((self.n_along as f64 * fraction_along) as usize).min(self.n_along - 1);
+        let k = ((self.n_down as f64 * fraction_down) as usize).min(self.n_down - 1);
+        (j, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tangshan_dimensions() {
+        let f = FaultGeometry::tangshan((0.0, 0.0));
+        assert_eq!(f.n_along, 70);
+        assert_eq!(f.n_down, 35);
+        assert_eq!(f.cells.len(), 70 * 35);
+        assert_eq!(f.cell_area(), 1.0e6);
+    }
+
+    #[test]
+    fn strike_bends_on_the_northeast_side() {
+        let f = FaultGeometry::tangshan((0.0, 0.0));
+        let sw = f.cell(5, 0).strike;
+        let ne = f.cell(69, 0).strike;
+        assert!((sw - 30.0).abs() < 1e-9, "southwest keeps the base strike");
+        assert!(ne > 50.0, "northeast end bent: {ne}");
+        // Strike is monotone along the bend.
+        let mut prev = 0.0;
+        for j in 0..70 {
+            let s = f.cell(j, 0).strike;
+            assert!(s >= prev - 1e-12);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn trace_is_continuous() {
+        let f = FaultGeometry::tangshan((0.0, 0.0));
+        for j in 1..f.n_along {
+            let a = f.cell(j - 1, 0);
+            let b = f.cell(j, 0);
+            let d = ((a.x - b.x).powi(2) + (a.y - b.y).powi(2)).sqrt();
+            assert!((d - f.cell_size).abs() < 1e-6, "trace step {d}");
+        }
+    }
+
+    #[test]
+    fn depth_increases_down_dip() {
+        let f = FaultGeometry::tangshan((0.0, 0.0));
+        assert!(f.cell(0, 0).z < f.cell(0, 34).z);
+        assert!((f.cell(0, 0).z - 1_500.0).abs() < 1.0, "top row at ~1.5 km");
+    }
+
+    #[test]
+    fn hypocenter_selection() {
+        let f = FaultGeometry::tangshan((0.0, 0.0));
+        let (j, k) = f.hypocenter(0.4, 0.5);
+        assert_eq!((j, k), (28, 17));
+        let (j, k) = f.hypocenter(1.0, 1.0);
+        assert_eq!((j, k), (69, 34), "clamped to the last cell");
+    }
+
+    #[test]
+    fn straight_fault_has_constant_strike() {
+        let f = FaultGeometry::curved_strike_slip(
+            (0.0, 0.0),
+            10_000.0,
+            5_000.0,
+            500.0,
+            15.0,
+            0.0,
+            0.0,
+            0.0,
+        );
+        assert!(f.cells.iter().all(|c| (c.strike - 15.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,35 @@
+//! Dynamic rupture source generator (the CG-FDM stage of Fig. 3).
+//!
+//! The paper generates its Tangshan source by simulating spontaneous
+//! rupture on a non-planar fault (the paper's CG-FDM reference): initialize the fault
+//! stress, apply a slip-weakening friction law, and let the rupture run —
+//! "the northeast side of the rupture fault shows more complexity because
+//! of the curvature of the fault strike" (Fig. 10b).
+//!
+//! This crate implements that stage as a quasi-dynamic slip-weakening
+//! crack solver on a discretized fault surface:
+//!
+//! * [`geometry`] — the curved Tangshan-like fault surface (strike varies
+//!   along length; ~70 km × 35 km at paper scale) discretized into cells;
+//! * [`friction`] — the linear slip-weakening law with depth-dependent
+//!   parameters (§8.1: "a simple slip-weakening friction law with
+//!   depth-depending parameters");
+//! * [`stress`] — resolution of the two horizontal principal compressive
+//!   stresses of Fig. 10a onto each cell's local orientation;
+//! * [`dynamics`] — the rupture solver: elastostatic stress transfer
+//!   (discrete crack kernel) + radiation damping, nucleation patch,
+//!   slip-rate histories and front snapshots;
+//! * [`export`] — lowering of the rupture into the kinematic subfault
+//!   format consumed by the wave-propagation stage.
+
+pub mod dynamics;
+pub mod export;
+pub mod friction;
+pub mod geometry;
+pub mod stress;
+
+pub use dynamics::{RuptureResult, RuptureSolver};
+pub use export::export_kinematic;
+pub use friction::SlipWeakening;
+pub use geometry::FaultGeometry;
+pub use stress::TectonicStress;

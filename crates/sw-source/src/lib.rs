@@ -1,0 +1,27 @@
+//! Seismic sources (the "Source Partitioner" and source-injection boxes of
+//! Fig. 3).
+//!
+//! * [`stf`] — source time functions (Ricker, Gaussian, Brune, triangle);
+//! * [`moment`] — moment tensors, double couples, Mw ↔ M₀;
+//! * [`point`] — point moment-rate sources injected into the stress field;
+//! * [`kinematic`] — finite-fault kinematic sources (grids of delayed
+//!   subfault point sources), the artefact the dynamic rupture generator
+//!   exports;
+//! * [`partition`] — the source partitioner that "maps one single large
+//!   source input into different files for different source-responsible
+//!   MPI processes";
+//! * [`srf`] — the kinematic source *file* format those per-rank files
+//!   use (plain text, round-trip tested).
+
+pub mod kinematic;
+pub mod moment;
+pub mod partition;
+pub mod point;
+pub mod srf;
+pub mod stf;
+
+pub use kinematic::KinematicFault;
+pub use moment::{m0_from_mw, mw_from_m0, MomentTensor};
+pub use partition::SourcePartitioner;
+pub use point::PointSource;
+pub use stf::SourceTimeFunction;

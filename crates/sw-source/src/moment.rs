@@ -1,0 +1,149 @@
+//! Moment tensors and magnitude scales.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric seismic moment tensor in N·m (xx, yy, zz, xy, xz, yz).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MomentTensor {
+    /// Mxx component.
+    pub xx: f64,
+    /// Myy component.
+    pub yy: f64,
+    /// Mzz component.
+    pub zz: f64,
+    /// Mxy component.
+    pub xy: f64,
+    /// Mxz component.
+    pub xz: f64,
+    /// Myz component.
+    pub yz: f64,
+}
+
+impl MomentTensor {
+    /// Explosion (isotropic) source of scalar moment `m0`.
+    pub fn explosion(m0: f64) -> Self {
+        Self { xx: m0, yy: m0, zz: m0, ..Default::default() }
+    }
+
+    /// Double couple from fault angles (degrees) and scalar moment `m0`
+    /// (N·m), Aki & Richards convention with x = east, y = north,
+    /// z = down.
+    pub fn double_couple(strike_deg: f64, dip_deg: f64, rake_deg: f64, m0: f64) -> Self {
+        let (s, d, r) =
+            (strike_deg.to_radians(), dip_deg.to_radians(), rake_deg.to_radians());
+        let (ss, cs) = s.sin_cos();
+        let (sd, cd) = d.sin_cos();
+        let (sr, cr) = r.sin_cos();
+        let s2 = (2.0 * s).sin();
+        let c2 = (2.0 * s).cos();
+        let sd2 = (2.0 * d).sin();
+        let cd2 = (2.0 * d).cos();
+        // Aki & Richards (4.91), with north = y.
+        let m_nn = -m0 * (sd * cr * s2 + sd2 * sr * ss * ss);
+        let m_ee = m0 * (sd * cr * s2 - sd2 * sr * cs * cs);
+        let m_dd = m0 * sd2 * sr;
+        let m_ne = m0 * (sd * cr * c2 + 0.5 * sd2 * sr * s2);
+        let m_nd = -m0 * (cd * cr * cs + cd2 * sr * ss);
+        let m_ed = -m0 * (cd * cr * ss - cd2 * sr * cs);
+        Self { xx: m_ee, yy: m_nn, zz: m_dd, xy: m_ne, xz: m_ed, yz: m_nd }
+    }
+
+    /// Scalar moment `M0 = sqrt(Σ Mij² / 2)` (Frobenius definition).
+    pub fn scalar_moment(&self) -> f64 {
+        let diag = self.xx * self.xx + self.yy * self.yy + self.zz * self.zz;
+        let off = self.xy * self.xy + self.xz * self.xz + self.yz * self.yz;
+        ((diag + 2.0 * off) / 2.0).sqrt()
+    }
+
+    /// Moment magnitude `Mw = 2/3 (log10 M0 − 9.1)`.
+    pub fn magnitude(&self) -> f64 {
+        mw_from_m0(self.scalar_moment())
+    }
+
+    /// Trace (zero for a pure double couple).
+    pub fn trace(&self) -> f64 {
+        self.xx + self.yy + self.zz
+    }
+
+    /// Scale every component.
+    pub fn scaled(&self, k: f64) -> Self {
+        Self {
+            xx: self.xx * k,
+            yy: self.yy * k,
+            zz: self.zz * k,
+            xy: self.xy * k,
+            xz: self.xz * k,
+            yz: self.yz * k,
+        }
+    }
+}
+
+/// Moment magnitude from scalar moment (N·m).
+pub fn mw_from_m0(m0: f64) -> f64 {
+    2.0 / 3.0 * (m0.log10() - 9.1)
+}
+
+/// Scalar moment (N·m) from moment magnitude.
+pub fn m0_from_mw(mw: f64) -> f64 {
+    10f64.powf(1.5 * mw + 9.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_roundtrip() {
+        for mw in [4.0, 6.5, 7.8] {
+            let m0 = m0_from_mw(mw);
+            assert!((mw_from_m0(m0) - mw).abs() < 1e-12);
+        }
+        // Tangshan: M 7.8 ≈ 6.3e20 N·m.
+        let m0 = m0_from_mw(7.8);
+        assert!((6.0e20..7.0e20).contains(&m0), "Tangshan M0 {m0:.2e}");
+    }
+
+    #[test]
+    fn double_couple_is_traceless_with_right_moment() {
+        let m0 = 1.0e18;
+        for (s, d, r) in [(0.0, 90.0, 0.0), (30.0, 80.0, 178.0), (210.0, 45.0, 90.0)] {
+            let m = MomentTensor::double_couple(s, d, r, m0);
+            assert!(m.trace().abs() < m0 * 1e-9, "traceless DC");
+            let rel = (m.scalar_moment() - m0).abs() / m0;
+            assert!(rel < 1e-9, "scalar moment off by {rel}");
+        }
+    }
+
+    #[test]
+    fn vertical_strike_slip_components() {
+        // Strike 0 (north), dip 90, rake 0: pure Mne couple.
+        let m = MomentTensor::double_couple(0.0, 90.0, 0.0, 1.0);
+        assert!(m.xy.abs() > 0.99, "Mne dominates: {m:?}");
+        assert!(m.zz.abs() < 1e-12);
+        assert!(m.xz.abs() < 1e-12);
+    }
+
+    #[test]
+    fn explosion_has_trace() {
+        let m = MomentTensor::explosion(2.0e15);
+        assert_eq!(m.trace(), 6.0e15);
+        assert_eq!(m.xy, 0.0);
+    }
+
+    #[test]
+    fn scaled_scales_linearly() {
+        let m = MomentTensor::double_couple(30.0, 60.0, 90.0, 1.0e18).scaled(0.5);
+        assert!((m.scalar_moment() - 0.5e18).abs() / 0.5e18 < 1e-9);
+    }
+
+    /// The Tangshan rupture of §8.1 is right-lateral strike-slip with
+    /// strike N30°E — its tensor must be strike-slip dominated (small dip-
+    /// slip components).
+    #[test]
+    fn tangshan_style_mechanism() {
+        let m = MomentTensor::double_couple(30.0, 80.0, 180.0, m0_from_mw(7.8));
+        let ss = m.xy.abs() + (m.xx - m.yy).abs();
+        let ds = m.xz.abs() + m.yz.abs();
+        assert!(ss > 2.0 * ds, "strike-slip dominated: ss {ss:.2e} ds {ds:.2e}");
+    }
+}

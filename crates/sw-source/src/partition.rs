@@ -1,0 +1,147 @@
+//! The source partitioner (Fig. 3).
+//!
+//! "To support large-scale simulation, between the source and the wave
+//! propagation, we develop a source partitioner that maps one single large
+//! source input into different files for different source-responsible MPI
+//! processes." Here the partitioner maps point sources onto the 2-D rank
+//! grid by their (x, y) indices; z is never decomposed (§6.3).
+
+use crate::point::PointSource;
+use serde::{Deserialize, Serialize};
+
+/// Partitions sources over an `Mx × My` rank grid covering an
+/// `nx × ny`-point horizontal plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourcePartitioner {
+    /// Ranks along x.
+    pub mx: usize,
+    /// Ranks along y.
+    pub my: usize,
+    /// Global points along x.
+    pub nx: usize,
+    /// Global points along y.
+    pub ny: usize,
+}
+
+impl SourcePartitioner {
+    /// Construct; the rank grid must not outnumber the mesh.
+    pub fn new(mx: usize, my: usize, nx: usize, ny: usize) -> Self {
+        assert!(mx > 0 && my > 0);
+        assert!(mx <= nx && my <= ny, "more ranks than grid columns");
+        Self { mx, my, nx, ny }
+    }
+
+    /// Start offset and length of rank `r` along an axis of `n` points cut
+    /// into `parts` (first `n % parts` ranks get one extra point —
+    /// identical to the decomposition in `sw-grid`).
+    fn span(n: usize, parts: usize, r: usize) -> (usize, usize) {
+        let base = n / parts;
+        let extra = n % parts;
+        let start = r * base + r.min(extra);
+        (start, base + usize::from(r < extra))
+    }
+
+    /// The rank `(px, py)` owning global index `(ix, iy)`.
+    pub fn owner(&self, ix: usize, iy: usize) -> (usize, usize) {
+        assert!(ix < self.nx && iy < self.ny, "source outside the mesh");
+        let find = |n: usize, parts: usize, idx: usize| -> usize {
+            // Invert the uneven split directly.
+            let base = n / parts;
+            let extra = n % parts;
+            let fat = (base + 1) * extra; // points covered by the fat ranks
+            if base == 0 {
+                idx.min(parts - 1)
+            } else if idx < fat {
+                idx / (base + 1)
+            } else {
+                extra + (idx - fat) / base
+            }
+        };
+        (find(self.nx, self.mx, ix), find(self.ny, self.my, iy))
+    }
+
+    /// Split a global source list into per-rank lists with *local* indices
+    /// (the per-rank "files" of the paper). Output is indexed
+    /// `[px * my + py]`.
+    pub fn partition(&self, sources: &[PointSource]) -> Vec<Vec<PointSource>> {
+        let mut out = vec![Vec::new(); self.mx * self.my];
+        for s in sources {
+            let (px, py) = self.owner(s.ix, s.iy);
+            let (x0, _) = Self::span(self.nx, self.mx, px);
+            let (y0, _) = Self::span(self.ny, self.my, py);
+            out[px * self.my + py].push(PointSource {
+                ix: s.ix - x0,
+                iy: s.iy - y0,
+                ..*s
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moment::MomentTensor;
+    use crate::stf::SourceTimeFunction;
+
+    fn src(ix: usize, iy: usize) -> PointSource {
+        PointSource {
+            ix,
+            iy,
+            iz: 3,
+            moment: MomentTensor::explosion(1.0),
+            stf: SourceTimeFunction::Gaussian { delay: 0.0, sigma: 1.0 },
+        }
+    }
+
+    #[test]
+    fn owner_matches_span() {
+        let p = SourcePartitioner::new(4, 3, 103, 31);
+        for ix in 0..103 {
+            for iy in 0..31 {
+                let (px, py) = p.owner(ix, iy);
+                let (x0, xl) = SourcePartitioner::span(103, 4, px);
+                let (y0, yl) = SourcePartitioner::span(31, 3, py);
+                assert!(ix >= x0 && ix < x0 + xl, "ix {ix} in rank {px}");
+                assert!(iy >= y0 && iy < y0 + yl, "iy {iy} in rank {py}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_conserves_sources_and_localizes_indices() {
+        let p = SourcePartitioner::new(3, 2, 30, 20);
+        let sources: Vec<PointSource> =
+            (0..30).flat_map(|i| (0..20).map(move |j| src(i, j))).collect();
+        let parts = p.partition(&sources);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, sources.len());
+        // local indices stay within the local extent
+        for (r, list) in parts.iter().enumerate() {
+            let px = r / 2;
+            let py = r % 2;
+            let (_, xl) = SourcePartitioner::span(30, 3, px);
+            let (_, yl) = SourcePartitioner::span(20, 2, py);
+            for s in list {
+                assert!(s.ix < xl && s.iy < yl, "local index out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_passthrough() {
+        let p = SourcePartitioner::new(1, 1, 10, 10);
+        let parts = p.partition(&[src(7, 3)]);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0][0].ix, 7);
+        assert_eq!(parts[0][0].iy, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the mesh")]
+    fn out_of_mesh_source_rejected() {
+        let p = SourcePartitioner::new(2, 2, 10, 10);
+        p.owner(10, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Kinematic source files (a simplified SRF-like text format).
+//!
+//! Fig. 3's source partitioner "maps one single large source input into
+//! different files for different source-responsible MPI processes". This
+//! module is that file layer: a plain-text format for kinematic faults
+//! (one header line, one line per subfault) that the rupture stage writes
+//! and the wave-propagation stage reads — human-inspectable, diff-able,
+//! and stable across versions.
+//!
+//! ```text
+//! SWQSRC 1 <n_subfaults>
+//! ix iy iz m0 onset rise strike dip rake
+//! …
+//! ```
+
+use crate::kinematic::{KinematicFault, Subfault};
+use std::path::Path;
+
+/// Error reading a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SrcError {
+    /// Missing or malformed header.
+    BadHeader,
+    /// A subfault line failed to parse.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Fewer subfault lines than the header announced.
+    Truncated,
+}
+
+impl std::fmt::Display for SrcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SrcError::BadHeader => write!(f, "not a SWQSRC source file"),
+            SrcError::BadLine { line } => write!(f, "malformed subfault at line {line}"),
+            SrcError::Truncated => write!(f, "source file ends early"),
+        }
+    }
+}
+
+impl std::error::Error for SrcError {}
+
+/// Serialize a kinematic fault to the text format.
+pub fn write_source(fault: &KinematicFault) -> String {
+    let mut out = String::with_capacity(64 * (fault.subfaults.len() + 1));
+    out.push_str(&format!("SWQSRC 1 {}\n", fault.subfaults.len()));
+    for s in &fault.subfaults {
+        out.push_str(&format!(
+            "{} {} {} {:.6e} {:.6} {:.6} {:.3} {:.3} {:.3}\n",
+            s.ix, s.iy, s.iz, s.m0, s.onset, s.rise_time, s.strike, s.dip, s.rake
+        ));
+    }
+    out
+}
+
+/// Parse the text format back into a kinematic fault.
+pub fn read_source(text: &str) -> Result<KinematicFault, SrcError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(SrcError::BadHeader)?;
+    let mut h = header.split_whitespace();
+    if h.next() != Some("SWQSRC") || h.next() != Some("1") {
+        return Err(SrcError::BadHeader);
+    }
+    let n: usize = h
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or(SrcError::BadHeader)?;
+    let mut subfaults = Vec::with_capacity(n);
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut f = line.split_whitespace();
+        let mut next_usize = || f.next().and_then(|v| v.parse::<usize>().ok());
+        let (ix, iy, iz) = (next_usize(), next_usize(), next_usize());
+        let mut next_f64 = || f.next().and_then(|v| v.parse::<f64>().ok());
+        let rest: Option<[f64; 6]> = (|| {
+            Some([next_f64()?, next_f64()?, next_f64()?, next_f64()?, next_f64()?, next_f64()?])
+        })();
+        match (ix, iy, iz, rest) {
+            (Some(ix), Some(iy), Some(iz), Some([m0, onset, rise, strike, dip, rake])) => {
+                subfaults.push(Subfault {
+                    ix,
+                    iy,
+                    iz,
+                    m0,
+                    onset,
+                    rise_time: rise,
+                    strike,
+                    dip,
+                    rake,
+                });
+            }
+            _ => return Err(SrcError::BadLine { line: i + 2 }),
+        }
+    }
+    if subfaults.len() < n {
+        return Err(SrcError::Truncated);
+    }
+    Ok(KinematicFault { subfaults })
+}
+
+/// Write per-rank source files: `prefix_<px>_<py>.src` under `dir`,
+/// one per rank of the partitioner, with rank-local indices. Empty ranks
+/// get no file. Returns the written paths.
+pub fn write_partitioned(
+    dir: &Path,
+    prefix: &str,
+    fault: &KinematicFault,
+    partitioner: &crate::partition::SourcePartitioner,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    // Lower subfaults to point sources only to find owners; files keep the
+    // richer subfault records.
+    let mut per_rank: Vec<Vec<Subfault>> =
+        vec![Vec::new(); partitioner.mx * partitioner.my];
+    for s in &fault.subfaults {
+        let (px, py) = partitioner.owner(s.ix.min(partitioner.nx - 1), s.iy.min(partitioner.ny - 1));
+        per_rank[px * partitioner.my + py].push(*s);
+    }
+    let mut paths = Vec::new();
+    for (r, subs) in per_rank.into_iter().enumerate() {
+        if subs.is_empty() {
+            continue;
+        }
+        let px = r / partitioner.my;
+        let py = r % partitioner.my;
+        let path = dir.join(format!("{prefix}_{px}_{py}.src"));
+        std::fs::write(&path, write_source(&KinematicFault { subfaults: subs }))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinematic::KinematicFault;
+    use crate::partition::SourcePartitioner;
+
+    fn fault() -> KinematicFault {
+        KinematicFault::planar_strike_slip(10, 4, 2, 8, 4, 2, 100.0, 2800.0, 6.0, 30.0, 180.0)
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_everything() {
+        let f = fault();
+        let text = write_source(&f);
+        let back = read_source(&text).unwrap();
+        assert_eq!(back.subfaults.len(), f.subfaults.len());
+        for (a, b) in f.subfaults.iter().zip(&back.subfaults) {
+            assert_eq!((a.ix, a.iy, a.iz), (b.ix, b.iy, b.iz));
+            assert!((a.m0 - b.m0).abs() / a.m0 < 1e-6);
+            assert!((a.onset - b.onset).abs() < 1e-6);
+            assert_eq!(a.strike, b.strike);
+        }
+        let rel = (back.total_moment() - f.total_moment()).abs() / f.total_moment();
+        assert!(rel < 1e-6, "moment drift {rel}");
+    }
+
+    #[test]
+    fn header_and_line_errors() {
+        assert_eq!(read_source(""), Err(SrcError::BadHeader));
+        assert_eq!(read_source("GARBAGE 1 2\n"), Err(SrcError::BadHeader));
+        assert_eq!(read_source("SWQSRC 1 1\n"), Err(SrcError::Truncated));
+        let bad = "SWQSRC 1 1\n1 2 3 not_a_number 0 0 0 0 0\n";
+        assert_eq!(read_source(bad), Err(SrcError::BadLine { line: 2 }));
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let f = fault();
+        let mut text = write_source(&f);
+        text.push('\n');
+        assert!(read_source(&text).is_ok());
+    }
+
+    #[test]
+    fn partitioned_files_cover_all_subfaults() {
+        let dir = std::env::temp_dir().join("swquake_src_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = fault();
+        let p = SourcePartitioner::new(2, 2, 40, 40);
+        let paths = write_partitioned(&dir, "tangshan", &f, &p).unwrap();
+        assert!(!paths.is_empty());
+        let mut total = 0usize;
+        let mut moment = 0.0f64;
+        for path in &paths {
+            let text = std::fs::read_to_string(path).unwrap();
+            let part = read_source(&text).unwrap();
+            total += part.subfaults.len();
+            moment += part.total_moment();
+        }
+        assert_eq!(total, f.subfaults.len(), "no subfault lost");
+        assert!((moment - f.total_moment()).abs() / moment < 1e-6);
+        for path in paths {
+            std::fs::remove_file(path).ok();
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Source time functions.
+//!
+//! A source time function (STF) gives the normalized moment-*rate* history
+//! of a source: it integrates to 1 over its duration, so a point source's
+//! moment rate is `M0 * stf(t)`.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Normalized moment-rate time functions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SourceTimeFunction {
+    /// Gaussian pulse centered at `delay` with width parameter `sigma`.
+    Gaussian {
+        /// Center time, s.
+        delay: f64,
+        /// Standard deviation, s.
+        sigma: f64,
+    },
+    /// Ricker wavelet (second derivative of a Gaussian) with peak frequency
+    /// `f0`, centered at `delay`. Integrates to 0 — used for wavefield
+    /// tests rather than net-moment sources.
+    Ricker {
+        /// Center time, s.
+        delay: f64,
+        /// Peak frequency, Hz.
+        f0: f64,
+    },
+    /// Brune (1970) far-field model: `t/τ² · exp(−t/τ)` — the standard
+    /// earthquake source spectrum with corner frequency `1/(2πτ)`.
+    Brune {
+        /// Onset time, s.
+        onset: f64,
+        /// Time constant τ, s.
+        tau: f64,
+    },
+    /// Isosceles triangle of total duration `duration` starting at `onset`
+    /// (the classic kinematic-inversion parameterization).
+    Triangle {
+        /// Onset time, s.
+        onset: f64,
+        /// Total duration, s.
+        duration: f64,
+    },
+}
+
+impl SourceTimeFunction {
+    /// Normalized moment rate at time `t` (1/s).
+    pub fn rate(&self, t: f64) -> f64 {
+        match *self {
+            SourceTimeFunction::Gaussian { delay, sigma } => {
+                let u = (t - delay) / sigma;
+                (-0.5 * u * u).exp() / (sigma * (2.0 * PI).sqrt())
+            }
+            SourceTimeFunction::Ricker { delay, f0 } => {
+                let a = PI * f0 * (t - delay);
+                let a2 = a * a;
+                (1.0 - 2.0 * a2) * (-a2).exp()
+            }
+            SourceTimeFunction::Brune { onset, tau } => {
+                let u = t - onset;
+                if u <= 0.0 {
+                    0.0
+                } else {
+                    u / (tau * tau) * (-u / tau).exp()
+                }
+            }
+            SourceTimeFunction::Triangle { onset, duration } => {
+                let u = t - onset;
+                if u <= 0.0 || u >= duration {
+                    0.0
+                } else {
+                    let half = duration / 2.0;
+                    let peak = 2.0 / duration; // unit area
+                    if u < half {
+                        peak * u / half
+                    } else {
+                        peak * (duration - u) / half
+                    }
+                }
+            }
+        }
+    }
+
+    /// Approximate end of significant radiation, s.
+    pub fn effective_end(&self) -> f64 {
+        match *self {
+            SourceTimeFunction::Gaussian { delay, sigma } => delay + 5.0 * sigma,
+            SourceTimeFunction::Ricker { delay, f0 } => delay + 2.0 / f0,
+            SourceTimeFunction::Brune { onset, tau } => onset + 10.0 * tau,
+            SourceTimeFunction::Triangle { onset, duration } => onset + duration,
+        }
+    }
+
+    /// Numerically integrate the rate over `[0, t_end]` with step `dt`.
+    pub fn integral(&self, t_end: f64, dt: f64) -> f64 {
+        let n = (t_end / dt).ceil() as usize;
+        (0..n).map(|i| self.rate((i as f64 + 0.5) * dt) * dt).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_integrates_to_one() {
+        let s = SourceTimeFunction::Gaussian { delay: 2.0, sigma: 0.3 };
+        let m = s.integral(6.0, 1e-3);
+        assert!((m - 1.0).abs() < 1e-3, "Gaussian area {m}");
+    }
+
+    #[test]
+    fn brune_integrates_to_one() {
+        let s = SourceTimeFunction::Brune { onset: 0.5, tau: 0.4 };
+        let m = s.integral(10.0, 1e-3);
+        assert!((m - 1.0).abs() < 1e-2, "Brune area {m}");
+    }
+
+    #[test]
+    fn triangle_integrates_to_one_and_is_causal() {
+        let s = SourceTimeFunction::Triangle { onset: 1.0, duration: 2.0 };
+        assert_eq!(s.rate(0.5), 0.0);
+        assert_eq!(s.rate(3.5), 0.0);
+        assert!(s.rate(2.0) > 0.0);
+        let m = s.integral(4.0, 1e-4);
+        assert!((m - 1.0).abs() < 1e-3, "triangle area {m}");
+    }
+
+    #[test]
+    fn ricker_integrates_to_zero() {
+        let s = SourceTimeFunction::Ricker { delay: 1.0, f0: 5.0 };
+        let m = s.integral(2.0, 1e-4);
+        assert!(m.abs() < 1e-3, "Ricker net area {m}");
+        // Peak at the delay time.
+        assert!((s.rate(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brune_peak_at_tau() {
+        let tau = 0.4;
+        let s = SourceTimeFunction::Brune { onset: 0.0, tau };
+        let at_tau = s.rate(tau);
+        assert!(at_tau > s.rate(tau * 0.5));
+        assert!(at_tau > s.rate(tau * 2.0));
+    }
+
+    #[test]
+    fn effective_end_bounds_radiation() {
+        for s in [
+            SourceTimeFunction::Gaussian { delay: 1.0, sigma: 0.2 },
+            SourceTimeFunction::Brune { onset: 0.0, tau: 0.3 },
+            SourceTimeFunction::Triangle { onset: 0.0, duration: 2.0 },
+        ] {
+            let end = s.effective_end();
+            assert!(s.rate(end + 0.1) < 2e-2, "{s:?} still radiating after {end}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! On-the-fly compression study (§6.5 / Fig. 6 of the paper).
+//!
+//! Runs the same scenario twice — once in full f32, once with the
+//! wavefields stored 16-bit between steps through the Fig. 5d codecs
+//! (statistics from a coarse pre-run, exactly the paper's workflow) —
+//! and compares the seismograms and memory footprint.
+//!
+//! ```text
+//! cargo run --release --example compression_study
+//! ```
+
+use swquake::compress::{Codec16, F16Codec, NormCodec};
+use swquake::core::{SimConfig, Simulation};
+use swquake::grid::Dims3;
+use swquake::io::Station;
+use swquake::model::TangshanModel;
+use swquake::source::{m0_from_mw, MomentTensor, PointSource, SourceTimeFunction};
+
+fn scenario(dims: Dims3, dx: f64, steps: usize) -> (TangshanModel, SimConfig) {
+    let model = TangshanModel::with_extent(
+        dims.nx as f64 * dx,
+        dims.ny as f64 * dx,
+        dims.nz as f64 * dx,
+    );
+    let mut cfg = SimConfig::new(dims, dx, steps);
+    cfg.options.sponge_width = 6;
+    let (ex, ey) = model.epicenter();
+    cfg.sources = vec![PointSource {
+        ix: ((ex / dx) as usize).min(dims.nx - 1),
+        iy: ((ey / dx) as usize).min(dims.ny - 1),
+        iz: dims.nz / 2,
+        moment: MomentTensor::double_couple(30.0, 90.0, 180.0, m0_from_mw(5.5)),
+        stf: SourceTimeFunction::Triangle { onset: 0.2, duration: 1.0 },
+    }];
+    cfg.stations = model
+        .stations
+        .iter()
+        .map(|(name, fx, fy)| Station {
+            name: name.clone(),
+            ix: ((fx * model.lx / dx) as usize).min(dims.nx - 1),
+            iy: ((fy * model.ly / dx) as usize).min(dims.ny - 1),
+        })
+        .collect();
+    (model, cfg)
+}
+
+fn main() {
+    let dims = Dims3::new(60, 60, 24);
+    let dx = 400.0;
+    let steps = 350;
+    let (model, cfg) = scenario(dims, dx, steps);
+
+    // Coarse statistics pass (Fig. 5a): half resolution, same physics.
+    println!("coarse statistics pass…");
+    let (cmodel, mut coarse_cfg) = scenario(Dims3::new(30, 30, 12), 800.0, steps / 2);
+    coarse_cfg.steps = steps / 2;
+    let mut coarse = Simulation::new(&cmodel, &coarse_cfg);
+    coarse.run(coarse_cfg.steps);
+    // Remap the coarse statistics to the fine mesh: stress-glut densities
+    // scale with the cell-volume ratio.
+    let stats = swquake::core::driver::rescale_coarse_stats(coarse.collect_stats(), 800.0, 400.0);
+
+    // Reference run.
+    println!("reference (f32) run…");
+    let t0 = std::time::Instant::now();
+    let mut reference = Simulation::new(&model, &cfg);
+    reference.run(steps);
+    let t_ref = t0.elapsed().as_secs_f64();
+
+    // Compressed run.
+    println!("compressed (16-bit storage) run…");
+    let mut ccfg = cfg.clone();
+    ccfg.compression = true;
+    ccfg.compression_stats = stats;
+    let t0 = std::time::Instant::now();
+    let mut compressed = Simulation::new(&model, &ccfg);
+    compressed.run(steps);
+    let t_cmp = t0.elapsed().as_secs_f64();
+
+    println!("\n== results ==");
+    println!("wall time: reference {t_ref:.2} s, compressed {t_cmp:.2} s");
+    let field_bytes = dims.len() * 4;
+    println!(
+        "per-wavefield storage: {} KB f32 -> {} KB compressed (x2 capacity, §6.5)",
+        field_bytes / 1024,
+        field_bytes / 2048
+    );
+    for s in reference.seismo.seismograms() {
+        let c = compressed.seismo.get(&s.station.name).unwrap();
+        let misfit = c.normalized_misfit(s);
+        println!(
+            "station {:>9}: peak {:.3e} m/s (ref) vs {:.3e} m/s (cmp), normalized misfit {:.4}",
+            s.station.name,
+            s.peak_horizontal(),
+            c.peak_horizontal(),
+            misfit
+        );
+    }
+
+    // Codec microcomparison on a real wavefield sample (Fig. 5d).
+    println!("\n== codec comparison on the final u field ==");
+    let sample = reference.state.u.interior_to_vec();
+    let stats = swquake::compress::FieldStats::of_slice(&sample);
+    let norm = NormCodec::from_stats(&stats);
+    let mut err_f16 = 0.0f32;
+    let mut err_norm = 0.0f32;
+    for &v in sample.iter().take(100_000) {
+        err_f16 = err_f16.max((F16Codec.decode(F16Codec.encode(v)) - v).abs());
+        err_norm = err_norm.max((norm.decode(norm.encode(v)) - v).abs());
+    }
+    println!("max |error|: IEEE half {err_f16:.3e}, normalization codec {err_norm:.3e}");
+    println!("normalization codec bound: {:.3e}", norm.max_abs_error());
+}

@@ -1,0 +1,80 @@
+//! Machine-scale projection: where do 18.9 Pflops come from?
+//!
+//! Walks the calibrated SW26010/TaihuLight performance model from a single
+//! core group up to the full machine, printing the same quantities the
+//! paper reports: per-kernel speedups (Fig. 7), Table 4's utilization
+//! rows, and the weak-scaling curve (Fig. 8) for all four variants.
+//!
+//! ```text
+//! cargo run --release --example scaling_model
+//! ```
+
+use swquake::arch::perf::{KernelPerfModel, OptLevel};
+use swquake::arch::scaling::{MachineScalingModel, Variant, WEAK_PROCESS_COUNTS};
+
+fn main() {
+    let perf = KernelPerfModel::paper();
+    println!("== per-kernel model (Fig. 7) ==");
+    println!("{:>16} {:>8} {:>8} {:>8} {:>12}", "kernel", "PAR x", "MEM x", "CMPR x", "MEM BW %");
+    for k in perf.kernels() {
+        let par = perf.point(k, OptLevel::Par);
+        let mem = perf.point(k, OptLevel::Mem);
+        let cmpr = perf.point(k, OptLevel::Cmpr);
+        println!(
+            "{:>16} {:>8.1} {:>8.1} {:>8.1} {:>11.0}%",
+            k.name,
+            par.speedup,
+            mem.speedup,
+            cmpr.speedup,
+            mem.bandwidth_utilization * 100.0
+        );
+    }
+
+    println!("\n== per-core-group utilization (Table 4) ==");
+    for (label, nonlinear) in [("linear", false), ("nonlinear", true)] {
+        println!(
+            "{label:>10}: {:.1} Gflop/s ({:.1} % of 765 peak), DMA {:.1} GB/s ({:.1} % of 34)",
+            perf.cg_flop_rate(nonlinear, OptLevel::Mem) / 1e9,
+            perf.cg_efficiency(nonlinear, OptLevel::Mem) * 100.0,
+            perf.cg_bandwidth(nonlinear, OptLevel::Mem) / 1e9,
+            perf.cg_bandwidth(nonlinear, OptLevel::Mem) / 34.0e7,
+        );
+    }
+    println!(
+        "compression capacity: {:.1} M points/CG plain -> {:.1} M compressed (x2)",
+        perf.max_points_per_cg(true, false) / 1e6,
+        perf.max_points_per_cg(true, true) / 1e6
+    );
+
+    println!("\n== weak scaling (Fig. 8), 160x160x512 per core group ==");
+    let machine = MachineScalingModel::paper();
+    print!("{:>10}", "processes");
+    for v in Variant::ALL {
+        print!(" {:>22}", v.label());
+    }
+    println!();
+    for &p in WEAK_PROCESS_COUNTS.iter() {
+        print!("{p:>10}");
+        for v in Variant::ALL {
+            let pt = machine.weak_point(v, p);
+            print!(" {:>14.2} Pflops ", pt.pflops);
+        }
+        println!();
+    }
+    println!("\nparallel efficiency at 160,000 processes:");
+    for v in Variant::ALL {
+        let pt = machine.weak_point(v, 160_000);
+        println!(
+            "  {:>22}: {:>6.2} Pflops, {:.1} % (paper: {})",
+            v.label(),
+            pt.pflops,
+            pt.efficiency * 100.0,
+            match v.label() {
+                "Linear" => "10.7 Pflops / 97.9 %",
+                "Non-linear" => "15.2 Pflops / 80.1 %",
+                "Linear+Compress" => "14.2 Pflops / 96.5 %",
+                _ => "18.9 Pflops / 79.5 %",
+            }
+        );
+    }
+}

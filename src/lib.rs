@@ -1,0 +1,57 @@
+//! # swquake
+//!
+//! A Rust reproduction of the SC17 Gordon Bell paper *"18.9-Pflops
+//! Nonlinear Earthquake Simulation on Sunway TaihuLight: Enabling
+//! Depiction of 18-Hz and 8-Meter Scenarios"* (Fu et al., 2017).
+//!
+//! This umbrella crate re-exports every subsystem:
+//!
+//! * [`core`] ([`swquake_core`]) — the nonlinear staggered-grid FD solver
+//!   (AWP-ODC lineage): velocity/stress/attenuation kernels,
+//!   Drucker–Prager plasticity, free surface, sponge, timestep driver,
+//!   the unified Fig.-3 framework, and hazard maps;
+//! * [`grid`] — 3-D fields, halos, fused arrays, blocking geometry;
+//! * [`arch`] — the SW26010 / TaihuLight simulator: LDM, the Table-3 DMA
+//!   model, register communication, the §6.4 analytic blocking model,
+//!   per-kernel perf model (Fig. 7 / Table 4) and machine-scale scaling
+//!   model (Figs. 8–9);
+//! * [`compress`] — the §6.5 on-the-fly 32→16-bit codecs and a
+//!   from-scratch LZ4 for checkpoints;
+//! * [`model`] — layered crust / sediment basin / Tangshan-like models;
+//! * [`source`] — moment tensors, source time functions, kinematic
+//!   faults, the source partitioner;
+//! * [`rupture`] — the CG-FDM-role dynamic rupture generator;
+//! * [`parallel`] — the MPI-like 2-D rank runtime with overlapped halo
+//!   exchange;
+//! * [`io`] — LZ4 checkpoints, group-I/O model, recorders.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use swquake::core::{SimConfig, Simulation};
+//! use swquake::grid::Dims3;
+//! use swquake::model::HalfspaceModel;
+//! use swquake::source::{MomentTensor, PointSource, SourceTimeFunction};
+//!
+//! let mut cfg = SimConfig::new(Dims3::new(32, 32, 24), 200.0, 50);
+//! cfg.options.attenuation = false;
+//! cfg.sources = vec![PointSource {
+//!     ix: 16, iy: 16, iz: 12,
+//!     moment: MomentTensor::double_couple(30.0, 90.0, 180.0, 1.0e15),
+//!     stf: SourceTimeFunction::Gaussian { delay: 0.2, sigma: 0.05 },
+//! }];
+//! let model = HalfspaceModel::hard_rock();
+//! let mut sim = Simulation::new(&model, &cfg);
+//! sim.run(cfg.steps);
+//! assert!(sim.pgv.max() > 0.0);
+//! ```
+
+pub use sw_arch as arch;
+pub use sw_compress as compress;
+pub use sw_grid as grid;
+pub use sw_io as io;
+pub use sw_model as model;
+pub use sw_parallel as parallel;
+pub use sw_rupture as rupture;
+pub use sw_source as source;
+pub use swquake_core as core;

@@ -1,0 +1,109 @@
+//! End-to-end tests of the `swquake` CLI binary: template generation,
+//! a full scenario run with output files, and error handling.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_swquake")
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swquake_cli_{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn write_example_then_run_produces_outputs() {
+    let dir = workdir("roundtrip");
+    let scenario = dir.join("scenario.json");
+    let status = Command::new(bin())
+        .args(["--write-example", scenario.to_str().unwrap()])
+        .status()
+        .expect("spawn swquake");
+    assert!(status.success());
+
+    // Shrink the template so the test runs quickly, and point the outputs
+    // into the temp dir.
+    let mut json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&scenario).unwrap()).unwrap();
+    json["mesh"] = serde_json::json!([20, 20, 12]);
+    json["duration"] = serde_json::json!(1.5);
+    json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
+    json["stations"] = serde_json::json!([["probe", 14, 14]]);
+    json["output_prefix"] =
+        serde_json::json!(dir.join("out").to_str().unwrap());
+    std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
+
+    let output = Command::new(bin())
+        .arg(scenario.to_str().unwrap())
+        .output()
+        .expect("run scenario");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("PGV max"), "stdout: {stdout}");
+
+    // Seismogram CSV: header + one row per step, finite values.
+    let csv = std::fs::read_to_string(dir.join("out_seismograms.csv")).unwrap();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next().unwrap(), "t,probe_vx,probe_vy,probe_vz");
+    let rows: Vec<&str> = lines.collect();
+    assert!(rows.len() > 50, "rows {}", rows.len());
+    for cell in rows.last().unwrap().split(',') {
+        let v: f64 = cell.parse().expect("numeric CSV cell");
+        assert!(v.is_finite());
+    }
+
+    // Hazard JSON: grids of the right size, intensity consistent with PGV.
+    let hazard: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("out_hazard.json")).unwrap())
+            .unwrap();
+    assert_eq!(hazard["nx"], 20);
+    assert_eq!(hazard["pgv_ms"].as_array().unwrap().len(), 400);
+    assert_eq!(hazard["intensity"].as_array().unwrap().len(), 400);
+    let max_i = hazard["max_intensity"].as_f64().unwrap();
+    assert!((1.0..=12.0).contains(&max_i));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_and_bad_json_fail_cleanly() {
+    let out = Command::new(bin()).arg("/nonexistent/scenario.json").output().unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+
+    let dir = workdir("badjson");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{ not json").unwrap();
+    let out = Command::new(bin()).arg(bad.to_str().unwrap()).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid scenario"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = Command::new(bin()).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_model_is_rejected() {
+    let dir = workdir("badmodel");
+    let scenario = dir.join("scenario.json");
+    Command::new(bin())
+        .args(["--write-example", scenario.to_str().unwrap()])
+        .status()
+        .unwrap();
+    let mut json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&scenario).unwrap()).unwrap();
+    json["model"] = serde_json::json!("flat_earth");
+    std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
+    let out = Command::new(bin()).arg(scenario.to_str().unwrap()).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown model"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,131 @@
+//! End-to-end tests of the two compression stories: the lossy §6.5
+//! on-the-fly scheme (Fig. 6 validation criterion) and the lossless LZ4
+//! checkpoint/restart path (§6.2).
+
+use swquake::core::{SimConfig, Simulation};
+use swquake::grid::Dims3;
+use swquake::io::checkpoint::Checkpoint;
+use swquake::io::Station;
+use swquake::model::TangshanModel;
+use swquake::source::{m0_from_mw, MomentTensor, PointSource, SourceTimeFunction};
+
+fn scenario(dims: Dims3, dx: f64, steps: usize) -> (TangshanModel, SimConfig) {
+    let model = TangshanModel::with_extent(
+        dims.nx as f64 * dx,
+        dims.ny as f64 * dx,
+        dims.nz as f64 * dx,
+    );
+    let mut cfg = SimConfig::new(dims, dx, steps);
+    cfg.options.sponge_width = 5;
+    let (ex, ey) = model.epicenter();
+    cfg.sources = vec![PointSource {
+        ix: ((ex / dx) as usize).min(dims.nx - 1),
+        iy: ((ey / dx) as usize).min(dims.ny - 1),
+        iz: dims.nz / 2,
+        moment: MomentTensor::double_couple(30.0, 90.0, 180.0, m0_from_mw(5.5)),
+        stf: SourceTimeFunction::Triangle { onset: 0.2, duration: 0.8 },
+    }];
+    cfg.stations = model
+        .stations
+        .iter()
+        .map(|(name, fx, fy)| Station {
+            name: name.clone(),
+            ix: ((fx * model.lx / dx) as usize).min(dims.nx - 1),
+            iy: ((fy * model.ly / dx) as usize).min(dims.ny - 1),
+        })
+        .collect();
+    (model, cfg)
+}
+
+/// The Fig. 6 criterion: with coarse-run statistics driving the codecs,
+/// the compressed simulation's seismograms stay close to the reference
+/// at both stations (sharp onsets match; only the coda drifts).
+#[test]
+fn fig6_criterion_compressed_seismograms_match() {
+    let dims = Dims3::new(40, 40, 16);
+    let (model, cfg) = scenario(dims, 500.0, 250);
+    // coarse pass at half resolution for the statistics (Fig. 5a)
+    let (cmodel, ccfg) = scenario(Dims3::new(20, 20, 8), 1000.0, 125);
+    let mut coarse = Simulation::new(&cmodel, &ccfg);
+    coarse.run(ccfg.steps);
+    let stats =
+        swquake::core::driver::rescale_coarse_stats(coarse.collect_stats(), 1000.0, 500.0);
+
+    let mut reference = Simulation::new(&model, &cfg);
+    reference.run(cfg.steps);
+    let mut comp_cfg = cfg.clone();
+    comp_cfg.compression = true;
+    comp_cfg.compression_stats = stats;
+    let mut compressed = Simulation::new(&model, &comp_cfg);
+    compressed.run(cfg.steps);
+
+    assert!(!compressed.state.has_blown_up());
+    for name in ["Ninghe", "Cangzhou"] {
+        let r = reference.seismo.get(name).unwrap();
+        let c = compressed.seismo.get(name).unwrap();
+        let misfit = c.normalized_misfit(r);
+        assert!(misfit < 0.30, "{name}: misfit {misfit} too large");
+        assert!(misfit > 0.0, "{name}: compression must be lossy");
+        // peaks agree within 15 %
+        let (pr, pc) = (r.peak_horizontal(), c.peak_horizontal());
+        assert!(
+            (pr - pc).abs() / pr < 0.15,
+            "{name}: peaks {pr} vs {pc} diverge"
+        );
+    }
+}
+
+/// Restart through the full file path (encode → LZ4 → disk → decode)
+/// continues bit-exactly, even with compression enabled.
+#[test]
+fn file_restart_is_bit_exact_with_compression() {
+    let dims = Dims3::new(24, 24, 12);
+    let (model, mut cfg) = scenario(dims, 500.0, 120);
+    cfg.compression = true; // self-calibrating codecs
+    let mut reference = Simulation::new(&model, &cfg);
+    reference.run(120);
+
+    let path = std::env::temp_dir().join("swquake_test_restart.swq");
+    {
+        let mut first = Simulation::new(&model, &cfg);
+        first.run(60);
+        first.make_checkpoint().write_file(&path).unwrap();
+    }
+    let ckpt = Checkpoint::read_file(&path).unwrap().unwrap();
+    let mut resumed = Simulation::new(&model, &cfg);
+    resumed.restore(&ckpt);
+    resumed.run(60);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(resumed.state.u.max_abs_diff(&reference.state.u), 0.0);
+    assert_eq!(resumed.state.xx.max_abs_diff(&reference.state.xx), 0.0);
+    assert_eq!(resumed.state.r[3].max_abs_diff(&reference.state.r[3]), 0.0);
+}
+
+/// The §6.5 capacity claim at the data-structure level: a compressed
+/// field stores exactly half the bytes, and a whole nonlinear state's
+/// wavefields shrink accordingly.
+#[test]
+fn compressed_fields_halve_memory() {
+    use swquake::compress::{Codec, CompressedField3, F16Codec};
+    let dims = Dims3::new(50, 40, 30);
+    let f = swquake::grid::Field3::new(dims, 2);
+    let c = CompressedField3::from_field(&f, Codec::F16(F16Codec));
+    assert_eq!(c.stored_bytes() * 2, f.raw().len() * 4);
+}
+
+/// Checkpoint size with LZ4 on a quiet (mostly zero) wavefield is tiny —
+/// the property that makes the paper's 108-TB checkpoint tractable.
+#[test]
+fn lz4_checkpoints_shrink_quiet_states() {
+    let dims = Dims3::new(24, 24, 12);
+    let (model, cfg) = scenario(dims, 500.0, 0);
+    let sim = Simulation::new(&model, &cfg);
+    let ckpt = sim.make_checkpoint();
+    let encoded = ckpt.encode().len();
+    assert!(
+        encoded * 20 < ckpt.raw_bytes(),
+        "quiet checkpoint must compress >20x: {encoded} vs {}",
+        ckpt.raw_bytes()
+    );
+}

@@ -1,0 +1,157 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across crates.
+
+use proptest::prelude::*;
+use swquake::compress::{lz4, AdaptiveCodec, Codec16, F16Codec, FieldStats, NormCodec};
+use swquake::grid::halo::{Face, HaloSpec};
+use swquake::grid::{Dims3, Field3, Vec3Field};
+use swquake::source::{m0_from_mw, mw_from_m0, MomentTensor};
+
+proptest! {
+    /// LZ4 round-trips arbitrary byte strings.
+    #[test]
+    fn lz4_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lz4::compress(&data);
+        let d = lz4::decompress(&c).expect("decompress");
+        prop_assert_eq!(d, data);
+    }
+
+    /// LZ4 round-trips highly compressible inputs (repeats trigger the
+    /// overlap-copy path).
+    #[test]
+    fn lz4_roundtrip_repetitive(byte in any::<u8>(), n in 0usize..20_000, period in 1usize..9) {
+        let data: Vec<u8> = (0..n).map(|i| byte.wrapping_add((i % period) as u8)).collect();
+        let c = lz4::compress(&data);
+        prop_assert_eq!(lz4::decompress(&c).expect("decompress"), data);
+    }
+
+    /// The normalization codec respects its declared error bound for any
+    /// range and any in-range value.
+    #[test]
+    fn norm_codec_error_bound(
+        lo in -1.0e6f32..1.0e6,
+        span in 1.0e-3f32..1.0e6,
+        t in 0.0f32..1.0,
+    ) {
+        let codec = NormCodec::new(lo, lo + span);
+        let v = lo + t * span;
+        let r = codec.decode(codec.encode(v));
+        prop_assert!((r - v).abs() <= codec.max_abs_error() * 1.001,
+            "v={v} r={r} bound={}", codec.max_abs_error());
+    }
+
+    /// binary16 keeps relative error below 2^-11 for normal-range values.
+    #[test]
+    fn f16_relative_error(v in -6.0e4f32..6.0e4) {
+        prop_assume!(v.abs() > 1e-4);
+        let r = F16Codec.decode(F16Codec.encode(v));
+        prop_assert!(((r - v) / v).abs() <= 4.9e-4, "v={v} r={r}");
+    }
+
+    /// The adaptive codec covers whatever range the statistics declare.
+    #[test]
+    fn adaptive_codec_in_range(e_lo in -18i32..0, e_hi in 1i32..12, m in 1.0f32..2.0) {
+        let codec = AdaptiveCodec::new(e_lo, e_hi);
+        for e in [e_lo, (e_lo + e_hi) / 2, e_hi] {
+            let v = m * 2.0f32.powi(e);
+            let r = codec.decode(codec.encode(v));
+            prop_assert!(((r - v) / v).abs() < 0.02, "v={v} r={r} ({e_lo}..{e_hi})");
+        }
+    }
+
+    /// Field statistics merge like a monoid: observing everything at once
+    /// equals merging the halves.
+    #[test]
+    fn stats_merge_is_consistent(a in proptest::collection::vec(-1.0e3f32..1.0e3, 1..64),
+                                 b in proptest::collection::vec(-1.0e3f32..1.0e3, 1..64)) {
+        let whole: Vec<f32> = a.iter().chain(b.iter()).copied().collect();
+        let merged = FieldStats::of_slice(&a).merge(&FieldStats::of_slice(&b));
+        let direct = FieldStats::of_slice(&whole);
+        prop_assert_eq!(merged, direct);
+    }
+
+    /// Fused arrays are a bijection: fuse then split is the identity.
+    #[test]
+    fn fuse_split_identity(seed in any::<u32>()) {
+        let d = Dims3::new(3, 4, 5);
+        let mk = |salt: u32| {
+            let mut f = Field3::new(d, 2);
+            f.fill_with(|x, y, z| {
+                let h = seed.wrapping_mul(31).wrapping_add(salt)
+                    .wrapping_add((x * 97 + y * 13 + z) as u32);
+                (h % 1000) as f32 - 500.0
+            });
+            f
+        };
+        let (a, b, c) = (mk(1), mk(2), mk(3));
+        let [a2, b2, c2] = Vec3Field::fuse([&a, &b, &c]).split();
+        prop_assert_eq!(a, a2);
+        prop_assert_eq!(b, b2);
+        prop_assert_eq!(c, c2);
+    }
+
+    /// Halo pack → unpack is lossless for every face.
+    #[test]
+    fn halo_pack_unpack_lossless(nx in 3usize..8, ny in 3usize..8, nz in 2usize..6) {
+        let d = Dims3::new(nx, ny, nz);
+        let mut f = Field3::new(d, 2);
+        f.fill_with(|x, y, z| (x * 10007 + y * 101 + z) as f32);
+        let spec = HaloSpec { width: 2 };
+        for face in Face::ALL {
+            let mut buf = Vec::new();
+            spec.pack(&f, face, &mut buf);
+            let mut g = Field3::new(d, 2);
+            spec.unpack(&mut g, face.opposite(), &buf);
+            // the receiving halo must reproduce the packed slabs exactly
+            match face {
+                Face::East => {
+                    for y in 0..ny {
+                        for z in 0..nz {
+                            prop_assert_eq!(
+                                g.at_i(-1, y as isize, z as isize),
+                                f.get(nx - 1, y, z)
+                            );
+                        }
+                    }
+                }
+                Face::North => {
+                    for x in 0..nx {
+                        for z in 0..nz {
+                            prop_assert_eq!(
+                                g.at_i(x as isize, -1, z as isize),
+                                f.get(x, ny - 1, z)
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Moment magnitude and scalar moment are inverse maps.
+    #[test]
+    fn magnitude_moment_roundtrip(mw in -2.0f64..10.0) {
+        prop_assert!((mw_from_m0(m0_from_mw(mw)) - mw).abs() < 1e-9);
+    }
+
+    /// Double couples are traceless with the requested scalar moment for
+    /// arbitrary fault angles.
+    #[test]
+    fn double_couple_invariants(s in 0.0f64..360.0, d in 1.0f64..90.0, r in -180.0f64..180.0) {
+        let m0 = 1.0e17;
+        let m = MomentTensor::double_couple(s, d, r, m0);
+        prop_assert!(m.trace().abs() < m0 * 1e-6);
+        prop_assert!(((m.scalar_moment() - m0) / m0).abs() < 1e-6);
+    }
+
+    /// Dims3 offset/coords are inverse for arbitrary extents.
+    #[test]
+    fn dims_offset_roundtrip(nx in 1usize..20, ny in 1usize..20, nz in 1usize..20,
+                             seed in any::<u64>()) {
+        let d = Dims3::new(nx, ny, nz);
+        let o = (seed as usize) % d.len();
+        let (x, y, z) = d.coords(o);
+        prop_assert_eq!(d.offset(x, y, z), o);
+    }
+}
