@@ -1,8 +1,9 @@
-//! Criterion benchmarks for the compression subsystem: the three §6.5
+//! Benchmarks for the compression subsystem: the three §6.5
 //! codecs (throughput per element) and the LZ4 checkpoint codec.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sw_compress::{lz4, AdaptiveCodec, Codec16, F16Codec, FieldStats, NormCodec};
+use swq_bench::harness::{BenchmarkId, Criterion, Throughput};
+use swq_bench::{criterion_group, criterion_main};
 
 fn wavefield(n: usize) -> Vec<f32> {
     (0..n)

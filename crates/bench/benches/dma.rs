@@ -1,8 +1,9 @@
-//! Criterion benchmark of the simulated DMA engine across the Table-3
+//! Benchmark of the simulated DMA engine across the Table-3
 //! block sizes — the cost of the functional copy plus the bandwidth model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sw_arch::dma::DmaEngine;
+use swq_bench::harness::{BenchmarkId, Criterion, Throughput};
+use swq_bench::{criterion_group, criterion_main};
 
 fn bench_dma(c: &mut Criterion) {
     let mut group = c.benchmark_group("dma_get");

@@ -1,10 +1,11 @@
-//! Criterion benchmark of the halo-exchange path: face pack/unpack and a
+//! Benchmark of the halo-exchange path: face pack/unpack and a
 //! full multi-field exchange between two ranks.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sw_grid::halo::{Face, HaloSpec};
 use sw_grid::{Dims3, Field3};
 use sw_parallel::{Fabric, RankGrid};
+use swq_bench::harness::{Criterion, Throughput};
+use swq_bench::{criterion_group, criterion_main};
 
 fn bench_halo(c: &mut Criterion) {
     let d = Dims3::new(48, 48, 64);
@@ -19,9 +20,7 @@ fn bench_halo(c: &mut Criterion) {
     group.bench_function("pack_east", |b| b.iter(|| spec.pack(&f, Face::East, &mut buf)));
     spec.pack(&f, Face::East, &mut buf);
     let packed = buf.clone();
-    group.bench_function("unpack_west", |b| {
-        b.iter(|| spec.unpack(&mut f, Face::West, &packed))
-    });
+    group.bench_function("unpack_west", |b| b.iter(|| spec.unpack(&mut f, Face::West, &packed)));
     group.finish();
 
     let mut group = c.benchmark_group("exchange");
@@ -30,6 +29,7 @@ fn bench_halo(c: &mut Criterion) {
         b.iter(|| {
             let comms = Fabric::build(RankGrid::new(2, 1));
             let ex = sw_parallel::HaloExchanger::standard();
+            let ex = &ex;
             std::thread::scope(|scope| {
                 for comm in &comms {
                     scope.spawn(move || {

@@ -1,9 +1,10 @@
-//! Criterion benchmarks for the solver kernels: serial vs Rayon-parallel,
+//! Benchmarks for the solver kernels: serial vs Rayon-parallel,
 //! linear vs nonlinear — the real-host counterpart of Fig. 7.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sw_grid::Dims3;
 use sw_model::HalfspaceModel;
+use swq_bench::harness::{BenchmarkId, Criterion, Throughput};
+use swq_bench::{criterion_group, criterion_main};
 use swquake_core::kernels;
 use swquake_core::state::{SolverState, StateOptions};
 
@@ -75,9 +76,7 @@ fn bench_kernels(c: &mut Criterion) {
     });
     let s = noisy_state(n, false);
     let mut fused = kernels::FusedWavefield::from_state(&s);
-    group.bench_function("dvelc_fused_layout", |b| {
-        b.iter(|| kernels::dvelc_fused(&mut fused, &s))
-    });
+    group.bench_function("dvelc_fused_layout", |b| b.iter(|| kernels::dvelc_fused(&mut fused, &s)));
     let mut s2 = noisy_state(n, false);
     group.bench_function("dstrqc_scalar_layout", |b| b.iter(|| kernels::dstrqc(&mut s2)));
     let s2 = noisy_state(n, false);

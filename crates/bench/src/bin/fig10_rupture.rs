@@ -18,8 +18,7 @@ fn main() {
     );
     let mut params = RuptureParams::standard(1_000.0);
     params.t_end = 30.0;
-    let solver =
-        RuptureSolver::new(geometry, &TectonicStress::north_china(), params, (0.35, 0.5));
+    let solver = RuptureSolver::new(geometry, &TectonicStress::north_china(), params, (0.35, 0.5));
     let result = solver.solve(&[10.5]);
 
     let m0 = result.total_moment(solver.params.shear_modulus, solver.geometry.cell_area());

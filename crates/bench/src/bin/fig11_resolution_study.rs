@@ -21,11 +21,8 @@ struct Run {
 }
 
 fn run_at(model: &TangshanModel, dx: f64, duration: f64) -> Run {
-    let dims = Dims3::new(
-        (model.lx / dx) as usize,
-        (model.ly / dx) as usize,
-        (model.lz / dx) as usize,
-    );
+    let dims =
+        Dims3::new((model.lx / dx) as usize, (model.ly / dx) as usize, (model.lz / dx) as usize);
     let dt = swquake_core::staggered::stable_dt(dx, model.vp_max() as f64);
     let steps = (duration / dt).ceil() as usize;
     let mut cfg = SimConfig::new(dims, dx, steps);
@@ -47,7 +44,7 @@ fn run_at(model: &TangshanModel, dx: f64, duration: f64) -> Run {
             iy: ((fy * model.ly / dx) as usize).min(dims.ny - 1),
         })
         .collect();
-    let mut sim = Simulation::new(model, &cfg);
+    let mut sim = Simulation::new(model, &cfg).expect("valid config");
     sim.run(steps);
     Run { dx, sim }
 }
@@ -55,10 +52,8 @@ fn run_at(model: &TangshanModel, dx: f64, duration: f64) -> Run {
 /// Energy in the tail (coda) of a seismogram, relative to its total.
 fn coda_fraction(samples: &[[f32; 3]]) -> f64 {
     let total: f64 = samples.iter().map(|s| (s[0] * s[0] + s[1] * s[1]) as f64).sum();
-    let tail: f64 = samples[samples.len() * 2 / 3..]
-        .iter()
-        .map(|s| (s[0] * s[0] + s[1] * s[1]) as f64)
-        .sum();
+    let tail: f64 =
+        samples[samples.len() * 2 / 3..].iter().map(|s| (s[0] * s[0] + s[1] * s[1]) as f64).sum();
     if total > 0.0 {
         tail / total
     } else {

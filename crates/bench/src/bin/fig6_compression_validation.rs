@@ -14,11 +14,8 @@ use sw_source::{m0_from_mw, MomentTensor, PointSource, SourceTimeFunction};
 use swquake_core::{SimConfig, Simulation};
 
 fn scenario(dims: Dims3, dx: f64, steps: usize) -> (TangshanModel, SimConfig) {
-    let model = TangshanModel::with_extent(
-        dims.nx as f64 * dx,
-        dims.ny as f64 * dx,
-        dims.nz as f64 * dx,
-    );
+    let model =
+        TangshanModel::with_extent(dims.nx as f64 * dx, dims.ny as f64 * dx, dims.nz as f64 * dx);
     let mut cfg = SimConfig::new(dims, dx, steps);
     cfg.options.sponge_width = 6;
     let (ex, ey) = model.epicenter();
@@ -69,18 +66,17 @@ fn main() {
 
     // Coarse statistics pass (Fig. 5a).
     let (cmodel, ccfg) = scenario(Dims3::new(32, 32, 12), 800.0, 250);
-    let mut coarse = Simulation::new(&cmodel, &ccfg);
+    let mut coarse = Simulation::new(&cmodel, &ccfg).expect("valid config");
     coarse.run(ccfg.steps);
-    let stats =
-        swquake_core::driver::rescale_coarse_stats(coarse.collect_stats(), 800.0, 400.0);
+    let stats = swquake_core::driver::rescale_coarse_stats(coarse.collect_stats(), 800.0, 400.0);
 
-    let mut base = Simulation::new(&model, &cfg);
+    let mut base = Simulation::new(&model, &cfg).expect("valid config");
     base.run(cfg.steps);
 
     let mut comp_cfg = cfg.clone();
     comp_cfg.compression = true;
     comp_cfg.compression_stats = stats;
-    let mut comp = Simulation::new(&model, &comp_cfg);
+    let mut comp = Simulation::new(&model, &comp_cfg).expect("valid config");
     comp.run(cfg.steps);
 
     println!("simulated {:.1} s at dx = 400 m\n", base.time);

@@ -67,11 +67,8 @@ fn main() {
     );
 
     // The naive-compression datum of §6.5: 1/3 of the uncompressed speed.
-    let naive: f64 = m
-        .kernels()
-        .iter()
-        .map(|k| k.coverage * m.seconds_per_point_naive_cmpr(k))
-        .sum();
+    let naive: f64 =
+        m.kernels().iter().map(|k| k.coverage * m.seconds_per_point_naive_cmpr(k)).sum();
     let mem = m.step_seconds_per_point(true, OptLevel::Mem);
     println!(
         "naive first-version compression: {:.2}x slower than uncompressed (paper: ~3x)",

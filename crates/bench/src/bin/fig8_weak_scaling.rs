@@ -56,7 +56,7 @@ fn main() {
         cfg.options.sponge_width = 0;
         cfg.options.attenuation = false;
         let t = Instant::now();
-        let out = run_multirank(&model, &cfg, RankGrid::new(mx, my));
+        let out = run_multirank(&model, &cfg, RankGrid::new(mx, my)).expect("valid config");
         let dt = t.elapsed().as_secs_f64();
         println!(
             "  {mx} x {my} ranks: {:>8} points, {:>6.2} s, {:>7.2} Mpts/s, {:.2} Gflop/s",

@@ -54,16 +54,11 @@ fn main() {
         cfg.options.sponge_width = 0;
         cfg.options.attenuation = false;
         let t = Instant::now();
-        let _ = run_multirank(&model, &cfg, RankGrid::new(mx, my));
+        let _ = run_multirank(&model, &cfg, RankGrid::new(mx, my)).expect("valid config");
         let dt = t.elapsed().as_secs_f64();
         if mx * my == 1 {
             t1 = dt;
         }
-        println!(
-            "  {mx} x {my} ranks: {:>6.2} s, speedup {:.2} (ideal {})",
-            dt,
-            t1 / dt,
-            mx * my
-        );
+        println!("  {mx} x {my} ranks: {:>6.2} s, speedup {:.2} (ideal {})", dt, t1 / dt, mx * my);
     }
 }

@@ -32,11 +32,7 @@ fn main() {
                 format!("{:.0}G", r.flops / 1e9)
             },
             fmt_opt(r.mem_bytes, 1e12, "TB"),
-            format!(
-                "{}{}",
-                r.method.label(),
-                if r.nonlinear { " nonlin" } else { "" }
-            ),
+            format!("{}{}", r.method.label(), if r.nonlinear { " nonlin" } else { "" }),
         );
     }
     let rows = table2();

@@ -55,7 +55,10 @@ fn main() {
 
     // Show the whole layout search for the fused shape.
     println!("\nlayout search (fused shape):");
-    println!("{:>10} {:>6} {:>8} {:>12} {:>16}", "Cy x Cz", "Wz", "block B", "redundant", "DMA ms/pass");
+    println!(
+        "{:>10} {:>6} {:>8} {:>12} {:>16}",
+        "Cy x Cz", "Wz", "block B", "redundant", "DMA ms/pass"
+    );
     for layout in AthreadLayout::all() {
         let region_nz = nz.div_ceil(layout.cz);
         let mut wz = (64 * 1024 / 4) / (9 * 5 * fused.floats_per_point());

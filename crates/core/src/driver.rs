@@ -9,13 +9,25 @@
 //! stored 16-bit between steps, which is functionally simulated by a
 //! per-step encode/decode round trip through the Fig. 5d codecs.
 //!
+//! Every phase of the step reports into the configured [`Telemetry`]
+//! handle (see [`SimConfig::with_telemetry`]): phase wall times nest under
+//! `step.*`, the compression round trip reports `compress.*` timers and
+//! byte counters, modeled SW26010 hardware charges land in `arch.*`, and
+//! checkpoints in `io.*`. With [`Telemetry::disabled`] (the default) every
+//! recording call is a branch on `None` and the numeric path is untouched.
+//!
 //! [`run_multirank`] runs the same step sequence on a 2-D rank grid with
 //! halo exchange (Fig. 4 level 1); its results are bit-identical to a
 //! single-rank run, which the integration tests pin down.
 
+use crate::error::{ConfigError, RestoreError};
 use crate::flops::FlopCounter;
 use crate::kernels;
 use crate::state::{SolverState, StateOptions};
+use std::time::Instant;
+use sw_arch::analytic::{AnalyticModel, KernelShape};
+use sw_arch::spec::CoreGroupSpec;
+use sw_arch::{KernelPerfModel, OptLevel};
 use sw_compress::{Codec, Codec16, FieldStats};
 use sw_grid::{Dims3, Field3};
 use sw_io::checkpoint::{Checkpoint, RestartController};
@@ -23,10 +35,10 @@ use sw_io::{PgvRecorder, SeismogramRecorder, SnapshotRecorder, Station};
 use sw_model::VelocityModel;
 use sw_parallel::{run_ranks, HaloExchanger, RankGrid};
 use sw_source::{PointSource, SourcePartitioner};
+use sw_telemetry::Telemetry;
 
 /// The nine wavefields the compression scheme stores 16-bit.
-pub const COMPRESSED_FIELDS: [&str; 9] =
-    ["u", "v", "w", "xx", "yy", "zz", "xy", "xz", "yz"];
+pub const COMPRESSED_FIELDS: [&str; 9] = ["u", "v", "w", "xx", "yy", "zz", "xy", "xz", "yz"];
 
 /// Simulation configuration.
 #[derive(Debug, Clone)]
@@ -56,6 +68,9 @@ pub struct SimConfig {
     pub compression_stats: Vec<(String, FieldStats)>,
     /// Physical position of grid index (0,0,0), m.
     pub origin: (f64, f64, f64),
+    /// Metrics sink for every subsystem the run touches (defaults to
+    /// [`Telemetry::disabled`], which records nothing).
+    pub telemetry: Telemetry,
 }
 
 impl SimConfig {
@@ -74,6 +89,114 @@ impl SimConfig {
             compression: false,
             compression_stats: Vec::new(),
             origin: (0.0, 0.0, 0.0),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Replace the source list.
+    #[must_use]
+    pub fn with_sources(mut self, sources: Vec<PointSource>) -> Self {
+        self.sources = sources;
+        self
+    }
+
+    /// Replace the station list.
+    #[must_use]
+    pub fn with_stations(mut self, stations: Vec<Station>) -> Self {
+        self.stations = stations;
+        self
+    }
+
+    /// Enable or disable 16-bit inter-step storage (§6.5).
+    #[must_use]
+    pub fn with_compression(mut self, enabled: bool) -> Self {
+        self.compression = enabled;
+        self
+    }
+
+    /// Provide coarse-run statistics (Fig. 5a) for the codecs.
+    #[must_use]
+    pub fn with_compression_stats(mut self, stats: Vec<(String, FieldStats)>) -> Self {
+        self.compression_stats = stats;
+        self
+    }
+
+    /// Attach a telemetry handle; pass [`Telemetry::enabled`] to collect
+    /// metrics from every subsystem the run touches.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Check that the configuration can produce a runnable simulation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let d = self.dims;
+        if d.nx == 0 || d.ny == 0 || d.nz == 0 {
+            return Err(ConfigError::EmptyDims { dims: d });
+        }
+        if self.dx <= 0.0 || !self.dx.is_finite() {
+            return Err(ConfigError::NonPositiveSpacing { dx: self.dx });
+        }
+        for (index, src) in self.sources.iter().enumerate() {
+            if src.ix >= d.nx || src.iy >= d.ny || src.iz >= d.nz {
+                return Err(ConfigError::SourceOutOfBounds {
+                    index,
+                    position: (src.ix, src.iy, src.iz),
+                    dims: d,
+                });
+            }
+        }
+        for st in &self.stations {
+            if st.ix >= d.nx || st.iy >= d.ny {
+                return Err(ConfigError::StationOutOfBounds {
+                    name: st.name.clone(),
+                    position: (st.ix, st.iy),
+                    dims: d,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-step modeled SW26010 hardware charges, precomputed at construction
+/// from the §6.4 perf model so the per-step cost is a few counter adds.
+struct ArchCharges {
+    /// `(bytes counter, cycles counter, DMA bytes/step, cycles/step)`.
+    kernels: Vec<(String, String, u64, u64)>,
+}
+
+impl ArchCharges {
+    fn model(dims: Dims3, nonlinear: bool, compression: bool) -> Self {
+        let model = KernelPerfModel::paper();
+        let level = if compression { OptLevel::Cmpr } else { OptLevel::Mem };
+        let clock = CoreGroupSpec::sw26010().clock_hz;
+        let ratio = if compression { 0.5 } else { 1.0 };
+        let points = dims.len() as f64;
+        let kernels = model
+            .kernels()
+            .iter()
+            .filter(|k| nonlinear || !k.nonlinear_only)
+            .map(|k| {
+                let touched = points * k.coverage;
+                let bytes = touched * k.bytes_per_point() * ratio;
+                let cycles = touched * model.seconds_per_point(k, level) * clock;
+                (
+                    format!("arch.dma_bytes.{}", k.name),
+                    format!("arch.model_cycles.{}", k.name),
+                    bytes as u64,
+                    cycles as u64,
+                )
+            })
+            .collect();
+        Self { kernels }
+    }
+
+    fn charge(&self, tel: &Telemetry) {
+        for (bytes_name, cycles_name, bytes, cycles) in &self.kernels {
+            tel.add(bytes_name, *bytes);
+            tel.add(cycles_name, *cycles);
         }
     }
 }
@@ -102,6 +225,8 @@ pub struct Simulation {
     snapshot_times: Vec<f64>,
     next_snapshot: usize,
     compression: Option<Vec<(usize, Codec)>>,
+    telemetry: Telemetry,
+    arch: Option<ArchCharges>,
 }
 
 /// Index a wavefield by its `COMPRESSED_FIELDS` position.
@@ -135,13 +260,18 @@ fn wavefield(state: &SolverState, idx: usize) -> &Field3 {
 
 impl Simulation {
     /// Build a single-rank simulation over the full config domain.
-    pub fn new(model: &dyn VelocityModel, config: &SimConfig) -> Self {
+    ///
+    /// Fails with [`ConfigError`] when the mesh is degenerate or a source
+    /// or station lies outside it.
+    pub fn new(model: &dyn VelocityModel, config: &SimConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let state =
             SolverState::from_model(model, config.dims, config.dx, config.origin, config.options);
-        Self::from_state(state, config)
+        Ok(Self::from_state(state, config))
     }
 
-    /// Build from an existing state (used by the multi-rank runner).
+    /// Build from an existing state (used by the multi-rank runner). The
+    /// caller is responsible for having validated the config.
     pub fn from_state(state: SolverState, config: &SimConfig) -> Self {
         let d = state.dims;
         let compression = config.compression.then(|| {
@@ -159,6 +289,15 @@ impl Simulation {
                 })
                 .collect()
         });
+        let telemetry = config.telemetry.clone();
+        let arch = telemetry.is_enabled().then(|| {
+            // The analytic model's blocking for this block is the LDM
+            // footprint the Sunway port would run with (eq. 6).
+            let choice = AnalyticModel::sw26010().optimize(&KernelShape::delcx_fused(d.ny, d.nz));
+            telemetry.gauge("arch.ldm_high_water_bytes", choice.ldm_bytes as f64);
+            telemetry.gauge("arch.max_dma_block_bytes", choice.max_dma_block as f64);
+            ArchCharges::model(d, config.options.nonlinear, config.compression)
+        });
         Self {
             state,
             sources: config.sources.clone(),
@@ -173,41 +312,81 @@ impl Simulation {
             snapshot_times: config.snapshot_times.clone(),
             next_snapshot: 0,
             compression,
+            telemetry,
+            arch,
         }
+    }
+
+    /// The telemetry handle this simulation records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Snapshot everything recorded so far into a serializable report
+    /// (empty, schema-stamped, when telemetry is disabled).
+    pub fn metrics(&self) -> sw_telemetry::Report {
+        self.telemetry.report()
     }
 
     /// Advance one step (single-rank path: no halo exchange needed).
     pub fn step(&mut self) {
-        self.step_interior();
-        self.finish_step();
+        let tel = self.telemetry.clone();
+        let start = tel.is_enabled().then(Instant::now);
+        {
+            let _step = tel.phase("step");
+            self.step_interior();
+            self.finish_step();
+        }
+        if let Some(start) = start {
+            tel.sample("step.wall_s", start.elapsed().as_secs_f64());
+        }
     }
 
     /// The kernel sequence up to (not including) recording — split out so
     /// the multi-rank runner can interleave halo exchanges.
     fn step_interior(&mut self) {
+        let tel = self.telemetry.clone();
         let s = &mut self.state;
-        kernels::fstr(s);
-        kernels::dvelcx(s);
-        kernels::dvelcy(s);
-        kernels::fstr(s);
-        kernels::dstrqc(s);
-        kernels::addsrc(s, &self.sources, self.time);
+        {
+            let _p = tel.phase("free_surface");
+            kernels::fstr(s);
+        }
+        {
+            let _p = tel.phase("velocity");
+            kernels::dvelcx(s);
+            kernels::dvelcy(s);
+        }
+        {
+            let _p = tel.phase("free_surface");
+            kernels::fstr(s);
+        }
+        {
+            let _p = tel.phase("stress");
+            kernels::dstrqc(s);
+        }
+        {
+            let _p = tel.phase("source");
+            kernels::addsrc(s, &self.sources, self.time);
+        }
         if s.options.nonlinear {
+            let _p = tel.phase("plasticity");
             kernels::drprecpc_calc(s);
             kernels::drprecpc_app(s);
         }
-        kernels::apply_sponge(s);
+        {
+            let _p = tel.phase("sponge");
+            kernels::apply_sponge(s);
+        }
         if let Some(codecs) = &self.compression {
+            let _p = tel.phase("compression");
             for (idx, codec) in codecs {
                 let field = wavefield_mut(&mut self.state, *idx);
                 // Self-calibrating fallback when no coarse-run statistics
                 // were provided: rebuild the codec from this field's range.
                 let codec = match codec {
-                    Codec::Norm(n) if n.vmin() == 0.0 && n.vmax() == 1.0 => {
-                        Codec::Norm(sw_compress::NormCodec::from_stats(&FieldStats::of_field(
-                            field,
-                        )))
-                    }
+                    Codec::Norm(n) if n.vmin() == 0.0 && n.vmax() == 1.0 => Codec::Norm(
+                        sw_compress::NormCodec::from_stats(&FieldStats::of_field(field)),
+                    ),
                     Codec::Adaptive(a) if a.exp_bits == 1 => {
                         let stats = FieldStats::of_field(field);
                         if stats.exponent_span() > 0 {
@@ -218,27 +397,49 @@ impl Simulation {
                     }
                     c => *c,
                 };
-                roundtrip_compress(field, &codec);
+                if tel.is_enabled() {
+                    roundtrip_compress_instrumented(field, &codec, &tel);
+                } else {
+                    roundtrip_compress(field, &codec);
+                }
             }
         }
     }
 
     /// Recording, flop accounting, checkpointing, clock advance.
     fn finish_step(&mut self) {
+        let tel = self.telemetry.clone();
+        {
+            let _p = tel.phase("record");
+            let s = &self.state;
+            self.seismo.record(&s.u, &s.v, &s.w);
+            self.pgv.record(&s.u, &s.v);
+        }
         let s = &self.state;
-        self.seismo.record(&s.u, &s.v, &s.w);
-        self.pgv.record(&s.u, &s.v);
+        let flops_before = self.flops.flops;
         self.flops.charge_step(s.dims, s.options.nonlinear, s.options.attenuation);
+        tel.sample("step.flops", self.flops.flops - flops_before);
+        if let Some(arch) = &self.arch {
+            arch.charge(&tel);
+        }
         self.time += s.dt;
         self.step_count += 1;
         if self.next_snapshot < self.snapshot_times.len()
             && self.time >= self.snapshot_times[self.next_snapshot]
         {
+            let s = &self.state;
             self.snapshots.capture(self.time, &s.u, &s.v, &s.w);
             self.next_snapshot += 1;
         }
         if self.restart.due(self.step_count) {
-            self.checkpoints.push(self.make_checkpoint());
+            let _p = tel.phase("checkpoint");
+            let ckpt = self.make_checkpoint();
+            if tel.is_enabled() {
+                let bytes: usize = ckpt.fields.iter().map(|(_, f)| f.raw().len() * 4).sum();
+                tel.add("io.checkpoint_bytes", bytes as u64);
+                tel.add("io.checkpoints", 1);
+            }
+            self.checkpoints.push(ckpt);
         }
     }
 
@@ -263,20 +464,41 @@ impl Simulation {
     }
 
     /// Restore the dynamic state from a checkpoint.
-    pub fn restore(&mut self, ckpt: &Checkpoint) {
+    ///
+    /// Fails with [`RestoreError`] — leaving the state partially updated —
+    /// when the checkpoint names an unknown field, carries a mismatched
+    /// mesh, or references a memory variable this run does not have.
+    pub fn restore(&mut self, ckpt: &Checkpoint) -> Result<(), RestoreError> {
+        let dims = self.state.dims;
         for (name, field) in &ckpt.fields {
+            if field.dims() != dims {
+                return Err(RestoreError::DimsMismatch {
+                    field: name.clone(),
+                    checkpoint: field.dims(),
+                    simulation: dims,
+                });
+            }
             if let Some(i) = COMPRESSED_FIELDS.iter().position(|n| n == name) {
                 *wavefield_mut(&mut self.state, i) = field.clone();
             } else if let Some(rest) = name.strip_prefix('r') {
-                if let Ok(k) = rest.parse::<usize>() {
-                    self.state.r[k - 1] = field.clone();
+                let index: usize =
+                    rest.parse().map_err(|_| RestoreError::UnknownField { field: name.clone() })?;
+                if index == 0 || index > self.state.r.len() {
+                    return Err(RestoreError::MemoryVariableOutOfRange {
+                        index,
+                        available: self.state.r.len(),
+                    });
                 }
+                self.state.r[index - 1] = field.clone();
             } else if name == "eqp" {
                 self.state.eqp = field.clone();
+            } else {
+                return Err(RestoreError::UnknownField { field: name.clone() });
             }
         }
         self.step_count = ckpt.step;
         self.time = ckpt.time;
+        Ok(())
     }
 
     /// Collect per-wavefield statistics (the Fig. 5a coarse-run product).
@@ -317,6 +539,31 @@ fn roundtrip_compress(field: &mut Field3, codec: &Codec) {
     }
 }
 
+/// The telemetry-enabled round trip: identical values to
+/// [`roundtrip_compress`], plus `compress.*` timers, byte counters and the
+/// max round-trip error gauge.
+fn roundtrip_compress_instrumented(field: &mut Field3, codec: &Codec, tel: &Telemetry) {
+    let n = field.raw().len();
+    let t0 = Instant::now();
+    let encoded: Vec<u16> = field.raw().iter().map(|v| codec.encode(*v)).collect();
+    tel.record_duration("compress.encode", t0.elapsed().as_secs_f64());
+    let t1 = Instant::now();
+    let mut max_err = 0.0f64;
+    for (v, e) in field.raw_mut().iter_mut().zip(&encoded) {
+        let decoded = codec.decode(*e);
+        let err = f64::from((decoded - *v).abs());
+        if err > max_err {
+            max_err = err;
+        }
+        *v = decoded;
+    }
+    tel.record_duration("compress.decode", t1.elapsed().as_secs_f64());
+    tel.add("compress.raw_bytes", (n * 4) as u64);
+    tel.add("compress.encoded_bytes", (n * 2) as u64);
+    tel.gauge("compress.achieved_ratio", 2.0);
+    tel.gauge("compress.max_roundtrip_error", max_err);
+}
+
 /// Output of a multi-rank run: merged observables.
 #[derive(Debug, Clone)]
 pub struct MultiRankOutput {
@@ -330,36 +577,48 @@ pub struct MultiRankOutput {
 
 /// Run `config` on an `Mx × My` rank grid; observables are merged and the
 /// wavefield evolution is bit-identical to the single-rank run.
+///
+/// The global config is validated once up front; per-rank telemetry
+/// aggregates into the shared handle, with halo-fabric timings reported
+/// per rank (`halo.*.rankN`).
 pub fn run_multirank(
     model: &(dyn VelocityModel + Sync),
     config: &SimConfig,
     grid: RankGrid,
-) -> MultiRankOutput {
+) -> Result<MultiRankOutput, ConfigError> {
+    config.validate()?;
     let global = config.dims;
+    let telemetry = config.telemetry.clone();
     let partitioner = SourcePartitioner::new(grid.mx, grid.my, global.nx, global.ny);
     let per_rank_sources = partitioner.partition(&config.sources);
-    let exchanger = HaloExchanger::standard();
+    let exchanger = HaloExchanger::standard().with_telemetry(telemetry.clone());
     let results = run_ranks(grid, |comm| {
         let (x0, y0, local) = grid.local_span(comm.rank, global);
         let (px, py) = grid.coords_of(comm.rank);
         let mut cfg = config.clone();
         cfg.dims = local;
-        cfg.origin =
-            (config.origin.0 + x0 as f64 * config.dx, config.origin.1 + y0 as f64 * config.dx, config.origin.2);
+        cfg.origin = (
+            config.origin.0 + x0 as f64 * config.dx,
+            config.origin.1 + y0 as f64 * config.dx,
+            config.origin.2,
+        );
         cfg.options.global_span = Some((global, x0, y0));
         cfg.sources = per_rank_sources[px * grid.my + py].clone();
         cfg.stations = config
             .stations
             .iter()
-            .filter(|s| {
-                s.ix >= x0 && s.ix < x0 + local.nx && s.iy >= y0 && s.iy < y0 + local.ny
-            })
+            .filter(|s| s.ix >= x0 && s.ix < x0 + local.nx && s.iy >= y0 && s.iy < y0 + local.ny)
             .map(|s| Station { name: s.name.clone(), ix: s.ix - x0, iy: s.iy - y0 })
             .collect();
-        let mut sim = Simulation::new(model, &cfg);
+        let mut sim = Simulation::new(model, &cfg)
+            .expect("rank-local config is derived from the validated global config");
+        let tel = telemetry.clone();
         for _ in 0..config.steps {
+            let start = tel.is_enabled().then(Instant::now);
+            let _step = tel.phase("step");
             // stress halos feed the velocity stencils
             {
+                let _h = tel.phase("halo_stress");
                 let s = &mut sim.state;
                 exchanger.exchange(
                     comm,
@@ -368,27 +627,47 @@ pub fn run_multirank(
             }
             {
                 let s = &mut sim.state;
-                kernels::fstr(s);
+                {
+                    let _p = tel.phase("free_surface");
+                    kernels::fstr(s);
+                }
+                let _p = tel.phase("velocity");
                 kernels::dvelcx(s);
                 kernels::dvelcy(s);
             }
             // velocity halos feed the stress stencils
             {
+                let _h = tel.phase("halo_velocity");
                 let s = &mut sim.state;
                 exchanger.exchange(comm, &mut [&mut s.u, &mut s.v, &mut s.w]);
             }
             {
                 let s = &mut sim.state;
-                kernels::fstr(s);
-                kernels::dstrqc(s);
-                kernels::addsrc(s, &sim.sources, sim.time);
+                {
+                    let _p = tel.phase("free_surface");
+                    kernels::fstr(s);
+                }
+                {
+                    let _p = tel.phase("stress");
+                    kernels::dstrqc(s);
+                }
+                {
+                    let _p = tel.phase("source");
+                    kernels::addsrc(s, &sim.sources, sim.time);
+                }
                 if s.options.nonlinear {
+                    let _p = tel.phase("plasticity");
                     kernels::drprecpc_calc(s);
                     kernels::drprecpc_app(s);
                 }
+                let _p = tel.phase("sponge");
                 kernels::apply_sponge(s);
             }
             sim.finish_step();
+            drop(_step);
+            if let Some(start) = start {
+                tel.sample("step.wall_s", start.elapsed().as_secs_f64());
+            }
         }
         (x0, y0, local, sim)
     });
@@ -409,7 +688,7 @@ pub fn run_multirank(
         }
         flops += sim.flops.flops;
     }
-    MultiRankOutput { seismograms, pgv, flops }
+    Ok(MultiRankOutput { seismograms, pgv, flops })
 }
 
 #[cfg(test)]
@@ -423,22 +702,21 @@ mod tests {
         let mut cfg = SimConfig::new(dims, 100.0, steps);
         cfg.options.sponge_width = 4;
         cfg.options.attenuation = false;
-        cfg.sources = vec![PointSource {
+        cfg.with_sources(vec![PointSource {
             ix: 12,
             iy: 12,
             iz: 8,
             moment: MomentTensor::explosion(1.0e13),
             stf: SourceTimeFunction::Gaussian { delay: 0.05, sigma: 0.02 },
-        }];
-        cfg.stations = vec![Station { name: "S".into(), ix: 6, iy: 6 }];
-        cfg
+        }])
+        .with_stations(vec![Station { name: "S".into(), ix: 6, iy: 6 }])
     }
 
     #[test]
     fn explosion_radiates_and_stays_finite() {
         let cfg = explosion_config(60);
         let model = HalfspaceModel::hard_rock();
-        let mut sim = Simulation::new(&model, &cfg);
+        let mut sim = Simulation::new(&model, &cfg).expect("valid config");
         sim.run(cfg.steps);
         assert!(!sim.state.has_blown_up());
         assert!(sim.pgv.max() > 0.0, "waves reached the surface");
@@ -451,14 +729,14 @@ mod tests {
     fn checkpoint_restart_is_exact() {
         let cfg = explosion_config(40);
         let model = HalfspaceModel::hard_rock();
-        let mut sim = Simulation::new(&model, &cfg);
+        let mut sim = Simulation::new(&model, &cfg).expect("valid config");
         sim.run(20);
         let ckpt = sim.make_checkpoint();
         // run 20 more, then rewind and replay
         sim.run(20);
         let final_u = sim.state.u.clone();
-        let mut sim2 = Simulation::new(&model, &cfg);
-        sim2.restore(&ckpt);
+        let mut sim2 = Simulation::new(&model, &cfg).expect("valid config");
+        sim2.restore(&ckpt).expect("matching checkpoint");
         assert_eq!(sim2.step_count, 20);
         sim2.run(20);
         assert_eq!(sim2.state.u.max_abs_diff(&final_u), 0.0, "restart must be bit-exact");
@@ -468,16 +746,15 @@ mod tests {
     fn compression_mode_stays_close_to_reference() {
         let cfg = explosion_config(40);
         let model = HalfspaceModel::hard_rock();
-        let mut reference = Simulation::new(&model, &cfg);
+        let mut reference = Simulation::new(&model, &cfg).expect("valid config");
         reference.run(cfg.steps);
-        let mut ccfg = cfg.clone();
-        ccfg.compression = true;
-        // use the reference run's stats as the "coarse run" product
-        let mut coarse = Simulation::new(&model, &cfg);
+        // use a second reference run's stats as the "coarse run" product
+        let mut coarse = Simulation::new(&model, &cfg).expect("valid config");
         coarse.run(cfg.steps);
-        ccfg.compression_stats = coarse.collect_stats();
-        let mut compressed = Simulation::new(&model, &ccfg);
-        compressed.run(cfg.steps);
+        let ccfg =
+            cfg.clone().with_compression(true).with_compression_stats(coarse.collect_stats());
+        let mut compressed = Simulation::new(&model, &ccfg).expect("valid config");
+        compressed.run(ccfg.steps);
         assert!(!compressed.state.has_blown_up());
         let a = reference.seismo.get("S").unwrap();
         let b = compressed.seismo.get("S").unwrap();
@@ -492,7 +769,7 @@ mod tests {
         let model = HalfspaceModel::hard_rock();
         let dt = crate::staggered::stable_dt(cfg.dx, 6000.0);
         cfg.snapshot_times = vec![5.0 * dt, 20.0 * dt];
-        let mut sim = Simulation::new(&model, &cfg);
+        let mut sim = Simulation::new(&model, &cfg).expect("valid config");
         sim.run(cfg.steps);
         assert_eq!(sim.snapshots.snapshots.len(), 2);
     }
@@ -502,10 +779,101 @@ mod tests {
         let mut cfg = explosion_config(25);
         cfg.checkpoint_interval = 10;
         let model = HalfspaceModel::hard_rock();
-        let mut sim = Simulation::new(&model, &cfg);
+        let mut sim = Simulation::new(&model, &cfg).expect("valid config");
         sim.run(cfg.steps);
         assert_eq!(sim.checkpoints.len(), 2);
         assert_eq!(sim.checkpoints[0].step, 10);
         assert_eq!(sim.checkpoints[1].step, 20);
+    }
+
+    #[test]
+    fn out_of_bounds_source_is_rejected() {
+        let mut cfg = explosion_config(5);
+        cfg.sources[0].iz = 99;
+        let model = HalfspaceModel::hard_rock();
+        let err = Simulation::new(&model, &cfg).err().expect("construction must fail");
+        assert!(matches!(err, ConfigError::SourceOutOfBounds { index: 0, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn out_of_bounds_station_is_rejected() {
+        let cfg = explosion_config(5).with_stations(vec![Station {
+            name: "far".into(),
+            ix: 1000,
+            iy: 0,
+        }]);
+        let model = HalfspaceModel::hard_rock();
+        assert!(matches!(
+            Simulation::new(&model, &cfg),
+            Err(ConfigError::StationOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_mesh_is_rejected() {
+        let cfg = SimConfig::new(Dims3::new(0, 8, 8), 100.0, 1);
+        assert!(matches!(cfg.validate(), Err(ConfigError::EmptyDims { .. })));
+        let cfg = SimConfig::new(Dims3::new(8, 8, 8), -1.0, 1);
+        assert!(matches!(cfg.validate(), Err(ConfigError::NonPositiveSpacing { .. })));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_checkpoint() {
+        let model = HalfspaceModel::hard_rock();
+        let cfg = explosion_config(5);
+        let sim = Simulation::new(&model, &cfg).expect("valid config");
+        let mut ckpt = sim.make_checkpoint();
+        ckpt.fields.push(("mystery".into(), sim.state.u.clone()));
+        let mut sim2 = Simulation::new(&model, &cfg).expect("valid config");
+        assert!(matches!(sim2.restore(&ckpt), Err(RestoreError::UnknownField { .. })));
+        let small = SimConfig::new(Dims3::new(8, 8, 8), 100.0, 5);
+        let mut sim3 = Simulation::new(&model, &small).expect("valid config");
+        assert!(matches!(
+            sim3.restore(&sim.make_checkpoint()),
+            Err(RestoreError::DimsMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn telemetry_covers_every_phase() {
+        let tel = Telemetry::enabled();
+        let mut cfg = explosion_config(10).with_telemetry(tel.clone());
+        cfg.checkpoint_interval = 5;
+        let model = HalfspaceModel::hard_rock();
+        let mut sim = Simulation::new(&model, &cfg).expect("valid config");
+        sim.run(cfg.steps);
+        let report = sim.metrics();
+        for phase in [
+            "step",
+            "step.free_surface",
+            "step.velocity",
+            "step.stress",
+            "step.source",
+            "step.sponge",
+            "step.record",
+            "step.checkpoint",
+        ] {
+            let t = report.timer(phase).unwrap_or_else(|| panic!("missing timer {phase}"));
+            assert!(t.calls > 0, "{phase} never fired");
+        }
+        assert_eq!(report.timer("step").unwrap().calls, 10);
+        assert_eq!(report.counter("io.checkpoints"), Some(2));
+        assert!(report.counter("arch.dma_bytes.dvelcx").unwrap_or(0) > 0);
+        assert!(report.gauge("arch.ldm_high_water_bytes").unwrap().last > 0.0);
+        assert_eq!(report.series("step.wall_s").unwrap().pushed, 10);
+        assert_eq!(report.series("step.flops").unwrap().pushed, 10);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_wavefield() {
+        let model = HalfspaceModel::hard_rock();
+        let cfg = explosion_config(20);
+        let mut plain = Simulation::new(&model, &cfg).expect("valid config");
+        plain.run(cfg.steps);
+        let instrumented_cfg = cfg.clone().with_telemetry(Telemetry::enabled());
+        let mut instrumented = Simulation::new(&model, &instrumented_cfg).expect("valid config");
+        instrumented.run(cfg.steps);
+        assert_eq!(plain.state.u.max_abs_diff(&instrumented.state.u), 0.0);
+        assert_eq!(plain.state.xx.max_abs_diff(&instrumented.state.xx), 0.0);
     }
 }

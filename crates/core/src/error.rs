@@ -1,0 +1,121 @@
+//! Error types for the public solver API.
+//!
+//! Construction ([`crate::Simulation::new`], [`crate::driver::run_multirank`])
+//! validates the configuration up front and returns [`ConfigError`];
+//! checkpoint restore returns [`RestoreError`] instead of panicking on a
+//! malformed or mismatched checkpoint.
+
+use std::fmt;
+use sw_grid::Dims3;
+
+/// A configuration that cannot produce a runnable simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A mesh extent is zero.
+    EmptyDims {
+        /// The offending extents.
+        dims: Dims3,
+    },
+    /// Grid spacing must be strictly positive and finite.
+    NonPositiveSpacing {
+        /// The offending spacing, m.
+        dx: f64,
+    },
+    /// A point source lies outside the mesh.
+    SourceOutOfBounds {
+        /// Index of the source in `SimConfig::sources`.
+        index: usize,
+        /// The source's grid position.
+        position: (usize, usize, usize),
+        /// The mesh extents it must fit in.
+        dims: Dims3,
+    },
+    /// A recording station lies outside the surface grid.
+    StationOutOfBounds {
+        /// The station's name.
+        name: String,
+        /// The station's surface position.
+        position: (usize, usize),
+        /// The mesh extents it must fit in.
+        dims: Dims3,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyDims { dims } => {
+                write!(f, "mesh has a zero extent: {}x{}x{}", dims.nx, dims.ny, dims.nz)
+            }
+            Self::NonPositiveSpacing { dx } => {
+                write!(f, "grid spacing must be positive and finite, got {dx}")
+            }
+            Self::SourceOutOfBounds { index, position, dims } => write!(
+                f,
+                "source #{index} at ({}, {}, {}) is outside the {}x{}x{} mesh",
+                position.0, position.1, position.2, dims.nx, dims.ny, dims.nz
+            ),
+            Self::StationOutOfBounds { name, position, dims } => write!(
+                f,
+                "station `{name}` at ({}, {}) is outside the {}x{} surface grid",
+                position.0, position.1, dims.nx, dims.ny
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A checkpoint that cannot be restored into this simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// A checkpointed field's extents differ from the simulation mesh.
+    DimsMismatch {
+        /// The field's name in the checkpoint.
+        field: String,
+        /// Extents recorded in the checkpoint.
+        checkpoint: Dims3,
+        /// Extents of the running simulation.
+        simulation: Dims3,
+    },
+    /// The checkpoint names a field the solver does not know.
+    UnknownField {
+        /// The unrecognized field name.
+        field: String,
+    },
+    /// An attenuation memory-variable index (`r1`..`r6`) is out of range
+    /// for this simulation's options.
+    MemoryVariableOutOfRange {
+        /// The 1-based memory-variable index from the checkpoint.
+        index: usize,
+        /// How many memory variables this simulation carries.
+        available: usize,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimsMismatch { field, checkpoint, simulation } => write!(
+                f,
+                "checkpoint field `{field}` is {}x{}x{} but the simulation mesh is {}x{}x{}",
+                checkpoint.nx,
+                checkpoint.ny,
+                checkpoint.nz,
+                simulation.nx,
+                simulation.ny,
+                simulation.nz
+            ),
+            Self::UnknownField { field } => {
+                write!(f, "checkpoint contains unknown field `{field}`")
+            }
+            Self::MemoryVariableOutOfRange { index, available } => write!(
+                f,
+                "checkpoint memory variable r{index} is out of range \
+                 (simulation carries {available})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}

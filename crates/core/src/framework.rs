@@ -10,6 +10,7 @@
 //! interpolation → wave propagation with recorders → hazard map.
 
 use crate::driver::{run_multirank, MultiRankOutput, SimConfig, Simulation};
+use crate::error::ConfigError;
 use crate::hazard::HazardMap;
 use sw_io::Station;
 use sw_model::VelocityModel;
@@ -44,7 +45,7 @@ impl UnifiedFramework {
         model: &(dyn VelocityModel + Sync),
         grid: RankGrid,
         rupture_snapshot_times: &[f64],
-    ) -> FrameworkOutput {
+    ) -> Result<FrameworkOutput, ConfigError> {
         // 1. Dynamic rupture (CG-FDM stage).
         let rupture = self.rupture.solve(rupture_snapshot_times);
         // 2. Export to kinematic subfaults on the wave mesh, lower to
@@ -65,10 +66,10 @@ impl UnifiedFramework {
         let d = config.dims;
         config.sources.retain(|s| s.ix < d.nx && s.iy < d.ny && s.iz < d.nz);
         // 3–4. Wave propagation with model interpolation and recording.
-        let waves = run_multirank(model, &config, grid);
+        let waves = run_multirank(model, &config, grid)?;
         // 5. Hazard map from the PGV field.
         let hazard = HazardMap::from_pgv(&waves.pgv, d.nx, d.ny);
-        FrameworkOutput { rupture, waves, hazard }
+        Ok(FrameworkOutput { rupture, waves, hazard })
     }
 
     /// Single-rank convenience (returns the `Simulation` for inspection).
@@ -76,7 +77,7 @@ impl UnifiedFramework {
         &self,
         model: &dyn VelocityModel,
         rupture_snapshot_times: &[f64],
-    ) -> (RuptureResult, Simulation) {
+    ) -> Result<(RuptureResult, Simulation), ConfigError> {
         let rupture = self.rupture.solve(rupture_snapshot_times);
         let fault = export_kinematic(
             &self.rupture.geometry,
@@ -90,14 +91,18 @@ impl UnifiedFramework {
         config.sources = fault.to_point_sources();
         let d = config.dims;
         config.sources.retain(|s| s.ix < d.nx && s.iy < d.ny && s.iz < d.nz);
-        let mut sim = Simulation::new(model, &config);
+        let mut sim = Simulation::new(model, &config)?;
         sim.run(config.steps);
-        (rupture, sim)
+        Ok((rupture, sim))
     }
 
     /// Default station set: place one station per named site of a
     /// Tangshan-like model, mapped onto the mesh.
-    pub fn stations_from_model(model: &sw_model::TangshanModel, dims: sw_grid::Dims3, dx: f64) -> Vec<Station> {
+    pub fn stations_from_model(
+        model: &sw_model::TangshanModel,
+        dims: sw_grid::Dims3,
+        dx: f64,
+    ) -> Vec<Station> {
         model
             .stations
             .iter()
@@ -145,7 +150,7 @@ mod tests {
     #[test]
     fn full_pipeline_produces_all_artifacts() {
         let (model, fw) = tiny_framework();
-        let out = fw.run(&model, sw_parallel::RankGrid::new(2, 2), &[1.0]);
+        let out = fw.run(&model, sw_parallel::RankGrid::new(2, 2), &[1.0]).expect("valid config");
         assert!(out.rupture.ruptured_fraction() > 0.3, "rupture happened");
         assert_eq!(out.rupture.snapshots.len(), 1, "Fig. 10b snapshot taken");
         assert!(out.waves.pgv.max() > 0.0, "ground motion reached the surface");
@@ -156,8 +161,8 @@ mod tests {
     #[test]
     fn single_and_multi_rank_agree() {
         let (model, fw) = tiny_framework();
-        let (_, sim) = fw.run_single(&model, &[]);
-        let out = fw.run(&model, sw_parallel::RankGrid::new(2, 2), &[]);
+        let (_, sim) = fw.run_single(&model, &[]).expect("valid config");
+        let out = fw.run(&model, sw_parallel::RankGrid::new(2, 2), &[]).expect("valid config");
         // same stations, same pgv field (bitwise)
         let single_pgv = sim.pgv;
         for x in 0..24 {

@@ -183,8 +183,7 @@ mod tests {
     use sw_model::HalfspaceModel;
 
     fn noisy_state() -> SolverState {
-        let opts =
-            StateOptions { sponge_width: 0, attenuation: false, ..Default::default() };
+        let opts = StateOptions { sponge_width: 0, attenuation: false, ..Default::default() };
         let mut s = SolverState::from_model(
             &HalfspaceModel::hard_rock(),
             Dims3::new(10, 12, 14),

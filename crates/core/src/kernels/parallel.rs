@@ -27,13 +27,8 @@ pub fn dvelc_par(s: &mut SolverState) {
     let u_planes = s.u.raw_mut().par_chunks_mut(stride);
     let v_planes = s.v.raw_mut().par_chunks_mut(stride);
     let w_planes = s.w.raw_mut().par_chunks_mut(stride);
-    u_planes
-        .zip(v_planes)
-        .zip(w_planes)
-        .enumerate()
-        .skip(h)
-        .take(d.nx)
-        .for_each(|(px, ((up, vp), wp))| {
+    u_planes.zip(v_planes).zip(w_planes).enumerate().skip(h).take(d.nx).for_each(
+        |(px, ((up, vp), wp))| {
             let x = px - h;
             for y in 0..d.ny {
                 for z in 0..d.nz {
@@ -47,7 +42,8 @@ pub fn dvelc_par(s: &mut SolverState) {
                     wp[o] += b * dw;
                 }
             }
-        });
+        },
+    );
 }
 
 /// Rayon-parallel stress update (`dstrqc`): writes the six stresses and
@@ -69,21 +65,20 @@ pub fn dstrqc_par(s: &mut SolverState) {
     let (u, v, w) = (&s.u, &s.v, &s.w);
     let (lam, mu, wp_f, ws_f) = (&s.lam, &s.mu, &s.wp, &s.ws);
     let [r0, r1, r2, r3, r4, r5] = &mut s.r;
-    let planes = s
-        .xx
-        .raw_mut()
-        .par_chunks_mut(stride)
-        .zip(s.yy.raw_mut().par_chunks_mut(stride))
-        .zip(s.zz.raw_mut().par_chunks_mut(stride))
-        .zip(s.xy.raw_mut().par_chunks_mut(stride))
-        .zip(s.xz.raw_mut().par_chunks_mut(stride))
-        .zip(s.yz.raw_mut().par_chunks_mut(stride))
-        .zip(r0.raw_mut().par_chunks_mut(stride))
-        .zip(r1.raw_mut().par_chunks_mut(stride))
-        .zip(r2.raw_mut().par_chunks_mut(stride))
-        .zip(r3.raw_mut().par_chunks_mut(stride))
-        .zip(r4.raw_mut().par_chunks_mut(stride))
-        .zip(r5.raw_mut().par_chunks_mut(stride));
+    let planes =
+        s.xx.raw_mut()
+            .par_chunks_mut(stride)
+            .zip(s.yy.raw_mut().par_chunks_mut(stride))
+            .zip(s.zz.raw_mut().par_chunks_mut(stride))
+            .zip(s.xy.raw_mut().par_chunks_mut(stride))
+            .zip(s.xz.raw_mut().par_chunks_mut(stride))
+            .zip(s.yz.raw_mut().par_chunks_mut(stride))
+            .zip(r0.raw_mut().par_chunks_mut(stride))
+            .zip(r1.raw_mut().par_chunks_mut(stride))
+            .zip(r2.raw_mut().par_chunks_mut(stride))
+            .zip(r3.raw_mut().par_chunks_mut(stride))
+            .zip(r4.raw_mut().par_chunks_mut(stride))
+            .zip(r5.raw_mut().par_chunks_mut(stride));
     planes.enumerate().skip(h).take(d.nx).for_each(
         |(px, (((((((((((pxx, pyy), pzz), pxy), pxz), pyz), pr0), pr1), pr2), pr3), pr4), pr5))| {
             let x = px - h;
@@ -118,8 +113,14 @@ pub fn dstrqc_par(s: &mut SolverState) {
                         &mut pxz[o],
                         &mut pyz[o],
                     ];
-                    let mem: [&mut f32; 6] =
-                        [&mut pr0[o], &mut pr1[o], &mut pr2[o], &mut pr3[o], &mut pr4[o], &mut pr5[o]];
+                    let mem: [&mut f32; 6] = [
+                        &mut pr0[o],
+                        &mut pr1[o],
+                        &mut pr2[o],
+                        &mut pr3[o],
+                        &mut pr4[o],
+                        &mut pr5[o],
+                    ];
                     for c in 0..6 {
                         let e = rates[c];
                         let (r_new, r_bar) = if atten {

@@ -25,19 +25,15 @@ pub fn drprecpc_calc(s: &mut SolverState) -> usize {
     for x in 0..d.nx {
         for y in 0..d.ny {
             for z in 0..d.nz {
-                let (sxx, syy, szz) =
-                    (s.xx.get(x, y, z), s.yy.get(x, y, z), s.zz.get(x, y, z));
-                let (sxy, sxz, syz) =
-                    (s.xy.get(x, y, z), s.xz.get(x, y, z), s.yz.get(x, y, z));
+                let (sxx, syy, szz) = (s.xx.get(x, y, z), s.yy.get(x, y, z), s.zz.get(x, y, z));
+                let (sxy, sxz, syz) = (s.xy.get(x, y, z), s.xz.get(x, y, z), s.yz.get(x, y, z));
                 let mean_dyn = (sxx + syy + szz) / 3.0;
                 let mean_total = mean_dyn + s.sigma0.get(x, y, z);
                 // deviator of the total stress = deviator of the dynamic
                 // part (the prestress is isotropic)
                 let (dxx, dyy, dzz) = (sxx - mean_dyn, syy - mean_dyn, szz - mean_dyn);
-                let j2 = 0.5 * (dxx * dxx + dyy * dyy + dzz * dzz)
-                    + sxy * sxy
-                    + sxz * sxz
-                    + syz * syz;
+                let j2 =
+                    0.5 * (dxx * dxx + dyy * dyy + dzz * dzz) + sxy * sxy + sxz * sxz + syz * syz;
                 let tau_bar = j2.sqrt();
                 let c = s.cohes.get(x, y, z);
                 let y_stress = (c * s.cosphi.get(x, y, z)
@@ -68,8 +64,7 @@ pub fn drprecpc_app(s: &mut SolverState) {
                 if r >= 1.0 {
                     continue;
                 }
-                let (sxx, syy, szz) =
-                    (s.xx.get(x, y, z), s.yy.get(x, y, z), s.zz.get(x, y, z));
+                let (sxx, syy, szz) = (s.xx.get(x, y, z), s.yy.get(x, y, z), s.zz.get(x, y, z));
                 let mean = (sxx + syy + szz) / 3.0;
                 s.xx.set(x, y, z, mean + r * (sxx - mean));
                 s.yy.set(x, y, z, mean + r * (syy - mean));
@@ -81,8 +76,7 @@ pub fn drprecpc_app(s: &mut SolverState) {
                 // over the shear modulus
                 let mu = s.mu.get(x, y, z).max(1.0);
                 let tau_rel = (1.0 - r)
-                    * ((sxx - mean).powi(2) + (syy - mean).powi(2) + (szz - mean).powi(2))
-                        .sqrt();
+                    * ((sxx - mean).powi(2) + (syy - mean).powi(2) + (szz - mean).powi(2)).sqrt();
                 s.eqp.set(x, y, z, s.eqp.get(x, y, z) + tau_rel / mu);
             }
         }
@@ -93,8 +87,7 @@ pub fn drprecpc_app(s: &mut SolverState) {
 pub fn tau_bar_at(s: &SolverState, x: usize, y: usize, z: usize) -> f32 {
     let (sxx, syy, szz) = (s.xx.get(x, y, z), s.yy.get(x, y, z), s.zz.get(x, y, z));
     let mean = (sxx + syy + szz) / 3.0;
-    let j2 = 0.5
-        * ((sxx - mean).powi(2) + (syy - mean).powi(2) + (szz - mean).powi(2))
+    let j2 = 0.5 * ((sxx - mean).powi(2) + (syy - mean).powi(2) + (szz - mean).powi(2))
         + s.xy.get(x, y, z).powi(2)
         + s.xz.get(x, y, z).powi(2)
         + s.yz.get(x, y, z).powi(2);
@@ -136,8 +129,7 @@ mod tests {
         // Set shear well above yield at one point.
         s.xy.set(3, 3, 3, 50.0e6);
         let sigma0 = s.sigma0.get(3, 3, 3);
-        let expect_y = 1.0e6 * (30f32.to_radians().cos())
-            - sigma0 * 30f32.to_radians().sin();
+        let expect_y = 1.0e6 * (30f32.to_radians().cos()) - sigma0 * 30f32.to_radians().sin();
         let n = drprecpc_calc(&mut s);
         assert!(n >= 1);
         let r = s.yldfac.get(3, 3, 3);
@@ -185,12 +177,10 @@ mod tests {
         s.xx.set(3, 3, 3, 40.0e6);
         s.yy.set(3, 3, 3, -10.0e6);
         s.xy.set(3, 3, 3, 60.0e6);
-        let mean_before =
-            (s.xx.get(3, 3, 3) + s.yy.get(3, 3, 3) + s.zz.get(3, 3, 3)) / 3.0;
+        let mean_before = (s.xx.get(3, 3, 3) + s.yy.get(3, 3, 3) + s.zz.get(3, 3, 3)) / 3.0;
         drprecpc_calc(&mut s);
         drprecpc_app(&mut s);
-        let mean_after =
-            (s.xx.get(3, 3, 3) + s.yy.get(3, 3, 3) + s.zz.get(3, 3, 3)) / 3.0;
+        let mean_after = (s.xx.get(3, 3, 3) + s.yy.get(3, 3, 3) + s.zz.get(3, 3, 3)) / 3.0;
         assert!((mean_before - mean_after).abs() <= mean_before.abs() * 1e-5);
     }
 

@@ -29,6 +29,7 @@
 //!   bit-identical to the plain kernel while charging hardware costs.
 
 pub mod driver;
+pub mod error;
 pub mod flops;
 pub mod framework;
 pub mod hazard;
@@ -38,5 +39,6 @@ pub mod state;
 pub mod sunway;
 
 pub use driver::{SimConfig, Simulation};
+pub use error::{ConfigError, RestoreError};
 pub use framework::UnifiedFramework;
 pub use state::SolverState;

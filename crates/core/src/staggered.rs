@@ -102,7 +102,11 @@ mod tests {
     #[test]
     fn exact_on_linear_fields() {
         for (axis, dp, dm) in [
-            (0usize, dxp as fn(&Field3, usize, usize, usize) -> f32, dxm as fn(&Field3, usize, usize, usize) -> f32),
+            (
+                0usize,
+                dxp as fn(&Field3, usize, usize, usize) -> f32,
+                dxm as fn(&Field3, usize, usize, usize) -> f32,
+            ),
             (1, dyp, dym),
             (2, dzp, dzm),
         ] {

@@ -215,10 +215,7 @@ impl SolverState {
         }
         let alpha = 0.095f32; // classic Cerjan decay constant
         let d = self.dims;
-        let (global, x_off, y_off) = self
-            .options
-            .global_span
-            .unwrap_or((d, 0, 0));
+        let (global, x_off, y_off) = self.options.global_span.unwrap_or((d, 0, 0));
         let factor = |dist: usize| -> f32 {
             if dist >= n {
                 1.0
@@ -262,8 +259,12 @@ impl SolverState {
         let mut e = 0.0f64;
         for x in 0..d.nx {
             for y in 0..d.ny {
-                let (us, vs, ws, rs) =
-                    (self.u.z_run(x, y), self.v.z_run(x, y), self.w.z_run(x, y), self.rho.z_run(x, y));
+                let (us, vs, ws, rs) = (
+                    self.u.z_run(x, y),
+                    self.v.z_run(x, y),
+                    self.w.z_run(x, y),
+                    self.rho.z_run(x, y),
+                );
                 for z in 0..d.nz {
                     let v2 = (us[z] * us[z] + vs[z] * vs[z] + ws[z] * ws[z]) as f64;
                     e += 0.5 * rs[z] as f64 * v2;
@@ -281,9 +282,7 @@ impl SolverState {
     /// True when any velocity component has gone non-finite. (`max_abs`
     /// cannot be used here: `f32::max` ignores NaN operands.)
     pub fn has_blown_up(&self) -> bool {
-        [&self.u, &self.v, &self.w]
-            .iter()
-            .any(|f| f.raw().iter().any(|v| !v.is_finite()))
+        [&self.u, &self.v, &self.w].iter().any(|f| f.raw().iter().any(|v| !v.is_finite()))
     }
 }
 

@@ -105,11 +105,7 @@ impl SunwayExecutor {
                         }
                     } else {
                         // CG-boundary threads still DMA their halos.
-                        self.dma.charge(
-                            DmaDirection::Get,
-                            wz * 4,
-                            (HALO_WIDTH * window.wx) as u64,
-                        );
+                        self.dma.charge(DmaDirection::Get, wz * 4, (HALO_WIDTH * window.wx) as u64);
                     }
                 }
                 ldm_high_water = ldm_high_water.max(ldm.high_water());
@@ -119,13 +115,7 @@ impl SunwayExecutor {
         // the LDM pipeline produces on hardware.
         update_velocity_region(s, 0..d.nx, 0..d.ny);
         let dma = self.dma.stats();
-        SunwayCost {
-            dma,
-            reg: self.mesh.stats(),
-            ldm_high_water,
-            tiles,
-            seconds: dma.seconds,
-        }
+        SunwayCost { dma, reg: self.mesh.stats(), ldm_high_water, tiles, seconds: dma.seconds }
     }
 }
 
@@ -177,11 +167,7 @@ mod tests {
         let mut exec = SunwayExecutor::for_block(40, 64);
         let cost = exec.run_dvelc(&mut s);
         assert!(cost.ldm_high_water <= 64 * 1024);
-        assert!(
-            cost.ldm_high_water > 32 * 1024,
-            "LDM under-used: {} B",
-            cost.ldm_high_water
-        );
+        assert!(cost.ldm_high_water > 32 * 1024, "LDM under-used: {} B", cost.ldm_high_water);
     }
 
     /// The fused DMA blocks achieve the §6.4 bandwidth class (> 60 % of

@@ -211,7 +211,9 @@ impl AnalyticModel {
                     continue;
                 }
                 let window = LdmWindow { wz, wy, wx: shape.wx };
-                let Some(cand) = self.evaluate(shape, layout, window) else { continue };
+                let Some(cand) = self.evaluate(shape, layout, window) else {
+                    continue;
+                };
                 let better = match &best {
                     None => true,
                     Some(b) => {
@@ -307,10 +309,7 @@ mod tests {
     #[test]
     fn eq7_hand_computed() {
         let m = AnalyticModel::sw26010();
-        let shape = KernelShape {
-            register_comm: true,
-            ..KernelShape::delcx_unfused(NY, NZ)
-        };
+        let shape = KernelShape { register_comm: true, ..KernelShape::delcx_unfused(NY, NZ) };
         let w = LdmWindow { wz: 32, wy: 9, wx: 5 };
         let r = m.redundant_loads(&shape, AthreadLayout::paper_optimal(), w);
         assert!((r - 9600.0).abs() < 1e-9, "eq7 gave {r}");

@@ -20,11 +20,7 @@ pub struct LdmError {
 
 impl fmt::Display for LdmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "LDM overflow: requested {} B but only {} B free",
-            self.requested, self.available
-        )
+        write!(f, "LDM overflow: requested {} B but only {} B free", self.requested, self.available)
     }
 }
 

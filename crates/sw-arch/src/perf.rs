@@ -416,11 +416,8 @@ mod tests {
     #[test]
     fn naive_compression_is_about_3x_slower() {
         let m = model();
-        let naive: f64 = m
-            .kernels()
-            .iter()
-            .map(|k| k.coverage * m.seconds_per_point_naive_cmpr(k))
-            .sum();
+        let naive: f64 =
+            m.kernels().iter().map(|k| k.coverage * m.seconds_per_point_naive_cmpr(k)).sum();
         let mem = m.step_seconds_per_point(true, OptLevel::Mem);
         let slowdown = naive / mem;
         assert!((2.2..4.0).contains(&slowdown), "naive slowdown {slowdown}");

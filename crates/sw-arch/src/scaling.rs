@@ -88,14 +88,12 @@ pub struct ScalingPoint {
 
 /// Fig. 8/9 process counts.
 pub const WEAK_PROCESS_COUNTS: [usize; 12] = [
-    8_000, 12_000, 16_000, 24_000, 32_000, 40_000, 48_000, 64_000, 80_000, 96_000, 120_000,
-    160_000,
+    8_000, 12_000, 16_000, 24_000, 32_000, 40_000, 48_000, 64_000, 80_000, 96_000, 120_000, 160_000,
 ];
 
 /// Fig. 9 process counts.
-pub const STRONG_PROCESS_COUNTS: [usize; 11] = [
-    8_000, 12_000, 16_000, 24_000, 32_000, 48_000, 64_000, 80_000, 100_000, 128_000, 160_000,
-];
+pub const STRONG_PROCESS_COUNTS: [usize; 11] =
+    [8_000, 12_000, 16_000, 24_000, 32_000, 48_000, 64_000, 80_000, 100_000, 128_000, 160_000];
 
 /// Baseline process count of both figures.
 pub const BASELINE_PROCESSES: usize = 8_000;
@@ -114,7 +112,7 @@ pub fn strong_meshes() -> [(f64, Dims3); 3] {
 pub fn process_grid(p: usize) -> (usize, usize) {
     assert!(p > 0);
     let mut my = (p as f64).sqrt() as usize;
-    while my > 1 && p % my != 0 {
+    while my > 1 && !p.is_multiple_of(my) {
         my -= 1;
     }
     (p / my, my)
@@ -155,17 +153,13 @@ impl MachineScalingModel {
         if processes <= BASELINE_PROCESSES {
             1.0
         } else {
-            1.0 + variant.overhead_coeff()
-                * (processes as f64 / BASELINE_PROCESSES as f64).ln()
+            1.0 + variant.overhead_coeff() * (processes as f64 / BASELINE_PROCESSES as f64).ln()
         }
     }
 
     /// One weak-scaling point (Fig. 8): every process keeps `weak_block`.
     pub fn weak_point(&self, variant: Variant, processes: usize) -> ScalingPoint {
-        assert!(
-            processes <= self.machine.total_core_groups(),
-            "more processes than core groups"
-        );
+        assert!(processes <= self.machine.total_core_groups(), "more processes than core groups");
         let rate_cg = self.perf.cg_flop_rate(variant.nonlinear, variant.level());
         let eff = 1.0 / self.overhead(variant, processes);
         let flops = rate_cg * processes as f64 * eff;
@@ -205,12 +199,7 @@ impl MachineScalingModel {
         let speedup = t0 / t;
         let ideal = processes as f64 / BASELINE_PROCESSES as f64;
         let flops = self.perf.flops_per_point(variant.nonlinear) * mesh.len() as f64 / t;
-        ScalingPoint {
-            processes,
-            pflops: flops / 1e15,
-            efficiency: speedup / ideal,
-            speedup,
-        }
+        ScalingPoint { processes, pflops: flops / 1e15, efficiency: speedup / ideal, speedup }
     }
 
     /// The full strong-scaling curve for a variant and mesh.

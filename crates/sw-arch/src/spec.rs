@@ -127,12 +127,7 @@ pub struct TaihuLightSpec {
 impl TaihuLightSpec {
     /// The production machine.
     pub const fn new() -> Self {
-        Self {
-            nodes: 40_960,
-            chip: Sw26010Spec::new(),
-            net_bandwidth: 8.0e9,
-            net_latency: 1.0e-6,
-        }
+        Self { nodes: 40_960, chip: Sw26010Spec::new(), net_bandwidth: 8.0e9, net_latency: 1.0e-6 }
     }
 
     /// Total core groups (= maximum MPI processes, 163,840; the paper's

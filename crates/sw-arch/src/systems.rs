@@ -34,12 +34,48 @@ impl SystemRow {
 /// Table 1: a brief comparison between Sunway TaihuLight and other
 /// leadership systems.
 pub const TABLE1: [SystemRow; 6] = [
-    SystemRow { name: "TaihuLight", peak_pflops: 125.0, linpack_pflops: 93.0, mem_tb: 1310.0, mem_bw_tbs: 4473.0 },
-    SystemRow { name: "Tianhe-2", peak_pflops: 54.9, linpack_pflops: 33.9, mem_tb: 1375.0, mem_bw_tbs: 10312.0 },
-    SystemRow { name: "Piz Daint", peak_pflops: 25.3, linpack_pflops: 19.6, mem_tb: 425.6, mem_bw_tbs: 4256.0 },
-    SystemRow { name: "Titan", peak_pflops: 27.1, linpack_pflops: 17.6, mem_tb: 710.0, mem_bw_tbs: 5475.0 },
-    SystemRow { name: "Sequoia", peak_pflops: 20.1, linpack_pflops: 17.2, mem_tb: 1572.0, mem_bw_tbs: 4188.0 },
-    SystemRow { name: "K", peak_pflops: 11.28, linpack_pflops: 10.51, mem_tb: 1410.0, mem_bw_tbs: 5640.0 },
+    SystemRow {
+        name: "TaihuLight",
+        peak_pflops: 125.0,
+        linpack_pflops: 93.0,
+        mem_tb: 1310.0,
+        mem_bw_tbs: 4473.0,
+    },
+    SystemRow {
+        name: "Tianhe-2",
+        peak_pflops: 54.9,
+        linpack_pflops: 33.9,
+        mem_tb: 1375.0,
+        mem_bw_tbs: 10312.0,
+    },
+    SystemRow {
+        name: "Piz Daint",
+        peak_pflops: 25.3,
+        linpack_pflops: 19.6,
+        mem_tb: 425.6,
+        mem_bw_tbs: 4256.0,
+    },
+    SystemRow {
+        name: "Titan",
+        peak_pflops: 27.1,
+        linpack_pflops: 17.6,
+        mem_tb: 710.0,
+        mem_bw_tbs: 5475.0,
+    },
+    SystemRow {
+        name: "Sequoia",
+        peak_pflops: 20.1,
+        linpack_pflops: 17.2,
+        mem_tb: 1572.0,
+        mem_bw_tbs: 4188.0,
+    },
+    SystemRow {
+        name: "K",
+        peak_pflops: 11.28,
+        linpack_pflops: 10.51,
+        mem_tb: 1410.0,
+        mem_bw_tbs: 5640.0,
+    },
 ];
 
 /// Numerical method of a prior-work row.
@@ -97,20 +133,174 @@ pub struct PriorWorkRow {
 pub fn table2() -> Vec<PriorWorkRow> {
     use Method::*;
     vec![
-        PriorWorkRow { work: "Bao et al.", year: 1996, machine: "Cray T3D", scale: "256 processors", grid_points: Some(13.4e6), dofs: Some(40.2e6), flops: 8e9, mem_bytes: Some(16e9), method: FiniteDifference, nonlinear: false },
-        PriorWorkRow { work: "SPECFEM3D", year: 2003, machine: "Earth Simulator", scale: "1,944 processors", grid_points: Some(5.5e9), dofs: Some(14.6e9), flops: 5e12, mem_bytes: Some(2.5e12), method: SpectralElement, nonlinear: false },
-        PriorWorkRow { work: "Carrington et al. (Ranger)", year: 2008, machine: "Ranger", scale: "32,000 cores", grid_points: None, dofs: None, flops: 28.7e12, mem_bytes: None, method: SpectralElement, nonlinear: false },
-        PriorWorkRow { work: "Carrington et al. (Jaguar)", year: 2008, machine: "Jaguar", scale: "29,000 cores", grid_points: None, dofs: None, flops: 35.7e12, mem_bytes: None, method: SpectralElement, nonlinear: false },
-        PriorWorkRow { work: "Rietmann et al.", year: 2012, machine: "Cray XK6", scale: "896 GPUs", grid_points: Some(8e9), dofs: Some(22e9), flops: 135e12, mem_bytes: Some(3.5e12), method: SpectralElement, nonlinear: false },
-        PriorWorkRow { work: "SeisSol", year: 2014, machine: "Tianhe-2", scale: "1,400,832 cores", grid_points: Some(191e6), dofs: Some(96e9), flops: 8.6e15, mem_bytes: None, method: DiscontinuousGalerkin, nonlinear: false },
-        PriorWorkRow { work: "EDGE", year: 2017, machine: "Cori-II", scale: "612,000 cores", grid_points: Some(341e6), dofs: None, flops: 10.4e15, mem_bytes: Some(32e12), method: DiscontinuousGalerkin, nonlinear: false },
-        PriorWorkRow { work: "GAMERA", year: 2014, machine: "K Computer", scale: "663,552 cores", grid_points: None, dofs: Some(27e9), flops: 0.804e15, mem_bytes: None, method: ImplicitFem, nonlinear: true },
-        PriorWorkRow { work: "GOJIRA", year: 2015, machine: "K Computer", scale: "663,552 cores", grid_points: Some(270e9), dofs: Some(1.08e12), flops: 1.97e15, mem_bytes: None, method: ImplicitFem, nonlinear: true },
-        PriorWorkRow { work: "AWP-ODC", year: 2010, machine: "Jaguar", scale: "223,074 cores", grid_points: Some(436e9), dofs: Some(1.31e12), flops: 220e12, mem_bytes: Some(127e12), method: FiniteDifference, nonlinear: false },
-        PriorWorkRow { work: "Cui et al.", year: 2013, machine: "Titan", scale: "16,384 GPUs", grid_points: Some(859e9), dofs: Some(2.58e12), flops: 2.33e15, mem_bytes: Some(250e12), method: FiniteDifference, nonlinear: false },
-        PriorWorkRow { work: "Roten et al.", year: 2016, machine: "Titan", scale: "8,192 GPUs", grid_points: Some(329e9), dofs: Some(987e9), flops: 1.6e15, mem_bytes: Some(129e12), method: FiniteDifference, nonlinear: true },
-        PriorWorkRow { work: "this work (no compression)", year: 2017, machine: "Sunway TaihuLight", scale: "10,140,000 cores", grid_points: Some(3.99e12), dofs: Some(11.98e12), flops: 15.2e15, mem_bytes: Some(892e12), method: FiniteDifference, nonlinear: true },
-        PriorWorkRow { work: "this work (compression)", year: 2017, machine: "Sunway TaihuLight", scale: "10,140,000 cores", grid_points: Some(7.8e12), dofs: Some(23.4e12), flops: 18.9e15, mem_bytes: Some(724e12), method: FiniteDifference, nonlinear: true },
+        PriorWorkRow {
+            work: "Bao et al.",
+            year: 1996,
+            machine: "Cray T3D",
+            scale: "256 processors",
+            grid_points: Some(13.4e6),
+            dofs: Some(40.2e6),
+            flops: 8e9,
+            mem_bytes: Some(16e9),
+            method: FiniteDifference,
+            nonlinear: false,
+        },
+        PriorWorkRow {
+            work: "SPECFEM3D",
+            year: 2003,
+            machine: "Earth Simulator",
+            scale: "1,944 processors",
+            grid_points: Some(5.5e9),
+            dofs: Some(14.6e9),
+            flops: 5e12,
+            mem_bytes: Some(2.5e12),
+            method: SpectralElement,
+            nonlinear: false,
+        },
+        PriorWorkRow {
+            work: "Carrington et al. (Ranger)",
+            year: 2008,
+            machine: "Ranger",
+            scale: "32,000 cores",
+            grid_points: None,
+            dofs: None,
+            flops: 28.7e12,
+            mem_bytes: None,
+            method: SpectralElement,
+            nonlinear: false,
+        },
+        PriorWorkRow {
+            work: "Carrington et al. (Jaguar)",
+            year: 2008,
+            machine: "Jaguar",
+            scale: "29,000 cores",
+            grid_points: None,
+            dofs: None,
+            flops: 35.7e12,
+            mem_bytes: None,
+            method: SpectralElement,
+            nonlinear: false,
+        },
+        PriorWorkRow {
+            work: "Rietmann et al.",
+            year: 2012,
+            machine: "Cray XK6",
+            scale: "896 GPUs",
+            grid_points: Some(8e9),
+            dofs: Some(22e9),
+            flops: 135e12,
+            mem_bytes: Some(3.5e12),
+            method: SpectralElement,
+            nonlinear: false,
+        },
+        PriorWorkRow {
+            work: "SeisSol",
+            year: 2014,
+            machine: "Tianhe-2",
+            scale: "1,400,832 cores",
+            grid_points: Some(191e6),
+            dofs: Some(96e9),
+            flops: 8.6e15,
+            mem_bytes: None,
+            method: DiscontinuousGalerkin,
+            nonlinear: false,
+        },
+        PriorWorkRow {
+            work: "EDGE",
+            year: 2017,
+            machine: "Cori-II",
+            scale: "612,000 cores",
+            grid_points: Some(341e6),
+            dofs: None,
+            flops: 10.4e15,
+            mem_bytes: Some(32e12),
+            method: DiscontinuousGalerkin,
+            nonlinear: false,
+        },
+        PriorWorkRow {
+            work: "GAMERA",
+            year: 2014,
+            machine: "K Computer",
+            scale: "663,552 cores",
+            grid_points: None,
+            dofs: Some(27e9),
+            flops: 0.804e15,
+            mem_bytes: None,
+            method: ImplicitFem,
+            nonlinear: true,
+        },
+        PriorWorkRow {
+            work: "GOJIRA",
+            year: 2015,
+            machine: "K Computer",
+            scale: "663,552 cores",
+            grid_points: Some(270e9),
+            dofs: Some(1.08e12),
+            flops: 1.97e15,
+            mem_bytes: None,
+            method: ImplicitFem,
+            nonlinear: true,
+        },
+        PriorWorkRow {
+            work: "AWP-ODC",
+            year: 2010,
+            machine: "Jaguar",
+            scale: "223,074 cores",
+            grid_points: Some(436e9),
+            dofs: Some(1.31e12),
+            flops: 220e12,
+            mem_bytes: Some(127e12),
+            method: FiniteDifference,
+            nonlinear: false,
+        },
+        PriorWorkRow {
+            work: "Cui et al.",
+            year: 2013,
+            machine: "Titan",
+            scale: "16,384 GPUs",
+            grid_points: Some(859e9),
+            dofs: Some(2.58e12),
+            flops: 2.33e15,
+            mem_bytes: Some(250e12),
+            method: FiniteDifference,
+            nonlinear: false,
+        },
+        PriorWorkRow {
+            work: "Roten et al.",
+            year: 2016,
+            machine: "Titan",
+            scale: "8,192 GPUs",
+            grid_points: Some(329e9),
+            dofs: Some(987e9),
+            flops: 1.6e15,
+            mem_bytes: Some(129e12),
+            method: FiniteDifference,
+            nonlinear: true,
+        },
+        PriorWorkRow {
+            work: "this work (no compression)",
+            year: 2017,
+            machine: "Sunway TaihuLight",
+            scale: "10,140,000 cores",
+            grid_points: Some(3.99e12),
+            dofs: Some(11.98e12),
+            flops: 15.2e15,
+            mem_bytes: Some(892e12),
+            method: FiniteDifference,
+            nonlinear: true,
+        },
+        PriorWorkRow {
+            work: "this work (compression)",
+            year: 2017,
+            machine: "Sunway TaihuLight",
+            scale: "10,140,000 cores",
+            grid_points: Some(7.8e12),
+            dofs: Some(23.4e12),
+            flops: 18.9e15,
+            mem_bytes: Some(724e12),
+            method: FiniteDifference,
+            nonlinear: true,
+        },
     ]
 }
 

@@ -87,7 +87,7 @@ impl Codec16 for AdaptiveCodec {
                 return sign | (code << self.mant_bits) | mant as u16;
             }
         }
-        sign | (code << self.mant_bits) as u16 | mant as u16
+        sign | (code << self.mant_bits) | mant as u16
     }
 
     fn decode(&self, c: u16) -> f32 {
@@ -156,7 +156,7 @@ mod tests {
         let c = AdaptiveCodec::new(0, 4);
         let r = c.decode(c.encode(1.0e9));
         // Clamped into the largest covered binade [16, 32).
-        assert!(r >= 16.0 && r < 32.0, "saturated to {r}");
+        assert!((16.0..32.0).contains(&r), "saturated to {r}");
     }
 
     #[test]

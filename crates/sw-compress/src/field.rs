@@ -33,8 +33,7 @@ impl Codec {
     /// vx2, ww`). Unknown arrays get the paper's final-design default,
     /// method (3).
     pub fn paper_assignment(array: &str, stats: &FieldStats) -> Codec {
-        const F16_GROUP: [&str; 9] =
-            ["vel", "u", "v", "w", "ww0", "phi", "cohes", "taxx", "taxz"];
+        const F16_GROUP: [&str; 9] = ["vel", "u", "v", "w", "ww0", "phi", "cohes", "taxx", "taxz"];
         const ADAPTIVE_GROUP: [&str; 16] = [
             "str", "xx", "yy", "zz", "xy", "xz", "yz", "r1", "r2", "r3", "r4", "r5", "r6",
             "sigma2", "yldfac", "eqp",
@@ -185,7 +184,9 @@ mod tests {
 
     fn wavefield(d: Dims3) -> Field3 {
         let mut f = Field3::new(d, 2);
-        f.fill_with(|x, y, z| ((x as f32 * 0.7).sin() * (y as f32 * 0.3).cos() + z as f32 * 0.01) * 0.2);
+        f.fill_with(|x, y, z| {
+            ((x as f32 * 0.7).sin() * (y as f32 * 0.3).cos() + z as f32 * 0.01) * 0.2
+        });
         f
     }
 

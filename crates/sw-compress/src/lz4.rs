@@ -268,7 +268,7 @@ mod tests {
         for i in 0..300u32 {
             data.extend_from_slice(&(i.wrapping_mul(2654435761)).to_le_bytes());
         }
-        data.extend(std::iter::repeat(7u8).take(5000));
+        data.extend(std::iter::repeat_n(7u8, 5000));
         roundtrip(&data);
     }
 

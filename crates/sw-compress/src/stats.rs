@@ -29,7 +29,13 @@ pub struct FieldStats {
 impl FieldStats {
     /// Empty statistics (identity for [`FieldStats::merge`]).
     pub fn empty() -> Self {
-        Self { min: f32::INFINITY, max: f32::NEG_INFINITY, exp_min: i32::MAX, exp_max: i32::MIN, count: 0 }
+        Self {
+            min: f32::INFINITY,
+            max: f32::NEG_INFINITY,
+            exp_min: i32::MAX,
+            exp_max: i32::MIN,
+            count: 0,
+        }
     }
 
     /// Record one value.

@@ -150,9 +150,7 @@ impl Field3 {
     pub fn at_i(&self, x: isize, y: isize, z: isize) -> f32 {
         let h = self.halo as isize;
         debug_assert!(x >= -h && y >= -h && z >= -h);
-        let o = self
-            .padded
-            .offset((x + h) as usize, (y + h) as usize, (z + h) as usize);
+        let o = self.padded.offset((x + h) as usize, (y + h) as usize, (z + h) as usize);
         self.data[o]
     }
 
@@ -161,9 +159,7 @@ impl Field3 {
     pub fn set_i(&mut self, x: isize, y: isize, z: isize, v: f32) {
         let h = self.halo as isize;
         debug_assert!(x >= -h && y >= -h && z >= -h);
-        let o = self
-            .padded
-            .offset((x + h) as usize, (y + h) as usize, (z + h) as usize);
+        let o = self.padded.offset((x + h) as usize, (y + h) as usize, (z + h) as usize);
         self.data[o] = v;
     }
 

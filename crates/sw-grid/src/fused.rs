@@ -70,9 +70,7 @@ macro_rules! fused_field {
             pub fn at_i(&self, x: isize, y: isize, z: isize) -> [f32; $k] {
                 let h = self.halo as isize;
                 debug_assert!(x >= -h && y >= -h && z >= -h);
-                let o = self
-                    .padded
-                    .offset((x + h) as usize, (y + h) as usize, (z + h) as usize);
+                let o = self.padded.offset((x + h) as usize, (y + h) as usize, (z + h) as usize);
                 self.data[o]
             }
 
@@ -148,11 +146,7 @@ macro_rules! fused_field {
     };
 }
 
-fused_field!(
-    Vec3Field,
-    3,
-    "Fused 3-component field: the paper's velocity fusion `(u, v, w)`."
-);
+fused_field!(Vec3Field, 3, "Fused 3-component field: the paper's velocity fusion `(u, v, w)`.");
 fused_field!(
     Vec6Field,
     6,

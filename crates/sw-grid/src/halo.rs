@@ -58,10 +58,7 @@ impl HaloSpec {
     /// Number of f32 values in one packed face of `field`.
     pub fn face_len(&self, field: &Field3) -> FaceLens {
         let d = field.dims();
-        FaceLens {
-            x_face: self.width * d.ny * d.nz,
-            y_face: self.width * d.nx * d.nz,
-        }
+        FaceLens { x_face: self.width * d.ny * d.nz, y_face: self.width * d.nx * d.nz }
     }
 
     /// Pack the `width` interior slabs adjacent to `face` into `buf`.

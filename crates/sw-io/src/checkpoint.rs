@@ -10,9 +10,54 @@
 //! checksum so corrupted restarts are detected rather than silently
 //! propagated.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sw_compress::lz4;
 use sw_grid::{Dims3, Field3};
+
+/// Minimal little-endian cursor over a byte slice (replaces `bytes::Buf`;
+/// the crate registry is unreachable in this build environment).
+///
+/// All `get_*` methods assume the caller checked `remaining()` first,
+/// matching how the decoder below is written.
+trait ReadLe {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, n: usize);
+    fn get_u16_le(&mut self) -> u16;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl ReadLe for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
 
 /// Serialization magic.
 const MAGIC: u32 = 0x5351_4b31; // "SQK1"
@@ -69,27 +114,27 @@ fn checksum(data: &[f32]) -> u64 {
 impl Checkpoint {
     /// Serialize: header, then per-field (name, dims, halo, checksum,
     /// LZ4(interior)).
-    pub fn encode(&self) -> Bytes {
-        let mut out = BytesMut::new();
-        out.put_u32_le(MAGIC);
-        out.put_u64_le(self.step);
-        out.put_f64_le(self.time);
-        out.put_u32_le(self.fields.len() as u32);
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.step.to_le_bytes());
+        out.extend_from_slice(&self.time.to_le_bytes());
+        out.extend_from_slice(&(self.fields.len() as u32).to_le_bytes());
         for (name, field) in &self.fields {
             let interior = field.interior_to_vec();
             let compressed = lz4::compress_f32(&interior);
-            out.put_u16_le(name.len() as u16);
-            out.put_slice(name.as_bytes());
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
             let d = field.dims();
-            out.put_u64_le(d.nx as u64);
-            out.put_u64_le(d.ny as u64);
-            out.put_u64_le(d.nz as u64);
-            out.put_u32_le(field.halo() as u32);
-            out.put_u64_le(checksum(&interior));
-            out.put_u64_le(compressed.len() as u64);
-            out.put_slice(&compressed);
+            out.extend_from_slice(&(d.nx as u64).to_le_bytes());
+            out.extend_from_slice(&(d.ny as u64).to_le_bytes());
+            out.extend_from_slice(&(d.nz as u64).to_le_bytes());
+            out.extend_from_slice(&(field.halo() as u32).to_le_bytes());
+            out.extend_from_slice(&checksum(&interior).to_le_bytes());
+            out.extend_from_slice(&(compressed.len() as u64).to_le_bytes());
+            out.extend_from_slice(&compressed);
         }
-        out.freeze()
+        out
     }
 
     /// Deserialize and verify.
@@ -167,7 +212,7 @@ pub struct RestartController {
 impl RestartController {
     /// True when `step` is a checkpoint step.
     pub fn due(&self, step: u64) -> bool {
-        self.interval > 0 && step > 0 && step % self.interval == 0
+        self.interval > 0 && step > 0 && step.is_multiple_of(self.interval)
     }
 }
 
@@ -181,11 +226,7 @@ mod tests {
         u.fill_with(|x, y, z| ((x + 2 * y + 3 * z) as f32 * 0.01).sin());
         let mut xx = Field3::new(d, 2);
         xx.fill_with(|x, y, z| (x * y) as f32 - z as f32);
-        Checkpoint {
-            step: 4200,
-            time: 12.75,
-            fields: vec![("u".into(), u), ("xx".into(), xx)],
-        }
+        Checkpoint { step: 4200, time: 12.75, fields: vec![("u".into(), u), ("xx".into(), xx)] }
     }
 
     #[test]

@@ -35,10 +35,7 @@ pub struct Seismogram {
 impl Seismogram {
     /// Peak absolute horizontal velocity, m/s.
     pub fn peak_horizontal(&self) -> f32 {
-        self.samples
-            .iter()
-            .map(|s| (s[0] * s[0] + s[1] * s[1]).sqrt())
-            .fold(0.0, f32::max)
+        self.samples.iter().map(|s| (s[0] * s[0] + s[1] * s[1]).sqrt()).fold(0.0, f32::max)
     }
 
     /// Root-mean-square misfit of the x component against a reference
@@ -186,19 +183,13 @@ mod tests {
 
     fn fields(val: f32) -> (Field3, Field3, Field3) {
         let d = Dims3::new(4, 4, 3);
-        (
-            Field3::filled(d, 2, val),
-            Field3::filled(d, 2, -val),
-            Field3::filled(d, 2, 0.5 * val),
-        )
+        (Field3::filled(d, 2, val), Field3::filled(d, 2, -val), Field3::filled(d, 2, 0.5 * val))
     }
 
     #[test]
     fn seismograms_sample_surface_velocity() {
-        let mut rec = SeismogramRecorder::new(
-            vec![Station { name: "Ninghe".into(), ix: 1, iy: 2 }],
-            0.01,
-        );
+        let mut rec =
+            SeismogramRecorder::new(vec![Station { name: "Ninghe".into(), ix: 1, iy: 2 }], 0.01);
         let (u, v, w) = fields(2.0);
         rec.record(&u, &v, &w);
         let (u2, v2, w2) = fields(3.0);
@@ -212,10 +203,8 @@ mod tests {
 
     #[test]
     fn misfit_zero_for_identical_and_positive_otherwise() {
-        let mut rec = SeismogramRecorder::new(
-            vec![Station { name: "A".into(), ix: 0, iy: 0 }],
-            0.01,
-        );
+        let mut rec =
+            SeismogramRecorder::new(vec![Station { name: "A".into(), ix: 0, iy: 0 }], 0.01);
         let (u, v, w) = fields(1.0);
         rec.record(&u, &v, &w);
         let a = rec.seismograms()[0].clone();

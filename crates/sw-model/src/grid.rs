@@ -106,11 +106,8 @@ mod tests {
         // The coarse grid of a smooth layered model, re-sampled finely,
         // must stay close to the continuous model (the remap step).
         let model = LayeredModel::north_china();
-        let g = MaterialGrid::discretize(
-            &model,
-            Dims3::new(2, 2, 40),
-            (25_000.0, 25_000.0, 1_000.0),
-        );
+        let g =
+            MaterialGrid::discretize(&model, Dims3::new(2, 2, 40), (25_000.0, 25_000.0, 1_000.0));
         for k in 0..39 {
             let depth = 500.0 + k as f64 * 1_000.0;
             let exact = model.sample(0.0, 0.0, depth).vp;
@@ -123,8 +120,7 @@ mod tests {
     #[test]
     fn clamps_outside_the_grid() {
         let model = LayeredModel::north_china();
-        let g =
-            MaterialGrid::discretize(&model, Dims3::cube(4), (10_000.0, 10_000.0, 10_000.0));
+        let g = MaterialGrid::discretize(&model, Dims3::cube(4), (10_000.0, 10_000.0, 10_000.0));
         let inside = g.sample(35_000.0, 35_000.0, 35_000.0);
         let beyond = g.sample(1e6, 1e6, 1e6);
         assert_eq!(inside, beyond, "out-of-grid positions clamp");

@@ -92,10 +92,22 @@ impl LayeredModel {
         Self::new(
             vec![
                 Layer { top: 0.0, material: Material::new(4800.0, 2770.0, 2500.0, 400.0, 200.0) },
-                Layer { top: 4_000.0, material: Material::new(5800.0, 3350.0, 2650.0, 600.0, 300.0) },
-                Layer { top: 12_000.0, material: Material::new(6300.0, 3640.0, 2750.0, 800.0, 400.0) },
-                Layer { top: 24_000.0, material: Material::new(6800.0, 3930.0, 2900.0, 1000.0, 500.0) },
-                Layer { top: 33_000.0, material: Material::new(8000.0, 4620.0, 3300.0, 1200.0, 600.0) },
+                Layer {
+                    top: 4_000.0,
+                    material: Material::new(5800.0, 3350.0, 2650.0, 600.0, 300.0),
+                },
+                Layer {
+                    top: 12_000.0,
+                    material: Material::new(6300.0, 3640.0, 2750.0, 800.0, 400.0),
+                },
+                Layer {
+                    top: 24_000.0,
+                    material: Material::new(6800.0, 3930.0, 2900.0, 1000.0, 500.0),
+                },
+                Layer {
+                    top: 33_000.0,
+                    material: Material::new(8000.0, 4620.0, 3300.0, 1200.0, 600.0),
+                },
             ],
             true,
         )
@@ -110,10 +122,7 @@ impl LayeredModel {
 impl VelocityModel for LayeredModel {
     fn sample(&self, _x: f64, _y: f64, depth: f64) -> Material {
         let depth = depth.max(0.0);
-        let idx = match self.layers.iter().rposition(|l| l.top <= depth) {
-            Some(i) => i,
-            None => 0,
-        };
+        let idx = self.layers.iter().rposition(|l| l.top <= depth).unwrap_or_default();
         if !self.gradient || idx + 1 >= self.layers.len() {
             return self.layers[idx].material;
         }

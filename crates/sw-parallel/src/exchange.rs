@@ -6,22 +6,37 @@
 //! communication/computation overlap the paper inherits from AWP-ODC and
 //! whose erosion at small subdomains drives the strong-scaling roll-off of
 //! Fig. 9.
+//!
+//! With a telemetry handle attached ([`HaloExchanger::with_telemetry`]),
+//! each rank reports its pack time (`halo.pack.rankN`), receive-wait time
+//! (`halo.wait.rankN`), unpack time (`halo.unpack.rankN`) and bytes moved
+//! (`halo.bytes_sent`, plus a per-rank breakdown).
 
 use crate::fabric::RankComm;
+use std::time::Instant;
 use sw_grid::halo::{Face, HaloSpec};
 use sw_grid::Field3;
+use sw_telemetry::Telemetry;
 
 /// Exchanges the halos of a set of fields between neighbouring ranks.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HaloExchanger {
     /// Halo geometry (width 2 for the 4th-order scheme).
     pub spec: HaloSpec,
+    telemetry: Telemetry,
 }
 
 impl HaloExchanger {
     /// Exchanger with the solver's standard halo width.
     pub fn standard() -> Self {
-        Self { spec: HaloSpec { width: sw_grid::HALO_WIDTH } }
+        Self { spec: HaloSpec { width: sw_grid::HALO_WIDTH }, telemetry: Telemetry::disabled() }
+    }
+
+    /// Attach a telemetry handle recording per-rank fabric timings.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Post all faces of all `fields` (pack + non-blocking send). Fields
@@ -29,6 +44,8 @@ impl HaloExchanger {
     /// face carries every field — fewer, larger messages, as on the real
     /// network.
     pub fn post(&self, comm: &RankComm, fields: &[&Field3]) {
+        let start = self.telemetry.is_enabled().then(Instant::now);
+        let mut bytes = 0usize;
         let mut scratch = Vec::new();
         for face in Face::ALL {
             if !comm.has_neighbor(face) {
@@ -39,14 +56,30 @@ impl HaloExchanger {
                 self.spec.pack(f, face, &mut scratch);
                 msg.extend_from_slice(&scratch);
             }
+            bytes += msg.len() * 4;
             comm.send(face, msg);
+        }
+        if let Some(start) = start {
+            let rank = comm.rank;
+            self.telemetry
+                .record_duration(&format!("halo.pack.rank{rank}"), start.elapsed().as_secs_f64());
+            self.telemetry.add("halo.bytes_sent", bytes as u64);
+            self.telemetry.add(&format!("halo.bytes_sent.rank{rank}"), bytes as u64);
         }
     }
 
     /// Receive and unpack all faces into the fields' halo slabs.
     pub fn finish(&self, comm: &RankComm, fields: &mut [&mut Field3]) {
+        let enabled = self.telemetry.is_enabled();
+        let mut wait_s = 0.0;
+        let mut unpack_s = 0.0;
         for face in Face::ALL {
+            let t_wait = enabled.then(Instant::now);
             let Some(msg) = comm.recv(face) else { continue };
+            if let Some(t) = t_wait {
+                wait_s += t.elapsed().as_secs_f64();
+            }
+            let t_unpack = enabled.then(Instant::now);
             let mut offset = 0usize;
             for f in fields.iter_mut() {
                 let lens = self.spec.face_len(f);
@@ -58,6 +91,14 @@ impl HaloExchanger {
                 offset += n;
             }
             assert_eq!(offset, msg.len(), "face message length mismatch");
+            if let Some(t) = t_unpack {
+                unpack_s += t.elapsed().as_secs_f64();
+            }
+        }
+        if enabled {
+            let rank = comm.rank;
+            self.telemetry.record_duration(&format!("halo.wait.rank{rank}"), wait_s);
+            self.telemetry.record_duration(&format!("halo.unpack.rank{rank}"), unpack_s);
         }
     }
 
@@ -93,7 +134,9 @@ mod tests {
         });
         for (rank, f) in results.iter().enumerate() {
             for face in Face::ALL {
-                let Some(nb) = grid.neighbor(rank, face) else { continue };
+                let Some(nb) = grid.neighbor(rank, face) else {
+                    continue;
+                };
                 let probe = match face {
                     Face::West => f.at_i(-1, 0, 0),
                     Face::East => f.at_i(d.nx as isize, 0, 0),
@@ -157,5 +200,32 @@ mod tests {
         f.set_i(-1, 0, 0, -99.0);
         HaloExchanger::standard().exchange(&comms[0], &mut [&mut f]);
         assert_eq!(f.at_i(-1, 0, 0), -99.0);
+    }
+
+    /// With telemetry attached, every rank reports pack/wait/unpack
+    /// timings and the byte counters add up across ranks.
+    #[test]
+    fn telemetry_records_per_rank_fabric_traffic() {
+        let grid = RankGrid::new(2, 1);
+        let d = Dims3::new(4, 4, 4);
+        let tel = Telemetry::enabled();
+        let ex = HaloExchanger::standard().with_telemetry(tel.clone());
+        let ex = &ex;
+        run_ranks(grid, |comm| {
+            let mut f = Field3::filled(d, 2, comm.rank as f32);
+            ex.exchange(comm, &mut [&mut f]);
+        });
+        let r = tel.report();
+        for rank in 0..2 {
+            for kind in ["pack", "wait", "unpack"] {
+                let name = format!("halo.{kind}.rank{rank}");
+                assert!(r.timer(&name).is_some(), "missing {name}");
+            }
+        }
+        let total = r.counter("halo.bytes_sent").unwrap();
+        let per_rank: u64 =
+            (0..2).map(|rank| r.counter(&format!("halo.bytes_sent.rank{rank}")).unwrap()).sum();
+        assert!(total > 0);
+        assert_eq!(total, per_rank);
     }
 }

@@ -6,7 +6,8 @@
 //! "well-designed MPI scheme".
 
 use crate::grid::RankGrid;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
 use sw_grid::halo::Face;
 
 /// A message is one packed halo face.
@@ -29,7 +30,10 @@ pub struct RankComm {
     /// The rank grid.
     pub grid: RankGrid,
     senders: [Option<Sender<FaceBuffer>>; 4],
-    receivers: [Option<Receiver<FaceBuffer>>; 4],
+    // `mpsc::Receiver` is `!Sync`; the Mutex restores `Sync` so scoped
+    // rank threads can share `&RankComm`. Each face's receiver is only
+    // ever drained by its owning rank, so the lock is uncontended.
+    receivers: [Option<Mutex<Receiver<FaceBuffer>>>; 4],
 }
 
 impl RankComm {
@@ -50,7 +54,7 @@ impl RankComm {
     pub fn recv(&self, face: Face) -> Option<FaceBuffer> {
         self.receivers[face_index(face)]
             .as_ref()
-            .map(|rx| rx.recv().expect("neighbour rank hung up"))
+            .map(|rx| rx.lock().unwrap().recv().expect("neighbour rank hung up"))
     }
 
     /// True when a neighbour exists behind `face`.
@@ -70,16 +74,16 @@ impl Fabric {
         // `face` deposits its halo.
         let mut senders: Vec<[Option<Sender<FaceBuffer>>; 4]> =
             (0..n).map(|_| [None, None, None, None]).collect();
-        let mut receivers: Vec<[Option<Receiver<FaceBuffer>>; 4]> =
+        let mut receivers: Vec<[Option<Mutex<Receiver<FaceBuffer>>>; 4]> =
             (0..n).map(|_| [None, None, None, None]).collect();
-        for rank in 0..n {
+        for (rank, sender_row) in senders.iter_mut().enumerate() {
             for face in Face::ALL {
                 if let Some(nb) = grid.neighbor(rank, face) {
                     // What `rank` sends towards `face` arrives in the
                     // neighbour's mailbox for the opposite face.
-                    let (tx, rx) = unbounded();
-                    senders[rank][face_index(face)] = Some(tx);
-                    receivers[nb][face_index(face.opposite())] = Some(rx);
+                    let (tx, rx) = channel();
+                    sender_row[face_index(face)] = Some(tx);
+                    receivers[nb][face_index(face.opposite())] = Some(Mutex::new(rx));
                 }
             }
         }

@@ -178,8 +178,8 @@ impl RuptureSolver {
         let hypo = g.cell(self.hypocenter.0, self.hypocenter.1);
         let mut tau = self.tau0.clone();
         for (i, c) in g.cells.iter().enumerate() {
-            let d = ((c.x - hypo.x).powi(2) + (c.y - hypo.y).powi(2) + (c.z - hypo.z).powi(2))
-                .sqrt();
+            let d =
+                ((c.x - hypo.x).powi(2) + (c.y - hypo.y).powi(2) + (c.z - hypo.z).powi(2)).sqrt();
             if d <= p.nucleation_radius {
                 let static_strength = self.friction[i].strength(self.sigma_n[i], 0.0, 0.0);
                 tau[i] = tau[i].max(static_strength * p.nucleation_overstress);
@@ -193,9 +193,8 @@ impl RuptureSolver {
             .cells
             .iter()
             .map(|c| {
-                let d = ((c.x - hypo.x).powi(2) + (c.y - hypo.y).powi(2)
-                    + (c.z - hypo.z).powi(2))
-                .sqrt();
+                let d = ((c.x - hypo.x).powi(2) + (c.y - hypo.y).powi(2) + (c.z - hypo.z).powi(2))
+                    .sqrt();
                 d / (0.9 * p.vs)
             })
             .collect();
@@ -232,11 +231,8 @@ impl RuptureSolver {
                     nb(j as isize, kk as isize + 1);
                     let total = tau[i] + k * transfer / 4.0;
                     let strength = self.friction[i].strength(self.sigma_n[i], slip[i], 0.0);
-                    let v = if t < front_limit[i] {
-                        0.0
-                    } else {
-                        ((total - strength) / eta).max(0.0)
-                    };
+                    let v =
+                        if t < front_limit[i] { 0.0 } else { ((total - strength) / eta).max(0.0) };
                     rate[i] = v;
                 }
             }

@@ -26,7 +26,9 @@ pub fn export_kinematic(
     let area = geometry.cell_area();
     let mut subfaults = Vec::new();
     for (i, cell) in geometry.cells.iter().enumerate() {
-        let Some(onset) = result.rupture_time[i] else { continue };
+        let Some(onset) = result.rupture_time[i] else {
+            continue;
+        };
         let slip = result.slip[i];
         if slip <= 0.0 {
             continue;
@@ -74,7 +76,14 @@ mod tests {
     #[test]
     fn export_conserves_moment() {
         let (s, r) = run();
-        let fault = export_kinematic(&s.geometry, &r, s.params.shear_modulus, 500.0, (0.0, 0.0, 0.0), 180.0);
+        let fault = export_kinematic(
+            &s.geometry,
+            &r,
+            s.params.shear_modulus,
+            500.0,
+            (0.0, 0.0, 0.0),
+            180.0,
+        );
         let rel = (fault.total_moment()
             - r.total_moment(s.params.shear_modulus, s.geometry.cell_area()))
         .abs()
@@ -86,8 +95,14 @@ mod tests {
     #[test]
     fn grid_indices_follow_positions() {
         let (s, r) = run();
-        let fault =
-            export_kinematic(&s.geometry, &r, s.params.shear_modulus, 500.0, (0.0, 0.0, 0.0), 180.0);
+        let fault = export_kinematic(
+            &s.geometry,
+            &r,
+            s.params.shear_modulus,
+            500.0,
+            (0.0, 0.0, 0.0),
+            180.0,
+        );
         // The first fault cell sits at x ≈ 5 km → index ≈ 10 at dx = 500 m.
         let sf = &fault.subfaults[0];
         assert!((9..=12).contains(&sf.ix), "ix {}", sf.ix);
@@ -98,8 +113,14 @@ mod tests {
     #[test]
     fn onsets_inherit_rupture_times() {
         let (s, r) = run();
-        let fault =
-            export_kinematic(&s.geometry, &r, s.params.shear_modulus, 500.0, (0.0, 0.0, 0.0), 180.0);
+        let fault = export_kinematic(
+            &s.geometry,
+            &r,
+            s.params.shear_modulus,
+            500.0,
+            (0.0, 0.0, 0.0),
+            180.0,
+        );
         let min_onset = fault.subfaults.iter().map(|f| f.onset).fold(f64::INFINITY, f64::min);
         let max_onset = fault.subfaults.iter().map(|f| f.onset).fold(0.0, f64::max);
         assert!(min_onset < 0.5, "nucleation starts immediately");

@@ -112,10 +112,7 @@ impl KinematicFault {
 
     /// Last subfault to stop radiating, s.
     pub fn duration(&self) -> f64 {
-        self.subfaults
-            .iter()
-            .map(|s| s.onset + s.rise_time)
-            .fold(0.0, f64::max)
+        self.subfaults.iter().map(|s| s.onset + s.rise_time).fold(0.0, f64::max)
     }
 
     /// Lower into point sources for the wave-propagation stage.
@@ -152,11 +149,8 @@ mod tests {
     #[test]
     fn rupture_front_expands_from_hypocenter() {
         let f = fault();
-        let hypo = f
-            .subfaults
-            .iter()
-            .min_by(|a, b| a.onset.partial_cmp(&b.onset).unwrap())
-            .unwrap();
+        let hypo =
+            f.subfaults.iter().min_by(|a, b| a.onset.partial_cmp(&b.onset).unwrap()).unwrap();
         assert_eq!(hypo.onset, 0.0);
         // Onsets grow with distance from the hypocenter.
         let far = f.subfaults.iter().max_by(|a, b| a.onset.partial_cmp(&b.onset).unwrap()).unwrap();

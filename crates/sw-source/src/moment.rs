@@ -29,8 +29,7 @@ impl MomentTensor {
     /// (N·m), Aki & Richards convention with x = east, y = north,
     /// z = down.
     pub fn double_couple(strike_deg: f64, dip_deg: f64, rake_deg: f64, m0: f64) -> Self {
-        let (s, d, r) =
-            (strike_deg.to_radians(), dip_deg.to_radians(), rake_deg.to_radians());
+        let (s, d, r) = (strike_deg.to_radians(), dip_deg.to_radians(), rake_deg.to_radians());
         let (ss, cs) = s.sin_cos();
         let (sd, cd) = d.sin_cos();
         let (sr, cr) = r.sin_cos();

@@ -69,11 +69,7 @@ impl SourcePartitioner {
             let (px, py) = self.owner(s.ix, s.iy);
             let (x0, _) = Self::span(self.nx, self.mx, px);
             let (y0, _) = Self::span(self.ny, self.my, py);
-            out[px * self.my + py].push(PointSource {
-                ix: s.ix - x0,
-                iy: s.iy - y0,
-                ..*s
-            });
+            out[px * self.my + py].push(PointSource { ix: s.ix - x0, iy: s.iy - y0, ..*s });
         }
         out
     }

@@ -63,10 +63,7 @@ pub fn read_source(text: &str) -> Result<KinematicFault, SrcError> {
     if h.next() != Some("SWQSRC") || h.next() != Some("1") {
         return Err(SrcError::BadHeader);
     }
-    let n: usize = h
-        .next()
-        .and_then(|v| v.parse().ok())
-        .ok_or(SrcError::BadHeader)?;
+    let n: usize = h.next().and_then(|v| v.parse().ok()).ok_or(SrcError::BadHeader)?;
     let mut subfaults = Vec::with_capacity(n);
     for (i, line) in lines.enumerate() {
         if line.trim().is_empty() {
@@ -113,10 +110,10 @@ pub fn write_partitioned(
 ) -> std::io::Result<Vec<std::path::PathBuf>> {
     // Lower subfaults to point sources only to find owners; files keep the
     // richer subfault records.
-    let mut per_rank: Vec<Vec<Subfault>> =
-        vec![Vec::new(); partitioner.mx * partitioner.my];
+    let mut per_rank: Vec<Vec<Subfault>> = vec![Vec::new(); partitioner.mx * partitioner.my];
     for s in &fault.subfaults {
-        let (px, py) = partitioner.owner(s.ix.min(partitioner.nx - 1), s.iy.min(partitioner.ny - 1));
+        let (px, py) =
+            partitioner.owner(s.ix.min(partitioner.nx - 1), s.iy.min(partitioner.ny - 1));
         per_rank[px * partitioner.my + py].push(*s);
     }
     let mut paths = Vec::new();

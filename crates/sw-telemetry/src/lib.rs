@@ -1,0 +1,570 @@
+//! The telemetry spine of the solver stack.
+//!
+//! Every subsystem (driver, halo exchange, architecture model, compressor,
+//! I/O) reports into one [`Telemetry`] handle:
+//!
+//! * **phase timers** — scoped, nestable wall-time ranges
+//!   ([`Telemetry::phase`]); nested phases get dotted paths like
+//!   `step.velocity`, and timers on different threads aggregate into the
+//!   same named slot,
+//! * **counters** — monotonically increasing totals
+//!   ([`Telemetry::add`]), e.g. bytes moved over the halo fabric,
+//! * **gauges** — last-value + high-water marks ([`Telemetry::gauge`]),
+//!   e.g. the LDM footprint of the busiest kernel,
+//! * **series** — bounded ring buffers of per-step samples
+//!   ([`Telemetry::sample`]), e.g. wall time per time step.
+//!
+//! A [`Telemetry::report`] snapshot serializes to JSON with a stable
+//! schema (see [`Report`]); `swquake run --metrics out.json` writes one.
+//!
+//! The handle is an `Option<Arc<Registry>>` under the hood:
+//! [`Telemetry::disabled`] carries `None`, so every recording call is a
+//! branch on a null pointer — no clock reads, no locks, no allocation —
+//! and disabled telemetry stays out of the numeric path entirely.
+
+use serde::Serialize;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default capacity of a per-step sample ring buffer.
+pub const DEFAULT_SERIES_CAPACITY: usize = 4096;
+
+/// Version stamp embedded in every [`Report`] so downstream consumers can
+/// detect schema changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Handle
+// ---------------------------------------------------------------------------
+
+/// A cheap, clonable, thread-safe handle to a metrics registry — or to
+/// nothing at all ([`Telemetry::disabled`]).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    registry: Option<Arc<Registry>>,
+}
+
+impl Telemetry {
+    /// A live telemetry handle backed by a fresh registry.
+    pub fn enabled() -> Self {
+        Self { registry: Some(Arc::new(Registry::default())) }
+    }
+
+    /// The null handle: every recording method returns immediately.
+    pub fn disabled() -> Self {
+        Self { registry: None }
+    }
+
+    /// True when this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// Start a scoped phase timer. The returned guard records the elapsed
+    /// wall time when dropped. Phases nest: a `phase("velocity")` opened
+    /// while `phase("step")` is live on the same thread records as
+    /// `step.velocity`.
+    #[must_use = "the phase is timed until the guard drops"]
+    pub fn phase(&self, name: &str) -> PhaseGuard {
+        match &self.registry {
+            None => PhaseGuard { inner: None },
+            Some(reg) => {
+                let path = PHASE_STACK.with(|stack| {
+                    let mut stack = stack.borrow_mut();
+                    let path = match stack.last() {
+                        Some(parent) => format!("{parent}.{name}"),
+                        None => name.to_string(),
+                    };
+                    stack.push(path.clone());
+                    path
+                });
+                PhaseGuard {
+                    inner: Some(PhaseInner {
+                        registry: Arc::clone(reg),
+                        path,
+                        start: Instant::now(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Add to a monotonic counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(reg) = &self.registry {
+            *reg.counters.lock().unwrap().entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Set a gauge. The registry keeps both the last value and the
+    /// high-water mark.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(reg) = &self.registry {
+            let mut gauges = reg.gauges.lock().unwrap();
+            let g = gauges.entry(name.to_string()).or_insert(GaugeStat { last: value, max: value });
+            g.last = value;
+            if value > g.max {
+                g.max = value;
+            }
+        }
+    }
+
+    /// Push one sample into a bounded ring buffer (default capacity
+    /// [`DEFAULT_SERIES_CAPACITY`]; the oldest samples are evicted).
+    pub fn sample(&self, name: &str, value: f64) {
+        self.sample_with_capacity(name, value, DEFAULT_SERIES_CAPACITY);
+    }
+
+    /// [`Telemetry::sample`] with an explicit ring capacity (applied when
+    /// the series is first created).
+    pub fn sample_with_capacity(&self, name: &str, value: f64, capacity: usize) {
+        if let Some(reg) = &self.registry {
+            let mut series = reg.series.lock().unwrap();
+            let s = series.entry(name.to_string()).or_insert_with(|| Ring::new(capacity.max(1)));
+            s.push(value);
+        }
+    }
+
+    /// Record an already-measured duration into a timer slot (for callers
+    /// that cannot hold a guard across the timed region).
+    pub fn record_duration(&self, name: &str, seconds: f64) {
+        if let Some(reg) = &self.registry {
+            reg.record_timer(name, seconds);
+        }
+    }
+
+    /// Snapshot everything recorded so far into a serializable report.
+    /// Returns an empty schema-stamped report when disabled.
+    pub fn report(&self) -> Report {
+        match &self.registry {
+            None => Report { schema_version: SCHEMA_VERSION, ..Default::default() },
+            Some(reg) => reg.snapshot(),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread stack of open phase paths, for dotted nesting.
+    static PHASE_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+struct PhaseInner {
+    registry: Arc<Registry>,
+    path: String,
+    start: Instant,
+}
+
+/// RAII guard returned by [`Telemetry::phase`]; records on drop.
+pub struct PhaseGuard {
+    inner: Option<PhaseInner>,
+}
+
+impl PhaseGuard {
+    /// The full dotted path this guard is timing (`None` when telemetry
+    /// is disabled).
+    pub fn path(&self) -> Option<&str> {
+        self.inner.as_ref().map(|i| i.path.as_str())
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let elapsed = inner.start.elapsed().as_secs_f64();
+            PHASE_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                // Pop our own path; guards drop in LIFO order on a given
+                // thread, so it is the top entry.
+                if stack.last() == Some(&inner.path) {
+                    stack.pop();
+                } else if let Some(pos) = stack.iter().rposition(|p| p == &inner.path) {
+                    stack.remove(pos);
+                }
+            });
+            inner.registry.record_timer(&inner.path, elapsed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// The shared metric store behind an enabled [`Telemetry`].
+#[derive(Debug, Default)]
+struct Registry {
+    timers: Mutex<HashMap<String, TimerStat>>,
+    counters: Mutex<HashMap<String, u64>>,
+    gauges: Mutex<HashMap<String, GaugeStat>>,
+    series: Mutex<HashMap<String, Ring>>,
+}
+
+impl Registry {
+    fn record_timer(&self, path: &str, seconds: f64) {
+        let mut timers = self.timers.lock().unwrap();
+        let t = timers.entry(path.to_string()).or_insert_with(TimerStat::empty);
+        t.calls += 1;
+        t.total_s += seconds;
+        if seconds < t.min_s || t.calls == 1 {
+            t.min_s = seconds;
+        }
+        if seconds > t.max_s {
+            t.max_s = seconds;
+        }
+    }
+
+    fn snapshot(&self) -> Report {
+        let mut timers: Vec<(String, TimerStat)> =
+            self.timers.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        timers.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut counters: Vec<(String, u64)> =
+            self.counters.lock().unwrap().iter().map(|(k, v)| (k.clone(), *v)).collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, GaugeStat)> =
+            self.gauges.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut series: Vec<(String, SeriesStat)> =
+            self.series.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.stat())).collect();
+        series.sort_by(|a, b| a.0.cmp(&b.0));
+        Report {
+            schema_version: SCHEMA_VERSION,
+            timers: timers.into_iter().map(|(name, stat)| TimerEntry { name, stat }).collect(),
+            counters: counters
+                .into_iter()
+                .map(|(name, value)| CounterEntry { name, value })
+                .collect(),
+            gauges: gauges.into_iter().map(|(name, stat)| GaugeEntry { name, stat }).collect(),
+            series: series.into_iter().map(|(name, stat)| SeriesEntry { name, stat }).collect(),
+        }
+    }
+}
+
+/// A bounded ring buffer of f64 samples.
+#[derive(Debug)]
+struct Ring {
+    capacity: usize,
+    /// Total samples ever pushed (>= buf.len()).
+    pushed: u64,
+    buf: Vec<f64>,
+    head: usize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Self { capacity, pushed: 0, buf: Vec::new(), head: 0 }
+    }
+
+    fn push(&mut self, v: f64) {
+        self.pushed += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(v);
+        } else {
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Samples in push order (oldest retained first).
+    fn ordered(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    fn stat(&self) -> SeriesStat {
+        let values = self.ordered();
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for &v in &values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let mean = if values.is_empty() { 0.0 } else { sum / values.len() as f64 };
+        SeriesStat {
+            capacity: self.capacity as u64,
+            pushed: self.pushed,
+            min: if values.is_empty() { 0.0 } else { min },
+            max: if values.is_empty() { 0.0 } else { max },
+            mean,
+            values,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report schema
+// ---------------------------------------------------------------------------
+
+/// Aggregated statistics of one named timer.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct TimerStat {
+    /// Number of completed phase spans.
+    pub calls: u64,
+    /// Summed wall time, seconds.
+    pub total_s: f64,
+    /// Shortest span, seconds.
+    pub min_s: f64,
+    /// Longest span, seconds.
+    pub max_s: f64,
+}
+
+impl TimerStat {
+    fn empty() -> Self {
+        Self { calls: 0, total_s: 0.0, min_s: 0.0, max_s: 0.0 }
+    }
+}
+
+/// Last value + high-water mark of one gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct GaugeStat {
+    /// Most recently set value.
+    pub last: f64,
+    /// Largest value ever set.
+    pub max: f64,
+}
+
+/// Summary + retained window of one sample series.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct SeriesStat {
+    /// Ring capacity.
+    pub capacity: u64,
+    /// Total samples pushed (may exceed `values.len()`).
+    pub pushed: u64,
+    /// Minimum over the retained window.
+    pub min: f64,
+    /// Maximum over the retained window.
+    pub max: f64,
+    /// Mean over the retained window.
+    pub mean: f64,
+    /// The retained window, oldest first.
+    pub values: Vec<f64>,
+}
+
+/// One named timer in a [`Report`].
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct TimerEntry {
+    /// Dotted phase path, e.g. `step.velocity`.
+    pub name: String,
+    /// Aggregated timings.
+    pub stat: TimerStat,
+}
+
+/// One named counter in a [`Report`].
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct CounterEntry {
+    /// Counter name, e.g. `halo.bytes_sent`.
+    pub name: String,
+    /// Accumulated total.
+    pub value: u64,
+}
+
+/// One named gauge in a [`Report`].
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct GaugeEntry {
+    /// Gauge name, e.g. `arch.ldm_high_water_bytes`.
+    pub name: String,
+    /// Last + max values.
+    pub stat: GaugeStat,
+}
+
+/// One named series in a [`Report`].
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct SeriesEntry {
+    /// Series name, e.g. `step.wall_s`.
+    pub name: String,
+    /// Window summary + retained samples.
+    pub stat: SeriesStat,
+}
+
+/// A point-in-time snapshot of every metric, with a stable JSON schema.
+///
+/// Entries are sorted by name so two reports of the same run serialize
+/// identically. The schema is versioned via `schema_version`
+/// ([`SCHEMA_VERSION`]): additive changes bump it.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, serde::Deserialize)]
+pub struct Report {
+    /// Schema version stamp ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// All timers, sorted by name.
+    pub timers: Vec<TimerEntry>,
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterEntry>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeEntry>,
+    /// All series, sorted by name.
+    pub series: Vec<SeriesEntry>,
+}
+
+impl Report {
+    /// Look up a timer by exact dotted path.
+    pub fn timer(&self, name: &str) -> Option<&TimerStat> {
+        self.timers.iter().find(|e| e.name == name).map(|e| &e.stat)
+    }
+
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|e| e.name == name).map(|e| e.value)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<&GaugeStat> {
+        self.gauges.iter().find(|e| e.name == name).map(|e| &e.stat)
+    }
+
+    /// Look up a series by name.
+    pub fn series(&self, name: &str) -> Option<&SeriesStat> {
+        self.series.iter().find(|e| e.name == name).map(|e| &e.stat)
+    }
+
+    /// Pretty JSON rendering of the report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+
+    /// Parse a report back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Telemetry::disabled();
+        {
+            let _g = t.phase("step");
+            t.add("bytes", 100);
+            t.gauge("ldm", 1.0);
+            t.sample("wall", 0.5);
+        }
+        let r = t.report();
+        assert_eq!(r.schema_version, SCHEMA_VERSION);
+        assert!(r.timers.is_empty());
+        assert!(r.counters.is_empty());
+        assert!(r.gauges.is_empty());
+        assert!(r.series.is_empty());
+    }
+
+    #[test]
+    fn phases_nest_with_dotted_paths() {
+        let t = Telemetry::enabled();
+        {
+            let _outer = t.phase("step");
+            {
+                let _inner = t.phase("velocity");
+            }
+            {
+                let _inner = t.phase("stress");
+                let _inner2 = t.phase("plasticity");
+            }
+        }
+        {
+            let _again = t.phase("step");
+        }
+        let r = t.report();
+        let names: Vec<&str> = r.timers.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["step", "step.stress", "step.stress.plasticity", "step.velocity"]);
+        assert_eq!(r.timer("step").unwrap().calls, 2);
+        assert_eq!(r.timer("step.velocity").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn nesting_resets_between_roots() {
+        let t = Telemetry::enabled();
+        {
+            let _a = t.phase("a");
+        }
+        {
+            let _b = t.phase("b");
+        }
+        let r = t.report();
+        assert!(r.timer("a.b").is_none());
+        assert!(r.timer("b").is_some());
+    }
+
+    #[test]
+    fn counters_and_gauges_aggregate() {
+        let t = Telemetry::enabled();
+        t.add("bytes", 10);
+        t.add("bytes", 32);
+        t.gauge("ldm", 5.0);
+        t.gauge("ldm", 3.0);
+        let r = t.report();
+        assert_eq!(r.counter("bytes"), Some(42));
+        let g = r.gauge("ldm").unwrap();
+        assert_eq!(g.last, 3.0);
+        assert_eq!(g.max, 5.0);
+    }
+
+    #[test]
+    fn series_ring_evicts_oldest() {
+        let t = Telemetry::enabled();
+        for i in 0..10 {
+            t.sample_with_capacity("s", i as f64, 4);
+        }
+        let s = t.report();
+        let s = s.series("s").unwrap();
+        assert_eq!(s.pushed, 10);
+        assert_eq!(s.values, vec![6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(s.min, 6.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn timers_aggregate_across_threads() {
+        let t = Telemetry::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        let _g = t.phase("work");
+                        t.add("jobs", 1);
+                    }
+                });
+            }
+        });
+        let r = t.report();
+        assert_eq!(r.timer("work").unwrap().calls, 100);
+        assert_eq!(r.counter("jobs"), Some(100));
+    }
+
+    #[test]
+    fn sibling_threads_do_not_inherit_nesting() {
+        let t = Telemetry::enabled();
+        let _outer = t.phase("outer");
+        std::thread::scope(|s| {
+            let t2 = t.clone();
+            s.spawn(move || {
+                // Fresh thread: no `outer.` prefix.
+                let _g = t2.phase("inner");
+            });
+        });
+        drop(_outer);
+        let r = t.report();
+        assert!(r.timer("inner").is_some());
+        assert!(r.timer("outer.inner").is_none());
+    }
+
+    #[test]
+    fn report_json_roundtrip_is_stable() {
+        let t = Telemetry::enabled();
+        {
+            let _g = t.phase("step");
+            t.sample("wall", 0.25);
+        }
+        t.add("bytes", 7);
+        t.gauge("ldm", 1024.0);
+        let r = t.report();
+        let text = r.to_json();
+        let back = Report::from_json(&text).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(back.to_json(), text, "serialization must be deterministic");
+    }
+}

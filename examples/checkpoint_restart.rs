@@ -33,13 +33,13 @@ fn main() {
     let cfg = config();
 
     // The uninterrupted reference.
-    let mut reference = Simulation::new(&model, &cfg);
+    let mut reference = Simulation::new(&model, &cfg).expect("valid config");
     reference.run(200);
 
     // Run half, checkpoint to disk, drop everything.
     let path = std::env::temp_dir().join("swquake_restart_demo.swq");
     {
-        let mut sim = Simulation::new(&model, &cfg);
+        let mut sim = Simulation::new(&model, &cfg).expect("valid config");
         sim.run(100);
         let ckpt = sim.make_checkpoint();
         let raw = ckpt.raw_bytes();
@@ -57,8 +57,8 @@ fn main() {
 
     // Restore into a fresh process-equivalent and continue.
     let ckpt = Checkpoint::read_file(&path).expect("read").expect("decode");
-    let mut resumed = Simulation::new(&model, &cfg);
-    resumed.restore(&ckpt);
+    let mut resumed = Simulation::new(&model, &cfg).expect("valid config");
+    resumed.restore(&ckpt).expect("matching checkpoint");
     println!("restored at step {} (t = {:.3} s); continuing…", resumed.step_count, resumed.time);
     resumed.run(100);
 

@@ -17,11 +17,8 @@ use swquake::model::TangshanModel;
 use swquake::source::{m0_from_mw, MomentTensor, PointSource, SourceTimeFunction};
 
 fn scenario(dims: Dims3, dx: f64, steps: usize) -> (TangshanModel, SimConfig) {
-    let model = TangshanModel::with_extent(
-        dims.nx as f64 * dx,
-        dims.ny as f64 * dx,
-        dims.nz as f64 * dx,
-    );
+    let model =
+        TangshanModel::with_extent(dims.nx as f64 * dx, dims.ny as f64 * dx, dims.nz as f64 * dx);
     let mut cfg = SimConfig::new(dims, dx, steps);
     cfg.options.sponge_width = 6;
     let (ex, ey) = model.epicenter();
@@ -54,7 +51,7 @@ fn main() {
     println!("coarse statistics pass…");
     let (cmodel, mut coarse_cfg) = scenario(Dims3::new(30, 30, 12), 800.0, steps / 2);
     coarse_cfg.steps = steps / 2;
-    let mut coarse = Simulation::new(&cmodel, &coarse_cfg);
+    let mut coarse = Simulation::new(&cmodel, &coarse_cfg).expect("valid config");
     coarse.run(coarse_cfg.steps);
     // Remap the coarse statistics to the fine mesh: stress-glut densities
     // scale with the cell-volume ratio.
@@ -63,7 +60,7 @@ fn main() {
     // Reference run.
     println!("reference (f32) run…");
     let t0 = std::time::Instant::now();
-    let mut reference = Simulation::new(&model, &cfg);
+    let mut reference = Simulation::new(&model, &cfg).expect("valid config");
     reference.run(steps);
     let t_ref = t0.elapsed().as_secs_f64();
 
@@ -73,7 +70,7 @@ fn main() {
     ccfg.compression = true;
     ccfg.compression_stats = stats;
     let t0 = std::time::Instant::now();
-    let mut compressed = Simulation::new(&model, &ccfg);
+    let mut compressed = Simulation::new(&model, &ccfg).expect("valid config");
     compressed.run(steps);
     let t_cmp = t0.elapsed().as_secs_f64();
 

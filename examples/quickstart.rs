@@ -32,7 +32,7 @@ fn main() {
     ];
 
     let model = LayeredModel::north_china();
-    let mut sim = Simulation::new(&model, &cfg);
+    let mut sim = Simulation::new(&model, &cfg).expect("valid config");
     println!(
         "mesh {dims} at dx = {dx} m, dt = {:.4} s, {} 3-D arrays, {} steps",
         sim.state.dt,

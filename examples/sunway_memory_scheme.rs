@@ -39,22 +39,14 @@ fn main() {
             c.effective_bandwidth / 1e9
         );
     }
-    println!(
-        "fusion cuts modeled DMA time {:.2}x\n",
-        unfused.dma_seconds / fused.dma_seconds
-    );
+    println!("fusion cuts modeled DMA time {:.2}x\n", unfused.dma_seconds / fused.dma_seconds);
 
     // Execute the velocity kernel through the simulated hierarchy on a
     // small real block (full z extent, reduced x for wall time).
     let opts = StateOptions { sponge_width: 0, attenuation: false, ..Default::default() };
     let dims = Dims3::new(8, ny, nz);
-    let mut state = SolverState::from_model(
-        &HalfspaceModel::hard_rock(),
-        dims,
-        100.0,
-        (0.0, 0.0, 0.0),
-        opts,
-    );
+    let mut state =
+        SolverState::from_model(&HalfspaceModel::hard_rock(), dims, 100.0, (0.0, 0.0, 0.0), opts);
     for (x, y, z) in dims.iter() {
         let v = ((x * 31 + y * 17 + z * 7) % 23) as f32 - 11.0;
         state.xx.set(x, y, z, v * 1e4);

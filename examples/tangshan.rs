@@ -55,7 +55,7 @@ fn main() {
 
     println!("running the dynamic rupture + nonlinear propagation pipeline…");
     let t0 = std::time::Instant::now();
-    let out = fw.run(&model, RankGrid::new(2, 2), &[2.0]);
+    let out = fw.run(&model, RankGrid::new(2, 2), &[2.0]).expect("valid config");
     println!("pipeline finished in {:.1} s wall time", t0.elapsed().as_secs_f64());
 
     // Rupture stage (Fig. 10b analogue).

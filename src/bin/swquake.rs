@@ -2,173 +2,103 @@
 //!
 //! Runs an earthquake scenario described by a JSON file through the full
 //! solver and writes seismograms (CSV), the PGV field, and a seismic-
-//! intensity hazard map.
+//! intensity hazard map. With `--metrics`, telemetry from every subsystem
+//! (step phases, compression codecs, modeled SW26010 hardware charges,
+//! I/O) is written as a stable-schema JSON report.
 //!
 //! ```text
-//! swquake --write-example scenario.json   # emit a commented template
-//! swquake scenario.json                   # run it
+//! swquake --write-example scenario.json         # emit a commented template
+//! swquake scenario.json                         # run it
+//! swquake run scenario.json --metrics out.json  # run + telemetry report
 //! ```
+//!
+//! Exit codes: 0 on success, 1 when the solver goes unstable, 2 for any
+//! usage, parse, or configuration error. All failures flow through
+//! [`swquake::Error`] and are mapped to a code in one place, here.
 
-use serde::{Deserialize, Serialize};
 use swquake::core::hazard::HazardMap;
-use swquake::core::{SimConfig, Simulation};
-use swquake::grid::Dims3;
-use swquake::io::Station;
-use swquake::model::{HalfspaceModel, LayeredModel, TangshanModel, VelocityModel};
-use swquake::source::{m0_from_mw, MomentTensor, PointSource, SourceTimeFunction};
+use swquake::core::Simulation;
+use swquake::telemetry::Telemetry;
+use swquake::{Error, Scenario};
 
-/// The JSON scenario schema.
-#[derive(Debug, Serialize, Deserialize)]
-struct Scenario {
-    /// Mesh extents in grid points (x, y, z).
-    mesh: [usize; 3],
-    /// Grid spacing, m.
-    dx: f64,
-    /// Simulated duration, s.
-    duration: f64,
-    /// Earth model: "halfspace", "north_china", or "tangshan".
-    model: String,
-    /// Drucker–Prager plasticity.
-    nonlinear: bool,
-    /// Anelastic attenuation.
-    attenuation: bool,
-    /// Store wavefields 16-bit between steps (§6.5 compression).
-    compression: bool,
-    /// Cerjan sponge width in points.
-    sponge_width: usize,
-    /// Point sources.
-    sources: Vec<ScenarioSource>,
-    /// Stations (name, ix, iy).
-    stations: Vec<(String, usize, usize)>,
-    /// Output prefix for the result files.
-    output_prefix: String,
+enum Command {
+    WriteExample(String),
+    Run { scenario: String, metrics: Option<String> },
 }
 
-#[derive(Debug, Serialize, Deserialize)]
-struct ScenarioSource {
-    /// Grid position (ix, iy, iz).
-    position: [usize; 3],
-    /// Moment magnitude.
-    mw: f64,
-    /// Fault angles (strike, dip, rake) in degrees.
-    mechanism: [f64; 3],
-    /// Rupture onset, s.
-    onset: f64,
-    /// Source duration, s.
-    duration: f64,
-}
-
-impl Scenario {
-    fn example() -> Self {
-        Self {
-            mesh: [48, 48, 24],
-            dx: 250.0,
-            duration: 6.0,
-            model: "tangshan".to_string(),
-            nonlinear: false,
-            attenuation: true,
-            compression: false,
-            sponge_width: 8,
-            sources: vec![ScenarioSource {
-                position: [24, 24, 12],
-                mw: 5.5,
-                mechanism: [30.0, 90.0, 180.0],
-                onset: 0.2,
-                duration: 1.0,
-            }],
-            stations: vec![("center".to_string(), 28, 28), ("edge".to_string(), 40, 40)],
-            output_prefix: "swquake_out".to_string(),
+fn parse_args(args: &[String]) -> Option<Command> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut metrics = None;
+    let mut write_example = false;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--write-example" => write_example = true,
+            "--metrics" => metrics = Some(iter.next()?.clone()),
+            other => positional.push(other.to_string()),
         }
     }
-
-    fn build_model(&self) -> Box<dyn VelocityModel> {
-        match self.model.as_str() {
-            "halfspace" => Box::new(HalfspaceModel::hard_rock()),
-            "north_china" => Box::new(LayeredModel::north_china()),
-            "tangshan" => Box::new(TangshanModel::with_extent(
-                self.mesh[0] as f64 * self.dx,
-                self.mesh[1] as f64 * self.dx,
-                self.mesh[2] as f64 * self.dx,
-            )),
-            other => {
-                eprintln!("unknown model '{other}', expected halfspace|north_china|tangshan");
-                std::process::exit(2);
-            }
-        }
+    if write_example {
+        let path = positional.first().cloned().unwrap_or_else(|| "scenario.json".to_string());
+        return Some(Command::WriteExample(path));
     }
-
-    fn to_config(&self, model: &dyn VelocityModel) -> SimConfig {
-        let dims = Dims3::new(self.mesh[0], self.mesh[1], self.mesh[2]);
-        let dt = swquake::core::staggered::stable_dt(self.dx, model.vp_max() as f64);
-        let mut cfg = SimConfig::new(dims, self.dx, (self.duration / dt).ceil() as usize);
-        cfg.options.nonlinear = self.nonlinear;
-        cfg.options.attenuation = self.attenuation;
-        cfg.options.sponge_width = self.sponge_width;
-        cfg.compression = self.compression;
-        cfg.sources = self
-            .sources
-            .iter()
-            .map(|s| PointSource {
-                ix: s.position[0],
-                iy: s.position[1],
-                iz: s.position[2],
-                moment: MomentTensor::double_couple(
-                    s.mechanism[0],
-                    s.mechanism[1],
-                    s.mechanism[2],
-                    m0_from_mw(s.mw),
-                ),
-                stf: SourceTimeFunction::Triangle { onset: s.onset, duration: s.duration },
-            })
-            .collect();
-        cfg.stations = self
-            .stations
-            .iter()
-            .map(|(name, ix, iy)| Station { name: name.clone(), ix: *ix, iy: *iy })
-            .collect();
-        cfg
+    // Optional `run` subcommand before the scenario path.
+    if positional.first().map(String::as_str) == Some("run") {
+        positional.remove(0);
+    }
+    if positional.len() == 1 {
+        Some(Command::Run { scenario: positional.remove(0), metrics })
+    } else {
+        None
     }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    match args.get(1).map(String::as_str) {
-        Some("--write-example") => {
-            let path = args.get(2).map(String::as_str).unwrap_or("scenario.json");
-            let json = serde_json::to_string_pretty(&Scenario::example()).unwrap();
-            std::fs::write(path, json).expect("write example scenario");
-            println!("wrote example scenario to {path}");
-        }
-        Some(path) => run(path),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match parse_args(&args) {
         None => {
-            eprintln!("usage: swquake <scenario.json> | swquake --write-example [path]");
-            std::process::exit(2);
+            eprintln!(
+                "usage: swquake [run] <scenario.json> [--metrics <out.json>] \
+                 | swquake --write-example [path]"
+            );
+            2
         }
-    }
+        Some(Command::WriteExample(path)) => {
+            std::fs::write(&path, Scenario::example().to_json()).expect("write example scenario");
+            println!("wrote example scenario to {path}");
+            0
+        }
+        Some(Command::Run { scenario, metrics }) => match run(&scenario, metrics.as_deref()) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("{e}");
+                match e {
+                    Error::Unstable => 1,
+                    _ => 2,
+                }
+            }
+        },
+    };
+    std::process::exit(code);
 }
 
-fn run(path: &str) {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(2);
-    });
-    let scenario: Scenario = serde_json::from_str(&text).unwrap_or_else(|e| {
-        eprintln!("invalid scenario file: {e}");
-        std::process::exit(2);
-    });
-    let model = scenario.build_model();
-    let cfg = scenario.to_config(model.as_ref());
+fn run(path: &str, metrics: Option<&str>) -> Result<(), Error> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Error::Io { path: path.to_string(), source: e })?;
+    let scenario = Scenario::from_json(&text)?;
+    let model = scenario.build_model()?;
+    let telemetry = if metrics.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
+    let cfg = scenario.to_config(model.as_ref())?.with_telemetry(telemetry.clone());
     println!(
         "mesh {} at dx = {} m, {} steps, model {}, nonlinear {}, compression {}",
         cfg.dims, cfg.dx, cfg.steps, scenario.model, scenario.nonlinear, scenario.compression
     );
     let t0 = std::time::Instant::now();
-    let mut sim = Simulation::new(model.as_ref(), &cfg);
+    let mut sim = Simulation::new(model.as_ref(), &cfg)?;
     sim.run(cfg.steps);
     let wall = t0.elapsed().as_secs_f64();
     if sim.state.has_blown_up() {
-        eprintln!("solver went unstable — check dx/duration against the model's vp");
-        std::process::exit(1);
+        return Err(Error::Unstable);
     }
     println!(
         "simulated {:.2} s in {wall:.1} s wall time ({:.2} Gflop/s sustained)",
@@ -177,6 +107,7 @@ fn run(path: &str) {
     );
 
     // Seismograms as CSV: time, then (vx, vy, vz) per station.
+    let t_out = std::time::Instant::now();
     let prefix = &scenario.output_prefix;
     let mut csv = String::from("t");
     for s in sim.seismo.seismograms() {
@@ -193,7 +124,8 @@ fn run(path: &str) {
         csv.push('\n');
     }
     let seismo_path = format!("{prefix}_seismograms.csv");
-    std::fs::write(&seismo_path, csv).expect("write seismograms");
+    std::fs::write(&seismo_path, &csv)
+        .map_err(|e| Error::Io { path: seismo_path.clone(), source: e })?;
 
     // Hazard map as JSON (PGV + intensity grids).
     let map = HazardMap::from_pgv(&sim.pgv, cfg.dims.nx, cfg.dims.ny);
@@ -205,10 +137,21 @@ fn run(path: &str) {
         "intensity": map.intensity,
         "max_intensity": map.max(),
     });
+    let hazard_text = serde_json::to_string(&hazard).expect("hazard serialization is infallible");
     let hazard_path = format!("{prefix}_hazard.json");
-    std::fs::write(&hazard_path, serde_json::to_string(&hazard).unwrap())
-        .expect("write hazard");
+    std::fs::write(&hazard_path, &hazard_text)
+        .map_err(|e| Error::Io { path: hazard_path.clone(), source: e })?;
+    telemetry.record_duration("io.write_outputs", t_out.elapsed().as_secs_f64());
+    telemetry.add("io.output_bytes", (csv.len() + hazard_text.len()) as u64);
 
     println!("wrote {seismo_path} and {hazard_path}");
     println!("PGV max {:.3e} m/s, max intensity {:.1}", sim.pgv.max(), map.max());
+
+    if let Some(metrics_path) = metrics {
+        let report = sim.metrics();
+        std::fs::write(metrics_path, report.to_json())
+            .map_err(|e| Error::Io { path: metrics_path.to_string(), source: e })?;
+        println!("wrote metrics to {metrics_path}");
+    }
+    Ok(())
 }

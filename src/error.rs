@@ -1,0 +1,80 @@
+//! The crate-level error type: one [`enum@Error`] covering configuration,
+//! scenario parsing, checkpoint restore/decode, instability, and file I/O
+//! — so `swquake`-based tools can bubble everything up with `?` and map
+//! it to an exit code in one place (as the `swquake` binary does).
+
+use std::fmt;
+use sw_io::checkpoint::CheckpointError;
+use swquake_core::error::{ConfigError, RestoreError};
+
+/// Anything that can go wrong driving the solver stack end to end.
+#[derive(Debug)]
+pub enum Error {
+    /// The simulation configuration is not runnable.
+    Config(ConfigError),
+    /// A checkpoint did not match the running simulation.
+    Restore(RestoreError),
+    /// An on-disk checkpoint is corrupt or not a checkpoint at all.
+    Checkpoint(CheckpointError),
+    /// A scenario file failed to parse.
+    Scenario(String),
+    /// A scenario named an earth model the solver does not provide.
+    UnknownModel(String),
+    /// The solver went unstable (NaN/Inf in the wavefield).
+    Unstable,
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid configuration: {e}"),
+            Self::Restore(e) => write!(f, "cannot restore checkpoint: {e}"),
+            Self::Checkpoint(e) => write!(f, "corrupt checkpoint: {e}"),
+            Self::Scenario(msg) => write!(f, "invalid scenario file: {msg}"),
+            Self::UnknownModel(name) => {
+                write!(f, "unknown model '{name}', expected halfspace|north_china|tangshan")
+            }
+            Self::Unstable => {
+                write!(f, "solver went unstable — check dx/duration against the model's vp")
+            }
+            Self::Io { path, source } => write!(f, "cannot read {path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            Self::Restore(e) => Some(e),
+            Self::Checkpoint(e) => Some(e),
+            Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+impl From<RestoreError> for Error {
+    fn from(e: RestoreError) -> Self {
+        Self::Restore(e)
+    }
+}
+
+impl From<CheckpointError> for Error {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}

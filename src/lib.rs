@@ -23,7 +23,18 @@
 //! * [`rupture`] — the CG-FDM-role dynamic rupture generator;
 //! * [`parallel`] — the MPI-like 2-D rank runtime with overlapped halo
 //!   exchange;
-//! * [`io`] — LZ4 checkpoints, group-I/O model, recorders.
+//! * [`io`] — LZ4 checkpoints, group-I/O model, recorders;
+//! * [`telemetry`] — the metrics spine every subsystem reports into:
+//!   nestable phase timers, counters, gauges, per-step sample rings, and
+//!   a stable-schema JSON report.
+//!
+//! Plus the crate's own front end:
+//!
+//! * [`scenario`] — JSON scenario files and their lowering to solver
+//!   configs (what the `swquake` binary runs);
+//! * [`error`] — the crate-level [`enum@Error`]; fallible constructors
+//!   (`Simulation::new`, `run_multirank`, `Simulation::restore`,
+//!   scenario parsing) return typed errors instead of exiting.
 //!
 //! ## Quickstart
 //!
@@ -33,18 +44,52 @@
 //! use swquake::model::HalfspaceModel;
 //! use swquake::source::{MomentTensor, PointSource, SourceTimeFunction};
 //!
-//! let mut cfg = SimConfig::new(Dims3::new(32, 32, 24), 200.0, 50);
+//! let mut cfg = SimConfig::new(Dims3::new(32, 32, 24), 200.0, 50)
+//!     .with_sources(vec![PointSource {
+//!         ix: 16, iy: 16, iz: 12,
+//!         moment: MomentTensor::double_couple(30.0, 90.0, 180.0, 1.0e15),
+//!         stf: SourceTimeFunction::Gaussian { delay: 0.2, sigma: 0.05 },
+//!     }]);
 //! cfg.options.attenuation = false;
-//! cfg.sources = vec![PointSource {
-//!     ix: 16, iy: 16, iz: 12,
-//!     moment: MomentTensor::double_couple(30.0, 90.0, 180.0, 1.0e15),
-//!     stf: SourceTimeFunction::Gaussian { delay: 0.2, sigma: 0.05 },
-//! }];
 //! let model = HalfspaceModel::hard_rock();
-//! let mut sim = Simulation::new(&model, &cfg);
+//! let mut sim = Simulation::new(&model, &cfg).expect("valid config");
 //! sim.run(cfg.steps);
 //! assert!(sim.pgv.max() > 0.0);
 //! ```
+//!
+//! ## Observability
+//!
+//! Attach an enabled [`telemetry::Telemetry`] handle to collect per-phase
+//! wall times (`step.velocity`, `step.stress`, …), halo-fabric timings
+//! per rank, modeled SW26010 hardware charges, compression codec costs,
+//! and checkpoint I/O — then snapshot everything as JSON:
+//!
+//! ```
+//! use swquake::core::{SimConfig, Simulation};
+//! use swquake::grid::Dims3;
+//! use swquake::model::HalfspaceModel;
+//! use swquake::telemetry::Telemetry;
+//!
+//! let cfg = SimConfig::new(Dims3::new(16, 16, 12), 200.0, 5)
+//!     .with_telemetry(Telemetry::enabled());
+//! let model = HalfspaceModel::hard_rock();
+//! let mut sim = Simulation::new(&model, &cfg).expect("valid config");
+//! sim.run(cfg.steps);
+//! let report = sim.metrics();
+//! assert_eq!(report.timer("step").unwrap().calls, 5);
+//! let json = report.to_json(); // stable schema, sorted names
+//! assert!(json.contains("step.velocity"));
+//! ```
+//!
+//! The default is [`telemetry::Telemetry::disabled`], which records
+//! nothing and keeps every instrumentation point down to a branch on
+//! `None`; the CLI enables it with `swquake run --metrics out.json`.
+
+pub mod error;
+pub mod scenario;
+
+pub use error::Error;
+pub use scenario::{Scenario, ScenarioSource};
 
 pub use sw_arch as arch;
 pub use sw_compress as compress;
@@ -54,4 +99,5 @@ pub use sw_model as model;
 pub use sw_parallel as parallel;
 pub use sw_rupture as rupture;
 pub use sw_source as source;
+pub use sw_telemetry as telemetry;
 pub use swquake_core as core;

@@ -1,0 +1,177 @@
+//! JSON scenario files: the declarative front end the `swquake` binary
+//! (and any embedding tool) runs.
+//!
+//! A [`Scenario`] names a mesh, an earth model, sources, and stations;
+//! [`Scenario::build_model`] and [`Scenario::to_config`] lower it to the
+//! solver API, returning [`enum@Error`] instead of exiting on bad input.
+
+use crate::error::Error;
+use serde::{Deserialize, Serialize};
+use sw_grid::Dims3;
+use sw_io::Station;
+use sw_model::{HalfspaceModel, LayeredModel, TangshanModel, VelocityModel};
+use sw_source::{m0_from_mw, MomentTensor, PointSource, SourceTimeFunction};
+use swquake_core::SimConfig;
+
+/// The JSON scenario schema.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Mesh extents in grid points (x, y, z).
+    pub mesh: [usize; 3],
+    /// Grid spacing, m.
+    pub dx: f64,
+    /// Simulated duration, s.
+    pub duration: f64,
+    /// Earth model: "halfspace", "north_china", or "tangshan".
+    pub model: String,
+    /// Drucker–Prager plasticity.
+    pub nonlinear: bool,
+    /// Anelastic attenuation.
+    pub attenuation: bool,
+    /// Store wavefields 16-bit between steps (§6.5 compression).
+    pub compression: bool,
+    /// Cerjan sponge width in points.
+    pub sponge_width: usize,
+    /// Point sources.
+    pub sources: Vec<ScenarioSource>,
+    /// Stations (name, ix, iy).
+    pub stations: Vec<(String, usize, usize)>,
+    /// Output prefix for the result files.
+    pub output_prefix: String,
+}
+
+/// One point source in a scenario file.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ScenarioSource {
+    /// Grid position (ix, iy, iz).
+    pub position: [usize; 3],
+    /// Moment magnitude.
+    pub mw: f64,
+    /// Fault angles (strike, dip, rake) in degrees.
+    pub mechanism: [f64; 3],
+    /// Rupture onset, s.
+    pub onset: f64,
+    /// Source duration, s.
+    pub duration: f64,
+}
+
+impl Scenario {
+    /// The commented template `swquake --write-example` emits.
+    pub fn example() -> Self {
+        Self {
+            mesh: [48, 48, 24],
+            dx: 250.0,
+            duration: 6.0,
+            model: "tangshan".to_string(),
+            nonlinear: false,
+            attenuation: true,
+            compression: false,
+            sponge_width: 8,
+            sources: vec![ScenarioSource {
+                position: [24, 24, 12],
+                mw: 5.5,
+                mechanism: [30.0, 90.0, 180.0],
+                onset: 0.2,
+                duration: 1.0,
+            }],
+            stations: vec![("center".to_string(), 28, 28), ("edge".to_string(), 40, 40)],
+            output_prefix: "swquake_out".to_string(),
+        }
+    }
+
+    /// Parse a scenario from its JSON text.
+    pub fn from_json(text: &str) -> Result<Self, Error> {
+        serde_json::from_str(text).map_err(|e| Error::Scenario(e.to_string()))
+    }
+
+    /// Pretty JSON rendering (the template writer).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serialization is infallible")
+    }
+
+    /// Instantiate the named earth model.
+    pub fn build_model(&self) -> Result<Box<dyn VelocityModel>, Error> {
+        match self.model.as_str() {
+            "halfspace" => Ok(Box::new(HalfspaceModel::hard_rock())),
+            "north_china" => Ok(Box::new(LayeredModel::north_china())),
+            "tangshan" => Ok(Box::new(TangshanModel::with_extent(
+                self.mesh[0] as f64 * self.dx,
+                self.mesh[1] as f64 * self.dx,
+                self.mesh[2] as f64 * self.dx,
+            ))),
+            other => Err(Error::UnknownModel(other.to_string())),
+        }
+    }
+
+    /// Lower to a validated solver configuration against `model`.
+    pub fn to_config(&self, model: &dyn VelocityModel) -> Result<SimConfig, Error> {
+        let dims = Dims3::new(self.mesh[0], self.mesh[1], self.mesh[2]);
+        let dt = swquake_core::staggered::stable_dt(self.dx, model.vp_max() as f64);
+        let mut cfg = SimConfig::new(dims, self.dx, (self.duration / dt).ceil() as usize)
+            .with_compression(self.compression)
+            .with_sources(
+                self.sources
+                    .iter()
+                    .map(|s| PointSource {
+                        ix: s.position[0],
+                        iy: s.position[1],
+                        iz: s.position[2],
+                        moment: MomentTensor::double_couple(
+                            s.mechanism[0],
+                            s.mechanism[1],
+                            s.mechanism[2],
+                            m0_from_mw(s.mw),
+                        ),
+                        stf: SourceTimeFunction::Triangle { onset: s.onset, duration: s.duration },
+                    })
+                    .collect(),
+            )
+            .with_stations(
+                self.stations
+                    .iter()
+                    .map(|(name, ix, iy)| Station { name: name.clone(), ix: *ix, iy: *iy })
+                    .collect(),
+            );
+        cfg.options.nonlinear = self.nonlinear;
+        cfg.options.attenuation = self.attenuation;
+        cfg.options.sponge_width = self.sponge_width;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_roundtrips_and_lowers() {
+        let text = Scenario::example().to_json();
+        let back = Scenario::from_json(&text).expect("template parses");
+        let model = back.build_model().expect("template model exists");
+        let cfg = back.to_config(model.as_ref()).expect("template config is valid");
+        assert_eq!(cfg.dims, Dims3::new(48, 48, 24));
+        assert_eq!(cfg.sources.len(), 1);
+        assert_eq!(cfg.stations.len(), 2);
+    }
+
+    #[test]
+    fn unknown_model_is_an_error() {
+        let mut s = Scenario::example();
+        s.model = "flat_earth".into();
+        assert!(matches!(s.build_model(), Err(Error::UnknownModel(_))));
+    }
+
+    #[test]
+    fn out_of_mesh_station_is_an_error() {
+        let mut s = Scenario::example();
+        s.stations[0].1 = 4800;
+        let model = s.build_model().unwrap();
+        assert!(matches!(s.to_config(model.as_ref()), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn garbage_json_is_a_scenario_error() {
+        assert!(matches!(Scenario::from_json("{ not json"), Err(Error::Scenario(_))));
+    }
+}

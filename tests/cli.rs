@@ -32,14 +32,11 @@ fn write_example_then_run_produces_outputs() {
     json["duration"] = serde_json::json!(1.5);
     json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
     json["stations"] = serde_json::json!([["probe", 14, 14]]);
-    json["output_prefix"] =
-        serde_json::json!(dir.join("out").to_str().unwrap());
+    json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
     std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
 
-    let output = Command::new(bin())
-        .arg(scenario.to_str().unwrap())
-        .output()
-        .expect("run scenario");
+    let output =
+        Command::new(bin()).arg(scenario.to_str().unwrap()).output().expect("run scenario");
     assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("PGV max"), "stdout: {stdout}");
@@ -94,10 +91,7 @@ fn no_arguments_prints_usage() {
 fn unknown_model_is_rejected() {
     let dir = workdir("badmodel");
     let scenario = dir.join("scenario.json");
-    Command::new(bin())
-        .args(["--write-example", scenario.to_str().unwrap()])
-        .status()
-        .unwrap();
+    Command::new(bin()).args(["--write-example", scenario.to_str().unwrap()]).status().unwrap();
     let mut json: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&scenario).unwrap()).unwrap();
     json["model"] = serde_json::json!("flat_earth");

@@ -10,11 +10,8 @@ use swquake::model::TangshanModel;
 use swquake::source::{m0_from_mw, MomentTensor, PointSource, SourceTimeFunction};
 
 fn scenario(dims: Dims3, dx: f64, steps: usize) -> (TangshanModel, SimConfig) {
-    let model = TangshanModel::with_extent(
-        dims.nx as f64 * dx,
-        dims.ny as f64 * dx,
-        dims.nz as f64 * dx,
-    );
+    let model =
+        TangshanModel::with_extent(dims.nx as f64 * dx, dims.ny as f64 * dx, dims.nz as f64 * dx);
     let mut cfg = SimConfig::new(dims, dx, steps);
     cfg.options.sponge_width = 5;
     let (ex, ey) = model.epicenter();
@@ -46,17 +43,16 @@ fn fig6_criterion_compressed_seismograms_match() {
     let (model, cfg) = scenario(dims, 500.0, 250);
     // coarse pass at half resolution for the statistics (Fig. 5a)
     let (cmodel, ccfg) = scenario(Dims3::new(20, 20, 8), 1000.0, 125);
-    let mut coarse = Simulation::new(&cmodel, &ccfg);
+    let mut coarse = Simulation::new(&cmodel, &ccfg).expect("valid config");
     coarse.run(ccfg.steps);
-    let stats =
-        swquake::core::driver::rescale_coarse_stats(coarse.collect_stats(), 1000.0, 500.0);
+    let stats = swquake::core::driver::rescale_coarse_stats(coarse.collect_stats(), 1000.0, 500.0);
 
-    let mut reference = Simulation::new(&model, &cfg);
+    let mut reference = Simulation::new(&model, &cfg).expect("valid config");
     reference.run(cfg.steps);
     let mut comp_cfg = cfg.clone();
     comp_cfg.compression = true;
     comp_cfg.compression_stats = stats;
-    let mut compressed = Simulation::new(&model, &comp_cfg);
+    let mut compressed = Simulation::new(&model, &comp_cfg).expect("valid config");
     compressed.run(cfg.steps);
 
     assert!(!compressed.state.has_blown_up());
@@ -68,10 +64,7 @@ fn fig6_criterion_compressed_seismograms_match() {
         assert!(misfit > 0.0, "{name}: compression must be lossy");
         // peaks agree within 15 %
         let (pr, pc) = (r.peak_horizontal(), c.peak_horizontal());
-        assert!(
-            (pr - pc).abs() / pr < 0.15,
-            "{name}: peaks {pr} vs {pc} diverge"
-        );
+        assert!((pr - pc).abs() / pr < 0.15, "{name}: peaks {pr} vs {pc} diverge");
     }
 }
 
@@ -82,18 +75,18 @@ fn file_restart_is_bit_exact_with_compression() {
     let dims = Dims3::new(24, 24, 12);
     let (model, mut cfg) = scenario(dims, 500.0, 120);
     cfg.compression = true; // self-calibrating codecs
-    let mut reference = Simulation::new(&model, &cfg);
+    let mut reference = Simulation::new(&model, &cfg).expect("valid config");
     reference.run(120);
 
     let path = std::env::temp_dir().join("swquake_test_restart.swq");
     {
-        let mut first = Simulation::new(&model, &cfg);
+        let mut first = Simulation::new(&model, &cfg).expect("valid config");
         first.run(60);
         first.make_checkpoint().write_file(&path).unwrap();
     }
     let ckpt = Checkpoint::read_file(&path).unwrap().unwrap();
-    let mut resumed = Simulation::new(&model, &cfg);
-    resumed.restore(&ckpt);
+    let mut resumed = Simulation::new(&model, &cfg).expect("valid config");
+    resumed.restore(&ckpt).expect("matching checkpoint");
     resumed.run(60);
     std::fs::remove_file(&path).ok();
 
@@ -120,7 +113,7 @@ fn compressed_fields_halve_memory() {
 fn lz4_checkpoints_shrink_quiet_states() {
     let dims = Dims3::new(24, 24, 12);
     let (model, cfg) = scenario(dims, 500.0, 0);
-    let sim = Simulation::new(&model, &cfg);
+    let sim = Simulation::new(&model, &cfg).expect("valid config");
     let ckpt = sim.make_checkpoint();
     let encoded = ckpt.encode().len();
     assert!(

@@ -36,9 +36,9 @@ fn demanding_config() -> SimConfig {
 fn check_equivalence(grid: RankGrid) {
     let model = LayeredModel::north_china();
     let cfg = demanding_config();
-    let mut single = Simulation::new(&model, &cfg);
+    let mut single = Simulation::new(&model, &cfg).expect("valid config");
     single.run(cfg.steps);
-    let multi = run_multirank(&model, &cfg, grid);
+    let multi = run_multirank(&model, &cfg, grid).expect("valid config");
     // Seismograms: every sample bit-identical.
     for s in single.seismo.seismograms() {
         let m = multi
@@ -94,10 +94,10 @@ fn uneven_decomposition_matches() {
         moment: MomentTensor::explosion(1.0e13),
         stf: SourceTimeFunction::Gaussian { delay: 0.1, sigma: 0.03 },
     }];
-    let mut single = Simulation::new(&model, &cfg);
+    let mut single = Simulation::new(&model, &cfg).expect("valid config");
     single.run(cfg.steps);
     // 7 and 3 do not divide 30/28 evenly.
-    let multi = run_multirank(&model, &cfg, RankGrid::new(7, 3));
+    let multi = run_multirank(&model, &cfg, RankGrid::new(7, 3)).expect("valid config");
     for x in 0..dims.nx {
         for y in 0..dims.ny {
             assert_eq!(single.pgv.at(x, y), multi.pgv.at(x, y), "PGV differs at ({x},{y})");
@@ -110,9 +110,9 @@ fn uneven_decomposition_matches() {
 fn flops_are_decomposition_invariant() {
     let model = LayeredModel::north_china();
     let cfg = demanding_config();
-    let mut single = Simulation::new(&model, &cfg);
+    let mut single = Simulation::new(&model, &cfg).expect("valid config");
     single.run(cfg.steps);
-    let multi = run_multirank(&model, &cfg, RankGrid::new(2, 2));
+    let multi = run_multirank(&model, &cfg, RankGrid::new(2, 2)).expect("valid config");
     let rel = (single.flops.flops - multi.flops).abs() / single.flops.flops;
     assert!(rel < 1e-9, "flop totals differ by {rel}");
 }

@@ -34,9 +34,11 @@ fn p_wave_travels_at_vp() {
     let mut cfg = explosion_cfg(dims, dx, 0);
     // a short pulse (~300 m) so the probes sit in the pulse's far field
     cfg.sources[0].stf = SourceTimeFunction::Gaussian { delay: 0.05, sigma: 0.012 };
-    let mut sim = Simulation::new(&model, &cfg);
-    let probes = [(dims.nx / 2 + 10, dims.ny / 2, dims.nz / 2),
-                  (dims.nx / 2 + 24, dims.ny / 2, dims.nz / 2)];
+    let mut sim = Simulation::new(&model, &cfg).expect("valid config");
+    let probes = [
+        (dims.nx / 2 + 10, dims.ny / 2, dims.nz / 2),
+        (dims.nx / 2 + 24, dims.ny / 2, dims.nz / 2),
+    ];
     let mut peaks = [(0.0f32, 0.0f64); 2];
     // Track only through the direct-arrival window (near probe 0.22 s,
     // far probe 0.45 s): later surface reflections are larger at the
@@ -65,7 +67,7 @@ fn explosion_is_compressional_on_axis() {
     let dims = Dims3::new(40, 32, 32);
     let model = HalfspaceModel::hard_rock();
     let cfg = explosion_cfg(dims, 100.0, 0);
-    let mut sim = Simulation::new(&model, &cfg);
+    let mut sim = Simulation::new(&model, &cfg).expect("valid config");
     let (px, py, pz) = (dims.nx / 2 + 10, dims.ny / 2, dims.nz / 2);
     let mut radial = 0.0f32;
     let mut tangential = 0.0f32;
@@ -95,8 +97,8 @@ fn sponge_absorbs_outgoing_energy() {
     damped_cfg.options.sponge_width = 6;
     let mut undamped_cfg = explosion_cfg(dims, 100.0, 0);
     undamped_cfg.options.sponge_width = 0;
-    let mut damped = Simulation::new(&model, &damped_cfg);
-    let mut undamped = Simulation::new(&model, &undamped_cfg);
+    let mut damped = Simulation::new(&model, &damped_cfg).expect("valid config");
+    let mut undamped = Simulation::new(&model, &undamped_cfg).expect("valid config");
     // run long enough for the wave to hit the boundary several times
     for _ in 0..80 {
         damped.step();
@@ -130,9 +132,9 @@ fn attenuation_reduces_amplitudes() {
     elastic_cfg.options.attenuation = false;
     let mut lossy_cfg = cfg.clone();
     lossy_cfg.options.attenuation = true;
-    let mut elastic = Simulation::new(&elastic_model, &elastic_cfg);
+    let mut elastic = Simulation::new(&elastic_model, &elastic_cfg).expect("valid config");
     elastic.run(cfg.steps);
-    let mut lossy = Simulation::new(&lossy_model, &lossy_cfg);
+    let mut lossy = Simulation::new(&lossy_model, &lossy_cfg).expect("valid config");
     lossy.run(cfg.steps);
     let pe = elastic.seismo.get("P").unwrap().peak_horizontal();
     let pl = lossy.seismo.get("P").unwrap().peak_horizontal();
@@ -151,7 +153,7 @@ fn plasticity_caps_stress_and_accumulates_strain() {
     cfg.options.nonlinear = true;
     // huge source so yielding definitely happens
     cfg.sources[0].moment = MomentTensor::double_couple(30.0, 90.0, 180.0, 5.0e16);
-    let mut sim = Simulation::new(&model, &cfg);
+    let mut sim = Simulation::new(&model, &cfg).expect("valid config");
     sim.run(cfg.steps);
     assert!(!sim.state.has_blown_up());
     let s = &sim.state;
@@ -180,7 +182,7 @@ fn free_surface_amplifies() {
     let model = HalfspaceModel::hard_rock();
     let mut cfg = explosion_cfg(dims, 100.0, 150);
     cfg.sources[0].iz = 12; // 1200 m deep
-    let mut sim = Simulation::new(&model, &cfg);
+    let mut sim = Simulation::new(&model, &cfg).expect("valid config");
     let mut surf_peak = 0.0f32;
     let mut deep_peak = 0.0f32;
     for _ in 0..cfg.steps {

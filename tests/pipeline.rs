@@ -6,7 +6,6 @@ use swquake::core::framework::UnifiedFramework;
 use swquake::core::hazard::HazardMap;
 use swquake::core::{SimConfig, Simulation};
 use swquake::grid::Dims3;
-use swquake::io::Station;
 use swquake::model::{HalfspaceModel, TangshanModel, VelocityModel};
 use swquake::parallel::RankGrid;
 use swquake::rupture::{dynamics::RuptureParams, FaultGeometry, RuptureSolver, TectonicStress};
@@ -40,7 +39,7 @@ fn tangshan_pipeline(rank_grid: RankGrid) -> (TangshanModel, UnifiedFramework) {
 #[test]
 fn complete_cycle_produces_consistent_artifacts() {
     let (model, fw) = tangshan_pipeline(RankGrid::new(2, 2));
-    let out = fw.run(&model, RankGrid::new(2, 2), &[1.5]);
+    let out = fw.run(&model, RankGrid::new(2, 2), &[1.5]).expect("valid config");
     // rupture happened and radiated
     assert!(out.rupture.ruptured_fraction() > 0.5);
     assert!(out.waves.pgv.max() > 1e-5);
@@ -83,9 +82,9 @@ fn sediment_basin_amplifies_ground_motion() {
         moment: MomentTensor::double_couple(30.0, 90.0, 180.0, m0_from_mw(5.0)),
         stf: SourceTimeFunction::Triangle { onset: 0.2, duration: 0.8 },
     }];
-    let mut basin = Simulation::new(&basin_model, &cfg);
+    let mut basin = Simulation::new(&basin_model, &cfg).expect("valid config");
     basin.run(cfg.steps);
-    let mut rock = Simulation::new(&rock_model, &cfg);
+    let mut rock = Simulation::new(&rock_model, &cfg).expect("valid config");
     rock.run(cfg.steps);
     assert!(
         basin.pgv.max() > 1.5 * rock.pgv.max(),
@@ -120,7 +119,7 @@ fn finer_resolution_changes_basin_hazard() {
             moment: MomentTensor::double_couple(30.0, 90.0, 180.0, m0_from_mw(5.5)),
             stf: SourceTimeFunction::Triangle { onset: 0.2, duration: 0.7 },
         }];
-        let mut sim = Simulation::new(&model, &cfg);
+        let mut sim = Simulation::new(&model, &cfg).expect("valid config");
         sim.run(cfg.steps);
         (dims, HazardMap::from_pgv(&sim.pgv, dims.nx, dims.ny))
     };
@@ -149,7 +148,7 @@ fn finer_resolution_changes_basin_hazard() {
 #[test]
 fn moment_is_conserved_through_the_pipeline() {
     let (model, fw) = tangshan_pipeline(RankGrid::new(1, 1));
-    let (rupture, sim) = fw.run_single(&model, &[]);
+    let (rupture, sim) = fw.run_single(&model, &[]).expect("valid config");
     let m0_rupture =
         rupture.total_moment(fw.rupture.params.shear_modulus, fw.rupture.geometry.cell_area());
     let m0_sources: f64 = sim.sources.iter().map(|s| s.moment.scalar_moment()).sum();

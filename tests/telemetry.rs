@@ -1,0 +1,149 @@
+//! End-to-end telemetry coverage: a quickstart-scale run must emit
+//! metrics for every instrumented subsystem, the JSON report must
+//! round-trip through its stable schema, and a disabled [`Telemetry`]
+//! must not change a single output bit.
+
+use swquake::core::driver::run_multirank;
+use swquake::core::{SimConfig, Simulation};
+use swquake::grid::Dims3;
+use swquake::model::HalfspaceModel;
+use swquake::parallel::RankGrid;
+use swquake::source::{MomentTensor, PointSource, SourceTimeFunction};
+use swquake::telemetry::{Report, Telemetry};
+
+fn quickstart_config(steps: usize) -> SimConfig {
+    let mut cfg =
+        SimConfig::new(Dims3::new(32, 32, 24), 200.0, steps).with_sources(vec![PointSource {
+            ix: 16,
+            iy: 16,
+            iz: 12,
+            moment: MomentTensor::explosion(1.0e14),
+            stf: SourceTimeFunction::Gaussian { delay: 0.15, sigma: 0.04 },
+        }]);
+    cfg.options.attenuation = false;
+    cfg
+}
+
+/// The quickstart run, with every optional subsystem switched on, must
+/// populate metrics from all five instrumented layers: the step driver,
+/// the modeled SW26010 hardware, the compression codecs, checkpoint
+/// I/O, and (below, in the multirank test) the halo fabric.
+#[test]
+fn quickstart_emits_metrics_for_every_phase() {
+    let telemetry = Telemetry::enabled();
+    let mut cfg = quickstart_config(10).with_compression(true).with_telemetry(telemetry.clone());
+    cfg.options.nonlinear = true;
+    cfg.checkpoint_interval = 5;
+    let model = HalfspaceModel::hard_rock();
+    let mut sim = Simulation::new(&model, &cfg).expect("valid config");
+    sim.run(cfg.steps);
+
+    let report = sim.metrics();
+    // Step driver: one timer per kernel phase, plus per-step series.
+    for phase in [
+        "step",
+        "step.free_surface",
+        "step.velocity",
+        "step.stress",
+        "step.source",
+        "step.plasticity",
+        "step.sponge",
+        "step.compression",
+        "step.record",
+    ] {
+        let t = report.timer(phase).unwrap_or_else(|| panic!("missing timer {phase}"));
+        assert!(t.calls > 0, "{phase} never fired");
+    }
+    assert_eq!(report.series("step.wall_s").expect("step.wall_s series").pushed, 10);
+    assert_eq!(report.series("step.flops").expect("step.flops series").pushed, 10);
+
+    // Modeled SW26010 hardware charges.
+    assert!(report.counter("arch.dma_bytes.dvelcx").expect("dma counter") > 0);
+    assert!(report.counter("arch.model_cycles.dvelcx").expect("cycle counter") > 0);
+    assert!(report.gauge("arch.ldm_high_water_bytes").expect("ldm gauge").last > 0.0);
+
+    // Compression codecs.
+    assert!(report.timer("compress.encode").expect("encode timer").calls > 0);
+    assert!(report.timer("compress.decode").expect("decode timer").calls > 0);
+    let raw = report.counter("compress.raw_bytes").expect("raw bytes");
+    let enc = report.counter("compress.encoded_bytes").expect("encoded bytes");
+    assert_eq!(raw, 2 * enc, "16-bit codec halves the footprint");
+    assert!(report.gauge("compress.max_roundtrip_error").is_some());
+
+    // Checkpoint I/O (interval 5 over 10 steps -> 2 checkpoints).
+    assert_eq!(report.counter("io.checkpoints"), Some(2));
+    assert!(report.counter("io.checkpoint_bytes").expect("checkpoint bytes") > 0);
+
+    // Both the simulation accessor and the shared handle see one store.
+    assert_eq!(telemetry.report(), report);
+}
+
+/// A multi-rank run must report per-rank halo pack/wait/unpack timings
+/// and fabric byte counts.
+#[test]
+fn multirank_run_reports_halo_fabric_metrics() {
+    let telemetry = Telemetry::enabled();
+    let cfg = quickstart_config(6).with_telemetry(telemetry.clone());
+    let model = HalfspaceModel::hard_rock();
+    let out = run_multirank(&model, &cfg, RankGrid::new(2, 1)).expect("valid config");
+    assert!(out.flops > 0.0);
+
+    let report = telemetry.report();
+    for rank in 0..2 {
+        for stage in ["pack", "wait", "unpack"] {
+            let name = format!("halo.{stage}.rank{rank}");
+            assert!(report.timer(&name).is_some(), "missing {name}");
+        }
+        assert!(report.counter(&format!("halo.bytes_sent.rank{rank}")).expect("rank bytes") > 0);
+    }
+    let total: u64 =
+        (0..2).map(|r| report.counter(&format!("halo.bytes_sent.rank{r}")).unwrap()).sum();
+    assert_eq!(report.counter("halo.bytes_sent"), Some(total));
+}
+
+/// The JSON report must survive a serialize/deserialize round trip
+/// unchanged — the schema is a contract for external tooling.
+#[test]
+fn report_json_round_trips_through_stable_schema() {
+    let telemetry = Telemetry::enabled();
+    let cfg = quickstart_config(4).with_telemetry(telemetry.clone());
+    let model = HalfspaceModel::hard_rock();
+    let mut sim = Simulation::new(&model, &cfg).expect("valid config");
+    sim.run(cfg.steps);
+
+    let report = sim.metrics();
+    let json = report.to_json();
+    assert!(json.contains("\"schema_version\""));
+    let back = Report::from_json(&json).expect("report parses back");
+    assert_eq!(back, report);
+    // Stable ordering: serializing the parsed copy is byte-identical.
+    assert_eq!(back.to_json(), json);
+}
+
+/// Disabling telemetry must not change one bit of the physics output:
+/// seismograms and the PGV field of a plain run and an instrumented run
+/// are compared exactly, with compression on so the instrumented
+/// round-trip codec path is exercised too.
+#[test]
+fn disabled_telemetry_changes_no_output_bit() {
+    let model = HalfspaceModel::hard_rock();
+    let mut cfg = quickstart_config(12)
+        .with_compression(true)
+        .with_stations(vec![swquake::io::Station { name: "s0".into(), ix: 20, iy: 20 }]);
+    cfg.options.nonlinear = true;
+
+    let mut plain = Simulation::new(&model, &cfg).expect("valid config");
+    plain.run(cfg.steps);
+    let instrumented_cfg = cfg.clone().with_telemetry(Telemetry::enabled());
+    let mut instrumented = Simulation::new(&model, &instrumented_cfg).expect("valid config");
+    instrumented.run(cfg.steps);
+
+    assert_eq!(plain.state.u.max_abs_diff(&instrumented.state.u), 0.0);
+    assert_eq!(plain.state.xx.max_abs_diff(&instrumented.state.xx), 0.0);
+    assert_eq!(plain.pgv.pgv, instrumented.pgv.pgv);
+    let a = &plain.seismo.seismograms()[0].samples;
+    let b = &instrumented.seismo.seismograms()[0].samples;
+    assert_eq!(a, b, "station samples must match bit for bit");
+    // And the plain run recorded nothing.
+    assert!(plain.metrics().timers.is_empty());
+}

@@ -1,0 +1,119 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the small slice-parallelism surface the kernels use
+//! (`par_chunks_mut` + `zip`/`enumerate`/`skip`/`take`/`for_each`) with
+//! genuine multi-threading: items are materialized, round-robined into one
+//! bucket per hardware thread, and executed under [`std::thread::scope`].
+//! Because each item is processed by exactly one closure call (same as
+//! rayon), kernel results remain bit-identical to the serial versions.
+
+/// Number of worker threads the pool would use (hardware parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::{Par, ParallelSliceMut};
+}
+
+/// A "parallel" iterator: wraps a std iterator, deferring the actual
+/// fan-out to [`Par::for_each`].
+pub struct Par<I> {
+    inner: I,
+}
+
+/// Entry point mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel version of `chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par { inner: self.chunks_mut(chunk_size) }
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    /// Pair up with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par { inner: self.inner.zip(other.inner) }
+    }
+
+    /// Attach item indices.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par { inner: self.inner.enumerate() }
+    }
+
+    /// Drop the first `n` items.
+    pub fn skip(self, n: usize) -> Par<std::iter::Skip<I>> {
+        Par { inner: self.inner.skip(n) }
+    }
+
+    /// Keep at most `n` items.
+    pub fn take(self, n: usize) -> Par<std::iter::Take<I>> {
+        Par { inner: self.inner.take(n) }
+    }
+
+    /// Run `f` once per item across the thread pool.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        let items: Vec<I::Item> = self.inner.collect();
+        if items.is_empty() {
+            return;
+        }
+        let workers = current_num_threads().min(items.len());
+        if workers <= 1 {
+            items.into_iter().for_each(f);
+            return;
+        }
+        let mut buckets: Vec<Vec<I::Item>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            buckets[i % workers].push(item);
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for bucket in buckets {
+                s.spawn(move || {
+                    for item in bucket {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_for_each_touches_every_element_once() {
+        let mut data = vec![0u32; 1003];
+        data.par_chunks_mut(17).for_each(|chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn zip_enumerate_skip_take_matches_serial() {
+        let mut a = vec![0i64; 64];
+        let mut b = vec![0i64; 64];
+        a.par_chunks_mut(8).zip(b.par_chunks_mut(8)).enumerate().skip(1).take(5).for_each(
+            |(i, (ca, cb))| {
+                ca[0] = i as i64;
+                cb[0] = -(i as i64);
+            },
+        );
+        let touched: Vec<i64> = a.iter().step_by(8).copied().collect();
+        assert_eq!(touched, vec![0, 1, 2, 3, 4, 5, 0, 0]);
+        assert_eq!(b[8], -1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Helpers the derive-generated `Deserialize` impls call into.
+
+use crate::{Deserialize, Error, Value};
+
+/// Pull a named field out of an object and deserialize it.
+///
+/// A missing key deserializes from `Null`, so `Option<T>` fields default
+/// to `None` instead of erroring (matching serde's `default` behaviour
+/// for optionals as used in this workspace).
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    let inner = match v {
+        Value::Object(_) => v.get(name).unwrap_or(&Value::Null),
+        other => return Err(Error::expected("object", other)),
+    };
+    T::from_value(inner).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+}
+
+/// Split an externally-tagged enum value into `(tag, inner)`.
+///
+/// A bare string is a unit variant (`inner` is `Null`); a single-key
+/// object is a data-carrying variant.
+pub fn variant(v: &Value) -> Result<(&str, &Value), Error> {
+    match v {
+        Value::String(tag) => Ok((tag, &Value::Null)),
+        Value::Object(o) if o.len() == 1 => Ok((&o[0].0, &o[0].1)),
+        other => Err(Error::expected("enum (string or single-key object)", other)),
+    }
+}
+
+/// Deserialize the `i`-th element of a tuple-variant payload.
+pub fn element<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
+    let arr = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+    let item = arr.get(i).ok_or_else(|| Error::custom(format!("missing tuple element {i}")))?;
+    T::from_value(item).map_err(|e| Error::custom(format!("element {i}: {e}")))
+}

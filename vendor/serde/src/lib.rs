@@ -1,0 +1,68 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! a minimal serialization layer with serde's *surface* (the `Serialize` /
+//! `Deserialize` traits plus `#[derive(Serialize, Deserialize)]`) but a
+//! much simpler data model: every serializable type converts to and from a
+//! single JSON-like [`Value`] tree. `serde_json` (also vendored) renders
+//! that tree to text and parses it back.
+//!
+//! The simplification is deliberate: the repo only ever serializes plain
+//! data structs to JSON, so the zero-copy/streaming machinery of real
+//! serde buys nothing here, while the Value tree keeps the derive macro
+//! small enough to hand-roll without `syn`.
+
+pub mod de;
+mod impls;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+/// Serialize into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Build `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// A (de)serialization error: a plain message, like `serde_json::Error`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// "expected X" error, used pervasively by the impls.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self { msg: format!("expected {what}, got {}", got.kind()) }
+    }
+
+    /// Unknown enum variant error (used by the derive macro).
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        Self { msg: format!("unknown variant `{tag}` for {ty}") }
+    }
+
+    /// Missing object key error.
+    pub fn missing_field(name: &str) -> Self {
+        Self { msg: format!("missing field `{name}`") }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,414 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `serde_derive` (and its `syn`/`quote` dependency tree) cannot be
+//! fetched. This crate re-implements the two derive macros against the
+//! repo's mini-`serde` (see `vendor/serde`), whose data model is a single
+//! JSON-like [`Value`] tree:
+//!
+//! * `#[derive(Serialize)]` generates `fn to_value(&self) -> serde::Value`
+//! * `#[derive(Deserialize)]` generates `fn from_value(&Value) -> Result<Self, serde::Error>`
+//!
+//! Supported shapes — everything this workspace actually derives on:
+//!
+//! * structs with named fields → JSON objects keyed by field name;
+//! * enums with unit variants → JSON strings (`"West"`);
+//! * enums with struct variants → externally tagged single-key objects
+//!   (`{"Gaussian": {"delay": …, "sigma": …}}`), matching real serde;
+//! * enums with tuple variants → `{"Tag": value}` (newtype) or
+//!   `{"Tag": [v0, v1, …]}`.
+//!
+//! Generics, `#[serde(...)]` attributes, and tuple structs are not
+//! supported and fail with a compile error naming the limitation, so a
+//! future use of them is an explicit decision rather than silent
+//! misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: just its name (types are handled by trait dispatch).
+struct Field {
+    name: String,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Named fields.
+    Struct(Vec<Field>),
+    /// Number of unnamed fields.
+    Tuple(usize),
+}
+
+/// The parsed item the derive is attached to.
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if *id.to_string() == *"struct" => "struct",
+        Some(TokenTree::Ident(id)) if *id.to_string() == *"enum" => "enum",
+        other => return Err(format!("derive expects a struct or enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "mini serde_derive does not support generic type `{name}` — \
+                 implement Serialize/Deserialize by hand"
+            ));
+        }
+    }
+    let body = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ if kind == "struct" => {
+            return Err(format!(
+                "mini serde_derive supports only structs with named fields \
+                 (type `{name}`) — implement the traits by hand"
+            ))
+        }
+        other => return Err(format!("expected `{{` body for `{name}`, found {other:?}")),
+    };
+    if kind == "struct" {
+        Ok(Item::Struct { name, fields: parse_named_fields(body)? })
+    } else {
+        Ok(Item::Enum { name, variants: parse_variants(body)? })
+    }
+}
+
+/// Skip outer attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if let Some(TokenTree::Group(_)) = tokens.get(*i) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, name: Type, ...` from a brace group's stream.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        // Consume the type up to a top-level comma (commas inside <...>
+        // or delimited groups belong to the type).
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name });
+    }
+    Ok(fields)
+}
+
+/// Parse enum variants from a brace group's stream.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_items(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Count comma-separated items at the top level of a stream.
+fn count_top_level_items(body: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => n += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        n + 1
+    } else {
+        n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "obj.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "#[automatically_derived]\n#[allow(clippy::all, unused_mut, unused_variables)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "inner.push(({:?}.to_string(), \
+                                 ::serde::Serialize::to_value({})));\n",
+                                f.name, f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                                 let mut inner: ::std::vec::Vec<(::std::string::String, \
+                                     ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                                     ::serde::Value::Object(inner))])\n\
+                             }},\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}\
+                             .to_string(), {payload})]),\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n#[allow(clippy::all, unused_mut, unused_variables)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{}: ::serde::de::field(v, {:?})?,\n", f.name, f.name));
+            }
+            format!(
+                "#[automatically_derived]\n#[allow(clippy::all, unused_mut, unused_variables)]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok(Self {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{}: ::serde::de::field(inner, {:?})?,\n",
+                                f.name, f.name
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{\n{inits}}}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        if *n == 1 {
+                            tagged_arms.push_str(&format!(
+                                "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(inner)?)),\n"
+                            ));
+                        } else {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::de::element(inner, {k})?"))
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "{vn:?} => ::std::result::Result::Ok({name}::{vn}({})),\n",
+                                gets.join(", ")
+                            ));
+                        }
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\n#[allow(clippy::all, unused_mut, unused_variables)]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                             match s {{\n{unit_arms}\
+                                 _ => return ::std::result::Result::Err(\
+                                     ::serde::Error::unknown_variant(s, {name:?})),\n\
+                             }}\n\
+                         }}\n\
+                         let (tag, inner) = ::serde::de::variant(v)?;\n\
+                         match tag {{\n{tagged_arms}\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::Error::unknown_variant(tag, {name:?})),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
