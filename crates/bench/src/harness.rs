@@ -5,17 +5,25 @@
 //! files source-compatible. Each `bench_function` runs a short warmup,
 //! then `sample_size` timed samples, and prints the median time per
 //! iteration plus derived throughput.
+//!
+//! Every benchmark also lands as a [`BenchRecord`] in the harness's
+//! [`BenchReport`] (the stable `BENCH_<name>.json` schema from
+//! `sw_telemetry::bench`), so a run can be saved with
+//! [`Criterion::save_json`] and compared against a baseline with
+//! `swquake bench-diff` — the CI perf-regression gate.
 
 use std::time::Instant;
+use sw_telemetry::bench::{BenchRecord, BenchReport};
 
 /// Harness entry point; mirrors `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
+    report: BenchReport,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 20 }
+        Self { sample_size: 20, report: BenchReport::new() }
     }
 }
 
@@ -29,7 +37,28 @@ impl Criterion {
     /// Start a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\n== {name} ==");
-        BenchmarkGroup { criterion: self, throughput: None }
+        BenchmarkGroup { group: name.to_string(), criterion: self, throughput: None }
+    }
+
+    /// Everything recorded so far, in registration order.
+    pub fn report(&self) -> &BenchReport {
+        &self.report
+    }
+
+    /// Write the accumulated records as `BENCH_<name>.json`-schema JSON.
+    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.report.write_file(path)
+    }
+}
+
+/// Write `criterion`'s records to `$SWQUAKE_BENCH_JSON` when that
+/// variable is set; the `criterion_group!` macro calls this after the
+/// targets run so every bench binary can emit a `BENCH_<name>.json`.
+pub fn save_if_requested(criterion: &Criterion) {
+    if let Some(path) = std::env::var_os("SWQUAKE_BENCH_JSON") {
+        let path = std::path::PathBuf::from(path);
+        criterion.save_json(&path).expect("failed to write bench JSON");
+        println!("\nwrote {}", path.display());
     }
 }
 
@@ -67,6 +96,7 @@ impl From<&str> for BenchmarkId {
 
 /// A group of related benchmarks sharing a throughput declaration.
 pub struct BenchmarkGroup<'a> {
+    group: String,
     criterion: &'a mut Criterion,
     throughput: Option<Throughput>,
 }
@@ -77,16 +107,23 @@ impl BenchmarkGroup<'_> {
         self.throughput = Some(t);
     }
 
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.criterion.sample_size };
+        f(&mut b);
+        let name = format!("{}/{label}", self.group);
+        let record = b.record(&name, self.throughput);
+        b.print(label, &record, self.throughput);
+        self.criterion.report.records.push(record);
+    }
+
     /// Run one benchmark.
-    pub fn bench_function<I, F>(&mut self, id: I, mut f: F)
+    pub fn bench_function<I, F>(&mut self, id: I, f: F)
     where
         I: Into<BenchmarkId>,
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { samples: Vec::new(), sample_size: self.criterion.sample_size };
-        f(&mut b);
-        b.report(&id.label, self.throughput);
+        self.run(&id.label, f);
     }
 
     /// Run one benchmark parameterized by an input.
@@ -94,9 +131,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { samples: Vec::new(), sample_size: self.criterion.sample_size };
-        f(&mut b, input);
-        b.report(&id.label, self.throughput);
+        self.run(&id.label, |b| f(b, input));
     }
 
     /// End the group (printing already happened per-benchmark).
@@ -123,23 +158,44 @@ impl Bencher {
         }
     }
 
-    fn report(&self, label: &str, throughput: Option<Throughput>) {
-        if self.samples.is_empty() {
+    /// Fold the timed samples into one schema record.
+    fn record(&self, name: &str, throughput: Option<Throughput>) -> BenchRecord {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = if sorted.is_empty() { 0.0 } else { sorted[sorted.len() / 2] };
+        let mean =
+            if sorted.is_empty() { 0.0 } else { sorted.iter().sum::<f64>() / sorted.len() as f64 };
+        let (tp, unit) = match throughput {
+            Some(Throughput::Elements(n)) => (n as f64, "elements"),
+            Some(Throughput::Bytes(n)) => (n as f64, "bytes"),
+            None => (0.0, ""),
+        };
+        BenchRecord {
+            name: name.to_string(),
+            samples: sorted.len() as u64,
+            median_s: median,
+            mean_s: mean,
+            min_s: sorted.first().copied().unwrap_or(0.0),
+            max_s: sorted.last().copied().unwrap_or(0.0),
+            throughput: tp,
+            throughput_unit: unit.to_string(),
+        }
+    }
+
+    fn print(&self, label: &str, record: &BenchRecord, throughput: Option<Throughput>) {
+        if record.samples == 0 {
             println!("{label:<32} (no samples)");
             return;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median = sorted[sorted.len() / 2];
         let line = match throughput {
             Some(Throughput::Elements(n)) => {
-                format!("{:>10.2} Melem/s", n as f64 / median / 1e6)
+                format!("{:>10.2} Melem/s", n as f64 / record.median_s / 1e6)
             }
             Some(Throughput::Bytes(n)) => {
-                format!("{:>10.2} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+                format!("{:>10.2} MiB/s", n as f64 / record.median_s / (1024.0 * 1024.0))
             }
             None => String::new(),
         };
-        println!("{label:<32} {:>12.3} us/iter {line}", median * 1e6);
+        println!("{label:<32} {:>12.3} us/iter {line}", record.median_s * 1e6);
     }
 }

@@ -55,18 +55,24 @@ pub mod harness;
 
 /// Declare a benchmark entry function from a config + target list
 /// (criterion-compatible surface for the vendored mini-harness).
+///
+/// When `SWQUAKE_BENCH_JSON` is set, the accumulated records are also
+/// written to that path in the `BENCH_<name>.json` schema, ready for
+/// `swquake bench-diff`.
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
         fn $name() {
             let mut criterion = $config;
             $( $target(&mut criterion); )+
+            $crate::harness::save_if_requested(&criterion);
         }
     };
     ($name:ident, $($target:path),+ $(,)?) => {
         fn $name() {
             let mut criterion = $crate::harness::Criterion::default();
             $( $target(&mut criterion); )+
+            $crate::harness::save_if_requested(&criterion);
         }
     };
 }

@@ -26,6 +26,7 @@ use crate::kernels;
 use crate::state::{SolverState, StateOptions};
 use std::time::Instant;
 use sw_arch::analytic::{AnalyticModel, KernelShape};
+use sw_arch::regcomm::RegisterMesh;
 use sw_arch::spec::CoreGroupSpec;
 use sw_arch::{KernelPerfModel, OptLevel};
 use sw_compress::{Codec, Codec16, FieldStats};
@@ -161,10 +162,27 @@ impl SimConfig {
 }
 
 /// Per-step modeled SW26010 hardware charges, precomputed at construction
-/// from the §6.4 perf model so the per-step cost is a few counter adds.
+/// from the §6.4 perf model so the per-step cost is a few counter adds
+/// (plus one instant trace event per kernel when a tracer is attached).
+struct ArchKernelCharge {
+    /// `arch.dma_bytes.<kernel>` counter name.
+    bytes_name: String,
+    /// `arch.model_cycles.<kernel>` counter name.
+    cycles_name: String,
+    /// `arch.dma.<kernel>` instant-event name.
+    event_name: String,
+    /// Modeled DMA bytes per step.
+    bytes: u64,
+    /// Modeled CPE cycles per step.
+    cycles: u64,
+}
+
 struct ArchCharges {
-    /// `(bytes counter, cycles counter, DMA bytes/step, cycles/step)`.
-    kernels: Vec<(String, String, u64, u64)>,
+    kernels: Vec<ArchKernelCharge>,
+    /// On-chip halo-exchange rounds per step (stress + velocity, §6.4).
+    regcomm_rounds: u64,
+    /// Register-bus cycles per round, from [`RegisterMesh::halo_round`].
+    regcomm_cycles_per_round: u64,
 }
 
 impl ArchCharges {
@@ -182,22 +200,37 @@ impl ArchCharges {
                 let touched = points * k.coverage;
                 let bytes = touched * k.bytes_per_point() * ratio;
                 let cycles = touched * model.seconds_per_point(k, level) * clock;
-                (
-                    format!("arch.dma_bytes.{}", k.name),
-                    format!("arch.model_cycles.{}", k.name),
-                    bytes as u64,
-                    cycles as u64,
-                )
+                ArchKernelCharge {
+                    bytes_name: format!("arch.dma_bytes.{}", k.name),
+                    cycles_name: format!("arch.model_cycles.{}", k.name),
+                    event_name: format!("arch.dma.{}", k.name),
+                    bytes: bytes as u64,
+                    cycles: cycles as u64,
+                }
             })
             .collect();
-        Self { kernels }
+        // On-chip halo traffic: each CPE hands its 2·H boundary planes of
+        // the LDM window (Wz floats each) to its neighbour, once for the
+        // velocity stencils and once for the stress stencils.
+        let choice = AnalyticModel::sw26010().optimize(&KernelShape::delcx_fused(dims.ny, dims.nz));
+        let mut mesh = RegisterMesh::sw26010();
+        let regcomm_cycles_per_round = mesh.halo_round(2 * 2 * choice.window.wz);
+        Self { kernels, regcomm_rounds: 2, regcomm_cycles_per_round }
     }
 
     fn charge(&self, tel: &Telemetry) {
-        for (bytes_name, cycles_name, bytes, cycles) in &self.kernels {
-            tel.add(bytes_name, *bytes);
-            tel.add(cycles_name, *cycles);
+        for k in &self.kernels {
+            tel.add(&k.bytes_name, k.bytes);
+            tel.add(&k.cycles_name, k.cycles);
+            tel.event(&k.event_name, &[("bytes", k.bytes as f64), ("cycles", k.cycles as f64)]);
         }
+        let cycles = self.regcomm_rounds * self.regcomm_cycles_per_round;
+        tel.add("arch.regcomm_rounds", self.regcomm_rounds);
+        tel.add("arch.regcomm_cycles", cycles);
+        tel.event(
+            "arch.regcomm",
+            &[("rounds", self.regcomm_rounds as f64), ("cycles", cycles as f64)],
+        );
     }
 }
 
@@ -328,6 +361,18 @@ impl Simulation {
         self.telemetry.report()
     }
 
+    /// The predicted-vs-simulated per-kernel attribution for this run
+    /// (see [`crate::roofline`]), joining whatever the telemetry handle
+    /// has recorded so far.
+    pub fn roofline(&self) -> crate::roofline::RooflineReport {
+        crate::roofline::attribute(
+            self.state.dims,
+            self.state.options.nonlinear,
+            self.compression.is_some(),
+            &self.metrics(),
+        )
+    }
+
     /// Advance one step (single-rank path: no halo exchange needed).
     pub fn step(&mut self) {
         let tel = self.telemetry.clone();
@@ -438,6 +483,10 @@ impl Simulation {
                 let bytes: usize = ckpt.fields.iter().map(|(_, f)| f.raw().len() * 4).sum();
                 tel.add("io.checkpoint_bytes", bytes as u64);
                 tel.add("io.checkpoints", 1);
+                tel.event(
+                    "io.checkpoint",
+                    &[("bytes", bytes as f64), ("step", self.step_count as f64)],
+                );
             }
             self.checkpoints.push(ckpt);
         }
@@ -562,6 +611,10 @@ fn roundtrip_compress_instrumented(field: &mut Field3, codec: &Codec, tel: &Tele
     tel.add("compress.encoded_bytes", (n * 2) as u64);
     tel.gauge("compress.achieved_ratio", 2.0);
     tel.gauge("compress.max_roundtrip_error", max_err);
+    tel.event(
+        "compress.roundtrip",
+        &[("raw_bytes", (n * 4) as f64), ("encoded_bytes", (n * 2) as f64)],
+    );
 }
 
 /// Output of a multi-rank run: merged observables.
@@ -593,6 +646,9 @@ pub fn run_multirank(
     let per_rank_sources = partitioner.partition(&config.sources);
     let exchanger = HaloExchanger::standard().with_telemetry(telemetry.clone());
     let results = run_ranks(grid, |comm| {
+        // Each rank thread records into its own trace lane (one process
+        // row per rank in the exported Chrome trace).
+        telemetry.tracer().bind_lane(comm.rank as u64, &format!("rank{}", comm.rank));
         let (x0, y0, local) = grid.local_span(comm.rank, global);
         let (px, py) = grid.coords_of(comm.rank);
         let mut cfg = config.clone();
@@ -862,6 +918,26 @@ mod tests {
         assert!(report.gauge("arch.ldm_high_water_bytes").unwrap().last > 0.0);
         assert_eq!(report.series("step.wall_s").unwrap().pushed, 10);
         assert_eq!(report.series("step.flops").unwrap().pushed, 10);
+    }
+
+    #[test]
+    fn roofline_joins_traced_counters_and_phase_times() {
+        let mut cfg = explosion_config(8).with_telemetry(Telemetry::enabled());
+        cfg.options.nonlinear = true;
+        let model = HalfspaceModel::hard_rock();
+        let mut sim = Simulation::new(&model, &cfg).expect("valid config");
+        sim.run(cfg.steps);
+        let r = sim.roofline();
+        assert!(r.all_within_tolerance());
+        for k in &r.kernels {
+            assert!(k.traced_dma_bytes > 0.0, "{} has no traced bytes", k.name);
+            assert!(k.traced_model_cycles > 0.0, "{} has no traced cycles", k.name);
+            assert!(k.measured_wall_s > 0.0, "{} has no wall attribution", k.name);
+        }
+        // The regcomm accounting rides along with the arch charges.
+        let report = sim.metrics();
+        assert_eq!(report.counter("arch.regcomm_rounds"), Some(2 * 8));
+        assert!(report.counter("arch.regcomm_cycles").unwrap() > 0);
     }
 
     #[test]

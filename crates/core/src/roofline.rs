@@ -1,0 +1,276 @@
+//! Roofline / attribution report: predicted vs simulated cycles per
+//! kernel (the Table 3 / Fig. 7-style breakdown).
+//!
+//! Two independent models price every FD kernel, and this module joins
+//! them with what an instrumented run actually recorded:
+//!
+//! * **predicted** — the §6.4 blocking model ([`AnalyticModel`]) prices
+//!   one DMA pass over the run's CG block for a generic fused kernel
+//!   moving the same floats per point ([`KernelShape::fused_traffic`]),
+//!   at the Table 3 block-size-dependent bandwidth;
+//! * **simulated** — the calibrated per-kernel performance model
+//!   ([`KernelPerfModel`]) with its redundancy factors and flop/issue
+//!   bounds, the same model the driver charges `arch.model_cycles.*`
+//!   counters from;
+//! * **traced** — the `arch.dma_bytes.*` / `arch.model_cycles.*`
+//!   counters and `step.*` phase timers out of a run's telemetry
+//!   [`Report`], so the table also shows what this simulation measured.
+//!
+//! The two models agree when their cycle ratio stays inside
+//! `[1/F, F]` with `F =`[`MODEL_AGREEMENT_FACTOR`] — see that constant
+//! for why `fstr` sizes the tolerance. `swquake run <scenario>
+//! --roofline out.json` writes the JSON form; [`RooflineReport::text_table`]
+//! renders the human-readable table.
+
+use serde::{Deserialize, Serialize};
+use sw_arch::analytic::{AnalyticModel, KernelShape, MODEL_AGREEMENT_FACTOR};
+use sw_arch::{KernelPerfModel, OptLevel};
+use sw_grid::Dims3;
+use sw_telemetry::Report;
+
+/// Version stamp embedded in every [`RooflineReport`].
+pub const ROOFLINE_SCHEMA_VERSION: u32 = 1;
+
+/// One FD kernel's row in the attribution table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelAttribution {
+    /// Kernel name as the paper spells it.
+    pub name: String,
+    /// Useful flops per touched point (§7.1 convention).
+    pub flops_per_point: f64,
+    /// Modeled DMA bytes per touched point at the run's opt level.
+    pub modeled_bytes_per_point: f64,
+    /// Blocking-model DMA cycles per point (eq. 5–9 + Table 3).
+    pub predicted_cycles_per_point: f64,
+    /// Calibrated perf-model cycles per point (redundancy + flop bounds).
+    pub simulated_cycles_per_point: f64,
+    /// `predicted / simulated`.
+    pub ratio: f64,
+    /// True when `ratio` lies inside `[1/F, F]`,
+    /// `F =` [`MODEL_AGREEMENT_FACTOR`].
+    pub within_tolerance: bool,
+    /// Total `arch.dma_bytes.<kernel>` the run charged (0 untraced).
+    pub traced_dma_bytes: f64,
+    /// Total `arch.model_cycles.<kernel>` the run charged (0 untraced).
+    pub traced_model_cycles: f64,
+    /// Wall seconds of the host phase attributed to this kernel
+    /// (multi-kernel phases split in proportion to simulated cycles;
+    /// 0 untraced).
+    pub measured_wall_s: f64,
+}
+
+/// The predicted-vs-simulated attribution of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflineReport {
+    /// Schema version stamp ([`ROOFLINE_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Optimization level the run was modeled at (`"Mem"` or `"Cmpr"`).
+    pub opt_level: String,
+    /// The documented agreement tolerance factor.
+    pub tolerance_factor: f64,
+    /// One row per FD kernel, in the paper's kernel order.
+    pub kernels: Vec<KernelAttribution>,
+}
+
+impl RooflineReport {
+    /// Look up one kernel's row.
+    pub fn kernel(&self, name: &str) -> Option<&KernelAttribution> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// True when every kernel's ratio is inside the tolerance band.
+    pub fn all_within_tolerance(&self) -> bool {
+        self.kernels.iter().all(|k| k.within_tolerance)
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("roofline serialization is infallible")
+    }
+
+    /// Parse a report back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Human-readable attribution table.
+    pub fn text_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "roofline attribution ({} level, tolerance {:.1}x)\n",
+            self.opt_level, self.tolerance_factor
+        ));
+        out.push_str(&format!(
+            "{:<14} {:>9} {:>9} {:>10} {:>10} {:>7} {:>12} {:>12} {:>10}  agree\n",
+            "kernel",
+            "flops/pt",
+            "bytes/pt",
+            "pred cy/pt",
+            "sim cy/pt",
+            "ratio",
+            "dma bytes",
+            "model cyc",
+            "wall s"
+        ));
+        for k in &self.kernels {
+            out.push_str(&format!(
+                "{:<14} {:>9.0} {:>9.1} {:>10.3} {:>10.3} {:>7.3} {:>12.3e} {:>12.3e} {:>10.6}  {}\n",
+                k.name,
+                k.flops_per_point,
+                k.modeled_bytes_per_point,
+                k.predicted_cycles_per_point,
+                k.simulated_cycles_per_point,
+                k.ratio,
+                k.traced_dma_bytes,
+                k.traced_model_cycles,
+                k.measured_wall_s,
+                if k.within_tolerance { "yes" } else { "NO" }
+            ));
+        }
+        out
+    }
+}
+
+/// The driver phase whose wall time hosts a kernel.
+fn host_phase(kernel: &str) -> &'static str {
+    match kernel {
+        "dvelcx" | "dvelcy" => "step.velocity",
+        "dstrqc" => "step.stress",
+        "fstr" => "step.free_surface",
+        _ => "step.plasticity",
+    }
+}
+
+/// Build the attribution report for a run over `dims` at the given
+/// physics/compression configuration, joining in whatever `report`
+/// recorded (pass an empty report for a model-only table).
+pub fn attribute(
+    dims: Dims3,
+    nonlinear: bool,
+    compressed: bool,
+    report: &Report,
+) -> RooflineReport {
+    let model = KernelPerfModel::paper();
+    let analytic = AnalyticModel::sw26010();
+    let level = if compressed { OptLevel::Cmpr } else { OptLevel::Mem };
+    let clock = model.cg_spec().clock_hz;
+    // §6.5: compression halves the bytes on the DMA bus.
+    let cmpr_ratio = if compressed { 0.5 } else { 1.0 };
+    let kernels: Vec<&sw_arch::perf::KernelProfile> =
+        model.kernels().iter().filter(|k| nonlinear || !k.nonlinear_only).collect();
+    // Weights for splitting a multi-kernel phase's wall time.
+    let phase_weight = |phase: &str| -> f64 {
+        kernels
+            .iter()
+            .filter(|k| host_phase(k.name) == phase)
+            .map(|k| k.coverage * model.cycles_per_point(k, level))
+            .sum()
+    };
+    let rows = kernels
+        .iter()
+        .map(|k| {
+            let floats = k.floats_read + k.floats_written;
+            let shape = KernelShape::fused_traffic(floats, dims.ny, dims.nz);
+            let choice = analytic.optimize(&shape);
+            let points_per_pass = (shape.block_ny * shape.block_nz * shape.wx) as f64;
+            let predicted = choice.dma_seconds / points_per_pass * clock * cmpr_ratio;
+            let simulated = model.cycles_per_point(k, level);
+            let ratio = predicted / simulated;
+            let phase = host_phase(k.name);
+            let weight = k.coverage * simulated / phase_weight(phase).max(f64::MIN_POSITIVE);
+            let measured_wall_s = report.timer(phase).map(|t| t.total_s * weight).unwrap_or(0.0);
+            KernelAttribution {
+                name: k.name.to_string(),
+                flops_per_point: k.flops,
+                modeled_bytes_per_point: k.bytes_per_point() * cmpr_ratio,
+                predicted_cycles_per_point: predicted,
+                simulated_cycles_per_point: simulated,
+                ratio,
+                within_tolerance: (1.0 / MODEL_AGREEMENT_FACTOR..=MODEL_AGREEMENT_FACTOR)
+                    .contains(&ratio),
+                traced_dma_bytes: report.counter(&format!("arch.dma_bytes.{}", k.name)).unwrap_or(0)
+                    as f64,
+                traced_model_cycles: report
+                    .counter(&format!("arch.model_cycles.{}", k.name))
+                    .unwrap_or(0) as f64,
+                measured_wall_s,
+            }
+        })
+        .collect();
+    RooflineReport {
+        schema_version: ROOFLINE_SCHEMA_VERSION,
+        opt_level: format!("{level:?}"),
+        tolerance_factor: MODEL_AGREEMENT_FACTOR,
+        kernels: rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> Dims3 {
+        Dims3::new(24, 24, 16)
+    }
+
+    #[test]
+    fn every_fd_kernel_is_listed_and_within_tolerance() {
+        let r = attribute(dims(), true, false, &Report::default());
+        let names: Vec<&str> = r.kernels.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["dvelcx", "dvelcy", "dstrqc", "fstr", "drprecpc_calc", "drprecpc_app"]
+        );
+        for k in &r.kernels {
+            assert!(k.flops_per_point > 0.0, "{}", k.name);
+            assert!(k.modeled_bytes_per_point > 0.0, "{}", k.name);
+            assert!(k.predicted_cycles_per_point > 0.0, "{}", k.name);
+            assert!(k.simulated_cycles_per_point > 0.0, "{}", k.name);
+            assert!(k.within_tolerance, "{} ratio {} outside tolerance", k.name, k.ratio);
+        }
+        assert!(r.all_within_tolerance());
+    }
+
+    #[test]
+    fn linear_runs_drop_the_plasticity_kernels() {
+        let r = attribute(dims(), false, false, &Report::default());
+        assert!(r.kernel("drprecpc_calc").is_none());
+        assert!(r.kernel("dvelcx").is_some());
+        assert_eq!(r.kernels.len(), 4);
+    }
+
+    #[test]
+    fn compression_halves_modeled_bytes() {
+        let plain = attribute(dims(), true, false, &Report::default());
+        let cmpr = attribute(dims(), true, true, &Report::default());
+        assert_eq!(cmpr.opt_level, "Cmpr");
+        for (a, b) in plain.kernels.iter().zip(&cmpr.kernels) {
+            assert!((b.modeled_bytes_per_point - a.modeled_bytes_per_point * 0.5).abs() < 1e-12);
+        }
+        assert!(cmpr.all_within_tolerance());
+    }
+
+    #[test]
+    fn streamed_kernels_agree_much_tighter_than_the_bound() {
+        let r = attribute(dims(), true, false, &Report::default());
+        for k in r.kernels.iter().filter(|k| k.name != "fstr") {
+            assert!((0.4..2.5).contains(&k.ratio), "{} ratio {}", k.name, k.ratio);
+        }
+        // fstr is the documented outlier that sizes the tolerance factor.
+        let fstr = r.kernel("fstr").unwrap();
+        assert!(fstr.ratio < 0.4, "fstr ratio {}", fstr.ratio);
+        assert!(fstr.within_tolerance);
+    }
+
+    #[test]
+    fn json_roundtrip_and_table_render() {
+        let r = attribute(dims(), true, true, &Report::default());
+        let back = RooflineReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let table = r.text_table();
+        for k in &r.kernels {
+            assert!(table.contains(&k.name), "table missing {}", k.name);
+        }
+        assert!(table.contains("ratio"));
+    }
+}

@@ -205,6 +205,22 @@ impl KernelPerfModel {
         &self.kernels
     }
 
+    /// Look up one kernel profile by the paper's spelling of its name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelProfile> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// The core-group hardware spec the model is built on.
+    pub fn cg_spec(&self) -> &CoreGroupSpec {
+        &self.cg
+    }
+
+    /// CPE cycles per touched point for `kernel` at `level` (the
+    /// simulated-time side of the roofline attribution report).
+    pub fn cycles_per_point(&self, kernel: &KernelProfile, level: OptLevel) -> f64 {
+        self.seconds_per_point(kernel, level) * self.cg.clock_hz
+    }
+
     /// Seconds per touched point for `kernel` at `level`.
     pub fn seconds_per_point(&self, kernel: &KernelProfile, level: OptLevel) -> f64 {
         let bytes = kernel.bytes_per_point();

@@ -10,7 +10,10 @@
 //! With a telemetry handle attached ([`HaloExchanger::with_telemetry`]),
 //! each rank reports its pack time (`halo.pack.rankN`), receive-wait time
 //! (`halo.wait.rankN`), unpack time (`halo.unpack.rankN`) and bytes moved
-//! (`halo.bytes_sent`, plus a per-rank breakdown).
+//! (`halo.bytes_sent`, plus a per-rank breakdown). When the handle also
+//! carries a tracer, those timings appear as spans on the calling rank's
+//! lane, plus `halo.send`/`halo.recv` instant events tagging the bytes on
+//! the wire.
 
 use crate::fabric::RankComm;
 use std::time::Instant;
@@ -66,6 +69,7 @@ impl HaloExchanger {
             self.telemetry.add("halo.bytes_sent", bytes as u64);
             self.telemetry.add(&format!("halo.bytes_sent.rank{rank}"), bytes as u64);
         }
+        self.telemetry.event("halo.send", &[("rank", comm.rank as f64), ("bytes", bytes as f64)]);
     }
 
     /// Receive and unpack all faces into the fields' halo slabs.
@@ -73,12 +77,14 @@ impl HaloExchanger {
         let enabled = self.telemetry.is_enabled();
         let mut wait_s = 0.0;
         let mut unpack_s = 0.0;
+        let mut recv_bytes = 0usize;
         for face in Face::ALL {
             let t_wait = enabled.then(Instant::now);
             let Some(msg) = comm.recv(face) else { continue };
             if let Some(t) = t_wait {
                 wait_s += t.elapsed().as_secs_f64();
             }
+            recv_bytes += msg.len() * 4;
             let t_unpack = enabled.then(Instant::now);
             let mut offset = 0usize;
             for f in fields.iter_mut() {
@@ -100,6 +106,8 @@ impl HaloExchanger {
             self.telemetry.record_duration(&format!("halo.wait.rank{rank}"), wait_s);
             self.telemetry.record_duration(&format!("halo.unpack.rank{rank}"), unpack_s);
         }
+        self.telemetry
+            .event("halo.recv", &[("rank", comm.rank as f64), ("bytes", recv_bytes as f64)]);
     }
 
     /// Blocking exchange (post + finish).

@@ -17,23 +17,50 @@
 //! A [`Telemetry::report`] snapshot serializes to JSON with a stable
 //! schema (see [`Report`]); `swquake run --metrics out.json` writes one.
 //!
+//! A handle can also carry a [`Tracer`] from the `sw-trace` crate
+//! ([`Telemetry::with_tracer`]): phases then additionally record as
+//! timeline *spans* and [`Telemetry::event`] emits instant events, so the
+//! same instrumentation sites feed both the aggregate report and a
+//! Chrome-trace export (`swquake run --trace out.json`). The bench-report
+//! schema shared by the bench harness and `swquake bench-diff` lives in
+//! the [`bench`] module.
+//!
 //! The handle is an `Option<Arc<Registry>>` under the hood:
-//! [`Telemetry::disabled`] carries `None`, so every recording call is a
-//! branch on a null pointer — no clock reads, no locks, no allocation —
-//! and disabled telemetry stays out of the numeric path entirely.
+//! [`Telemetry::disabled`] carries `None` (and a disabled tracer), so
+//! every recording call is a branch on a null pointer — no clock reads,
+//! no locks, no allocation — and disabled telemetry stays out of the
+//! numeric path entirely.
 
 use serde::Serialize;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+pub mod bench;
+
+pub use sw_trace as trace;
+pub use sw_trace::{TraceSpan, Tracer};
 
 /// Default capacity of a per-step sample ring buffer.
 pub const DEFAULT_SERIES_CAPACITY: usize = 4096;
 
 /// Version stamp embedded in every [`Report`] so downstream consumers can
 /// detect schema changes.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 = PR 1 baseline; v2 adds `p50`/`p95` to [`SeriesStat`].
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Lock a mutex, recovering the data if a previous holder panicked.
+///
+/// Every registry mutation is a self-contained aggregate update (add to a
+/// counter, fold a sample into a stat), so the state is never left
+/// half-written across a panic — recovering the poisoned guard is safe
+/// and keeps a panicking worker thread from cascading into telemetry
+/// panics when other guards drop during unwinding.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 // ---------------------------------------------------------------------------
 // Handle
@@ -44,20 +71,34 @@ pub const SCHEMA_VERSION: u32 = 1;
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     registry: Option<Arc<Registry>>,
+    tracer: Tracer,
 }
 
 impl Telemetry {
-    /// A live telemetry handle backed by a fresh registry.
+    /// A live telemetry handle backed by a fresh registry (no tracer).
     pub fn enabled() -> Self {
-        Self { registry: Some(Arc::new(Registry::default())) }
+        Self { registry: Some(Arc::new(Registry::default())), tracer: Tracer::disabled() }
     }
 
     /// The null handle: every recording method returns immediately.
     pub fn disabled() -> Self {
-        Self { registry: None }
+        Self { registry: None, tracer: Tracer::disabled() }
     }
 
-    /// True when this handle records anything.
+    /// Attach a tracer: phases additionally record as timeline spans and
+    /// [`Telemetry::event`] emits instant events into it.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled unless set via
+    /// [`Telemetry::with_tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// True when this handle records aggregate metrics.
     pub fn is_enabled(&self) -> bool {
         self.registry.is_some()
     }
@@ -65,36 +106,37 @@ impl Telemetry {
     /// Start a scoped phase timer. The returned guard records the elapsed
     /// wall time when dropped. Phases nest: a `phase("velocity")` opened
     /// while `phase("step")` is live on the same thread records as
-    /// `step.velocity`.
+    /// `step.velocity`. With a tracer attached, the same range is also
+    /// recorded as a timeline span under the dotted path.
     #[must_use = "the phase is timed until the guard drops"]
     pub fn phase(&self, name: &str) -> PhaseGuard {
-        match &self.registry {
-            None => PhaseGuard { inner: None },
-            Some(reg) => {
-                let path = PHASE_STACK.with(|stack| {
-                    let mut stack = stack.borrow_mut();
-                    let path = match stack.last() {
-                        Some(parent) => format!("{parent}.{name}"),
-                        None => name.to_string(),
-                    };
-                    stack.push(path.clone());
-                    path
-                });
-                PhaseGuard {
-                    inner: Some(PhaseInner {
-                        registry: Arc::clone(reg),
-                        path,
-                        start: Instant::now(),
-                    }),
-                }
-            }
+        if self.registry.is_none() && !self.tracer.is_enabled() {
+            return PhaseGuard { inner: None };
+        }
+        let path = PHASE_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}.{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        let span = self.tracer.span("phase", &path);
+        PhaseGuard {
+            inner: Some(PhaseInner {
+                registry: self.registry.clone(),
+                _span: span,
+                path,
+                start: Instant::now(),
+            }),
         }
     }
 
     /// Add to a monotonic counter.
     pub fn add(&self, name: &str, delta: u64) {
         if let Some(reg) = &self.registry {
-            *reg.counters.lock().unwrap().entry(name.to_string()).or_insert(0) += delta;
+            *lock(&reg.counters).entry(name.to_string()).or_insert(0) += delta;
         }
     }
 
@@ -102,7 +144,7 @@ impl Telemetry {
     /// high-water mark.
     pub fn gauge(&self, name: &str, value: f64) {
         if let Some(reg) = &self.registry {
-            let mut gauges = reg.gauges.lock().unwrap();
+            let mut gauges = lock(&reg.gauges);
             let g = gauges.entry(name.to_string()).or_insert(GaugeStat { last: value, max: value });
             g.last = value;
             if value > g.max {
@@ -121,18 +163,27 @@ impl Telemetry {
     /// the series is first created).
     pub fn sample_with_capacity(&self, name: &str, value: f64, capacity: usize) {
         if let Some(reg) = &self.registry {
-            let mut series = reg.series.lock().unwrap();
+            let mut series = lock(&reg.series);
             let s = series.entry(name.to_string()).or_insert_with(|| Ring::new(capacity.max(1)));
             s.push(value);
         }
     }
 
     /// Record an already-measured duration into a timer slot (for callers
-    /// that cannot hold a guard across the timed region).
+    /// that cannot hold a guard across the timed region). With a tracer
+    /// attached, the range is also recorded as a span ending now.
     pub fn record_duration(&self, name: &str, seconds: f64) {
         if let Some(reg) = &self.registry {
             reg.record_timer(name, seconds);
         }
+        self.tracer.span_closed("timer", name, seconds);
+    }
+
+    /// Emit an instant event with numeric arguments into the attached
+    /// tracer (no-op without one). Used for point-in-time facts like "this
+    /// step moved N modeled DMA bytes for kernel K".
+    pub fn event(&self, name: &str, args: &[(&str, f64)]) {
+        self.tracer.instant("event", name, args);
     }
 
     /// Snapshot everything recorded so far into a serializable report.
@@ -151,7 +202,10 @@ thread_local! {
 }
 
 struct PhaseInner {
-    registry: Arc<Registry>,
+    registry: Option<Arc<Registry>>,
+    /// Trace span opened at phase start; recording happens when this
+    /// drops with the guard.
+    _span: TraceSpan,
     path: String,
     start: Instant,
 }
@@ -183,7 +237,9 @@ impl Drop for PhaseGuard {
                     stack.remove(pos);
                 }
             });
-            inner.registry.record_timer(&inner.path, elapsed);
+            if let Some(reg) = &inner.registry {
+                reg.record_timer(&inner.path, elapsed);
+            }
         }
     }
 }
@@ -203,7 +259,7 @@ struct Registry {
 
 impl Registry {
     fn record_timer(&self, path: &str, seconds: f64) {
-        let mut timers = self.timers.lock().unwrap();
+        let mut timers = lock(&self.timers);
         let t = timers.entry(path.to_string()).or_insert_with(TimerStat::empty);
         t.calls += 1;
         t.total_s += seconds;
@@ -217,16 +273,16 @@ impl Registry {
 
     fn snapshot(&self) -> Report {
         let mut timers: Vec<(String, TimerStat)> =
-            self.timers.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            lock(&self.timers).iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         timers.sort_by(|a, b| a.0.cmp(&b.0));
         let mut counters: Vec<(String, u64)> =
-            self.counters.lock().unwrap().iter().map(|(k, v)| (k.clone(), *v)).collect();
+            lock(&self.counters).iter().map(|(k, v)| (k.clone(), *v)).collect();
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         let mut gauges: Vec<(String, GaugeStat)> =
-            self.gauges.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            lock(&self.gauges).iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         gauges.sort_by(|a, b| a.0.cmp(&b.0));
         let mut series: Vec<(String, SeriesStat)> =
-            self.series.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.stat())).collect();
+            lock(&self.series).iter().map(|(k, v)| (k.clone(), v.stat())).collect();
         series.sort_by(|a, b| a.0.cmp(&b.0));
         Report {
             schema_version: SCHEMA_VERSION,
@@ -239,6 +295,19 @@ impl Registry {
             series: series.into_iter().map(|(name, stat)| SeriesEntry { name, stat }).collect(),
         }
     }
+}
+
+/// Nearest-rank percentile over an unsorted window. Well-defined for any
+/// input: an empty window yields 0.0 and a single sample yields itself —
+/// never NaN, so the JSON report stays parseable.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// A bounded ring buffer of f64 samples.
@@ -289,6 +358,8 @@ impl Ring {
             min: if values.is_empty() { 0.0 } else { min },
             max: if values.is_empty() { 0.0 } else { max },
             mean,
+            p50: percentile(&values, 50.0),
+            p95: percentile(&values, 95.0),
             values,
         }
     }
@@ -327,6 +398,10 @@ pub struct GaugeStat {
 }
 
 /// Summary + retained window of one sample series.
+///
+/// Every summary field is well-defined for empty and single-sample
+/// series: an empty window reports zeros and a single sample reports
+/// itself for min/max/mean/p50/p95. No field is ever NaN.
 #[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
 pub struct SeriesStat {
     /// Ring capacity.
@@ -339,6 +414,10 @@ pub struct SeriesStat {
     pub max: f64,
     /// Mean over the retained window.
     pub mean: f64,
+    /// Median (nearest-rank 50th percentile) over the retained window.
+    pub p50: f64,
+    /// Nearest-rank 95th percentile over the retained window.
+    pub p95: f64,
     /// The retained window, oldest first.
     pub values: Vec<f64>,
 }
@@ -442,6 +521,7 @@ mod tests {
             t.add("bytes", 100);
             t.gauge("ldm", 1.0);
             t.sample("wall", 0.5);
+            t.event("dma", &[("bytes", 64.0)]);
         }
         let r = t.report();
         assert_eq!(r.schema_version, SCHEMA_VERSION);
@@ -449,6 +529,7 @@ mod tests {
         assert!(r.counters.is_empty());
         assert!(r.gauges.is_empty());
         assert!(r.series.is_empty());
+        assert!(!t.tracer().is_enabled());
     }
 
     #[test]
@@ -566,5 +647,108 @@ mod tests {
         let back = Report::from_json(&text).unwrap();
         assert_eq!(r, back);
         assert_eq!(back.to_json(), text, "serialization must be deterministic");
+    }
+
+    #[test]
+    fn empty_and_single_sample_series_have_finite_stats() {
+        // Single sample: every summary field is the sample itself.
+        let t = Telemetry::enabled();
+        t.sample("one", 2.5);
+        let r = t.report();
+        let s = r.series("one").unwrap();
+        assert_eq!((s.min, s.max, s.mean, s.p50, s.p95), (2.5, 2.5, 2.5, 2.5, 2.5));
+        // Empty window from the percentile helper directly.
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[], 95.0), 0.0);
+        // Nothing in the rendered JSON may be NaN (which would serialize
+        // as `null` or unparseable text).
+        let text = r.to_json();
+        assert!(!text.contains("NaN") && !text.contains("null"), "{text}");
+        assert_eq!(Report::from_json(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&values, 50.0), 50.0);
+        assert_eq!(percentile(&values, 95.0), 95.0);
+        assert_eq!(percentile(&values, 100.0), 100.0);
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0, "input order must not matter");
+        let t = Telemetry::enabled();
+        for v in &values {
+            t.sample("s", *v);
+        }
+        let r = t.report();
+        let s = r.series("s").unwrap();
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+    }
+
+    #[test]
+    fn poisoned_registry_keeps_recording() {
+        let t = Telemetry::enabled();
+        t.add("jobs", 1);
+        t.gauge("g", 1.0);
+        t.sample("s", 1.0);
+        t.record_duration("work", 0.1);
+        // Panic on a worker thread *while holding* every registry lock, so
+        // each mutex is poisoned the hard way.
+        let reg = t.registry.as_ref().unwrap();
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _a = reg.timers.lock().unwrap();
+                    let _b = reg.counters.lock().unwrap();
+                    let _c = reg.gauges.lock().unwrap();
+                    let _d = reg.series.lock().unwrap();
+                    panic!("worker dies mid-record");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "worker must have panicked");
+        // Telemetry keeps working: no panic, data intact and still mutable.
+        t.add("jobs", 1);
+        t.gauge("g", 2.0);
+        t.sample("s", 2.0);
+        t.record_duration("work", 0.2);
+        let r = t.report();
+        assert_eq!(r.counter("jobs"), Some(2));
+        assert_eq!(r.gauge("g").unwrap().last, 2.0);
+        assert_eq!(r.series("s").unwrap().pushed, 2);
+        assert_eq!(r.timer("work").unwrap().calls, 2);
+    }
+
+    #[test]
+    fn attached_tracer_records_phases_and_events() {
+        let tracer = Tracer::enabled();
+        let t = Telemetry::enabled().with_tracer(tracer.clone());
+        t.tracer().bind_lane(0, "driver");
+        {
+            let _outer = t.phase("step");
+            let _inner = t.phase("velocity");
+            t.event("arch.dma.dvelcx", &[("bytes", 1024.0)]);
+        }
+        t.record_duration("halo.pack", 0.001);
+        let lanes = tracer.lanes();
+        assert_eq!(lanes.len(), 1);
+        let names: Vec<&str> = lanes[0].1.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["arch.dma.dvelcx", "step.velocity", "step", "halo.pack"]);
+        // Aggregates recorded too, under the same dotted paths.
+        let r = t.report();
+        assert_eq!(r.timer("step.velocity").unwrap().calls, 1);
+        assert_eq!(r.timer("halo.pack").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn tracer_without_registry_still_traces_phases() {
+        let tracer = Tracer::enabled();
+        let t = Telemetry::disabled().with_tracer(tracer.clone());
+        {
+            let _g = t.phase("step");
+        }
+        assert!(!t.is_enabled());
+        assert!(t.report().timers.is_empty());
+        let lanes = tracer.lanes();
+        assert_eq!(lanes[0].1[0].name, "step");
     }
 }

@@ -4,37 +4,68 @@
 //! solver and writes seismograms (CSV), the PGV field, and a seismic-
 //! intensity hazard map. With `--metrics`, telemetry from every subsystem
 //! (step phases, compression codecs, modeled SW26010 hardware charges,
-//! I/O) is written as a stable-schema JSON report.
+//! I/O) is written as a stable-schema JSON report; `--trace` records a
+//! Chrome trace-event timeline (open it in Perfetto / `chrome://tracing`)
+//! and `--roofline` writes the predicted-vs-simulated per-kernel
+//! attribution report. `bench-diff` is the perf-regression gate over two
+//! `BENCH_<name>.json` files.
 //!
 //! ```text
-//! swquake --write-example scenario.json         # emit a commented template
-//! swquake scenario.json                         # run it
-//! swquake run scenario.json --metrics out.json  # run + telemetry report
+//! swquake --write-example scenario.json           # emit a commented template
+//! swquake scenario.json                           # run it
+//! swquake run scenario.json --metrics out.json    # run + telemetry report
+//! swquake run scenario.json --trace trace.json    # run + Chrome trace
+//! swquake run scenario.json --roofline roof.json  # run + attribution table
+//! swquake bench-diff old.json new.json --tolerance 0.15
 //! ```
 //!
-//! Exit codes: 0 on success, 1 when the solver goes unstable, 2 for any
-//! usage, parse, or configuration error. All failures flow through
-//! [`swquake::Error`] and are mapped to a code in one place, here.
+//! Exit codes: 0 on success, 1 when the solver goes unstable or
+//! `bench-diff` finds a regression, 2 for any usage, parse, or
+//! configuration error (including unknown flags). All solver failures
+//! flow through [`swquake::Error`] and are mapped to a code in one
+//! place, here.
 
 use swquake::core::hazard::HazardMap;
 use swquake::core::Simulation;
-use swquake::telemetry::Telemetry;
+use swquake::telemetry::bench::{compare, BenchReport};
+use swquake::telemetry::{Telemetry, Tracer};
 use swquake::{Error, Scenario};
 
 enum Command {
     WriteExample(String),
-    Run { scenario: String, metrics: Option<String> },
+    Run { scenario: String, outputs: RunOutputs },
+    BenchDiff { old: String, new: String, tolerance: f64 },
+}
+
+/// Optional report files a `run` can emit.
+#[derive(Default)]
+struct RunOutputs {
+    metrics: Option<String>,
+    trace: Option<String>,
+    roofline: Option<String>,
+}
+
+impl RunOutputs {
+    fn any(&self) -> bool {
+        self.metrics.is_some() || self.trace.is_some() || self.roofline.is_some()
+    }
 }
 
 fn parse_args(args: &[String]) -> Option<Command> {
+    if args.first().map(String::as_str) == Some("bench-diff") {
+        return parse_bench_diff(&args[1..]);
+    }
     let mut positional: Vec<String> = Vec::new();
-    let mut metrics = None;
+    let mut outputs = RunOutputs::default();
     let mut write_example = false;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--write-example" => write_example = true,
-            "--metrics" => metrics = Some(iter.next()?.clone()),
+            "--metrics" => outputs.metrics = Some(iter.next()?.clone()),
+            "--trace" => outputs.trace = Some(iter.next()?.clone()),
+            "--roofline" => outputs.roofline = Some(iter.next()?.clone()),
+            flag if flag.starts_with("--") => return None,
             other => positional.push(other.to_string()),
         }
     }
@@ -47,7 +78,27 @@ fn parse_args(args: &[String]) -> Option<Command> {
         positional.remove(0);
     }
     if positional.len() == 1 {
-        Some(Command::Run { scenario: positional.remove(0), metrics })
+        Some(Command::Run { scenario: positional.remove(0), outputs })
+    } else {
+        None
+    }
+}
+
+fn parse_bench_diff(args: &[String]) -> Option<Command> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut tolerance = 0.1;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--tolerance" => tolerance = iter.next()?.parse().ok()?,
+            flag if flag.starts_with("--") => return None,
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() == 2 {
+        let new = positional.pop()?;
+        let old = positional.pop()?;
+        Some(Command::BenchDiff { old, new, tolerance })
     } else {
         None
     }
@@ -59,7 +110,9 @@ fn main() {
         None => {
             eprintln!(
                 "usage: swquake [run] <scenario.json> [--metrics <out.json>] \
-                 | swquake --write-example [path]"
+                 [--trace <out.json>] [--roofline <out.json>]\n\
+                 \x20      swquake bench-diff <old.json> <new.json> [--tolerance <frac>]\n\
+                 \x20      swquake --write-example [path]"
             );
             2
         }
@@ -68,7 +121,7 @@ fn main() {
             println!("wrote example scenario to {path}");
             0
         }
-        Some(Command::Run { scenario, metrics }) => match run(&scenario, metrics.as_deref()) {
+        Some(Command::Run { scenario, outputs }) => match run(&scenario, &outputs) {
             Ok(()) => 0,
             Err(e) => {
                 eprintln!("{e}");
@@ -78,16 +131,47 @@ fn main() {
                 }
             }
         },
+        Some(Command::BenchDiff { old, new, tolerance }) => bench_diff(&old, &new, tolerance),
     };
     std::process::exit(code);
 }
 
-fn run(path: &str, metrics: Option<&str>) -> Result<(), Error> {
+/// Compare two bench reports; exit 0 on pass, 1 on regression/missing,
+/// 2 when either file fails to load or parse.
+fn bench_diff(old_path: &str, new_path: &str, tolerance: f64) -> i32 {
+    let load = |path: &str| -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchReport::from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let cmp = compare(&old, &new, tolerance);
+    print!("{}", cmp.text_table());
+    if cmp.passed() {
+        0
+    } else {
+        1
+    }
+}
+
+fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| Error::Io { path: path.to_string(), source: e })?;
     let scenario = Scenario::from_json(&text)?;
     let model = scenario.build_model()?;
-    let telemetry = if metrics.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
+    // Counters/timers feed --metrics and --roofline; the tracer feeds
+    // --trace. Without any of the three this stays the disabled
+    // (branch-on-None) telemetry, bit-identical to an uninstrumented run.
+    let mut telemetry = if outputs.any() { Telemetry::enabled() } else { Telemetry::disabled() };
+    if outputs.trace.is_some() {
+        telemetry = telemetry.with_tracer(Tracer::enabled());
+        telemetry.tracer().bind_lane(0, "driver");
+    }
     let cfg = scenario.to_config(model.as_ref())?.with_telemetry(telemetry.clone());
     println!(
         "mesh {} at dx = {} m, {} steps, model {}, nonlinear {}, compression {}",
@@ -147,11 +231,23 @@ fn run(path: &str, metrics: Option<&str>) -> Result<(), Error> {
     println!("wrote {seismo_path} and {hazard_path}");
     println!("PGV max {:.3e} m/s, max intensity {:.1}", sim.pgv.max(), map.max());
 
-    if let Some(metrics_path) = metrics {
+    if let Some(metrics_path) = &outputs.metrics {
         let report = sim.metrics();
         std::fs::write(metrics_path, report.to_json())
             .map_err(|e| Error::Io { path: metrics_path.to_string(), source: e })?;
         println!("wrote metrics to {metrics_path}");
+    }
+    if let Some(roofline_path) = &outputs.roofline {
+        let report = sim.roofline();
+        std::fs::write(roofline_path, report.to_json())
+            .map_err(|e| Error::Io { path: roofline_path.to_string(), source: e })?;
+        print!("{}", report.text_table());
+        println!("wrote roofline report to {roofline_path}");
+    }
+    if let Some(trace_path) = &outputs.trace {
+        std::fs::write(trace_path, telemetry.tracer().to_chrome_json())
+            .map_err(|e| Error::Io { path: trace_path.to_string(), source: e })?;
+        println!("wrote trace to {trace_path} (open in Perfetto or chrome://tracing)");
     }
     Ok(())
 }

@@ -26,7 +26,10 @@
 //! * [`io`] — LZ4 checkpoints, group-I/O model, recorders;
 //! * [`telemetry`] — the metrics spine every subsystem reports into:
 //!   nestable phase timers, counters, gauges, per-step sample rings, and
-//!   a stable-schema JSON report.
+//!   a stable-schema JSON report;
+//! * [`trace`] — the low-overhead span/event recorder behind
+//!   `swquake run --trace`: per-rank lanes of monotonic timestamps
+//!   exported as Chrome trace-event JSON (Perfetto-viewable).
 //!
 //! Plus the crate's own front end:
 //!
@@ -84,6 +87,17 @@
 //! The default is [`telemetry::Telemetry::disabled`], which records
 //! nothing and keeps every instrumentation point down to a branch on
 //! `None`; the CLI enables it with `swquake run --metrics out.json`.
+//!
+//! Attach a [`trace::Tracer`] with
+//! [`telemetry::Telemetry::with_tracer`] to additionally record a
+//! timeline of spans (phases, timers) and instant events (DMA charges,
+//! register-communication rounds, halo traffic, compression round
+//! trips, checkpoint I/O), one lane per rank, exportable as Chrome
+//! trace-event JSON via [`trace::Tracer::to_chrome_json`] — that is
+//! what `swquake run --trace out.json` writes. The per-kernel
+//! predicted-vs-simulated attribution table (`--roofline`) comes from
+//! [`core::roofline`], and `swquake bench-diff` gates two
+//! [`telemetry::bench::BenchReport`] files against a tolerance.
 
 pub mod error;
 pub mod scenario;
@@ -100,4 +114,5 @@ pub use sw_parallel as parallel;
 pub use sw_rupture as rupture;
 pub use sw_source as source;
 pub use sw_telemetry as telemetry;
+pub use sw_trace as trace;
 pub use swquake_core as core;

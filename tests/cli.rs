@@ -88,6 +88,100 @@ fn no_arguments_prints_usage() {
 }
 
 #[test]
+fn unknown_flag_prints_usage_and_exits_2() {
+    for args in [
+        vec!["run", "scenario.json", "--frobnicate"],
+        vec!["scenario.json", "--metrics"], // flag missing its value
+        vec!["bench-diff", "a.json", "b.json", "--frobnicate"],
+        vec!["bench-diff", "only-one.json"],
+    ] {
+        let out = Command::new(bin()).args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage"), "args {args:?}");
+    }
+}
+
+/// `--trace` writes valid Chrome trace-event JSON with spans from the
+/// driver phases and instants from the modeled hardware.
+#[test]
+fn run_with_trace_writes_chrome_trace_json() {
+    let dir = workdir("trace");
+    let scenario = dir.join("scenario.json");
+    Command::new(bin()).args(["--write-example", scenario.to_str().unwrap()]).status().unwrap();
+    let mut json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&scenario).unwrap()).unwrap();
+    json["mesh"] = serde_json::json!([20, 20, 12]);
+    json["duration"] = serde_json::json!(0.5);
+    json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
+    json["stations"] = serde_json::json!([["probe", 14, 14]]);
+    json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
+    std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
+
+    let trace = dir.join("trace.json");
+    let out = Command::new(bin())
+        .args(["run", scenario.to_str().unwrap(), "--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let events = doc["traceEvents"].as_array().unwrap();
+    let names: Vec<&str> = events.iter().filter_map(|e| e["name"].as_str()).collect();
+    assert!(names.contains(&"step.velocity"), "no driver span in {names:?}");
+    assert!(names.contains(&"arch.dma.dvelcx"), "no DMA instant in {names:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `bench-diff` is the perf gate: identical inputs pass (exit 0), an
+/// injected regression fails (exit 1), garbage input is a usage-class
+/// error (exit 2).
+#[test]
+fn bench_diff_gates_regressions() {
+    let dir = workdir("benchdiff");
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    let record = |median: f64| {
+        serde_json::json!({
+            "name": "smoke/kernel", "samples": 10.0, "median_s": median,
+            "mean_s": median, "min_s": median, "max_s": median,
+            "throughput": 0.0, "throughput_unit": "",
+        })
+    };
+    let report = |median: f64| {
+        serde_json::to_string(&serde_json::json!({
+            "schema_version": 1.0, "records": [record(median)],
+        }))
+        .unwrap()
+    };
+    std::fs::write(&old, report(1e-3)).unwrap();
+    std::fs::write(&new, report(1e-3)).unwrap();
+
+    let identical = Command::new(bin())
+        .args(["bench-diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(identical.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&identical.stdout).contains("PASS"));
+
+    std::fs::write(&new, report(2e-3)).unwrap();
+    let regressed = Command::new(bin())
+        .args(["bench-diff", old.to_str().unwrap(), new.to_str().unwrap(), "--tolerance", "0.15"])
+        .output()
+        .unwrap();
+    assert_eq!(regressed.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&regressed.stdout).contains("REGRESSED"));
+
+    std::fs::write(&new, "{ not json").unwrap();
+    let garbage = Command::new(bin())
+        .args(["bench-diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(garbage.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_model_is_rejected() {
     let dir = workdir("badmodel");
     let scenario = dir.join("scenario.json");
