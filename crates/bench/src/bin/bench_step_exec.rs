@@ -1,0 +1,122 @@
+//! `step_exec` — serial vs parallel full production step.
+//!
+//! Times the complete per-step pipeline (free surface, velocity, stress +
+//! attenuation, source injection, plasticity, sponge, and the §6.5
+//! compression round trip) on a 64³ mesh in both [`ExecMode`]s and writes
+//! a [`BenchReport`] with three records:
+//!
+//! * `step_exec/serial` — absolute seconds per step, reference kernels;
+//! * `step_exec/parallel` — absolute seconds per step, Rayon CPE-pool
+//!   kernels (informational on any one machine);
+//! * `step_exec/parallel_over_serial` — the **dimensionless ratio** of
+//!   the two medians. This is the record the committed baseline
+//!   `BENCH_step_exec.json` pins at 2/3 (= a 1.5× speedup floor), so
+//!   `swquake bench-diff BENCH_step_exec.json <this output> --tolerance 0`
+//!   passes exactly when the parallel path is at least 1.5× faster —
+//!   a machine-independent gate, unlike the absolute timings.
+//!
+//! Usage: `bench_step_exec [out.json] [threads]` (defaults:
+//! `BENCH_step_exec_new.json`, 4 worker threads).
+
+use std::time::Instant;
+
+use sw_grid::Dims3;
+use sw_model::LayeredModel;
+use sw_source::{MomentTensor, PointSource, SourceTimeFunction};
+use sw_telemetry::bench::{BenchRecord, BenchReport};
+use swquake_core::{ExecMode, SimConfig, Simulation};
+
+const SIDE: usize = 64;
+const WARMUP_STEPS: usize = 3;
+const TIMED_STEPS: usize = 12;
+
+/// The production step shape: nonlinear + attenuation + sponge +
+/// self-calibrating compression, with a real source so the wavefield is
+/// non-trivial by the time the timed steps run.
+fn bench_config() -> SimConfig {
+    let mut cfg = SimConfig::new(Dims3::cube(SIDE), 100.0, WARMUP_STEPS + TIMED_STEPS);
+    cfg.options.sponge_width = 8;
+    cfg.options.attenuation = true;
+    cfg.options.nonlinear = true;
+    cfg.sources = vec![PointSource {
+        ix: SIDE / 2,
+        iy: SIDE / 2,
+        iz: SIDE / 3,
+        moment: MomentTensor::double_couple(30.0, 80.0, 170.0, 3.0e14),
+        stf: SourceTimeFunction::Triangle { onset: 0.02, duration: 0.3 },
+    }];
+    cfg.with_compression(true)
+}
+
+/// Per-step wall times for one execution mode.
+fn time_mode(exec: ExecMode) -> Vec<f64> {
+    let model = LayeredModel::north_china();
+    let cfg = bench_config().with_exec(exec);
+    let mut sim = Simulation::new(&model, &cfg).expect("valid bench config");
+    sim.run(WARMUP_STEPS);
+    (0..TIMED_STEPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            sim.step();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+fn record(name: &str, samples: &[f64]) -> BenchRecord {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let median = if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
+    BenchRecord {
+        name: name.to_string(),
+        samples: n as u64,
+        median_s: median,
+        mean_s: sorted.iter().sum::<f64>() / n as f64,
+        min_s: sorted[0],
+        max_s: sorted[n - 1],
+        throughput: (SIDE * SIDE * SIDE) as f64,
+        throughput_unit: "elements".to_string(),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| "BENCH_step_exec_new.json".to_string());
+    let threads: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(4);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global()
+        .expect("the vendored pool accepts reconfiguration");
+    println!(
+        "step_exec: {SIDE}^3 mesh, {TIMED_STEPS} timed steps per mode, \
+         {} worker threads",
+        rayon::current_num_threads()
+    );
+
+    let serial = record("step_exec/serial", &time_mode(ExecMode::Serial));
+    let parallel = record("step_exec/parallel", &time_mode(ExecMode::Parallel));
+    let ratio = parallel.median_s / serial.median_s;
+    let ratio_rec = BenchRecord {
+        name: "step_exec/parallel_over_serial".to_string(),
+        samples: parallel.samples,
+        median_s: ratio,
+        mean_s: ratio,
+        min_s: ratio,
+        max_s: ratio,
+        throughput: 0.0,
+        throughput_unit: String::new(),
+    };
+    println!(
+        "serial {:.4} s/step, parallel {:.4} s/step, ratio {ratio:.3} \
+         (speedup {:.2}x)",
+        serial.median_s,
+        parallel.median_s,
+        1.0 / ratio
+    );
+
+    let mut report = BenchReport::new();
+    report.records = vec![serial, parallel, ratio_rec];
+    report.write_file(std::path::Path::new(&path)).expect("failed to write bench JSON");
+    println!("wrote {path} (3 records)");
+}

@@ -21,9 +21,11 @@
 //! single-rank run, which the integration tests pin down.
 
 use crate::error::{ConfigError, RestoreError};
+use crate::exec::{self, ExecMode};
 use crate::flops::FlopCounter;
 use crate::kernels;
 use crate::state::{SolverState, StateOptions};
+use rayon::prelude::*;
 use std::time::Instant;
 use sw_arch::analytic::{AnalyticModel, KernelShape};
 use sw_arch::regcomm::RegisterMesh;
@@ -69,6 +71,13 @@ pub struct SimConfig {
     pub compression_stats: Vec<(String, FieldStats)>,
     /// Physical position of grid index (0,0,0), m.
     pub origin: (f64, f64, f64),
+    /// Which kernel implementations run (serial reference vs the Rayon
+    /// CPE-pool analogue — bit-identical). Defaults to the `SWQUAKE_EXEC`
+    /// environment override when set, [`ExecMode::Auto`] otherwise.
+    pub exec: ExecMode,
+    /// Pin the global Rayon worker budget to this many threads (0 = keep
+    /// the current setting). Defaults to `SWQUAKE_THREADS` when set.
+    pub threads: usize,
     /// Metrics sink for every subsystem the run touches (defaults to
     /// [`Telemetry::disabled`], which records nothing).
     pub telemetry: Telemetry,
@@ -90,8 +99,24 @@ impl SimConfig {
             compression: false,
             compression_stats: Vec::new(),
             origin: (0.0, 0.0, 0.0),
+            exec: ExecMode::from_env(),
+            threads: exec::threads_from_env(),
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Choose the execution mode (overrides the `SWQUAKE_EXEC` default).
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Pin the global Rayon worker budget (0 = keep the current setting).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Replace the source list.
@@ -234,6 +259,102 @@ impl ArchCharges {
     }
 }
 
+/// One compressed wavefield's codec state across steps.
+///
+/// Self-calibrating codecs (no coarse-run statistics provided) used to be
+/// rebuilt from a full `FieldStats::of_field` scan every step even when
+/// the field's range had not moved. The slot caches the built codec keyed
+/// by the **binade bucket** of the field's interior max-abs: each step
+/// costs one cheap max-abs scan, and the codec is rebuilt only when the
+/// magnitude crosses into another power-of-two bucket (either direction).
+/// The active codec is a pure function of the *current* field — never of
+/// run history — so a restored checkpoint rebuilds the identical codec
+/// and restart stays bit-exact.
+struct CompressionSlot {
+    /// `COMPRESSED_FIELDS` index.
+    idx: usize,
+    /// The codec built from the config's statistics (or the empty-stats
+    /// sentinel that marks self-calibration).
+    base: Codec,
+    /// The codec actually applied this step.
+    active: Codec,
+    /// Binade bucket `active` was calibrated for (`i32::MIN` marks the
+    /// all-zero-field bucket; `None` = not yet calibrated).
+    bucket: Option<i32>,
+}
+
+/// Binade bucket of a finite interior max-abs (`i32::MIN` = zero field).
+fn max_abs_bucket(max_abs: f32) -> i32 {
+    if max_abs == 0.0 {
+        i32::MIN
+    } else {
+        sw_compress::stats::unbiased_exponent(max_abs)
+    }
+}
+
+/// The self-calibrated codec for a binade bucket — a pure function of
+/// `(base, bucket)`, so a cached build and a from-scratch build always
+/// agree (what makes the cache transparent and restart-safe).
+fn calibrated_codec(base: &Codec, bucket: i32) -> Codec {
+    match base {
+        Codec::Norm(_) => {
+            if bucket == i32::MIN {
+                Codec::Norm(sw_compress::NormCodec::new(0.0, 0.0))
+            } else {
+                // max_abs ∈ [2^e, 2^(e+1)): the symmetric range ±2^(e+1)
+                // covers the whole bucket, so the codec is stable until
+                // the bucket moves.
+                let r = 2.0f32.powi(bucket.min(126) + 1);
+                Codec::Norm(sw_compress::NormCodec::new(-r, r))
+            }
+        }
+        Codec::Adaptive(_) => {
+            if bucket == i32::MIN {
+                *base
+            } else {
+                // Mirror `AdaptiveCodec::from_stats`: four binades of
+                // saturation headroom, 29 binades of downward coverage.
+                let hi = bucket.saturating_add(4).min(127);
+                Codec::Adaptive(sw_compress::AdaptiveCodec::new(hi - 29, hi))
+            }
+        }
+        c => *c,
+    }
+}
+
+impl CompressionSlot {
+    fn new(idx: usize, base: Codec) -> Self {
+        Self { idx, base, active: base, bucket: None }
+    }
+
+    /// Whether `base` is the empty-stats sentinel that asks for per-step
+    /// self-calibration (same sentinels the pre-cache code matched on).
+    fn self_calibrating(&self) -> bool {
+        match &self.base {
+            Codec::Norm(n) => n.vmin() == 0.0 && n.vmax() == 1.0,
+            Codec::Adaptive(a) => a.exp_bits == 1,
+            Codec::F16(_) => false,
+        }
+    }
+
+    /// The codec for a field whose interior max-abs is `max_abs`;
+    /// returns `(codec, rebuilt)`.
+    fn refresh(&mut self, max_abs: f32) -> (Codec, bool) {
+        if !max_abs.is_finite() {
+            // The field is blowing up; keep whatever codec we have (the
+            // instability check after the step reports it).
+            return (self.active, false);
+        }
+        let bucket = max_abs_bucket(max_abs);
+        if self.bucket == Some(bucket) {
+            return (self.active, false);
+        }
+        self.active = calibrated_codec(&self.base, bucket);
+        self.bucket = Some(bucket);
+        (self.active, true)
+    }
+}
+
 /// One running simulation (one rank's subdomain, or the whole domain).
 pub struct Simulation {
     /// The solver state.
@@ -257,7 +378,10 @@ pub struct Simulation {
     restart: RestartController,
     snapshot_times: Vec<f64>,
     next_snapshot: usize,
-    compression: Option<Vec<(usize, Codec)>>,
+    compression: Option<Vec<CompressionSlot>>,
+    /// Resolved execution mode: `true` routes every step phase through
+    /// the Rayon CPE-pool kernels (bit-identical to the serial path).
+    parallel: bool,
     telemetry: Telemetry,
     arch: Option<ArchCharges>,
 }
@@ -318,11 +442,17 @@ impl Simulation {
                         .find(|(n, _)| n == *name)
                         .map(|(_, s)| *s)
                         .unwrap_or_else(FieldStats::empty);
-                    (i, Codec::paper_assignment(name, &stats))
+                    CompressionSlot::new(i, Codec::paper_assignment(name, &stats))
                 })
                 .collect()
         });
+        exec::configure_threads(config.threads);
+        let parallel = config.exec.resolve(d.len());
         let telemetry = config.telemetry.clone();
+        if telemetry.is_enabled() {
+            telemetry.gauge("exec.mode", if parallel { 1.0 } else { 0.0 });
+            telemetry.gauge("exec.threads", rayon::current_num_threads() as f64);
+        }
         let arch = telemetry.is_enabled().then(|| {
             // The analytic model's blocking for this block is the LDM
             // footprint the Sunway port would run with (eq. 6).
@@ -345,9 +475,16 @@ impl Simulation {
             snapshot_times: config.snapshot_times.clone(),
             next_snapshot: 0,
             compression,
+            parallel,
             telemetry,
             arch,
         }
+    }
+
+    /// Whether this simulation runs the Rayon CPE-pool kernels (the
+    /// resolved [`ExecMode`]).
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
     }
 
     /// The telemetry handle this simulation records into.
@@ -390,24 +527,57 @@ impl Simulation {
     /// The kernel sequence up to (not including) recording — split out so
     /// the multi-rank runner can interleave halo exchanges.
     fn step_interior(&mut self) {
+        self.velocity_half();
+        self.stress_half();
+    }
+
+    /// First half of the step: free-surface imaging + the velocity
+    /// update. The multi-rank runner calls this after exchanging stress
+    /// halos (which feed the velocity stencils).
+    fn velocity_half(&mut self) {
         let tel = self.telemetry.clone();
         let s = &mut self.state;
         {
             let _p = tel.phase("free_surface");
-            kernels::fstr(s);
+            if self.parallel {
+                kernels::fstr_par(s);
+            } else {
+                kernels::fstr(s);
+            }
         }
         {
             let _p = tel.phase("velocity");
-            kernels::dvelcx(s);
-            kernels::dvelcy(s);
+            if self.parallel {
+                kernels::dvelc_par(s);
+            } else {
+                kernels::dvelcx(s);
+                kernels::dvelcy(s);
+            }
         }
+    }
+
+    /// Second half of the step: stress update, source injection,
+    /// plasticity, sponge, and the §6.5 compression round trip. The
+    /// multi-rank runner calls this after exchanging velocity halos
+    /// (which feed the stress stencils).
+    fn stress_half(&mut self) {
+        let tel = self.telemetry.clone();
+        let s = &mut self.state;
         {
             let _p = tel.phase("free_surface");
-            kernels::fstr(s);
+            if self.parallel {
+                kernels::fstr_par(s);
+            } else {
+                kernels::fstr(s);
+            }
         }
         {
             let _p = tel.phase("stress");
-            kernels::dstrqc(s);
+            if self.parallel {
+                kernels::dstrqc_par(s);
+            } else {
+                kernels::dstrqc(s);
+            }
         }
         {
             let _p = tel.phase("source");
@@ -415,40 +585,95 @@ impl Simulation {
         }
         if s.options.nonlinear {
             let _p = tel.phase("plasticity");
-            kernels::drprecpc_calc(s);
-            kernels::drprecpc_app(s);
+            if self.parallel {
+                kernels::drprecpc_calc_par(s);
+                kernels::drprecpc_app_par(s);
+            } else {
+                kernels::drprecpc_calc(s);
+                kernels::drprecpc_app(s);
+            }
         }
         {
             let _p = tel.phase("sponge");
-            kernels::apply_sponge(s);
+            if self.parallel {
+                kernels::apply_sponge_par(s);
+            } else {
+                kernels::apply_sponge(s);
+            }
         }
-        if let Some(codecs) = &self.compression {
+        self.compression_roundtrip();
+    }
+
+    /// The §6.5 16-bit inter-step storage, simulated as an encode/decode
+    /// round trip per wavefield. Self-calibrating codecs come from the
+    /// binade-bucket cache (see [`CompressionSlot`]); in parallel mode
+    /// the max-abs calibration scans run over the pool and the nine
+    /// round trips fan out per field (each itself chunked, so the fan-out
+    /// parallelizes whether the pool has 2 threads or 32).
+    fn compression_roundtrip(&mut self) {
+        let Some(mut slots) = self.compression.take() else { return };
+        let tel = self.telemetry.clone();
+        let parallel = self.parallel;
+        {
             let _p = tel.phase("compression");
-            for (idx, codec) in codecs {
-                let field = wavefield_mut(&mut self.state, *idx);
-                // Self-calibrating fallback when no coarse-run statistics
-                // were provided: rebuild the codec from this field's range.
-                let codec = match codec {
-                    Codec::Norm(n) if n.vmin() == 0.0 && n.vmax() == 1.0 => Codec::Norm(
-                        sw_compress::NormCodec::from_stats(&FieldStats::of_field(field)),
-                    ),
-                    Codec::Adaptive(a) if a.exp_bits == 1 => {
-                        let stats = FieldStats::of_field(field);
-                        if stats.exponent_span() > 0 {
-                            Codec::Adaptive(sw_compress::AdaptiveCodec::from_stats(&stats))
+            // Pass 1: resolve this step's codec per field (the
+            // self-calibration scans read the fields immutably).
+            let (mut rebuilds, mut reuses) = (0u64, 0u64);
+            let codecs: Vec<Codec> = slots
+                .iter_mut()
+                .map(|slot| {
+                    if slot.self_calibrating() {
+                        let field = wavefield(&self.state, slot.idx);
+                        let max_abs = if parallel {
+                            sw_compress::par::field_max_abs_par(field)
                         } else {
-                            *codec
+                            field.max_abs()
+                        };
+                        let (codec, rebuilt) = slot.refresh(max_abs);
+                        if rebuilt {
+                            rebuilds += 1;
+                        } else {
+                            reuses += 1;
                         }
+                        codec
+                    } else {
+                        slot.base
                     }
-                    c => *c,
-                };
-                if tel.is_enabled() {
-                    roundtrip_compress_instrumented(field, &codec, &tel);
-                } else {
-                    roundtrip_compress(field, &codec);
+                })
+                .collect();
+            if tel.is_enabled() {
+                tel.add("compress.codec_rebuilds", rebuilds);
+                tel.add("compress.codec_reuses", reuses);
+            }
+            // Pass 2: the round trips.
+            if parallel && !tel.is_enabled() {
+                let s = &mut self.state;
+                let fields = [
+                    &mut s.u, &mut s.v, &mut s.w, &mut s.xx, &mut s.yy, &mut s.zz, &mut s.xy,
+                    &mut s.xz, &mut s.yz,
+                ];
+                let work: Vec<(&mut Field3, Codec)> = fields
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(i, f)| {
+                        slots.iter().position(|s| s.idx == i).map(|p| (f, codecs[p]))
+                    })
+                    .collect();
+                work.into_par_iter().for_each(|(field, codec)| {
+                    sw_compress::par::roundtrip_par(&codec, field.raw_mut());
+                });
+            } else {
+                for (slot, codec) in slots.iter().zip(&codecs) {
+                    let field = wavefield_mut(&mut self.state, slot.idx);
+                    if tel.is_enabled() {
+                        roundtrip_compress_instrumented(field, codec, &tel, parallel);
+                    } else {
+                        roundtrip_compress(field, codec);
+                    }
                 }
             }
         }
+        self.compression = Some(slots);
     }
 
     /// Recording, flop accounting, checkpointing, clock advance.
@@ -499,16 +724,23 @@ impl Simulation {
         }
     }
 
-    /// Snapshot the full dynamic state.
+    /// Snapshot the full dynamic state. In parallel mode the sixteen
+    /// field clones fan out over the pool (order-preserving map, so the
+    /// checkpoint layout is identical either way).
     pub fn make_checkpoint(&self) -> Checkpoint {
-        let mut fields = Vec::new();
+        let mut sources: Vec<(String, &Field3)> = Vec::new();
         for (i, name) in COMPRESSED_FIELDS.iter().enumerate() {
-            fields.push((name.to_string(), wavefield(&self.state, i).clone()));
+            sources.push((name.to_string(), wavefield(&self.state, i)));
         }
         for (i, r) in self.state.r.iter().enumerate() {
-            fields.push((format!("r{}", i + 1), r.clone()));
+            sources.push((format!("r{}", i + 1), r));
         }
-        fields.push(("eqp".to_string(), self.state.eqp.clone()));
+        sources.push(("eqp".to_string(), &self.state.eqp));
+        let fields: Vec<(String, Field3)> = if self.parallel {
+            sources.into_par_iter().map(|(name, f)| (name, f.clone())).collect()
+        } else {
+            sources.into_iter().map(|(name, f)| (name, f.clone())).collect()
+        };
         Checkpoint { step: self.step_count, time: self.time, fields }
     }
 
@@ -551,11 +783,14 @@ impl Simulation {
     }
 
     /// Collect per-wavefield statistics (the Fig. 5a coarse-run product).
+    /// Parallel mode scans each field with the exact parallel reduction
+    /// (`FieldStats::of_field_par`) — same statistics, any thread count.
     pub fn collect_stats(&self) -> Vec<(String, FieldStats)> {
+        let scan = if self.parallel { FieldStats::of_field_par } else { FieldStats::of_field };
         COMPRESSED_FIELDS
             .iter()
             .enumerate()
-            .map(|(i, name)| (name.to_string(), FieldStats::of_field(wavefield(&self.state, i))))
+            .map(|(i, name)| (name.to_string(), scan(wavefield(&self.state, i))))
             .collect()
     }
 }
@@ -590,22 +825,40 @@ fn roundtrip_compress(field: &mut Field3, codec: &Codec) {
 
 /// The telemetry-enabled round trip: identical values to
 /// [`roundtrip_compress`], plus `compress.*` timers, byte counters and the
-/// max round-trip error gauge.
-fn roundtrip_compress_instrumented(field: &mut Field3, codec: &Codec, tel: &Telemetry) {
+/// max round-trip error gauge. With `parallel` the encode and decode
+/// loops run over the pool (bit-identical; the max-error reduction is
+/// exact because `max` is order-independent).
+fn roundtrip_compress_instrumented(
+    field: &mut Field3,
+    codec: &Codec,
+    tel: &Telemetry,
+    parallel: bool,
+) {
     let n = field.raw().len();
     let t0 = Instant::now();
-    let encoded: Vec<u16> = field.raw().iter().map(|v| codec.encode(*v)).collect();
+    let encoded: Vec<u16> = if parallel {
+        let mut buf = vec![0u16; n];
+        sw_compress::par::encode_par(codec, field.raw(), &mut buf);
+        buf
+    } else {
+        field.raw().iter().map(|v| codec.encode(*v)).collect()
+    };
     tel.record_duration("compress.encode", t0.elapsed().as_secs_f64());
     let t1 = Instant::now();
-    let mut max_err = 0.0f64;
-    for (v, e) in field.raw_mut().iter_mut().zip(&encoded) {
-        let decoded = codec.decode(*e);
-        let err = f64::from((decoded - *v).abs());
-        if err > max_err {
-            max_err = err;
+    let max_err = if parallel {
+        sw_compress::par::decode_max_err_par(codec, &encoded, field.raw_mut())
+    } else {
+        let mut max_err = 0.0f64;
+        for (v, e) in field.raw_mut().iter_mut().zip(&encoded) {
+            let decoded = codec.decode(*e);
+            let err = f64::from((decoded - *v).abs());
+            if err > max_err {
+                max_err = err;
+            }
+            *v = decoded;
         }
-        *v = decoded;
-    }
+        max_err
+    };
     tel.record_duration("compress.decode", t1.elapsed().as_secs_f64());
     tel.add("compress.raw_bytes", (n * 4) as u64);
     tel.add("compress.encoded_bytes", (n * 2) as u64);
@@ -681,44 +934,14 @@ pub fn run_multirank(
                     &mut [&mut s.xx, &mut s.yy, &mut s.zz, &mut s.xy, &mut s.xz, &mut s.yz],
                 );
             }
-            {
-                let s = &mut sim.state;
-                {
-                    let _p = tel.phase("free_surface");
-                    kernels::fstr(s);
-                }
-                let _p = tel.phase("velocity");
-                kernels::dvelcx(s);
-                kernels::dvelcy(s);
-            }
+            sim.velocity_half();
             // velocity halos feed the stress stencils
             {
                 let _h = tel.phase("halo_velocity");
                 let s = &mut sim.state;
                 exchanger.exchange(comm, &mut [&mut s.u, &mut s.v, &mut s.w]);
             }
-            {
-                let s = &mut sim.state;
-                {
-                    let _p = tel.phase("free_surface");
-                    kernels::fstr(s);
-                }
-                {
-                    let _p = tel.phase("stress");
-                    kernels::dstrqc(s);
-                }
-                {
-                    let _p = tel.phase("source");
-                    kernels::addsrc(s, &sim.sources, sim.time);
-                }
-                if s.options.nonlinear {
-                    let _p = tel.phase("plasticity");
-                    kernels::drprecpc_calc(s);
-                    kernels::drprecpc_app(s);
-                }
-                let _p = tel.phase("sponge");
-                kernels::apply_sponge(s);
-            }
+            sim.stress_half();
             sim.finish_step();
             drop(_step);
             if let Some(start) = start {
@@ -938,6 +1161,93 @@ mod tests {
         let report = sim.metrics();
         assert_eq!(report.counter("arch.regcomm_rounds"), Some(2 * 8));
         assert!(report.counter("arch.regcomm_cycles").unwrap() > 0);
+    }
+
+    #[test]
+    fn codec_cache_is_transparent() {
+        // The cached slot must hand out exactly what a from-scratch build
+        // for the same field magnitude would — that is what makes caching
+        // invisible to results and to checkpoint/restore.
+        let empty = FieldStats::empty();
+        for base in [Codec::paper_assignment("xx", &empty), Codec::paper_assignment("lam", &empty)]
+        {
+            let mut slot = CompressionSlot::new(0, base);
+            assert!(slot.self_calibrating());
+            let mut rebuilds = 0;
+            // A magnitude trajectory that grows, dithers inside one
+            // binade, and collapses to zero.
+            for max_abs in [0.0f32, 1.0e-3, 1.1e-3, 1.9e-3, 4.0e-3, 4.1e-3, 0.5, 0.9, 0.6, 0.0, 0.0]
+            {
+                let (codec, rebuilt) = slot.refresh(max_abs);
+                assert_eq!(codec, calibrated_codec(&base, max_abs_bucket(max_abs)));
+                rebuilds += rebuilt as usize;
+            }
+            assert_eq!(rebuilds, 5, "one rebuild per distinct bucket in the trajectory");
+        }
+        // Non-finite magnitudes never rebuild (nor poison the cache).
+        let mut slot = CompressionSlot::new(0, Codec::paper_assignment("xx", &empty));
+        let (before, _) = slot.refresh(2.0);
+        let (kept, rebuilt) = slot.refresh(f32::INFINITY);
+        assert_eq!(before, kept);
+        assert!(!rebuilt);
+    }
+
+    #[test]
+    fn self_calibrating_compression_reuses_codecs() {
+        let tel = Telemetry::enabled();
+        let cfg = explosion_config(30).with_compression(true).with_telemetry(tel.clone());
+        let model = HalfspaceModel::hard_rock();
+        let mut sim = Simulation::new(&model, &cfg).expect("valid config");
+        sim.run(cfg.steps);
+        let report = sim.metrics();
+        let rebuilds = report.counter("compress.codec_rebuilds").unwrap();
+        let reuses = report.counter("compress.codec_reuses").unwrap();
+        // 30 steps × 6 self-calibrating (adaptive) fields; before the
+        // cache every one of those was a full-field scan + rebuild.
+        assert_eq!(rebuilds + reuses, 30 * 6);
+        assert!(reuses > rebuilds, "steady-state steps must hit the cache");
+        assert!(rebuilds >= 6, "every field calibrates at least once");
+
+        // Caching is deterministic: an identical run bit-matches.
+        let cfg2 = explosion_config(30).with_compression(true);
+        let mut sim2 = Simulation::new(&model, &cfg2).expect("valid config");
+        sim2.run(cfg2.steps);
+        assert_eq!(sim.state.u.max_abs_diff(&sim2.state.u), 0.0);
+        assert_eq!(sim.state.xx.max_abs_diff(&sim2.state.xx), 0.0);
+    }
+
+    #[test]
+    fn parallel_exec_matches_serial_bitwise() {
+        rayon::ThreadPoolBuilder::new().num_threads(4).build_global().unwrap();
+        let model = HalfspaceModel::hard_rock();
+        let mut cfg = explosion_config(25).with_compression(true);
+        cfg.options.nonlinear = true;
+        cfg.options.attenuation = true;
+        let mut serial = Simulation::new(&model, &cfg.clone().with_exec(ExecMode::Serial))
+            .expect("valid config");
+        serial.run(cfg.steps);
+        let mut par = Simulation::new(&model, &cfg.clone().with_exec(ExecMode::Parallel))
+            .expect("valid config");
+        assert!(par.is_parallel());
+        par.run(cfg.steps);
+        assert_eq!(serial.state.u.max_abs_diff(&par.state.u), 0.0);
+        assert_eq!(serial.state.xx.max_abs_diff(&par.state.xx), 0.0);
+        assert_eq!(serial.state.eqp.max_abs_diff(&par.state.eqp), 0.0);
+        for (a, b) in serial.state.r.iter().zip(par.state.r.iter()) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+    }
+
+    #[test]
+    fn exec_gauges_are_reported() {
+        let tel = Telemetry::enabled();
+        let cfg = explosion_config(2).with_exec(ExecMode::Parallel).with_telemetry(tel.clone());
+        let model = HalfspaceModel::hard_rock();
+        let mut sim = Simulation::new(&model, &cfg).expect("valid config");
+        sim.run(cfg.steps);
+        let report = sim.metrics();
+        assert_eq!(report.gauge("exec.mode").unwrap().last, 1.0);
+        assert!(report.gauge("exec.threads").unwrap().last >= 1.0);
     }
 
     #[test]

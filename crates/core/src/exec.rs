@@ -1,0 +1,139 @@
+//! Execution modes: which implementation of the step kernels runs.
+//!
+//! The paper's production runs never compute on the management core —
+//! every kernel of the step executes on the 64-CPE pool (§6.2, Fig. 4).
+//! [`ExecMode`] is the host-side version of that switch: `Serial` runs
+//! the reference kernels on the calling thread, `Parallel` routes every
+//! phase (free surface, velocity, stress, plasticity, sponge, the §6.5
+//! compression round trip, and checkpoint clones) through the Rayon
+//! CPE-pool analogue in [`crate::kernels::parallel`], and `Auto` — the
+//! default — picks `Parallel` when the grid is big enough to amortize the
+//! fan-out and more than one worker thread is available.
+//!
+//! Both paths are **bit-identical** (pinned by the `exec_equivalence`
+//! integration tests): the parallel kernels split the mesh into disjoint
+//! x planes and keep the in-plane floating-point evaluation order
+//! unchanged, so mode is purely a performance choice.
+//!
+//! ## Composing with the rank runtime
+//!
+//! `run_multirank` spawns one OS thread per rank; each rank's step then
+//! fans out over the *shared, bounded* Rayon worker budget (see the
+//! vendored `rayon` crate and `sw_parallel::run_ranks`). Helper
+//! acquisition never blocks — a rank that finds the budget empty simply
+//! runs its planes inline — so ranks × pool composes without deadlock
+//! and the process never runs more than `ranks + threads − 1` busy
+//! threads. Pin the budget with [`SimConfig::with_threads`]
+//! (`--threads` on the CLI, `SWQUAKE_THREADS` in the environment).
+//!
+//! [`SimConfig::with_threads`]: crate::SimConfig::with_threads
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Grid size (interior points) above which `Auto` goes parallel. Below
+/// it, plane fan-out overhead rivals the kernel work itself: a 32³ block
+/// is roughly where one x plane reaches a few thousand points.
+pub const AUTO_PARALLEL_THRESHOLD: usize = 32 * 32 * 32;
+
+/// Which kernel implementations the driver runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Reference serial kernels on the calling thread.
+    Serial,
+    /// Rayon CPE-pool kernels for every step phase.
+    Parallel,
+    /// `Parallel` when the grid exceeds [`AUTO_PARALLEL_THRESHOLD`]
+    /// points and the pool has more than one thread; `Serial` otherwise.
+    #[default]
+    Auto,
+}
+
+impl ExecMode {
+    /// The process-wide default: `SWQUAKE_EXEC` when set (same syntax as
+    /// `--exec`; invalid values are ignored), `Auto` otherwise. Explicit
+    /// [`crate::SimConfig::with_exec`] always wins over the environment.
+    pub fn from_env() -> Self {
+        std::env::var("SWQUAKE_EXEC").ok().and_then(|v| v.parse().ok()).unwrap_or_default()
+    }
+
+    /// Resolve the mode for a mesh: `true` means run the parallel path.
+    pub fn resolve(self, points: usize) -> bool {
+        match self {
+            ExecMode::Serial => false,
+            ExecMode::Parallel => true,
+            ExecMode::Auto => points >= AUTO_PARALLEL_THRESHOLD && rayon::current_num_threads() > 1,
+        }
+    }
+}
+
+impl FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "serial" => Ok(ExecMode::Serial),
+            "parallel" => Ok(ExecMode::Parallel),
+            "auto" => Ok(ExecMode::Auto),
+            other => Err(format!("unknown exec mode `{other}` (expected serial|parallel|auto)")),
+        }
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExecMode::Serial => "serial",
+            ExecMode::Parallel => "parallel",
+            ExecMode::Auto => "auto",
+        })
+    }
+}
+
+/// Pin the global Rayon worker budget to `threads` (0 = leave the
+/// current setting: hardware parallelism unless previously pinned).
+/// Idempotent; the last call wins.
+pub fn configure_threads(threads: usize) {
+    if threads > 0 {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("the vendored pool accepts reconfiguration");
+    }
+}
+
+/// The thread-count default from `SWQUAKE_THREADS` (0 = unset/invalid).
+pub fn threads_from_env() -> usize {
+    std::env::var("SWQUAKE_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsing_round_trips() {
+        for mode in [ExecMode::Serial, ExecMode::Parallel, ExecMode::Auto] {
+            assert_eq!(mode.to_string().parse::<ExecMode>().unwrap(), mode);
+        }
+        assert_eq!("PARALLEL".parse::<ExecMode>().unwrap(), ExecMode::Parallel);
+        assert!("cpes".parse::<ExecMode>().is_err());
+    }
+
+    #[test]
+    fn fixed_modes_ignore_grid_size() {
+        assert!(!ExecMode::Serial.resolve(usize::MAX));
+        assert!(ExecMode::Parallel.resolve(1));
+    }
+
+    #[test]
+    fn auto_stays_serial_below_threshold() {
+        assert!(!ExecMode::Auto.resolve(AUTO_PARALLEL_THRESHOLD - 1));
+    }
+
+    #[test]
+    fn auto_above_threshold_follows_pool_width() {
+        let expect = rayon::current_num_threads() > 1;
+        assert_eq!(ExecMode::Auto.resolve(AUTO_PARALLEL_THRESHOLD), expect);
+    }
+}

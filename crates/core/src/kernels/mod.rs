@@ -10,9 +10,9 @@
 //!   (the array-fusion ablation, bit-identical to the scalar kernels);
 //! * [`plastic`] — `drprecpc_calc` / `drprecpc_app`: Drucker–Prager
 //!   plasticity (paper eqs. 3–4);
-//! * [`parallel`] — Rayon-parallel variants of the two heavy kernels
-//!   (the host analogue of the Athread CPE pool), bit-identical to the
-//!   serial versions;
+//! * [`parallel`] — Rayon-parallel variants of every step kernel (the
+//!   host analogue of the Athread CPE pool), bit-identical to the serial
+//!   versions — `ExecMode::Parallel` routes the whole step through them;
 //! * [`source`] — `addsrc`: moment-rate injection;
 //! * [`sponge`] — the Cerjan absorbing boundary.
 
@@ -27,7 +27,9 @@ pub mod velocity;
 
 pub use freesurf::fstr;
 pub use fused::{dstrqc_fused, dvelc_fused, FusedWavefield};
-pub use parallel::{dstrqc_par, dvelc_par};
+pub use parallel::{
+    apply_sponge_par, drprecpc_app_par, drprecpc_calc_par, dstrqc_par, dvelc_par, fstr_par,
+};
 pub use plastic::{drprecpc_app, drprecpc_calc};
 pub use source::addsrc;
 pub use sponge::apply_sponge;

@@ -8,10 +8,18 @@
 //! the split is race-free by construction and the result is bit-identical
 //! to the serial kernels (pinned by tests — within one plane the
 //! floating-point evaluation order is unchanged).
+//!
+//! The same decomposition covers the whole production step: free surface
+//! ([`fstr_par`]), plasticity ([`drprecpc_calc_par`] /
+//! [`drprecpc_app_par`]), and the Cerjan sponge ([`apply_sponge_par`])
+//! are all column-local, so planes never interfere. That matches the
+//! paper's §6.2 point that *every* kernel must leave the management core:
+//! any phase left serial re-serializes the iteration.
 
 use crate::staggered::{dxm, dxp, dym, dyp, dzm, dzp};
 use crate::state::SolverState;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use sw_grid::HALO_WIDTH;
 
 /// Rayon-parallel velocity update (`dvelcx` + `dvelcy` in one pass).
@@ -140,10 +148,205 @@ pub fn dstrqc_par(s: &mut SolverState) {
     );
 }
 
+/// Rayon-parallel free surface (`fstr`): stress imaging per (x, y)
+/// column. Every column's reads and writes stay inside its own x plane
+/// (surface planes z ∈ {0, 1, 2} and the halo planes z ∈ {−1, −2}), so
+/// handing whole planes to the pool is race-free and bit-identical.
+pub fn fstr_par(s: &mut SolverState) {
+    let d = s.dims;
+    let p = s.zz.padded_dims();
+    let stride = p.ny * p.nz;
+    let h = HALO_WIDTH;
+    let zz_planes = s.zz.raw_mut().par_chunks_mut(stride);
+    let xz_planes = s.xz.raw_mut().par_chunks_mut(stride);
+    let yz_planes = s.yz.raw_mut().par_chunks_mut(stride);
+    let w_planes = s.w.raw_mut().par_chunks_mut(stride);
+    zz_planes.zip(xz_planes).zip(yz_planes).zip(w_planes).enumerate().skip(h).take(d.nx).for_each(
+        |(_px, (((pzz, pxz), pyz), pw))| {
+            for y in 0..d.ny {
+                let at = |z_pad: usize| (y + h) * p.nz + z_pad;
+                // zz: zero on the surface plane, antisymmetric above.
+                pzz[at(h)] = 0.0;
+                pzz[at(h - 1)] = -pzz[at(h + 1)];
+                pzz[at(h - 2)] = -pzz[at(h + 2)];
+                // xz, yz: antisymmetric about the surface (half-staggered).
+                pxz[at(h - 1)] = -pxz[at(h)];
+                pxz[at(h - 2)] = -pxz[at(h + 1)];
+                pyz[at(h - 1)] = -pyz[at(h)];
+                pyz[at(h - 2)] = -pyz[at(h + 1)];
+                // w: symmetric continuation.
+                pw[at(h - 1)] = pw[at(h)];
+                pw[at(h - 2)] = pw[at(h + 1)];
+            }
+        },
+    );
+}
+
+/// Rayon-parallel `drprecpc_calc`: writes only `yldfac`, reads the six
+/// stresses and the static material arrays. Returns the number of
+/// yielding points; per-plane counts are accumulated atomically, which is
+/// exact (integer addition is associative).
+pub fn drprecpc_calc_par(s: &mut SolverState) -> usize {
+    debug_assert!(s.options.nonlinear);
+    let d = s.dims;
+    let p = s.yldfac.padded_dims();
+    let stride = p.ny * p.nz;
+    let h = HALO_WIDTH;
+    let (xx, yy, zz) = (&s.xx, &s.yy, &s.zz);
+    let (xy, xz, yz) = (&s.xy, &s.xz, &s.yz);
+    let (sigma0, cohes, cosphi, sinphi, pf) = (&s.sigma0, &s.cohes, &s.cosphi, &s.sinphi, &s.pf);
+    let yielding = AtomicUsize::new(0);
+    s.yldfac.raw_mut().par_chunks_mut(stride).enumerate().skip(h).take(d.nx).for_each(
+        |(px, pyld)| {
+            let x = px - h;
+            let mut local = 0usize;
+            for y in 0..d.ny {
+                for z in 0..d.nz {
+                    let o = (y + h) * p.nz + (z + h);
+                    let (sxx, syy, szz) = (xx.get(x, y, z), yy.get(x, y, z), zz.get(x, y, z));
+                    let (sxy, sxz, syz) = (xy.get(x, y, z), xz.get(x, y, z), yz.get(x, y, z));
+                    let mean_dyn = (sxx + syy + szz) / 3.0;
+                    let mean_total = mean_dyn + sigma0.get(x, y, z);
+                    let (dxx, dyy, dzz) = (sxx - mean_dyn, syy - mean_dyn, szz - mean_dyn);
+                    let j2 = 0.5 * (dxx * dxx + dyy * dyy + dzz * dzz)
+                        + sxy * sxy
+                        + sxz * sxz
+                        + syz * syz;
+                    let tau_bar = j2.sqrt();
+                    let c = cohes.get(x, y, z);
+                    let y_stress = (c * cosphi.get(x, y, z)
+                        - (mean_total + pf.get(x, y, z)) * sinphi.get(x, y, z))
+                    .max(0.0);
+                    let r = if tau_bar > y_stress && tau_bar > 0.0 {
+                        local += 1;
+                        y_stress / tau_bar
+                    } else {
+                        1.0
+                    };
+                    pyld[o] = r;
+                }
+            }
+            yielding.fetch_add(local, Ordering::Relaxed);
+        },
+    );
+    yielding.into_inner()
+}
+
+/// Rayon-parallel `drprecpc_app`: scales each point's stress deviator
+/// back onto the yield surface and accumulates plastic strain. Point-
+/// local (reads/writes only its own cell), so planes split race-free.
+pub fn drprecpc_app_par(s: &mut SolverState) {
+    debug_assert!(s.options.nonlinear);
+    let d = s.dims;
+    let p = s.xx.padded_dims();
+    let stride = p.ny * p.nz;
+    let h = HALO_WIDTH;
+    let (yldfac, mu) = (&s.yldfac, &s.mu);
+    let planes =
+        s.xx.raw_mut()
+            .par_chunks_mut(stride)
+            .zip(s.yy.raw_mut().par_chunks_mut(stride))
+            .zip(s.zz.raw_mut().par_chunks_mut(stride))
+            .zip(s.xy.raw_mut().par_chunks_mut(stride))
+            .zip(s.xz.raw_mut().par_chunks_mut(stride))
+            .zip(s.yz.raw_mut().par_chunks_mut(stride))
+            .zip(s.eqp.raw_mut().par_chunks_mut(stride));
+    planes.enumerate().skip(h).take(d.nx).for_each(
+        |(px, ((((((pxx, pyy), pzz), pxy), pxz), pyz), peqp))| {
+            let x = px - h;
+            for y in 0..d.ny {
+                for z in 0..d.nz {
+                    let r = yldfac.get(x, y, z);
+                    if r >= 1.0 {
+                        continue;
+                    }
+                    let o = (y + h) * p.nz + (z + h);
+                    let (sxx, syy, szz) = (pxx[o], pyy[o], pzz[o]);
+                    let mean = (sxx + syy + szz) / 3.0;
+                    pxx[o] = mean + r * (sxx - mean);
+                    pyy[o] = mean + r * (syy - mean);
+                    pzz[o] = mean + r * (szz - mean);
+                    pxy[o] *= r;
+                    pxz[o] *= r;
+                    pyz[o] *= r;
+                    let m = mu.get(x, y, z).max(1.0);
+                    let tau_rel = (1.0 - r)
+                        * ((sxx - mean).powi(2) + (syy - mean).powi(2) + (szz - mean).powi(2))
+                            .sqrt();
+                    peqp[o] += tau_rel / m;
+                }
+            }
+        },
+    );
+}
+
+/// Rayon-parallel Cerjan sponge: multiplies the nine wavefields (and the
+/// six memory variables under attenuation) by the damping profile. Each
+/// field value is scaled independently, so splitting the fields into two
+/// zipped passes changes nothing bitwise.
+pub fn apply_sponge_par(s: &mut SolverState) {
+    let d = s.dims;
+    if s.options.sponge_width == 0 {
+        return;
+    }
+    let p = s.u.padded_dims();
+    let stride = p.ny * p.nz;
+    let h = HALO_WIDTH;
+    let dcrj = &s.dcrj;
+    let planes =
+        s.u.raw_mut()
+            .par_chunks_mut(stride)
+            .zip(s.v.raw_mut().par_chunks_mut(stride))
+            .zip(s.w.raw_mut().par_chunks_mut(stride))
+            .zip(s.xx.raw_mut().par_chunks_mut(stride))
+            .zip(s.yy.raw_mut().par_chunks_mut(stride))
+            .zip(s.zz.raw_mut().par_chunks_mut(stride))
+            .zip(s.xy.raw_mut().par_chunks_mut(stride))
+            .zip(s.xz.raw_mut().par_chunks_mut(stride))
+            .zip(s.yz.raw_mut().par_chunks_mut(stride));
+    planes.enumerate().skip(h).take(d.nx).for_each(
+        |(px, ((((((((pu, pv), pw), pxx), pyy), pzz), pxy), pxz), pyz))| {
+            let x = px - h;
+            for y in 0..d.ny {
+                let damp = dcrj.z_run(x, y);
+                let base = (y + h) * p.nz + h;
+                for plane in [&mut *pu, pv, pw, pxx, pyy, pzz, pxy, pxz, pyz] {
+                    for (v, &g) in plane[base..base + d.nz].iter_mut().zip(damp) {
+                        *v *= g;
+                    }
+                }
+            }
+        },
+    );
+    if s.options.attenuation {
+        let [r0, r1, r2, r3, r4, r5] = &mut s.r;
+        let planes = r0
+            .raw_mut()
+            .par_chunks_mut(stride)
+            .zip(r1.raw_mut().par_chunks_mut(stride))
+            .zip(r2.raw_mut().par_chunks_mut(stride))
+            .zip(r3.raw_mut().par_chunks_mut(stride))
+            .zip(r4.raw_mut().par_chunks_mut(stride))
+            .zip(r5.raw_mut().par_chunks_mut(stride));
+        planes.enumerate().skip(h).take(d.nx).for_each(|(px, (((((p0, p1), p2), p3), p4), p5))| {
+            let x = px - h;
+            for y in 0..d.ny {
+                let damp = dcrj.z_run(x, y);
+                let base = (y + h) * p.nz + h;
+                for plane in [&mut *p0, p1, p2, p3, p4, p5] {
+                    for (v, &g) in plane[base..base + d.nz].iter_mut().zip(damp) {
+                        *v *= g;
+                    }
+                }
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernels::{dstrqc, dvelcx, dvelcy};
+    use crate::kernels::{apply_sponge, drprecpc_app, drprecpc_calc, dstrqc, dvelcx, dvelcy, fstr};
     use crate::state::StateOptions;
     use sw_grid::Dims3;
     use sw_model::HalfspaceModel;
@@ -208,5 +411,144 @@ mod tests {
         }
         assert_eq!(serial.u.max_abs_diff(&par.u), 0.0);
         assert_eq!(serial.xx.max_abs_diff(&par.xx), 0.0);
+    }
+
+    /// Noisy state with every physics option the new kernels touch:
+    /// nonlinearity (for plasticity), attenuation (for the sponge's
+    /// memory-variable pass), and a sponge band.
+    fn noisy_full_state() -> SolverState {
+        let opts = StateOptions {
+            sponge_width: 3,
+            nonlinear: true,
+            attenuation: true,
+            plasticity: crate::state::PlasticityConfig {
+                cohesion_surface: 1.0e5,
+                cohesion_gradient: 0.0,
+                friction_angle_deg: 30.0,
+                fluid_pressure_ratio: 0.0,
+            },
+            ..Default::default()
+        };
+        let mut s = SolverState::from_model(
+            &HalfspaceModel::hard_rock(),
+            Dims3::new(12, 14, 10),
+            100.0,
+            (0.0, 0.0, 0.0),
+            opts,
+        );
+        for (x, y, z) in s.dims.iter() {
+            let v = ((x * 31 + y * 17 + z * 7) % 23) as f32 - 11.0;
+            s.xx.set(x, y, z, v * 1e6);
+            s.yy.set(x, y, z, -v * 4e5);
+            s.zz.set(x, y, z, v * 7e5);
+            s.xy.set(x, y, z, -v * 5e5);
+            s.xz.set(x, y, z, v * 2e5);
+            s.yz.set(x, y, z, v * 3e5);
+            s.u.set(x, y, z, v * 0.01);
+            s.v.set(x, y, z, -v * 0.02);
+            s.w.set(x, y, z, v * 0.005);
+            for r in s.r.iter_mut() {
+                r.set(x, y, z, v * 1e3);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn parallel_free_surface_matches_serial_bitwise() {
+        let mut serial = noisy_full_state();
+        fstr(&mut serial);
+        let mut par = noisy_full_state();
+        fstr_par(&mut par);
+        for (a, b) in [
+            (&serial.zz, &par.zz),
+            (&serial.xz, &par.xz),
+            (&serial.yz, &par.yz),
+            (&serial.w, &par.w),
+        ] {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+        // Halo planes too (max_abs_diff only covers the interior).
+        for x in 0..12isize {
+            for y in 0..14isize {
+                for z in [-1isize, -2] {
+                    assert_eq!(serial.zz.at_i(x, y, z), par.zz.at_i(x, y, z));
+                    assert_eq!(serial.xz.at_i(x, y, z), par.xz.at_i(x, y, z));
+                    assert_eq!(serial.yz.at_i(x, y, z), par.yz.at_i(x, y, z));
+                    assert_eq!(serial.w.at_i(x, y, z), par.w.at_i(x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_plasticity_matches_serial_bitwise() {
+        let mut serial = noisy_full_state();
+        let n_serial = drprecpc_calc(&mut serial);
+        drprecpc_app(&mut serial);
+        let mut par = noisy_full_state();
+        let n_par = drprecpc_calc_par(&mut par);
+        drprecpc_app_par(&mut par);
+        assert!(n_serial > 0, "the noisy state must actually yield somewhere");
+        assert_eq!(n_serial, n_par);
+        assert_eq!(serial.yldfac.max_abs_diff(&par.yldfac), 0.0);
+        assert_eq!(serial.eqp.max_abs_diff(&par.eqp), 0.0);
+        for (a, b) in serial.stress().iter().zip(par.stress().iter()) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_sponge_matches_serial_bitwise() {
+        let mut serial = noisy_full_state();
+        apply_sponge(&mut serial);
+        let mut par = noisy_full_state();
+        apply_sponge_par(&mut par);
+        for (a, b) in [
+            (&serial.u, &par.u),
+            (&serial.v, &par.v),
+            (&serial.w, &par.w),
+            (&serial.xx, &par.xx),
+            (&serial.yy, &par.yy),
+            (&serial.zz, &par.zz),
+            (&serial.xy, &par.xy),
+            (&serial.xz, &par.xz),
+            (&serial.yz, &par.yz),
+        ] {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+        for (a, b) in serial.r.iter().zip(par.r.iter()) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_full_phase_sequence_stays_identical() {
+        let mut serial = noisy_full_state();
+        let mut par = noisy_full_state();
+        for _ in 0..3 {
+            fstr(&mut serial);
+            dvelcx(&mut serial);
+            dvelcy(&mut serial);
+            fstr(&mut serial);
+            dstrqc(&mut serial);
+            drprecpc_calc(&mut serial);
+            drprecpc_app(&mut serial);
+            apply_sponge(&mut serial);
+
+            fstr_par(&mut par);
+            dvelc_par(&mut par);
+            fstr_par(&mut par);
+            dstrqc_par(&mut par);
+            drprecpc_calc_par(&mut par);
+            drprecpc_app_par(&mut par);
+            apply_sponge_par(&mut par);
+        }
+        assert_eq!(serial.u.max_abs_diff(&par.u), 0.0);
+        assert_eq!(serial.xx.max_abs_diff(&par.xx), 0.0);
+        assert_eq!(serial.eqp.max_abs_diff(&par.eqp), 0.0);
+        for (a, b) in serial.r.iter().zip(par.r.iter()) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
     }
 }

@@ -20,6 +20,9 @@
 //! * [`flops`] — §7.1-convention flop accounting;
 //! * [`driver`] — the per-rank timestep driver with recorders, restart
 //!   control and on-the-fly compression;
+//! * [`exec`] — execution modes: serial reference kernels vs the Rayon
+//!   CPE-pool analogue (bit-identical; §6.2's "never compute on the
+//!   MPE" as a host-side switch);
 //! * [`framework`] — the unified workflow of Fig. 3 (rupture → partition
 //!   → interpolate → propagate → record);
 //! * [`hazard`] — PGV → Chinese seismic intensity hazard maps
@@ -33,6 +36,7 @@
 
 pub mod driver;
 pub mod error;
+pub mod exec;
 pub mod flops;
 pub mod framework;
 pub mod hazard;
@@ -44,5 +48,6 @@ pub mod sunway;
 
 pub use driver::{SimConfig, Simulation};
 pub use error::{ConfigError, RestoreError};
+pub use exec::ExecMode;
 pub use framework::UnifiedFramework;
 pub use state::SolverState;

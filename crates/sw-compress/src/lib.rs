@@ -25,6 +25,7 @@ pub mod f16;
 pub mod field;
 pub mod lz4;
 pub mod norm;
+pub mod par;
 pub mod stats;
 
 pub use adaptive::AdaptiveCodec;

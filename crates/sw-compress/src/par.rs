@@ -1,0 +1,182 @@
+//! Parallel codec loops (the CPE-pool analogue of Fig. 5c).
+//!
+//! On the Sunway port every (de)compression loop runs on the 64-CPE pool;
+//! here the same loops fan out over the shared Rayon pool. Each element is
+//! encoded/decoded independently by the same scalar codec call, so every
+//! function in this module is bit-identical to its serial counterpart in
+//! [`Codec16`] regardless of thread count or chunk boundaries.
+
+use crate::Codec16;
+use rayon::prelude::*;
+
+/// Elements per parallel work unit. Large enough that the per-chunk
+/// dispatch overhead vanishes, small enough that a 64³ field (≈280 K
+/// padded elements) still splits into plenty of chunks.
+pub const PAR_CHUNK: usize = 16 * 1024;
+
+/// Parallel [`Codec16::encode_slice`].
+pub fn encode_par<C: Codec16 + Sync>(codec: &C, src: &[f32], dst: &mut [u16]) {
+    assert_eq!(src.len(), dst.len());
+    src.par_chunks(PAR_CHUNK)
+        .zip(dst.par_chunks_mut(PAR_CHUNK))
+        .for_each(|(s, d)| codec.encode_slice(s, d));
+}
+
+/// Parallel [`Codec16::decode_slice`].
+pub fn decode_par<C: Codec16 + Sync>(codec: &C, src: &[u16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    src.par_chunks(PAR_CHUNK)
+        .zip(dst.par_chunks_mut(PAR_CHUNK))
+        .for_each(|(s, d)| codec.decode_slice(s, d));
+}
+
+/// Parallel in-place encode/decode round trip (the §6.5 16-bit inter-step
+/// storage, simulated functionally).
+pub fn roundtrip_par<C: Codec16 + Sync>(codec: &C, data: &mut [f32]) {
+    data.par_chunks_mut(PAR_CHUNK).for_each(|chunk| {
+        for v in chunk {
+            *v = codec.decode(codec.encode(*v));
+        }
+    });
+}
+
+/// Parallel decode of `codes` into `data` (which holds the pre-encode
+/// values), returning the maximum absolute round-trip error.
+pub fn decode_max_err_par<C: Codec16 + Sync>(codec: &C, codes: &[u16], data: &mut [f32]) -> f64 {
+    assert_eq!(codes.len(), data.len());
+    data.par_chunks_mut(PAR_CHUNK)
+        .zip(codes.par_chunks(PAR_CHUNK))
+        .map(|(chunk, cs)| {
+            let mut max_err = 0.0f64;
+            for (v, &c) in chunk.iter_mut().zip(cs) {
+                let decoded = codec.decode(c);
+                let err = f64::from((decoded - *v).abs());
+                if err > max_err {
+                    max_err = err;
+                }
+                *v = decoded;
+            }
+            max_err
+        })
+        .reduce(|| 0.0, f64::max)
+}
+
+/// Parallel maximum absolute value of a slice (0 for an empty slice).
+/// `max` is order-independent, so the chunked reduction is exact.
+pub fn max_abs_par(vs: &[f32]) -> f32 {
+    vs.par_chunks(PAR_CHUNK)
+        .map(|chunk| chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs())))
+        .reduce(|| 0.0, f32::max)
+}
+
+/// Parallel interior maximum absolute value of a field — the exact
+/// parallel counterpart of [`sw_grid::Field3::max_abs`] (one task per x
+/// plane; NaNs are skipped by `f32::max`, as in the serial scan).
+pub fn field_max_abs_par(f: &sw_grid::Field3) -> f32 {
+    let d = f.dims();
+    (0..d.nx)
+        .into_par_iter()
+        .map(|x| {
+            let mut m = 0.0f32;
+            for y in 0..d.ny {
+                for &v in f.z_run(x, y) {
+                    m = m.max(v.abs());
+                }
+            }
+            m
+        })
+        .reduce(|| 0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptiveCodec, Codec, F16Codec, FieldStats, NormCodec};
+
+    fn noisy(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (((i * 2_654_435_761) % 1_000_003) as f32 - 5e5) * 1e-4).collect()
+    }
+
+    fn codecs(data: &[f32]) -> Vec<Codec> {
+        let stats = FieldStats::of_slice(data);
+        vec![
+            Codec::F16(F16Codec),
+            Codec::Adaptive(AdaptiveCodec::from_stats(&stats)),
+            Codec::Norm(NormCodec::from_stats(&stats)),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_par_match_serial_bitwise() {
+        let data = noisy(3 * PAR_CHUNK + 777);
+        for codec in codecs(&data) {
+            let mut ser_codes = vec![0u16; data.len()];
+            codec.encode_slice(&data, &mut ser_codes);
+            let mut par_codes = vec![0u16; data.len()];
+            encode_par(&codec, &data, &mut par_codes);
+            assert_eq!(ser_codes, par_codes);
+
+            let mut ser_out = vec![0.0f32; data.len()];
+            codec.decode_slice(&ser_codes, &mut ser_out);
+            let mut par_out = vec![0.0f32; data.len()];
+            decode_par(&codec, &par_codes, &mut par_out);
+            assert_eq!(
+                ser_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_par_matches_serial_bitwise() {
+        let data = noisy(2 * PAR_CHUNK + 13);
+        for codec in codecs(&data) {
+            let mut serial = data.clone();
+            for v in serial.iter_mut() {
+                *v = codec.decode(codec.encode(*v));
+            }
+            let mut par = data.clone();
+            roundtrip_par(&codec, &mut par);
+            assert_eq!(
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_max_err_par_matches_serial() {
+        let data = noisy(PAR_CHUNK + 1);
+        for codec in codecs(&data) {
+            let mut codes = vec![0u16; data.len()];
+            encode_par(&codec, &data, &mut codes);
+            let mut serial_err = 0.0f64;
+            let mut serial = data.clone();
+            for (v, &c) in serial.iter_mut().zip(&codes) {
+                let d = codec.decode(c);
+                serial_err = serial_err.max(f64::from((d - *v).abs()));
+                *v = d;
+            }
+            let mut par = data.clone();
+            let par_err = decode_max_err_par(&codec, &codes, &mut par);
+            assert_eq!(serial_err, par_err);
+            assert_eq!(serial, par);
+        }
+    }
+
+    #[test]
+    fn max_abs_par_matches_serial() {
+        let data = noisy(5 * PAR_CHUNK + 3);
+        let serial = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert_eq!(serial, max_abs_par(&data));
+        assert_eq!(max_abs_par(&[]), 0.0);
+    }
+
+    #[test]
+    fn field_max_abs_par_matches_serial() {
+        let mut f = sw_grid::Field3::new(sw_grid::Dims3::new(9, 7, 11), 2);
+        f.fill_with(|x, y, z| (x * 13 + y * 5 + z) as f32 - 40.0);
+        f.set_i(-1, -1, -1, 1.0e9); // halo value must be ignored, as in max_abs
+        assert_eq!(f.max_abs(), field_max_abs_par(&f));
+    }
+}

@@ -79,6 +79,25 @@ impl FieldStats {
         s
     }
 
+    /// Parallel [`FieldStats::of_field`]: one task per x plane, partial
+    /// statistics merged in plane order. Exact — min/max/exponent updates
+    /// are order-independent and [`FieldStats::merge`] is associative, so
+    /// the result is identical to the serial scan for any thread count.
+    pub fn of_field_par(f: &Field3) -> Self {
+        use rayon::prelude::*;
+        let d = f.dims();
+        (0..d.nx)
+            .into_par_iter()
+            .map(|x| {
+                let mut s = Self::empty();
+                for y in 0..d.ny {
+                    s.observe_slice(f.z_run(x, y));
+                }
+                s
+            })
+            .reduce(Self::empty, |a, b| a.merge(&b))
+    }
+
     /// Merge with statistics gathered elsewhere (across MPI ranks).
     pub fn merge(&self, other: &Self) -> Self {
         Self {

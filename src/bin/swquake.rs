@@ -7,8 +7,10 @@
 //! I/O) is written as a stable-schema JSON report; `--trace` records a
 //! Chrome trace-event timeline (open it in Perfetto / `chrome://tracing`)
 //! and `--roofline` writes the predicted-vs-simulated per-kernel
-//! attribution report. `bench-diff` is the perf-regression gate over two
-//! `BENCH_<name>.json` files.
+//! attribution report. `--exec serial|parallel|auto` picks the kernel
+//! implementation (serial reference vs the bit-identical Rayon CPE-pool
+//! analogue) and `--threads <n>` pins the worker-pool width. `bench-diff`
+//! is the perf-regression gate over two `BENCH_<name>.json` files.
 //!
 //! ```text
 //! swquake --write-example scenario.json           # emit a commented template
@@ -16,6 +18,7 @@
 //! swquake run scenario.json --metrics out.json    # run + telemetry report
 //! swquake run scenario.json --trace trace.json    # run + Chrome trace
 //! swquake run scenario.json --roofline roof.json  # run + attribution table
+//! swquake run scenario.json --exec parallel --threads 8
 //! swquake bench-diff old.json new.json --tolerance 0.15
 //! ```
 //!
@@ -26,7 +29,7 @@
 //! place, here.
 
 use swquake::core::hazard::HazardMap;
-use swquake::core::Simulation;
+use swquake::core::{ExecMode, Simulation};
 use swquake::telemetry::bench::{compare, BenchReport};
 use swquake::telemetry::{Telemetry, Tracer};
 use swquake::{Error, Scenario};
@@ -37,12 +40,14 @@ enum Command {
     BenchDiff { old: String, new: String, tolerance: f64 },
 }
 
-/// Optional report files a `run` can emit.
+/// Optional report files a `run` can emit, plus execution overrides.
 #[derive(Default)]
 struct RunOutputs {
     metrics: Option<String>,
     trace: Option<String>,
     roofline: Option<String>,
+    exec: Option<ExecMode>,
+    threads: Option<usize>,
 }
 
 impl RunOutputs {
@@ -65,6 +70,8 @@ fn parse_args(args: &[String]) -> Option<Command> {
             "--metrics" => outputs.metrics = Some(iter.next()?.clone()),
             "--trace" => outputs.trace = Some(iter.next()?.clone()),
             "--roofline" => outputs.roofline = Some(iter.next()?.clone()),
+            "--exec" => outputs.exec = Some(iter.next()?.parse().ok()?),
+            "--threads" => outputs.threads = Some(iter.next()?.parse().ok()?),
             flag if flag.starts_with("--") => return None,
             other => positional.push(other.to_string()),
         }
@@ -110,7 +117,8 @@ fn main() {
         None => {
             eprintln!(
                 "usage: swquake [run] <scenario.json> [--metrics <out.json>] \
-                 [--trace <out.json>] [--roofline <out.json>]\n\
+                 [--trace <out.json>] [--roofline <out.json>] \
+                 [--exec serial|parallel|auto] [--threads <n>]\n\
                  \x20      swquake bench-diff <old.json> <new.json> [--tolerance <frac>]\n\
                  \x20      swquake --write-example [path]"
             );
@@ -172,10 +180,22 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
         telemetry = telemetry.with_tracer(Tracer::enabled());
         telemetry.tracer().bind_lane(0, "driver");
     }
-    let cfg = scenario.to_config(model.as_ref())?.with_telemetry(telemetry.clone());
+    let mut cfg = scenario.to_config(model.as_ref())?.with_telemetry(telemetry.clone());
+    if let Some(exec) = outputs.exec {
+        cfg = cfg.with_exec(exec);
+    }
+    if let Some(threads) = outputs.threads {
+        cfg = cfg.with_threads(threads);
+    }
     println!(
-        "mesh {} at dx = {} m, {} steps, model {}, nonlinear {}, compression {}",
-        cfg.dims, cfg.dx, cfg.steps, scenario.model, scenario.nonlinear, scenario.compression
+        "mesh {} at dx = {} m, {} steps, model {}, nonlinear {}, compression {}, exec {}",
+        cfg.dims,
+        cfg.dx,
+        cfg.steps,
+        scenario.model,
+        scenario.nonlinear,
+        scenario.compression,
+        cfg.exec
     );
     let t0 = std::time::Instant::now();
     let mut sim = Simulation::new(model.as_ref(), &cfg)?;

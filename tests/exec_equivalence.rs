@@ -1,0 +1,166 @@
+//! The execution-mode contract: `ExecMode::Parallel` (the Rayon CPE-pool
+//! analogue) must be **bit-identical** to `ExecMode::Serial` on the full
+//! production feature set — nonlinear plasticity, attenuation, Cerjan
+//! sponge, and the §6.5 compression round trip — on the single-rank path,
+//! under the 2×2 rank decomposition, and across checkpoint/restore in
+//! either direction. That is the property that lets mode be a pure
+//! performance choice.
+
+use swquake::core::driver::run_multirank;
+use swquake::core::{ExecMode, SimConfig, Simulation};
+use swquake::grid::Dims3;
+use swquake::io::Station;
+use swquake::model::LayeredModel;
+use swquake::parallel::RankGrid;
+use swquake::source::{MomentTensor, PointSource, SourceTimeFunction};
+
+/// Pin a real pool so `Parallel` genuinely fans out (idempotent; shared
+/// by every test in this binary).
+fn pin_pool() {
+    rayon::ThreadPoolBuilder::new().num_threads(4).build_global().unwrap();
+}
+
+/// Every production feature on at once, with sources near rank seams.
+fn production_config() -> SimConfig {
+    let dims = Dims3::new(30, 28, 16);
+    let mut cfg = SimConfig::new(dims, 150.0, 60).with_compression(true);
+    cfg.options.sponge_width = 5;
+    cfg.options.attenuation = true;
+    cfg.options.nonlinear = true;
+    let moment = MomentTensor::double_couple(30.0, 80.0, 170.0, 3.0e14);
+    let stf = SourceTimeFunction::Triangle { onset: 0.05, duration: 0.5 };
+    cfg.sources = vec![
+        PointSource { ix: 14, iy: 13, iz: 8, moment, stf },
+        PointSource { ix: 15, iy: 14, iz: 5, moment, stf },
+        PointSource { ix: 1, iy: 26, iz: 10, moment, stf },
+    ];
+    cfg.stations = vec![
+        Station { name: "A".into(), ix: 5, iy: 5 },
+        Station { name: "B".into(), ix: 15, iy: 14 }, // on the 2x2 rank seam
+        Station { name: "C".into(), ix: 28, iy: 3 },
+    ];
+    cfg
+}
+
+fn run_mode(cfg: &SimConfig, exec: ExecMode) -> Simulation {
+    let model = LayeredModel::north_china();
+    let mut sim = Simulation::new(&model, &cfg.clone().with_exec(exec)).expect("valid config");
+    sim.run(cfg.steps);
+    sim
+}
+
+fn assert_states_identical(a: &Simulation, b: &Simulation) {
+    assert_eq!(a.state.u.max_abs_diff(&b.state.u), 0.0, "u differs");
+    assert_eq!(a.state.v.max_abs_diff(&b.state.v), 0.0, "v differs");
+    assert_eq!(a.state.w.max_abs_diff(&b.state.w), 0.0, "w differs");
+    assert_eq!(a.state.xx.max_abs_diff(&b.state.xx), 0.0, "xx differs");
+    assert_eq!(a.state.yz.max_abs_diff(&b.state.yz), 0.0, "yz differs");
+    assert_eq!(a.state.eqp.max_abs_diff(&b.state.eqp), 0.0, "eqp differs");
+    for (i, (ra, rb)) in a.state.r.iter().zip(b.state.r.iter()).enumerate() {
+        assert_eq!(ra.max_abs_diff(rb), 0.0, "r{} differs", i + 1);
+    }
+    for (sa, sb) in a.seismo.seismograms().iter().zip(b.seismo.seismograms()) {
+        assert_eq!(sa.samples, sb.samples, "station {} differs", sa.station.name);
+    }
+}
+
+/// Single rank: the parallel step pipeline (free surface, velocity,
+/// stress, plasticity, sponge, compression) bit-matches the serial one
+/// over a 60-step nonlinear run.
+#[test]
+fn parallel_matches_serial_single_rank() {
+    pin_pool();
+    let cfg = production_config();
+    let serial = run_mode(&cfg, ExecMode::Serial);
+    let parallel = run_mode(&cfg, ExecMode::Parallel);
+    assert!(!serial.state.has_blown_up());
+    assert_states_identical(&serial, &parallel);
+}
+
+/// 2×2 ranks, each rank fanning its kernels out over the shared pool:
+/// still bit-identical to the serial single-rank run. Compression uses
+/// globally-collected statistics so every rank derives the same codec
+/// a single-rank run would (per-rank self-calibration is the one thing
+/// that legitimately depends on the decomposition).
+#[test]
+fn parallel_matches_serial_across_2x2_ranks() {
+    pin_pool();
+    let model = LayeredModel::north_china();
+    let mut cfg = production_config();
+    let stats = {
+        let mut probe = Simulation::new(&model, &cfg).expect("valid config");
+        probe.run(20);
+        probe.collect_stats()
+    };
+    cfg.compression_stats = stats;
+
+    let serial_single = run_mode(&cfg, ExecMode::Serial);
+    for exec in [ExecMode::Serial, ExecMode::Parallel] {
+        let multi = run_multirank(&model, &cfg.clone().with_exec(exec), RankGrid::new(2, 2))
+            .expect("valid config");
+        for s in serial_single.seismo.seismograms() {
+            let m = multi
+                .seismograms
+                .iter()
+                .find(|m| m.station.name == s.station.name)
+                .expect("station recorded");
+            assert_eq!(s.samples, m.samples, "station {} differs under {exec}", s.station.name);
+        }
+        let d = cfg.dims;
+        for x in 0..d.nx {
+            for y in 0..d.ny {
+                assert_eq!(
+                    serial_single.pgv.at(x, y),
+                    multi.pgv.at(x, y),
+                    "PGV differs at ({x},{y}) under {exec}"
+                );
+            }
+        }
+    }
+}
+
+/// Checkpoints cross execution modes transparently: a run checkpointed
+/// in one mode and resumed in the other bit-matches an uninterrupted
+/// serial run, in both directions.
+#[test]
+fn checkpoint_restore_is_mode_agnostic() {
+    pin_pool();
+    let model = LayeredModel::north_china();
+    let cfg = production_config();
+    let reference = run_mode(&cfg, ExecMode::Serial);
+
+    for (first_exec, second_exec) in
+        [(ExecMode::Serial, ExecMode::Parallel), (ExecMode::Parallel, ExecMode::Serial)]
+    {
+        let mut first =
+            Simulation::new(&model, &cfg.clone().with_exec(first_exec)).expect("valid config");
+        first.run(30);
+        let ckpt = first.make_checkpoint();
+
+        let mut second =
+            Simulation::new(&model, &cfg.clone().with_exec(second_exec)).expect("valid config");
+        second.restore(&ckpt).expect("matching checkpoint");
+        second.run(30);
+
+        assert_eq!(
+            reference.state.u.max_abs_diff(&second.state.u),
+            0.0,
+            "u differs after {first_exec} -> {second_exec} restore"
+        );
+        assert_eq!(
+            reference.state.xx.max_abs_diff(&second.state.xx),
+            0.0,
+            "xx differs after {first_exec} -> {second_exec} restore"
+        );
+        assert_eq!(
+            reference.state.eqp.max_abs_diff(&second.state.eqp),
+            0.0,
+            "eqp differs after {first_exec} -> {second_exec} restore"
+        );
+        assert_eq!(
+            reference.state.r[3].max_abs_diff(&second.state.r[3]),
+            0.0,
+            "r4 differs after {first_exec} -> {second_exec} restore"
+        );
+    }
+}

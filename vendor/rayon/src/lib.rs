@@ -1,23 +1,138 @@
 //! Offline stand-in for `rayon`.
 //!
-//! Provides the small slice-parallelism surface the kernels use
-//! (`par_chunks_mut` + `zip`/`enumerate`/`skip`/`take`/`for_each`) with
-//! genuine multi-threading: items are materialized, round-robined into one
-//! bucket per hardware thread, and executed under [`std::thread::scope`].
+//! Provides the slice-parallelism surface the kernels use
+//! (`par_chunks_mut` / `par_chunks` + `zip`/`enumerate`/`skip`/`take`/
+//! `map`/`for_each`/`collect`/`reduce`) with genuine multi-threading.
+//!
+//! # The bounded worker budget
+//!
+//! Unlike the original stand-in (which spawned one scoped thread per
+//! hardware core on every `for_each` call), this version draws *helper*
+//! threads from one process-wide budget of `current_num_threads() - 1`
+//! slots, shared by every concurrent parallel call. A call takes as many
+//! free slots as it can use and runs the remaining work inline on the
+//! calling thread; when no slot is free it degrades to a plain serial
+//! loop. Two properties follow by construction:
+//!
+//! * **No deadlock.** Acquiring helpers never blocks — nested parallel
+//!   calls (e.g. a per-field fan-out whose bodies run chunked loops) and
+//!   rank-thread × pool compositions always make progress inline.
+//! * **No oversubscription.** With `R` rank threads over a pool pinned to
+//!   `T`, at most `R + T - 1` threads are ever runnable, however many
+//!   parallel regions are active at once.
+//!
 //! Because each item is processed by exactly one closure call (same as
-//! rayon), kernel results remain bit-identical to the serial versions.
+//! rayon), kernel results remain bit-identical to the serial versions
+//! regardless of the thread count or how items land in buckets.
 
-/// Number of worker threads the pool would use (hardware parallelism).
-pub fn current_num_threads() -> usize {
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pinned pool width; 0 = hardware default.
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Helper threads currently borrowed from the shared budget.
+static BORROWED_HELPERS: AtomicUsize = AtomicUsize::new(0);
+
+fn hardware_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Number of worker threads the pool uses: the pinned width when
+/// [`ThreadPoolBuilder::build_global`] set one, hardware parallelism
+/// otherwise.
+pub fn current_num_threads() -> usize {
+    match CONFIGURED_THREADS.load(Ordering::Relaxed) {
+        0 => hardware_threads(),
+        n => n,
+    }
+}
+
+/// The shared worker budget right now: `(borrowed, helper_cap)`. The
+/// invariant `borrowed <= helper_cap` holds whenever the cap is not
+/// being concurrently lowered; callers (e.g. `sw-parallel`'s rank
+/// runner) may `debug_assert!` it.
+pub fn worker_budget() -> (usize, usize) {
+    (BORROWED_HELPERS.load(Ordering::Acquire), current_num_threads().saturating_sub(1))
+}
+
+/// Take up to `want` helper slots from the shared budget without ever
+/// blocking; returns how many were actually acquired (possibly 0).
+fn borrow_helpers(want: usize) -> usize {
+    if want == 0 {
+        return 0;
+    }
+    let cap = current_num_threads().saturating_sub(1);
+    loop {
+        let cur = BORROWED_HELPERS.load(Ordering::Acquire);
+        let take = want.min(cap.saturating_sub(cur));
+        if take == 0 {
+            return 0;
+        }
+        if BORROWED_HELPERS
+            .compare_exchange(cur, cur + take, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            return take;
+        }
+    }
+}
+
+fn return_helpers(n: usize) {
+    if n > 0 {
+        let prev = BORROWED_HELPERS.fetch_sub(n, Ordering::AcqRel);
+        debug_assert!(prev >= n, "worker budget underflow: returned more helpers than borrowed");
+    }
+}
+
+/// Mirror of `rayon::ThreadPoolBuilder`, reduced to the one knob the
+/// crates use: pinning the global pool width.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building the global pool configuration.
+    pub fn new() -> Self {
+        Self { num_threads: 0 }
+    }
+
+    /// Pin the pool to `n` worker threads (0 = hardware default, as in
+    /// rayon).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration globally. Unlike upstream rayon this is
+    /// idempotent rather than once-only: the last call wins, which lets a
+    /// long-lived process (or a test binary) re-pin the budget.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        CONFIGURED_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Error type kept for rayon API compatibility; the stand-in never
+/// produces it.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool could not be configured")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
 pub mod prelude {
-    pub use crate::{Par, ParallelSliceMut};
+    pub use crate::{IntoParallelIterator, Par, ParallelSlice, ParallelSliceMut};
 }
 
 /// A "parallel" iterator: wraps a std iterator, deferring the actual
-/// fan-out to [`Par::for_each`].
+/// fan-out to [`Par::for_each`] / [`ParMap::collect`].
 pub struct Par<I> {
     inner: I,
 }
@@ -32,6 +147,81 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
         Par { inner: self.chunks_mut(chunk_size) }
     }
+}
+
+/// Entry point mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel version of `chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par { inner: self.chunks(chunk_size) }
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelIterator` for the owned
+/// collections the crates fan out over.
+pub trait IntoParallelIterator {
+    /// Item type of the parallel iterator.
+    type Item: Send;
+    /// Underlying sequential iterator the fan-out materializes.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par { inner: self.into_iter() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par { inner: self }
+    }
+}
+
+/// Fan `items` out across the caller plus however many helper threads the
+/// shared budget can spare, calling `f(original_index, item)` exactly once
+/// per item.
+fn fan_out<T: Send, F: Fn(usize, T) + Sync>(items: Vec<T>, f: F) {
+    if items.is_empty() {
+        return;
+    }
+    let helpers = borrow_helpers(items.len() - 1);
+    if helpers == 0 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let buckets = helpers + 1;
+    let mut bucketed: Vec<Vec<(usize, T)>> = (0..buckets).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        bucketed[i % buckets].push((i, item));
+    }
+    let mine = bucketed.swap_remove(0);
+    let f = &f;
+    std::thread::scope(|s| {
+        for bucket in bucketed {
+            s.spawn(move || {
+                for (i, item) in bucket {
+                    f(i, item);
+                }
+            });
+        }
+        for (i, item) in mine {
+            f(i, item);
+        }
+    });
+    return_helpers(helpers);
 }
 
 impl<I: Iterator> Par<I> {
@@ -55,41 +245,82 @@ impl<I: Iterator> Par<I> {
         Par { inner: self.inner.take(n) }
     }
 
+    /// Map each item through `f` when the iterator is driven (see
+    /// [`ParMap::collect`] / [`ParMap::reduce`]).
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        ParMap { inner: self.inner, f }
+    }
+
     /// Run `f` once per item across the thread pool.
     pub fn for_each<F>(self, f: F)
     where
         I::Item: Send,
         F: Fn(I::Item) + Sync,
     {
+        fan_out(self.inner.collect(), |_, item| f(item));
+    }
+}
+
+/// A mapped parallel iterator (the result of [`Par::map`]).
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParMap<I, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    /// Evaluate all items in parallel, preserving input order.
+    fn eval(self) -> Vec<R> {
         let items: Vec<I::Item> = self.inner.collect();
-        if items.is_empty() {
-            return;
+        let n = items.len();
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        {
+            let slot_cells: Vec<std::sync::Mutex<&mut Option<R>>> =
+                slots.iter_mut().map(std::sync::Mutex::new).collect();
+            let f = &self.f;
+            let slot_cells = &slot_cells;
+            fan_out(items, move |i, item| {
+                let r = f(item);
+                **slot_cells[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
         }
-        let workers = current_num_threads().min(items.len());
-        if workers <= 1 {
-            items.into_iter().for_each(f);
-            return;
-        }
-        let mut buckets: Vec<Vec<I::Item>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, item) in items.into_iter().enumerate() {
-            buckets[i % workers].push(item);
-        }
-        let f = &f;
-        std::thread::scope(|s| {
-            for bucket in buckets {
-                s.spawn(move || {
-                    for item in bucket {
-                        f(item);
-                    }
-                });
-            }
-        });
+        slots.into_iter().map(|s| s.expect("every item evaluated")).collect()
+    }
+
+    /// Collect the mapped results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.eval().into_iter().collect()
+    }
+
+    /// Fold the mapped results with `op`, starting from `identity()`.
+    ///
+    /// Deviation from upstream rayon (documented on purpose): the fold is
+    /// performed sequentially **in input order**, so the result is
+    /// deterministic even for operators that are only approximately
+    /// associative — which is what the bit-reproducibility story of the
+    /// solver needs.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        self.eval().into_iter().fold(identity(), op)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn chunked_for_each_touches_every_element_once() {
@@ -115,5 +346,64 @@ mod tests {
         let touched: Vec<i64> = a.iter().step_by(8).copied().collect();
         assert_eq!(touched, vec![0, 1, 2, 3, 4, 5, 0, 0]);
         assert_eq!(b[8], -1);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..257).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.len(), 257);
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(*d, i * 2);
+        }
+    }
+
+    #[test]
+    fn range_map_reduce_is_deterministic_in_order() {
+        // A deliberately order-sensitive operator: string concatenation.
+        let s: String =
+            (0..9usize).into_par_iter().map(|i| i.to_string()).reduce(String::new, |a, b| a + &b);
+        assert_eq!(s, "012345678");
+    }
+
+    #[test]
+    fn par_chunks_reads_in_parallel() {
+        let data: Vec<u64> = (0..1000).collect();
+        let total: u64 =
+            data.par_chunks(64).map(|c| c.iter().sum::<u64>()).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn budget_is_bounded_and_balances() {
+        ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(current_num_threads(), 3);
+        let (_, cap) = worker_budget();
+        assert_eq!(cap, 2);
+        // Nested parallelism completes (inner calls degrade inline when
+        // the budget is exhausted) and the budget balances afterwards.
+        let mut outer = [0u64; 16];
+        outer.par_chunks_mut(2).for_each(|chunk| {
+            let mut inner = vec![1u64; 128];
+            inner.par_chunks_mut(8).for_each(|c| {
+                for v in c {
+                    *v += 1;
+                }
+            });
+            chunk[0] = inner.iter().sum();
+        });
+        assert!(outer.iter().step_by(2).all(|&v| v == 256));
+        let (borrowed, _) = worker_budget();
+        assert_eq!(borrowed, 0, "all helper slots returned");
+        // Restore the default so other tests see hardware parallelism.
+        ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let mut data: Vec<u32> = Vec::new();
+        data.par_chunks_mut(8).for_each(|_| panic!("no items"));
+        let collected: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(collected.is_empty());
     }
 }
