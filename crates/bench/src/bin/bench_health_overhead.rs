@@ -1,0 +1,156 @@
+//! `health_overhead` — cost of the in-situ health monitor on the full
+//! production step.
+//!
+//! Times the complete per-step pipeline on a 64³ mesh three ways —
+//! health off, health at the default stride 10, and health at stride 1
+//! (every step probed) — and writes a [`BenchReport`] with five
+//! records:
+//!
+//! * `health_overhead/off` — absolute seconds per step, no monitor;
+//! * `health_overhead/stride10` / `health_overhead/stride1` — absolute
+//!   seconds per step with the watchdog, field probes, and compression
+//!   error budget running at that stride;
+//! * `health_overhead/stride10_over_off` /
+//!   `health_overhead/stride1_over_off` — the **dimensionless ratio**
+//!   of the means (a median would ignore the 1-in-stride probe steps
+//!   entirely). The acceptance bar is stride10 under 1.02 (<2%
+//!   overhead); stride1 is informational, bounding the worst case.
+//!
+//! Usage: `bench_health_overhead [out.json] [threads]` (defaults:
+//! `BENCH_health_overhead_new.json`, 4 worker threads).
+
+use std::time::Instant;
+
+use sw_grid::Dims3;
+use sw_health::HealthConfig;
+use sw_model::LayeredModel;
+use sw_source::{MomentTensor, PointSource, SourceTimeFunction};
+use sw_telemetry::bench::{BenchRecord, BenchReport};
+use swquake_core::{ExecMode, SimConfig, Simulation};
+
+const SIDE: usize = 64;
+const WARMUP_STEPS: usize = 3;
+const TIMED_STEPS: usize = 160;
+
+/// The production step shape, as in `bench_step_exec`: nonlinear +
+/// attenuation + sponge + compression, with a real source.
+fn bench_config() -> SimConfig {
+    let mut cfg = SimConfig::new(Dims3::cube(SIDE), 100.0, WARMUP_STEPS + TIMED_STEPS);
+    cfg.options.sponge_width = 8;
+    cfg.options.attenuation = true;
+    cfg.options.nonlinear = true;
+    cfg.sources = vec![PointSource {
+        ix: SIDE / 2,
+        iy: SIDE / 2,
+        iz: SIDE / 3,
+        moment: MomentTensor::double_couple(30.0, 80.0, 170.0, 3.0e14),
+        stf: SourceTimeFunction::Triangle { onset: 0.02, duration: 0.3 },
+    }];
+    cfg.with_compression(true).with_exec(ExecMode::Parallel)
+}
+
+/// Build one simulation per monitor configuration and time them in
+/// interleaved rounds (10 steps of each variant per round), so slow
+/// drift — frequency scaling, page-cache warm-up — lands evenly on all
+/// variants instead of biasing whichever ran first. Each round is a
+/// multiple of every stride, so every variant pays its probes inside
+/// its own timed window.
+fn time_variants(healths: &[Option<HealthConfig>]) -> Vec<Vec<f64>> {
+    const ROUND: usize = 10;
+    let model = LayeredModel::north_china();
+    let mut sims: Vec<Simulation> = healths
+        .iter()
+        .map(|h| {
+            let mut cfg = bench_config();
+            if let Some(h) = h {
+                cfg = cfg.with_health(h.clone());
+            }
+            let mut sim = Simulation::new(&model, &cfg).expect("valid bench config");
+            sim.run(WARMUP_STEPS);
+            sim
+        })
+        .collect();
+    let mut samples = vec![Vec::with_capacity(TIMED_STEPS); sims.len()];
+    for _round in 0..TIMED_STEPS / ROUND {
+        for (sim, out) in sims.iter_mut().zip(&mut samples) {
+            for _ in 0..ROUND {
+                let t0 = Instant::now();
+                sim.step();
+                out.push(t0.elapsed().as_secs_f64());
+            }
+        }
+    }
+    samples
+}
+
+fn record(name: &str, samples: &[f64]) -> BenchRecord {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let median = if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
+    BenchRecord {
+        name: name.to_string(),
+        samples: n as u64,
+        median_s: median,
+        mean_s: sorted.iter().sum::<f64>() / n as f64,
+        min_s: sorted[0],
+        max_s: sorted[n - 1],
+        throughput: (SIDE * SIDE * SIDE) as f64,
+        throughput_unit: "elements".to_string(),
+    }
+}
+
+fn ratio_record(name: &str, num: &BenchRecord, den: &BenchRecord) -> BenchRecord {
+    // Mean-over-mean is steadier than median-over-median here: the
+    // probe cost lands on 1-in-stride steps, which a median ignores.
+    let ratio = num.mean_s / den.mean_s;
+    BenchRecord {
+        name: name.to_string(),
+        samples: num.samples,
+        median_s: ratio,
+        mean_s: ratio,
+        min_s: ratio,
+        max_s: ratio,
+        throughput: 0.0,
+        throughput_unit: String::new(),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| "BENCH_health_overhead_new.json".to_string());
+    let threads: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(4);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global()
+        .expect("the vendored pool accepts reconfiguration");
+    println!(
+        "health_overhead: {SIDE}^3 mesh, {TIMED_STEPS} timed steps per variant, \
+         {} worker threads",
+        rayon::current_num_threads()
+    );
+
+    let samples = time_variants(&[
+        None,
+        Some(HealthConfig::default().with_stride(10)),
+        Some(HealthConfig::default().with_stride(1)),
+    ]);
+    let off = record("health_overhead/off", &samples[0]);
+    let stride10 = record("health_overhead/stride10", &samples[1]);
+    let stride1 = record("health_overhead/stride1", &samples[2]);
+    let r10 = ratio_record("health_overhead/stride10_over_off", &stride10, &off);
+    let r1 = ratio_record("health_overhead/stride1_over_off", &stride1, &off);
+    println!(
+        "off {:.4} s/step, stride10 {:.4} s/step ({:+.2}%), stride1 {:.4} s/step ({:+.2}%)",
+        off.mean_s,
+        stride10.mean_s,
+        (r10.median_s - 1.0) * 100.0,
+        stride1.mean_s,
+        (r1.median_s - 1.0) * 100.0,
+    );
+
+    let mut report = BenchReport::new();
+    report.records = vec![off, stride10, stride1, r10, r1];
+    report.write_file(std::path::Path::new(&path)).expect("failed to write bench JSON");
+    println!("wrote {path} (5 records)");
+}

@@ -20,12 +20,14 @@
 //! halo exchange (Fig. 4 level 1); its results are bit-identical to a
 //! single-rank run, which the integration tests pin down.
 
-use crate::error::{ConfigError, RestoreError};
+use crate::error::{ConfigError, RestoreError, RunError, UnstableError};
 use crate::exec::{self, ExecMode};
 use crate::flops::FlopCounter;
+use crate::health::HealthMonitor;
 use crate::kernels;
 use crate::state::{SolverState, StateOptions};
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 use sw_arch::analytic::{AnalyticModel, KernelShape};
 use sw_arch::regcomm::RegisterMesh;
@@ -33,10 +35,11 @@ use sw_arch::spec::CoreGroupSpec;
 use sw_arch::{KernelPerfModel, OptLevel};
 use sw_compress::{Codec, Codec16, FieldStats};
 use sw_grid::{Dims3, Field3};
+use sw_health::{HealthConfig, HealthLog, HealthRecord, HealthReport};
 use sw_io::checkpoint::{Checkpoint, RestartController};
 use sw_io::{PgvRecorder, SeismogramRecorder, SnapshotRecorder, Station};
 use sw_model::VelocityModel;
-use sw_parallel::{run_ranks, HaloExchanger, RankGrid};
+use sw_parallel::{run_ranks, HaloExchanger, RankGrid, StopBarrier};
 use sw_source::{PointSource, SourcePartitioner};
 use sw_telemetry::Telemetry;
 
@@ -81,6 +84,16 @@ pub struct SimConfig {
     /// Metrics sink for every subsystem the run touches (defaults to
     /// [`Telemetry::disabled`], which records nothing).
     pub telemetry: Telemetry,
+    /// In-situ health monitoring (stability watchdog, field/energy
+    /// probes, compression error budget). `None` (the default) runs
+    /// with zero health overhead.
+    pub health: Option<HealthConfig>,
+    /// A pre-opened health log shared across ranks; wins over the
+    /// config's `log_path` (set by [`run_multirank`] and the CLI).
+    pub shared_health_log: Option<Arc<HealthLog>>,
+    /// This simulation's rank id in a multirank run (stamped into
+    /// health records; 0 for single-rank runs).
+    pub rank: usize,
 }
 
 impl SimConfig {
@@ -102,6 +115,9 @@ impl SimConfig {
             exec: ExecMode::from_env(),
             threads: exec::threads_from_env(),
             telemetry: Telemetry::disabled(),
+            health: None,
+            shared_health_log: None,
+            rank: 0,
         }
     }
 
@@ -155,6 +171,21 @@ impl SimConfig {
         self
     }
 
+    /// Enable in-situ health monitoring with the given configuration.
+    #[must_use]
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Attach a pre-opened health log (shared across ranks); overrides
+    /// the health config's `log_path`.
+    #[must_use]
+    pub fn with_health_log(mut self, log: Arc<HealthLog>) -> Self {
+        self.shared_health_log = Some(log);
+        self
+    }
+
     /// Check that the configuration can produce a runnable simulation.
     pub fn validate(&self) -> Result<(), ConfigError> {
         let d = self.dims;
@@ -181,6 +212,10 @@ impl SimConfig {
                     dims: d,
                 });
             }
+        }
+        let scale = self.options.dt_scale;
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(ConfigError::InvalidDtScale { dt_scale: scale });
         }
         Ok(())
     }
@@ -384,6 +419,7 @@ pub struct Simulation {
     parallel: bool,
     telemetry: Telemetry,
     arch: Option<ArchCharges>,
+    health: Option<HealthMonitor>,
 }
 
 /// Index a wavefield by its `COMPRESSED_FIELDS` position.
@@ -478,6 +514,10 @@ impl Simulation {
             parallel,
             telemetry,
             arch,
+            health: config
+                .health
+                .clone()
+                .map(|h| HealthMonitor::new(h, config.rank, config.shared_health_log.clone())),
         }
     }
 
@@ -645,8 +685,68 @@ impl Simulation {
                 tel.add("compress.codec_rebuilds", rebuilds);
                 tel.add("compress.codec_reuses", reuses);
             }
-            // Pass 2: the round trips.
-            if parallel && !tel.is_enabled() {
+            // Pass 2: the round trips. When the health monitor wants a
+            // compression sample for the step that is completing, every
+            // path routes through the fused error-stats round trips —
+            // bit-identical stored values (same scalar codec calls), so
+            // physics does not depend on whether health is on.
+            let health_sampling = self
+                .health
+                .as_ref()
+                .is_some_and(|m| m.wants_compression_sample(self.step_count + 1));
+            if health_sampling {
+                let samples: Vec<(usize, sw_compress::errstats::RoundtripError)> = if parallel
+                    && !tel.is_enabled()
+                {
+                    let s = &mut self.state;
+                    let fields = [
+                        &mut s.u, &mut s.v, &mut s.w, &mut s.xx, &mut s.yy, &mut s.zz, &mut s.xy,
+                        &mut s.xz, &mut s.yz,
+                    ];
+                    let work: Vec<(&mut Field3, Codec, usize)> = fields
+                        .into_iter()
+                        .enumerate()
+                        .filter_map(|(i, f)| {
+                            slots.iter().position(|s| s.idx == i).map(|p| (f, codecs[p], i))
+                        })
+                        .collect();
+                    work.into_par_iter()
+                        .map(|(field, codec, idx)| {
+                            let stats = sw_compress::errstats::roundtrip_err_stats_par(
+                                &codec,
+                                field.raw_mut(),
+                            );
+                            (idx, stats)
+                        })
+                        .collect()
+                } else {
+                    let mut out = Vec::with_capacity(slots.len());
+                    for (slot, codec) in slots.iter().zip(&codecs) {
+                        let field = wavefield_mut(&mut self.state, slot.idx);
+                        let t0 = tel.is_enabled().then(Instant::now);
+                        let stats = if parallel {
+                            sw_compress::errstats::roundtrip_err_stats_par(codec, field.raw_mut())
+                        } else {
+                            sw_compress::errstats::roundtrip_err_stats(codec, field.raw_mut())
+                        };
+                        if let Some(t0) = t0 {
+                            let n = field.raw().len();
+                            tel.record_duration("compress.roundtrip", t0.elapsed().as_secs_f64());
+                            tel.add("compress.raw_bytes", (n * 4) as u64);
+                            tel.add("compress.encoded_bytes", (n * 2) as u64);
+                            tel.gauge("compress.achieved_ratio", 2.0);
+                            tel.gauge("compress.max_roundtrip_error", stats.max_abs_err);
+                        }
+                        out.push((slot.idx, stats));
+                    }
+                    out
+                };
+                if let Some(monitor) = &mut self.health {
+                    for (idx, stats) in samples {
+                        monitor.record_compression(COMPRESSED_FIELDS[idx], stats, &tel);
+                    }
+                }
+            } else if parallel && !tel.is_enabled() {
                 let s = &mut self.state;
                 let fields = [
                     &mut s.u, &mut s.v, &mut s.w, &mut s.xx, &mut s.yy, &mut s.zz, &mut s.xy,
@@ -715,6 +815,9 @@ impl Simulation {
             }
             self.checkpoints.push(ckpt);
         }
+        if let Some(monitor) = &mut self.health {
+            monitor.check(&self.state, self.step_count, self.time, self.parallel, &tel);
+        }
     }
 
     /// Run `n` steps.
@@ -722,6 +825,50 @@ impl Simulation {
         for _ in 0..n {
             self.step();
         }
+    }
+
+    /// Advance one step, surfacing a fatal health verdict as an error.
+    /// A simulation whose watchdog has already gone fatal refuses to
+    /// step further.
+    // The diagnosis is wide (field name, grid index, cause, bundle
+    // path) but constructed at most once per run, on the abort path;
+    // boxing it would complicate the public API for a cold error.
+    #[allow(clippy::result_large_err)]
+    pub fn step_checked(&mut self) -> Result<(), UnstableError> {
+        if let Some(e) = self.health_failure() {
+            return Err(e.clone());
+        }
+        self.step();
+        match self.health_failure() {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Run up to `n` steps, stopping at the watchdog's first fatal
+    /// verdict. Requires a health config to detect anything; without
+    /// one it is equivalent to [`Simulation::run`].
+    #[allow(clippy::result_large_err)] // cold abort-path error; see step_checked
+    pub fn run_checked(&mut self, n: usize) -> Result<(), UnstableError> {
+        if self.health.is_some() {
+            for _ in 0..n {
+                self.step_checked()?;
+            }
+        } else {
+            self.run(n);
+        }
+        Ok(())
+    }
+
+    /// The health monitor's report so far (`None` when the simulation
+    /// runs without health monitoring).
+    pub fn health(&self) -> Option<HealthReport> {
+        self.health.as_ref().map(|m| m.report())
+    }
+
+    /// The latched fatal verdict, if the watchdog has raised one.
+    pub fn health_failure(&self) -> Option<&UnstableError> {
+        self.health.as_ref().and_then(|m| m.failure())
     }
 
     /// Snapshot the full dynamic state. In parallel mode the sixteen
@@ -873,12 +1020,16 @@ fn roundtrip_compress_instrumented(
 /// Output of a multi-rank run: merged observables.
 #[derive(Debug, Clone)]
 pub struct MultiRankOutput {
-    /// All stations' seismograms (merged across ranks).
+    /// All stations' seismograms, in the order the config listed them,
+    /// with global surface coordinates (stable across decompositions).
     pub seismograms: Vec<sw_io::recorder::Seismogram>,
     /// Global PGV map.
     pub pgv: PgvRecorder,
     /// Total useful flops.
     pub flops: f64,
+    /// Health records merged across ranks, sorted by `(step, rank)`
+    /// (empty when the config carries no health monitoring).
+    pub health: Vec<HealthRecord>,
 }
 
 /// Run `config` on an `Mx × My` rank grid; observables are merged and the
@@ -887,17 +1038,34 @@ pub struct MultiRankOutput {
 /// The global config is validated once up front; per-rank telemetry
 /// aggregates into the shared handle, with halo-fabric timings reported
 /// per rank (`halo.*.rankN`).
+///
+/// With health monitoring enabled, all ranks probe at the same steps
+/// and vote through a collective stop barrier, so a fatal verdict on
+/// any rank aborts every rank at the same step — no rank is left
+/// blocking in a halo exchange. The error carries the earliest-failing
+/// rank's diagnosis.
+#[allow(clippy::result_large_err)] // cold abort-path error; see Simulation::step_checked
 pub fn run_multirank(
     model: &(dyn VelocityModel + Sync),
     config: &SimConfig,
     grid: RankGrid,
-) -> Result<MultiRankOutput, ConfigError> {
+) -> Result<MultiRankOutput, RunError> {
     config.validate()?;
     let global = config.dims;
     let telemetry = config.telemetry.clone();
     let partitioner = SourcePartitioner::new(grid.mx, grid.my, global.nx, global.ny);
     let per_rank_sources = partitioner.partition(&config.sources);
     let exchanger = HaloExchanger::standard().with_telemetry(telemetry.clone());
+    // All ranks stream into one shared JSONL log (per-line writes are
+    // atomic); opening it per rank would truncate it repeatedly.
+    let shared_health_log: Option<Arc<HealthLog>> = match &config.health {
+        Some(h) if config.shared_health_log.is_none() => {
+            h.log_path.as_deref().and_then(|p| HealthLog::create(p).ok().map(Arc::new))
+        }
+        _ => config.shared_health_log.clone(),
+    };
+    let health_stride = config.health.as_ref().map(|h| h.effective_stride());
+    let stop = StopBarrier::new(grid.len());
     let results = run_ranks(grid, |comm| {
         // Each rank thread records into its own trace lane (one process
         // row per rank in the exported Chrome trace).
@@ -919,6 +1087,11 @@ pub fn run_multirank(
             .filter(|s| s.ix >= x0 && s.ix < x0 + local.nx && s.iy >= y0 && s.iy < y0 + local.ny)
             .map(|s| Station { name: s.name.clone(), ix: s.ix - x0, iy: s.iy - y0 })
             .collect();
+        cfg.rank = comm.rank;
+        cfg.shared_health_log = shared_health_log.clone();
+        if let Some(h) = &mut cfg.health {
+            h.log_path = None;
+        }
         let mut sim = Simulation::new(model, &cfg)
             .expect("rank-local config is derived from the validated global config");
         let tel = telemetry.clone();
@@ -947,6 +1120,17 @@ pub fn run_multirank(
             if let Some(start) = start {
                 tel.sample("step.wall_s", start.elapsed().as_secs_f64());
             }
+            // Stop-vote at probe steps: every rank probes at the same
+            // step numbers, so every rank reaches the barrier, and a
+            // fatal verdict anywhere pulls all ranks out of the loop
+            // together before the next halo exchange.
+            if let Some(stride) = health_stride {
+                if sim.step_count.is_multiple_of(stride)
+                    && stop.vote(sim.health_failure().is_some())
+                {
+                    break;
+                }
+            }
         }
         (x0, y0, local, sim)
     });
@@ -954,8 +1138,16 @@ pub fn run_multirank(
     let mut seismograms = Vec::new();
     let mut pgv = PgvRecorder::new(global.nx, global.ny);
     let mut flops = 0.0;
-    for (x0, y0, local, sim) in results {
-        seismograms.extend(sim.seismo.seismograms().iter().cloned());
+    let mut health: Vec<HealthRecord> = Vec::new();
+    let mut failure: Option<UnstableError> = None;
+    for (x0, y0, local, sim) in &results {
+        // Restore global surface coordinates on the rank-local stations.
+        seismograms.extend(sim.seismo.seismograms().iter().map(|s| {
+            let mut s = s.clone();
+            s.station.ix += x0;
+            s.station.iy += y0;
+            s
+        }));
         for x in 0..local.nx {
             for y in 0..local.ny {
                 let v = sim.pgv.at(x, y);
@@ -966,8 +1158,26 @@ pub fn run_multirank(
             }
         }
         flops += sim.flops.flops;
+        if let Some(report) = sim.health() {
+            health.extend(report.records);
+        }
+        if let Some(e) = sim.health_failure() {
+            let earlier = failure.as_ref().is_none_or(|f| (e.step, e.rank) < (f.step, f.rank));
+            if earlier {
+                failure = Some(e.clone());
+            }
+        }
     }
-    Ok(MultiRankOutput { seismograms, pgv, flops })
+    if let Some(e) = failure {
+        return Err(RunError::Unstable(e));
+    }
+    health.sort_by_key(|r| (r.step, r.rank));
+    // Stations come back in the order the config listed them, not in
+    // rank order — stable across decompositions.
+    seismograms.sort_by_key(|s| {
+        config.stations.iter().position(|st| st.name == s.station.name).unwrap_or(usize::MAX)
+    });
+    Ok(MultiRankOutput { seismograms, pgv, flops, health })
 }
 
 #[cfg(test)]

@@ -3,7 +3,9 @@
 //! Construction ([`crate::Simulation::new`], [`crate::driver::run_multirank`])
 //! validates the configuration up front and returns [`ConfigError`];
 //! checkpoint restore returns [`RestoreError`] instead of panicking on a
-//! malformed or mismatched checkpoint.
+//! malformed or mismatched checkpoint. A run whose health watchdog
+//! reaches a fatal verdict aborts with [`UnstableError`], and
+//! [`RunError`] is the union the multirank entry point returns.
 
 use std::fmt;
 use sw_grid::Dims3;
@@ -39,6 +41,11 @@ pub enum ConfigError {
         /// The mesh extents it must fit in.
         dims: Dims3,
     },
+    /// The timestep multiplier must be finite and strictly positive.
+    InvalidDtScale {
+        /// The offending multiplier.
+        dt_scale: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -60,6 +67,9 @@ impl fmt::Display for ConfigError {
                 "station `{name}` at ({}, {}) is outside the {}x{} surface grid",
                 position.0, position.1, dims.nx, dims.ny
             ),
+            Self::InvalidDtScale { dt_scale } => {
+                write!(f, "dt_scale must be finite and positive, got {dt_scale}")
+            }
         }
     }
 }
@@ -119,3 +129,78 @@ impl fmt::Display for RestoreError {
 }
 
 impl std::error::Error for RestoreError {}
+
+/// The solver went numerically unstable: the health watchdog reached a
+/// fatal verdict. Carries everything a post-mortem needs — where the
+/// blow-up first showed (step, rank, field, grid index), why the
+/// watchdog classified it the way it did, and where the on-disk
+/// diagnostic bundle was written (if a bundle directory was
+/// configured).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnstableError {
+    /// Step at which the fatal probe fired.
+    pub step: u64,
+    /// Simulated MPI rank that detected the blow-up (0 single-rank).
+    pub rank: usize,
+    /// Name of the first field carrying a non-finite value.
+    pub field: String,
+    /// Rank-local grid index of the first non-finite value, in scan
+    /// order (deterministic across exec modes).
+    pub index: (usize, usize, usize),
+    /// The watchdog's classification (NaN / Inf / CFL violation).
+    pub cause: sw_health::Fatal,
+    /// Directory of the diagnostic bundle dumped before aborting.
+    pub bundle: Option<String>,
+}
+
+impl fmt::Display for UnstableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "solver unstable at step {} on rank {}: {}", self.step, self.rank, self.cause)?;
+        if let Some(dir) = &self.bundle {
+            write!(f, " (diagnostic bundle in {dir})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnstableError {}
+
+/// Everything a full run can fail with: an invalid configuration up
+/// front, or a fatal health verdict mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The health watchdog aborted the run.
+    Unstable(UnstableError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => e.fmt(f),
+            Self::Unstable(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            Self::Unstable(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::Config(e)
+    }
+}
+
+impl From<UnstableError> for RunError {
+    fn from(e: UnstableError) -> Self {
+        RunError::Unstable(e)
+    }
+}

@@ -107,6 +107,12 @@ pub fn threads_from_env() -> usize {
     std::env::var("SWQUAKE_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
 }
 
+/// The health-probe stride default from `SWQUAKE_HEALTH_STRIDE`
+/// (`None` = unset/invalid, fall back to the CLI/config default).
+pub fn health_stride_from_env() -> Option<u64> {
+    std::env::var("SWQUAKE_HEALTH_STRIDE").ok().and_then(|v| v.parse().ok())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

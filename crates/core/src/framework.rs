@@ -10,7 +10,7 @@
 //! interpolation → wave propagation with recorders → hazard map.
 
 use crate::driver::{run_multirank, MultiRankOutput, SimConfig, Simulation};
-use crate::error::ConfigError;
+use crate::error::{ConfigError, RunError};
 use crate::hazard::HazardMap;
 use sw_io::Station;
 use sw_model::VelocityModel;
@@ -40,12 +40,13 @@ pub struct FrameworkOutput {
 
 impl UnifiedFramework {
     /// Run the complete cycle on `grid` ranks.
+    #[allow(clippy::result_large_err)] // cold abort-path error; see Simulation::step_checked
     pub fn run(
         &self,
         model: &(dyn VelocityModel + Sync),
         grid: RankGrid,
         rupture_snapshot_times: &[f64],
-    ) -> Result<FrameworkOutput, ConfigError> {
+    ) -> Result<FrameworkOutput, RunError> {
         // 1. Dynamic rupture (CG-FDM stage).
         let rupture = self.rupture.solve(rupture_snapshot_times);
         // 2. Export to kinematic subfaults on the wave mesh, lower to

@@ -20,6 +20,8 @@
 //! * [`flops`] — §7.1-convention flop accounting;
 //! * [`driver`] — the per-rank timestep driver with recorders, restart
 //!   control and on-the-fly compression;
+//! * [`health`] — the in-situ simulation-health monitor: per-step field
+//!   probes, the stability watchdog, and the compression error budget;
 //! * [`exec`] — execution modes: serial reference kernels vs the Rayon
 //!   CPE-pool analogue (bit-identical; §6.2's "never compute on the
 //!   MPE" as a host-side switch);
@@ -40,14 +42,15 @@ pub mod exec;
 pub mod flops;
 pub mod framework;
 pub mod hazard;
+pub mod health;
 pub mod kernels;
 pub mod roofline;
 pub mod staggered;
 pub mod state;
 pub mod sunway;
 
-pub use driver::{SimConfig, Simulation};
-pub use error::{ConfigError, RestoreError};
+pub use driver::{MultiRankOutput, SimConfig, Simulation};
+pub use error::{ConfigError, RestoreError, RunError, UnstableError};
 pub use exec::ExecMode;
 pub use framework::UnifiedFramework;
 pub use state::SolverState;

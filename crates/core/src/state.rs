@@ -49,6 +49,10 @@ pub struct StateOptions {
     pub sponge_width: usize,
     /// Plasticity parameters.
     pub plasticity: PlasticityConfig,
+    /// Multiplier on the CFL-stable timestep. 1.0 (the default) runs at
+    /// the stable `dt`; values above 1.0 deliberately violate the CFL
+    /// bound (the health watchdog's unstable-scenario knob).
+    pub dt_scale: f64,
     /// For a rank-local subdomain: the global extents and this
     /// subdomain's (x, y) offset, so the sponge profile is computed in
     /// global coordinates and multi-rank runs match single-rank runs
@@ -64,6 +68,7 @@ impl Default for StateOptions {
             reference_frequency: 1.0,
             sponge_width: 10,
             plasticity: PlasticityConfig::default(),
+            dt_scale: 1.0,
             global_span: None,
         }
     }
@@ -76,8 +81,10 @@ pub struct SolverState {
     pub dims: Dims3,
     /// Grid spacing, m.
     pub dx: f64,
-    /// Time step, s.
+    /// Time step actually used, s (`dt_stable × options.dt_scale`).
     pub dt: f64,
+    /// CFL-stable time step for this grid and model, s.
+    pub dt_stable: f64,
     /// Velocity x (stored at `(i+1/2, j, k)`).
     pub u: Field3,
     /// Velocity y (at `(i, j+1/2, k)`).
@@ -141,13 +148,15 @@ impl SolverState {
         origin: (f64, f64, f64),
         options: StateOptions,
     ) -> Self {
-        let dt = stable_dt(dx, model.vp_max() as f64);
+        let dt_stable = stable_dt(dx, model.vp_max() as f64);
+        let dt = dt_stable * options.dt_scale;
         let h = HALO_WIDTH;
         let f = || Field3::new(dims, h);
         let mut state = Self {
             dims,
             dx,
             dt,
+            dt_stable,
             u: f(),
             v: f(),
             w: f(),
@@ -252,26 +261,44 @@ impl SolverState {
         [&self.xx, &self.yy, &self.zz, &self.xy, &self.xz, &self.yz]
     }
 
-    /// Kinetic energy of the interior, J (cell volume × ½ρv²).
-    pub fn kinetic_energy(&self) -> f64 {
+    /// Kinetic energy of one x-plane's interior (before the cell-volume
+    /// factor): the deterministic reduction unit shared by the serial
+    /// and parallel energy probes.
+    fn kinetic_energy_plane(&self, x: usize) -> f64 {
         let d = self.dims;
-        let vol = self.dx * self.dx * self.dx;
         let mut e = 0.0f64;
-        for x in 0..d.nx {
-            for y in 0..d.ny {
-                let (us, vs, ws, rs) = (
-                    self.u.z_run(x, y),
-                    self.v.z_run(x, y),
-                    self.w.z_run(x, y),
-                    self.rho.z_run(x, y),
-                );
-                for z in 0..d.nz {
-                    let v2 = (us[z] * us[z] + vs[z] * vs[z] + ws[z] * ws[z]) as f64;
-                    e += 0.5 * rs[z] as f64 * v2;
-                }
+        for y in 0..d.ny {
+            let (us, vs, ws, rs) =
+                (self.u.z_run(x, y), self.v.z_run(x, y), self.w.z_run(x, y), self.rho.z_run(x, y));
+            for z in 0..d.nz {
+                let v2 = (us[z] * us[z] + vs[z] * vs[z] + ws[z] * ws[z]) as f64;
+                e += 0.5 * rs[z] as f64 * v2;
             }
         }
-        e * vol
+        e
+    }
+
+    /// Kinetic energy of the interior, J (cell volume × ½ρv²).
+    ///
+    /// Accumulated as one f64 partial per x-plane, folded in plane
+    /// order — the same chunked reduction [`Self::kinetic_energy_par`]
+    /// uses, so the two are bit-identical and health records don't
+    /// depend on the `ExecMode`.
+    pub fn kinetic_energy(&self) -> f64 {
+        let vol = self.dx * self.dx * self.dx;
+        (0..self.dims.nx).map(|x| self.kinetic_energy_plane(x)).sum::<f64>() * vol
+    }
+
+    /// Parallel [`Self::kinetic_energy`]: per-plane partials are
+    /// computed on the pool, collected in plane order, and folded
+    /// exactly like the serial probe — bit-identical for any thread
+    /// count.
+    pub fn kinetic_energy_par(&self) -> f64 {
+        use rayon::prelude::*;
+        let vol = self.dx * self.dx * self.dx;
+        let partials: Vec<f64> =
+            (0..self.dims.nx).into_par_iter().map(|x| self.kinetic_energy_plane(x)).collect();
+        partials.into_iter().sum::<f64>() * vol
     }
 
     /// Largest absolute velocity anywhere (NaN-free sanity probe).

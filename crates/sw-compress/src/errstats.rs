@@ -1,0 +1,233 @@
+//! Round-trip + error-statistics loops for the health monitor's
+//! compression error budget.
+//!
+//! Each value is encoded and decoded back in place (exactly what
+//! [`crate::par::roundtrip_par`] does), while a companion stats pass
+//! accumulates the max absolute error, the error sum of squares, and
+//! the max |original| that fixes the field's binade. Statistics are
+//! accumulated per [`PAR_CHUNK`]-sized chunk — in a fixed blocked
+//! order *within* each chunk (see [`chunk_stats`]) — and the per-chunk
+//! partials are folded **in chunk order** in both the serial and
+//! parallel variants, so the two are bit-identical for any thread
+//! count: the same deterministic-reduction discipline the solver's
+//! energy probe uses.
+
+use crate::par::PAR_CHUNK;
+use crate::Codec16;
+use rayon::prelude::*;
+
+/// Accumulated round-trip error statistics for one array.
+///
+/// Non-finite originals are round-tripped like any other value but are
+/// excluded from the statistics (their "error" is meaningless and a
+/// single NaN would poison the RMS); the health monitor's field scans
+/// detect and report them separately.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RoundtripError {
+    /// max |decoded − original| over finite entries.
+    pub max_abs_err: f64,
+    /// Σ (decoded − original)² over finite entries.
+    pub sum_sq_err: f64,
+    /// Finite entries processed.
+    pub count: u64,
+    /// max |original| over finite entries.
+    pub max_abs_value: f64,
+}
+
+impl RoundtripError {
+    pub fn rms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum_sq_err / self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Fold `b` into `a`, preserving the order-sensitive sum.
+fn merge(a: RoundtripError, b: RoundtripError) -> RoundtripError {
+    RoundtripError {
+        max_abs_err: if b.max_abs_err > a.max_abs_err { b.max_abs_err } else { a.max_abs_err },
+        sum_sq_err: a.sum_sq_err + b.sum_sq_err,
+        count: a.count + b.count,
+        max_abs_value: if b.max_abs_value > a.max_abs_value {
+            b.max_abs_value
+        } else {
+            a.max_abs_value
+        },
+    }
+}
+
+/// Elements buffered on the stack per inner block: small enough that
+/// the originals stay L1-resident between the round-trip pass and the
+/// stats pass, large enough to amortize the loop split.
+const STATS_BLOCK: usize = 1024;
+
+fn chunk_stats<C: Codec16>(codec: &C, chunk: &mut [f32]) -> RoundtripError {
+    // Two passes per stack-resident block instead of one fused loop:
+    // the round-trip pass stays as tight as the plain (stats-free)
+    // round trip, and the stats pass carries no encode/decode. The
+    // stats pass is written branch-free (non-finite originals
+    // contribute a zero error) with the sum of squares split over four
+    // accumulator lanes, so it vectorizes instead of serializing on
+    // one f64 add chain. The lane assignment is a fixed function of
+    // element position, so the statistics remain bit-identical for any
+    // thread count — only the (documented) summation order differs
+    // from a naive single-accumulator loop.
+    let mut s = RoundtripError::default();
+    let mut sq = [0.0f64; 4];
+    let mut max_err = [0.0f64; 4];
+    let mut max_val = [0.0f32; 4];
+    let mut nonfinite = 0u64;
+    let mut scratch = [0.0f32; STATS_BLOCK];
+    for block in chunk.chunks_mut(STATS_BLOCK) {
+        let orig = &mut scratch[..block.len()];
+        orig.copy_from_slice(block);
+        for v in block.iter_mut() {
+            *v = codec.decode(codec.encode(*v));
+        }
+        let mut o4 = orig.chunks_exact(4);
+        let mut d4 = block.chunks_exact(4);
+        for (os, ds) in (&mut o4).zip(&mut d4) {
+            for l in 0..4 {
+                let (o, d) = (os[l], ds[l]);
+                let fin = o.is_finite();
+                let err = if fin { f64::from(d) - f64::from(o) } else { 0.0 };
+                sq[l] += err * err;
+                let e = err.abs();
+                if e > max_err[l] {
+                    max_err[l] = e;
+                }
+                let m = if fin { o.abs() } else { 0.0 };
+                if m > max_val[l] {
+                    max_val[l] = m;
+                }
+                nonfinite += u64::from(!fin);
+            }
+        }
+        for (&o, &d) in o4.remainder().iter().zip(d4.remainder()) {
+            let fin = o.is_finite();
+            let err = if fin { f64::from(d) - f64::from(o) } else { 0.0 };
+            sq[0] += err * err;
+            let e = err.abs();
+            if e > max_err[0] {
+                max_err[0] = e;
+            }
+            let m = if fin { o.abs() } else { 0.0 };
+            if m > max_val[0] {
+                max_val[0] = m;
+            }
+            nonfinite += u64::from(!fin);
+        }
+    }
+    s.max_abs_err = max_err.iter().fold(0.0f64, |a, &b| if b > a { b } else { a });
+    s.max_abs_value = f64::from(max_val.iter().fold(0.0f32, |a, &b| if b > a { b } else { a }));
+    s.sum_sq_err = (sq[0] + sq[1]) + (sq[2] + sq[3]);
+    s.count = chunk.len() as u64 - nonfinite;
+    s
+}
+
+/// Serial in-place round trip with fused error statistics. The stored
+/// values after the call are identical to [`Codec16`] round-tripping.
+pub fn roundtrip_err_stats<C: Codec16>(codec: &C, data: &mut [f32]) -> RoundtripError {
+    data.chunks_mut(PAR_CHUNK)
+        .map(|chunk| chunk_stats(codec, chunk))
+        .fold(RoundtripError::default(), merge)
+}
+
+/// Parallel variant of [`roundtrip_err_stats`]; bit-identical to it
+/// (values and statistics) because partials are collected per chunk
+/// and folded in chunk order.
+pub fn roundtrip_err_stats_par<C: Codec16 + Sync>(codec: &C, data: &mut [f32]) -> RoundtripError {
+    let partials: Vec<RoundtripError> =
+        data.par_chunks_mut(PAR_CHUNK).map(|chunk| chunk_stats(codec, chunk)).collect();
+    partials.into_iter().fold(RoundtripError::default(), merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Codec, FieldStats};
+
+    fn test_codec() -> Codec {
+        let mut stats = FieldStats::empty();
+        for v in [-4.0f32, -0.5, 0.5, 4.0] {
+            stats.observe(v);
+        }
+        Codec::paper_assignment("vel", &stats)
+    }
+
+    fn test_data(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32 * 0.37).sin() * 3.7) + 0.01).collect()
+    }
+
+    #[test]
+    fn stats_match_a_reference_two_pass_computation() {
+        let codec = test_codec();
+        let mut data = test_data(5000);
+        let orig = data.clone();
+        let s = roundtrip_err_stats(&codec, &mut data);
+
+        let mut max_err = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut max_abs = 0.0f64;
+        for (&o, &d) in orig.iter().zip(&data) {
+            let err = f64::from(d) - f64::from(o);
+            max_err = max_err.max(err.abs());
+            sum_sq += err * err;
+            max_abs = max_abs.max(f64::from(o.abs()));
+        }
+        assert_eq!(s.max_abs_err, max_err);
+        // The blocked four-lane accumulation sums in a different (but
+        // fixed) order than the naive loop, so compare to rounding.
+        assert!((s.sum_sq_err - sum_sq).abs() <= 1e-12 * sum_sq, "{} vs {sum_sq}", s.sum_sq_err);
+        assert_eq!(s.count, 5000);
+        assert_eq!(s.max_abs_value, max_abs);
+        assert!(s.rms() > 0.0 && s.rms() <= s.max_abs_err);
+    }
+
+    #[test]
+    fn roundtrip_values_match_the_plain_roundtrip() {
+        let codec = test_codec();
+        let mut fused = test_data(3000);
+        let mut plain = fused.clone();
+        roundtrip_err_stats(&codec, &mut fused);
+        for v in &mut plain {
+            *v = codec.decode(codec.encode(*v));
+        }
+        assert_eq!(fused, plain);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        // Span several PAR_CHUNKs so the parallel fold genuinely merges.
+        let codec = test_codec();
+        let mut serial = test_data(3 * PAR_CHUNK + 123);
+        let mut parallel = serial.clone();
+        let s = roundtrip_err_stats(&codec, &mut serial);
+        let p = roundtrip_err_stats_par(&codec, &mut parallel);
+        assert_eq!(serial, parallel);
+        assert_eq!(s.max_abs_err.to_bits(), p.max_abs_err.to_bits());
+        assert_eq!(s.sum_sq_err.to_bits(), p.sum_sq_err.to_bits());
+        assert_eq!(s.count, p.count);
+        assert_eq!(s.max_abs_value.to_bits(), p.max_abs_value.to_bits());
+    }
+
+    #[test]
+    fn non_finite_entries_are_excluded_from_stats() {
+        let codec = test_codec();
+        let mut data = vec![1.0f32, f32::NAN, 2.0, f32::INFINITY];
+        let s = roundtrip_err_stats(&codec, &mut data);
+        assert_eq!(s.count, 2);
+        assert!(s.sum_sq_err.is_finite());
+        assert!(s.max_abs_err.is_finite());
+        assert_eq!(s.max_abs_value, 2.0);
+    }
+
+    #[test]
+    fn empty_input_is_clean_zero() {
+        let s = roundtrip_err_stats(&test_codec(), &mut []);
+        assert_eq!(s, RoundtripError::default());
+        assert_eq!(s.rms(), 0.0);
+    }
+}

@@ -21,6 +21,7 @@
 //! compression" to shrink the 108-TB restart wavefields).
 
 pub mod adaptive;
+pub mod errstats;
 pub mod f16;
 pub mod field;
 pub mod lz4;

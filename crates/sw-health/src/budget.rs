@@ -1,0 +1,189 @@
+//! The compression error budget: in-loop accounting of the 16-bit
+//! round-trip error, per field, against a binade-relative tolerance.
+//!
+//! The paper validates its on-the-fly 32→16-bit compression offline by
+//! comparing waveforms (§6, Fig. 10). This module is the in-loop
+//! version of that check: every probed round trip reports its max
+//! absolute error and error RMS, and the tracker normalises the max
+//! error by the top of the field's binade — the natural scale for
+//! codecs whose quantisation step is set by the value's exponent.
+
+use crate::record::Warning;
+
+/// Error statistics for one field's round trip on one probe step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CompressionSample {
+    /// max |decoded − original| over finite entries.
+    pub max_abs_err: f64,
+    /// Σ (decoded − original)² over finite entries.
+    pub sum_sq_err: f64,
+    /// Number of entries processed.
+    pub count: u64,
+    /// max |original| over finite entries — fixes the binade.
+    pub max_abs_value: f64,
+}
+
+impl CompressionSample {
+    pub fn rms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum_sq_err / self.count as f64).sqrt()
+        }
+    }
+
+    /// Max error relative to the top of the field's binade: with
+    /// `max_abs_value ∈ [2^e, 2^(e+1))`, the error is normalised by
+    /// `2^(e+1)`. An all-zero field with zero error is in budget by
+    /// definition; nonzero error on a zero field is infinitely over.
+    pub fn binade_rel_err(&self) -> f64 {
+        if self.max_abs_value == 0.0 {
+            if self.max_abs_err == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.max_abs_err / binade_top(self.max_abs_value)
+        }
+    }
+}
+
+/// Smallest power of two strictly greater than `v` (for `v = 2^e`
+/// exactly, the binade is `[2^e, 2^(e+1))` so the top is `2^(e+1)`).
+fn binade_top(v: f64) -> f64 {
+    let e = v.abs().log2().floor() as i32;
+    2.0f64.powi(e + 1)
+}
+
+/// Cumulative per-field ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldBudget {
+    pub field: String,
+    /// Probe steps on which this field was sampled.
+    pub samples: u64,
+    /// Worst binade-relative max error seen.
+    pub worst_rel_err: f64,
+    /// Running sum of per-sample RMS errors (the cumulative budget
+    /// spend surfaced as a telemetry gauge).
+    pub cumulative_rms: f64,
+    /// Samples that exceeded the budget.
+    pub exceedances: u64,
+}
+
+/// Tracks every compressed field's error spend against one shared
+/// binade-relative budget, raising a [`Warning::CompressionBudget`]
+/// per exceeding sample.
+#[derive(Debug, Clone)]
+pub struct BudgetTracker {
+    budget: f64,
+    fields: Vec<FieldBudget>,
+}
+
+impl BudgetTracker {
+    pub fn new(budget: f64) -> Self {
+        BudgetTracker { budget, fields: Vec::new() }
+    }
+
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Fold one sample into the ledger; returns the budget warning if
+    /// the sample exceeded it.
+    pub fn record(&mut self, field: &str, sample: CompressionSample) -> Option<Warning> {
+        let rel_err = sample.binade_rel_err();
+        let entry = match self.fields.iter_mut().find(|f| f.field == field) {
+            Some(e) => e,
+            None => {
+                self.fields.push(FieldBudget {
+                    field: field.to_string(),
+                    samples: 0,
+                    worst_rel_err: 0.0,
+                    cumulative_rms: 0.0,
+                    exceedances: 0,
+                });
+                self.fields.last_mut().expect("just pushed")
+            }
+        };
+        entry.samples += 1;
+        entry.cumulative_rms += sample.rms();
+        if rel_err > entry.worst_rel_err {
+            entry.worst_rel_err = rel_err;
+        }
+        if rel_err > self.budget {
+            entry.exceedances += 1;
+            Some(Warning::CompressionBudget {
+                field: field.to_string(),
+                rel_err,
+                budget: self.budget,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Per-field ledger in first-seen order.
+    pub fn fields(&self) -> &[FieldBudget] {
+        &self.fields
+    }
+
+    pub fn exceedances(&self) -> u64 {
+        self.fields.iter().map(|f| f.exceedances).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rms_and_binade_normalisation() {
+        let s = CompressionSample {
+            max_abs_err: 0.5,
+            sum_sq_err: 4.0,
+            count: 4,
+            max_abs_value: 1000.0,
+        };
+        assert_eq!(s.rms(), 1.0);
+        // 1000 lies in [512, 1024): the binade top is 1024.
+        assert_eq!(s.binade_rel_err(), 0.5 / 1024.0);
+        // An exact power of two belongs to its own binade.
+        let p2 = CompressionSample { max_abs_value: 512.0, max_abs_err: 1.0, ..s };
+        assert_eq!(p2.binade_rel_err(), 1.0 / 1024.0);
+    }
+
+    #[test]
+    fn zero_field_edge_cases() {
+        let clean = CompressionSample::default();
+        assert_eq!(clean.binade_rel_err(), 0.0);
+        assert_eq!(clean.rms(), 0.0);
+        let dirty = CompressionSample { max_abs_err: 1.0e-9, ..clean };
+        assert!(dirty.binade_rel_err().is_infinite());
+    }
+
+    #[test]
+    fn tracker_accumulates_and_warns_per_exceeding_sample() {
+        let mut t = BudgetTracker::new(1.0e-3);
+        let in_budget = CompressionSample {
+            max_abs_err: 1.0e-4,
+            sum_sq_err: 1.0,
+            count: 100,
+            max_abs_value: 1.0,
+        };
+        let over = CompressionSample { max_abs_err: 1.0, ..in_budget };
+        assert!(t.record("u", in_budget).is_none());
+        let w = t.record("u", over).expect("over budget");
+        assert!(matches!(w, Warning::CompressionBudget { ref field, .. } if field == "u"));
+        assert!(t.record("xx", in_budget).is_none());
+
+        assert_eq!(t.fields().len(), 2);
+        let u = &t.fields()[0];
+        assert_eq!(u.field, "u");
+        assert_eq!(u.samples, 2);
+        assert_eq!(u.exceedances, 1);
+        assert_eq!(u.worst_rel_err, 0.5);
+        assert_eq!(u.cumulative_rms, 0.2);
+        assert_eq!(t.exceedances(), 1);
+    }
+}

@@ -13,14 +13,17 @@
 //! * [`fabric`] — the communication fabric (per-rank mailboxes over
 //!   crossbeam channels);
 //! * [`exchange`] — field halo exchange (blocking and overlapped);
-//! * [`runner`] — scoped-thread rank runner collecting per-rank results.
+//! * [`runner`] — scoped-thread rank runner collecting per-rank results;
+//! * [`sync`] — the collective stop-vote used for coordinated aborts.
 
 pub mod exchange;
 pub mod fabric;
 pub mod grid;
 pub mod runner;
+pub mod sync;
 
 pub use exchange::HaloExchanger;
 pub use fabric::{Fabric, RankComm};
 pub use grid::RankGrid;
 pub use runner::run_ranks;
+pub use sync::StopBarrier;

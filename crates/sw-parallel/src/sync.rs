@@ -1,0 +1,96 @@
+//! Collective stop-vote for coordinated multirank aborts.
+//!
+//! A rank that detects a fatal condition (a blown-up wavefield, say)
+//! cannot simply `break` out of its step loop: its neighbours would
+//! block forever in `recv` waiting for the next halo exchange. The
+//! [`StopBarrier`] turns the abort into a collective operation — every
+//! rank votes at the same agreed-upon steps, the barrier synchronises,
+//! and *all* ranks observe the same decision, so either everyone keeps
+//! stepping or everyone leaves the loop together and no exchange is
+//! left half-posted.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// A reusable all-ranks vote: "should we stop?". Sticky — once any
+/// rank has voted to stop, every subsequent round returns `true`.
+#[derive(Debug)]
+pub struct StopBarrier {
+    barrier: Barrier,
+    stop: AtomicBool,
+}
+
+impl StopBarrier {
+    /// A barrier for `parties` ranks. Every rank must call
+    /// [`StopBarrier::vote`] the same number of times.
+    pub fn new(parties: usize) -> Self {
+        StopBarrier { barrier: Barrier::new(parties), stop: AtomicBool::new(false) }
+    }
+
+    /// Cast this rank's vote and wait for the round to complete.
+    /// Returns the collective decision: `true` iff any rank, in this
+    /// round or an earlier one, voted to stop.
+    ///
+    /// Two barrier phases per round: the first orders every vote
+    /// before any read, the second holds all ranks until every rank
+    /// has read the decision — otherwise a fast rank could enter the
+    /// *next* round and flip the flag before a slow rank has read this
+    /// round's value, splitting the collective decision.
+    pub fn vote(&self, stop: bool) -> bool {
+        if stop {
+            self.stop.store(true, Ordering::Release);
+        }
+        self.barrier.wait();
+        let decision = self.stop.load(Ordering::Acquire);
+        self.barrier.wait();
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::RankGrid;
+    use crate::runner::run_ranks;
+
+    #[test]
+    fn unanimous_continue_rounds_return_false() {
+        let grid = RankGrid::new(2, 2);
+        let barrier = StopBarrier::new(grid.len());
+        let out = run_ranks(grid, |_| (0..3).map(|_| barrier.vote(false)).collect::<Vec<_>>());
+        for votes in out {
+            assert_eq!(votes, vec![false, false, false]);
+        }
+    }
+
+    #[test]
+    fn one_dissenter_stops_everyone_in_the_same_round() {
+        let grid = RankGrid::new(3, 1);
+        let barrier = StopBarrier::new(grid.len());
+        let out = run_ranks(grid, |c| {
+            let mut rounds = Vec::new();
+            for round in 0..4 {
+                // Rank 1 discovers a fatal condition in round 1.
+                let fatal = c.rank == 1 && round == 1;
+                if barrier.vote(fatal) {
+                    rounds.push(round);
+                    break;
+                }
+                rounds.push(round);
+            }
+            rounds
+        });
+        // Every rank left its loop in round 1 — none raced ahead.
+        for rounds in out {
+            assert_eq!(rounds, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn the_decision_is_sticky() {
+        let barrier = StopBarrier::new(1);
+        assert!(!barrier.vote(false));
+        assert!(barrier.vote(true));
+        assert!(barrier.vote(false), "stop latches across rounds");
+    }
+}

@@ -685,6 +685,32 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases_two_samples_and_identical_values() {
+        // Two samples: nearest-rank p50 is the smaller, p95 the larger.
+        assert_eq!(percentile(&[10.0, 20.0], 50.0), 10.0);
+        assert_eq!(percentile(&[20.0, 10.0], 50.0), 10.0, "input order must not matter");
+        assert_eq!(percentile(&[10.0, 20.0], 95.0), 20.0);
+        let t = Telemetry::enabled();
+        t.sample("two", 20.0);
+        t.sample("two", 10.0);
+        let s = t.report().series("two").unwrap().clone();
+        assert_eq!((s.p50, s.p95), (10.0, 20.0));
+
+        // All-identical window: every percentile is that value, min ==
+        // max == mean, and nothing degenerates to 0 or NaN.
+        let same = [7.5; 9];
+        for p in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(percentile(&same, p), 7.5, "p{p}");
+        }
+        let t = Telemetry::enabled();
+        for _ in 0..9 {
+            t.sample("same", 7.5);
+        }
+        let s = t.report().series("same").unwrap().clone();
+        assert_eq!((s.min, s.max, s.mean, s.p50, s.p95), (7.5, 7.5, 7.5, 7.5, 7.5));
+    }
+
+    #[test]
     fn poisoned_registry_keeps_recording() {
         let t = Telemetry::enabled();
         t.add("jobs", 1);

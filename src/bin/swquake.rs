@@ -9,8 +9,12 @@
 //! and `--roofline` writes the predicted-vs-simulated per-kernel
 //! attribution report. `--exec serial|parallel|auto` picks the kernel
 //! implementation (serial reference vs the bit-identical Rayon CPE-pool
-//! analogue) and `--threads <n>` pins the worker-pool width. `bench-diff`
-//! is the perf-regression gate over two `BENCH_<name>.json` files.
+//! analogue) and `--threads <n>` pins the worker-pool width. `--health
+//! <out.jsonl>` streams the in-situ simulation-health log (stability
+//! watchdog + compression error budget) and `--health-stride <n>` sets
+//! how often the wavefield is probed (default 10, or
+//! `SWQUAKE_HEALTH_STRIDE`). `bench-diff` is the perf-regression gate
+//! over two `BENCH_<name>.json` files.
 //!
 //! ```text
 //! swquake --write-example scenario.json           # emit a commented template
@@ -19,6 +23,7 @@
 //! swquake run scenario.json --trace trace.json    # run + Chrome trace
 //! swquake run scenario.json --roofline roof.json  # run + attribution table
 //! swquake run scenario.json --exec parallel --threads 8
+//! swquake run scenario.json --health health.jsonl --health-stride 5
 //! swquake bench-diff old.json new.json --tolerance 0.15
 //! ```
 //!
@@ -28,8 +33,10 @@
 //! flow through [`swquake::Error`] and are mapped to a code in one
 //! place, here.
 
+use std::sync::Arc;
 use swquake::core::hazard::HazardMap;
 use swquake::core::{ExecMode, Simulation};
+use swquake::health::{HealthConfig, HealthLog};
 use swquake::telemetry::bench::{compare, BenchReport};
 use swquake::telemetry::{Telemetry, Tracer};
 use swquake::{Error, Scenario};
@@ -48,6 +55,8 @@ struct RunOutputs {
     roofline: Option<String>,
     exec: Option<ExecMode>,
     threads: Option<usize>,
+    health: Option<String>,
+    health_stride: Option<u64>,
 }
 
 impl RunOutputs {
@@ -72,6 +81,8 @@ fn parse_args(args: &[String]) -> Option<Command> {
             "--roofline" => outputs.roofline = Some(iter.next()?.clone()),
             "--exec" => outputs.exec = Some(iter.next()?.parse().ok()?),
             "--threads" => outputs.threads = Some(iter.next()?.parse().ok()?),
+            "--health" => outputs.health = Some(iter.next()?.clone()),
+            "--health-stride" => outputs.health_stride = Some(iter.next()?.parse().ok()?),
             flag if flag.starts_with("--") => return None,
             other => positional.push(other.to_string()),
         }
@@ -118,7 +129,8 @@ fn main() {
             eprintln!(
                 "usage: swquake [run] <scenario.json> [--metrics <out.json>] \
                  [--trace <out.json>] [--roofline <out.json>] \
-                 [--exec serial|parallel|auto] [--threads <n>]\n\
+                 [--exec serial|parallel|auto] [--threads <n>] \
+                 [--health <out.jsonl>] [--health-stride <n>]\n\
                  \x20      swquake bench-diff <old.json> <new.json> [--tolerance <frac>]\n\
                  \x20      swquake --write-example [path]"
             );
@@ -134,7 +146,7 @@ fn main() {
             Err(e) => {
                 eprintln!("{e}");
                 match e {
-                    Error::Unstable => 1,
+                    Error::Unstable(_) => 1,
                     _ => 2,
                 }
             }
@@ -147,11 +159,21 @@ fn main() {
 /// Compare two bench reports; exit 0 on pass, 1 on regression/missing,
 /// 2 when either file fails to load or parse.
 fn bench_diff(old_path: &str, new_path: &str, tolerance: f64) -> i32 {
-    let load = |path: &str| -> Result<BenchReport, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        BenchReport::from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    let load = |path: &str, role: &str| -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                format!(
+                    "bench-diff: {role} not found: {path}\n\
+                     (run the benchmark first to produce it, or pass the right path)"
+                )
+            } else {
+                format!("bench-diff: cannot read {role} {path}: {e}")
+            }
+        })?;
+        BenchReport::from_json(&text)
+            .map_err(|e| format!("bench-diff: cannot parse {role} {path}: {e}"))
     };
-    let (old, new) = match (load(old_path), load(new_path)) {
+    let (old, new) = match (load(old_path, "baseline"), load(new_path, "candidate")) {
         (Ok(o), Ok(n)) => (o, n),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("{e}");
@@ -167,6 +189,7 @@ fn bench_diff(old_path: &str, new_path: &str, tolerance: f64) -> i32 {
     }
 }
 
+#[allow(clippy::result_large_err)] // cold abort-path error; see Scenario::from_json
 fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| Error::Io { path: path.to_string(), source: e })?;
@@ -187,6 +210,22 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
     if let Some(threads) = outputs.threads {
         cfg = cfg.with_threads(threads);
     }
+    // Health monitoring is always armed so a blow-up aborts with a
+    // diagnosis; `--health` additionally streams the JSONL log.
+    let stride = outputs
+        .health_stride
+        .or_else(swquake::core::exec::health_stride_from_env)
+        .unwrap_or(HealthConfig::default().stride);
+    let mut health_cfg = HealthConfig::default()
+        .with_stride(stride)
+        .with_bundle_dir(format!("{}_health_bundle", scenario.output_prefix));
+    if let Some(log_path) = &outputs.health {
+        let log = HealthLog::create(log_path)
+            .map_err(|e| Error::Io { path: log_path.clone(), source: e })?;
+        health_cfg.log_path = Some(log_path.clone());
+        cfg = cfg.with_health_log(Arc::new(log));
+    }
+    cfg = cfg.with_health(health_cfg);
     println!(
         "mesh {} at dx = {} m, {} steps, model {}, nonlinear {}, compression {}, exec {}",
         cfg.dims,
@@ -199,10 +238,16 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
     );
     let t0 = std::time::Instant::now();
     let mut sim = Simulation::new(model.as_ref(), &cfg)?;
-    sim.run(cfg.steps);
+    let run_result = sim.run_checked(cfg.steps);
     let wall = t0.elapsed().as_secs_f64();
+    run_result?;
     if sim.state.has_blown_up() {
-        return Err(Error::Unstable);
+        // The watchdog missed it (probe stride too coarse for the tail
+        // of the run) — diagnose post-hoc so the exit still explains
+        // where the wavefield first went bad.
+        if let Some(e) = swquake::core::health::diagnose(&sim.state, sim.step_count, 0) {
+            return Err(Error::Unstable(e));
+        }
     }
     println!(
         "simulated {:.2} s in {wall:.1} s wall time ({:.2} Gflop/s sustained)",
@@ -268,6 +313,14 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
         std::fs::write(trace_path, telemetry.tracer().to_chrome_json())
             .map_err(|e| Error::Io { path: trace_path.to_string(), source: e })?;
         println!("wrote trace to {trace_path} (open in Perfetto or chrome://tracing)");
+    }
+    if let Some(health_path) = &outputs.health {
+        if let Some(report) = sim.health() {
+            println!(
+                "wrote health log to {health_path} ({} probes, {} warnings)",
+                report.checks, report.warnings
+            );
+        }
     }
     Ok(())
 }

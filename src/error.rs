@@ -5,7 +5,7 @@
 
 use std::fmt;
 use sw_io::checkpoint::CheckpointError;
-use swquake_core::error::{ConfigError, RestoreError};
+use swquake_core::error::{ConfigError, RestoreError, RunError, UnstableError};
 
 /// Anything that can go wrong driving the solver stack end to end.
 #[derive(Debug)]
@@ -20,8 +20,9 @@ pub enum Error {
     Scenario(String),
     /// A scenario named an earth model the solver does not provide.
     UnknownModel(String),
-    /// The solver went unstable (NaN/Inf in the wavefield).
-    Unstable,
+    /// The solver went unstable (NaN/Inf in the wavefield); carries the
+    /// health watchdog's diagnosis.
+    Unstable(UnstableError),
     /// A file could not be read or written.
     Io {
         /// The path involved.
@@ -41,8 +42,8 @@ impl fmt::Display for Error {
             Self::UnknownModel(name) => {
                 write!(f, "unknown model '{name}', expected halfspace|north_china|tangshan")
             }
-            Self::Unstable => {
-                write!(f, "solver went unstable — check dx/duration against the model's vp")
+            Self::Unstable(e) => {
+                write!(f, "solver went unstable — check dx/duration against the model's vp: {e}")
             }
             Self::Io { path, source } => write!(f, "cannot read {path}: {source}"),
         }
@@ -56,6 +57,7 @@ impl std::error::Error for Error {
             Self::Restore(e) => Some(e),
             Self::Checkpoint(e) => Some(e),
             Self::Io { source, .. } => Some(source),
+            Self::Unstable(e) => Some(e),
             _ => None,
         }
     }
@@ -76,5 +78,20 @@ impl From<RestoreError> for Error {
 impl From<CheckpointError> for Error {
     fn from(e: CheckpointError) -> Self {
         Self::Checkpoint(e)
+    }
+}
+
+impl From<UnstableError> for Error {
+    fn from(e: UnstableError) -> Self {
+        Self::Unstable(e)
+    }
+}
+
+impl From<RunError> for Error {
+    fn from(e: RunError) -> Self {
+        match e {
+            RunError::Config(c) => Self::Config(c),
+            RunError::Unstable(u) => Self::Unstable(u),
+        }
     }
 }

@@ -108,6 +108,7 @@ pub use scenario::{Scenario, ScenarioSource};
 pub use sw_arch as arch;
 pub use sw_compress as compress;
 pub use sw_grid as grid;
+pub use sw_health as health;
 pub use sw_io as io;
 pub use sw_model as model;
 pub use sw_parallel as parallel;

@@ -32,6 +32,10 @@ pub struct Scenario {
     pub compression: bool,
     /// Cerjan sponge width in points.
     pub sponge_width: usize,
+    /// Timestep multiplier on the CFL-stable dt (default 1.0; values
+    /// above 1 deliberately violate the CFL bound — used by the
+    /// instability drills in CI).
+    pub dt_scale: Option<f64>,
     /// Point sources.
     pub sources: Vec<ScenarioSource>,
     /// Stations (name, ix, iy).
@@ -67,6 +71,7 @@ impl Scenario {
             attenuation: true,
             compression: false,
             sponge_width: 8,
+            dt_scale: None,
             sources: vec![ScenarioSource {
                 position: [24, 24, 12],
                 mw: 5.5,
@@ -80,6 +85,10 @@ impl Scenario {
     }
 
     /// Parse a scenario from its JSON text.
+    // `Error`'s largest variant is the full instability diagnosis;
+    // it is cold (at most one per run), so boxing isn't worth the
+    // API churn (see Simulation::step_checked).
+    #[allow(clippy::result_large_err)]
     pub fn from_json(text: &str) -> Result<Self, Error> {
         serde_json::from_str(text).map_err(|e| Error::Scenario(e.to_string()))
     }
@@ -90,6 +99,7 @@ impl Scenario {
     }
 
     /// Instantiate the named earth model.
+    #[allow(clippy::result_large_err)] // cold abort-path error; see from_json
     pub fn build_model(&self) -> Result<Box<dyn VelocityModel>, Error> {
         match self.model.as_str() {
             "halfspace" => Ok(Box::new(HalfspaceModel::hard_rock())),
@@ -104,9 +114,11 @@ impl Scenario {
     }
 
     /// Lower to a validated solver configuration against `model`.
+    #[allow(clippy::result_large_err)] // cold abort-path error; see from_json
     pub fn to_config(&self, model: &dyn VelocityModel) -> Result<SimConfig, Error> {
         let dims = Dims3::new(self.mesh[0], self.mesh[1], self.mesh[2]);
-        let dt = swquake_core::staggered::stable_dt(self.dx, model.vp_max() as f64);
+        let dt_scale = self.dt_scale.unwrap_or(1.0);
+        let dt = swquake_core::staggered::stable_dt(self.dx, model.vp_max() as f64) * dt_scale;
         let mut cfg = SimConfig::new(dims, self.dx, (self.duration / dt).ceil() as usize)
             .with_compression(self.compression)
             .with_sources(
@@ -135,6 +147,7 @@ impl Scenario {
         cfg.options.nonlinear = self.nonlinear;
         cfg.options.attenuation = self.attenuation;
         cfg.options.sponge_width = self.sponge_width;
+        cfg.options.dt_scale = dt_scale;
         cfg.validate()?;
         Ok(cfg)
     }

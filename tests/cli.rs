@@ -181,6 +181,39 @@ fn bench_diff_gates_regressions() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A missing baseline (the common first-run footgun) is a usage-class
+/// error: exit 2 and a message that says which file is missing and what
+/// role it plays, instead of a bare OS error.
+#[test]
+fn bench_diff_missing_baseline_exits_2_with_clear_message() {
+    let dir = workdir("benchdiff_missing");
+    let new = dir.join("new.json");
+    std::fs::write(
+        &new,
+        serde_json::to_string(&serde_json::json!({"schema_version": 1.0, "records": []})).unwrap(),
+    )
+    .unwrap();
+
+    let missing = dir.join("does_not_exist.json");
+    let out = Command::new(bin())
+        .args(["bench-diff", missing.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("baseline not found"), "stderr: {stderr}");
+    assert!(stderr.contains("does_not_exist.json"), "stderr: {stderr}");
+
+    // Same class of failure for a missing candidate, named as such.
+    let out = Command::new(bin())
+        .args(["bench-diff", new.to_str().unwrap(), missing.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("candidate not found"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn unknown_model_is_rejected() {
     let dir = workdir("badmodel");
@@ -193,5 +226,135 @@ fn unknown_model_is_rejected() {
     let out = Command::new(bin()).arg(scenario.to_str().unwrap()).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown model"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--health` streams a JSONL log: one versioned record per probe step,
+/// healthy verdicts on a sane scenario, parseable line by line.
+#[test]
+fn run_with_health_writes_jsonl_log() {
+    let dir = workdir("health");
+    let scenario = dir.join("scenario.json");
+    Command::new(bin()).args(["--write-example", scenario.to_str().unwrap()]).status().unwrap();
+    let mut json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&scenario).unwrap()).unwrap();
+    json["mesh"] = serde_json::json!([20, 20, 12]);
+    json["duration"] = serde_json::json!(1.0);
+    json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
+    json["stations"] = serde_json::json!([["probe", 14, 14]]);
+    json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
+    std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
+
+    let log = dir.join("health.jsonl");
+    let out = Command::new(bin())
+        .args([
+            "run",
+            scenario.to_str().unwrap(),
+            "--health",
+            log.to_str().unwrap(),
+            "--health-stride",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote health log"));
+
+    let text = std::fs::read_to_string(&log).unwrap();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(lines.len() >= 5, "only {} probes in the log", lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        let rec: serde_json::Value = serde_json::from_str(line).expect("JSONL line parses");
+        assert_eq!(rec["schema_version"], 1, "line {i}");
+        assert_eq!(rec["step"].as_u64().unwrap(), (i as u64 + 1) * 5, "line {i}");
+        assert_eq!(rec["rank"], 0);
+        assert_eq!(rec["verdict"], "Healthy", "line {i}: {line}");
+        assert_eq!(rec["fields"].as_array().unwrap().len(), 9);
+        assert!(rec["kinetic_energy"].as_f64().unwrap().is_finite());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A deliberately CFL-violating scenario (`dt_scale` past the stable
+/// bound) exits 1 with the watchdog's diagnosis on stderr and leaves
+/// the diagnostic bundle next to the other outputs.
+#[test]
+fn unstable_scenario_exits_1_with_diagnostic_bundle() {
+    let dir = workdir("unstable");
+    let scenario = dir.join("scenario.json");
+    Command::new(bin()).args(["--write-example", scenario.to_str().unwrap()]).status().unwrap();
+    let mut json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&scenario).unwrap()).unwrap();
+    json["mesh"] = serde_json::json!([20, 20, 12]);
+    json["duration"] = serde_json::json!(8.0);
+    json["dt_scale"] = serde_json::json!(3.0);
+    json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
+    json["stations"] = serde_json::json!([["probe", 14, 14]]);
+    json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
+    std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
+
+    let out = Command::new(bin())
+        .args(["run", scenario.to_str().unwrap(), "--health-stride", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unstable"), "stderr: {stderr}");
+    assert!(stderr.contains("CFL") || stderr.contains("dt"), "stderr: {stderr}");
+
+    // The bundle rides the output prefix: last-N records + snapshot.
+    let bundle = dir.join("out_health_bundle");
+    let records = std::fs::read_to_string(bundle.join("rank0_records.jsonl")).unwrap();
+    let last = records.lines().rfind(|l| !l.trim().is_empty()).unwrap();
+    let rec: serde_json::Value = serde_json::from_str(last).unwrap();
+    assert!(rec["verdict"]["Fatal"].as_object().is_some(), "last record not fatal: {rec:?}");
+    let snap: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(bundle.join("rank0_snapshot.json")).unwrap())
+            .unwrap();
+    assert!(!snap["values"].as_array().unwrap().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Golden-file shape of the seismogram CSV: the exact header for a
+/// multi-station scenario (stations in scenario order) and exactly one
+/// row per step, every cell numeric.
+#[test]
+fn seismogram_csv_has_golden_header_and_one_row_per_step() {
+    let dir = workdir("seismo_golden");
+    let scenario = dir.join("scenario.json");
+    Command::new(bin()).args(["--write-example", scenario.to_str().unwrap()]).status().unwrap();
+    let mut json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&scenario).unwrap()).unwrap();
+    json["mesh"] = serde_json::json!([20, 20, 12]);
+    json["duration"] = serde_json::json!(1.0);
+    json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
+    json["stations"] = serde_json::json!([["west", 4, 10], ["mid", 10, 10], ["east", 16, 10]]);
+    json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
+    std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
+
+    let out = Command::new(bin()).arg(scenario.to_str().unwrap()).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let steps: usize = stdout
+        .lines()
+        .find_map(|l| l.split(" steps").next()?.rsplit(' ').next()?.parse().ok())
+        .expect("step count in banner");
+
+    let csv = std::fs::read_to_string(dir.join("out_seismograms.csv")).unwrap();
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "t,west_vx,west_vy,west_vz,mid_vx,mid_vy,mid_vz,east_vx,east_vy,east_vz",
+        "station order must follow the scenario"
+    );
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), steps, "one row per step");
+    for row in &rows {
+        assert_eq!(row.split(',').count(), 10);
+        for cell in row.split(',') {
+            let v: f64 = cell.parse().expect("numeric cell");
+            assert!(v.is_finite());
+        }
+    }
     std::fs::remove_dir_all(&dir).ok();
 }

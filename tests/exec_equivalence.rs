@@ -9,6 +9,7 @@
 use swquake::core::driver::run_multirank;
 use swquake::core::{ExecMode, SimConfig, Simulation};
 use swquake::grid::Dims3;
+use swquake::health::HealthConfig;
 use swquake::io::Station;
 use swquake::model::LayeredModel;
 use swquake::parallel::RankGrid;
@@ -117,6 +118,41 @@ fn parallel_matches_serial_across_2x2_ranks() {
             }
         }
     }
+}
+
+/// The kinetic-energy probe is a deterministic reduction: the parallel
+/// variant folds per-x-plane partials in plane order, so it bit-matches
+/// the serial sum for any thread count. This is what lets a health
+/// record be compared across exec modes (and across reruns) with `==`.
+#[test]
+fn kinetic_energy_reduction_is_bitwise_deterministic() {
+    pin_pool();
+    let cfg = production_config();
+    let sim = run_mode(&cfg, ExecMode::Serial);
+    let serial = sim.state.kinetic_energy();
+    let parallel = sim.state.kinetic_energy_par();
+    assert!(serial > 0.0, "wavefield carries energy after 60 steps");
+    assert_eq!(serial.to_bits(), parallel.to_bits(), "{serial} vs {parallel}");
+}
+
+/// Health records — field maxima, NaN/Inf counts, kinetic energy,
+/// verdicts, and the compression-budget ledger — are bit-identical
+/// between serial and parallel execution of the same run.
+#[test]
+fn health_records_are_identical_across_exec_modes() {
+    pin_pool();
+    let cfg = production_config().with_health(HealthConfig::default().with_stride(5));
+    let serial = run_mode(&cfg, ExecMode::Serial);
+    let parallel = run_mode(&cfg, ExecMode::Parallel);
+    assert_states_identical(&serial, &parallel);
+
+    let sr = serial.health().expect("monitor attached");
+    let pr = parallel.health().expect("monitor attached");
+    assert_eq!(sr.records.len(), 12, "60 steps / stride 5");
+    assert_eq!(sr.records, pr.records);
+    assert_eq!(sr.checks, pr.checks);
+    assert_eq!(sr.warnings, pr.warnings);
+    assert_eq!(sr.budget, pr.budget);
 }
 
 /// Checkpoints cross execution modes transparently: a run checkpointed

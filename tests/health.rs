@@ -1,0 +1,261 @@
+//! End-to-end tests of the in-situ health subsystem: the watchdog and
+//! its JSONL log on healthy runs, the fatal-abort path with the
+//! diagnostic bundle, the compression error budget, and the multirank
+//! merge/abort semantics. The companion invariants — that probing never
+//! perturbs the physics and that health records are bit-identical
+//! across exec modes — live here too, since they are the properties
+//! that make the monitor safe to leave on in production.
+
+use std::path::PathBuf;
+
+use swquake::core::driver::run_multirank;
+use swquake::core::{RunError, SimConfig, Simulation, UnstableError};
+use swquake::grid::Dims3;
+use swquake::health::{read_log, Fatal, HealthConfig, Verdict, SCHEMA_VERSION};
+use swquake::io::Station;
+use swquake::model::LayeredModel;
+use swquake::parallel::RankGrid;
+use swquake::source::{MomentTensor, PointSource, SourceTimeFunction};
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swquake_health_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The production feature set (compression, attenuation, nonlinear,
+/// sponge) on a mesh small enough to run many variants quickly.
+fn production_config() -> SimConfig {
+    let dims = Dims3::new(24, 22, 14);
+    let mut cfg = SimConfig::new(dims, 150.0, 40).with_compression(true);
+    cfg.options.sponge_width = 4;
+    cfg.options.attenuation = true;
+    cfg.options.nonlinear = true;
+    let moment = MomentTensor::double_couple(30.0, 80.0, 170.0, 3.0e14);
+    let stf = SourceTimeFunction::Triangle { onset: 0.05, duration: 0.5 };
+    cfg.sources = vec![PointSource { ix: 11, iy: 10, iz: 7, moment, stf }];
+    cfg.stations = vec![
+        Station { name: "A".into(), ix: 5, iy: 5 },
+        Station { name: "B".into(), ix: 12, iy: 11 },
+    ];
+    cfg
+}
+
+/// A deliberately CFL-violating linear config: `dt_scale` pushes the
+/// timestep past the stable bound, so leapfrog amplifies until the f32
+/// wavefield overflows.
+fn unstable_config() -> SimConfig {
+    let mut cfg = production_config();
+    cfg.options.nonlinear = false; // plasticity clamps stress growth
+    cfg.options.dt_scale = 3.0;
+    cfg.steps = 200;
+    cfg
+}
+
+/// Health probes observe, never perturb: a monitored run (log and all)
+/// is bit-identical to an unmonitored one, and the log on disk holds
+/// exactly the healthy verdicts at the probe stride.
+#[test]
+fn healthy_run_streams_records_without_touching_the_physics() {
+    let dir = workdir("healthy");
+    let log_path = dir.join("health.jsonl");
+    let model = LayeredModel::north_china();
+    let cfg = production_config();
+
+    let mut plain = Simulation::new(&model, &cfg).unwrap();
+    plain.run(cfg.steps);
+
+    let health = HealthConfig::default()
+        .with_stride(5)
+        .with_log_path(log_path.to_str().unwrap().to_string());
+    let mut monitored = Simulation::new(&model, &cfg.clone().with_health(health)).unwrap();
+    monitored.run_checked(cfg.steps).expect("healthy run");
+
+    assert_eq!(plain.state.u.max_abs_diff(&monitored.state.u), 0.0, "u perturbed");
+    assert_eq!(plain.state.xx.max_abs_diff(&monitored.state.xx), 0.0, "xx perturbed");
+    assert_eq!(plain.state.eqp.max_abs_diff(&monitored.state.eqp), 0.0, "eqp perturbed");
+    for (a, b) in plain.seismo.seismograms().iter().zip(monitored.seismo.seismograms()) {
+        assert_eq!(a.samples, b.samples, "station {} perturbed", a.station.name);
+    }
+
+    let report = monitored.health().expect("monitor attached");
+    assert_eq!(report.checks, 40 / 5, "one probe per stride");
+    assert_eq!(report.worst_verdict_code(), 0, "{:?}", report.records);
+    assert!(monitored.health_failure().is_none());
+
+    // The JSONL stream matches the in-memory records: versioned schema,
+    // probe steps at the stride, nine fields per record.
+    let logged = read_log(&log_path).expect("parseable log");
+    assert_eq!(logged, report.records);
+    assert_eq!(logged.len(), 8);
+    for (i, r) in logged.iter().enumerate() {
+        assert_eq!(r.schema_version, SCHEMA_VERSION);
+        assert_eq!(r.step, (i as u64 + 1) * 5);
+        assert_eq!(r.verdict, Verdict::Healthy);
+        assert_eq!(r.fields.len(), 9);
+        assert!(r.kinetic_energy.expect("healthy probe is finite") >= 0.0);
+    }
+    // Compression budget was tracked for every compressed field and the
+    // f16/Norm codecs stayed inside the default binade budget.
+    assert_eq!(report.budget.len(), 9);
+    for f in &report.budget {
+        assert!(f.samples > 0, "field {} never sampled", f.field);
+        assert_eq!(f.exceedances, 0, "field {} over budget", f.field);
+        assert!(f.worst_rel_err < 1.0e-3, "field {}: {}", f.field, f.worst_rel_err);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A CFL-violating run aborts with a classified [`UnstableError`] that
+/// names step, rank, field, and grid index, and leaves the diagnostic
+/// bundle (last-N records + field snapshot) on disk.
+#[test]
+fn cfl_violation_aborts_with_diagnosis_and_bundle() {
+    let dir = workdir("cfl");
+    let bundle_dir = dir.join("bundle");
+    let log_path = dir.join("health.jsonl");
+    let model = LayeredModel::north_china();
+    let cfg = unstable_config().with_health(
+        HealthConfig::default()
+            .with_stride(2)
+            .with_log_path(log_path.to_str().unwrap().to_string())
+            .with_bundle_dir(bundle_dir.to_str().unwrap().to_string()),
+    );
+
+    let mut sim = Simulation::new(&model, &cfg).unwrap();
+    let err = sim.run_checked(cfg.steps).expect_err("must go unstable");
+    assert!(err.step > 0 && err.step <= cfg.steps as u64);
+    assert_eq!(err.step % 2, 0, "failure latched at a probe step");
+    assert_eq!(err.rank, 0);
+    assert!(!err.field.is_empty());
+    match &err.cause {
+        Fatal::CflViolation { dt, dt_stable, field, index } => {
+            assert!(dt > dt_stable, "dt {dt} vs stable {dt_stable}");
+            assert_eq!(*field, err.field);
+            assert_eq!(*index, err.index);
+        }
+        other => panic!("expected a CFL classification, got {other:?}"),
+    }
+    // The sim latched the same failure and refuses to keep stepping.
+    assert_eq!(sim.health_failure(), Some(&err));
+    assert_eq!(sim.step_checked().expect_err("latched"), err);
+
+    // Bundle on disk: last-N records (ending in the fatal one) plus a
+    // snapshot window centred on the blow-up site.
+    let bundle = err.bundle.as_deref().expect("bundle dir configured");
+    let records = read_log(PathBuf::from(bundle).join("rank0_records.jsonl")).unwrap();
+    assert!(!records.is_empty());
+    let last = records.last().unwrap();
+    assert_eq!(last.step, err.step);
+    assert!(last.verdict.is_fatal());
+    let snap_text =
+        std::fs::read_to_string(PathBuf::from(bundle).join("rank0_snapshot.json")).unwrap();
+    assert!(snap_text.contains(&format!("\"field\":\"{}\"", err.field)));
+
+    // The streamed log also ends with the fatal record.
+    let logged = read_log(&log_path).unwrap();
+    assert!(logged.last().unwrap().verdict.is_fatal());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An impossibly tight compression budget raises budget warnings (the
+/// f16 round trip cannot meet 1e-9) without killing the run, and the
+/// per-field ledger records the exceedances.
+#[test]
+fn tight_compression_budget_warns_but_does_not_abort() {
+    let model = LayeredModel::north_china();
+    let mut health = HealthConfig::default().with_stride(5);
+    health.compression_budget = 1.0e-9;
+    let cfg = production_config().with_health(health);
+
+    let mut sim = Simulation::new(&model, &cfg).unwrap();
+    sim.run_checked(cfg.steps).expect("warnings are not fatal");
+    let report = sim.health().unwrap();
+    assert!(report.warnings > 0, "no budget warnings raised");
+    assert_eq!(report.worst_verdict_code(), 1, "warning, not fatal");
+    assert!(report.budget.iter().any(|f| f.exceedances > 0));
+    let warned = report.records.iter().any(|r| {
+        r.verdict
+            .warnings()
+            .iter()
+            .any(|w| matches!(w, swquake::health::Warning::CompressionBudget { .. }))
+    });
+    assert!(warned, "no CompressionBudget warning in {:?}", report.records);
+}
+
+/// Multirank: health records from all ranks merge into one stream
+/// sorted by (step, rank), and the merged seismograms come back in the
+/// config's station order with global coordinates.
+#[test]
+fn multirank_merges_health_records_and_keeps_station_order() {
+    let dir = workdir("multirank");
+    let log_path = dir.join("health.jsonl");
+    let model = LayeredModel::north_china();
+    // Global codec statistics, as in production: per-rank
+    // self-calibration is exactly what the compression budget flags.
+    let mut cfg = production_config();
+    cfg.compression_stats = {
+        let mut probe = Simulation::new(&model, &cfg).unwrap();
+        probe.run(20);
+        probe.collect_stats()
+    };
+    let cfg = cfg.with_health(
+        HealthConfig::default()
+            .with_stride(5)
+            .with_log_path(log_path.to_str().unwrap().to_string()),
+    );
+
+    let out = run_multirank(&model, &cfg, RankGrid::new(2, 2)).expect("healthy run");
+    // 4 ranks × (40 steps / stride 5) probes, interleaved then sorted.
+    assert_eq!(out.health.len(), 4 * 8);
+    let keys: Vec<(u64, usize)> = out.health.iter().map(|r| (r.step, r.rank)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "records not sorted by (step, rank)");
+    assert_eq!(out.health.iter().filter(|r| r.rank == 3).count(), 8);
+    assert!(out.health.iter().all(|r| r.verdict == Verdict::Healthy));
+
+    // Station order and coordinates survive the decomposition.
+    let names: Vec<&str> = out.seismograms.iter().map(|s| s.station.name.as_str()).collect();
+    assert_eq!(names, vec!["A", "B"]);
+    assert_eq!((out.seismograms[0].station.ix, out.seismograms[0].station.iy), (5, 5));
+    assert_eq!((out.seismograms[1].station.ix, out.seismograms[1].station.iy), (12, 11));
+
+    // The shared JSONL log carries every rank's records.
+    let logged = read_log(&log_path).unwrap();
+    assert_eq!(logged.len(), 4 * 8);
+    for rank in 0..4 {
+        assert_eq!(logged.iter().filter(|r| r.rank == rank).count(), 8, "rank {rank}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Multirank abort: a CFL-violating run brings *all* ranks out of the
+/// loop through the stop barrier and surfaces the earliest rank's
+/// diagnosis as `RunError::Unstable`.
+#[test]
+fn multirank_unstable_run_aborts_collectively() {
+    let model = LayeredModel::north_china();
+    let cfg = unstable_config().with_health(HealthConfig::default().with_stride(2));
+    let err = run_multirank(&model, &cfg, RankGrid::new(2, 2)).expect_err("must abort");
+    match err {
+        RunError::Unstable(UnstableError { step, cause, .. }) => {
+            assert!(step > 0);
+            assert!(matches!(cause, Fatal::CflViolation { .. }), "{cause:?}");
+        }
+        other => panic!("expected Unstable, got {other:?}"),
+    }
+}
+
+/// `dt_scale` must be finite and positive; validation rejects garbage
+/// before a simulation is built.
+#[test]
+fn invalid_dt_scale_is_a_config_error() {
+    let model = LayeredModel::north_china();
+    for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        let mut cfg = production_config();
+        cfg.options.dt_scale = bad;
+        assert!(Simulation::new(&model, &cfg).is_err(), "dt_scale {bad} accepted");
+    }
+}
