@@ -20,26 +20,29 @@
 //! halo exchange (Fig. 4 level 1); its results are bit-identical to a
 //! single-rank run, which the integration tests pin down.
 
-use crate::error::{ConfigError, RestoreError, RunError, UnstableError};
+use crate::error::{ConfigError, KilledError, RestoreError, RunError, UnstableError};
 use crate::exec::{self, ExecMode};
 use crate::flops::FlopCounter;
 use crate::health::HealthMonitor;
 use crate::kernels;
 use crate::state::{SolverState, StateOptions};
 use rayon::prelude::*;
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 use sw_arch::analytic::{AnalyticModel, KernelShape};
 use sw_arch::regcomm::RegisterMesh;
 use sw_arch::spec::CoreGroupSpec;
 use sw_arch::{KernelPerfModel, OptLevel};
 use sw_compress::{Codec, Codec16, FieldStats};
+use sw_fault::FaultHook;
 use sw_grid::{Dims3, Field3};
 use sw_health::{HealthConfig, HealthLog, HealthRecord, HealthReport};
 use sw_io::checkpoint::{Checkpoint, RestartController};
+use sw_io::store::{CheckpointStore, RestoredGeneration, WriteError};
 use sw_io::{PgvRecorder, SeismogramRecorder, SnapshotRecorder, Station};
 use sw_model::VelocityModel;
-use sw_parallel::{run_ranks, HaloExchanger, RankGrid, StopBarrier};
+use sw_parallel::{run_ranks, FaultVote, HaloExchanger, RankGrid, StopBarrier};
 use sw_source::{PointSource, SourcePartitioner};
 use sw_telemetry::Telemetry;
 
@@ -94,6 +97,27 @@ pub struct SimConfig {
     /// This simulation's rank id in a multirank run (stamped into
     /// health records; 0 for single-rank runs).
     pub rank: usize,
+    /// Durable checkpoint directory. When set (and
+    /// `checkpoint_interval > 0`), every due checkpoint is also
+    /// persisted through a [`CheckpointStore`] — atomic files, a
+    /// versioned manifest, keep-N retention.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint generations retained on disk.
+    pub checkpoint_keep: usize,
+    /// A pre-opened checkpoint store shared across ranks; wins over
+    /// `checkpoint_dir` (set by [`run_multirank`] and the resume path).
+    pub shared_store: Option<Arc<CheckpointStore>>,
+    /// Whether this simulation commits generations itself after writing
+    /// (single-rank). [`run_multirank`] sets this false and commits
+    /// centrally, once all ranks have written.
+    pub store_commit: bool,
+    /// Deterministic fault-injection plan for crash drills (`None` —
+    /// the default — injects nothing and costs one branch per step).
+    pub fault: FaultHook,
+    /// Resume from the newest valid generation under `checkpoint_dir`
+    /// instead of starting fresh (honoured by [`run_multirank`]; the
+    /// single-rank path uses [`Simulation::resume`] directly).
+    pub resume: bool,
 }
 
 impl SimConfig {
@@ -118,6 +142,12 @@ impl SimConfig {
             health: None,
             shared_health_log: None,
             rank: 0,
+            checkpoint_dir: None,
+            checkpoint_keep: sw_io::store::DEFAULT_KEEP,
+            shared_store: None,
+            store_commit: true,
+            fault: None,
+            resume: false,
         }
     }
 
@@ -184,6 +214,69 @@ impl SimConfig {
     pub fn with_health_log(mut self, log: Arc<HealthLog>) -> Self {
         self.shared_health_log = Some(log);
         self
+    }
+
+    /// Persist due checkpoints into `dir` (atomic files + versioned
+    /// manifest + retention). Takes effect together with
+    /// [`SimConfig::with_checkpoint_interval`].
+    #[must_use]
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Checkpoint every `interval` steps (0 = never).
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Keep the newest `keep` checkpoint generations on disk.
+    #[must_use]
+    pub fn with_checkpoint_keep(mut self, keep: usize) -> Self {
+        self.checkpoint_keep = keep.max(1);
+        self
+    }
+
+    /// Attach a pre-opened checkpoint store (shared across ranks);
+    /// overrides `checkpoint_dir`.
+    #[must_use]
+    pub fn with_checkpoint_store(mut self, store: Arc<CheckpointStore>) -> Self {
+        self.shared_store = Some(store);
+        self
+    }
+
+    /// Arm a deterministic fault-injection plan (crash drills only).
+    #[must_use]
+    pub fn with_fault_plan(mut self, fault: FaultHook) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Resume from the newest valid checkpoint generation instead of
+    /// starting fresh (multirank; see [`Simulation::resume`] for the
+    /// single-rank entry point).
+    #[must_use]
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Open (or create) the checkpoint store this config asks for:
+    /// the shared store if one is attached, a fresh store under
+    /// `checkpoint_dir` otherwise, `None` when persistence is off.
+    fn open_store(&self) -> Result<Option<Arc<CheckpointStore>>, ConfigError> {
+        if let Some(store) = &self.shared_store {
+            return Ok(Some(Arc::clone(store)));
+        }
+        let Some(dir) = &self.checkpoint_dir else { return Ok(None) };
+        CheckpointStore::create(dir, self.checkpoint_keep)
+            .map(|s| Some(Arc::new(s.with_fault(self.fault.clone()))))
+            .map_err(|e| ConfigError::CheckpointDir {
+                path: dir.display().to_string(),
+                detail: e.to_string(),
+            })
     }
 
     /// Check that the configuration can produce a runnable simulation.
@@ -411,6 +504,19 @@ pub struct Simulation {
     /// In-memory checkpoints taken by the restart controller.
     pub checkpoints: Vec<Checkpoint>,
     restart: RestartController,
+    /// Durable store due checkpoints are persisted into (in addition to
+    /// the in-memory list), when configured.
+    store: Option<Arc<CheckpointStore>>,
+    /// Whether this simulation commits generations itself after writing
+    /// (false when [`run_multirank`] commits centrally).
+    store_commit: bool,
+    /// This rank's id (file naming in the store, fault targeting).
+    rank: usize,
+    /// The armed fault plan, if any.
+    fault: FaultHook,
+    /// Latched injected kill: once set, checked stepping refuses to
+    /// continue, mimicking a dead process.
+    fault_kill: Option<KilledError>,
     snapshot_times: Vec<f64>,
     next_snapshot: usize,
     compression: Option<Vec<CompressionSlot>>,
@@ -458,9 +564,72 @@ impl Simulation {
     /// or station lies outside it.
     pub fn new(model: &dyn VelocityModel, config: &SimConfig) -> Result<Self, ConfigError> {
         config.validate()?;
+        let store = config.open_store()?;
         let state =
             SolverState::from_model(model, config.dims, config.dx, config.origin, config.options);
-        Ok(Self::from_state(state, config))
+        let mut sim = Self::from_state(state, config);
+        sim.store = store;
+        Ok(sim)
+    }
+
+    /// Build a single-rank simulation resumed from the newest valid
+    /// checkpoint generation under the config's `checkpoint_dir`.
+    ///
+    /// The store must already exist (a resume that finds no store is an
+    /// operator error, not a fresh start); corrupt or incomplete newer
+    /// generations are skipped with a logged
+    /// [`sw_health::Warning::CheckpointFallback`] and counted in
+    /// `io.restore_fallbacks`. Fails with [`RunError::ResumeFailed`]
+    /// when no generation at all can be restored.
+    #[allow(clippy::result_large_err)] // cold resume-path error; see step_checked
+    pub fn resume(
+        model: &dyn VelocityModel,
+        config: &SimConfig,
+    ) -> Result<(Self, ResumeInfo), RunError> {
+        let Some(dir) = &config.checkpoint_dir else {
+            return Err(RunError::ResumeFailed {
+                detail: "no checkpoint directory configured".to_string(),
+            });
+        };
+        let store = CheckpointStore::open(dir, config.checkpoint_keep)
+            .map_err(|e| RunError::ResumeFailed { detail: e.to_string() })?
+            .with_fault(config.fault.clone());
+        let restored = store
+            .restore_newest_valid(1)
+            .map_err(|e| RunError::ResumeFailed { detail: e.to_string() })?;
+        let mut cfg = config.clone();
+        cfg.shared_store = Some(Arc::new(store));
+        let mut sim = Simulation::new(model, &cfg)?;
+        sim.restore(&restored.checkpoints[0])
+            .map_err(|e| RunError::ResumeFailed { detail: e.to_string() })?;
+        sim.note_resume(&restored);
+        Ok((
+            sim,
+            ResumeInfo { step: restored.step, time: restored.time, skipped: restored.skipped },
+        ))
+    }
+
+    /// Record a completed restore in telemetry and, when generations
+    /// were skipped, as checkpoint-fallback warnings in the health log.
+    fn note_resume(&self, restored: &RestoredGeneration) {
+        let tel = &self.telemetry;
+        tel.gauge("io.resume_step", restored.step as f64);
+        if restored.skipped.is_empty() {
+            return;
+        }
+        tel.add("io.restore_fallbacks", restored.skipped.len() as u64);
+        if let Some(monitor) = &self.health {
+            for (skipped_step, reason) in &restored.skipped {
+                let record = HealthRecord::checkpoint_fallback(
+                    restored.step,
+                    restored.time,
+                    self.rank,
+                    *skipped_step,
+                    reason.clone(),
+                );
+                monitor.log_record(&record, tel);
+            }
+        }
     }
 
     /// Build from an existing state (used by the multi-rank runner). The
@@ -508,6 +677,11 @@ impl Simulation {
             flops: FlopCounter::default(),
             checkpoints: Vec::new(),
             restart: RestartController { interval: config.checkpoint_interval },
+            store: config.shared_store.clone(),
+            store_commit: config.store_commit,
+            rank: config.rank,
+            fault: config.fault.clone(),
+            fault_kill: None,
             snapshot_times: config.snapshot_times.clone(),
             next_snapshot: 0,
             compression,
@@ -813,10 +987,39 @@ impl Simulation {
                     &[("bytes", bytes as f64), ("step", self.step_count as f64)],
                 );
             }
+            self.persist_checkpoint(&ckpt, &tel);
             self.checkpoints.push(ckpt);
         }
         if let Some(monitor) = &mut self.health {
             monitor.check(&self.state, self.step_count, self.time, self.parallel, &tel);
+        }
+    }
+
+    /// Write a due checkpoint into the durable store (when one is
+    /// configured). A failed write is a telemetry-counted warning, not a
+    /// run abort — the campaign continues on the previous generation.
+    /// An injected mid-write kill latches [`Self::fault_kill`] so
+    /// checked stepping dies like the real process would.
+    fn persist_checkpoint(&mut self, ckpt: &Checkpoint, tel: &Telemetry) {
+        let Some(store) = &self.store else { return };
+        let t0 = tel.is_enabled().then(Instant::now);
+        match store.write_rank(self.step_count, self.rank, ckpt) {
+            Ok(bytes) => {
+                tel.add("io.checkpoint_disk_bytes", bytes);
+                if self.store_commit {
+                    match store.commit_generation(self.step_count, self.time, 1) {
+                        Ok(()) => tel.add("io.checkpoint_generations", 1),
+                        Err(_) => tel.add("io.checkpoint_failures", 1),
+                    }
+                }
+            }
+            Err(WriteError::Killed) => {
+                self.fault_kill = Some(KilledError { step: self.step_count, rank: self.rank });
+            }
+            Err(WriteError::Io(_)) => tel.add("io.checkpoint_failures", 1),
+        }
+        if let Some(t0) = t0 {
+            tel.record_duration("io.checkpoint_write", t0.elapsed().as_secs_f64());
         }
     }
 
@@ -827,30 +1030,46 @@ impl Simulation {
         }
     }
 
-    /// Advance one step, surfacing a fatal health verdict as an error.
-    /// A simulation whose watchdog has already gone fatal refuses to
+    /// Advance one step, surfacing a fatal health verdict or an
+    /// injected kill as an error. A simulation whose watchdog has
+    /// already gone fatal (or that has already been killed) refuses to
     /// step further.
     // The diagnosis is wide (field name, grid index, cause, bundle
     // path) but constructed at most once per run, on the abort path;
     // boxing it would complicate the public API for a cold error.
     #[allow(clippy::result_large_err)]
-    pub fn step_checked(&mut self) -> Result<(), UnstableError> {
+    pub fn step_checked(&mut self) -> Result<(), RunError> {
+        if let Some(k) = &self.fault_kill {
+            return Err(RunError::Killed(k.clone()));
+        }
         if let Some(e) = self.health_failure() {
-            return Err(e.clone());
+            return Err(RunError::Unstable(e.clone()));
         }
         self.step();
-        match self.health_failure() {
-            Some(e) => Err(e.clone()),
+        if let Some(e) = self.health_failure() {
+            return Err(RunError::Unstable(e.clone()));
+        }
+        // An armed plan kills the run *after* the step completes — the
+        // store then holds exactly the generations committed before the
+        // "crash", like a real `kill -9` between steps. A mid-write kill
+        // (`killwrite`) latches inside `persist_checkpoint` instead.
+        if let Some(plan) = &self.fault {
+            if plan.kill_due(self.step_count, self.rank) {
+                self.fault_kill = Some(KilledError { step: self.step_count, rank: self.rank });
+            }
+        }
+        match &self.fault_kill {
+            Some(k) => Err(RunError::Killed(k.clone())),
             None => Ok(()),
         }
     }
 
     /// Run up to `n` steps, stopping at the watchdog's first fatal
-    /// verdict. Requires a health config to detect anything; without
-    /// one it is equivalent to [`Simulation::run`].
+    /// verdict or the fault plan's first kill. Without a health config
+    /// or fault plan it is equivalent to [`Simulation::run`].
     #[allow(clippy::result_large_err)] // cold abort-path error; see step_checked
-    pub fn run_checked(&mut self, n: usize) -> Result<(), UnstableError> {
-        if self.health.is_some() {
+    pub fn run_checked(&mut self, n: usize) -> Result<(), RunError> {
+        if self.health.is_some() || self.fault.is_some() || self.fault_kill.is_some() {
             for _ in 0..n {
                 self.step_checked()?;
             }
@@ -888,7 +1107,14 @@ impl Simulation {
         } else {
             sources.into_iter().map(|(name, f)| (name, f.clone())).collect()
         };
-        Checkpoint { step: self.step_count, time: self.time, fields }
+        Checkpoint {
+            step: self.step_count,
+            time: self.time,
+            flops: self.flops.flops,
+            fields,
+            seismograms: self.seismo.seismograms().to_vec(),
+            pgv: Some((self.pgv.nx(), self.pgv.ny(), self.pgv.pgv.clone())),
+        }
     }
 
     /// Restore the dynamic state from a checkpoint.
@@ -926,6 +1152,25 @@ impl Simulation {
         }
         self.step_count = ckpt.step;
         self.time = ckpt.time;
+        // Recorder/accumulator state rides along so a resumed run's
+        // seismograms, hazard map and flop totals are byte-identical to
+        // an uninterrupted one. (Missing in pre-v2 snapshots → left at
+        // whatever the simulation already holds.)
+        self.flops = FlopCounter { flops: ckpt.flops, steps: ckpt.step };
+        self.seismo.restore_samples(&ckpt.seismograms);
+        if let Some((nx, ny, pgv)) = &ckpt.pgv {
+            if (*nx, *ny) != (dims.nx, dims.ny) {
+                return Err(RestoreError::DimsMismatch {
+                    field: "pgv".to_string(),
+                    checkpoint: Dims3::new(*nx, *ny, 1),
+                    simulation: Dims3::new(dims.nx, dims.ny, 1),
+                });
+            }
+            self.pgv = PgvRecorder::from_parts(*nx, *ny, pgv.clone());
+        }
+        // Skip snapshots whose trigger time the restored clock has
+        // already passed — a resumed run must not re-emit them.
+        self.next_snapshot = self.snapshot_times.iter().filter(|t| **t <= self.time).count();
         Ok(())
     }
 
@@ -1017,6 +1262,18 @@ fn roundtrip_compress_instrumented(
     );
 }
 
+/// What a resume restored: the generation's step/time and any newer
+/// generations that were skipped as corrupt or incomplete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeInfo {
+    /// Step of the generation restored.
+    pub step: u64,
+    /// Simulated time of the generation restored.
+    pub time: f64,
+    /// Newer generations skipped, newest first: `(step, reason)`.
+    pub skipped: Vec<(u64, String)>,
+}
+
 /// Output of a multi-rank run: merged observables.
 #[derive(Debug, Clone)]
 pub struct MultiRankOutput {
@@ -1066,6 +1323,66 @@ pub fn run_multirank(
     };
     let health_stride = config.health.as_ref().map(|h| h.effective_stride());
     let stop = StopBarrier::new(grid.len());
+    // Durable checkpointing: one shared store for all ranks. Each rank
+    // writes its own file from `finish_step`; rank 0 commits the
+    // generation centrally, behind a barrier, only once every rank's
+    // write has landed — a crash can leave orphan rank files but never
+    // a manifest entry pointing at a half-written generation.
+    let store: Option<Arc<CheckpointStore>> = if let Some(s) = &config.shared_store {
+        Some(Arc::clone(s))
+    } else if let Some(dir) = &config.checkpoint_dir {
+        let s = if config.resume {
+            CheckpointStore::open(dir, config.checkpoint_keep)
+        } else {
+            CheckpointStore::create(dir, config.checkpoint_keep)
+        }
+        .map_err(|e| ConfigError::CheckpointDir {
+            path: dir.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Some(Arc::new(s.with_fault(config.fault.clone())))
+    } else {
+        None
+    };
+    // Resume is decided centrally, before any rank thread starts, so
+    // every rank restores the *same* generation even when fallback
+    // skipped a corrupt newer one.
+    let restored: Option<RestoredGeneration> = if config.resume {
+        let store = store.as_ref().ok_or_else(|| RunError::ResumeFailed {
+            detail: "no checkpoint directory configured".to_string(),
+        })?;
+        let r = store
+            .restore_newest_valid(grid.len())
+            .map_err(|e| RunError::ResumeFailed { detail: e.to_string() })?;
+        for (rank, ckpt) in r.checkpoints.iter().enumerate() {
+            let (_, _, local) = grid.local_span(rank, global);
+            if let Some((name, f)) = ckpt.fields.first() {
+                if f.dims() != local {
+                    return Err(RunError::ResumeFailed {
+                        detail: format!(
+                            "rank {rank} checkpoint field `{name}` is {}x{}x{} but the rank \
+                             subdomain is {}x{}x{} — resume with the same rank grid",
+                            f.dims().nx,
+                            f.dims().ny,
+                            f.dims().nz,
+                            local.nx,
+                            local.ny,
+                            local.nz
+                        ),
+                    });
+                }
+            }
+        }
+        Some(r)
+    } else {
+        None
+    };
+    let start_step = restored.as_ref().map_or(0, |r| r.step as usize);
+    // Rank-death vote (None when no plan is armed) and the generation
+    // commit barrier.
+    let fault_vote = FaultVote::new(grid.len(), &config.fault);
+    let commit = Barrier::new(grid.len());
+    let restart = RestartController { interval: config.checkpoint_interval };
     let results = run_ranks(grid, |comm| {
         // Each rank thread records into its own trace lane (one process
         // row per rank in the exported Chrome trace).
@@ -1092,10 +1409,22 @@ pub fn run_multirank(
         if let Some(h) = &mut cfg.health {
             h.log_path = None;
         }
+        cfg.shared_store = store.clone();
+        // Generations are committed centrally below, once ALL ranks
+        // have written — a per-rank commit would publish a generation
+        // some ranks have not finished writing yet.
+        cfg.store_commit = false;
         let mut sim = Simulation::new(model, &cfg)
             .expect("rank-local config is derived from the validated global config");
+        if let Some(r) = &restored {
+            sim.restore(&r.checkpoints[comm.rank])
+                .expect("rank checkpoint dims were validated against the rank grid");
+            if comm.rank == 0 {
+                sim.note_resume(r);
+            }
+        }
         let tel = telemetry.clone();
-        for _ in 0..config.steps {
+        for _ in start_step..config.steps {
             let start = tel.is_enabled().then(Instant::now);
             let _step = tel.phase("step");
             // stress halos feed the velocity stencils
@@ -1120,6 +1449,34 @@ pub fn run_multirank(
             if let Some(start) = start {
                 tel.sample("step.wall_s", start.elapsed().as_secs_f64());
             }
+            // Rank-death vote, BEFORE the commit barrier: a step on
+            // which any rank dies must not commit its generation — the
+            // on-disk store then looks exactly as if `kill -9` had hit
+            // the process at that step. `fault_kill` folds in mid-write
+            // kills latched by the store during `finish_step`.
+            if let Some(vote) = &fault_vote {
+                let mut my_kill = sim.fault_kill.is_some();
+                if !my_kill && vote.is_victim(sim.step_count, comm.rank) {
+                    sim.fault_kill = Some(KilledError { step: sim.step_count, rank: comm.rank });
+                    my_kill = true;
+                }
+                if vote.vote(my_kill) {
+                    break;
+                }
+            }
+            // Commit the generation once every rank's write has landed.
+            if let Some(s) = store.as_ref().filter(|_| restart.due(sim.step_count)) {
+                commit.wait();
+                if comm.rank == 0 {
+                    match s.commit_generation(sim.step_count, sim.time, grid.len()) {
+                        Ok(()) => tel.add("io.checkpoint_generations", 1),
+                        Err(_) => tel.add("io.checkpoint_failures", 1),
+                    }
+                }
+                // Hold all ranks until the manifest is durable, so no
+                // rank races into the next step's writes mid-rewrite.
+                commit.wait();
+            }
             // Stop-vote at probe steps: every rank probes at the same
             // step numbers, so every rank reaches the barrier, and a
             // fatal verdict anywhere pulls all ranks out of the loop
@@ -1140,6 +1497,7 @@ pub fn run_multirank(
     let mut flops = 0.0;
     let mut health: Vec<HealthRecord> = Vec::new();
     let mut failure: Option<UnstableError> = None;
+    let mut killed: Option<KilledError> = None;
     for (x0, y0, local, sim) in &results {
         // Restore global surface coordinates on the rank-local stations.
         seismograms.extend(sim.seismo.seismograms().iter().map(|s| {
@@ -1167,6 +1525,17 @@ pub fn run_multirank(
                 failure = Some(e.clone());
             }
         }
+        if let Some(k) = &sim.fault_kill {
+            let earlier = killed.as_ref().is_none_or(|f| (k.step, k.rank) < (f.step, f.rank));
+            if earlier {
+                killed = Some(k.clone());
+            }
+        }
+    }
+    // An injected kill means "the process died here": it outranks any
+    // verdict latched the same step, so crash drills exit as killed.
+    if let Some(k) = killed {
+        return Err(RunError::Killed(k));
     }
     if let Some(e) = failure {
         return Err(RunError::Unstable(e));

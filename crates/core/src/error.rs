@@ -46,6 +46,14 @@ pub enum ConfigError {
         /// The offending multiplier.
         dt_scale: f64,
     },
+    /// The checkpoint directory could not be initialised or opened.
+    CheckpointDir {
+        /// The directory.
+        path: String,
+        /// What went wrong (store error rendered to text — keeps this
+        /// enum `Clone`/`PartialEq`).
+        detail: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -69,6 +77,9 @@ impl fmt::Display for ConfigError {
             ),
             Self::InvalidDtScale { dt_scale } => {
                 write!(f, "dt_scale must be finite and positive, got {dt_scale}")
+            }
+            Self::CheckpointDir { path, detail } => {
+                write!(f, "checkpoint directory {path} unusable: {detail}")
             }
         }
     }
@@ -165,14 +176,42 @@ impl fmt::Display for UnstableError {
 
 impl std::error::Error for UnstableError {}
 
+/// The run was killed by an injected rank-death fault (crash drills):
+/// the process is expected to abort as if `kill -9` had hit it, leaving
+/// whatever the checkpoint store has committed as the only survivor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KilledError {
+    /// Step the kill fired at.
+    pub step: u64,
+    /// Rank that died (other ranks abort collectively).
+    pub rank: usize,
+}
+
+impl fmt::Display for KilledError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run killed at step {} (injected fault on rank {})", self.step, self.rank)
+    }
+}
+
+impl std::error::Error for KilledError {}
+
 /// Everything a full run can fail with: an invalid configuration up
-/// front, or a fatal health verdict mid-run.
+/// front, a fatal health verdict mid-run, an injected kill, or a resume
+/// that found no restorable generation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunError {
     /// The configuration failed validation.
     Config(ConfigError),
     /// The health watchdog aborted the run.
     Unstable(UnstableError),
+    /// An injected fault killed the run (crash drills).
+    Killed(KilledError),
+    /// Resume was requested but no checkpoint generation could be
+    /// restored (all corrupt, or none committed).
+    ResumeFailed {
+        /// The store's explanation, rendered to text.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -180,6 +219,8 @@ impl fmt::Display for RunError {
         match self {
             Self::Config(e) => e.fmt(f),
             Self::Unstable(e) => e.fmt(f),
+            Self::Killed(e) => e.fmt(f),
+            Self::ResumeFailed { detail } => write!(f, "cannot resume: {detail}"),
         }
     }
 }
@@ -189,6 +230,8 @@ impl std::error::Error for RunError {
         match self {
             Self::Config(e) => Some(e),
             Self::Unstable(e) => Some(e),
+            Self::Killed(e) => Some(e),
+            Self::ResumeFailed { .. } => None,
         }
     }
 }
@@ -202,5 +245,11 @@ impl From<ConfigError> for RunError {
 impl From<UnstableError> for RunError {
     fn from(e: UnstableError) -> Self {
         RunError::Unstable(e)
+    }
+}
+
+impl From<KilledError> for RunError {
+    fn from(e: KilledError) -> Self {
+        RunError::Killed(e)
     }
 }

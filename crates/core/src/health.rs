@@ -396,6 +396,16 @@ impl HealthMonitor {
         }
     }
 
+    /// Append a synthetic record (e.g. a resume-time
+    /// checkpoint-fallback warning) to the health log, if one is open.
+    pub(crate) fn log_record(&self, record: &sw_health::HealthRecord, tel: &Telemetry) {
+        if let Some(log) = &self.log {
+            if log.append(record).is_err() {
+                tel.add("health.log_errors", 1);
+            }
+        }
+    }
+
     fn dump_bundle(&self, state: &SolverState, step: u64, fatal: &Fatal) -> Option<String> {
         let dir = self.watchdog.config().bundle_dir.clone()?;
         let snapshot = snapshot_around(state, fatal.field(), fatal.index(), step, self.rank);

@@ -49,8 +49,8 @@ pub mod staggered;
 pub mod state;
 pub mod sunway;
 
-pub use driver::{MultiRankOutput, SimConfig, Simulation};
-pub use error::{ConfigError, RestoreError, RunError, UnstableError};
+pub use driver::{MultiRankOutput, ResumeInfo, SimConfig, Simulation};
+pub use error::{ConfigError, KilledError, RestoreError, RunError, UnstableError};
 pub use exec::ExecMode;
 pub use framework::UnifiedFramework;
 pub use state::SolverState;

@@ -1,0 +1,355 @@
+//! Deterministic fault injection for crash drills.
+//!
+//! A production campaign on the paper's scale (15 hours across the full
+//! machine, §6.2) *will* see I/O errors, torn files, bit rot, and dead
+//! ranks; the checkpoint/restart subsystem is only trustworthy if those
+//! failures can be rehearsed. A [`FaultPlan`] is a seeded, fully
+//! deterministic schedule of faults keyed by `(step, rank)`: the same
+//! plan string always injects the same corruption into the same bytes,
+//! so a crash drill is a reproducible test, not a flake.
+//!
+//! The plan is threaded through `sw-io`'s checkpoint store and
+//! `sw-parallel`'s collective kill vote behind an
+//! `Option<Arc<FaultPlan>>` hook — when the option is `None` (the
+//! default everywhere), no fault code runs at all.
+//!
+//! ## Plan grammar
+//!
+//! Semicolon-separated events, each `kind@step` with optional
+//! `:key=value` suffixes, plus an optional standalone `seed=N` token
+//! (`SWQUAKE_FAULT_PLAN` in the environment):
+//!
+//! ```text
+//! kill@120                 abrupt death of every rank at end of step 120
+//! kill@120:rank=1          abrupt death of rank 1 (the others abort via the vote)
+//! killwrite@100            death after staging the step-100 checkpoint,
+//!                          before the atomic rename (temp file left behind)
+//! ioerr@40                 the step-40 checkpoint write fails with an I/O error
+//! torn@80:frac=0.4         the step-80 checkpoint file is truncated to 40 %
+//! flip@60:flips=3          3 seeded bit flips in the step-60 checkpoint image
+//! seed=7;flip@60;kill@120  a composite plan with an explicit RNG seed
+//! ```
+
+use std::sync::Arc;
+
+/// Environment variable holding the fault plan for CLI-driven drills.
+pub const FAULT_PLAN_ENV: &str = "SWQUAKE_FAULT_PLAN";
+
+/// The kinds of fault an event can inject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The checkpoint write fails outright with an injected I/O error
+    /// (nothing reaches the disk).
+    IoError,
+    /// The checkpoint file is committed truncated to `frac` of its
+    /// length (simulated partial flush / media truncation after the
+    /// rename).
+    Torn {
+        /// Fraction of the encoded image that survives, in (0, 1).
+        frac: f64,
+    },
+    /// `flips` seeded random bit flips in the committed image
+    /// (simulated undetected media corruption).
+    BitFlip {
+        /// Number of bits flipped.
+        flips: u32,
+    },
+    /// The rank dies abruptly at the end of the step, after any
+    /// checkpoint activity (a `kill -9` between steps).
+    Kill,
+    /// The rank dies after staging the checkpoint temp file but before
+    /// the atomic rename — the worst-timed crash the atomic protocol
+    /// must survive.
+    KillMidWrite,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Step the fault fires at.
+    pub step: u64,
+    /// Rank the fault targets (`None` = every rank).
+    pub rank: Option<usize>,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    fn matches(&self, step: u64, rank: usize) -> bool {
+        self.step == step && self.rank.is_none_or(|r| r == rank)
+    }
+}
+
+/// A malformed plan string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanError(pub String);
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A seeded, deterministic schedule of faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+/// The zero-cost-when-disabled hook type subsystems thread through
+/// their constructors: `None` injects nothing and costs one branch.
+pub type FaultHook = Option<Arc<FaultPlan>>;
+
+impl FaultPlan {
+    /// A plan with an explicit seed and event list.
+    pub fn new(seed: u64, events: Vec<FaultEvent>) -> Self {
+        Self { seed, events }
+    }
+
+    /// Parse the plan grammar (see the module docs).
+    pub fn parse(spec: &str) -> Result<Self, FaultPlanError> {
+        let mut seed = 0u64;
+        let mut events = Vec::new();
+        for token in spec.split(';').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(v) = token.strip_prefix("seed=") {
+                seed = v.parse().map_err(|_| FaultPlanError(format!("bad seed in `{token}`")))?;
+                continue;
+            }
+            let (head, opts) = match token.split_once(':') {
+                Some((h, o)) => (h, Some(o)),
+                None => (token, None),
+            };
+            let (kind_str, step_str) = head
+                .split_once('@')
+                .ok_or_else(|| FaultPlanError(format!("`{token}` is not `kind@step`")))?;
+            let step: u64 =
+                step_str.parse().map_err(|_| FaultPlanError(format!("bad step in `{token}`")))?;
+            let mut rank: Option<usize> = None;
+            let mut frac = 0.5f64;
+            let mut flips = 1u32;
+            for opt in opts.into_iter().flat_map(|o| o.split(':')) {
+                let (key, value) = opt
+                    .split_once('=')
+                    .ok_or_else(|| FaultPlanError(format!("bad option `{opt}` in `{token}`")))?;
+                match key {
+                    "rank" => {
+                        rank = Some(
+                            value
+                                .parse()
+                                .map_err(|_| FaultPlanError(format!("bad rank in `{token}`")))?,
+                        );
+                    }
+                    "frac" => {
+                        frac = value
+                            .parse()
+                            .map_err(|_| FaultPlanError(format!("bad frac in `{token}`")))?;
+                        if !(0.0..1.0).contains(&frac) {
+                            return Err(FaultPlanError(format!(
+                                "frac must be in [0, 1) in `{token}`"
+                            )));
+                        }
+                    }
+                    "flips" => {
+                        flips = value
+                            .parse()
+                            .map_err(|_| FaultPlanError(format!("bad flips in `{token}`")))?;
+                    }
+                    other => {
+                        return Err(FaultPlanError(format!(
+                            "unknown option `{other}` in `{token}`"
+                        )));
+                    }
+                }
+            }
+            let kind = match kind_str {
+                "ioerr" => FaultKind::IoError,
+                "torn" => FaultKind::Torn { frac },
+                "flip" => FaultKind::BitFlip { flips },
+                "kill" => FaultKind::Kill,
+                "killwrite" => FaultKind::KillMidWrite,
+                other => {
+                    return Err(FaultPlanError(format!(
+                        "unknown fault kind `{other}` (ioerr|torn|flip|kill|killwrite)"
+                    )));
+                }
+            };
+            events.push(FaultEvent { step, rank, kind });
+        }
+        if events.is_empty() {
+            return Err(FaultPlanError("plan contains no events".into()));
+        }
+        Ok(Self { seed, events })
+    }
+
+    /// The plan from `SWQUAKE_FAULT_PLAN`, if set. A malformed value is
+    /// an error (a drill with a silently dropped plan would "pass" by
+    /// never injecting anything).
+    pub fn from_env() -> Result<Option<Self>, FaultPlanError> {
+        match std::env::var(FAULT_PLAN_ENV) {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when a `kill` event targets `(step, rank)` — the caller
+    /// (driver step loop, CLI) is expected to die abruptly.
+    pub fn kill_due(&self, step: u64, rank: usize) -> bool {
+        self.events.iter().any(|e| e.kind == FaultKind::Kill && e.matches(step, rank))
+    }
+
+    /// The write fault scheduled for the checkpoint of `(step, rank)`,
+    /// if any (`ioerr`, `torn`, `flip`, or `killwrite`).
+    pub fn write_fault(&self, step: u64, rank: usize) -> Option<FaultEvent> {
+        self.events
+            .iter()
+            .find(|e| !matches!(e.kind, FaultKind::Kill) && e.matches(step, rank))
+            .copied()
+    }
+
+    /// Apply a `torn`/`flip` mutation to an encoded image, seeded by
+    /// `(plan seed, step, rank)` so the corruption is reproducible.
+    /// Returns true when the buffer was changed.
+    pub fn corrupt(&self, event: &FaultEvent, step: u64, rank: usize, bytes: &mut Vec<u8>) -> bool {
+        match event.kind {
+            FaultKind::Torn { frac } => {
+                let keep = ((bytes.len() as f64) * frac) as usize;
+                bytes.truncate(keep);
+                true
+            }
+            FaultKind::BitFlip { flips } => {
+                if bytes.is_empty() {
+                    return false;
+                }
+                let mut rng = SplitMix64::new(
+                    self.seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ rank as u64,
+                );
+                for _ in 0..flips {
+                    let bit = (rng.next() as usize) % (bytes.len() * 8);
+                    bytes[bit / 8] ^= 1 << (bit % 8);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// SplitMix64: the tiny deterministic generator behind bit-flip sites
+/// (same family the test suite's property generators use).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_round_trips_every_kind() {
+        let plan = FaultPlan::parse(
+            "seed=7;ioerr@40;torn@80:frac=0.4;flip@60:flips=3;kill@120:rank=1;killwrite@100",
+        )
+        .unwrap();
+        assert_eq!(plan.events().len(), 5);
+        assert_eq!(plan.events()[0], FaultEvent { step: 40, rank: None, kind: FaultKind::IoError });
+        assert_eq!(
+            plan.events()[1],
+            FaultEvent { step: 80, rank: None, kind: FaultKind::Torn { frac: 0.4 } }
+        );
+        assert_eq!(
+            plan.events()[2],
+            FaultEvent { step: 60, rank: None, kind: FaultKind::BitFlip { flips: 3 } }
+        );
+        assert_eq!(
+            plan.events()[3],
+            FaultEvent { step: 120, rank: Some(1), kind: FaultKind::Kill }
+        );
+        assert_eq!(
+            plan.events()[4],
+            FaultEvent { step: 100, rank: None, kind: FaultKind::KillMidWrite }
+        );
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        for bad in [
+            "",
+            "kill",
+            "kill@abc",
+            "frobnicate@10",
+            "torn@10:frac=1.5",
+            "flip@10:bogus=1",
+            "seed=xyz;kill@10",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn kill_due_respects_step_and_rank() {
+        let plan = FaultPlan::parse("kill@120:rank=1").unwrap();
+        assert!(plan.kill_due(120, 1));
+        assert!(!plan.kill_due(120, 0), "other ranks survive a targeted kill");
+        assert!(!plan.kill_due(119, 1));
+        let all = FaultPlan::parse("kill@120").unwrap();
+        assert!(all.kill_due(120, 0) && all.kill_due(120, 3));
+    }
+
+    #[test]
+    fn write_faults_match_checkpoint_steps_not_kills() {
+        let plan = FaultPlan::parse("flip@60;kill@120").unwrap();
+        assert_eq!(plan.write_fault(60, 0).unwrap().kind, FaultKind::BitFlip { flips: 1 });
+        assert!(plan.write_fault(120, 0).is_none(), "kill is not a write fault");
+        assert!(plan.write_fault(59, 0).is_none());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_step_rank_and_seed() {
+        let plan = FaultPlan::parse("seed=7;flip@60:flips=4").unwrap();
+        let event = plan.write_fault(60, 0).unwrap();
+        let base: Vec<u8> = (0..=255u8).collect();
+        let (mut a, mut b) = (base.clone(), base.clone());
+        assert!(plan.corrupt(&event, 60, 0, &mut a));
+        assert!(plan.corrupt(&event, 60, 0, &mut b));
+        assert_eq!(a, b, "same (seed, step, rank) must flip the same bits");
+        assert_ne!(a, base, "flips must change the image");
+
+        let mut c = base.clone();
+        plan.corrupt(&event, 60, 1, &mut c);
+        assert_ne!(a, c, "a different rank flips different bits");
+
+        let other = FaultPlan::parse("seed=8;flip@60:flips=4").unwrap();
+        let mut d = base.clone();
+        other.corrupt(&other.write_fault(60, 0).unwrap(), 60, 0, &mut d);
+        assert_ne!(a, d, "a different seed flips different bits");
+    }
+
+    #[test]
+    fn torn_truncates_to_the_requested_fraction() {
+        let plan = FaultPlan::parse("torn@10:frac=0.25").unwrap();
+        let event = plan.write_fault(10, 0).unwrap();
+        let mut bytes = vec![0u8; 1000];
+        plan.corrupt(&event, 10, 0, &mut bytes);
+        assert_eq!(bytes.len(), 250);
+    }
+}

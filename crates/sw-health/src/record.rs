@@ -66,6 +66,9 @@ pub enum Warning {
     EnergyDrift { factor: f64, limit: f64 },
     /// A field's 16-bit round-trip error exceeded its binade budget.
     CompressionBudget { field: String, rel_err: f64, budget: f64 },
+    /// Resume skipped a corrupt or incomplete checkpoint generation and
+    /// fell back to an older one.
+    CheckpointFallback { step: u64, reason: String },
 }
 
 /// A fatal anomaly: the run is unrecoverable and should abort after
@@ -177,6 +180,38 @@ pub struct HealthRecord {
     pub inf_count: u64,
     pub verdict: Verdict,
     pub fields: Vec<FieldProbe>,
+}
+
+impl HealthRecord {
+    /// A synthetic record carrying only a [`Warning::CheckpointFallback`]
+    /// — emitted at resume time, before any stepping, so the stream
+    /// documents that the newest generation was skipped. `step`/`time`
+    /// are those of the generation actually restored; probe data is
+    /// zeroed (nothing has been probed yet).
+    pub fn checkpoint_fallback(
+        step: u64,
+        time: f64,
+        rank: usize,
+        skipped_step: u64,
+        reason: String,
+    ) -> Self {
+        HealthRecord {
+            schema_version: SCHEMA_VERSION,
+            step,
+            time,
+            rank,
+            max_velocity: 0.0,
+            max_stress: 0.0,
+            kinetic_energy: Some(0.0),
+            nan_count: 0,
+            inf_count: 0,
+            verdict: Verdict::Warning(vec![Warning::CheckpointFallback {
+                step: skipped_step,
+                reason,
+            }]),
+            fields: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -6,10 +6,26 @@
 //! compression to reduce the size for a smoother run." (§6.2)
 //!
 //! A [`Checkpoint`] carries every named wavefield (interior only — halos
-//! are re-exchanged on restart), LZ4-compressed per field, with a
-//! checksum so corrupted restarts are detected rather than silently
-//! propagated.
+//! are re-exchanged on restart), LZ4-compressed per field, plus the
+//! observation state accumulated so far (seismogram histories, the PGV
+//! accumulator, the useful-flops counter) so a resumed run reproduces the
+//! uninterrupted run's outputs byte-for-byte — not just its wavefields.
+//!
+//! Integrity is layered: a whole-file FNV-64 checksum (the trailing 8
+//! bytes) is verified *before* any length field is trusted, so a bit flip
+//! or truncation anywhere in the image is a classified
+//! [`CheckpointError`] rather than a panic, allocation blow-up, or silent
+//! wrong decode; per-field checksums then localize which wavefield a
+//! deeper corruption hit.
+//!
+//! [`Checkpoint::write_file`] is crash-consistent: the image is staged to
+//! a temp file, fsynced, atomically renamed over the destination, and the
+//! directory is fsynced — a crash at any instant leaves either the old
+//! file or the new one, never a torn hybrid.
 
+use std::path::{Path, PathBuf};
+
+use crate::recorder::{Seismogram, Station};
 use sw_compress::lz4;
 use sw_grid::{Dims3, Field3};
 
@@ -21,9 +37,11 @@ use sw_grid::{Dims3, Field3};
 trait ReadLe {
     fn remaining(&self) -> usize;
     fn advance(&mut self, n: usize);
+    fn get_u8(&mut self) -> u8;
     fn get_u16_le(&mut self) -> u16;
     fn get_u32_le(&mut self) -> u32;
     fn get_u64_le(&mut self) -> u64;
+    fn get_f32_le(&mut self) -> f32;
     fn get_f64_le(&mut self) -> f64;
 }
 
@@ -34,6 +52,12 @@ impl ReadLe for &[u8] {
 
     fn advance(&mut self, n: usize) {
         *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.advance(1);
+        v
     }
 
     fn get_u16_le(&mut self) -> u16 {
@@ -54,22 +78,38 @@ impl ReadLe for &[u8] {
         v
     }
 
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
     fn get_f64_le(&mut self) -> f64 {
         f64::from_bits(self.get_u64_le())
     }
 }
 
-/// Serialization magic.
-const MAGIC: u32 = 0x5351_4b31; // "SQK1"
+/// Serialization magic (format v2: recorder state + whole-file checksum).
+const MAGIC: u32 = 0x5351_4b32; // "SQK2"
 
-/// Error decoding a checkpoint.
+/// Magic of the pre-recorder v1 format, recognized only to give a
+/// clearer error than "not a checkpoint".
+const MAGIC_V1: u32 = 0x5351_4b31; // "SQK1"
+
+/// Error decoding a checkpoint image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
-    /// Wrong magic or truncated header.
+    /// Wrong magic or too short to carry the fixed header.
     BadHeader,
-    /// LZ4 payload failed to decode.
+    /// Written by an incompatible format version.
+    BadVersion {
+        /// The magic found in the file.
+        found: u32,
+    },
+    /// Whole-file checksum mismatch: the image was truncated or
+    /// bit-flipped somewhere after it was encoded.
+    CorruptFile,
+    /// LZ4 payload failed to decode or a section is inconsistent.
     BadPayload,
-    /// Checksum mismatch (corruption).
+    /// Per-field checksum mismatch (corruption localized to one field).
     Corrupt {
         /// Field whose checksum failed.
         field: String,
@@ -80,6 +120,12 @@ impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::BadHeader => write!(f, "not a swquake checkpoint"),
+            CheckpointError::BadVersion { found } => {
+                write!(f, "unsupported checkpoint format (magic {found:#010x})")
+            }
+            CheckpointError::CorruptFile => {
+                write!(f, "checkpoint image corrupt (whole-file checksum mismatch)")
+            }
             CheckpointError::BadPayload => write!(f, "LZ4 payload corrupt"),
             CheckpointError::Corrupt { field } => write!(f, "checksum mismatch in field {field}"),
         }
@@ -88,6 +134,50 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// Error reading a checkpoint from disk: either the file couldn't be
+/// read at all, or its contents failed to decode. This flattens the old
+/// `io::Result<Result<_, CheckpointError>>` nesting into one variant set
+/// callers can match directly.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The file couldn't be read.
+    Io {
+        /// Path of the checkpoint file.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file's contents are not a valid checkpoint.
+    Decode {
+        /// Path of the checkpoint file.
+        path: PathBuf,
+        /// What's wrong with the image.
+        error: CheckpointError,
+    },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io { path, source } => {
+                write!(f, "cannot read checkpoint {}: {source}", path.display())
+            }
+            ReadError::Decode { path, error } => {
+                write!(f, "checkpoint {} invalid: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io { source, .. } => Some(source),
+            ReadError::Decode { error, .. } => Some(error),
+        }
+    }
+}
+
 /// A snapshot of the simulation state at one step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
@@ -95,12 +185,29 @@ pub struct Checkpoint {
     pub step: u64,
     /// Simulated time, s.
     pub time: f64,
+    /// Useful flops accumulated up to `step` (resumes continue the
+    /// telemetry counter instead of restarting it at zero).
+    pub flops: f64,
     /// Named wavefields (name, field).
     pub fields: Vec<(String, Field3)>,
+    /// Full station histories up to `step`: a resumed run appends to
+    /// these and writes byte-identical seismogram CSVs.
+    pub seismograms: Vec<Seismogram>,
+    /// PGV accumulator `(nx, ny, values)`, when hazard recording is on.
+    pub pgv: Option<(usize, usize, Vec<f32>)>,
+}
+
+/// FNV-1a over raw bytes: cheap, order-sensitive, dependency-free.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
 }
 
 fn checksum(data: &[f32]) -> u64 {
-    // FNV-1a over the raw bits: cheap and order-sensitive.
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for v in data {
         for b in v.to_le_bytes() {
@@ -111,14 +218,56 @@ fn checksum(data: &[f32]) -> u64 {
     h
 }
 
+/// Crash-consistent file write: stage to `<path>.tmp`, fsync, rename over
+/// `path`, fsync the directory. A crash at any point leaves either the
+/// previous file or the complete new one.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = stage_temp(path, bytes)?;
+    commit_staged(&tmp, path)
+}
+
+/// First half of [`write_atomic`]: write + fsync the temp file, return
+/// its path. Split out so fault injection can crash "between" the halves.
+pub fn stage_temp(path: &Path, bytes: &[u8]) -> std::io::Result<PathBuf> {
+    use std::io::Write;
+    let tmp = temp_path(path);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(tmp)
+}
+
+/// Second half of [`write_atomic`]: rename the staged temp file into
+/// place and fsync the parent directory so the rename itself is durable.
+pub fn commit_staged(tmp: &Path, path: &Path) -> std::io::Result<()> {
+    std::fs::rename(tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Directory fsync is advisory on some filesystems; opening can
+        // fail (e.g. on exotic mounts) without threatening the rename.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The staging name used by [`write_atomic`] (stray `.tmp` files from a
+/// crashed writer are cleaned up by the checkpoint store on open).
+pub fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
 impl Checkpoint {
-    /// Serialize: header, then per-field (name, dims, halo, checksum,
-    /// LZ4(interior)).
+    /// Serialize: header, per-field sections, seismogram and PGV
+    /// sections, then a trailing whole-file FNV-64 checksum.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&self.step.to_le_bytes());
         out.extend_from_slice(&self.time.to_le_bytes());
+        out.extend_from_slice(&self.flops.to_le_bytes());
         out.extend_from_slice(&(self.fields.len() as u32).to_le_bytes());
         for (name, field) in &self.fields {
             let interior = field.interior_to_vec();
@@ -134,30 +283,85 @@ impl Checkpoint {
             out.extend_from_slice(&(compressed.len() as u64).to_le_bytes());
             out.extend_from_slice(&compressed);
         }
+        out.extend_from_slice(&(self.seismograms.len() as u32).to_le_bytes());
+        for s in &self.seismograms {
+            out.extend_from_slice(&(s.station.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(s.station.name.as_bytes());
+            out.extend_from_slice(&(s.station.ix as u64).to_le_bytes());
+            out.extend_from_slice(&(s.station.iy as u64).to_le_bytes());
+            out.extend_from_slice(&s.dt.to_le_bytes());
+            out.extend_from_slice(&(s.samples.len() as u64).to_le_bytes());
+            for sample in &s.samples {
+                for c in sample {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+        }
+        match &self.pgv {
+            Some((nx, ny, values)) => {
+                out.push(1);
+                out.extend_from_slice(&(*nx as u64).to_le_bytes());
+                out.extend_from_slice(&(*ny as u64).to_le_bytes());
+                for v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            None => out.push(0),
+        }
+        let file_sum = fnv1a(&out);
+        out.extend_from_slice(&file_sum.to_le_bytes());
         out
     }
 
     /// Deserialize and verify.
+    ///
+    /// The whole-file checksum is verified before anything else, so on
+    /// any post-encode corruption — flipped bits, truncation, garbage —
+    /// this returns a classified error without trusting a single length
+    /// field from the damaged image.
     pub fn decode(mut buf: &[u8]) -> Result<Self, CheckpointError> {
-        if buf.remaining() < 24 || buf.get_u32_le() != MAGIC {
+        if buf.remaining() < 4 {
             return Err(CheckpointError::BadHeader);
         }
+        let magic = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        if magic != MAGIC {
+            if magic == MAGIC_V1 {
+                return Err(CheckpointError::BadVersion { found: magic });
+            }
+            return Err(CheckpointError::BadHeader);
+        }
+        // Fixed header (magic + step + time + flops + n_fields) plus the
+        // trailing checksum is the smallest possible valid image.
+        if buf.remaining() < 4 + 8 + 8 + 8 + 4 + 8 {
+            return Err(CheckpointError::CorruptFile);
+        }
+        let body_len = buf.remaining() - 8;
+        let stored_sum = u64::from_le_bytes(buf[body_len..].try_into().unwrap());
+        if fnv1a(&buf[..body_len]) != stored_sum {
+            return Err(CheckpointError::CorruptFile);
+        }
+        buf = &buf[..body_len];
+        buf.advance(4); // magic, already checked
         let step = buf.get_u64_le();
         let time = buf.get_f64_le();
+        let flops = buf.get_f64_le();
         let n = buf.get_u32_le() as usize;
-        let mut fields = Vec::with_capacity(n);
+        // Every bound below is belt-and-braces: the checksum already
+        // vouched for the image, so a failure here means an encoder bug,
+        // and CorruptFile keeps it an error instead of a panic.
+        let mut fields = Vec::with_capacity(n.min(buf.remaining()));
         for _ in 0..n {
             if buf.remaining() < 2 {
-                return Err(CheckpointError::BadHeader);
+                return Err(CheckpointError::CorruptFile);
             }
             let name_len = buf.get_u16_le() as usize;
             if buf.remaining() < name_len {
-                return Err(CheckpointError::BadHeader);
+                return Err(CheckpointError::CorruptFile);
             }
             let name = String::from_utf8_lossy(&buf[..name_len]).into_owned();
             buf.advance(name_len);
             if buf.remaining() < 8 * 3 + 4 + 8 + 8 {
-                return Err(CheckpointError::BadHeader);
+                return Err(CheckpointError::CorruptFile);
             }
             let dims = Dims3::new(
                 buf.get_u64_le() as usize,
@@ -168,7 +372,7 @@ impl Checkpoint {
             let sum = buf.get_u64_le();
             let len = buf.get_u64_le() as usize;
             if buf.remaining() < len {
-                return Err(CheckpointError::BadHeader);
+                return Err(CheckpointError::CorruptFile);
             }
             let interior =
                 lz4::decompress_f32(&buf[..len]).map_err(|_| CheckpointError::BadPayload)?;
@@ -183,22 +387,82 @@ impl Checkpoint {
             field.interior_from_slice(&interior);
             fields.push((name, field));
         }
-        Ok(Self { step, time, fields })
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::CorruptFile);
+        }
+        let n_seismo = buf.get_u32_le() as usize;
+        let mut seismograms = Vec::with_capacity(n_seismo.min(buf.remaining()));
+        for _ in 0..n_seismo {
+            if buf.remaining() < 2 {
+                return Err(CheckpointError::CorruptFile);
+            }
+            let name_len = buf.get_u16_le() as usize;
+            if buf.remaining() < name_len {
+                return Err(CheckpointError::CorruptFile);
+            }
+            let name = String::from_utf8_lossy(&buf[..name_len]).into_owned();
+            buf.advance(name_len);
+            if buf.remaining() < 8 + 8 + 8 + 8 {
+                return Err(CheckpointError::CorruptFile);
+            }
+            let ix = buf.get_u64_le() as usize;
+            let iy = buf.get_u64_le() as usize;
+            let dt = buf.get_f64_le();
+            let n_samples = buf.get_u64_le() as usize;
+            if buf.remaining() < n_samples.saturating_mul(12) {
+                return Err(CheckpointError::CorruptFile);
+            }
+            let mut samples = Vec::with_capacity(n_samples);
+            for _ in 0..n_samples {
+                samples.push([buf.get_f32_le(), buf.get_f32_le(), buf.get_f32_le()]);
+            }
+            seismograms.push(Seismogram { station: Station { name, ix, iy }, dt, samples });
+        }
+        if buf.remaining() < 1 {
+            return Err(CheckpointError::CorruptFile);
+        }
+        let pgv = match buf.get_u8() {
+            0 => None,
+            1 => {
+                if buf.remaining() < 16 {
+                    return Err(CheckpointError::CorruptFile);
+                }
+                let nx = buf.get_u64_le() as usize;
+                let ny = buf.get_u64_le() as usize;
+                let count = nx.saturating_mul(ny);
+                if buf.remaining() < count.saturating_mul(4) {
+                    return Err(CheckpointError::CorruptFile);
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(buf.get_f32_le());
+                }
+                Some((nx, ny, values))
+            }
+            _ => return Err(CheckpointError::CorruptFile),
+        };
+        if buf.remaining() != 0 {
+            return Err(CheckpointError::CorruptFile);
+        }
+        Ok(Self { step, time, flops, fields, seismograms, pgv })
     }
 
-    /// Uncompressed payload size in bytes (the "108 TB" accounting).
+    /// Uncompressed wavefield payload size in bytes (the "108 TB"
+    /// accounting).
     pub fn raw_bytes(&self) -> usize {
         self.fields.iter().map(|(_, f)| f.dims().bytes_f32()).sum()
     }
 
-    /// Write to a file.
-    pub fn write_file(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.encode())
+    /// Write to a file crash-consistently (see [`write_atomic`]).
+    pub fn write_file(&self, path: &Path) -> std::io::Result<()> {
+        write_atomic(path, &self.encode())
     }
 
-    /// Read from a file.
-    pub fn read_file(path: &std::path::Path) -> std::io::Result<Result<Self, CheckpointError>> {
-        Ok(Self::decode(&std::fs::read(path)?))
+    /// Read and verify a checkpoint file.
+    pub fn read_file(path: &Path) -> Result<Self, ReadError> {
+        let bytes = std::fs::read(path)
+            .map_err(|source| ReadError::Io { path: path.to_path_buf(), source })?;
+        Self::decode(&bytes).map_err(|error| ReadError::Decode { path: path.to_path_buf(), error })
     }
 }
 
@@ -226,7 +490,18 @@ mod tests {
         u.fill_with(|x, y, z| ((x + 2 * y + 3 * z) as f32 * 0.01).sin());
         let mut xx = Field3::new(d, 2);
         xx.fill_with(|x, y, z| (x * y) as f32 - z as f32);
-        Checkpoint { step: 4200, time: 12.75, fields: vec![("u".into(), u), ("xx".into(), xx)] }
+        Checkpoint {
+            step: 4200,
+            time: 12.75,
+            flops: 3.5e9,
+            fields: vec![("u".into(), u), ("xx".into(), xx)],
+            seismograms: vec![Seismogram {
+                station: Station { name: "Ninghe".into(), ix: 3, iy: 2 },
+                dt: 0.01,
+                samples: vec![[0.1, -0.2, 0.3], [0.4, 0.5, -0.6]],
+            }],
+            pgv: Some((2, 3, vec![0.0, 0.5, 1.0, 1.5, 2.0, 2.5])),
+        }
     }
 
     #[test]
@@ -236,11 +511,24 @@ mod tests {
         let back = Checkpoint::decode(&bytes).unwrap();
         assert_eq!(back.step, 4200);
         assert_eq!(back.time, 12.75);
+        assert_eq!(back.flops, 3.5e9);
         assert_eq!(back.fields.len(), 2);
         for ((an, af), (bn, bf)) in c.fields.iter().zip(&back.fields) {
             assert_eq!(an, bn);
             assert_eq!(af.max_abs_diff(bf), 0.0, "field {an} must be bit-exact");
         }
+        assert_eq!(back.seismograms, c.seismograms);
+        assert_eq!(back.pgv, c.pgv);
+    }
+
+    #[test]
+    fn roundtrip_without_aux_state() {
+        let mut c = sample();
+        c.seismograms.clear();
+        c.pgv = None;
+        let back = Checkpoint::decode(&c.encode()).unwrap();
+        assert!(back.seismograms.is_empty());
+        assert!(back.pgv.is_none());
     }
 
     #[test]
@@ -251,20 +539,30 @@ mod tests {
     }
 
     #[test]
+    fn v1_magic_reported_as_version_mismatch() {
+        let mut bytes = sample().encode();
+        bytes[..4].copy_from_slice(&MAGIC_V1.to_le_bytes());
+        assert_eq!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::BadVersion { found: MAGIC_V1 })
+        );
+    }
+
+    #[test]
     fn corruption_is_detected() {
         let bytes = sample().encode().to_vec();
-        // Flip a byte inside the first compressed payload (past the header).
+        // Flip a byte inside the image (past the header, before the
+        // trailing checksum): the whole-file checksum catches it.
         let mut corrupt = bytes.clone();
-        let idx = bytes.len() - 9;
+        let idx = bytes.len() - 20;
         corrupt[idx] ^= 0x01;
-        let r = Checkpoint::decode(&corrupt);
-        assert!(r.is_err(), "corruption must not decode cleanly");
+        assert_eq!(Checkpoint::decode(&corrupt), Err(CheckpointError::CorruptFile));
     }
 
     #[test]
     fn truncation_is_an_error() {
         let bytes = sample().encode();
-        for cut in [3, 20, bytes.len() / 2] {
+        for cut in [3, 20, bytes.len() / 2, bytes.len() - 1] {
             assert!(Checkpoint::decode(&bytes[..cut]).is_err());
         }
     }
@@ -278,15 +576,23 @@ mod tests {
     }
 
     #[test]
-    fn file_roundtrip() {
+    fn file_roundtrip_and_flattened_errors() {
         let dir = std::env::temp_dir().join("swquake_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("state.swq");
         let c = sample();
         c.write_file(&path).unwrap();
-        let back = Checkpoint::read_file(&path).unwrap().unwrap();
+        let back = Checkpoint::read_file(&path).unwrap();
         assert_eq!(back.step, c.step);
+        assert!(!temp_path(&path).exists(), "atomic write must not leave its staging file behind");
+        // Decode failures and I/O failures arrive as distinct variants.
+        std::fs::write(&path, b"junk").unwrap();
+        assert!(matches!(
+            Checkpoint::read_file(&path),
+            Err(ReadError::Decode { error: CheckpointError::BadHeader, .. })
+        ));
         std::fs::remove_file(&path).ok();
+        assert!(matches!(Checkpoint::read_file(&path), Err(ReadError::Io { .. })));
     }
 
     #[test]

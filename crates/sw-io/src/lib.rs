@@ -5,6 +5,9 @@
 //!   from-scratch LZ4 block compression and integrity checksums (§6.2: the
 //!   16-m Tangshan case would need 108 TB of restart wavefields without
 //!   compression);
+//! * [`store`] — the durable checkpoint lifecycle: atomic generation
+//!   files, a versioned manifest with keep-N retention, and
+//!   corrupt-generation fallback on restore;
 //! * [`groupio`] — the group-I/O and balanced-forwarding aggregation model
 //!   that reaches "a peak I/O bandwidth of 120 GB/s (92.3 % of the file
 //!   system we use)";
@@ -14,7 +17,9 @@
 pub mod checkpoint;
 pub mod groupio;
 pub mod recorder;
+pub mod store;
 
-pub use checkpoint::{Checkpoint, RestartController};
+pub use checkpoint::{Checkpoint, CheckpointError, ReadError, RestartController};
 pub use groupio::GroupIoModel;
 pub use recorder::{PgvRecorder, SeismogramRecorder, SnapshotRecorder, Station};
+pub use store::{CheckpointStore, Manifest, ManifestGeneration, RestoredGeneration, StoreError};

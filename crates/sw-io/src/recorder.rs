@@ -94,6 +94,18 @@ impl SeismogramRecorder {
         &self.records
     }
 
+    /// Replace sample histories from checkpointed seismograms, matched
+    /// by station name (a resumed run appends where the killed run
+    /// stopped). Stations absent from `saved` keep their (empty)
+    /// history; extra saved stations are ignored.
+    pub fn restore_samples(&mut self, saved: &[Seismogram]) {
+        for rec in &mut self.records {
+            if let Some(s) = saved.iter().find(|s| s.station.name == rec.station.name) {
+                rec.samples = s.samples.clone();
+            }
+        }
+    }
+
     /// Look up one station by name.
     pub fn get(&self, name: &str) -> Option<&Seismogram> {
         self.records.iter().find(|r| r.station.name == name)
@@ -148,6 +160,22 @@ impl PgvRecorder {
     /// Recorder over an `nx × ny` surface.
     pub fn new(nx: usize, ny: usize) -> Self {
         Self { nx, ny, pgv: vec![0.0; nx * ny] }
+    }
+
+    /// Rebuild a recorder from checkpointed parts.
+    pub fn from_parts(nx: usize, ny: usize, pgv: Vec<f32>) -> Self {
+        assert_eq!(pgv.len(), nx * ny);
+        Self { nx, ny, pgv }
+    }
+
+    /// Surface extent along x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Surface extent along y.
+    pub fn ny(&self) -> usize {
+        self.ny
     }
 
     /// Fold in one step's surface velocities.

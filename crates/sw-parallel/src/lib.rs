@@ -26,4 +26,4 @@ pub use exchange::HaloExchanger;
 pub use fabric::{Fabric, RankComm};
 pub use grid::RankGrid;
 pub use runner::run_ranks;
-pub use sync::StopBarrier;
+pub use sync::{FaultVote, StopBarrier};

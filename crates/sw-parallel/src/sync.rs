@@ -10,7 +10,9 @@
 //! left half-posted.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
+
+use sw_fault::{FaultHook, FaultPlan};
 
 /// A reusable all-ranks vote: "should we stop?". Sticky — once any
 /// rank has voted to stop, every subsequent round returns `true`.
@@ -44,6 +46,52 @@ impl StopBarrier {
         let decision = self.stop.load(Ordering::Acquire);
         self.barrier.wait();
         decision
+    }
+}
+
+/// Collective per-step rank-death vote for fault-injection drills.
+///
+/// A fault plan may kill a single rank (`kill@120:rank=1`); the victim's
+/// neighbours would then block forever in halo `recv`s. Reusing the
+/// [`StopBarrier`] discipline, every rank votes its own `kill_due` at
+/// every step, so rank death is observed collectively: the victim exits
+/// as killed, the survivors abort the same step, nobody deadlocks.
+///
+/// Constructed via [`FaultVote::new`], which returns `None` when no
+/// plan is armed — the production step loop then skips voting entirely
+/// (zero cost when disabled). The plan is shared by all ranks, so the
+/// barrier's party count is uniform by construction.
+#[derive(Debug)]
+pub struct FaultVote {
+    plan: Arc<FaultPlan>,
+    barrier: StopBarrier,
+}
+
+impl FaultVote {
+    /// A vote over `parties` ranks, or `None` when no plan is armed.
+    pub fn new(parties: usize, plan: &FaultHook) -> Option<Self> {
+        plan.as_ref().map(|p| FaultVote { plan: Arc::clone(p), barrier: StopBarrier::new(parties) })
+    }
+
+    /// Cast this rank's step-`step` vote and learn the collective
+    /// outcome: `true` iff *some* rank's kill is due (sticky, like the
+    /// stop vote). The caller distinguishes victim from bystander with
+    /// [`FaultVote::is_victim`].
+    pub fn killed(&self, step: u64, rank: usize) -> bool {
+        self.barrier.vote(self.plan.kill_due(step, rank))
+    }
+
+    /// Whether this rank is itself a kill target at `step`.
+    pub fn is_victim(&self, step: u64, rank: usize) -> bool {
+        self.plan.kill_due(step, rank)
+    }
+
+    /// Cast a pre-computed vote (used when the caller folds in kill
+    /// sources the plan alone cannot see, e.g. a mid-write kill latched
+    /// by the checkpoint store). Same collective semantics as
+    /// [`FaultVote::killed`].
+    pub fn vote(&self, kill: bool) -> bool {
+        self.barrier.vote(kill)
     }
 }
 
@@ -92,5 +140,32 @@ mod tests {
         assert!(!barrier.vote(false));
         assert!(barrier.vote(true));
         assert!(barrier.vote(false), "stop latches across rounds");
+    }
+
+    #[test]
+    fn no_plan_means_no_vote() {
+        assert!(FaultVote::new(4, &None).is_none());
+    }
+
+    #[test]
+    fn targeted_kill_stops_every_rank_in_the_same_step() {
+        let plan = Arc::new(sw_fault::FaultPlan::parse("kill@2:rank=1").unwrap());
+        let grid = RankGrid::new(2, 2);
+        let vote = FaultVote::new(grid.len(), &Some(plan)).unwrap();
+        let out = run_ranks(grid, |c| {
+            let mut last_step = None;
+            for step in 1..=4u64 {
+                let killed = vote.killed(step, c.rank);
+                last_step = Some(step);
+                if killed {
+                    return (last_step, vote.is_victim(step, c.rank));
+                }
+            }
+            (last_step, false)
+        });
+        for (rank, (last, victim)) in out.iter().enumerate() {
+            assert_eq!(*last, Some(2), "rank {rank} must leave the loop at the kill step");
+            assert_eq!(*victim, rank == 1, "only rank 1 is the victim");
+        }
     }
 }

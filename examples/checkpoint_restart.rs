@@ -56,7 +56,7 @@ fn main() {
     }
 
     // Restore into a fresh process-equivalent and continue.
-    let ckpt = Checkpoint::read_file(&path).expect("read").expect("decode");
+    let ckpt = Checkpoint::read_file(&path).expect("read + decode");
     let mut resumed = Simulation::new(&model, &cfg).expect("valid config");
     resumed.restore(&ckpt).expect("matching checkpoint");
     println!("restored at step {} (t = {:.3} s); continuing…", resumed.step_count, resumed.time);

@@ -16,6 +16,15 @@
 //! `SWQUAKE_HEALTH_STRIDE`). `bench-diff` is the perf-regression gate
 //! over two `BENCH_<name>.json` files.
 //!
+//! `--checkpoint-dir <dir>` persists checkpoints durably (atomic files,
+//! versioned manifest, keep-N retention; `--checkpoint-interval` and
+//! `--checkpoint-keep` tune the cadence and retention) and `--resume`
+//! restarts a killed campaign from the newest valid generation —
+//! bit-identically, including the seismogram/hazard outputs. The
+//! `SWQUAKE_FAULT_PLAN` environment variable arms the deterministic
+//! crash drills (`seed=N;kill@STEP`, `torn@STEP:frac=F`, ... — see
+//! `swquake::fault`).
+//!
 //! ```text
 //! swquake --write-example scenario.json           # emit a commented template
 //! swquake scenario.json                           # run it
@@ -24,14 +33,17 @@
 //! swquake run scenario.json --roofline roof.json  # run + attribution table
 //! swquake run scenario.json --exec parallel --threads 8
 //! swquake run scenario.json --health health.jsonl --health-stride 5
+//! swquake run scenario.json --checkpoint-dir ckpt --checkpoint-interval 25
+//! swquake run scenario.json --checkpoint-dir ckpt --resume
 //! swquake bench-diff old.json new.json --tolerance 0.15
 //! ```
 //!
 //! Exit codes: 0 on success, 1 when the solver goes unstable or
 //! `bench-diff` finds a regression, 2 for any usage, parse, or
-//! configuration error (including unknown flags). All solver failures
-//! flow through [`swquake::Error`] and are mapped to a code in one
-//! place, here.
+//! configuration error (including unknown flags and unusable
+//! checkpoint stores), and 137 when an injected fault kills the run
+//! (mirroring a SIGKILLed process). All solver failures flow through
+//! [`swquake::Error`] and are mapped to a code in one place, here.
 
 use std::sync::Arc;
 use swquake::core::hazard::HazardMap;
@@ -57,6 +69,10 @@ struct RunOutputs {
     threads: Option<usize>,
     health: Option<String>,
     health_stride: Option<u64>,
+    checkpoint_dir: Option<String>,
+    checkpoint_interval: Option<u64>,
+    checkpoint_keep: Option<usize>,
+    resume: bool,
 }
 
 impl RunOutputs {
@@ -83,9 +99,19 @@ fn parse_args(args: &[String]) -> Option<Command> {
             "--threads" => outputs.threads = Some(iter.next()?.parse().ok()?),
             "--health" => outputs.health = Some(iter.next()?.clone()),
             "--health-stride" => outputs.health_stride = Some(iter.next()?.parse().ok()?),
+            "--checkpoint-dir" => outputs.checkpoint_dir = Some(iter.next()?.clone()),
+            "--checkpoint-interval" => {
+                outputs.checkpoint_interval = Some(iter.next()?.parse().ok()?)
+            }
+            "--checkpoint-keep" => outputs.checkpoint_keep = Some(iter.next()?.parse().ok()?),
+            "--resume" => outputs.resume = true,
             flag if flag.starts_with("--") => return None,
             other => positional.push(other.to_string()),
         }
+    }
+    // Resuming without a store to resume from is a usage error.
+    if outputs.resume && outputs.checkpoint_dir.is_none() {
+        return None;
     }
     if write_example {
         let path = positional.first().cloned().unwrap_or_else(|| "scenario.json".to_string());
@@ -130,7 +156,9 @@ fn main() {
                 "usage: swquake [run] <scenario.json> [--metrics <out.json>] \
                  [--trace <out.json>] [--roofline <out.json>] \
                  [--exec serial|parallel|auto] [--threads <n>] \
-                 [--health <out.jsonl>] [--health-stride <n>]\n\
+                 [--health <out.jsonl>] [--health-stride <n>] \
+                 [--checkpoint-dir <dir>] [--checkpoint-interval <n>] \
+                 [--checkpoint-keep <n>] [--resume]\n\
                  \x20      swquake bench-diff <old.json> <new.json> [--tolerance <frac>]\n\
                  \x20      swquake --write-example [path]"
             );
@@ -147,6 +175,9 @@ fn main() {
                 eprintln!("{e}");
                 match e {
                     Error::Unstable(_) => 1,
+                    // Same code a SIGKILLed process reports (128 + 9):
+                    // the crash drills in CI assert on it.
+                    Error::Killed(_) => 137,
                     _ => 2,
                 }
             }
@@ -226,6 +257,26 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
         cfg = cfg.with_health_log(Arc::new(log));
     }
     cfg = cfg.with_health(health_cfg);
+    // Durable checkpointing + crash drills.
+    if let Some(dir) = &outputs.checkpoint_dir {
+        cfg = cfg.with_checkpoint_dir(dir);
+        // Persisting needs a cadence: CLI flag > scenario field > a
+        // conservative default.
+        let interval = outputs.checkpoint_interval.unwrap_or(if cfg.checkpoint_interval > 0 {
+            cfg.checkpoint_interval
+        } else {
+            10
+        });
+        cfg = cfg.with_checkpoint_interval(interval);
+        if let Some(keep) = outputs.checkpoint_keep {
+            cfg = cfg.with_checkpoint_keep(keep);
+        }
+    }
+    let fault = swquake::fault::FaultPlan::from_env().map_err(|e| Error::FaultPlan(e.0))?;
+    if let Some(plan) = fault {
+        eprintln!("fault plan armed from SWQUAKE_FAULT_PLAN: {} event(s)", plan.events().len());
+        cfg = cfg.with_fault_plan(Some(Arc::new(plan)));
+    }
     println!(
         "mesh {} at dx = {} m, {} steps, model {}, nonlinear {}, compression {}, exec {}",
         cfg.dims,
@@ -237,8 +288,21 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
         cfg.exec
     );
     let t0 = std::time::Instant::now();
-    let mut sim = Simulation::new(model.as_ref(), &cfg)?;
-    let run_result = sim.run_checked(cfg.steps);
+    let mut sim = if outputs.resume {
+        let (sim, info) = Simulation::resume(model.as_ref(), &cfg)?;
+        for (skipped_step, reason) in &info.skipped {
+            eprintln!("warning: skipped checkpoint generation at step {skipped_step}: {reason}");
+        }
+        println!(
+            "resumed from checkpoint generation at step {} (t = {:.4} s)",
+            info.step, info.time
+        );
+        sim
+    } else {
+        Simulation::new(model.as_ref(), &cfg)?
+    };
+    let remaining = cfg.steps.saturating_sub(sim.step_count as usize);
+    let run_result = sim.run_checked(remaining);
     let wall = t0.elapsed().as_secs_f64();
     run_result?;
     if sim.state.has_blown_up() {

@@ -5,7 +5,8 @@
 
 use std::fmt;
 use sw_io::checkpoint::CheckpointError;
-use swquake_core::error::{ConfigError, RestoreError, RunError, UnstableError};
+use sw_io::ReadError;
+use swquake_core::error::{ConfigError, KilledError, RestoreError, RunError, UnstableError};
 
 /// Anything that can go wrong driving the solver stack end to end.
 #[derive(Debug)]
@@ -23,6 +24,14 @@ pub enum Error {
     /// The solver went unstable (NaN/Inf in the wavefield); carries the
     /// health watchdog's diagnosis.
     Unstable(UnstableError),
+    /// An injected fault killed the run (crash drills); the process
+    /// should exit as if `kill -9` had hit it.
+    Killed(KilledError),
+    /// Resume was requested but no checkpoint generation could be
+    /// restored.
+    Resume(String),
+    /// The `SWQUAKE_FAULT_PLAN` drill grammar failed to parse.
+    FaultPlan(String),
     /// A file could not be read or written.
     Io {
         /// The path involved.
@@ -45,6 +54,9 @@ impl fmt::Display for Error {
             Self::Unstable(e) => {
                 write!(f, "solver went unstable — check dx/duration against the model's vp: {e}")
             }
+            Self::Killed(e) => e.fmt(f),
+            Self::Resume(detail) => write!(f, "cannot resume: {detail}"),
+            Self::FaultPlan(detail) => write!(f, "invalid fault plan: {detail}"),
             Self::Io { path, source } => write!(f, "cannot read {path}: {source}"),
         }
     }
@@ -58,6 +70,7 @@ impl std::error::Error for Error {
             Self::Checkpoint(e) => Some(e),
             Self::Io { source, .. } => Some(source),
             Self::Unstable(e) => Some(e),
+            Self::Killed(e) => Some(e),
             _ => None,
         }
     }
@@ -87,11 +100,28 @@ impl From<UnstableError> for Error {
     }
 }
 
+impl From<KilledError> for Error {
+    fn from(e: KilledError) -> Self {
+        Self::Killed(e)
+    }
+}
+
 impl From<RunError> for Error {
     fn from(e: RunError) -> Self {
         match e {
             RunError::Config(c) => Self::Config(c),
             RunError::Unstable(u) => Self::Unstable(u),
+            RunError::Killed(k) => Self::Killed(k),
+            RunError::ResumeFailed { detail } => Self::Resume(detail),
+        }
+    }
+}
+
+impl From<ReadError> for Error {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Io { path, source } => Self::Io { path: path.display().to_string(), source },
+            ReadError::Decode { error, .. } => Self::Checkpoint(error),
         }
     }
 }

@@ -23,7 +23,11 @@
 //! * [`rupture`] — the CG-FDM-role dynamic rupture generator;
 //! * [`parallel`] — the MPI-like 2-D rank runtime with overlapped halo
 //!   exchange;
-//! * [`io`] — LZ4 checkpoints, group-I/O model, recorders;
+//! * [`io`] — LZ4 checkpoints, the durable checkpoint store (atomic
+//!   writes, versioned manifest, keep-N retention), group-I/O model,
+//!   recorders;
+//! * [`fault`] — seeded deterministic fault injection (I/O errors, torn
+//!   writes, bit flips, rank death) behind the crash drills;
 //! * [`telemetry`] — the metrics spine every subsystem reports into:
 //!   nestable phase timers, counters, gauges, per-step sample rings, and
 //!   a stable-schema JSON report;
@@ -107,6 +111,7 @@ pub use scenario::{Scenario, ScenarioSource};
 
 pub use sw_arch as arch;
 pub use sw_compress as compress;
+pub use sw_fault as fault;
 pub use sw_grid as grid;
 pub use sw_health as health;
 pub use sw_io as io;

@@ -36,6 +36,9 @@ pub struct Scenario {
     /// above 1 deliberately violate the CFL bound — used by the
     /// instability drills in CI).
     pub dt_scale: Option<f64>,
+    /// Checkpoint every N steps (omitted = the CLI default when a
+    /// checkpoint directory is configured, otherwise never).
+    pub checkpoint_interval: Option<u64>,
     /// Point sources.
     pub sources: Vec<ScenarioSource>,
     /// Stations (name, ix, iy).
@@ -72,6 +75,7 @@ impl Scenario {
             compression: false,
             sponge_width: 8,
             dt_scale: None,
+            checkpoint_interval: None,
             sources: vec![ScenarioSource {
                 position: [24, 24, 12],
                 mw: 5.5,
@@ -148,6 +152,7 @@ impl Scenario {
         cfg.options.attenuation = self.attenuation;
         cfg.options.sponge_width = self.sponge_width;
         cfg.options.dt_scale = dt_scale;
+        cfg.checkpoint_interval = self.checkpoint_interval.unwrap_or(0);
         cfg.validate()?;
         Ok(cfg)
     }

@@ -214,6 +214,85 @@ fn bench_diff_missing_baseline_exits_2_with_clear_message() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `--resume` without a store to resume from is a usage error, caught at
+/// argument parsing, not deep in the run.
+#[test]
+fn resume_without_checkpoint_dir_is_a_usage_error() {
+    let out = Command::new(bin()).args(["run", "scenario.json", "--resume"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+/// Resuming from an empty or unreadable store is an operational error:
+/// exit 2 with the store's diagnosis, not a panic or a silent fresh
+/// start.
+#[test]
+fn resume_from_broken_store_exits_2_with_diagnosis() {
+    let dir = workdir("badstore");
+    let scenario = dir.join("scenario.json");
+    Command::new(bin()).args(["--write-example", scenario.to_str().unwrap()]).status().unwrap();
+    let mut json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&scenario).unwrap()).unwrap();
+    json["mesh"] = serde_json::json!([20, 20, 12]);
+    json["duration"] = serde_json::json!(1.0);
+    json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
+    json["stations"] = serde_json::json!([["probe", 14, 14]]);
+    json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
+    std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
+
+    // An empty store: nothing was ever committed.
+    let empty = dir.join("empty_ckpt");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = Command::new(bin())
+        .args([
+            "run",
+            scenario.to_str().unwrap(),
+            "--checkpoint-dir",
+            empty.to_str().unwrap(),
+            "--resume",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot resume"), "stderr: {stderr}");
+
+    // A store whose manifest is garbage.
+    let garbled = dir.join("garbled_ckpt");
+    std::fs::create_dir_all(&garbled).unwrap();
+    std::fs::write(garbled.join("MANIFEST.json"), "{ not json").unwrap();
+    let out = Command::new(bin())
+        .args([
+            "run",
+            scenario.to_str().unwrap(),
+            "--checkpoint-dir",
+            garbled.to_str().unwrap(),
+            "--resume",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot resume"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A malformed `SWQUAKE_FAULT_PLAN` is a hard error (exit 2), never a
+/// silently dropped drill.
+#[test]
+fn malformed_fault_plan_is_rejected() {
+    let dir = workdir("badplan");
+    let scenario = dir.join("scenario.json");
+    Command::new(bin()).args(["--write-example", scenario.to_str().unwrap()]).status().unwrap();
+    let out = Command::new(bin())
+        .args(["run", scenario.to_str().unwrap()])
+        .env("SWQUAKE_FAULT_PLAN", "frobnicate@10")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid fault plan"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn unknown_model_is_rejected() {
     let dir = workdir("badmodel");

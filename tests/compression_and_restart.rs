@@ -84,7 +84,7 @@ fn file_restart_is_bit_exact_with_compression() {
         first.run(60);
         first.make_checkpoint().write_file(&path).unwrap();
     }
-    let ckpt = Checkpoint::read_file(&path).unwrap().unwrap();
+    let ckpt = Checkpoint::read_file(&path).unwrap();
     let mut resumed = Simulation::new(&model, &cfg).expect("valid config");
     resumed.restore(&ckpt).expect("matching checkpoint");
     resumed.run(60);

@@ -124,7 +124,10 @@ fn cfl_violation_aborts_with_diagnosis_and_bundle() {
     );
 
     let mut sim = Simulation::new(&model, &cfg).unwrap();
-    let err = sim.run_checked(cfg.steps).expect_err("must go unstable");
+    let err = match sim.run_checked(cfg.steps).expect_err("must go unstable") {
+        RunError::Unstable(e) => e,
+        other => panic!("expected Unstable, got {other:?}"),
+    };
     assert!(err.step > 0 && err.step <= cfg.steps as u64);
     assert_eq!(err.step % 2, 0, "failure latched at a probe step");
     assert_eq!(err.rank, 0);
@@ -139,7 +142,7 @@ fn cfl_violation_aborts_with_diagnosis_and_bundle() {
     }
     // The sim latched the same failure and refuses to keep stepping.
     assert_eq!(sim.health_failure(), Some(&err));
-    assert_eq!(sim.step_checked().expect_err("latched"), err);
+    assert_eq!(sim.step_checked().expect_err("latched"), RunError::Unstable(err.clone()));
 
     // Bundle on disk: last-N records (ending in the fatal one) plus a
     // snapshot window centred on the blow-up site.
