@@ -563,10 +563,19 @@ impl Simulation {
     /// Fails with [`ConfigError`] when the mesh is degenerate or a source
     /// or station lies outside it.
     pub fn new(model: &dyn VelocityModel, config: &SimConfig) -> Result<Self, ConfigError> {
-        config.validate()?;
-        let store = config.open_store()?;
         let state =
             SolverState::from_model(model, config.dims, config.dx, config.origin, config.options);
+        Self::new_with_state(state, config)
+    }
+
+    /// Like [`Simulation::new`] but reusing an already-built material
+    /// state (the campaign engine caches `SolverState::from_model` per
+    /// mesh shape and hands out clones). The state must have been built
+    /// for this config's dims/dx/origin/options — the campaign's cache
+    /// key covers exactly those — or restores and physics will mismatch.
+    pub fn new_with_state(state: SolverState, config: &SimConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let store = config.open_store()?;
         let mut sim = Self::from_state(state, config);
         sim.store = store;
         Ok(sim)
@@ -586,6 +595,18 @@ impl Simulation {
         model: &dyn VelocityModel,
         config: &SimConfig,
     ) -> Result<(Self, ResumeInfo), RunError> {
+        let state =
+            SolverState::from_model(model, config.dims, config.dx, config.origin, config.options);
+        Self::resume_with_state(state, config)
+    }
+
+    /// Like [`Simulation::resume`] but reusing an already-built material
+    /// state (see [`Simulation::new_with_state`] for the contract).
+    #[allow(clippy::result_large_err)] // cold resume-path error; see step_checked
+    pub fn resume_with_state(
+        state: SolverState,
+        config: &SimConfig,
+    ) -> Result<(Self, ResumeInfo), RunError> {
         let Some(dir) = &config.checkpoint_dir else {
             return Err(RunError::ResumeFailed {
                 detail: "no checkpoint directory configured".to_string(),
@@ -599,7 +620,7 @@ impl Simulation {
             .map_err(|e| RunError::ResumeFailed { detail: e.to_string() })?;
         let mut cfg = config.clone();
         cfg.shared_store = Some(Arc::new(store));
-        let mut sim = Simulation::new(model, &cfg)?;
+        let mut sim = Simulation::new_with_state(state, &cfg)?;
         sim.restore(&restored.checkpoints[0])
             .map_err(|e| RunError::ResumeFailed { detail: e.to_string() })?;
         sim.note_resume(&restored);

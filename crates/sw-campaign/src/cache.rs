@@ -1,0 +1,164 @@
+//! The content-hash-keyed artifact cache scenarios share.
+//!
+//! Building an earth model, generating rupture sources, and sampling the
+//! material state over a grid are the expensive parts of scenario setup;
+//! in a campaign they are usually identical across many scenarios. The
+//! [`ArtifactCache`] keys each built artifact by a content hash of
+//! everything the build depends on (model kind + extent, source spec,
+//! mesh/options), so two scenarios that agree on the inputs share one
+//! `Arc`'d instance and the build runs exactly once — asserted in CI via
+//! the `campaign.artifact_hits` / `campaign.artifact_misses` telemetry
+//! counters the engine publishes from [`ArtifactCache::hits`] /
+//! [`ArtifactCache::misses`].
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::convert::Infallible;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hex content hash of a canonical textual description of an artifact's
+/// build inputs (FNV-1a, the workspace's checksum primitive).
+pub fn content_hash(text: &str) -> String {
+    format!("{:016x}", sw_io::checkpoint::fnv1a(text.as_bytes()))
+}
+
+/// Type-erased cache of campaign-shared build artifacts.
+#[derive(Default)]
+pub struct ArtifactCache {
+    slots: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the artifact under `key`, building it with `build` on the
+    /// first request. The slot map's lock is held across the build, so
+    /// concurrent scenario workers requesting the same key block until
+    /// the single build finishes instead of duplicating it (dedup is the
+    /// point; builds are rare and the campaign is long).
+    ///
+    /// # Panics
+    ///
+    /// If `key` was previously populated with a different artifact type —
+    /// cache keys must encode the artifact kind (the engine's keys are
+    /// prefixed `model/`, `sources/`, `state/`).
+    pub fn get_or_try_build<T, E, F>(&self, key: &str, build: F) -> Result<Arc<T>, E>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> Result<T, E>,
+    {
+        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(slot) = slots.get(key) {
+            let artifact = Arc::clone(slot)
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("artifact cache key `{key}` holds a different type"));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(artifact);
+        }
+        let artifact = Arc::new(build()?);
+        slots.insert(key.to_string(), Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(artifact)
+    }
+
+    /// Infallible variant of [`ArtifactCache::get_or_try_build`].
+    pub fn get_or_build<T, F>(&self, key: &str, build: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let result: Result<Arc<T>, Infallible> = self.get_or_try_build(key, || Ok(build()));
+        match result {
+            Ok(artifact) => artifact,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Requests served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that ran a build.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct artifacts currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_request_is_a_hit_and_shares_the_instance() {
+        let cache = ArtifactCache::new();
+        let a = cache.get_or_build("model/halfspace", || vec![1.0f64, 2.0]);
+        let b = cache.get_or_build("model/halfspace", || panic!("must not rebuild"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_artifacts() {
+        let cache = ArtifactCache::new();
+        let _ = cache.get_or_build("state/a", || 1u32);
+        let _ = cache.get_or_build("state/b", || 2u32);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let cache = ArtifactCache::new();
+        let err: Result<Arc<u32>, &str> = cache.get_or_try_build("state/x", || Err("boom"));
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+        let ok = cache.get_or_try_build::<u32, &str, _>("state/x", || Ok(7)).unwrap();
+        assert_eq!(*ok, 7);
+        // The failed attempt counts as neither hit nor miss.
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_input_sensitive() {
+        assert_eq!(content_hash("abc"), content_hash("abc"));
+        assert_ne!(content_hash("abc"), content_hash("abd"));
+        assert_eq!(content_hash("abc").len(), 16);
+    }
+
+    #[test]
+    fn concurrent_requests_build_once() {
+        let cache = ArtifactCache::new();
+        let builds = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    cache.get_or_build("model/shared", || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        [0u8; 64]
+                    })
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.hits() + cache.misses(), 8);
+        assert_eq!(cache.misses(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! The streaming campaign log: one JSON line per event.
+//!
+//! Results stream as each scenario completes — a consumer tailing
+//! `campaign.jsonl` sees `scenario` events the moment a scenario reaches
+//! a terminal state, then a final `summary` line. A resumed campaign
+//! appends to the same log, so the file reads as the campaign's full
+//! history across interruptions.
+
+use serde::Value;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Append-oriented JSONL event log.
+pub struct CampaignLog {
+    file: Mutex<std::fs::File>,
+}
+
+impl CampaignLog {
+    /// Create (or, when `append` — the resume path — extend) the log.
+    pub fn create(path: &Path, append: bool) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(append)
+            .write(true)
+            .truncate(!append)
+            .open(path)?;
+        Ok(Self { file: Mutex::new(file) })
+    }
+
+    /// Append one event as a JSON line and flush it to the OS, so a
+    /// tailing consumer (and a post-crash reader) sees complete lines.
+    pub fn event(&self, value: &Value) {
+        let line = serde_json::to_string(value).expect("event serialization is infallible");
+        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        // A failed log write must not take down the campaign; the
+        // manifest, not the log, is the durable record.
+        let _ = writeln!(file, "{line}");
+        let _ = file.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn events_stream_as_lines_and_resume_appends() {
+        let dir = std::env::temp_dir().join(format!("swq_log_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("campaign.jsonl");
+        let log = CampaignLog::create(&path, false).unwrap();
+        log.event(&json!({"event": "start", "n": 2}));
+        log.event(&json!({"event": "scenario", "id": "a", "state": "done"}));
+        drop(log);
+        let log = CampaignLog::create(&path, true).unwrap();
+        log.event(&json!({"event": "summary", "done": 1}));
+        drop(log);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first["event"], "start");
+        let last: Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(last["event"], "summary");
+    }
+}

@@ -1,0 +1,266 @@
+//! The durable campaign manifest: per-scenario state on disk.
+//!
+//! `MANIFEST.json` in the campaign directory records where every scenario
+//! stands (`pending` → `running` → `done` / `failed` / `unstable`), one
+//! atomic rewrite per transition via [`sw_io::DocFile`] — the same
+//! crash-consistency conventions as the checkpoint store. `--resume`
+//! reads it back: `done` scenarios are skipped, a scenario caught
+//! `running` by a crash is resumed from its own checkpoint store, and
+//! `pending` ones run normally.
+
+use serde::{Deserialize, Serialize, Value};
+use std::path::Path;
+use std::sync::Mutex;
+use sw_io::DocFile;
+
+/// Manifest file name inside the campaign directory (the checkpoint
+/// store uses the same name inside each scenario's checkpoint dir).
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
+
+/// Version stamp of the manifest schema this build reads and writes.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// Lifecycle state of one scenario in a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioState {
+    /// Queued, not yet started.
+    Pending,
+    /// In flight (a crash leaves this state behind; resume picks it up).
+    Running,
+    /// Completed, outputs written.
+    Done,
+    /// Failed for a non-physics reason (I/O, bad scenario, config).
+    Failed,
+    /// The solver went unstable (physics failure, diagnosed).
+    Unstable,
+}
+
+impl ScenarioState {
+    /// The manifest tag (`"pending"`, `"running"`, …).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Pending => "pending",
+            Self::Running => "running",
+            Self::Done => "done",
+            Self::Failed => "failed",
+            Self::Unstable => "unstable",
+        }
+    }
+
+    fn parse(tag: &str) -> Option<Self> {
+        match tag {
+            "pending" => Some(Self::Pending),
+            "running" => Some(Self::Running),
+            "done" => Some(Self::Done),
+            "failed" => Some(Self::Failed),
+            "unstable" => Some(Self::Unstable),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// Hand-written so the on-disk tags are the lowercase operator-facing
+// words (`"unstable"`), not Rust variant names.
+impl Serialize for ScenarioState {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for ScenarioState {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let tag = v.as_str().ok_or_else(|| serde::Error::expected("scenario state", v))?;
+        Self::parse(tag)
+            .ok_or_else(|| serde::Error::custom(format!("unknown scenario state `{tag}`")))
+    }
+}
+
+/// One scenario's manifest entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Scenario id (unique within the campaign, also its subdirectory).
+    pub id: String,
+    /// Current lifecycle state.
+    pub state: ScenarioState,
+    /// Operator-facing detail for terminal states (failure cause,
+    /// instability diagnosis summary); empty otherwise.
+    pub detail: String,
+}
+
+/// The whole campaign manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignManifest {
+    /// Manifest schema version ([`MANIFEST_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Campaign name (from the campaign spec).
+    pub name: String,
+    /// Per-scenario entries, in campaign order.
+    pub scenarios: Vec<ManifestEntry>,
+}
+
+/// Errors opening or persisting the manifest.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// The manifest file could not be read or written.
+    Io(std::io::Error),
+    /// The manifest exists but does not parse or has the wrong version.
+    Bad(String),
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "campaign manifest I/O error: {e}"),
+            Self::Bad(detail) => write!(f, "bad campaign manifest: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<std::io::Error> for ManifestError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// The manifest plus its durable backing file; every state transition is
+/// persisted atomically before the engine moves on.
+pub struct ManifestStore {
+    doc: DocFile,
+    inner: Mutex<CampaignManifest>,
+}
+
+impl ManifestStore {
+    /// Start a fresh manifest: every scenario `pending`.
+    pub fn create(dir: &Path, name: &str, ids: &[String]) -> Result<Self, ManifestError> {
+        let manifest = CampaignManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            name: name.to_string(),
+            scenarios: ids
+                .iter()
+                .map(|id| ManifestEntry {
+                    id: id.clone(),
+                    state: ScenarioState::Pending,
+                    detail: String::new(),
+                })
+                .collect(),
+        };
+        let store =
+            Self { doc: DocFile::at(dir.join(MANIFEST_NAME))?, inner: Mutex::new(manifest) };
+        store.persist()?;
+        Ok(store)
+    }
+
+    /// Open an existing manifest for `--resume`; it must be present,
+    /// parse, and carry the supported schema version.
+    pub fn open(dir: &Path) -> Result<Self, ManifestError> {
+        let doc = DocFile::at(dir.join(MANIFEST_NAME))?;
+        if !doc.exists() {
+            return Err(ManifestError::Bad(format!(
+                "{} not found (was this campaign started here?)",
+                doc.path().display()
+            )));
+        }
+        let text = doc.load()?;
+        let manifest: CampaignManifest =
+            serde_json::from_str(&text).map_err(|e| ManifestError::Bad(e.to_string()))?;
+        if manifest.schema_version != MANIFEST_SCHEMA_VERSION {
+            return Err(ManifestError::Bad(format!(
+                "schema_version {} (this build reads {MANIFEST_SCHEMA_VERSION})",
+                manifest.schema_version
+            )));
+        }
+        Ok(Self { doc, inner: Mutex::new(manifest) })
+    }
+
+    /// Move scenario `id` to `state` and persist the manifest atomically.
+    pub fn set_state(
+        &self,
+        id: &str,
+        state: ScenarioState,
+        detail: &str,
+    ) -> Result<(), ManifestError> {
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            let entry = inner
+                .scenarios
+                .iter_mut()
+                .find(|e| e.id == id)
+                .ok_or_else(|| ManifestError::Bad(format!("unknown scenario id `{id}`")))?;
+            entry.state = state;
+            entry.detail = detail.to_string();
+        }
+        self.persist()
+    }
+
+    /// Snapshot of the current manifest.
+    pub fn snapshot(&self) -> CampaignManifest {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    fn persist(&self) -> Result<(), ManifestError> {
+        // Hold the lock across the write: the backing DocFile stages via
+        // one well-known temp path, so concurrent saves must serialize.
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let text =
+            serde_json::to_string_pretty(&*inner).expect("manifest serialization is infallible");
+        self.doc.save(&text)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("swq_manifest_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn create_set_state_reopen_roundtrips() {
+        let d = dir("rt");
+        let ids = vec!["a".to_string(), "b".to_string()];
+        let store = ManifestStore::create(&d, "demo", &ids).unwrap();
+        store.set_state("a", ScenarioState::Running, "").unwrap();
+        store.set_state("a", ScenarioState::Done, "ok").unwrap();
+        store.set_state("b", ScenarioState::Unstable, "CFL violated").unwrap();
+        let back = ManifestStore::open(&d).unwrap().snapshot();
+        assert_eq!(back.name, "demo");
+        assert_eq!(back.scenarios[0].state, ScenarioState::Done);
+        assert_eq!(back.scenarios[1].state, ScenarioState::Unstable);
+        assert_eq!(back.scenarios[1].detail, "CFL violated");
+    }
+
+    #[test]
+    fn states_round_trip_as_lowercase_tags() {
+        let d = dir("tags");
+        let store = ManifestStore::create(&d, "demo", &["s".to_string()]).unwrap();
+        store.set_state("s", ScenarioState::Unstable, "").unwrap();
+        let text = std::fs::read_to_string(d.join(MANIFEST_NAME)).unwrap();
+        assert!(text.contains("\"unstable\""), "manifest uses lowercase tags: {text}");
+    }
+
+    #[test]
+    fn open_without_manifest_is_a_clear_error() {
+        let err = ManifestStore::open(&dir("missing")).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("not found"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_scenario_id_is_an_error() {
+        let d = dir("badid");
+        let store = ManifestStore::create(&d, "demo", &["s".to_string()]).unwrap();
+        assert!(store.set_state("nope", ScenarioState::Done, "").is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Durable single-document state files (campaign manifests, summaries).
+//!
+//! The checkpoint [`store`](crate::store) established the workspace's
+//! durability conventions: every visible write is an atomic
+//! temp+fsync+rename ([`checkpoint::write_atomic`]), and stray `.tmp`
+//! staging files from a crashed writer are swept when the directory is
+//! reopened. [`DocFile`] packages those conventions for a single JSON
+//! document that is rewritten whole on every state change — the shape a
+//! campaign `MANIFEST.json` needs: a crash between scenario-state
+//! transitions leaves either the previous manifest or the complete new
+//! one, never a torn file.
+
+use crate::checkpoint;
+use std::path::{Path, PathBuf};
+
+/// One durably-rewritten document on disk.
+#[derive(Debug, Clone)]
+pub struct DocFile {
+    path: PathBuf,
+}
+
+impl DocFile {
+    /// Address a document at `path`, creating the parent directory and
+    /// sweeping a stale staging file from a crashed writer. The document
+    /// itself is not created until the first [`DocFile::save`].
+    pub fn at(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = checkpoint::temp_path(&path);
+        if tmp.exists() {
+            std::fs::remove_file(&tmp)?;
+        }
+        Ok(Self { path })
+    }
+
+    /// The document's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether a committed document exists.
+    pub fn exists(&self) -> bool {
+        self.path.exists()
+    }
+
+    /// Replace the document atomically (temp + fsync + rename + dir
+    /// fsync).
+    pub fn save(&self, text: &str) -> std::io::Result<()> {
+        checkpoint::write_atomic(&self.path, text.as_bytes())
+    }
+
+    /// Read the committed document.
+    pub fn load(&self) -> std::io::Result<String> {
+        std::fs::read_to_string(&self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("swq_doc_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_then_load_roundtrips() {
+        let doc = DocFile::at(dir("rt").join("MANIFEST.json")).unwrap();
+        assert!(!doc.exists());
+        doc.save("{\"a\":1}").unwrap();
+        assert!(doc.exists());
+        assert_eq!(doc.load().unwrap(), "{\"a\":1}");
+        doc.save("{\"a\":2}").unwrap();
+        assert_eq!(doc.load().unwrap(), "{\"a\":2}");
+    }
+
+    #[test]
+    fn reopen_sweeps_stale_staging_files() {
+        let d = dir("sweep");
+        let path = d.join("MANIFEST.json");
+        let doc = DocFile::at(&path).unwrap();
+        doc.save("committed").unwrap();
+        // A crashed writer leaves a staged temp behind…
+        std::fs::write(checkpoint::temp_path(&path), "torn").unwrap();
+        // …which reopening sweeps, leaving the committed doc intact.
+        let doc = DocFile::at(&path).unwrap();
+        assert!(!checkpoint::temp_path(&path).exists());
+        assert_eq!(doc.load().unwrap(), "committed");
+    }
+}

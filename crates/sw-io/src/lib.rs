@@ -11,15 +11,19 @@
 //! * [`groupio`] — the group-I/O and balanced-forwarding aggregation model
 //!   that reaches "a peak I/O bandwidth of 120 GB/s (92.3 % of the file
 //!   system we use)";
+//! * [`doc`] — durable single-JSON-document files (campaign manifests)
+//!   reusing the store's atomic-write and temp-sweep conventions;
 //! * [`recorder`] — seismogram, snapshot and peak-ground-velocity
 //!   recorders (the "Snapshot/Seismo Recorder" box of Fig. 3).
 
 pub mod checkpoint;
+pub mod doc;
 pub mod groupio;
 pub mod recorder;
 pub mod store;
 
 pub use checkpoint::{Checkpoint, CheckpointError, ReadError, RestartController};
+pub use doc::DocFile;
 pub use groupio::GroupIoModel;
 pub use recorder::{PgvRecorder, SeismogramRecorder, SnapshotRecorder, Station};
 pub use store::{CheckpointStore, Manifest, ManifestGeneration, RestoredGeneration, StoreError};

@@ -14,16 +14,20 @@
 //!   crossbeam channels);
 //! * [`exchange`] — field halo exchange (blocking and overlapped);
 //! * [`runner`] — scoped-thread rank runner collecting per-rank results;
+//! * [`jobs`] — bounded job runner for whole-simulation concurrency
+//!   (campaigns) sharing the same Rayon budget contract;
 //! * [`sync`] — the collective stop-vote used for coordinated aborts.
 
 pub mod exchange;
 pub mod fabric;
 pub mod grid;
+pub mod jobs;
 pub mod runner;
 pub mod sync;
 
 pub use exchange::HaloExchanger;
 pub use fabric::{Fabric, RankComm};
 pub use grid::RankGrid;
+pub use jobs::run_jobs;
 pub use runner::run_ranks;
 pub use sync::{FaultVote, StopBarrier};

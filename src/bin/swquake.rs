@@ -1,25 +1,37 @@
 //! `swquake` — the command-line driver.
 //!
-//! Runs an earthquake scenario described by a JSON file through the full
-//! solver and writes seismograms (CSV), the PGV field, and a seismic-
-//! intensity hazard map. With `--metrics`, telemetry from every subsystem
-//! (step phases, compression codecs, modeled SW26010 hardware charges,
-//! I/O) is written as a stable-schema JSON report; `--trace` records a
-//! Chrome trace-event timeline (open it in Perfetto / `chrome://tracing`)
-//! and `--roofline` writes the predicted-vs-simulated per-kernel
-//! attribution report. `--exec serial|parallel|auto` picks the kernel
-//! implementation (serial reference vs the bit-identical Rayon CPE-pool
-//! analogue) and `--threads <n>` pins the worker-pool width. `--health
-//! <out.jsonl>` streams the in-situ simulation-health log (stability
-//! watchdog + compression error budget) and `--health-stride <n>` sets
-//! how often the wavefield is probed (default 10, or
-//! `SWQUAKE_HEALTH_STRIDE`). `bench-diff` is the perf-regression gate
-//! over two `BENCH_<name>.json` files.
+//! Subcommands:
 //!
+//! * `run <scenario.json>` — run one earthquake scenario through the
+//!   full solver and write seismograms (CSV), the PGV field, and a
+//!   seismic-intensity hazard map (the bare legacy form
+//!   `swquake <scenario.json>` still works);
+//! * `campaign <campaign.json>` — batch many scenarios through one
+//!   resident solver process: expensive setup artifacts (earth model,
+//!   material state, source lists) are shared through a content-hash
+//!   cache, up to `--jobs` scenarios run concurrently on the bounded
+//!   worker pool, and a durable manifest makes the whole campaign
+//!   resumable (`--resume`) after a crash;
+//! * `bench-diff <old.json> <new.json>` — the perf-regression gate over
+//!   two `BENCH_<name>.json` files;
+//! * `--write-example [path]` — emit a commented scenario template.
+//!
+//! Every subcommand answers `--help`. For `run`: `--metrics` writes
+//! telemetry from every subsystem (step phases, compression codecs,
+//! modeled SW26010 hardware charges, I/O) as a stable-schema JSON
+//! report; `--trace` records a Chrome trace-event timeline (open it in
+//! Perfetto / `chrome://tracing`) and `--roofline` writes the
+//! predicted-vs-simulated per-kernel attribution report. `--exec
+//! serial|parallel|auto` picks the kernel implementation (serial
+//! reference vs the bit-identical Rayon CPE-pool analogue) and
+//! `--threads <n>` pins the worker-pool width. `--health <out.jsonl>`
+//! streams the in-situ simulation-health log (stability watchdog +
+//! compression error budget) and `--health-stride <n>` sets how often
+//! the wavefield is probed (default 10, or `SWQUAKE_HEALTH_STRIDE`).
 //! `--checkpoint-dir <dir>` persists checkpoints durably (atomic files,
 //! versioned manifest, keep-N retention; `--checkpoint-interval` and
 //! `--checkpoint-keep` tune the cadence and retention) and `--resume`
-//! restarts a killed campaign from the newest valid generation —
+//! restarts a killed run from the newest valid generation —
 //! bit-identically, including the seismogram/hazard outputs. The
 //! `SWQUAKE_FAULT_PLAN` environment variable arms the deterministic
 //! crash drills (`seed=N;kill@STEP`, `torn@STEP:frac=F`, ... — see
@@ -27,7 +39,7 @@
 //!
 //! ```text
 //! swquake --write-example scenario.json           # emit a commented template
-//! swquake scenario.json                           # run it
+//! swquake scenario.json                           # run it (legacy form)
 //! swquake run scenario.json --metrics out.json    # run + telemetry report
 //! swquake run scenario.json --trace trace.json    # run + Chrome trace
 //! swquake run scenario.json --roofline roof.json  # run + attribution table
@@ -35,27 +47,91 @@
 //! swquake run scenario.json --health health.jsonl --health-stride 5
 //! swquake run scenario.json --checkpoint-dir ckpt --checkpoint-interval 25
 //! swquake run scenario.json --checkpoint-dir ckpt --resume
+//! swquake campaign campaign.json --jobs 2         # batch scenarios
+//! swquake campaign campaign.json --resume         # pick up after a crash
 //! swquake bench-diff old.json new.json --tolerance 0.15
 //! ```
 //!
-//! Exit codes: 0 on success, 1 when the solver goes unstable or
-//! `bench-diff` finds a regression, 2 for any usage, parse, or
-//! configuration error (including unknown flags and unusable
-//! checkpoint stores), and 137 when an injected fault kills the run
+//! Exit codes: 0 on success, 1 when the solver goes unstable, a
+//! campaign completes with unstable scenarios, or `bench-diff` finds a
+//! regression, 2 for any usage, parse, or configuration error
+//! (including unknown flags and unusable checkpoint stores), 3 when a
+//! campaign completes with failed scenarios (failures dominate
+//! instabilities), and 137 when an injected fault kills the run
 //! (mirroring a SIGKILLed process). All solver failures flow through
 //! [`swquake::Error`] and are mapped to a code in one place, here.
 
 use std::sync::Arc;
-use swquake::core::hazard::HazardMap;
+use swquake::campaign::CampaignRunOptions;
 use swquake::core::{ExecMode, Simulation};
 use swquake::health::{HealthConfig, HealthLog};
 use swquake::telemetry::bench::{compare, BenchReport};
 use swquake::telemetry::{Telemetry, Tracer};
-use swquake::{Error, Scenario};
+use swquake::{Error, Scenario, ScenarioVersion};
+
+const GENERAL_USAGE: &str = "\
+usage: swquake [run] <scenario.json> [run flags]
+       swquake campaign <campaign.json> [campaign flags]
+       swquake bench-diff <old.json> <new.json> [--tolerance <frac>]
+       swquake --write-example [path]
+       swquake <subcommand> --help";
+
+const RUN_HELP: &str = "\
+usage: swquake run <scenario.json> [flags]
+
+Run one earthquake scenario and write seismograms (CSV), the PGV field,
+and a seismic-intensity hazard map. The bare form
+`swquake <scenario.json>` is equivalent.
+
+flags:
+  --metrics <out.json>         telemetry report (stable JSON schema)
+  --trace <out.json>           Chrome trace-event timeline
+  --roofline <out.json>        per-kernel predicted-vs-simulated report
+  --exec serial|parallel|auto  kernel implementation (default auto)
+  --threads <n>                worker-pool width for --exec parallel
+  --health <out.jsonl>         stream the simulation-health log
+  --health-stride <n>          wavefield probe cadence (default 10)
+  --checkpoint-dir <dir>       durable checkpoint store
+  --checkpoint-interval <n>    checkpoint every n steps
+  --checkpoint-keep <n>        generations to retain
+  --resume                     restart from the newest valid checkpoint";
+
+const CAMPAIGN_HELP: &str = "\
+usage: swquake campaign <campaign.json> [flags]
+
+Batch many scenarios through one resident solver process. The campaign
+file queues scenario descriptions ({\"scenarios\": [{\"id\": ...,
+\"scenario\": {...}}, ...]}); expensive setup artifacts (earth model,
+material state, source lists) are shared across scenarios through a
+content-hash cache, and a durable MANIFEST.json records per-scenario
+state so an interrupted campaign resumes where it stopped. Results
+stream to campaign.jsonl as each scenario finishes; summary.json and
+per-scenario output directories land next to the manifest.
+
+flags:
+  --dir <dir>                  campaign directory (default <name>_campaign)
+  --jobs <n>                   scenarios in flight at once
+                               (default: the file's max_concurrent, or 1)
+  --resume                     skip done scenarios, resume the interrupted one
+  --fail-fast                  abort on the first failed/unstable scenario
+  --exec serial|parallel|auto  kernel implementation for every scenario
+  --threads <n>                worker-pool width for --exec parallel
+
+exit codes: 0 all scenarios done; 1 completed with unstable scenarios;
+3 completed with failed scenarios; 2 usage/spec errors; 137 when an
+injected fault kills a scenario (the campaign aborts, resumable).";
+
+const BENCH_DIFF_HELP: &str = "\
+usage: swquake bench-diff <old.json> <new.json> [--tolerance <frac>]
+
+Compare two BENCH_<name>.json reports; exit 0 on pass, 1 on regression
+beyond the tolerance (default 0.1), 2 when either file fails to load.";
 
 enum Command {
+    Help(&'static str),
     WriteExample(String),
     Run { scenario: String, outputs: RunOutputs },
+    Campaign { path: String, opts: CampaignRunOptions },
     BenchDiff { old: String, new: String, tolerance: f64 },
 }
 
@@ -82,8 +158,11 @@ impl RunOutputs {
 }
 
 fn parse_args(args: &[String]) -> Option<Command> {
-    if args.first().map(String::as_str) == Some("bench-diff") {
-        return parse_bench_diff(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") => return Some(Command::Help(GENERAL_USAGE)),
+        Some("bench-diff") => return parse_bench_diff(&args[1..]),
+        Some("campaign") => return parse_campaign(&args[1..]),
+        _ => {}
     }
     let mut positional: Vec<String> = Vec::new();
     let mut outputs = RunOutputs::default();
@@ -91,6 +170,7 @@ fn parse_args(args: &[String]) -> Option<Command> {
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
+            "--help" | "-h" => return Some(Command::Help(RUN_HELP)),
             "--write-example" => write_example = true,
             "--metrics" => outputs.metrics = Some(iter.next()?.clone()),
             "--trace" => outputs.trace = Some(iter.next()?.clone()),
@@ -128,12 +208,37 @@ fn parse_args(args: &[String]) -> Option<Command> {
     }
 }
 
+fn parse_campaign(args: &[String]) -> Option<Command> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut opts = CampaignRunOptions::default();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Some(Command::Help(CAMPAIGN_HELP)),
+            "--dir" => opts.dir = Some(iter.next()?.clone()),
+            "--jobs" => opts.jobs = Some(iter.next()?.parse().ok()?),
+            "--resume" => opts.resume = true,
+            "--fail-fast" => opts.fail_fast = Some(true),
+            "--exec" => opts.exec = Some(iter.next()?.parse().ok()?),
+            "--threads" => opts.threads = Some(iter.next()?.parse().ok()?),
+            flag if flag.starts_with("--") => return None,
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() == 1 {
+        Some(Command::Campaign { path: positional.remove(0), opts })
+    } else {
+        None
+    }
+}
+
 fn parse_bench_diff(args: &[String]) -> Option<Command> {
     let mut positional: Vec<String> = Vec::new();
     let mut tolerance = 0.1;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
+            "--help" | "-h" => return Some(Command::Help(BENCH_DIFF_HELP)),
             "--tolerance" => tolerance = iter.next()?.parse().ok()?,
             flag if flag.starts_with("--") => return None,
             other => positional.push(other.to_string()),
@@ -152,17 +257,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match parse_args(&args) {
         None => {
-            eprintln!(
-                "usage: swquake [run] <scenario.json> [--metrics <out.json>] \
-                 [--trace <out.json>] [--roofline <out.json>] \
-                 [--exec serial|parallel|auto] [--threads <n>] \
-                 [--health <out.jsonl>] [--health-stride <n>] \
-                 [--checkpoint-dir <dir>] [--checkpoint-interval <n>] \
-                 [--checkpoint-keep <n>] [--resume]\n\
-                 \x20      swquake bench-diff <old.json> <new.json> [--tolerance <frac>]\n\
-                 \x20      swquake --write-example [path]"
-            );
+            eprintln!("{GENERAL_USAGE}");
             2
+        }
+        Some(Command::Help(text)) => {
+            println!("{text}");
+            0
         }
         Some(Command::WriteExample(path)) => {
             std::fs::write(&path, Scenario::example().to_json()).expect("write example scenario");
@@ -182,9 +282,42 @@ fn main() {
                 }
             }
         },
+        Some(Command::Campaign { path, opts }) => campaign(&path, &opts),
         Some(Command::BenchDiff { old, new, tolerance }) => bench_diff(&old, &new, tolerance),
     };
     std::process::exit(code);
+}
+
+/// Run (or resume) a campaign and map the report to an exit code.
+fn campaign(path: &str, opts: &CampaignRunOptions) -> i32 {
+    match swquake::campaign::run_campaign_file(path, opts) {
+        Ok(report) => {
+            let dir = opts.dir.clone().unwrap_or_else(|| format!("{}_campaign", report.name));
+            println!(
+                "campaign `{}`: {} done, {} failed, {} unstable, {} skipped \
+                 in {:.1} s wall time",
+                report.name,
+                report.done,
+                report.failed,
+                report.unstable,
+                report.skipped,
+                report.wall_s
+            );
+            println!(
+                "artifact cache: {} hits, {} misses (builds)",
+                report.artifact_hits, report.artifact_misses
+            );
+            println!("campaign outputs in {dir} (manifest, campaign.jsonl, summary.json)");
+            if let Some(abort) = &report.aborted {
+                eprintln!("{abort}");
+            }
+            swquake::campaign::exit_code(&report)
+        }
+        Err(e) => {
+            eprintln!("{}", Error::Campaign(e));
+            2
+        }
+    }
 }
 
 /// Compare two bench reports; exit 0 on pass, 1 on regression/missing,
@@ -224,8 +357,14 @@ fn bench_diff(old_path: &str, new_path: &str, tolerance: f64) -> i32 {
 fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| Error::Io { path: path.to_string(), source: e })?;
-    let scenario = Scenario::from_json(&text)?;
-    let model = scenario.build_model()?;
+    let (scenario, version) = Scenario::from_json_versioned(&text)?;
+    if version == ScenarioVersion::V1 {
+        eprintln!(
+            "warning: {path} uses the deprecated v1 scenario schema (no `schema` field); \
+             re-emit it with `swquake --write-example` conventions (`schema: 2`)"
+        );
+    }
+    let model = scenario.build_model();
     // Counters/timers feed --metrics and --roofline; the tracer feeds
     // --trace. Without any of the three this stays the disabled
     // (branch-on-None) telemetry, bit-identical to an uninstrumented run.
@@ -319,46 +458,9 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
         sim.flops.rate(wall) / 1e9
     );
 
-    // Seismograms as CSV: time, then (vx, vy, vz) per station.
-    let t_out = std::time::Instant::now();
-    let prefix = &scenario.output_prefix;
-    let mut csv = String::from("t");
-    for s in sim.seismo.seismograms() {
-        let n = &s.station.name;
-        csv.push_str(&format!(",{n}_vx,{n}_vy,{n}_vz"));
-    }
-    csv.push('\n');
-    for i in 0..cfg.steps {
-        csv.push_str(&format!("{:.5}", i as f64 * sim.state.dt));
-        for s in sim.seismo.seismograms() {
-            let v = s.samples[i];
-            csv.push_str(&format!(",{:.6e},{:.6e},{:.6e}", v[0], v[1], v[2]));
-        }
-        csv.push('\n');
-    }
-    let seismo_path = format!("{prefix}_seismograms.csv");
-    std::fs::write(&seismo_path, &csv)
-        .map_err(|e| Error::Io { path: seismo_path.clone(), source: e })?;
-
-    // Hazard map as JSON (PGV + intensity grids).
-    let map = HazardMap::from_pgv(&sim.pgv, cfg.dims.nx, cfg.dims.ny);
-    let hazard = serde_json::json!({
-        "nx": cfg.dims.nx,
-        "ny": cfg.dims.ny,
-        "dx_m": cfg.dx,
-        "pgv_ms": sim.pgv.pgv,
-        "intensity": map.intensity,
-        "max_intensity": map.max(),
-    });
-    let hazard_text = serde_json::to_string(&hazard).expect("hazard serialization is infallible");
-    let hazard_path = format!("{prefix}_hazard.json");
-    std::fs::write(&hazard_path, &hazard_text)
-        .map_err(|e| Error::Io { path: hazard_path.clone(), source: e })?;
-    telemetry.record_duration("io.write_outputs", t_out.elapsed().as_secs_f64());
-    telemetry.add("io.output_bytes", (csv.len() + hazard_text.len()) as u64);
-
-    println!("wrote {seismo_path} and {hazard_path}");
-    println!("PGV max {:.3e} m/s, max intensity {:.1}", sim.pgv.max(), map.max());
+    let files = swquake::outputs::write_outputs(&sim, &cfg, &scenario.output_prefix, &telemetry)?;
+    println!("wrote {} and {}", files.seismograms, files.hazard);
+    println!("PGV max {:.3e} m/s, max intensity {:.1}", files.pgv_max, files.max_intensity);
 
     if let Some(metrics_path) = &outputs.metrics {
         let report = sim.metrics();

@@ -32,6 +32,9 @@ pub enum Error {
     Resume(String),
     /// The `SWQUAKE_FAULT_PLAN` drill grammar failed to parse.
     FaultPlan(String),
+    /// A campaign could not start, or aborted: carries the scenario at
+    /// fault (if any), the lifecycle phase, and the cause.
+    Campaign(sw_campaign::CampaignError),
     /// A file could not be read or written.
     Io {
         /// The path involved.
@@ -57,6 +60,7 @@ impl fmt::Display for Error {
             Self::Killed(e) => e.fmt(f),
             Self::Resume(detail) => write!(f, "cannot resume: {detail}"),
             Self::FaultPlan(detail) => write!(f, "invalid fault plan: {detail}"),
+            Self::Campaign(e) => e.fmt(f),
             Self::Io { path, source } => write!(f, "cannot read {path}: {source}"),
         }
     }
@@ -71,6 +75,7 @@ impl std::error::Error for Error {
             Self::Io { source, .. } => Some(source),
             Self::Unstable(e) => Some(e),
             Self::Killed(e) => Some(e),
+            Self::Campaign(e) => Some(e),
             _ => None,
         }
     }
@@ -114,6 +119,12 @@ impl From<RunError> for Error {
             RunError::Killed(k) => Self::Killed(k),
             RunError::ResumeFailed { detail } => Self::Resume(detail),
         }
+    }
+}
+
+impl From<sw_campaign::CampaignError> for Error {
+    fn from(e: sw_campaign::CampaignError) -> Self {
+        Self::Campaign(e)
     }
 }
 

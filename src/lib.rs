@@ -37,8 +37,14 @@
 //!
 //! Plus the crate's own front end:
 //!
-//! * [`scenario`] — JSON scenario files and their lowering to solver
-//!   configs (what the `swquake` binary runs);
+//! * [`scenario`] — JSON scenario files (versioned schema, v2 current)
+//!   and their lowering to solver configs (what the `swquake` binary
+//!   runs);
+//! * [`campaign`] — scenario campaigns: the [`sw_campaign`] engine wired
+//!   to this crate's scenarios — shared artifact cache, bounded
+//!   concurrency, durable manifest with `--resume` (what `swquake
+//!   campaign` runs);
+//! * [`outputs`] — the result-file writer `run` and campaigns share;
 //! * [`error`] — the crate-level [`enum@Error`]; fallible constructors
 //!   (`Simulation::new`, `run_multirank`, `Simulation::restore`,
 //!   scenario parsing) return typed errors instead of exiting.
@@ -103,11 +109,15 @@
 //! [`core::roofline`], and `swquake bench-diff` gates two
 //! [`telemetry::bench::BenchReport`] files against a tolerance.
 
+pub mod campaign;
 pub mod error;
+pub mod outputs;
 pub mod scenario;
 
 pub use error::Error;
-pub use scenario::{Scenario, ScenarioSource};
+pub use scenario::{
+    ModelKind, Scenario, ScenarioSource, ScenarioStation, ScenarioVersion, SCENARIO_SCHEMA_VERSION,
+};
 
 pub use sw_arch as arch;
 pub use sw_compress as compress;

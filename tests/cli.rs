@@ -31,7 +31,7 @@ fn write_example_then_run_produces_outputs() {
     json["mesh"] = serde_json::json!([20, 20, 12]);
     json["duration"] = serde_json::json!(1.5);
     json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
-    json["stations"] = serde_json::json!([["probe", 14, 14]]);
+    json["stations"] = serde_json::json!([{"name": "probe", "ix": 14, "iy": 14}]);
     json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
     std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
 
@@ -113,7 +113,7 @@ fn run_with_trace_writes_chrome_trace_json() {
     json["mesh"] = serde_json::json!([20, 20, 12]);
     json["duration"] = serde_json::json!(0.5);
     json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
-    json["stations"] = serde_json::json!([["probe", 14, 14]]);
+    json["stations"] = serde_json::json!([{"name": "probe", "ix": 14, "iy": 14}]);
     json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
     std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
 
@@ -236,7 +236,7 @@ fn resume_from_broken_store_exits_2_with_diagnosis() {
     json["mesh"] = serde_json::json!([20, 20, 12]);
     json["duration"] = serde_json::json!(1.0);
     json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
-    json["stations"] = serde_json::json!([["probe", 14, 14]]);
+    json["stations"] = serde_json::json!([{"name": "probe", "ix": 14, "iy": 14}]);
     json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
     std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
 
@@ -320,7 +320,7 @@ fn run_with_health_writes_jsonl_log() {
     json["mesh"] = serde_json::json!([20, 20, 12]);
     json["duration"] = serde_json::json!(1.0);
     json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
-    json["stations"] = serde_json::json!([["probe", 14, 14]]);
+    json["stations"] = serde_json::json!([{"name": "probe", "ix": 14, "iy": 14}]);
     json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
     std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
 
@@ -368,7 +368,7 @@ fn unstable_scenario_exits_1_with_diagnostic_bundle() {
     json["duration"] = serde_json::json!(8.0);
     json["dt_scale"] = serde_json::json!(3.0);
     json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
-    json["stations"] = serde_json::json!([["probe", 14, 14]]);
+    json["stations"] = serde_json::json!([{"name": "probe", "ix": 14, "iy": 14}]);
     json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
     std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
 
@@ -407,7 +407,11 @@ fn seismogram_csv_has_golden_header_and_one_row_per_step() {
     json["mesh"] = serde_json::json!([20, 20, 12]);
     json["duration"] = serde_json::json!(1.0);
     json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
-    json["stations"] = serde_json::json!([["west", 4, 10], ["mid", 10, 10], ["east", 16, 10]]);
+    json["stations"] = serde_json::json!([
+        {"name": "west", "ix": 4, "iy": 10},
+        {"name": "mid", "ix": 10, "iy": 10},
+        {"name": "east", "ix": 16, "iy": 10}
+    ]);
     json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
     std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
 
@@ -435,5 +439,98 @@ fn seismogram_csv_has_golden_header_and_one_row_per_step() {
             assert!(v.is_finite());
         }
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every subcommand answers `--help` on stdout with exit 0 — help is
+/// not a usage error.
+#[test]
+fn every_subcommand_answers_help_with_exit_0() {
+    for args in [
+        vec!["--help"],
+        vec!["-h"],
+        vec!["run", "--help"],
+        vec!["campaign", "--help"],
+        vec!["bench-diff", "--help"],
+    ] {
+        let out = Command::new(bin()).args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "args {args:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage"), "args {args:?}: {stdout}");
+    }
+    // Per-subcommand help names that subcommand's flags.
+    let out = Command::new(bin()).args(["campaign", "--help"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--fail-fast"), "campaign help: {stdout}");
+    assert!(stdout.contains("--resume"), "campaign help: {stdout}");
+}
+
+/// A legacy v1 scenario (no `schema` field, tuple stations) still runs,
+/// but the CLI flags it as deprecated on stderr.
+#[test]
+fn v1_scenario_runs_with_deprecation_warning() {
+    let dir = workdir("v1_compat");
+    let scenario = dir.join("scenario.json");
+    let v1 = serde_json::json!({
+        "mesh": [20, 20, 12],
+        "dx": 250.0,
+        "duration": 1.0,
+        "model": "tangshan",
+        "nonlinear": false,
+        "attenuation": true,
+        "compression": false,
+        "sponge_width": 8,
+        "sources": [{
+            "position": [10, 10, 6],
+            "mw": 5.5,
+            "mechanism": [30.0, 90.0, 180.0],
+            "onset": 0.2,
+            "duration": 1.0
+        }],
+        "stations": [["probe", 14, 14]],
+        "output_prefix": dir.join("out").to_str().unwrap(),
+    });
+    std::fs::write(&scenario, serde_json::to_string(&v1).unwrap()).unwrap();
+    let out = Command::new(bin()).arg(scenario.to_str().unwrap()).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deprecated"), "no deprecation warning: {stderr}");
+    assert!(dir.join("out_seismograms.csv").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// In the v2 schema a typo'd field is rejected loudly (exit 2) instead
+/// of silently running the wrong simulation.
+#[test]
+fn v2_scenario_with_unknown_field_is_rejected() {
+    let dir = workdir("v2_strict");
+    let scenario = dir.join("scenario.json");
+    Command::new(bin()).args(["--write-example", scenario.to_str().unwrap()]).status().unwrap();
+    let mut json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&scenario).unwrap()).unwrap();
+    json["sponge_widht"] = serde_json::json!(8); // typo
+    std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
+    let out = Command::new(bin()).arg(scenario.to_str().unwrap()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown field `sponge_widht`"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Campaign usage errors (no file, unknown flag, bad spec) exit 2.
+#[test]
+fn campaign_usage_errors_exit_2() {
+    for args in [vec!["campaign"], vec!["campaign", "c.json", "--frobnicate"]] {
+        let out = Command::new(bin()).args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage"), "args {args:?}");
+    }
+    // A campaign file that is not a valid spec is a campaign spec error.
+    let dir = workdir("campaign_badspec");
+    let spec = dir.join("campaign.json");
+    std::fs::write(&spec, r#"{"scenarios": []}"#).unwrap();
+    let out = Command::new(bin()).args(["campaign", spec.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("campaign failed during spec"));
     std::fs::remove_dir_all(&dir).ok();
 }

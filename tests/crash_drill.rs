@@ -42,7 +42,7 @@ fn write_scenario(dir: &Path, name: &str, prefix: &str) -> PathBuf {
     json["mesh"] = serde_json::json!([20, 20, 12]);
     json["duration"] = serde_json::json!(1.5);
     json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
-    json["stations"] = serde_json::json!([["probe", 14, 14]]);
+    json["stations"] = serde_json::json!([{"name": "probe", "ix": 14, "iy": 14}]);
     json["output_prefix"] = serde_json::json!(dir.join(prefix).to_str().unwrap());
     std::fs::write(&path, serde_json::to_string(&json).unwrap()).unwrap();
     path

@@ -15,6 +15,23 @@ pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     T::from_value(inner).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
 }
 
+/// Reject object keys not in `known` — the engine behind struct-level
+/// `#[serde(deny_unknown_fields)]` (versioned-schema validation). Non-
+/// object values pass through; the field accessors report those.
+pub fn deny_unknown(v: &Value, known: &[&str], ty: &str) -> Result<(), Error> {
+    if let Value::Object(entries) = v {
+        for (key, _) in entries {
+            if !known.contains(&key.as_str()) {
+                return Err(Error::custom(format!(
+                    "unknown field `{key}` in {ty} (known fields: {})",
+                    known.join(", ")
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Split an externally-tagged enum value into `(tag, inner)`.
 ///
 /// A bare string is a unit variant (`inner` is `Null`); a single-key

@@ -18,7 +18,11 @@
 //! * enums with tuple variants → `{"Tag": value}` (newtype) or
 //!   `{"Tag": [v0, v1, …]}`.
 //!
-//! Generics, `#[serde(...)]` attributes, and tuple structs are not
+//! One `#[serde(...)]` attribute is supported: struct-level
+//! `#[serde(deny_unknown_fields)]`, which makes the generated
+//! `from_value` reject objects carrying keys the struct does not declare
+//! (versioned-schema validation, e.g. the v2 scenario format). Generics,
+//! tuple structs, and every other `#[serde(...)]` attribute are not
 //! supported and fail with a compile error naming the limitation, so a
 //! future use of them is an explicit decision rather than silent
 //! misbehaviour.
@@ -46,11 +50,11 @@ enum VariantKind {
 
 /// The parsed item the derive is attached to.
 enum Item {
-    Struct { name: String, fields: Vec<Field> },
+    Struct { name: String, fields: Vec<Field>, deny_unknown: bool },
     Enum { name: String, variants: Vec<Variant> },
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
@@ -58,7 +62,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen_deserialize(&item).parse().expect("generated Deserialize impl parses"),
@@ -77,7 +81,20 @@ fn compile_error(msg: &str) -> TokenStream {
 fn parse_item(input: TokenStream) -> Result<Item, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
-    skip_attrs_and_vis(&tokens, &mut i);
+    let mut serde_attrs = Vec::new();
+    scan_attrs_and_vis(&tokens, &mut i, &mut serde_attrs);
+    let mut deny_unknown = false;
+    for attr in &serde_attrs {
+        match attr.trim() {
+            "deny_unknown_fields" => deny_unknown = true,
+            other => {
+                return Err(format!(
+                    "mini serde_derive supports only #[serde(deny_unknown_fields)], \
+                     found #[serde({other})] — implement the traits by hand"
+                ))
+            }
+        }
+    }
     let kind = match &tokens.get(i) {
         Some(TokenTree::Ident(id)) if *id.to_string() == *"struct" => "struct",
         Some(TokenTree::Ident(id)) if *id.to_string() == *"enum" => "enum",
@@ -108,20 +125,26 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         other => return Err(format!("expected `{{` body for `{name}`, found {other:?}")),
     };
     if kind == "struct" {
-        Ok(Item::Struct { name, fields: parse_named_fields(body)? })
+        Ok(Item::Struct { name, fields: parse_named_fields(body)?, deny_unknown })
+    } else if deny_unknown {
+        Err(format!("#[serde(deny_unknown_fields)] applies only to structs (enum `{name}`)"))
     } else {
         Ok(Item::Enum { name, variants: parse_variants(body)? })
     }
 }
 
 /// Skip outer attributes (`#[...]`, including doc comments) and
-/// visibility (`pub`, `pub(...)`).
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// visibility (`pub`, `pub(...)`), collecting the inner token text of any
+/// `#[serde(...)]` helper attribute into `serde_attrs`.
+fn scan_attrs_and_vis(tokens: &[TokenTree], i: &mut usize, serde_attrs: &mut Vec<String>) {
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 *i += 1; // '#'
-                if let Some(TokenTree::Group(_)) = tokens.get(*i) {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if let Some(inner) = serde_attr_payload(g) {
+                        serde_attrs.push(inner);
+                    }
                     *i += 1; // [...]
                 }
             }
@@ -138,13 +161,42 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
+/// If `g` is the bracket group of a `#[serde(...)]` attribute, the token
+/// text inside the parentheses.
+fn serde_attr_payload(g: &proc_macro::Group) -> Option<String> {
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if *id.to_string() == *"serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some(args.stream().to_string())
+        }
+        _ => None,
+    }
+}
+
+/// Skip attrs and visibility where `#[serde(...)]` is not allowed
+/// (fields, enum variants): any serde attr found there is an error, not
+/// a silent no-op — the mini derive generates no per-field behaviour.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    let mut serde_attrs = Vec::new();
+    scan_attrs_and_vis(tokens, i, &mut serde_attrs);
+    if let Some(attr) = serde_attrs.first() {
+        return Err(format!(
+            "mini serde_derive does not support field/variant-level #[serde({attr})] — \
+             implement the traits by hand"
+        ));
+    }
+    Ok(())
+}
+
 /// Parse `name: Type, name: Type, ...` from a brace group's stream.
 fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i)?;
         if i >= tokens.len() {
             break;
         }
@@ -181,7 +233,7 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
     let mut variants = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i)?;
         if i >= tokens.len() {
             break;
         }
@@ -252,7 +304,7 @@ fn count_top_level_items(body: TokenStream) -> usize {
 
 fn gen_serialize(item: &Item) -> String {
     match item {
-        Item::Struct { name, fields } => {
+        Item::Struct { name, fields, .. } => {
             let mut pushes = String::new();
             for f in fields {
                 pushes.push_str(&format!(
@@ -334,16 +386,23 @@ fn gen_serialize(item: &Item) -> String {
 
 fn gen_deserialize(item: &Item) -> String {
     match item {
-        Item::Struct { name, fields } => {
+        Item::Struct { name, fields, deny_unknown } => {
             let mut inits = String::new();
             for f in fields {
                 inits.push_str(&format!("{}: ::serde::de::field(v, {:?})?,\n", f.name, f.name));
             }
+            let check = if *deny_unknown {
+                let known: Vec<String> = fields.iter().map(|f| format!("{:?}", f.name)).collect();
+                format!("::serde::de::deny_unknown(v, &[{}], {name:?})?;\n", known.join(", "))
+            } else {
+                String::new()
+            };
             format!(
                 "#[automatically_derived]\n#[allow(clippy::all, unused_mut, unused_variables)]\n\
                  impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(v: &::serde::Value) -> \
                          ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {check}\
                          ::std::result::Result::Ok(Self {{\n{inits}}})\n\
                      }}\n\
                  }}"
