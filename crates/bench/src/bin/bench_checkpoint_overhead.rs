@@ -102,6 +102,8 @@ fn record(name: &str, samples: &[f64]) -> BenchRecord {
         max_s: sorted[n - 1],
         throughput: (SIDE * SIDE * SIDE) as f64,
         throughput_unit: "elements".to_string(),
+        tolerance: None,
+        host: None,
     }
 }
 
@@ -116,8 +118,10 @@ fn ratio_record(name: &str, num: &BenchRecord, den: &BenchRecord) -> BenchRecord
         mean_s: ratio,
         min_s: ratio,
         max_s: ratio,
-        throughput: 0.0,
-        throughput_unit: String::new(),
+        throughput: 1.0,
+        throughput_unit: "ratio".to_string(),
+        tolerance: None,
+        host: None,
     }
 }
 

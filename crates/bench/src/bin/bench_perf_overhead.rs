@@ -1,31 +1,30 @@
-//! `health_overhead` — cost of the in-situ health monitor on the full
-//! production step.
+//! `perf_overhead` — cost of the per-kernel performance ledger on the
+//! full production step.
 //!
-//! Times the complete per-step pipeline on a 64³ mesh three ways —
-//! health off, health at the default stride 10, and health at stride 1
-//! (every step probed) — and writes a [`BenchReport`] with five
+//! Times the complete per-step pipeline on a 64³ mesh two ways — perf
+//! recorder off and armed — and writes a [`BenchReport`] with three
 //! records:
 //!
-//! * `health_overhead/off` — absolute seconds per step, no monitor;
-//! * `health_overhead/stride10` / `health_overhead/stride1` — absolute
-//!   seconds per step with the watchdog, field probes, and compression
-//!   error budget running at that stride;
-//! * `health_overhead/stride10_over_off` /
-//!   `health_overhead/stride1_over_off` — the **dimensionless ratio**
-//!   of the means (a median would ignore the 1-in-stride probe steps
-//!   entirely). The acceptance bar is stride10 under 1.02 (<2%
-//!   overhead); stride1 is informational, bounding the worst case.
+//! * `perf_overhead/off` — absolute seconds per step, no recorder;
+//! * `perf_overhead/on` — absolute seconds per step with the ledger
+//!   recording every kernel every step (there is no stride: the ledger
+//!   is always full-rate when armed);
+//! * `perf_overhead/on_over_off` — the **dimensionless ratio** of the
+//!   means. The acceptance bar is under 1.01 (<1% overhead): the
+//!   recorder costs ~8 `Instant` pairs plus ~9 short mutex-guarded
+//!   slot adds per step, against a multi-millisecond step.
 //!
-//! Usage: `bench_health_overhead [out.json] [threads]` (defaults:
-//! `BENCH_health_overhead_new.json`, 4 worker threads).
+//! Usage: `bench_perf_overhead [out.json] [threads]` (defaults:
+//! `BENCH_perf_overhead_new.json`, 4 worker threads).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use sw_grid::Dims3;
-use sw_health::HealthConfig;
 use sw_model::LayeredModel;
 use sw_source::{MomentTensor, PointSource, SourceTimeFunction};
 use sw_telemetry::bench::{BenchRecord, BenchReport};
+use sw_telemetry::perf::PerfRecorder;
 use swquake_core::{ExecMode, SimConfig, Simulation};
 
 const SIDE: usize = 64;
@@ -49,21 +48,20 @@ fn bench_config() -> SimConfig {
     cfg.with_compression(true).with_exec(ExecMode::Parallel)
 }
 
-/// Build one simulation per monitor configuration and time them in
-/// interleaved rounds (10 steps of each variant per round), so slow
-/// drift — frequency scaling, page-cache warm-up — lands evenly on all
-/// variants instead of biasing whichever ran first. Each round is a
-/// multiple of every stride, so every variant pays its probes inside
-/// its own timed window.
-fn time_variants(healths: &[Option<HealthConfig>]) -> Vec<Vec<f64>> {
+/// Build one simulation per variant (recorder off / armed) and time
+/// them in interleaved rounds (10 steps of each per round), so slow
+/// drift — frequency scaling, page-cache warm-up — lands evenly on
+/// both variants instead of biasing whichever ran first.
+fn time_variants() -> Vec<Vec<f64>> {
     const ROUND: usize = 10;
     let model = LayeredModel::north_china();
-    let mut sims: Vec<Simulation> = healths
+    let variants: Vec<Option<Arc<PerfRecorder>>> = vec![None, Some(Arc::new(PerfRecorder::new()))];
+    let mut sims: Vec<Simulation> = variants
         .iter()
-        .map(|h| {
+        .map(|perf| {
             let mut cfg = bench_config();
-            if let Some(h) = h {
-                cfg = cfg.with_health(h.clone());
+            if let Some(p) = perf {
+                cfg = cfg.with_perf(Arc::clone(p));
             }
             let mut sim = Simulation::new(&model, &cfg).expect("valid bench config");
             sim.run(WARMUP_STEPS);
@@ -103,8 +101,8 @@ fn record(name: &str, samples: &[f64]) -> BenchRecord {
 }
 
 fn ratio_record(name: &str, num: &BenchRecord, den: &BenchRecord) -> BenchRecord {
-    // Mean-over-mean is steadier than median-over-median here: the
-    // probe cost lands on 1-in-stride steps, which a median ignores.
+    // Mean-over-mean: robust to a stray slow sample on either side in a
+    // way that still charges every instrumented step.
     let ratio = num.mean_s / den.mean_s;
     BenchRecord {
         name: name.to_string(),
@@ -122,39 +120,31 @@ fn ratio_record(name: &str, num: &BenchRecord, den: &BenchRecord) -> BenchRecord
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let path = args.next().unwrap_or_else(|| "BENCH_health_overhead_new.json".to_string());
+    let path = args.next().unwrap_or_else(|| "BENCH_perf_overhead_new.json".to_string());
     let threads: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(4);
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build_global()
         .expect("the vendored pool accepts reconfiguration");
     println!(
-        "health_overhead: {SIDE}^3 mesh, {TIMED_STEPS} timed steps per variant, \
+        "perf_overhead: {SIDE}^3 mesh, {TIMED_STEPS} timed steps per variant, \
          {} worker threads",
         rayon::current_num_threads()
     );
 
-    let samples = time_variants(&[
-        None,
-        Some(HealthConfig::default().with_stride(10)),
-        Some(HealthConfig::default().with_stride(1)),
-    ]);
-    let off = record("health_overhead/off", &samples[0]);
-    let stride10 = record("health_overhead/stride10", &samples[1]);
-    let stride1 = record("health_overhead/stride1", &samples[2]);
-    let r10 = ratio_record("health_overhead/stride10_over_off", &stride10, &off);
-    let r1 = ratio_record("health_overhead/stride1_over_off", &stride1, &off);
+    let samples = time_variants();
+    let off = record("perf_overhead/off", &samples[0]);
+    let on = record("perf_overhead/on", &samples[1]);
+    let ratio = ratio_record("perf_overhead/on_over_off", &on, &off);
     println!(
-        "off {:.4} s/step, stride10 {:.4} s/step ({:+.2}%), stride1 {:.4} s/step ({:+.2}%)",
+        "off {:.4} s/step, on {:.4} s/step, overhead {:+.2}%",
         off.mean_s,
-        stride10.mean_s,
-        (r10.median_s - 1.0) * 100.0,
-        stride1.mean_s,
-        (r1.median_s - 1.0) * 100.0,
+        on.mean_s,
+        (ratio.mean_s - 1.0) * 100.0
     );
 
     let mut report = BenchReport::new();
-    report.records = vec![off, stride10, stride1, r10, r1];
+    report.records = vec![off, on, ratio];
     report.write_file(std::path::Path::new(&path)).expect("failed to write bench JSON");
-    println!("wrote {path} (5 records)");
+    println!("wrote {path} (3 records)");
 }

@@ -3,32 +3,45 @@
 //! Times the complete per-step pipeline (free surface, velocity, stress +
 //! attenuation, source injection, plasticity, sponge, and the §6.5
 //! compression round trip) on a 64³ mesh in both [`ExecMode`]s and writes
-//! a [`BenchReport`] with three records:
+//! a schema-v2 [`BenchReport`]:
 //!
 //! * `step_exec/serial` — absolute seconds per step, reference kernels;
 //! * `step_exec/parallel` — absolute seconds per step, Rayon CPE-pool
-//!   kernels (informational on any one machine);
+//!   kernels. Both absolute records carry the host fingerprint (so a
+//!   diff against a baseline from another machine skips them instead of
+//!   comparing apples to oranges) and a generous per-record tolerance
+//!   for same-host reruns;
 //! * `step_exec/parallel_over_serial` — the **dimensionless ratio** of
-//!   the two medians. This is the record the committed baseline
-//!   `BENCH_step_exec.json` pins at 2/3 (= a 1.5× speedup floor), so
-//!   `swquake bench-diff BENCH_step_exec.json <this output> --tolerance 0`
-//!   passes exactly when the parallel path is at least 1.5× faster —
-//!   a machine-independent gate, unlike the absolute timings.
+//!   the two medians (unit `ratio`). This is the record the committed
+//!   baseline `BENCH_step_exec.json` pins at 2/3 (= a 1.5× speedup
+//!   floor), so `swquake bench-diff BENCH_step_exec.json <this output>
+//!   --tolerance 0` passes exactly when the parallel path is at least
+//!   1.5× faster — a machine-independent gate, unlike the absolutes;
+//! * `step_exec/kernel/<name>` — absolute per-kernel wall seconds per
+//!   step from the perf ledger of the parallel run (host-stamped,
+//!   throughput in `cells`).
 //!
 //! Usage: `bench_step_exec [out.json] [threads]` (defaults:
 //! `BENCH_step_exec_new.json`, 4 worker threads).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use sw_grid::Dims3;
 use sw_model::LayeredModel;
 use sw_source::{MomentTensor, PointSource, SourceTimeFunction};
 use sw_telemetry::bench::{BenchRecord, BenchReport};
+use sw_telemetry::perf::{HostFingerprint, PerfLedger, PerfRecorder};
 use swquake_core::{ExecMode, SimConfig, Simulation};
 
 const SIDE: usize = 64;
 const WARMUP_STEPS: usize = 3;
 const TIMED_STEPS: usize = 12;
+
+/// Fractional slowdown same-host reruns of the absolute records are
+/// allowed before gating (absolute wall times on a shared CI box are
+/// noisy; the ratio record is the tight gate).
+const ABSOLUTE_TOLERANCE: f64 = 10.0;
 
 /// The production step shape: nonlinear + attenuation + sponge +
 /// self-calibrating compression, with a real source so the wavefield is
@@ -48,22 +61,27 @@ fn bench_config() -> SimConfig {
     cfg.with_compression(true)
 }
 
-/// Per-step wall times for one execution mode.
-fn time_mode(exec: ExecMode) -> Vec<f64> {
+/// Per-step wall times plus the perf ledger for one execution mode.
+/// Both modes run with the recorder armed so its (tiny) overhead
+/// cancels out of the parallel/serial ratio.
+fn time_mode(exec: ExecMode) -> (Vec<f64>, PerfLedger) {
     let model = LayeredModel::north_china();
-    let cfg = bench_config().with_exec(exec);
+    let recorder = Arc::new(PerfRecorder::new());
+    let cfg = bench_config().with_exec(exec).with_perf(Arc::clone(&recorder));
     let mut sim = Simulation::new(&model, &cfg).expect("valid bench config");
     sim.run(WARMUP_STEPS);
-    (0..TIMED_STEPS)
+    let samples = (0..TIMED_STEPS)
         .map(|_| {
             let t0 = Instant::now();
             sim.step();
             t0.elapsed().as_secs_f64()
         })
-        .collect()
+        .collect();
+    let ledger = sim.perf_ledger().expect("recorder is armed");
+    (samples, ledger)
 }
 
-fn record(name: &str, samples: &[f64]) -> BenchRecord {
+fn record(name: &str, samples: &[f64], host: &str) -> BenchRecord {
     let mut sorted = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
@@ -77,6 +95,8 @@ fn record(name: &str, samples: &[f64]) -> BenchRecord {
         max_s: sorted[n - 1],
         throughput: (SIDE * SIDE * SIDE) as f64,
         throughput_unit: "elements".to_string(),
+        tolerance: Some(ABSOLUTE_TOLERANCE),
+        host: Some(host.to_string()),
     }
 }
 
@@ -94,8 +114,11 @@ fn main() {
         rayon::current_num_threads()
     );
 
-    let serial = record("step_exec/serial", &time_mode(ExecMode::Serial));
-    let parallel = record("step_exec/parallel", &time_mode(ExecMode::Parallel));
+    let host = HostFingerprint::detect(threads as u64).id();
+    let (serial_samples, _serial_ledger) = time_mode(ExecMode::Serial);
+    let (parallel_samples, parallel_ledger) = time_mode(ExecMode::Parallel);
+    let serial = record("step_exec/serial", &serial_samples, &host);
+    let parallel = record("step_exec/parallel", &parallel_samples, &host);
     let ratio = parallel.median_s / serial.median_s;
     let ratio_rec = BenchRecord {
         name: "step_exec/parallel_over_serial".to_string(),
@@ -104,8 +127,10 @@ fn main() {
         mean_s: ratio,
         min_s: ratio,
         max_s: ratio,
-        throughput: 0.0,
-        throughput_unit: String::new(),
+        throughput: 1.0,
+        throughput_unit: "ratio".to_string(),
+        tolerance: None,
+        host: None,
     };
     println!(
         "serial {:.4} s/step, parallel {:.4} s/step, ratio {ratio:.3} \
@@ -117,6 +142,14 @@ fn main() {
 
     let mut report = BenchReport::new();
     report.records = vec![serial, parallel, ratio_rec];
+    // Per-kernel absolute throughput records from the parallel run's
+    // ledger (host-stamped; diffs against a foreign baseline skip them).
+    let mut kernel_report = parallel_ledger.to_bench_report("step_exec/kernel");
+    for r in &mut kernel_report.records {
+        r.tolerance = Some(ABSOLUTE_TOLERANCE);
+    }
+    report.records.extend(kernel_report.records);
+    let n = report.records.len();
     report.write_file(std::path::Path::new(&path)).expect("failed to write bench JSON");
-    println!("wrote {path} (3 records)");
+    println!("wrote {path} ({n} records)");
 }

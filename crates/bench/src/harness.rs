@@ -165,10 +165,13 @@ impl Bencher {
         let median = if sorted.is_empty() { 0.0 } else { sorted[sorted.len() / 2] };
         let mean =
             if sorted.is_empty() { 0.0 } else { sorted.iter().sum::<f64>() / sorted.len() as f64 };
+        // A bench that declares no throughput still gets a real unit
+        // (one iteration per iteration): empty units are placeholders
+        // and the bench-diff comparator rejects them.
         let (tp, unit) = match throughput {
             Some(Throughput::Elements(n)) => (n as f64, "elements"),
             Some(Throughput::Bytes(n)) => (n as f64, "bytes"),
-            None => (0.0, ""),
+            None => (1.0, "iters"),
         };
         BenchRecord {
             name: name.to_string(),
@@ -179,6 +182,8 @@ impl Bencher {
             max_s: sorted.last().copied().unwrap_or(0.0),
             throughput: tp,
             throughput_unit: unit.to_string(),
+            tolerance: None,
+            host: None,
         }
     }
 

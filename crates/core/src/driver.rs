@@ -22,7 +22,10 @@
 
 use crate::error::{ConfigError, KilledError, RestoreError, RunError, UnstableError};
 use crate::exec::{self, ExecMode};
-use crate::flops::FlopCounter;
+use crate::flops::{
+    FlopCounter, DRPRECPC_APP_FLOPS, DRPRECPC_CALC_FLOPS, DSTRQC_FLOPS, DVELC_FLOPS, FSTR_FLOPS,
+    SPONGE_FLOPS,
+};
 use crate::health::HealthMonitor;
 use crate::kernels;
 use crate::state::{SolverState, StateOptions};
@@ -44,6 +47,9 @@ use sw_io::{PgvRecorder, SeismogramRecorder, SnapshotRecorder, Station};
 use sw_model::VelocityModel;
 use sw_parallel::{run_ranks, FaultVote, HaloExchanger, RankGrid, StopBarrier};
 use sw_source::{PointSource, SourcePartitioner};
+use sw_telemetry::perf::{
+    HostFingerprint, PerfKernel, PerfLedger, PerfRecorder, PerfScope, PERF_SCHEMA_VERSION,
+};
 use sw_telemetry::Telemetry;
 
 /// The nine wavefields the compression scheme stores 16-bit.
@@ -118,6 +124,11 @@ pub struct SimConfig {
     /// instead of starting fresh (honoured by [`run_multirank`]; the
     /// single-rank path uses [`Simulation::resume`] directly).
     pub resume: bool,
+    /// Per-kernel performance recorder (`None` — the default — costs one
+    /// branch per instrumentation site, same pattern as `fault`). When
+    /// armed, every production-step kernel accumulates wall time and
+    /// cell/flop/DMA-byte counts; freeze with [`Simulation::perf_ledger`].
+    pub perf: Option<Arc<PerfRecorder>>,
 }
 
 impl SimConfig {
@@ -148,6 +159,7 @@ impl SimConfig {
             store_commit: true,
             fault: None,
             resume: false,
+            perf: None,
         }
     }
 
@@ -260,6 +272,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_resume(mut self, resume: bool) -> Self {
         self.resume = resume;
+        self
+    }
+
+    /// Arm a per-kernel performance recorder (shared across ranks in a
+    /// multirank run).
+    #[must_use]
+    pub fn with_perf(mut self, perf: Arc<PerfRecorder>) -> Self {
+        self.perf = Some(perf);
         self
     }
 
@@ -385,6 +405,146 @@ impl ArchCharges {
             &[("rounds", self.regcomm_rounds as f64), ("cycles", cycles as f64)],
         );
     }
+}
+
+/// Flops the fused stress kernel spends on the coarse-grained
+/// attenuation terms, per point (see `FlopCounter::charge_step`). The
+/// ledger splits the fused `dstrqc` charge by this share so the stress
+/// and attenuation rows stay additive.
+const ATTENUATION_FLOPS: f64 = 36.0;
+
+/// Modeled DMA bytes per point for the sponge pass (9 wavefields read +
+/// written, 4 bytes each) — the §6.4 profiles do not cover it.
+const SPONGE_BYTES_PER_POINT: f64 = 72.0;
+
+/// Modeled DMA bytes per point for the §6.5 compression round trip:
+/// 9 wavefields × (encode 4r+2w, decode 2r+4w).
+const COMPRESSION_BYTES_PER_POINT: f64 = 108.0;
+
+/// Static per-step cell/flop/DMA-byte charges for the perf ledger,
+/// precomputed at construction so the per-step cost is a handful of
+/// slot adds. Flop counts mirror [`crate::flops`]; DMA bytes mirror the
+/// §6.4 kernel profiles (same convention as [`ArchCharges`], including
+/// the compression byte-ratio).
+struct PerfKernelCharge {
+    name: &'static str,
+    cells: u64,
+    flops: f64,
+    bytes: u64,
+}
+
+struct PerfCharges {
+    kernels: Vec<PerfKernelCharge>,
+}
+
+impl PerfCharges {
+    fn model(dims: Dims3, nonlinear: bool, attenuation: bool, compression: bool) -> Self {
+        let model = KernelPerfModel::paper();
+        let ratio = if compression { 0.5 } else { 1.0 };
+        let n = dims.len() as f64;
+        let cells = dims.len() as u64;
+        let surface = (dims.nx * dims.ny) as u64;
+        let bytes = |name: &str| {
+            model.kernel(name).map_or(0.0, |k| n * k.coverage * k.bytes_per_point() * ratio)
+        };
+        let mut kernels = vec![
+            PerfKernelCharge {
+                name: "fstr",
+                cells: surface,
+                flops: FSTR_FLOPS * surface as f64,
+                bytes: bytes("fstr") as u64,
+            },
+            PerfKernelCharge {
+                name: "dvelc",
+                cells,
+                flops: DVELC_FLOPS * n,
+                bytes: (bytes("dvelcx") + bytes("dvelcy")) as u64,
+            },
+        ];
+        // The stress update and the attenuation terms run fused in one
+        // kernel; split the charge by flop share so the rows stay
+        // additive (their sum equals the fused kernel's total).
+        let stress_flops = DSTRQC_FLOPS - ATTENUATION_FLOPS;
+        let att_share = if attenuation { ATTENUATION_FLOPS / DSTRQC_FLOPS } else { 0.0 };
+        let dstrqc_bytes = bytes("dstrqc");
+        kernels.push(PerfKernelCharge {
+            name: "dstrqc",
+            cells,
+            flops: stress_flops * n,
+            bytes: (dstrqc_bytes * (1.0 - att_share)) as u64,
+        });
+        if attenuation {
+            kernels.push(PerfKernelCharge {
+                name: "attenuation",
+                cells,
+                flops: ATTENUATION_FLOPS * n,
+                bytes: (dstrqc_bytes * att_share) as u64,
+            });
+        }
+        if nonlinear {
+            kernels.push(PerfKernelCharge {
+                name: "drprecpc",
+                cells,
+                flops: (DRPRECPC_CALC_FLOPS + DRPRECPC_APP_FLOPS) * n,
+                bytes: (bytes("drprecpc_calc") + bytes("drprecpc_app")) as u64,
+            });
+        }
+        kernels.push(PerfKernelCharge {
+            name: "sponge",
+            cells,
+            flops: SPONGE_FLOPS * n,
+            bytes: (n * SPONGE_BYTES_PER_POINT * ratio) as u64,
+        });
+        if compression {
+            kernels.push(PerfKernelCharge {
+                name: "compression",
+                cells,
+                flops: 0.0,
+                bytes: (n * COMPRESSION_BYTES_PER_POINT) as u64,
+            });
+        }
+        Self { kernels }
+    }
+}
+
+/// The roofline model's predicted SW26010 seconds per step, per ledger
+/// kernel. Stencil kernels come from the §6.4 per-point model; the
+/// sponge and compression passes get a memory-bandwidth floor; halo
+/// exchange and checkpoint I/O are unmodeled (fraction 0 in the ledger).
+fn modeled_step_seconds(
+    dims: Dims3,
+    nonlinear: bool,
+    attenuation: bool,
+    compression: bool,
+) -> Vec<(&'static str, f64)> {
+    let model = KernelPerfModel::paper();
+    let level = if compression { OptLevel::Cmpr } else { OptLevel::Mem };
+    let ratio = if compression { 0.5 } else { 1.0 };
+    let n = dims.len() as f64;
+    let bw = CoreGroupSpec::sw26010().mem_bandwidth;
+    let sec = |name: &str| {
+        model.kernel(name).map_or(0.0, |k| n * k.coverage * model.seconds_per_point(k, level))
+    };
+    let mut out = vec![("fstr", sec("fstr")), ("dvelc", sec("dvelcx") + sec("dvelcy"))];
+    let dstrqc = sec("dstrqc");
+    let att_share = if attenuation { ATTENUATION_FLOPS / DSTRQC_FLOPS } else { 0.0 };
+    out.push(("dstrqc", dstrqc * (1.0 - att_share)));
+    if attenuation {
+        out.push(("attenuation", dstrqc * att_share));
+    }
+    if nonlinear {
+        out.push(("drprecpc", sec("drprecpc_calc") + sec("drprecpc_app")));
+    }
+    out.push(("sponge", n * SPONGE_BYTES_PER_POINT * ratio / bw));
+    if compression {
+        out.push(("compression", n * COMPRESSION_BYTES_PER_POINT / bw));
+    }
+    out
+}
+
+/// Open a perf scope when the recorder is armed (one branch when not).
+fn pscope<'a>(perf: &'a Option<Arc<PerfRecorder>>, name: &'static str) -> Option<PerfScope<'a>> {
+    perf.as_deref().map(|p| p.scope(name))
 }
 
 /// One compressed wavefield's codec state across steps.
@@ -526,6 +686,10 @@ pub struct Simulation {
     telemetry: Telemetry,
     arch: Option<ArchCharges>,
     health: Option<HealthMonitor>,
+    /// Per-kernel performance recorder (shared across ranks) and its
+    /// precomputed per-step charges; both `None` when perf is off.
+    perf: Option<Arc<PerfRecorder>>,
+    perf_charges: Option<PerfCharges>,
 }
 
 /// Index a wavefield by its `COMPRESSED_FIELDS` position.
@@ -687,6 +851,15 @@ impl Simulation {
             telemetry.gauge("arch.max_dma_block_bytes", choice.max_dma_block as f64);
             ArchCharges::model(d, config.options.nonlinear, config.compression)
         });
+        let perf = config.perf.clone();
+        let perf_charges = perf.is_some().then(|| {
+            PerfCharges::model(
+                d,
+                config.options.nonlinear,
+                config.options.attenuation,
+                config.compression,
+            )
+        });
         Self {
             state,
             sources: config.sources.clone(),
@@ -713,6 +886,8 @@ impl Simulation {
                 .health
                 .clone()
                 .map(|h| HealthMonitor::new(h, config.rank, config.shared_health_log.clone())),
+            perf,
+            perf_charges,
         }
     }
 
@@ -733,6 +908,62 @@ impl Simulation {
         self.telemetry.report()
     }
 
+    /// Freeze the per-kernel performance ledger (when a recorder is
+    /// armed; `None` otherwise), joining the measured wall/cell/flop/
+    /// byte counts with the §6.4 roofline model's predicted seconds.
+    pub fn perf_ledger(&self) -> Option<PerfLedger> {
+        let rec = self.perf.as_deref()?;
+        let d = self.state.dims;
+        let nonlinear = self.state.options.nonlinear;
+        let attenuation = self.state.options.attenuation;
+        let compressed = self.compression.is_some();
+        let steps = rec.steps().max(self.step_count);
+        let mut counts = rec.counts();
+        // The fused stress kernel's wall covers both the stress update
+        // and the attenuation terms; split it by flop share so both
+        // rows carry real timings.
+        if attenuation {
+            let di = counts.iter().position(|c| c.name == "dstrqc");
+            let ai = counts.iter().position(|c| c.name == "attenuation");
+            if let (Some(di), Some(ai)) = (di, ai) {
+                let share = ATTENUATION_FLOPS / DSTRQC_FLOPS;
+                let wall = counts[di].wall_s;
+                counts[di].wall_s = wall * (1.0 - share);
+                counts[ai].wall_s = wall * share;
+                counts[ai].calls = counts[di].calls;
+            }
+        }
+        let modeled = modeled_step_seconds(d, nonlinear, attenuation, compressed);
+        let per_step =
+            |name: &str| modeled.iter().find(|(k, _)| *k == name).map_or(0.0, |(_, s)| *s);
+        let kernels = counts
+            .iter()
+            .map(|c| {
+                PerfKernel::from_counts(
+                    &c.name,
+                    c.wall_s,
+                    c.calls,
+                    c.cells,
+                    c.flops,
+                    c.dma_bytes,
+                    per_step(&c.name) * steps as f64,
+                )
+            })
+            .collect();
+        let (p50, p95) = rec.step_percentiles();
+        let threads = if self.parallel { rayon::current_num_threads() } else { 1 };
+        Some(PerfLedger {
+            schema_version: PERF_SCHEMA_VERSION,
+            host: HostFingerprint::detect(threads as u64),
+            steps,
+            grid_cells: d.len() as u64,
+            wall_s: rec.total_step_wall(),
+            step_p50_s: p50,
+            step_p95_s: p95,
+            kernels,
+        })
+    }
+
     /// The predicted-vs-simulated per-kernel attribution for this run
     /// (see [`crate::roofline`]), joining whatever the telemetry handle
     /// has recorded so far.
@@ -748,14 +979,18 @@ impl Simulation {
     /// Advance one step (single-rank path: no halo exchange needed).
     pub fn step(&mut self) {
         let tel = self.telemetry.clone();
-        let start = tel.is_enabled().then(Instant::now);
+        let start = (tel.is_enabled() || self.perf.is_some()).then(Instant::now);
         {
             let _step = tel.phase("step");
             self.step_interior();
             self.finish_step();
         }
         if let Some(start) = start {
-            tel.sample("step.wall_s", start.elapsed().as_secs_f64());
+            let wall = start.elapsed().as_secs_f64();
+            tel.sample("step.wall_s", wall);
+            if let Some(p) = self.perf.as_deref() {
+                p.note_step(self.step_count, wall);
+            }
         }
     }
 
@@ -774,6 +1009,7 @@ impl Simulation {
         let s = &mut self.state;
         {
             let _p = tel.phase("free_surface");
+            let _k = pscope(&self.perf, "fstr");
             if self.parallel {
                 kernels::fstr_par(s);
             } else {
@@ -782,6 +1018,7 @@ impl Simulation {
         }
         {
             let _p = tel.phase("velocity");
+            let _k = pscope(&self.perf, "dvelc");
             if self.parallel {
                 kernels::dvelc_par(s);
             } else {
@@ -800,6 +1037,7 @@ impl Simulation {
         let s = &mut self.state;
         {
             let _p = tel.phase("free_surface");
+            let _k = pscope(&self.perf, "fstr");
             if self.parallel {
                 kernels::fstr_par(s);
             } else {
@@ -808,6 +1046,7 @@ impl Simulation {
         }
         {
             let _p = tel.phase("stress");
+            let _k = pscope(&self.perf, "dstrqc");
             if self.parallel {
                 kernels::dstrqc_par(s);
             } else {
@@ -820,6 +1059,7 @@ impl Simulation {
         }
         if s.options.nonlinear {
             let _p = tel.phase("plasticity");
+            let _k = pscope(&self.perf, "drprecpc");
             if self.parallel {
                 kernels::drprecpc_calc_par(s);
                 kernels::drprecpc_app_par(s);
@@ -830,6 +1070,7 @@ impl Simulation {
         }
         {
             let _p = tel.phase("sponge");
+            let _k = pscope(&self.perf, "sponge");
             if self.parallel {
                 kernels::apply_sponge_par(s);
             } else {
@@ -851,6 +1092,7 @@ impl Simulation {
         let parallel = self.parallel;
         {
             let _p = tel.phase("compression");
+            let _k = pscope(&self.perf, "compression");
             // Pass 1: resolve this step's codec per field (the
             // self-calibration scans read the fields immutably).
             let (mut rebuilds, mut reuses) = (0u64, 0u64);
@@ -987,6 +1229,11 @@ impl Simulation {
         if let Some(arch) = &self.arch {
             arch.charge(&tel);
         }
+        if let (Some(p), Some(charges)) = (self.perf.as_deref(), &self.perf_charges) {
+            for k in &charges.kernels {
+                p.charge(k.name, k.cells, k.flops, k.bytes);
+            }
+        }
         self.time += s.dt;
         self.step_count += 1;
         if self.next_snapshot < self.snapshot_times.len()
@@ -997,19 +1244,32 @@ impl Simulation {
             self.next_snapshot += 1;
         }
         if self.restart.due(self.step_count) {
-            let _p = tel.phase("checkpoint");
-            let ckpt = self.make_checkpoint();
-            if tel.is_enabled() {
-                let bytes: usize = ckpt.fields.iter().map(|(_, f)| f.raw().len() * 4).sum();
-                tel.add("io.checkpoint_bytes", bytes as u64);
-                tel.add("io.checkpoints", 1);
-                tel.event(
-                    "io.checkpoint",
-                    &[("bytes", bytes as f64), ("step", self.step_count as f64)],
-                );
+            // A scoped guard would hold a borrow across the &mut self
+            // calls below, so the checkpoint wall is timed by hand.
+            let t0 = self.perf.is_some().then(Instant::now);
+            {
+                let _p = tel.phase("checkpoint");
+                let ckpt = self.make_checkpoint();
+                if tel.is_enabled() || self.perf.is_some() {
+                    let bytes: usize = ckpt.fields.iter().map(|(_, f)| f.raw().len() * 4).sum();
+                    if tel.is_enabled() {
+                        tel.add("io.checkpoint_bytes", bytes as u64);
+                        tel.add("io.checkpoints", 1);
+                        tel.event(
+                            "io.checkpoint",
+                            &[("bytes", bytes as f64), ("step", self.step_count as f64)],
+                        );
+                    }
+                    if let Some(p) = self.perf.as_deref() {
+                        p.charge("checkpoint", self.state.dims.len() as u64, 0.0, bytes as u64);
+                    }
+                }
+                self.persist_checkpoint(&ckpt, &tel);
+                self.checkpoints.push(ckpt);
             }
-            self.persist_checkpoint(&ckpt, &tel);
-            self.checkpoints.push(ckpt);
+            if let (Some(p), Some(t0)) = (self.perf.as_deref(), t0) {
+                p.add_wall("checkpoint", t0.elapsed().as_secs_f64());
+            }
         }
         if let Some(monitor) = &mut self.health {
             monitor.check(&self.state, self.step_count, self.time, self.parallel, &tel);
@@ -1445,12 +1705,26 @@ pub fn run_multirank(
             }
         }
         let tel = telemetry.clone();
+        // Modeled halo traffic per step for the perf ledger: this rank
+        // sends its width-HALO_WIDTH boundary planes of all 9 wavefields
+        // to each neighbour (4 bytes per float), matching the
+        // exchanger's own byte accounting.
+        let halo_model = sim.perf.is_some().then(|| {
+            let hw = sw_grid::HALO_WIDTH as f64;
+            let x_neighbors = ((px > 0) as usize + (px + 1 < grid.mx) as usize) as f64;
+            let y_neighbors = ((py > 0) as usize + (py + 1 < grid.my) as usize) as f64;
+            let planes = x_neighbors * (local.ny * local.nz) as f64
+                + y_neighbors * (local.nx * local.nz) as f64;
+            let floats = 9.0 * hw * planes;
+            ((hw * planes) as u64, (floats * 4.0) as u64)
+        });
         for _ in start_step..config.steps {
-            let start = tel.is_enabled().then(Instant::now);
+            let start = (tel.is_enabled() || sim.perf.is_some()).then(Instant::now);
             let _step = tel.phase("step");
             // stress halos feed the velocity stencils
             {
                 let _h = tel.phase("halo_stress");
+                let _k = pscope(&sim.perf, "halo");
                 let s = &mut sim.state;
                 exchanger.exchange(
                     comm,
@@ -1461,14 +1735,26 @@ pub fn run_multirank(
             // velocity halos feed the stress stencils
             {
                 let _h = tel.phase("halo_velocity");
+                let _k = pscope(&sim.perf, "halo");
                 let s = &mut sim.state;
                 exchanger.exchange(comm, &mut [&mut s.u, &mut s.v, &mut s.w]);
             }
             sim.stress_half();
             sim.finish_step();
+            if let (Some(p), Some((cells, bytes))) = (sim.perf.as_deref(), halo_model) {
+                p.charge("halo", cells, 0.0, bytes);
+            }
             drop(_step);
             if let Some(start) = start {
-                tel.sample("step.wall_s", start.elapsed().as_secs_f64());
+                let wall = start.elapsed().as_secs_f64();
+                tel.sample("step.wall_s", wall);
+                // One rank reports step walls (the counts are shared;
+                // duplicate samples would skew the percentiles).
+                if comm.rank == 0 {
+                    if let Some(p) = sim.perf.as_deref() {
+                        p.note_step(sim.step_count, wall);
+                    }
+                }
             }
             // Rank-death vote, BEFORE the commit barrier: a step on
             // which any rank dies must not commit its generation — the

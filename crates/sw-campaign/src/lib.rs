@@ -18,7 +18,13 @@
 //!   rewrites) records per-scenario state so `--resume` skips completed
 //!   scenarios and resumes the one a crash interrupted;
 //! * **Streaming results** — a JSONL [`log`] gets an event per scenario
-//!   completion plus a final summary, also written to `summary.json`.
+//!   completion, a `heartbeat` progress line after each one (cumulative
+//!   states, in-flight/pending counts, running-mean ETA), and a final
+//!   summary, also written to `summary.json`;
+//! * **Performance rollup** — runners deposit per-scenario
+//!   [`PerfLedger`]s in a [`PerfRollup`]; `summary.json` carries the
+//!   aggregate per-kernel totals, per-scenario step-time percentiles and
+//!   the artifact-cache hit rate.
 //!
 //! The engine is solver-agnostic: scenarios are opaque JSON values, and
 //! the embedding crate supplies a runner closure that lowers and runs
@@ -40,9 +46,10 @@ pub use manifest::{
 use serde::{Serialize, Value};
 use serde_json::json;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+use sw_telemetry::perf::{PerfLedger, KERNEL_ORDER};
 use sw_telemetry::Telemetry;
 
 /// Campaign file schema version this build reads.
@@ -288,6 +295,37 @@ pub enum Outcome {
     },
 }
 
+/// Per-scenario performance ledgers accumulated campaign-wide.
+///
+/// The runner closure deposits each scenario's [`PerfLedger`] here via
+/// [`PerfRollup::record`]; the engine folds the collection into the
+/// `perf` block of `summary.json` (aggregate per-kernel totals plus
+/// per-scenario step-time percentiles).
+#[derive(Debug, Default)]
+pub struct PerfRollup {
+    ledgers: Mutex<Vec<(String, PerfLedger)>>,
+}
+
+impl PerfRollup {
+    /// An empty rollup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit one scenario's ledger under its id.
+    pub fn record(&self, id: &str, ledger: PerfLedger) {
+        self.ledgers.lock().unwrap_or_else(|p| p.into_inner()).push((id.to_string(), ledger));
+    }
+
+    /// Snapshot of the deposited ledgers, sorted by scenario id so the
+    /// summary is deterministic under concurrent completion order.
+    pub fn ledgers(&self) -> Vec<(String, PerfLedger)> {
+        let mut out = self.ledgers.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
 /// One scenario's slot handed to the runner closure.
 pub struct Task<'a> {
     /// Queue position.
@@ -306,6 +344,9 @@ pub struct Task<'a> {
     pub cache: &'a ArtifactCache,
     /// The campaign-wide telemetry handle.
     pub telemetry: &'a Telemetry,
+    /// The campaign-wide performance rollup; deposit the scenario's
+    /// [`PerfLedger`] here so `summary.json` can aggregate it.
+    pub perf: &'a PerfRollup,
 }
 
 /// Engine options (the CLI flags, minus the campaign file itself).
@@ -365,6 +406,9 @@ pub struct CampaignReport {
     pub aborted: Option<CampaignError>,
     /// Per-scenario standing, in queue order.
     pub scenarios: Vec<ScenarioReport>,
+    /// Per-scenario performance ledgers deposited by the runner, sorted
+    /// by scenario id (empty when the runner records none).
+    pub perf: Vec<(String, PerfLedger)>,
 }
 
 impl CampaignReport {
@@ -379,7 +423,9 @@ impl CampaignReport {
             "skipped": self.skipped,
             "artifact_hits": self.artifact_hits,
             "artifact_misses": self.artifact_misses,
+            "artifact_hit_rate": self.artifact_hit_rate(),
             "wall_s": self.wall_s,
+            "perf": self.perf_json(),
             "aborted": match &self.aborted {
                 None => Value::Null,
                 Some(e) => json!({
@@ -394,6 +440,81 @@ impl CampaignReport {
             },
             "scenarios": self.scenarios,
         })
+    }
+
+    /// Fraction of artifact lookups served from the cache (0 when no
+    /// lookups happened).
+    pub fn artifact_hit_rate(&self) -> f64 {
+        let total = self.artifact_hits + self.artifact_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.artifact_hits as f64 / total as f64
+        }
+    }
+
+    /// The `perf` block of `summary.json`: aggregate per-kernel totals
+    /// across every deposited ledger (rates recomputed from the summed
+    /// counts) plus per-scenario step counts and step-time percentiles.
+    fn perf_json(&self) -> Value {
+        // Sum counts per kernel name, then order production kernels as
+        // [`KERNEL_ORDER`] does, with any extras appended by name.
+        let mut totals: Vec<(String, f64, u64, u64, f64, u64)> = Vec::new();
+        for (_, ledger) in &self.perf {
+            for k in &ledger.kernels {
+                match totals.iter_mut().find(|t| t.0 == k.name) {
+                    Some(t) => {
+                        t.1 += k.wall_s;
+                        t.2 += k.calls;
+                        t.3 += k.cells;
+                        t.4 += k.flops;
+                        t.5 += k.dma_bytes;
+                    }
+                    None => totals.push((
+                        k.name.clone(),
+                        k.wall_s,
+                        k.calls,
+                        k.cells,
+                        k.flops,
+                        k.dma_bytes,
+                    )),
+                }
+            }
+        }
+        let rank =
+            |name: &str| KERNEL_ORDER.iter().position(|k| *k == name).unwrap_or(KERNEL_ORDER.len());
+        totals.sort_by(|a, b| rank(&a.0).cmp(&rank(&b.0)).then_with(|| a.0.cmp(&b.0)));
+        let kernels: Vec<Value> = totals
+            .iter()
+            .map(|(name, wall_s, calls, cells, flops, bytes)| {
+                let rate = |x: f64| if *wall_s > 0.0 { x / wall_s } else { 0.0 };
+                json!({
+                    "name": name,
+                    "wall_s": wall_s,
+                    "calls": calls,
+                    "cells": cells,
+                    "flops": flops,
+                    "dma_bytes": bytes,
+                    "cells_per_s": rate(*cells as f64),
+                    "gflops_per_s": rate(*flops) / 1.0e9,
+                    "gb_per_s": rate(*bytes as f64) / 1.0e9,
+                })
+            })
+            .collect();
+        let scenarios: Vec<Value> = self
+            .perf
+            .iter()
+            .map(|(id, l)| {
+                json!({
+                    "id": id,
+                    "steps": l.steps,
+                    "wall_s": l.wall_s,
+                    "step_p50_s": l.step_p50_s,
+                    "step_p95_s": l.step_p95_s,
+                })
+            })
+            .collect();
+        json!({ "kernels": kernels, "scenarios": scenarios })
     }
 }
 
@@ -454,6 +575,52 @@ where
     }));
     let abort: Mutex<Option<CampaignError>> = Mutex::new(None);
     let abort_flag = AtomicBool::new(false);
+    let perf_rollup = PerfRollup::new();
+    // Heartbeat state: scenarios already terminal before this run, plus
+    // live counters updated as this run's scenarios start and finish.
+    let total = spec.scenarios.len();
+    let is_terminal = |s: &ScenarioState| {
+        matches!(s, ScenarioState::Done | ScenarioState::Failed | ScenarioState::Unstable)
+    };
+    let pre_done = prior.iter().filter(|s| **s == ScenarioState::Done).count();
+    let pre_failed = prior.iter().filter(|s| **s == ScenarioState::Failed).count();
+    let pre_unstable = prior.iter().filter(|s| **s == ScenarioState::Unstable).count();
+    let pre_terminal = prior.iter().filter(|s| is_terminal(s)).count();
+    let done_now = AtomicUsize::new(0);
+    let failed_now = AtomicUsize::new(0);
+    let unstable_now = AtomicUsize::new(0);
+    let started = AtomicUsize::new(0);
+    let finished = AtomicUsize::new(0);
+    let finished_wall = Mutex::new(0.0_f64);
+    // One progress line per scenario completion: cumulative states, how
+    // many are in flight/pending, and an ETA from the running mean wall
+    // time of scenarios finished this run.
+    let heartbeat = |state: ScenarioState, wall: f64| {
+        match state {
+            ScenarioState::Done => done_now.fetch_add(1, Ordering::SeqCst),
+            ScenarioState::Failed => failed_now.fetch_add(1, Ordering::SeqCst),
+            ScenarioState::Unstable => unstable_now.fetch_add(1, Ordering::SeqCst),
+            _ => 0,
+        };
+        let fin = finished.fetch_add(1, Ordering::SeqCst) + 1;
+        let mean_wall = {
+            let mut sum = finished_wall.lock().unwrap_or_else(|p| p.into_inner());
+            *sum += wall;
+            *sum / fin as f64
+        };
+        let running = started.load(Ordering::SeqCst).saturating_sub(fin);
+        let remaining = total.saturating_sub(pre_terminal + fin + running);
+        let eta_s = mean_wall * (remaining + running) as f64 / jobs as f64;
+        log.event(&json!({
+            "event": "heartbeat",
+            "done": pre_done + done_now.load(Ordering::SeqCst),
+            "failed": pre_failed + failed_now.load(Ordering::SeqCst),
+            "unstable": pre_unstable + unstable_now.load(Ordering::SeqCst),
+            "running": running,
+            "pending": remaining,
+            "eta_s": eta_s,
+        }));
+    };
     let raise_abort = |err: CampaignError| {
         let mut slot = abort.lock().unwrap_or_else(|p| p.into_inner());
         if slot.is_none() {
@@ -498,6 +665,7 @@ where
             resume: resume_scenario,
             cache: &cache,
             telemetry,
+            perf: &perf_rollup,
         };
         // A scenario whose state cannot be persisted must not run: the
         // manifest is the durable record resume trusts.
@@ -508,6 +676,7 @@ where
             let detail = format!("cannot persist manifest: {e}");
             log.event(&json!({"event": "scenario", "id": id, "state": "failed", "detail": detail}));
             telemetry.add("campaign.scenarios_failed", 1);
+            heartbeat(ScenarioState::Failed, 0.0);
             if fail_fast {
                 raise_abort(CampaignError {
                     scenario: Some(id.to_string()),
@@ -525,6 +694,7 @@ where
             };
         }
         log.event(&json!({"event": "scenario_start", "id": id, "resume": resume_scenario}));
+        started.fetch_add(1, Ordering::SeqCst);
         let ts = Instant::now();
         let outcome = runner(&task);
         let wall = ts.elapsed().as_secs_f64();
@@ -594,6 +764,7 @@ where
             "detail": detail,
             "wall_s": wall,
         }));
+        heartbeat(state, wall);
         ScenarioReport { id: id.to_string(), state, detail, wall_s: wall, skipped: false }
     });
     let wall_s = t0.elapsed().as_secs_f64();
@@ -612,6 +783,7 @@ where
         wall_s,
         aborted: abort.into_inner().unwrap_or_else(|p| p.into_inner()),
         scenarios: reports,
+        perf: perf_rollup.ledgers(),
     };
     let summary = report.summary_json();
     log.event(&json!({
@@ -777,6 +949,63 @@ mod tests {
         let err = run_campaign(&spec(3), &d, &opts, |_| Outcome::Done { detail: String::new() })
             .unwrap_err();
         assert!(err.detail.contains("does not match"), "got: {err}");
+    }
+
+    fn toy_ledger(steps: u64) -> PerfLedger {
+        use sw_telemetry::perf::{HostFingerprint, PerfKernel, PERF_SCHEMA_VERSION};
+        PerfLedger {
+            schema_version: PERF_SCHEMA_VERSION,
+            host: HostFingerprint::detect(1),
+            steps,
+            grid_cells: 1000,
+            wall_s: steps as f64 * 0.01,
+            step_p50_s: 0.01,
+            step_p95_s: 0.012,
+            kernels: vec![PerfKernel::from_counts(
+                "dvelc",
+                steps as f64 * 0.004,
+                steps,
+                steps * 1000,
+                steps as f64 * 76_000.0,
+                steps * 64_000,
+                steps as f64 * 0.002,
+            )],
+        }
+    }
+
+    #[test]
+    fn summary_rolls_up_perf_and_heartbeats() {
+        let d = dir("perf");
+        let report = run_campaign(&spec(3), &d, &CampaignOptions::default(), |task| {
+            task.perf.record(task.id, toy_ledger(10));
+            Outcome::Done { detail: String::new() }
+        })
+        .unwrap();
+        assert_eq!(report.perf.len(), 3);
+        let text = std::fs::read_to_string(d.join(SUMMARY_NAME)).unwrap();
+        let summary: Value = serde_json::from_str(&text).unwrap();
+        let perf = summary.get("perf").expect("summary carries a perf block");
+        let kernels = perf.get("kernels").and_then(Value::as_array).unwrap();
+        assert_eq!(kernels.len(), 1, "three dvelc entries fold into one aggregate");
+        let k = &kernels[0];
+        assert_eq!(k.get("name").and_then(Value::as_str), Some("dvelc"));
+        assert_eq!(k.get("cells").and_then(Value::as_u64), Some(30_000));
+        assert!(k.get("cells_per_s").and_then(Value::as_f64).unwrap() > 0.0);
+        assert_eq!(perf.get("scenarios").and_then(Value::as_array).unwrap().len(), 3);
+        let hit_rate = summary.get("artifact_hit_rate").and_then(Value::as_f64);
+        assert_eq!(hit_rate, Some(0.0), "no artifact lookups in this campaign");
+        // One heartbeat per completion, counting up to done=3 pending=0.
+        let log = std::fs::read_to_string(d.join(LOG_NAME)).unwrap();
+        let beats: Vec<Value> = log
+            .lines()
+            .filter_map(|l| serde_json::from_str(l).ok())
+            .filter(|v: &Value| v.get("event").and_then(Value::as_str) == Some("heartbeat"))
+            .collect();
+        assert_eq!(beats.len(), 3);
+        let last = beats.last().unwrap();
+        assert_eq!(last.get("done").and_then(Value::as_u64), Some(3));
+        assert_eq!(last.get("pending").and_then(Value::as_u64), Some(0));
+        assert!(last.get("eta_s").and_then(Value::as_f64).is_some());
     }
 
     #[test]

@@ -10,7 +10,13 @@
 use serde::{Deserialize, Serialize};
 
 /// Version stamp embedded in every [`BenchReport`].
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 = ratio/throughput records; v2 adds the optional
+/// per-record `tolerance` (overrides the CLI default for that record)
+/// and `host` (a [`crate::perf::HostFingerprint`] id — absolute records
+/// from different hosts are skipped rather than compared). v1 files
+/// still parse: the new fields read as `None`.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Summary of one benchmark: sample statistics over measured wall times.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,11 +34,21 @@ pub struct BenchRecord {
     pub min_s: f64,
     /// Slowest sample, seconds per iteration.
     pub max_s: f64,
-    /// Declared throughput denominator per iteration (elements or bytes;
-    /// 0 when the bench declared none).
+    /// Declared throughput denominator per iteration (elements, cells,
+    /// bytes, or 1.0 with unit `"iters"` when the bench declared none).
     pub throughput: f64,
-    /// Unit of `throughput`: `"elements"`, `"bytes"`, or `""`.
+    /// Unit of `throughput`, e.g. `"elements"`, `"cells"`, `"bytes"`,
+    /// `"ratio"`, `"iters"`. An empty unit is a placeholder and makes
+    /// [`compare`] fail — real records always declare what they measure.
     pub throughput_unit: String,
+    /// Per-record tolerance override (fractional slowdown allowed);
+    /// `None` uses the comparison-wide tolerance. Schema v2.
+    pub tolerance: Option<f64>,
+    /// Host fingerprint id for absolute (machine-dependent) records;
+    /// `None` marks a machine-independent record (e.g. a ratio). Two
+    /// records with differing fingerprints are skipped, not compared.
+    /// Schema v2.
+    pub host: Option<String>,
 }
 
 /// A full bench run: schema stamp + one record per benchmark.
@@ -89,6 +105,9 @@ pub struct BenchDiffEntry {
     /// a zero old median with a nonzero new one flags as regressed with
     /// the raw ratio of the values clamped into finite range).
     pub ratio: f64,
+    /// The tolerance this record was judged against (the old record's
+    /// own `tolerance` when set, else the comparison-wide one).
+    pub tolerance: f64,
     /// True when `ratio > 1 + tolerance`.
     pub regressed: bool,
 }
@@ -106,12 +125,24 @@ pub struct BenchComparison {
     pub missing: Vec<String>,
     /// Benchmarks only in the new report (informational).
     pub added: Vec<String>,
+    /// Unit problems: empty `throughput_unit` on any record (placeholder
+    /// data must not gate anything) or an old/new unit mismatch (the two
+    /// records measure different things). Any entry fails the comparison
+    /// and the CLI treats it as a usage error (exit 2).
+    pub unit_errors: Vec<String>,
+    /// Benchmarks skipped because both records carry a host fingerprint
+    /// and the fingerprints differ (informational: absolute numbers from
+    /// different machines are not comparable).
+    pub host_skipped: Vec<String>,
 }
 
 impl BenchComparison {
-    /// True when nothing regressed and nothing went missing.
+    /// True when nothing regressed, nothing went missing, and no record
+    /// had a unit problem.
     pub fn passed(&self) -> bool {
-        self.missing.is_empty() && self.entries.iter().all(|e| !e.regressed)
+        self.missing.is_empty()
+            && self.unit_errors.is_empty()
+            && self.entries.iter().all(|e| !e.regressed)
     }
 
     /// Human-readable verdict table.
@@ -137,13 +168,22 @@ impl BenchComparison {
         for name in &self.added {
             out.push_str(&format!("{name:<40} new benchmark (no baseline)\n"));
         }
+        for name in &self.host_skipped {
+            out.push_str(&format!("{name:<40} host differs — skipped\n"));
+        }
+        for err in &self.unit_errors {
+            out.push_str(&format!("UNIT ERROR: {err}\n"));
+        }
         let verdict = if self.passed() { "PASS" } else { "FAIL" };
         out.push_str(&format!(
-            "{} ({} compared, {} regressed, {} missing, tolerance {:.0}%)\n",
+            "{} ({} compared, {} regressed, {} missing, {} skipped, {} unit errors, \
+             tolerance {:.0}%)\n",
             verdict,
             self.entries.len(),
             self.entries.iter().filter(|e| e.regressed).count(),
             self.missing.len(),
+            self.host_skipped.len(),
+            self.unit_errors.len(),
             self.tolerance * 100.0
         ));
         out
@@ -163,15 +203,51 @@ fn format_seconds(s: f64) -> String {
 }
 
 /// Compare two bench reports: every benchmark in `old` must still exist
-/// in `new` with a median no more than `tolerance` slower.
+/// in `new` with a median no more than `tolerance` slower (a record's
+/// own `tolerance` field, when set, overrides the default for it).
+///
+/// Records with an empty `throughput_unit` on either side, or with
+/// mismatched units between old and new, are unit errors — they fail
+/// the comparison outright. Records whose host fingerprints both exist
+/// and differ are skipped (absolute numbers from different machines).
 pub fn compare(old: &BenchReport, new: &BenchReport, tolerance: f64) -> BenchComparison {
     let tolerance = tolerance.max(0.0);
     let mut entries = Vec::new();
     let mut missing = Vec::new();
+    let mut unit_errors = Vec::new();
+    let mut host_skipped = Vec::new();
+    for (side, report) in [("old", old), ("new", new)] {
+        for r in &report.records {
+            if r.throughput_unit.is_empty() {
+                unit_errors.push(format!(
+                    "{side} record `{}`: empty throughput_unit (placeholder throughput \
+                     is not allowed; declare a real unit, e.g. `cells`)",
+                    r.name
+                ));
+            }
+        }
+    }
     for o in &old.records {
         match new.record(&o.name) {
             None => missing.push(o.name.clone()),
             Some(n) => {
+                if !o.throughput_unit.is_empty()
+                    && !n.throughput_unit.is_empty()
+                    && o.throughput_unit != n.throughput_unit
+                {
+                    unit_errors.push(format!(
+                        "record `{}`: unit mismatch (old `{}` vs new `{}`) — \
+                         the records measure different things",
+                        o.name, o.throughput_unit, n.throughput_unit
+                    ));
+                    continue;
+                }
+                if let (Some(oh), Some(nh)) = (&o.host, &n.host) {
+                    if oh != nh {
+                        host_skipped.push(o.name.clone());
+                        continue;
+                    }
+                }
                 let ratio = if o.median_s > 0.0 {
                     n.median_s / o.median_s
                 } else if n.median_s == 0.0 {
@@ -181,12 +257,14 @@ pub fn compare(old: &BenchReport, new: &BenchReport, tolerance: f64) -> BenchCom
                     // not: flag it, with a finite stand-in ratio.
                     f64::MAX
                 };
+                let tol = o.tolerance.unwrap_or(tolerance).max(0.0);
                 entries.push(BenchDiffEntry {
                     name: o.name.clone(),
                     old_median_s: o.median_s,
                     new_median_s: n.median_s,
                     ratio,
-                    regressed: ratio > 1.0 + tolerance,
+                    tolerance: tol,
+                    regressed: ratio > 1.0 + tol,
                 });
             }
         }
@@ -197,7 +275,7 @@ pub fn compare(old: &BenchReport, new: &BenchReport, tolerance: f64) -> BenchCom
         .filter(|n| old.record(&n.name).is_none())
         .map(|n| n.name.clone())
         .collect();
-    BenchComparison { tolerance, entries, missing, added }
+    BenchComparison { tolerance, entries, missing, added, unit_errors, host_skipped }
 }
 
 #[cfg(test)]
@@ -214,6 +292,8 @@ mod tests {
             max_s: median_s * 1.1,
             throughput: 4096.0,
             throughput_unit: "elements".to_string(),
+            tolerance: None,
+            host: None,
         }
     }
 
@@ -266,6 +346,74 @@ mod tests {
         assert!(same.passed(), "0 vs 0 is not a regression");
         let new = report(vec![record("z", 1e-6)]);
         assert!(!compare(&old, &new, 0.1).passed());
+    }
+
+    #[test]
+    fn empty_unit_is_a_unit_error() {
+        let mut placeholder = record("exec/ratio", 0.6);
+        placeholder.throughput = 0.0;
+        placeholder.throughput_unit = String::new();
+        let old = report(vec![placeholder.clone()]);
+        let new = report(vec![placeholder]);
+        let cmp = compare(&old, &new, 0.1);
+        assert!(!cmp.passed(), "empty-unit placeholders must not gate anything");
+        assert_eq!(cmp.unit_errors.len(), 2, "flagged on both sides");
+        assert!(cmp.text_table().contains("UNIT ERROR"));
+    }
+
+    #[test]
+    fn unit_mismatch_is_a_unit_error() {
+        let old = report(vec![record("a", 1e-3)]);
+        let mut changed = record("a", 1e-3);
+        changed.throughput_unit = "bytes".to_string();
+        let new = report(vec![changed]);
+        let cmp = compare(&old, &new, 0.1);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.unit_errors.len(), 1);
+        assert!(cmp.unit_errors[0].contains("unit mismatch"));
+        assert!(cmp.entries.is_empty(), "mismatched records are not compared");
+    }
+
+    #[test]
+    fn per_record_tolerance_overrides_default() {
+        let mut lax = record("a", 1e-3);
+        lax.tolerance = Some(10.0); // allow 10x
+        let old = report(vec![lax]);
+        let new = report(vec![record("a", 5e-3)]);
+        let cmp = compare(&old, &new, 0.0);
+        assert!(cmp.passed(), "5x slowdown is inside the record's own 10x tolerance");
+        assert_eq!(cmp.entries[0].tolerance, 10.0);
+        let strict = report(vec![record("a", 1e-3)]);
+        assert!(!compare(&strict, &new, 0.0).passed(), "without the override it regresses");
+    }
+
+    #[test]
+    fn differing_hosts_skip_instead_of_compare() {
+        let mut o = record("abs/step", 1e-3);
+        o.host = Some("hostA".to_string());
+        let mut n = record("abs/step", 9e-3);
+        n.host = Some("hostB".to_string());
+        let cmp = compare(&report(vec![o.clone()]), &report(vec![n.clone()]), 0.0);
+        assert!(cmp.passed(), "cross-host absolutes are informational, not gates");
+        assert_eq!(cmp.host_skipped, vec!["abs/step".to_string()]);
+        n.host = Some("hostA".to_string());
+        let cmp = compare(&report(vec![o]), &report(vec![n]), 0.0);
+        assert!(!cmp.passed(), "same host compares for real");
+    }
+
+    #[test]
+    fn v1_reports_without_new_fields_still_parse() {
+        let v1 = r#"{
+            "schema_version": 1,
+            "records": [{
+                "name": "a", "samples": 3, "median_s": 0.001, "mean_s": 0.001,
+                "min_s": 0.0009, "max_s": 0.0011,
+                "throughput": 10.0, "throughput_unit": "elements"
+            }]
+        }"#;
+        let r = BenchReport::from_json(v1).unwrap();
+        assert_eq!(r.records[0].tolerance, None);
+        assert_eq!(r.records[0].host, None);
     }
 
     #[test]

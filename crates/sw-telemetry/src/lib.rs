@@ -38,6 +38,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 pub mod bench;
+pub mod perf;
 
 pub use sw_trace as trace;
 pub use sw_trace::{TraceSpan, Tracer};

@@ -14,6 +14,13 @@
 //!   resumable (`--resume`) after a crash;
 //! * `bench-diff <old.json> <new.json>` — the perf-regression gate over
 //!   two `BENCH_<name>.json` files;
+//! * `perf-report <perf.json>` — render a perf ledger (from `run
+//!   --perf` or a campaign's per-scenario `perf.json`) as a per-kernel
+//!   table, flagging kernels below `--min-fraction` of their modeled
+//!   roofline;
+//! * `perf-diff <old> <new>` — the per-kernel regression gate: compares
+//!   two perf ledgers (or bench reports — the formats are
+//!   auto-detected and interchangeable here);
 //! * `--write-example [path]` — emit a commented scenario template.
 //!
 //! Every subcommand answers `--help`. For `run`: `--metrics` writes
@@ -49,13 +56,19 @@
 //! swquake run scenario.json --checkpoint-dir ckpt --resume
 //! swquake campaign campaign.json --jobs 2         # batch scenarios
 //! swquake campaign campaign.json --resume         # pick up after a crash
+//! swquake campaign campaign.json --perf           # + per-scenario perf.json
+//! swquake run scenario.json --perf perf.json      # per-kernel ledger
+//! swquake perf-report perf.json --min-fraction 0.1
+//! swquake perf-diff old_perf.json new_perf.json --tolerance 0.2
 //! swquake bench-diff old.json new.json --tolerance 0.15
 //! ```
 //!
 //! Exit codes: 0 on success, 1 when the solver goes unstable, a
-//! campaign completes with unstable scenarios, or `bench-diff` finds a
-//! regression, 2 for any usage, parse, or configuration error
-//! (including unknown flags and unusable checkpoint stores), 3 when a
+//! campaign completes with unstable scenarios, `bench-diff`/`perf-diff`
+//! find a regression, or `perf-report` flags a kernel below
+//! `--min-fraction`, 2 for any usage, parse, or configuration error
+//! (including unknown flags, unusable checkpoint stores, and
+//! unit-mismatched bench records), 3 when a
 //! campaign completes with failed scenarios (failures dominate
 //! instabilities), and 137 when an injected fault kills the run
 //! (mirroring a SIGKILLed process). All solver failures flow through
@@ -66,6 +79,7 @@ use swquake::campaign::CampaignRunOptions;
 use swquake::core::{ExecMode, Simulation};
 use swquake::health::{HealthConfig, HealthLog};
 use swquake::telemetry::bench::{compare, BenchReport};
+use swquake::telemetry::perf::{PerfLedger, PerfRecorder};
 use swquake::telemetry::{Telemetry, Tracer};
 use swquake::{Error, Scenario, ScenarioVersion};
 
@@ -73,6 +87,8 @@ const GENERAL_USAGE: &str = "\
 usage: swquake [run] <scenario.json> [run flags]
        swquake campaign <campaign.json> [campaign flags]
        swquake bench-diff <old.json> <new.json> [--tolerance <frac>]
+       swquake perf-report <perf.json> [--min-fraction <frac>]
+       swquake perf-diff <old.json> <new.json> [--tolerance <frac>]
        swquake --write-example [path]
        swquake <subcommand> --help";
 
@@ -94,7 +110,11 @@ flags:
   --checkpoint-dir <dir>       durable checkpoint store
   --checkpoint-interval <n>    checkpoint every n steps
   --checkpoint-keep <n>        generations to retain
-  --resume                     restart from the newest valid checkpoint";
+  --resume                     restart from the newest valid checkpoint
+  --perf <out.json>            per-kernel performance ledger (wall time,
+                               cells/s, GFLOP/s, GB/s, roofline fraction);
+                               also appends one line to perf_history.jsonl
+                               next to <out.json>";
 
 const CAMPAIGN_HELP: &str = "\
 usage: swquake campaign <campaign.json> [flags]
@@ -116,6 +136,9 @@ flags:
   --fail-fast                  abort on the first failed/unstable scenario
   --exec serial|parallel|auto  kernel implementation for every scenario
   --threads <n>                worker-pool width for --exec parallel
+  --perf                       write each scenario's per-kernel ledger to
+                               <dir>/<id>/perf.json (the summary.json
+                               perf rollup is always populated)
 
 exit codes: 0 all scenarios done; 1 completed with unstable scenarios;
 3 completed with failed scenarios; 2 usage/spec errors; 137 when an
@@ -125,7 +148,28 @@ const BENCH_DIFF_HELP: &str = "\
 usage: swquake bench-diff <old.json> <new.json> [--tolerance <frac>]
 
 Compare two BENCH_<name>.json reports; exit 0 on pass, 1 on regression
-beyond the tolerance (default 0.1), 2 when either file fails to load.";
+beyond the tolerance (default 0.1; a record's own `tolerance` field
+overrides it), 2 when either file fails to load or records disagree on
+(or omit) their throughput unit. Records stamped with different hosts
+are skipped rather than compared.";
+
+const PERF_REPORT_HELP: &str = "\
+usage: swquake perf-report <perf.json> [--min-fraction <frac>]
+
+Render a per-kernel performance ledger (from `swquake run --perf` or a
+campaign scenario's perf.json) as a table: wall time, cells/s, GFLOP/s,
+GB/s and the achieved fraction of the modeled SW26010 roofline. Exit 0
+normally, 1 when any modeled kernel is below --min-fraction (default 0,
+which never flags), 2 when the file fails to load.";
+
+const PERF_DIFF_HELP: &str = "\
+usage: swquake perf-diff <old.json> <new.json> [--tolerance <frac>]
+
+Per-kernel perf-regression gate. Each side may be a perf ledger (from
+`run --perf`) or a BENCH_<name>.json report — auto-detected, so a
+ledger can be diffed against a committed bench baseline. Exit 0 on
+pass, 1 on regression beyond the tolerance (default 0.1; per-record
+`tolerance` overrides), 2 on load failures or unit mismatches.";
 
 enum Command {
     Help(&'static str),
@@ -133,6 +177,8 @@ enum Command {
     Run { scenario: String, outputs: RunOutputs },
     Campaign { path: String, opts: CampaignRunOptions },
     BenchDiff { old: String, new: String, tolerance: f64 },
+    PerfReport { path: String, min_fraction: f64 },
+    PerfDiff { old: String, new: String, tolerance: f64 },
 }
 
 /// Optional report files a `run` can emit, plus execution overrides.
@@ -149,6 +195,7 @@ struct RunOutputs {
     checkpoint_interval: Option<u64>,
     checkpoint_keep: Option<usize>,
     resume: bool,
+    perf: Option<String>,
 }
 
 impl RunOutputs {
@@ -161,6 +208,8 @@ fn parse_args(args: &[String]) -> Option<Command> {
     match args.first().map(String::as_str) {
         Some("--help") | Some("-h") => return Some(Command::Help(GENERAL_USAGE)),
         Some("bench-diff") => return parse_bench_diff(&args[1..]),
+        Some("perf-report") => return parse_perf_report(&args[1..]),
+        Some("perf-diff") => return parse_perf_diff(&args[1..]),
         Some("campaign") => return parse_campaign(&args[1..]),
         _ => {}
     }
@@ -185,6 +234,7 @@ fn parse_args(args: &[String]) -> Option<Command> {
             }
             "--checkpoint-keep" => outputs.checkpoint_keep = Some(iter.next()?.parse().ok()?),
             "--resume" => outputs.resume = true,
+            "--perf" => outputs.perf = Some(iter.next()?.clone()),
             flag if flag.starts_with("--") => return None,
             other => positional.push(other.to_string()),
         }
@@ -221,6 +271,7 @@ fn parse_campaign(args: &[String]) -> Option<Command> {
             "--fail-fast" => opts.fail_fast = Some(true),
             "--exec" => opts.exec = Some(iter.next()?.parse().ok()?),
             "--threads" => opts.threads = Some(iter.next()?.parse().ok()?),
+            "--perf" => opts.perf = true,
             flag if flag.starts_with("--") => return None,
             other => positional.push(other.to_string()),
         }
@@ -248,6 +299,46 @@ fn parse_bench_diff(args: &[String]) -> Option<Command> {
         let new = positional.pop()?;
         let old = positional.pop()?;
         Some(Command::BenchDiff { old, new, tolerance })
+    } else {
+        None
+    }
+}
+
+fn parse_perf_report(args: &[String]) -> Option<Command> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut min_fraction = 0.0;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Some(Command::Help(PERF_REPORT_HELP)),
+            "--min-fraction" => min_fraction = iter.next()?.parse().ok()?,
+            flag if flag.starts_with("--") => return None,
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() == 1 {
+        Some(Command::PerfReport { path: positional.remove(0), min_fraction })
+    } else {
+        None
+    }
+}
+
+fn parse_perf_diff(args: &[String]) -> Option<Command> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut tolerance = 0.1;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Some(Command::Help(PERF_DIFF_HELP)),
+            "--tolerance" => tolerance = iter.next()?.parse().ok()?,
+            flag if flag.starts_with("--") => return None,
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() == 2 {
+        let new = positional.pop()?;
+        let old = positional.pop()?;
+        Some(Command::PerfDiff { old, new, tolerance })
     } else {
         None
     }
@@ -284,6 +375,8 @@ fn main() {
         },
         Some(Command::Campaign { path, opts }) => campaign(&path, &opts),
         Some(Command::BenchDiff { old, new, tolerance }) => bench_diff(&old, &new, tolerance),
+        Some(Command::PerfReport { path, min_fraction }) => perf_report(&path, min_fraction),
+        Some(Command::PerfDiff { old, new, tolerance }) => perf_diff(&old, &new, tolerance),
     };
     std::process::exit(code);
 }
@@ -346,7 +439,74 @@ fn bench_diff(old_path: &str, new_path: &str, tolerance: f64) -> i32 {
     };
     let cmp = compare(&old, &new, tolerance);
     print!("{}", cmp.text_table());
-    if cmp.passed() {
+    // Unit disagreements (including the empty placeholder unit) are a
+    // usage error — the reports are not comparable — not a regression.
+    if !cmp.unit_errors.is_empty() {
+        2
+    } else if cmp.passed() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Render a perf ledger as a per-kernel table; exit 1 when any modeled
+/// kernel is below `min_fraction` of its roofline, 2 on load failure.
+fn perf_report(path: &str, min_fraction: f64) -> i32 {
+    let ledger = match load_perf_ledger(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    print!("{}", ledger.text_table(min_fraction));
+    if ledger.below_fraction(min_fraction).is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+fn load_perf_ledger(path: &str) -> Result<PerfLedger, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("perf-report: cannot read {path}: {e}"))?;
+    PerfLedger::from_json(&text).map_err(|e| format!("perf-report: cannot parse {path}: {e}"))
+}
+
+/// Per-kernel regression gate over two perf ledgers and/or bench
+/// reports (auto-detected); exit 0 pass, 1 regression, 2 on load
+/// failures or unit mismatches.
+fn perf_diff(old_path: &str, new_path: &str, tolerance: f64) -> i32 {
+    // A perf ledger has a top-level `kernels` array; a bench report has
+    // `records`. Ledgers are lowered to per-kernel bench records so the
+    // two formats diff against each other.
+    let load = |path: &str, role: &str| -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("perf-diff: cannot read {role} {path}: {e}"))?;
+        let probe: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| format!("perf-diff: cannot parse {role} {path}: {e}"))?;
+        if probe.as_object().is_some_and(|o| o.iter().any(|(k, _)| k == "kernels")) {
+            let ledger = PerfLedger::from_json(&text)
+                .map_err(|e| format!("perf-diff: cannot parse {role} ledger {path}: {e}"))?;
+            Ok(ledger.to_bench_report("perf"))
+        } else {
+            BenchReport::from_json(&text)
+                .map_err(|e| format!("perf-diff: cannot parse {role} {path}: {e}"))
+        }
+    };
+    let (old, new) = match (load(old_path, "baseline"), load(new_path, "candidate")) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let cmp = compare(&old, &new, tolerance);
+    print!("{}", cmp.text_table());
+    if !cmp.unit_errors.is_empty() {
+        2
+    } else if cmp.passed() {
         0
     } else {
         1
@@ -374,6 +534,12 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
         telemetry.tracer().bind_lane(0, "driver");
     }
     let mut cfg = scenario.to_config(model.as_ref())?.with_telemetry(telemetry.clone());
+    // `--perf` arms the per-kernel ledger; without it the recorder stays
+    // `None` and every instrumentation site is a branch on a cold Option.
+    let perf_recorder = outputs.perf.as_ref().map(|_| Arc::new(PerfRecorder::new()));
+    if let Some(p) = &perf_recorder {
+        cfg = cfg.with_perf(Arc::clone(p));
+    }
     if let Some(exec) = outputs.exec {
         cfg = cfg.with_exec(exec);
     }
@@ -485,6 +651,23 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
             println!(
                 "wrote health log to {health_path} ({} probes, {} warnings)",
                 report.checks, report.warnings
+            );
+        }
+    }
+    if let Some(perf_path) = &outputs.perf {
+        if let Some(ledger) = sim.perf_ledger() {
+            let path = std::path::Path::new(perf_path);
+            ledger
+                .write_file(path)
+                .map_err(|e| Error::Io { path: perf_path.clone(), source: e })?;
+            // Every instrumented run also lands one line in the durable
+            // history next to the ledger, so trends survive overwrites.
+            let history = path.with_file_name("perf_history.jsonl");
+            swquake::io::jsonl::append_line(&history, &ledger.history_line("run"))
+                .map_err(|e| Error::Io { path: history.display().to_string(), source: e })?;
+            println!(
+                "wrote perf ledger to {perf_path} (history appended to {})",
+                history.display()
             );
         }
     }

@@ -62,6 +62,9 @@ pub struct CampaignRunOptions {
     /// Campaign-wide telemetry handle (`campaign.*` counters land here);
     /// `None` uses a fresh enabled handle.
     pub telemetry: Option<Telemetry>,
+    /// Also write each scenario's perf ledger to `<dir>/<id>/perf.json`
+    /// (the `summary.json` rollup is always populated regardless).
+    pub perf: bool,
 }
 
 /// Read, parse, and run (or resume) the campaign described by `path`.
@@ -194,6 +197,12 @@ fn try_run_scenario(
     // --- per-scenario wiring ---------------------------------------------
     let telemetry = Telemetry::enabled();
     cfg = cfg.with_telemetry(telemetry.clone());
+    // Every scenario runs with the perf recorder armed: the campaign
+    // summary's per-kernel rollup is unconditional (the recorder costs
+    // well under 1% of a step — see `bench_perf_overhead`); `--perf`
+    // only adds the per-scenario `perf.json` file.
+    let perf_recorder = Arc::new(sw_telemetry::perf::PerfRecorder::new());
+    cfg = cfg.with_perf(Arc::clone(&perf_recorder));
     if let Some(exec) = opts.exec {
         cfg = cfg.with_exec(exec);
     }
@@ -255,5 +264,14 @@ fn try_run_scenario(
     let metrics_path = task.dir.join("metrics.json");
     std::fs::write(&metrics_path, sim.metrics().to_json())
         .map_err(|e| Error::Io { path: metrics_path.display().to_string(), source: e })?;
+    if let Some(ledger) = sim.perf_ledger() {
+        task.perf.record(task.id, ledger.clone());
+        if opts.perf {
+            let perf_path = task.dir.join("perf.json");
+            ledger
+                .write_file(&perf_path)
+                .map_err(|e| Error::Io { path: perf_path.display().to_string(), source: e })?;
+        }
+    }
     Ok(format!("PGV max {:.3e} m/s, max intensity {:.1}", files.pgv_max, files.max_intensity))
 }

@@ -380,6 +380,97 @@ fn campaign_exit_codes_follow_the_contract() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The campaign performance rollup: `summary.json` always carries the
+/// aggregate per-kernel totals, per-scenario step percentiles, and the
+/// artifact-cache hit rate; `campaign.jsonl` gets a heartbeat progress
+/// line per completion; `--perf` adds a per-scenario `perf.json`.
+#[test]
+fn campaign_summary_rolls_up_perf_and_streams_heartbeats() {
+    let dir = workdir("perf");
+    let spec_path = dir.join("campaign.json");
+    std::fs::write(
+        &spec_path,
+        campaign_json(
+            "perf",
+            &[("a", scenario_value(0.25, None)), ("b", scenario_value(0.30, None))],
+        ),
+    )
+    .unwrap();
+    let camp = dir.join("camp");
+    let out = Command::new(bin())
+        .args(["campaign", spec_path.to_str().unwrap(), "--dir", camp.to_str().unwrap(), "--perf"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let summary: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(camp.join("summary.json")).unwrap()).unwrap();
+    let hit_rate = summary["artifact_hit_rate"].as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&hit_rate) && hit_rate > 0.0, "hit rate {hit_rate}");
+    let kernels = summary["perf"]["kernels"].as_array().unwrap();
+    assert!(!kernels.is_empty(), "summary: {summary:?}");
+    let dvelc = kernels
+        .iter()
+        .find(|k| k["name"] == "dvelc")
+        .expect("aggregate dvelc kernel in the rollup");
+    assert!(dvelc["wall_s"].as_f64().unwrap() > 0.0);
+    assert!(dvelc["cells_per_s"].as_f64().unwrap() > 0.0);
+    let scenarios = summary["perf"]["scenarios"].as_array().unwrap();
+    assert_eq!(scenarios.len(), 2, "one perf row per scenario");
+    for s in scenarios {
+        assert!(s["steps"].as_u64().unwrap() > 0);
+        assert!(s["step_p50_s"].as_f64().unwrap() > 0.0);
+        assert!(s["step_p95_s"].as_f64().unwrap() >= s["step_p50_s"].as_f64().unwrap());
+    }
+
+    // One heartbeat per completed scenario, with progress counts and ETA.
+    let log = std::fs::read_to_string(camp.join("campaign.jsonl")).unwrap();
+    let beats: Vec<serde_json::Value> = log
+        .lines()
+        .filter_map(|l| serde_json::from_str(l).ok())
+        .filter(|v: &serde_json::Value| v["event"] == "heartbeat")
+        .collect();
+    assert_eq!(beats.len(), 2, "log: {log}");
+    let last = beats.last().unwrap();
+    assert_eq!(last["done"], 2);
+    assert_eq!(last["pending"], 0);
+    assert!(last["eta_s"].as_f64().is_some());
+
+    // --perf writes the per-scenario ledgers next to metrics.json.
+    for id in ["a", "b"] {
+        let ledger: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(camp.join(id).join("perf.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(ledger["schema_version"], 1, "{id} ledger schema");
+        assert!(!ledger["kernels"].as_array().unwrap().is_empty(), "{id} ledger kernels");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Without `--perf` no per-scenario ledger file is written, but the
+/// summary rollup is populated regardless — instrumentation is always
+/// on for campaigns.
+#[test]
+fn campaign_rollup_is_populated_even_without_perf_flag() {
+    let dir = workdir("noperf");
+    let spec_path = dir.join("campaign.json");
+    std::fs::write(&spec_path, campaign_json("noperf", &[("a", scenario_value(0.25, None))]))
+        .unwrap();
+    let camp = dir.join("camp");
+    let out = Command::new(bin())
+        .args(["campaign", spec_path.to_str().unwrap(), "--dir", camp.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(!camp.join("a").join("perf.json").exists(), "no ledger file without --perf");
+    let summary: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(camp.join("summary.json")).unwrap()).unwrap();
+    assert!(!summary["perf"]["kernels"].as_array().unwrap().is_empty());
+    assert_eq!(summary["perf"]["scenarios"].as_array().unwrap().len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Campaign concurrency rides the bounded job pool: `--jobs 2` completes
 /// every scenario and still shares artifacts.
 #[test]

@@ -145,7 +145,7 @@ fn bench_diff_gates_regressions() {
         serde_json::json!({
             "name": "smoke/kernel", "samples": 10.0, "median_s": median,
             "mean_s": median, "min_s": median, "max_s": median,
-            "throughput": 0.0, "throughput_unit": "",
+            "throughput": 8000.0, "throughput_unit": "cells",
         })
     };
     let report = |median: f64| {
@@ -179,6 +179,89 @@ fn bench_diff_gates_regressions() {
         .unwrap();
     assert_eq!(garbage.status.code(), Some(2));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Unit problems are a hard usage error (exit 2), not a regression:
+/// records disagreeing on their throughput unit are not comparable, and
+/// the empty placeholder unit (`throughput: 0, throughput_unit: ""`)
+/// is impossible to commit — the diff rejects it on sight.
+#[test]
+fn bench_diff_unit_errors_are_hard_errors_exit_2() {
+    let dir = workdir("benchdiff_units");
+    let record = |unit: &str, throughput: f64| {
+        serde_json::json!({
+            "name": "smoke/kernel", "samples": 10.0, "median_s": 1e-3,
+            "mean_s": 1e-3, "min_s": 1e-3, "max_s": 1e-3,
+            "throughput": throughput, "throughput_unit": unit,
+        })
+    };
+    let report = |unit: &str, throughput: f64| {
+        serde_json::to_string(&serde_json::json!({
+            "schema_version": 2.0, "records": [record(unit, throughput)],
+        }))
+        .unwrap()
+    };
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+
+    // Mismatched units: cells vs elements.
+    std::fs::write(&old, report("cells", 8000.0)).unwrap();
+    std::fs::write(&new, report("elements", 8000.0)).unwrap();
+    let out = Command::new(bin())
+        .args(["bench-diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UNIT ERROR"), "stdout: {stdout}");
+    assert!(stdout.contains("cells") && stdout.contains("elements"), "stdout: {stdout}");
+
+    // The empty placeholder unit, on either side.
+    std::fs::write(&new, report("", 0.0)).unwrap();
+    let out = Command::new(bin())
+        .args(["bench-diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("empty throughput_unit"),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Golden pin of the committed `BENCH_step_exec.json` baseline: schema
+/// v2, the machine-independent ratio gate, and host-stamped per-kernel
+/// throughput records with real (non-placeholder) units.
+#[test]
+fn committed_step_exec_baseline_is_schema_v2() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_step_exec.json");
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+    assert_eq!(doc["schema_version"].as_u64(), Some(2));
+    let records = doc["records"].as_array().unwrap();
+    let by_name = |n: &str| {
+        records
+            .iter()
+            .find(|r| r["name"] == n)
+            .unwrap_or_else(|| panic!("record `{n}` missing from the committed baseline"))
+    };
+    let ratio = by_name("step_exec/parallel_over_serial");
+    assert_eq!(ratio["throughput_unit"], "ratio");
+    assert!(ratio["median_s"].as_f64().unwrap() < 1.0, "parallel must beat serial");
+    for n in ["step_exec/serial", "step_exec/parallel"] {
+        let r = by_name(n);
+        assert_eq!(r["throughput_unit"], "elements");
+        assert!(r["host"].as_str().is_some(), "{n} must be host-stamped");
+        assert!(r["tolerance"].as_f64().unwrap() > 0.0);
+    }
+    for k in ["dvelc", "dstrqc", "drprecpc", "sponge", "compression"] {
+        let r = by_name(&format!("step_exec/kernel/{k}"));
+        assert_eq!(r["throughput_unit"], "cells");
+        assert!(r["host"].as_str().is_some(), "kernel {k} must be host-stamped");
+        assert!(r["throughput"].as_f64().unwrap() > 0.0, "kernel {k} placeholder throughput");
+    }
 }
 
 /// A missing baseline (the common first-run footgun) is a usage-class
@@ -452,6 +535,8 @@ fn every_subcommand_answers_help_with_exit_0() {
         vec!["run", "--help"],
         vec!["campaign", "--help"],
         vec!["bench-diff", "--help"],
+        vec!["perf-report", "--help"],
+        vec!["perf-diff", "--help"],
     ] {
         let out = Command::new(bin()).args(&args).output().unwrap();
         assert_eq!(out.status.code(), Some(0), "args {args:?}");

@@ -1,0 +1,263 @@
+//! The per-kernel performance ledger contract:
+//!
+//! * the ledger's **counts** (cells, flops, modeled DMA bytes) are a
+//!   property of the physics configuration, identical between serial
+//!   and parallel execution — only wall times may differ;
+//! * arming the recorder is observationally free: an instrumented run
+//!   is bit-identical to an uninstrumented one on every physics output;
+//! * every production-step kernel reports non-zero throughput and a
+//!   non-zero achieved-vs-roofline fraction;
+//! * `swquake perf-diff` gates a seeded per-kernel regression and
+//!   `swquake perf-report` flags kernels below `--min-fraction`;
+//! * `swquake run --perf` writes the ledger and appends one line to the
+//!   durable `perf_history.jsonl` next to it.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+use swquake::core::{ExecMode, SimConfig, Simulation};
+use swquake::grid::Dims3;
+use swquake::io::Station;
+use swquake::model::LayeredModel;
+use swquake::source::{MomentTensor, PointSource, SourceTimeFunction};
+use swquake::telemetry::perf::{PerfLedger, PerfRecorder, PERF_SCHEMA_VERSION};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_swquake")
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swquake_perf_{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Pin a real pool so `Parallel` genuinely fans out (idempotent; shared
+/// by every test in this binary).
+fn pin_pool() {
+    rayon::ThreadPoolBuilder::new().num_threads(4).build_global().ok();
+}
+
+/// Every production feature on at once, as in `exec_equivalence`.
+fn production_config() -> SimConfig {
+    let dims = Dims3::new(30, 28, 16);
+    let mut cfg = SimConfig::new(dims, 150.0, 60).with_compression(true);
+    cfg.options.sponge_width = 5;
+    cfg.options.attenuation = true;
+    cfg.options.nonlinear = true;
+    let moment = MomentTensor::double_couple(30.0, 80.0, 170.0, 3.0e14);
+    let stf = SourceTimeFunction::Triangle { onset: 0.05, duration: 0.5 };
+    cfg.sources = vec![
+        PointSource { ix: 14, iy: 13, iz: 8, moment, stf },
+        PointSource { ix: 15, iy: 14, iz: 5, moment, stf },
+    ];
+    cfg.stations = vec![Station { name: "A".into(), ix: 5, iy: 5 }];
+    cfg
+}
+
+fn run_with_perf(cfg: &SimConfig, exec: ExecMode) -> (Simulation, PerfLedger) {
+    let model = LayeredModel::north_china();
+    let recorder = Arc::new(PerfRecorder::new());
+    let cfg = cfg.clone().with_exec(exec).with_perf(Arc::clone(&recorder));
+    let mut sim = Simulation::new(&model, &cfg).expect("valid config");
+    sim.run(cfg.steps);
+    let ledger = sim.perf_ledger().expect("recorder armed");
+    (sim, ledger)
+}
+
+/// The ledger's cell/flop/byte counts are execution-mode-independent:
+/// serial and parallel runs of the same configuration charge identical
+/// work, kernel by kernel (wall times are the only thing allowed to
+/// differ).
+#[test]
+fn serial_and_parallel_ledgers_agree_on_counts() {
+    pin_pool();
+    let cfg = production_config();
+    let (_, serial) = run_with_perf(&cfg, ExecMode::Serial);
+    let (_, parallel) = run_with_perf(&cfg, ExecMode::Parallel);
+    assert_eq!(serial.steps, parallel.steps);
+    assert_eq!(serial.grid_cells, parallel.grid_cells);
+    assert_eq!(serial.kernels.len(), parallel.kernels.len());
+    for (s, p) in serial.kernels.iter().zip(&parallel.kernels) {
+        assert_eq!(s.name, p.name);
+        assert_eq!(s.calls, p.calls, "{}: calls differ across exec modes", s.name);
+        assert_eq!(s.cells, p.cells, "{}: cells differ across exec modes", s.name);
+        assert_eq!(s.flops, p.flops, "{}: flops differ across exec modes", s.name);
+        assert_eq!(s.dma_bytes, p.dma_bytes, "{}: DMA bytes differ across exec modes", s.name);
+    }
+}
+
+/// Arming the recorder must not perturb the physics: an instrumented
+/// run bit-matches an uninstrumented one on every field and seismogram.
+#[test]
+fn instrumented_run_is_bit_identical_to_uninstrumented() {
+    pin_pool();
+    let cfg = production_config();
+    let model = LayeredModel::north_china();
+    let mut plain = Simulation::new(&model, &cfg).expect("valid config");
+    plain.run(cfg.steps);
+    let (instrumented, _) = run_with_perf(&cfg, ExecMode::Auto);
+    assert_eq!(plain.state.u.max_abs_diff(&instrumented.state.u), 0.0, "u differs");
+    assert_eq!(plain.state.v.max_abs_diff(&instrumented.state.v), 0.0, "v differs");
+    assert_eq!(plain.state.w.max_abs_diff(&instrumented.state.w), 0.0, "w differs");
+    assert_eq!(plain.state.xx.max_abs_diff(&instrumented.state.xx), 0.0, "xx differs");
+    assert_eq!(plain.state.eqp.max_abs_diff(&instrumented.state.eqp), 0.0, "eqp differs");
+    for (sa, sb) in plain.seismo.seismograms().iter().zip(instrumented.seismo.seismograms()) {
+        assert_eq!(sa.samples, sb.samples, "station {} differs", sa.station.name);
+    }
+}
+
+/// Acceptance shape of one ledger: schema v1, wall/percentile fields
+/// populated, and non-zero cells/s, GFLOP/s and roofline fraction for
+/// every modeled production-step kernel.
+#[test]
+fn ledger_reports_nonzero_rates_for_every_production_kernel() {
+    pin_pool();
+    let cfg = production_config();
+    let (_, ledger) = run_with_perf(&cfg, ExecMode::Parallel);
+    assert_eq!(ledger.schema_version, PERF_SCHEMA_VERSION);
+    assert_eq!(ledger.steps, 60);
+    assert_eq!(ledger.grid_cells, (30 * 28 * 16) as u64);
+    assert!(ledger.wall_s > 0.0);
+    assert!(ledger.step_p50_s > 0.0);
+    assert!(ledger.step_p95_s >= ledger.step_p50_s);
+    for name in ["fstr", "dvelc", "dstrqc", "attenuation", "drprecpc", "sponge"] {
+        let k = ledger.kernel(name).unwrap_or_else(|| panic!("kernel `{name}` missing"));
+        assert!(k.wall_s > 0.0, "{name}: zero wall time");
+        assert!(k.cells_per_s > 0.0, "{name}: zero cells/s");
+        assert!(k.gflops_per_s > 0.0, "{name}: zero GFLOP/s");
+        assert!(k.roofline_fraction > 0.0, "{name}: zero roofline fraction");
+    }
+    // Compression moves bytes, not flops; its bandwidth and modeled
+    // fraction must still be non-zero.
+    let c = ledger.kernel("compression").expect("compression kernel");
+    assert!(c.cells_per_s > 0.0);
+    assert!(c.gb_per_s > 0.0);
+    assert!(c.roofline_fraction > 0.0);
+}
+
+/// `perf-diff` end to end: a ledger diffed against itself passes (exit
+/// 0); seeding a 10× slowdown into one kernel fails the gate (exit 1).
+#[test]
+fn perf_diff_cli_gates_a_seeded_regression() {
+    pin_pool();
+    let dir = workdir("diff");
+    let cfg = production_config();
+    let (_, ledger) = run_with_perf(&cfg, ExecMode::Parallel);
+    let old = dir.join("old_perf.json");
+    let new = dir.join("new_perf.json");
+    ledger.write_file(&old).unwrap();
+    ledger.write_file(&new).unwrap();
+    let out = Command::new(bin())
+        .args(["perf-diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "identical ledgers must pass; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Seed the regression: dvelc takes 10× the wall time.
+    let mut slowed = ledger.clone();
+    let k = slowed.kernels.iter_mut().find(|k| k.name == "dvelc").expect("dvelc present");
+    k.wall_s *= 10.0;
+    slowed.write_file(&new).unwrap();
+    let out = Command::new(bin())
+        .args(["perf-diff", old.to_str().unwrap(), new.to_str().unwrap(), "--tolerance", "0.5"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "seeded slowdown must gate; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "stdout: {stdout}");
+    assert!(stdout.contains("dvelc"), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `perf-report` renders the table (exit 0 with the default
+/// never-flagging threshold) and exits 1 when a kernel sits below
+/// `--min-fraction` of its modeled roofline.
+#[test]
+fn perf_report_cli_flags_kernels_below_min_fraction() {
+    pin_pool();
+    let dir = workdir("report");
+    let cfg = production_config();
+    let (_, ledger) = run_with_perf(&cfg, ExecMode::Parallel);
+    let path = dir.join("perf.json");
+    ledger.write_file(&path).unwrap();
+    let out = Command::new(bin()).args(["perf-report", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "default threshold never flags");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dvelc") && stdout.contains("roofline"), "stdout: {stdout}");
+
+    // Pin the fractions low so the threshold verdict is deterministic.
+    let mut low = ledger.clone();
+    for k in &mut low.kernels {
+        if k.roofline_fraction > 0.0 {
+            k.roofline_fraction = 0.01;
+        }
+    }
+    low.write_file(&path).unwrap();
+    let out = Command::new(bin())
+        .args(["perf-report", path.to_str().unwrap(), "--min-fraction", "0.5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "kernels below the floor must flag");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("LOW"));
+
+    // Garbage input is a usage error.
+    std::fs::write(&path, "{ not json").unwrap();
+    let out = Command::new(bin()).args(["perf-report", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `swquake run --perf` writes the ledger next to the other outputs and
+/// appends one history line per instrumented run to `perf_history.jsonl`
+/// beside it.
+#[test]
+fn run_perf_cli_writes_ledger_and_appends_history() {
+    let dir = workdir("run");
+    let scenario = dir.join("scenario.json");
+    Command::new(bin()).args(["--write-example", scenario.to_str().unwrap()]).status().unwrap();
+    let mut json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&scenario).unwrap()).unwrap();
+    json["mesh"] = serde_json::json!([20, 20, 12]);
+    json["duration"] = serde_json::json!(0.5);
+    json["sources"][0]["position"] = serde_json::json!([10, 10, 6]);
+    json["stations"] = serde_json::json!([{"name": "probe", "ix": 14, "iy": 14}]);
+    json["output_prefix"] = serde_json::json!(dir.join("out").to_str().unwrap());
+    std::fs::write(&scenario, serde_json::to_string(&json).unwrap()).unwrap();
+
+    let perf = dir.join("perf.json");
+    for _ in 0..2 {
+        let out = Command::new(bin())
+            .args(["run", scenario.to_str().unwrap(), "--perf", perf.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(String::from_utf8_lossy(&out.stdout).contains("wrote perf ledger"));
+    }
+    let ledger = PerfLedger::read_file(&perf).unwrap().unwrap();
+    assert_eq!(ledger.schema_version, PERF_SCHEMA_VERSION);
+    let dvelc = ledger.kernel("dvelc").expect("dvelc in the ledger");
+    assert!(dvelc.cells_per_s > 0.0);
+    assert!(dvelc.roofline_fraction > 0.0);
+
+    // Two instrumented runs → two history lines, each parseable.
+    let history = swquake::io::jsonl::read_lines(&dir.join("perf_history.jsonl")).unwrap();
+    assert_eq!(history.len(), 2, "one history line per instrumented run");
+    for line in &history {
+        assert_eq!(line.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(line.get("label").and_then(|v| v.as_str()), Some("run"));
+        assert!(line.get("kernels").and_then(|v| v.as_array()).is_some());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
