@@ -1,25 +1,36 @@
-//! `step_exec` — serial vs parallel full production step.
+//! `step_exec` — serial vs parallel vs simd full production step.
 //!
 //! Times the complete per-step pipeline (free surface, velocity, stress +
 //! attenuation, source injection, plasticity, sponge, and the §6.5
-//! compression round trip) on a 64³ mesh in both [`ExecMode`]s and writes
-//! a schema-v2 [`BenchReport`]:
+//! compression round trip) on a 64³ mesh in all three [`ExecMode`]s and
+//! writes a schema-v2 [`BenchReport`]:
 //!
 //! * `step_exec/serial` — absolute seconds per step, reference kernels;
 //! * `step_exec/parallel` — absolute seconds per step, Rayon CPE-pool
-//!   kernels. Both absolute records carry the host fingerprint (so a
-//!   diff against a baseline from another machine skips them instead of
-//!   comparing apples to oranges) and a generous per-record tolerance
-//!   for same-host reruns;
+//!   kernels;
+//! * `step_exec/simd` — absolute seconds per step, vectorized
+//!   cache-tiled kernels (with a default build the `simd` mode degrades
+//!   to `parallel` and a warning is printed — gate the ratio only from
+//!   `--features simd` runs). All absolute records carry the host
+//!   fingerprint (so a diff against a baseline from another machine
+//!   skips them instead of comparing apples to oranges) and a generous
+//!   per-record tolerance for same-host reruns;
 //! * `step_exec/parallel_over_serial` — the **dimensionless ratio** of
 //!   the two medians (unit `ratio`). This is the record the committed
 //!   baseline `BENCH_step_exec.json` pins at 2/3 (= a 1.5× speedup
 //!   floor), so `swquake bench-diff BENCH_step_exec.json <this output>
 //!   --tolerance 0` passes exactly when the parallel path is at least
 //!   1.5× faster — a machine-independent gate, unlike the absolutes;
+//! * `step_exec/simd_over_serial` — same dimensionless gate for the
+//!   vectorized path; the committed baseline pins it at 0.62 (≈ 1.6×),
+//!   tighter than the parallel floor, so the gate fails if SIMD ever
+//!   stops paying for itself over plain `parallel`;
 //! * `step_exec/kernel/<name>` — absolute per-kernel wall seconds per
 //!   step from the perf ledger of the parallel run (host-stamped,
-//!   throughput in `cells`).
+//!   throughput in `cells`);
+//! * `step_exec/simd_kernel/<name>` — the same per-kernel records from
+//!   the simd run's ledger, so per-kernel speedups (dvelc, dstrqc, …)
+//!   are measured, not inferred.
 //!
 //! Usage: `bench_step_exec [out.json] [threads]` (defaults:
 //! `BENCH_step_exec_new.json`, 4 worker threads).
@@ -32,7 +43,7 @@ use sw_model::LayeredModel;
 use sw_source::{MomentTensor, PointSource, SourceTimeFunction};
 use sw_telemetry::bench::{BenchRecord, BenchReport};
 use sw_telemetry::perf::{HostFingerprint, PerfLedger, PerfRecorder};
-use swquake_core::{ExecMode, SimConfig, Simulation};
+use swquake_core::{simd_compiled, ExecMode, SimConfig, Simulation};
 
 const SIDE: usize = 64;
 const WARMUP_STEPS: usize = 3;
@@ -114,41 +125,56 @@ fn main() {
         rayon::current_num_threads()
     );
 
+    if !simd_compiled() {
+        println!(
+            "warning: built without --features simd; ExecMode::Simd degrades to \
+             parallel, so the simd records below measure the parallel path"
+        );
+    }
     let host = HostFingerprint::detect(threads as u64).id();
     let (serial_samples, _serial_ledger) = time_mode(ExecMode::Serial);
     let (parallel_samples, parallel_ledger) = time_mode(ExecMode::Parallel);
+    let (simd_samples, simd_ledger) = time_mode(ExecMode::Simd);
     let serial = record("step_exec/serial", &serial_samples, &host);
     let parallel = record("step_exec/parallel", &parallel_samples, &host);
-    let ratio = parallel.median_s / serial.median_s;
-    let ratio_rec = BenchRecord {
-        name: "step_exec/parallel_over_serial".to_string(),
-        samples: parallel.samples,
-        median_s: ratio,
-        mean_s: ratio,
-        min_s: ratio,
-        max_s: ratio,
+    let simd = record("step_exec/simd", &simd_samples, &host);
+    let ratio_record = |name: &str, numerator: &BenchRecord| BenchRecord {
+        name: name.to_string(),
+        samples: numerator.samples,
+        median_s: numerator.median_s / serial.median_s,
+        mean_s: numerator.median_s / serial.median_s,
+        min_s: numerator.median_s / serial.median_s,
+        max_s: numerator.median_s / serial.median_s,
         throughput: 1.0,
         throughput_unit: "ratio".to_string(),
         tolerance: None,
         host: None,
     };
+    let par_ratio = ratio_record("step_exec/parallel_over_serial", &parallel);
+    let simd_ratio = ratio_record("step_exec/simd_over_serial", &simd);
     println!(
-        "serial {:.4} s/step, parallel {:.4} s/step, ratio {ratio:.3} \
-         (speedup {:.2}x)",
+        "serial {:.4} s/step, parallel {:.4} s/step ({:.2}x), simd {:.4} s/step ({:.2}x)",
         serial.median_s,
         parallel.median_s,
-        1.0 / ratio
+        1.0 / par_ratio.median_s,
+        simd.median_s,
+        1.0 / simd_ratio.median_s,
     );
 
     let mut report = BenchReport::new();
-    report.records = vec![serial, parallel, ratio_rec];
-    // Per-kernel absolute throughput records from the parallel run's
-    // ledger (host-stamped; diffs against a foreign baseline skip them).
-    let mut kernel_report = parallel_ledger.to_bench_report("step_exec/kernel");
-    for r in &mut kernel_report.records {
-        r.tolerance = Some(ABSOLUTE_TOLERANCE);
+    report.records = vec![serial, parallel, simd, par_ratio, simd_ratio];
+    // Per-kernel absolute throughput records from the parallel and simd
+    // runs' ledgers (host-stamped; diffs against a foreign baseline skip
+    // them).
+    for (ledger, prefix) in
+        [(&parallel_ledger, "step_exec/kernel"), (&simd_ledger, "step_exec/simd_kernel")]
+    {
+        let mut kernel_report = ledger.to_bench_report(prefix);
+        for r in &mut kernel_report.records {
+            r.tolerance = Some(ABSOLUTE_TOLERANCE);
+        }
+        report.records.extend(kernel_report.records);
     }
-    report.records.extend(kernel_report.records);
     let n = report.records.len();
     report.write_file(std::path::Path::new(&path)).expect("failed to write bench JSON");
     println!("wrote {path} ({n} records)");

@@ -21,13 +21,14 @@
 //! single-rank run, which the integration tests pin down.
 
 use crate::error::{ConfigError, KilledError, RestoreError, RunError, UnstableError};
-use crate::exec::{self, ExecMode};
+use crate::exec::{self, ExecMode, ExecPath};
 use crate::flops::{
     FlopCounter, DRPRECPC_APP_FLOPS, DRPRECPC_CALC_FLOPS, DSTRQC_FLOPS, DVELC_FLOPS, FSTR_FLOPS,
     SPONGE_FLOPS,
 };
 use crate::health::HealthMonitor;
 use crate::kernels;
+use crate::kernels::FusedWavefield;
 use crate::state::{SolverState, StateOptions};
 use rayon::prelude::*;
 use std::path::PathBuf;
@@ -83,10 +84,19 @@ pub struct SimConfig {
     pub compression_stats: Vec<(String, FieldStats)>,
     /// Physical position of grid index (0,0,0), m.
     pub origin: (f64, f64, f64),
-    /// Which kernel implementations run (serial reference vs the Rayon
-    /// CPE-pool analogue — bit-identical). Defaults to the `SWQUAKE_EXEC`
-    /// environment override when set, [`ExecMode::Auto`] otherwise.
+    /// Which kernel implementations run (serial reference, the Rayon
+    /// CPE-pool analogue, or the vectorized tiled path — all
+    /// bit-identical). Defaults to the `SWQUAKE_EXEC` environment
+    /// override when set, [`ExecMode::Auto`] otherwise.
     pub exec: ExecMode,
+    /// Run production steps on the §6.4 fused array layout
+    /// ([`FusedWavefield`]): kernels update the AoS vectors in place and
+    /// the scalar wavefields are refreshed only at output boundaries
+    /// (recorders each step; checkpoints, snapshots and health probes
+    /// when due). Bit-identical to the serial path. Incompatible with
+    /// attenuation, plasticity, inter-step compression and multirank
+    /// runs — [`SimConfig::validate`] rejects those combinations.
+    pub fused: bool,
     /// Pin the global Rayon worker budget to this many threads (0 = keep
     /// the current setting). Defaults to `SWQUAKE_THREADS` when set.
     pub threads: usize,
@@ -148,6 +158,7 @@ impl SimConfig {
             compression_stats: Vec::new(),
             origin: (0.0, 0.0, 0.0),
             exec: ExecMode::from_env(),
+            fused: false,
             threads: exec::threads_from_env(),
             telemetry: Telemetry::disabled(),
             health: None,
@@ -167,6 +178,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_exec(mut self, exec: ExecMode) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Run production steps on the fused array layout (§6.4); see
+    /// [`SimConfig::fused`] for the compatibility contract.
+    #[must_use]
+    pub fn with_fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
         self
     }
 
@@ -329,6 +348,17 @@ impl SimConfig {
         let scale = self.options.dt_scale;
         if !scale.is_finite() || scale <= 0.0 {
             return Err(ConfigError::InvalidDtScale { dt_scale: scale });
+        }
+        if self.fused {
+            if self.options.attenuation {
+                return Err(ConfigError::FusedUnsupported { feature: "attenuation" });
+            }
+            if self.options.nonlinear {
+                return Err(ConfigError::FusedUnsupported { feature: "plasticity" });
+            }
+            if self.compression {
+                return Err(ConfigError::FusedUnsupported { feature: "inter-step compression" });
+            }
         }
         Ok(())
     }
@@ -680,9 +710,14 @@ pub struct Simulation {
     snapshot_times: Vec<f64>,
     next_snapshot: usize,
     compression: Option<Vec<CompressionSlot>>,
-    /// Resolved execution mode: `true` routes every step phase through
-    /// the Rayon CPE-pool kernels (bit-identical to the serial path).
-    parallel: bool,
+    /// The resolved kernel path every step phase routes through
+    /// (serial reference, Rayon CPE-pool analogue, or the vectorized
+    /// tiled kernels — all bit-identical).
+    path: ExecPath,
+    /// The fused AoS wavefield production steps run on when
+    /// [`SimConfig::fused`] is set; the scalar state is refreshed from
+    /// it at output boundaries only.
+    fused: Option<FusedWavefield>,
     telemetry: Telemetry,
     arch: Option<ArchCharges>,
     health: Option<HealthMonitor>,
@@ -837,10 +872,15 @@ impl Simulation {
                 .collect()
         });
         exec::configure_threads(config.threads);
-        let parallel = config.exec.resolve(d.len());
+        let path = config.exec.resolve_path(d.len());
         let telemetry = config.telemetry.clone();
         if telemetry.is_enabled() {
-            telemetry.gauge("exec.mode", if parallel { 1.0 } else { 0.0 });
+            let mode = match path {
+                ExecPath::Serial => 0.0,
+                ExecPath::Parallel => 1.0,
+                ExecPath::Simd => 2.0,
+            };
+            telemetry.gauge("exec.mode", mode);
             telemetry.gauge("exec.threads", rayon::current_num_threads() as f64);
         }
         let arch = telemetry.is_enabled().then(|| {
@@ -860,6 +900,7 @@ impl Simulation {
                 config.compression,
             )
         });
+        let fused = config.fused.then(|| FusedWavefield::from_state(&state));
         Self {
             state,
             sources: config.sources.clone(),
@@ -879,7 +920,8 @@ impl Simulation {
             snapshot_times: config.snapshot_times.clone(),
             next_snapshot: 0,
             compression,
-            parallel,
+            path,
+            fused,
             telemetry,
             arch,
             health: config
@@ -891,10 +933,21 @@ impl Simulation {
         }
     }
 
-    /// Whether this simulation runs the Rayon CPE-pool kernels (the
-    /// resolved [`ExecMode`]).
+    /// Whether this simulation fans work out over the Rayon pool (true
+    /// for both the CPE-pool and the vectorized tiled paths).
     pub fn is_parallel(&self) -> bool {
-        self.parallel
+        self.path.is_parallel()
+    }
+
+    /// The concrete kernel path the resolved [`ExecMode`] routes step
+    /// phases through.
+    pub fn exec_path(&self) -> ExecPath {
+        self.path
+    }
+
+    /// Whether production steps run on the fused array layout (§6.4).
+    pub fn is_fused(&self) -> bool {
+        self.fused.is_some()
     }
 
     /// The telemetry handle this simulation records into.
@@ -951,7 +1004,7 @@ impl Simulation {
             })
             .collect();
         let (p50, p95) = rec.step_percentiles();
-        let threads = if self.parallel { rayon::current_num_threads() } else { 1 };
+        let threads = if self.path.is_parallel() { rayon::current_num_threads() } else { 1 };
         Some(PerfLedger {
             schema_version: PERF_SCHEMA_VERSION,
             host: HostFingerprint::detect(threads as u64),
@@ -960,6 +1013,8 @@ impl Simulation {
             wall_s: rec.total_step_wall(),
             step_p50_s: p50,
             step_p95_s: p95,
+            exec_mode: Some(self.path.to_string()),
+            features: Some(if exec::simd_compiled() { "simd" } else { "" }.to_string()),
             kernels,
         })
     }
@@ -1006,24 +1061,51 @@ impl Simulation {
     /// halos (which feed the velocity stencils).
     fn velocity_half(&mut self) {
         let tel = self.telemetry.clone();
+        if let Some(mut w) = self.fused.take() {
+            let s = &self.state;
+            {
+                let _p = tel.phase("free_surface");
+                let _k = pscope(&self.perf, "fstr");
+                kernels::fstr_fused(&mut w, s);
+            }
+            {
+                let _p = tel.phase("velocity");
+                let _k = pscope(&self.perf, "dvelc");
+                kernels::dvelc_fused(&mut w, s);
+            }
+            self.fused = Some(w);
+            return;
+        }
         let s = &mut self.state;
         {
             let _p = tel.phase("free_surface");
             let _k = pscope(&self.perf, "fstr");
-            if self.parallel {
-                kernels::fstr_par(s);
-            } else {
-                kernels::fstr(s);
+            match self.path {
+                ExecPath::Serial => kernels::fstr(s),
+                ExecPath::Parallel => kernels::fstr_par(s),
+                ExecPath::Simd => {
+                    #[cfg(feature = "simd")]
+                    kernels::simd::fstr_simd(s);
+                    #[cfg(not(feature = "simd"))]
+                    kernels::fstr_par(s);
+                }
             }
         }
         {
             let _p = tel.phase("velocity");
             let _k = pscope(&self.perf, "dvelc");
-            if self.parallel {
-                kernels::dvelc_par(s);
-            } else {
-                kernels::dvelcx(s);
-                kernels::dvelcy(s);
+            match self.path {
+                ExecPath::Serial => {
+                    kernels::dvelcx(s);
+                    kernels::dvelcy(s);
+                }
+                ExecPath::Parallel => kernels::dvelc_par(s),
+                ExecPath::Simd => {
+                    #[cfg(feature = "simd")]
+                    kernels::simd::dvelc_simd(s);
+                    #[cfg(not(feature = "simd"))]
+                    kernels::dvelc_par(s);
+                }
             }
         }
     }
@@ -1034,23 +1116,60 @@ impl Simulation {
     /// (which feed the stress stencils).
     fn stress_half(&mut self) {
         let tel = self.telemetry.clone();
+        if let Some(mut w) = self.fused.take() {
+            // The fused path covers the elastic step only (validated at
+            // construction): no attenuation memory, no plasticity, no
+            // compression round trip.
+            let s = &self.state;
+            {
+                let _p = tel.phase("free_surface");
+                let _k = pscope(&self.perf, "fstr");
+                kernels::fstr_fused(&mut w, s);
+            }
+            {
+                let _p = tel.phase("stress");
+                let _k = pscope(&self.perf, "dstrqc");
+                kernels::dstrqc_fused(&mut w, s);
+            }
+            {
+                let _p = tel.phase("source");
+                kernels::addsrc_fused(&mut w, s, &self.sources, self.time);
+            }
+            {
+                let _p = tel.phase("sponge");
+                let _k = pscope(&self.perf, "sponge");
+                kernels::apply_sponge_fused(&mut w, s);
+            }
+            self.fused = Some(w);
+            return;
+        }
         let s = &mut self.state;
         {
             let _p = tel.phase("free_surface");
             let _k = pscope(&self.perf, "fstr");
-            if self.parallel {
-                kernels::fstr_par(s);
-            } else {
-                kernels::fstr(s);
+            match self.path {
+                ExecPath::Serial => kernels::fstr(s),
+                ExecPath::Parallel => kernels::fstr_par(s),
+                ExecPath::Simd => {
+                    #[cfg(feature = "simd")]
+                    kernels::simd::fstr_simd(s);
+                    #[cfg(not(feature = "simd"))]
+                    kernels::fstr_par(s);
+                }
             }
         }
         {
             let _p = tel.phase("stress");
             let _k = pscope(&self.perf, "dstrqc");
-            if self.parallel {
-                kernels::dstrqc_par(s);
-            } else {
-                kernels::dstrqc(s);
+            match self.path {
+                ExecPath::Serial => kernels::dstrqc(s),
+                ExecPath::Parallel => kernels::dstrqc_par(s),
+                ExecPath::Simd => {
+                    #[cfg(feature = "simd")]
+                    kernels::simd::dstrqc_simd(s);
+                    #[cfg(not(feature = "simd"))]
+                    kernels::dstrqc_par(s);
+                }
             }
         }
         {
@@ -1060,21 +1179,41 @@ impl Simulation {
         if s.options.nonlinear {
             let _p = tel.phase("plasticity");
             let _k = pscope(&self.perf, "drprecpc");
-            if self.parallel {
-                kernels::drprecpc_calc_par(s);
-                kernels::drprecpc_app_par(s);
-            } else {
-                kernels::drprecpc_calc(s);
-                kernels::drprecpc_app(s);
+            match self.path {
+                ExecPath::Serial => {
+                    kernels::drprecpc_calc(s);
+                    kernels::drprecpc_app(s);
+                }
+                ExecPath::Parallel => {
+                    kernels::drprecpc_calc_par(s);
+                    kernels::drprecpc_app_par(s);
+                }
+                ExecPath::Simd => {
+                    #[cfg(feature = "simd")]
+                    {
+                        kernels::simd::drprecpc_calc_simd(s);
+                        kernels::simd::drprecpc_app_simd(s);
+                    }
+                    #[cfg(not(feature = "simd"))]
+                    {
+                        kernels::drprecpc_calc_par(s);
+                        kernels::drprecpc_app_par(s);
+                    }
+                }
             }
         }
         {
             let _p = tel.phase("sponge");
             let _k = pscope(&self.perf, "sponge");
-            if self.parallel {
-                kernels::apply_sponge_par(s);
-            } else {
-                kernels::apply_sponge(s);
+            match self.path {
+                ExecPath::Serial => kernels::apply_sponge(s),
+                ExecPath::Parallel => kernels::apply_sponge_par(s),
+                ExecPath::Simd => {
+                    #[cfg(feature = "simd")]
+                    kernels::simd::apply_sponge_simd(s);
+                    #[cfg(not(feature = "simd"))]
+                    kernels::apply_sponge_par(s);
+                }
             }
         }
         self.compression_roundtrip();
@@ -1089,7 +1228,7 @@ impl Simulation {
     fn compression_roundtrip(&mut self) {
         let Some(mut slots) = self.compression.take() else { return };
         let tel = self.telemetry.clone();
-        let parallel = self.parallel;
+        let parallel = self.path.is_parallel();
         {
             let _p = tel.phase("compression");
             let _k = pscope(&self.perf, "compression");
@@ -1216,6 +1355,14 @@ impl Simulation {
     /// Recording, flop accounting, checkpointing, clock advance.
     fn finish_step(&mut self) {
         let tel = self.telemetry.clone();
+        if self.fused.is_some() {
+            // Output boundary: the recorders below read scalar
+            // velocities every step; checkpoints and health probes also
+            // read the stresses, so refresh those only when something
+            // this step will consume them.
+            let stress = self.health.is_some() || self.restart.due(self.step_count + 1);
+            self.sync_fused(stress);
+        }
         {
             let _p = tel.phase("record");
             let s = &self.state;
@@ -1272,8 +1419,23 @@ impl Simulation {
             }
         }
         if let Some(monitor) = &mut self.health {
-            monitor.check(&self.state, self.step_count, self.time, self.parallel, &tel);
+            monitor.check(&self.state, self.step_count, self.time, self.path.is_parallel(), &tel);
         }
+    }
+
+    /// Refresh the scalar wavefields from the fused layout (no-op when
+    /// the simulation does not run fused). Velocities are always
+    /// written back; stresses only when `stress` is set. External
+    /// callers reading [`Simulation::state`] mid-run — or calling
+    /// [`Simulation::make_checkpoint`] / [`Simulation::collect_stats`]
+    /// outside the step loop — should call `sync_fused(true)` first.
+    pub fn sync_fused(&mut self, stress: bool) {
+        let Some(w) = self.fused.take() else { return };
+        w.gather_velocities(&mut self.state);
+        if stress {
+            w.gather_stress(&mut self.state);
+        }
+        self.fused = Some(w);
     }
 
     /// Write a due checkpoint into the durable store (when one is
@@ -1383,7 +1545,7 @@ impl Simulation {
             sources.push((format!("r{}", i + 1), r));
         }
         sources.push(("eqp".to_string(), &self.state.eqp));
-        let fields: Vec<(String, Field3)> = if self.parallel {
+        let fields: Vec<(String, Field3)> = if self.path.is_parallel() {
             sources.into_par_iter().map(|(name, f)| (name, f.clone())).collect()
         } else {
             sources.into_iter().map(|(name, f)| (name, f.clone())).collect()
@@ -1452,6 +1614,12 @@ impl Simulation {
         // Skip snapshots whose trigger time the restored clock has
         // already passed — a resumed run must not re-emit them.
         self.next_snapshot = self.snapshot_times.iter().filter(|t| **t <= self.time).count();
+        // The fused layout mirrors the scalar wavefields the checkpoint
+        // just overwrote — rebuild it so the next step reads the
+        // restored values.
+        if self.fused.is_some() {
+            self.fused = Some(FusedWavefield::from_state(&self.state));
+        }
         Ok(())
     }
 
@@ -1459,7 +1627,8 @@ impl Simulation {
     /// Parallel mode scans each field with the exact parallel reduction
     /// (`FieldStats::of_field_par`) — same statistics, any thread count.
     pub fn collect_stats(&self) -> Vec<(String, FieldStats)> {
-        let scan = if self.parallel { FieldStats::of_field_par } else { FieldStats::of_field };
+        let scan =
+            if self.path.is_parallel() { FieldStats::of_field_par } else { FieldStats::of_field };
         COMPRESSED_FIELDS
             .iter()
             .enumerate()
@@ -1589,6 +1758,11 @@ pub fn run_multirank(
     grid: RankGrid,
 ) -> Result<MultiRankOutput, RunError> {
     config.validate()?;
+    // Halo exchange reads and writes the scalar wavefields; a fused
+    // rank would exchange stale planes.
+    if config.fused && grid.len() > 1 {
+        return Err(ConfigError::FusedUnsupported { feature: "multirank halo exchange" }.into());
+    }
     let global = config.dims;
     let telemetry = config.telemetry.clone();
     let partitioner = SourcePartitioner::new(grid.mx, grid.my, global.nx, global.ny);

@@ -54,6 +54,14 @@ pub enum ConfigError {
         /// enum `Clone`/`PartialEq`).
         detail: String,
     },
+    /// The fused-layout production path was requested together with a
+    /// feature it does not cover (attenuation, plasticity, inter-step
+    /// compression, or multirank halo exchange — those operate on the
+    /// scalar wavefields).
+    FusedUnsupported {
+        /// The incompatible feature.
+        feature: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -80,6 +88,9 @@ impl fmt::Display for ConfigError {
             }
             Self::CheckpointDir { path, detail } => {
                 write!(f, "checkpoint directory {path} unusable: {detail}")
+            }
+            Self::FusedUnsupported { feature } => {
+                write!(f, "the fused wavefield path does not support {feature}")
             }
         }
     }

@@ -43,10 +43,52 @@ pub enum ExecMode {
     Serial,
     /// Rayon CPE-pool kernels for every step phase.
     Parallel,
+    /// SIMD-vectorized, cache-tiled kernels on the Rayon pool. Requires
+    /// the `simd` cargo feature; without it the driver falls back to
+    /// `Parallel` (documented, and reported via the perf ledger's exec
+    /// stamp so the fallback is never silent in measurements).
+    Simd,
     /// `Parallel` when the grid exceeds [`AUTO_PARALLEL_THRESHOLD`]
     /// points and the pool has more than one thread; `Serial` otherwise.
     #[default]
     Auto,
+}
+
+/// The concrete kernel path a mode resolved to for a given mesh — what
+/// the driver actually routes each step phase through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    /// Reference serial kernels.
+    Serial,
+    /// Rayon x-plane fan-out, scalar inner loops.
+    Parallel,
+    /// Rayon x-plane fan-out with SIMD lanes and z–y cache tiling.
+    Simd,
+}
+
+impl ExecPath {
+    /// Whether this path fans work out over the Rayon pool (the SIMD
+    /// path composes with the same x-plane decomposition, so every
+    /// pool-based fan-out — compression, checkpoint clones, health
+    /// scans — stays parallel under it).
+    pub fn is_parallel(self) -> bool {
+        !matches!(self, ExecPath::Serial)
+    }
+}
+
+impl fmt::Display for ExecPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExecPath::Serial => "serial",
+            ExecPath::Parallel => "parallel",
+            ExecPath::Simd => "simd",
+        })
+    }
+}
+
+/// Whether this build carries the vectorized kernels (`--features simd`).
+pub const fn simd_compiled() -> bool {
+    cfg!(feature = "simd")
 }
 
 impl ExecMode {
@@ -57,12 +99,33 @@ impl ExecMode {
         std::env::var("SWQUAKE_EXEC").ok().and_then(|v| v.parse().ok()).unwrap_or_default()
     }
 
-    /// Resolve the mode for a mesh: `true` means run the parallel path.
+    /// Resolve the mode for a mesh: `true` means run a pool-based path.
     pub fn resolve(self, points: usize) -> bool {
+        self.resolve_path(points).is_parallel()
+    }
+
+    /// Resolve the mode for a mesh into the concrete kernel path.
+    /// `Simd` degrades to `Parallel` when the `simd` feature is not
+    /// compiled in (both are bit-identical to serial, so only throughput
+    /// changes).
+    pub fn resolve_path(self, points: usize) -> ExecPath {
         match self {
-            ExecMode::Serial => false,
-            ExecMode::Parallel => true,
-            ExecMode::Auto => points >= AUTO_PARALLEL_THRESHOLD && rayon::current_num_threads() > 1,
+            ExecMode::Serial => ExecPath::Serial,
+            ExecMode::Parallel => ExecPath::Parallel,
+            ExecMode::Simd => {
+                if simd_compiled() {
+                    ExecPath::Simd
+                } else {
+                    ExecPath::Parallel
+                }
+            }
+            ExecMode::Auto => {
+                if points >= AUTO_PARALLEL_THRESHOLD && rayon::current_num_threads() > 1 {
+                    ExecPath::Parallel
+                } else {
+                    ExecPath::Serial
+                }
+            }
         }
     }
 }
@@ -74,8 +137,11 @@ impl FromStr for ExecMode {
         match s.to_ascii_lowercase().as_str() {
             "serial" => Ok(ExecMode::Serial),
             "parallel" => Ok(ExecMode::Parallel),
+            "simd" => Ok(ExecMode::Simd),
             "auto" => Ok(ExecMode::Auto),
-            other => Err(format!("unknown exec mode `{other}` (expected serial|parallel|auto)")),
+            other => {
+                Err(format!("unknown exec mode `{other}` (expected serial|parallel|simd|auto)"))
+            }
         }
     }
 }
@@ -85,6 +151,7 @@ impl fmt::Display for ExecMode {
         f.write_str(match self {
             ExecMode::Serial => "serial",
             ExecMode::Parallel => "parallel",
+            ExecMode::Simd => "simd",
             ExecMode::Auto => "auto",
         })
     }
@@ -119,10 +186,11 @@ mod tests {
 
     #[test]
     fn parsing_round_trips() {
-        for mode in [ExecMode::Serial, ExecMode::Parallel, ExecMode::Auto] {
+        for mode in [ExecMode::Serial, ExecMode::Parallel, ExecMode::Simd, ExecMode::Auto] {
             assert_eq!(mode.to_string().parse::<ExecMode>().unwrap(), mode);
         }
         assert_eq!("PARALLEL".parse::<ExecMode>().unwrap(), ExecMode::Parallel);
+        assert_eq!("SIMD".parse::<ExecMode>().unwrap(), ExecMode::Simd);
         assert!("cpes".parse::<ExecMode>().is_err());
     }
 
@@ -130,6 +198,20 @@ mod tests {
     fn fixed_modes_ignore_grid_size() {
         assert!(!ExecMode::Serial.resolve(usize::MAX));
         assert!(ExecMode::Parallel.resolve(1));
+        assert!(ExecMode::Simd.resolve(1), "simd is pool-based with or without the feature");
+    }
+
+    #[test]
+    fn simd_path_honours_the_compiled_feature() {
+        let path = ExecMode::Simd.resolve_path(1);
+        if simd_compiled() {
+            assert_eq!(path, ExecPath::Simd);
+        } else {
+            assert_eq!(path, ExecPath::Parallel, "feature off: degrade to parallel");
+        }
+        assert!(path.is_parallel());
+        assert_eq!(ExecMode::Serial.resolve_path(usize::MAX), ExecPath::Serial);
+        assert_eq!(ExecPath::Simd.to_string(), "simd");
     }
 
     #[test]

@@ -54,7 +54,7 @@ fn scan_plane(field: &Field3, x: usize) -> PlaneScan {
     let d = field.dims();
     let mut s = PlaneScan::default();
     for y in 0..d.ny {
-        let zs = &field.z_run(x, y)[..d.nz];
+        let zs = &field.row(x, y)[..d.nz];
         // Fast path: a lane-split max/finiteness fold over the run —
         // eight independent accumulators so the loop vectorizes
         // instead of serializing on one compare chain. `max` is

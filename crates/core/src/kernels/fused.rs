@@ -16,6 +16,7 @@
 use crate::staggered::{C1, C2};
 use crate::state::SolverState;
 use sw_grid::{Vec3Field, Vec6Field};
+use sw_source::PointSource;
 
 /// The wavefields in the paper's fused layout.
 #[derive(Debug, Clone)]
@@ -48,6 +49,39 @@ impl FusedWavefield {
         s.xy = xy;
         s.xz = xz;
         s.yz = yz;
+    }
+
+    /// Copy the fused velocities into the state's scalar `(u, v, w)`
+    /// without consuming the fused layout. The driver's fused production
+    /// path calls this every step: seismogram/PGV recording reads the
+    /// scalar velocity fields, so they are an output boundary.
+    pub fn gather_velocities(&self, s: &mut SolverState) {
+        for (c, f) in [&mut s.u, &mut s.v, &mut s.w].into_iter().enumerate() {
+            for (dst, src) in f.raw_mut().iter_mut().zip(self.vel.raw()) {
+                *dst = src[c];
+            }
+        }
+    }
+
+    /// Copy the fused stresses into the state's six scalar fields without
+    /// consuming the fused layout. Only needed at checkpoint / health /
+    /// snapshot boundaries — the fused path keeps stress fused between
+    /// them.
+    pub fn gather_stress(&self, s: &mut SolverState) {
+        for (c, f) in [&mut s.xx, &mut s.yy, &mut s.zz, &mut s.xy, &mut s.xz, &mut s.yz]
+            .into_iter()
+            .enumerate()
+        {
+            for (dst, src) in f.raw_mut().iter_mut().zip(self.stress.raw()) {
+                *dst = src[c];
+            }
+        }
+    }
+
+    /// Full non-consuming write-back: velocities and stresses.
+    pub fn gather_all(&self, s: &mut SolverState) {
+        self.gather_velocities(s);
+        self.gather_stress(s);
     }
 }
 
@@ -117,7 +151,7 @@ pub fn dvelc_fused(w: &mut FusedWavefield, s: &SolverState) {
         for y in 0..d.ny {
             for z in 0..d.nz {
                 let (xi, yi, zi) = (x as isize, y as isize, z as isize);
-                let b = dt_dx / s.rho.get(x, y, z);
+                let b = dt_dx * s.buoyancy.get(x, y, z);
                 let du = d_plus(stress, XX, xi, yi, zi, AX)
                     + d_minus(stress, XY, xi, yi, zi, AY)
                     + d_minus(stress, XZ, xi, yi, zi, AZ);
@@ -174,10 +208,78 @@ pub fn dstrqc_fused(w: &mut FusedWavefield, s: &SolverState) {
     }
 }
 
+/// Free-surface imaging on the fused layout — mirrors [`crate::kernels::fstr`]
+/// component-for-component (σzz zeroed and antisymmetric, σxz/σyz
+/// antisymmetric about the half-staggered surface, `w` symmetric).
+pub fn fstr_fused(w: &mut FusedWavefield, s: &SolverState) {
+    let d = s.dims;
+    for x in 0..d.nx {
+        for y in 0..d.ny {
+            let (xi, yi) = (x as isize, y as isize);
+            let st = &mut w.stress;
+            st.set_comp_i(ZZ, xi, yi, 0, 0.0);
+            st.set_comp_i(ZZ, xi, yi, -1, -st.comp_i(ZZ, xi, yi, 1));
+            st.set_comp_i(ZZ, xi, yi, -2, -st.comp_i(ZZ, xi, yi, 2));
+            st.set_comp_i(XZ, xi, yi, -1, -st.comp_i(XZ, xi, yi, 0));
+            st.set_comp_i(XZ, xi, yi, -2, -st.comp_i(XZ, xi, yi, 1));
+            st.set_comp_i(YZ, xi, yi, -1, -st.comp_i(YZ, xi, yi, 0));
+            st.set_comp_i(YZ, xi, yi, -2, -st.comp_i(YZ, xi, yi, 1));
+            let vel = &mut w.vel;
+            vel.set_comp_i(2, xi, yi, -1, vel.comp_i(2, xi, yi, 0));
+            vel.set_comp_i(2, xi, yi, -2, vel.comp_i(2, xi, yi, 1));
+        }
+    }
+}
+
+/// Source injection on the fused layout — same accumulation as
+/// [`crate::kernels::addsrc`], one fused read-modify-write per source.
+pub fn addsrc_fused(w: &mut FusedWavefield, s: &SolverState, sources: &[PointSource], t: f64) {
+    let d = s.dims;
+    let vol = s.dx * s.dx * s.dx;
+    for src in sources {
+        if src.ix >= d.nx || src.iy >= d.ny || src.iz >= d.nz {
+            continue;
+        }
+        let inc = src.stress_increment(t, s.dt, vol);
+        let mut t6 = w.stress.get(src.ix, src.iy, src.iz);
+        for (c, i) in t6.iter_mut().zip(inc) {
+            *c += i;
+        }
+        w.stress.set(src.ix, src.iy, src.iz, t6);
+    }
+}
+
+/// Cerjan sponge on the fused layout. Each element is multiplied once by
+/// the same damping factor as the scalar kernel, so the result is
+/// bit-identical regardless of traversal order. The fused production
+/// path is elastic-only (no memory variables), so only the nine
+/// wavefield components are damped.
+pub fn apply_sponge_fused(w: &mut FusedWavefield, s: &SolverState) {
+    if s.options.sponge_width == 0 {
+        return;
+    }
+    let d = s.dims;
+    for x in 0..d.nx {
+        for y in 0..d.ny {
+            let damp = s.dcrj.row(x, y);
+            for (v3, &g) in w.vel.z_run_mut(x, y).iter_mut().zip(damp) {
+                for c in v3.iter_mut() {
+                    *c *= g;
+                }
+            }
+            for (t6, &g) in w.stress.z_run_mut(x, y).iter_mut().zip(damp) {
+                for c in t6.iter_mut() {
+                    *c *= g;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernels::{dstrqc, velocity::update_velocity_region};
+    use crate::kernels::{addsrc, apply_sponge, dstrqc, fstr, velocity::update_velocity_region};
     use crate::state::StateOptions;
     use sw_grid::Dims3;
     use sw_model::HalfspaceModel;
@@ -240,6 +342,91 @@ mod tests {
         for (a, b) in scalar.stress().iter().zip(out.stress().iter()) {
             assert_eq!(a.max_abs_diff(b), 0.0);
         }
+    }
+
+    #[test]
+    fn fused_free_surface_matches_scalar_bitwise() {
+        let mut scalar = noisy_state();
+        fstr(&mut scalar);
+        let reference = noisy_state();
+        let mut fused = FusedWavefield::from_state(&reference);
+        fstr_fused(&mut fused, &reference);
+        let mut out = reference.clone();
+        fused.into_state(&mut out);
+        assert_eq!(scalar.zz.max_abs_diff(&out.zz), 0.0);
+        assert_eq!(scalar.xz.max_abs_diff(&out.xz), 0.0);
+        assert_eq!(scalar.yz.max_abs_diff(&out.yz), 0.0);
+        assert_eq!(scalar.w.max_abs_diff(&out.w), 0.0);
+        // the mirrored halo planes themselves must match too
+        assert_eq!(out.zz.at_i(3, 4, -1), scalar.zz.at_i(3, 4, -1));
+        assert_eq!(out.w.at_i(3, 4, -2), scalar.w.at_i(3, 4, -2));
+    }
+
+    #[test]
+    fn fused_source_injection_matches_scalar_bitwise() {
+        use sw_source::{MomentTensor, SourceTimeFunction};
+        let src = PointSource {
+            ix: 4,
+            iy: 5,
+            iz: 6,
+            moment: MomentTensor::double_couple(30.0, 90.0, 0.0, 1.0e15),
+            stf: SourceTimeFunction::Triangle { onset: 0.0, duration: 0.5 },
+        };
+        let oob = PointSource { ix: 100, ..src };
+        let mut scalar = noisy_state();
+        addsrc(&mut scalar, &[src, oob], 0.25);
+        let reference = noisy_state();
+        let mut fused = FusedWavefield::from_state(&reference);
+        addsrc_fused(&mut fused, &reference, &[src, oob], 0.25);
+        let mut out = reference.clone();
+        fused.into_state(&mut out);
+        for (a, b) in scalar.stress().iter().zip(out.stress().iter()) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+    }
+
+    #[test]
+    fn fused_sponge_matches_scalar_bitwise() {
+        let opts = StateOptions { attenuation: false, ..Default::default() };
+        let mut scalar = SolverState::from_model(
+            &HalfspaceModel::hard_rock(),
+            Dims3::new(16, 14, 12),
+            100.0,
+            (0.0, 0.0, 0.0),
+            opts,
+        );
+        for (x, y, z) in scalar.dims.iter() {
+            let v = ((x * 31 + y * 17 + z * 7) % 23) as f32 - 11.0;
+            scalar.xx.set(x, y, z, v * 1e4);
+            scalar.u.set(x, y, z, v * 0.01);
+            scalar.yz.set(x, y, z, v * 3e3);
+        }
+        assert!(scalar.options.sponge_width > 0, "fixture must exercise the sponge");
+        let reference = scalar.clone();
+        apply_sponge(&mut scalar);
+        let mut fused = FusedWavefield::from_state(&reference);
+        apply_sponge_fused(&mut fused, &reference);
+        let mut out = reference.clone();
+        fused.into_state(&mut out);
+        assert_eq!(scalar.u.max_abs_diff(&out.u), 0.0);
+        assert_eq!(scalar.xx.max_abs_diff(&out.xx), 0.0);
+        assert_eq!(scalar.yz.max_abs_diff(&out.yz), 0.0);
+    }
+
+    #[test]
+    fn gather_helpers_write_back_without_consuming() {
+        let s = noisy_state();
+        let fused = FusedWavefield::from_state(&s);
+        let mut out = noisy_state();
+        // scrub the wavefields so the gather has to restore them
+        out.u.fill_with(|_, _, _| 0.0);
+        out.xx.fill_with(|_, _, _| 0.0);
+        fused.gather_velocities(&mut out);
+        assert_eq!(s.u.max_abs_diff(&out.u), 0.0);
+        assert_eq!(out.xx.max_abs(), 0.0, "velocities-only gather leaves stress alone");
+        fused.gather_all(&mut out);
+        assert_eq!(s.xx.max_abs_diff(&out.xx), 0.0);
+        assert_eq!(s.yz.max_abs_diff(&out.yz), 0.0);
     }
 
     #[test]

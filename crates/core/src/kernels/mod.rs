@@ -20,13 +20,17 @@ pub mod freesurf;
 pub mod fused;
 pub mod parallel;
 pub mod plastic;
+#[cfg(feature = "simd")]
+pub mod simd;
 pub mod source;
 pub mod sponge;
 pub mod stress;
 pub mod velocity;
 
 pub use freesurf::fstr;
-pub use fused::{dstrqc_fused, dvelc_fused, FusedWavefield};
+pub use fused::{
+    addsrc_fused, apply_sponge_fused, dstrqc_fused, dvelc_fused, fstr_fused, FusedWavefield,
+};
 pub use parallel::{
     apply_sponge_par, drprecpc_app_par, drprecpc_calc_par, dstrqc_par, dvelc_par, fstr_par,
 };

@@ -31,7 +31,7 @@ pub fn dvelc_par(s: &mut SolverState) {
     let dt_dx = (s.dt / s.dx) as f32;
     let (xx, yy, zz) = (&s.xx, &s.yy, &s.zz);
     let (xy, xz, yz) = (&s.xy, &s.xz, &s.yz);
-    let rho = &s.rho;
+    let buoyancy = &s.buoyancy;
     let u_planes = s.u.raw_mut().par_chunks_mut(stride);
     let v_planes = s.v.raw_mut().par_chunks_mut(stride);
     let w_planes = s.w.raw_mut().par_chunks_mut(stride);
@@ -41,7 +41,7 @@ pub fn dvelc_par(s: &mut SolverState) {
             for y in 0..d.ny {
                 for z in 0..d.nz {
                     let o = (y + h) * p.nz + (z + h);
-                    let b = dt_dx / rho.get(x, y, z);
+                    let b = dt_dx * buoyancy.get(x, y, z);
                     let du = dxp(xx, x, y, z) + dym(xy, x, y, z) + dzm(xz, x, y, z);
                     let dv = dxm(xy, x, y, z) + dyp(yy, x, y, z) + dzm(yz, x, y, z);
                     let dw = dxm(xz, x, y, z) + dym(yz, x, y, z) + dzp(zz, x, y, z);
@@ -308,7 +308,7 @@ pub fn apply_sponge_par(s: &mut SolverState) {
         |(px, ((((((((pu, pv), pw), pxx), pyy), pzz), pxy), pxz), pyz))| {
             let x = px - h;
             for y in 0..d.ny {
-                let damp = dcrj.z_run(x, y);
+                let damp = dcrj.row(x, y);
                 let base = (y + h) * p.nz + h;
                 for plane in [&mut *pu, pv, pw, pxx, pyy, pzz, pxy, pxz, pyz] {
                     for (v, &g) in plane[base..base + d.nz].iter_mut().zip(damp) {
@@ -331,7 +331,7 @@ pub fn apply_sponge_par(s: &mut SolverState) {
         planes.enumerate().skip(h).take(d.nx).for_each(|(px, (((((p0, p1), p2), p3), p4), p5))| {
             let x = px - h;
             for y in 0..d.ny {
-                let damp = dcrj.z_run(x, y);
+                let damp = dcrj.row(x, y);
                 let base = (y + h) * p.nz + h;
                 for plane in [&mut *p0, p1, p2, p3, p4, p5] {
                     for (v, &g) in plane[base..base + d.nz].iter_mut().zip(damp) {

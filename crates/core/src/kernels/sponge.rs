@@ -16,18 +16,18 @@ pub fn apply_sponge(s: &mut SolverState) {
     }
     for x in 0..d.nx {
         for y in 0..d.ny {
-            let damp: Vec<f32> = s.dcrj.z_run(x, y).to_vec();
+            let damp: Vec<f32> = s.dcrj.row(x, y).to_vec();
             for f in [
                 &mut s.u, &mut s.v, &mut s.w, &mut s.xx, &mut s.yy, &mut s.zz, &mut s.xy,
                 &mut s.xz, &mut s.yz,
             ] {
-                for (v, &g) in f.z_run_mut(x, y).iter_mut().zip(&damp) {
+                for (v, &g) in f.row_mut(x, y).iter_mut().zip(&damp) {
                     *v *= g;
                 }
             }
             if s.options.attenuation {
                 for f in s.r.iter_mut() {
-                    for (v, &g) in f.z_run_mut(x, y).iter_mut().zip(&damp) {
+                    for (v, &g) in f.row_mut(x, y).iter_mut().zip(&damp) {
                         *v *= g;
                     }
                 }

@@ -14,13 +14,21 @@ use std::ops::Range;
 use sw_grid::HALO_WIDTH;
 
 /// Update velocities in the sub-box `x_range × y_range` (full z).
+///
+/// The per-cell density divide is hoisted into the precomputed
+/// `buoyancy` field (`1/ρ`), so the hottest loop multiplies instead.
+/// Bit-compat note: `dt_dx * (1/ρ)` rounds differently from `dt_dx / ρ`
+/// in general, so this changed results vs the pre-buoyancy kernels by
+/// ≤ 1 ulp per update; every execution path (scalar, parallel, SIMD,
+/// fused) shares the same buoyancy formulation and stays bit-identical
+/// across modes.
 pub fn update_velocity_region(s: &mut SolverState, x_range: Range<usize>, y_range: Range<usize>) {
     let d = s.dims;
     let dt_dx = (s.dt / s.dx) as f32;
     for x in x_range {
         for y in y_range.clone() {
             for z in 0..d.nz {
-                let b = dt_dx / s.rho.get(x, y, z);
+                let b = dt_dx * s.buoyancy.get(x, y, z);
                 let du = dxp(&s.xx, x, y, z) + dym(&s.xy, x, y, z) + dzm(&s.xz, x, y, z);
                 let dv = dxm(&s.xy, x, y, z) + dyp(&s.yy, x, y, z) + dzm(&s.yz, x, y, z);
                 let dw = dxm(&s.xz, x, y, z) + dym(&s.yz, x, y, z) + dzp(&s.zz, x, y, z);
@@ -133,6 +141,7 @@ mod tests {
         for v in heavy.rho.raw_mut() {
             *v *= 2.0;
         }
+        heavy.rebuild_buoyancy();
         dvelcx(&mut s);
         dvelcx(&mut heavy);
         let a = s.u.get(5, 5, 3);

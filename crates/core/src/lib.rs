@@ -51,6 +51,6 @@ pub mod sunway;
 
 pub use driver::{MultiRankOutput, ResumeInfo, SimConfig, Simulation};
 pub use error::{ConfigError, KilledError, RestoreError, RunError, UnstableError};
-pub use exec::ExecMode;
+pub use exec::{simd_compiled, ExecMode, ExecPath};
 pub use framework::UnifiedFramework;
 pub use state::SolverState;

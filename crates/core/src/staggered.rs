@@ -168,4 +168,114 @@ mod tests {
         assert_eq!(dym(&f, 2, 2, 2), 0.0);
         assert_eq!(dzp(&f, 2, 2, 2), 0.0);
     }
+
+    /// At the domain edges every operator's widest tap lands exactly on
+    /// the outermost halo plane (offset ±2 = `HALO_WIDTH`), never
+    /// beyond: with the halo ramp in place the derivative stays exact at
+    /// index 0 and `n−1` on each axis, which fails if any tap is
+    /// clamped, wrapped, or reads a stale interior value.
+    #[test]
+    fn exact_at_domain_edges_for_all_six_operators() {
+        let n = 6;
+        for (axis, dp, dm) in [
+            (
+                0usize,
+                dxp as fn(&Field3, usize, usize, usize) -> f32,
+                dxm as fn(&Field3, usize, usize, usize) -> f32,
+            ),
+            (1, dyp, dym),
+            (2, dzp, dzm),
+        ] {
+            let f = ramp(axis, -2.25);
+            for edge in [0, n - 1] {
+                let at = |p: usize| match axis {
+                    0 => (p, 2, 3),
+                    1 => (2, p, 3),
+                    _ => (2, 3, p),
+                };
+                let (x, y, z) = at(edge);
+                assert!(
+                    (dp(&f, x, y, z) + 2.25).abs() < 1e-5,
+                    "D+ axis {axis} at edge {edge}: {}",
+                    dp(&f, x, y, z)
+                );
+                assert!(
+                    (dm(&f, x, y, z) + 2.25).abs() < 1e-5,
+                    "D- axis {axis} at edge {edge}: {}",
+                    dm(&f, x, y, z)
+                );
+            }
+        }
+    }
+
+    /// The operators read *only* their four stencil taps: poisoning
+    /// every cell except the taps with huge garbage leaves the result
+    /// unchanged. Pins the exact tap footprint (x−2..x+1 for D⁻,
+    /// x−1..x+2 for D⁺) at an edge point where half the taps sit in the
+    /// halo.
+    #[test]
+    fn edge_stencil_reads_only_its_four_taps() {
+        let d = Dims3::cube(5);
+        let probe = (0usize, 2usize, 2usize); // x = 0: taps reach into the x halo
+        let taps_m: Vec<isize> = vec![-2, -1, 0, 1];
+        let taps_p: Vec<isize> = vec![-1, 0, 1, 2];
+        for (taps, op) in [(taps_m, dxm as fn(&Field3, usize, usize, usize) -> f32), (taps_p, dxp)]
+        {
+            let mut clean = Field3::new(d, 2);
+            for &t in &taps {
+                clean.set_i(probe.0 as isize + t, probe.1 as isize, probe.2 as isize, t as f32);
+            }
+            let want = op(&clean, probe.0, probe.1, probe.2);
+            // Poison everything outside the tap footprint, halos included.
+            let mut dirty = Field3::new(d, 2);
+            for x in -2..7isize {
+                for y in -2..7isize {
+                    for z in -2..7isize {
+                        dirty.set_i(x, y, z, 1.0e30);
+                    }
+                }
+            }
+            for &t in &taps {
+                dirty.set_i(probe.0 as isize + t, probe.1 as isize, probe.2 as isize, t as f32);
+            }
+            assert_eq!(
+                op(&dirty, probe.0, probe.1, probe.2).to_bits(),
+                want.to_bits(),
+                "operator read outside its stencil"
+            );
+        }
+    }
+
+    /// Halo values loaded from a neighbouring subdomain participate
+    /// bitwise-identically to interior values: differentiating across a
+    /// seam where the "exchanged" halo carries the continuation of the
+    /// ramp gives the same result as the unsplit field. This is the
+    /// contract the multirank halo exchange relies on.
+    #[test]
+    fn halo_boundary_taps_match_interior_taps() {
+        let whole = ramp(2, 1.75);
+        // A "rank-local" field whose interior is z ∈ [0, 6) of the whole
+        // field and whose z halo was filled by exchange.
+        let d = Dims3::cube(6);
+        let mut local = Field3::new(d, 2);
+        for x in -2..8isize {
+            for y in -2..8isize {
+                for z in -2..8isize {
+                    local.set_i(x, y, z, whole.at_i(x, y, z));
+                }
+            }
+        }
+        for z in [0, 1, 4, 5] {
+            assert_eq!(
+                dzm(&local, 3, 3, z).to_bits(),
+                dzm(&whole, 3, 3, z).to_bits(),
+                "D- differs at z = {z}"
+            );
+            assert_eq!(
+                dzp(&local, 3, 3, z).to_bits(),
+                dzp(&whole, 3, 3, z).to_bits(),
+                "D+ differs at z = {z}"
+            );
+        }
+    }
 }

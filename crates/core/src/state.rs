@@ -111,6 +111,11 @@ pub struct SolverState {
     pub mu: Field3,
     /// Density, kg/m³.
     pub rho: Field3,
+    /// Reciprocal density `1/ρ`, 1/(kg/m³) — precomputed so the velocity
+    /// update multiplies instead of dividing per cell. Kept in exact sync
+    /// with `rho` by [`Self::from_model`]; code that rescales `rho` must
+    /// rescale this too (or call [`Self::rebuild_buoyancy`]).
+    pub buoyancy: Field3,
     /// P attenuation weight `1/Qp`.
     pub wp: Field3,
     /// S attenuation weight `1/Qs`.
@@ -170,6 +175,7 @@ impl SolverState {
             lam: f(),
             mu: f(),
             rho: f(),
+            buoyancy: f(),
             wp: f(),
             ws: f(),
             cohes: f(),
@@ -197,6 +203,7 @@ impl SolverState {
                     state.lam.set(x, y, z, m.lambda());
                     state.mu.set(x, y, z, m.mu());
                     state.rho.set(x, y, z, m.rho);
+                    state.buoyancy.set(x, y, z, 1.0 / m.rho);
                     state.wp.set(x, y, z, 1.0 / m.qp);
                     state.ws.set(x, y, z, 1.0 / m.qs);
                     if options.nonlinear {
@@ -250,10 +257,18 @@ impl SolverState {
 
     /// Number of 3-D arrays the state carries (the §3 accounting).
     pub fn array_count(&self) -> usize {
-        let base = 3 + 6 + 5 + 1; // vel + stress + material + dcrj
+        let base = 3 + 6 + 6 + 1; // vel + stress + material (incl. buoyancy) + dcrj
         let atten = if self.options.attenuation { 6 + 2 } else { 0 };
         let plast = if self.options.nonlinear { 7 } else { 0 };
         base + atten + plast
+    }
+
+    /// Recompute `buoyancy = 1/ρ` from the current density field — for
+    /// code (tests, experiments) that edits `rho` after construction.
+    pub fn rebuild_buoyancy(&mut self) {
+        for (b, &r) in self.buoyancy.raw_mut().iter_mut().zip(self.rho.raw()) {
+            *b = if r != 0.0 { 1.0 / r } else { 0.0 };
+        }
     }
 
     /// The stress components as an array of references (xx..yz order).
@@ -269,7 +284,7 @@ impl SolverState {
         let mut e = 0.0f64;
         for y in 0..d.ny {
             let (us, vs, ws, rs) =
-                (self.u.z_run(x, y), self.v.z_run(x, y), self.w.z_run(x, y), self.rho.z_run(x, y));
+                (self.u.row(x, y), self.v.row(x, y), self.w.row(x, y), self.rho.row(x, y));
             for z in 0..d.nz {
                 let v2 = (us[z] * us[z] + vs[z] * vs[z] + ws[z] * ws[z]) as f64;
                 e += 0.5 * rs[z] as f64 * v2;
@@ -343,7 +358,20 @@ mod tests {
         assert!((s.mu.get(3, 3, 3) - m.mu()).abs() / m.mu() < 1e-6);
         assert!((s.lam.get(3, 3, 3) - m.lambda()).abs() / m.lambda() < 1e-6);
         assert_eq!(s.rho.get(0, 0, 0), 2700.0);
+        assert_eq!(s.buoyancy.get(0, 0, 0), 1.0 / 2700.0);
         assert!((s.wp.get(0, 0, 0) - 1.0 / 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebuild_buoyancy_tracks_density_edits() {
+        let mut s = state(false);
+        for v in s.rho.raw_mut() {
+            *v *= 2.0;
+        }
+        s.rebuild_buoyancy();
+        assert_eq!(s.buoyancy.get(3, 3, 3), 1.0 / 5400.0);
+        // Halo density is zero; buoyancy must not become inf there.
+        assert_eq!(s.buoyancy.at_i(-1, 0, 0), 0.0);
     }
 
     #[test]

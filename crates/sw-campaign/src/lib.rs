@@ -961,6 +961,8 @@ mod tests {
             wall_s: steps as f64 * 0.01,
             step_p50_s: 0.01,
             step_p95_s: 0.012,
+            exec_mode: None,
+            features: None,
             kernels: vec![PerfKernel::from_counts(
                 "dvelc",
                 steps as f64 * 0.004,

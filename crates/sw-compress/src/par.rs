@@ -79,7 +79,7 @@ pub fn field_max_abs_par(f: &sw_grid::Field3) -> f32 {
         .map(|x| {
             let mut m = 0.0f32;
             for y in 0..d.ny {
-                for &v in f.z_run(x, y) {
+                for &v in f.row(x, y) {
                     m = m.max(v.abs());
                 }
             }

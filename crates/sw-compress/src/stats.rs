@@ -73,7 +73,7 @@ impl FieldStats {
         let d = f.dims();
         for x in 0..d.nx {
             for y in 0..d.ny {
-                s.observe_slice(f.z_run(x, y));
+                s.observe_slice(f.row(x, y));
             }
         }
         s
@@ -91,7 +91,7 @@ impl FieldStats {
             .map(|x| {
                 let mut s = Self::empty();
                 for y in 0..d.ny {
-                    s.observe_slice(f.z_run(x, y));
+                    s.observe_slice(f.row(x, y));
                 }
                 s
             })

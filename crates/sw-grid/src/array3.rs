@@ -173,19 +173,55 @@ impl Field3 {
         &mut self.data
     }
 
-    /// The contiguous z-run (length `nz`) at interior `(x, y, 0..nz)`.
+    /// The contiguous interior row (length `nz`) at `(x, y, 0..nz)` — the
+    /// one blessed way to get at contiguous lanes for plane scans,
+    /// reductions, and vectorized kernels.
     #[inline]
-    pub fn z_run(&self, x: usize, y: usize) -> &[f32] {
+    pub fn row(&self, x: usize, y: usize) -> &[f32] {
+        debug_assert!(x < self.interior.nx && y < self.interior.ny);
         let o = self.off(x, y, 0);
         &self.data[o..o + self.interior.nz]
     }
 
-    /// Mutable contiguous z-run at interior `(x, y, 0..nz)`.
+    /// Mutable contiguous interior row at `(x, y, 0..nz)`.
     #[inline]
-    pub fn z_run_mut(&mut self, x: usize, y: usize) -> &mut [f32] {
+    pub fn row_mut(&mut self, x: usize, y: usize) -> &mut [f32] {
+        debug_assert!(x < self.interior.nx && y < self.interior.ny);
         let o = self.off(x, y, 0);
         let nz = self.interior.nz;
         &mut self.data[o..o + nz]
+    }
+
+    /// Halo-extended row at signed `(x, y)`: spans `z ∈ [-h, nz+h)` so a
+    /// z-stencil of radius ≤ `h` taps it without branches. Interior `z`
+    /// maps to slice index `z + halo`.
+    #[inline]
+    pub fn row_halo(&self, x: isize, y: isize) -> &[f32] {
+        let h = self.halo as isize;
+        debug_assert!(x >= -h && y >= -h);
+        debug_assert!(x < self.interior.nx as isize + h && y < self.interior.ny as isize + h);
+        let o = self.padded.offset((x + h) as usize, (y + h) as usize, 0);
+        &self.data[o..o + self.padded.nz]
+    }
+
+    /// Per-tile halo-aware slice: the z-tile `[z0, z0+len)` of the row at
+    /// signed `(x, y)`, extended by the halo on both sides so every
+    /// z-stencil tap of the tile is a plain load. The returned slice spans
+    /// `z ∈ [z0-h, z0+len+h)`; tile-local `z` maps to index `z - z0 + halo`.
+    #[inline]
+    pub fn row_tile(&self, x: isize, y: isize, z0: usize, len: usize) -> &[f32] {
+        debug_assert!(z0 + len <= self.interior.nz);
+        let row = self.row_halo(x, y);
+        &row[z0..z0 + len + 2 * self.halo]
+    }
+
+    /// Mutable interior z-tile `[z0, z0+len)` of the row at `(x, y)` (no
+    /// halo extension — writes stay inside the tile).
+    #[inline]
+    pub fn row_tile_mut(&mut self, x: usize, y: usize, z0: usize, len: usize) -> &mut [f32] {
+        debug_assert!(z0 + len <= self.interior.nz);
+        let o = self.off(x, y, z0);
+        &mut self.data[o..o + len]
     }
 
     /// Fill interior from a closure over interior coordinates.
@@ -202,7 +238,7 @@ impl Field3 {
         let mut out = Vec::with_capacity(d.len());
         for x in 0..d.nx {
             for y in 0..d.ny {
-                out.extend_from_slice(self.z_run(x, y));
+                out.extend_from_slice(self.row(x, y));
             }
         }
         out
@@ -215,7 +251,7 @@ impl Field3 {
         for x in 0..d.nx {
             for y in 0..d.ny {
                 let o = (x * d.ny + y) * d.nz;
-                self.z_run_mut(x, y).copy_from_slice(&src[o..o + d.nz]);
+                self.row_mut(x, y).copy_from_slice(&src[o..o + d.nz]);
             }
         }
     }
@@ -226,7 +262,7 @@ impl Field3 {
         let mut m = 0.0f32;
         for x in 0..d.nx {
             for y in 0..d.ny {
-                for &v in self.z_run(x, y) {
+                for &v in self.row(x, y) {
                     m = m.max(v.abs());
                 }
             }
@@ -240,7 +276,7 @@ impl Field3 {
         let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
         for x in 0..d.nx {
             for y in 0..d.ny {
-                for &v in self.z_run(x, y) {
+                for &v in self.row(x, y) {
                     lo = lo.min(v);
                     hi = hi.max(v);
                 }
@@ -255,7 +291,7 @@ impl Field3 {
         let mut s = 0.0f64;
         for x in 0..d.nx {
             for y in 0..d.ny {
-                for &v in self.z_run(x, y) {
+                for &v in self.row(x, y) {
                     s += (v as f64) * (v as f64);
                 }
             }
@@ -270,7 +306,7 @@ impl Field3 {
         let mut m = 0.0f32;
         for x in 0..d.nx {
             for y in 0..d.ny {
-                for (a, b) in self.z_run(x, y).iter().zip(other.z_run(x, y)) {
+                for (a, b) in self.row(x, y).iter().zip(other.row(x, y)) {
                     m = m.max((a - b).abs());
                 }
             }
@@ -305,12 +341,56 @@ mod tests {
     }
 
     #[test]
-    fn z_run_is_contiguous_interior() {
+    fn row_is_contiguous_interior() {
         let mut f = Field3::new(Dims3::new(2, 2, 4), 1);
         for z in 0..4 {
             f.set(1, 1, z, z as f32);
         }
-        assert_eq!(f.z_run(1, 1), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(f.row(1, 1), &[0.0, 1.0, 2.0, 3.0]);
+        f.row_mut(1, 1)[2] = 9.0;
+        assert_eq!(f.get(1, 1, 2), 9.0);
+    }
+
+    #[test]
+    fn row_halo_spans_both_halos() {
+        let mut f = Field3::new(Dims3::new(3, 3, 4), 2);
+        f.set_i(1, 1, -2, -2.0);
+        f.set_i(1, 1, -1, -1.0);
+        for z in 0..4 {
+            f.set(1, 1, z, z as f32);
+        }
+        f.set_i(1, 1, 4, 40.0);
+        f.set_i(1, 1, 5, 50.0);
+        assert_eq!(f.row_halo(1, 1), &[-2.0, -1.0, 0.0, 1.0, 2.0, 3.0, 40.0, 50.0]);
+        // Signed (x, y) reaches rows inside the x/y halo.
+        assert_eq!(f.row_halo(-1, 1).len(), 8);
+    }
+
+    #[test]
+    fn row_tile_is_halo_extended_window() {
+        let mut f = Field3::new(Dims3::new(2, 2, 8), 2);
+        for z in 0..8 {
+            f.set(0, 0, z, 10.0 + z as f32);
+        }
+        // Tile [2, 6): slice spans z ∈ [0, 8) of the interior here because
+        // the halo extension folds in z = 0, 1 and z = 6, 7.
+        let t = f.row_tile(0, 0, 2, 4);
+        assert_eq!(t.len(), 4 + 4);
+        assert_eq!(t[2], 12.0, "tile-local z=0 is interior z=2");
+        // A tile starting at z=0 reaches into the lower halo (zeros).
+        let lo = f.row_tile(0, 0, 0, 4);
+        assert_eq!(&lo[..2], &[0.0, 0.0]);
+        assert_eq!(lo[2], 10.0);
+    }
+
+    #[test]
+    fn row_tile_mut_writes_interior_only() {
+        let mut f = Field3::new(Dims3::new(2, 2, 8), 2);
+        f.row_tile_mut(1, 1, 4, 3).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(f.get(1, 1, 4), 1.0);
+        assert_eq!(f.get(1, 1, 6), 3.0);
+        assert_eq!(f.get(1, 1, 3), 0.0);
+        assert_eq!(f.get(1, 1, 7), 0.0);
     }
 
     #[test]

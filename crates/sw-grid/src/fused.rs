@@ -80,6 +80,25 @@ macro_rules! fused_field {
                 self.at_i(x, y, z)[c]
             }
 
+            /// Signed-coordinate write reaching into the halo (the fused
+            /// free-surface kernel mirrors ghost planes above `z = 0`).
+            #[inline(always)]
+            pub fn set_i(&mut self, x: isize, y: isize, z: isize, v: [f32; $k]) {
+                let h = self.halo as isize;
+                debug_assert!(x >= -h && y >= -h && z >= -h);
+                let o = self.padded.offset((x + h) as usize, (y + h) as usize, (z + h) as usize);
+                self.data[o] = v;
+            }
+
+            /// One fused component write with signed coordinates.
+            #[inline(always)]
+            pub fn set_comp_i(&mut self, c: usize, x: isize, y: isize, z: isize, v: f32) {
+                let h = self.halo as isize;
+                debug_assert!(x >= -h && y >= -h && z >= -h);
+                let o = self.padded.offset((x + h) as usize, (y + h) as usize, (z + h) as usize);
+                self.data[o][c] = v;
+            }
+
             /// Contiguous z-run of fused vectors at interior `(x, y)`.
             #[inline]
             pub fn z_run(&self, x: usize, y: usize) -> &[[f32; $k]] {

@@ -72,28 +72,28 @@ impl HaloSpec {
             Face::West => {
                 for x in 0..h {
                     for y in 0..d.ny {
-                        buf.extend_from_slice(field.z_run(x, y));
+                        buf.extend_from_slice(field.row(x, y));
                     }
                 }
             }
             Face::East => {
                 for x in d.nx - h..d.nx {
                     for y in 0..d.ny {
-                        buf.extend_from_slice(field.z_run(x, y));
+                        buf.extend_from_slice(field.row(x, y));
                     }
                 }
             }
             Face::South => {
                 for x in 0..d.nx {
                     for y in 0..h {
-                        buf.extend_from_slice(field.z_run(x, y));
+                        buf.extend_from_slice(field.row(x, y));
                     }
                 }
             }
             Face::North => {
                 for x in 0..d.nx {
                     for y in d.ny - h..d.ny {
-                        buf.extend_from_slice(field.z_run(x, y));
+                        buf.extend_from_slice(field.row(x, y));
                     }
                 }
             }

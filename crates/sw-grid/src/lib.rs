@@ -17,6 +17,8 @@ pub mod array3;
 pub mod dims;
 pub mod fused;
 pub mod halo;
+#[cfg(feature = "simd")]
+pub mod simd;
 pub mod tile;
 
 pub use array3::{Array3, Field3};

@@ -1,0 +1,133 @@
+//! Fixed-width `f32` lane structs for the vectorized kernel path.
+//!
+//! Safe, portable "SIMD": an [`F32x8`] is a plain `[f32; 8]` whose
+//! element-wise operators unroll into straight-line, bounds-check-free
+//! lane arithmetic — exactly the shape the auto-vectorizer turns into
+//! vector instructions under the release profile (no nightly
+//! `std::simd`, no intrinsics). Each lane evaluates the same expression
+//! tree as the scalar kernel, in the same order, so kernels built from
+//! these lanes are bit-identical to their scalar counterparts lane by
+//! lane; only loop structure changes, never per-element FP order.
+//!
+//! Lanes load from and store to the contiguous interior rows exposed by
+//! [`Field3::row`](crate::Field3::row) /
+//! [`Field3::row_tile`](crate::Field3::row_tile) — z is the fastest
+//! axis, so a row is the innermost contiguous run every stencil kernel
+//! vectorizes over.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Lane count of the fixed-width vector type (a full AVX2 register of
+/// `f32`, two NEON registers — wide enough to saturate either).
+pub const LANES: usize = 8;
+
+/// Eight `f32` lanes with element-wise arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F32x8(pub [f32; LANES]);
+
+impl F32x8 {
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        Self([v; LANES])
+    }
+
+    /// Load the first [`LANES`] elements of `s`.
+    #[inline(always)]
+    pub fn load(s: &[f32]) -> Self {
+        let mut out = [0.0f32; LANES];
+        out.copy_from_slice(&s[..LANES]);
+        Self(out)
+    }
+
+    /// Store into the first [`LANES`] elements of `out`.
+    #[inline(always)]
+    pub fn store(self, out: &mut [f32]) {
+        out[..LANES].copy_from_slice(&self.0);
+    }
+
+    /// Element-wise `self * a + b` — written as separate mul and add so
+    /// the FP result matches the scalar `x * a + b` exactly (no fused
+    /// multiply-add contraction).
+    #[inline(always)]
+    pub fn mul_add_exact(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+}
+
+macro_rules! lane_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F32x8 {
+            type Output = F32x8;
+            #[inline(always)]
+            fn $method(self, rhs: F32x8) -> F32x8 {
+                let mut out = [0.0f32; LANES];
+                for i in 0..LANES {
+                    out[i] = self.0[i] $op rhs.0[i];
+                }
+                F32x8(out)
+            }
+        }
+    };
+}
+
+lane_binop!(Add, add, +);
+lane_binop!(Sub, sub, -);
+lane_binop!(Mul, mul, *);
+
+impl Neg for F32x8 {
+    type Output = F32x8;
+    #[inline(always)]
+    fn neg(self) -> F32x8 {
+        let mut out = [0.0f32; LANES];
+        for (o, v) in out.iter_mut().zip(self.0) {
+            *o = -v;
+        }
+        F32x8(out)
+    }
+}
+
+impl Mul<F32x8> for f32 {
+    type Output = F32x8;
+    #[inline(always)]
+    fn mul(self, rhs: F32x8) -> F32x8 {
+        F32x8::splat(self) * rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_arithmetic_matches_scalar_bitwise() {
+        let a: Vec<f32> = (0..LANES).map(|i| 0.1f32 + i as f32 * 1.7).collect();
+        let b: Vec<f32> = (0..LANES).map(|i| -3.3f32 + i as f32 * 0.9).collect();
+        let va = F32x8::load(&a);
+        let vb = F32x8::load(&b);
+        let got = 1.125f32 * (va - vb) + F32x8::splat(-1.0 / 24.0) * (vb * va);
+        for i in 0..LANES {
+            let want = 1.125f32 * (a[i] - b[i]) + (-1.0f32 / 24.0) * (b[i] * a[i]);
+            assert_eq!(got.0[i].to_bits(), want.to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let src: Vec<f32> = (0..LANES + 3).map(|i| i as f32).collect();
+        let v = F32x8::load(&src[2..]);
+        assert_eq!(v.0[0], 2.0);
+        let mut dst = vec![0.0f32; LANES + 1];
+        v.store(&mut dst);
+        assert_eq!(&dst[..LANES], &src[2..2 + LANES]);
+        assert_eq!(dst[LANES], 0.0, "store writes exactly LANES elements");
+    }
+
+    #[test]
+    fn neg_and_mul_add_exact() {
+        let v = F32x8::splat(2.0);
+        assert_eq!((-v).0[7], -2.0);
+        let r = v.mul_add_exact(F32x8::splat(3.0), F32x8::splat(1.0));
+        assert_eq!(r.0[0], 7.0);
+    }
+}

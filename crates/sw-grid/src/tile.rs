@@ -228,6 +228,16 @@ impl Iterator for TileIter {
     }
 }
 
+/// Split `0..n` into consecutive blocks of at most `block` points,
+/// yielding `(start, len)` — the 1-D cache-blocking loop of the host
+/// SIMD path (z and y tiles inside one Rayon x-plane task). Covers the
+/// range exactly: block starts are `0, block, 2·block, …` and the last
+/// block carries the remainder.
+pub fn blocks(n: usize, block: usize) -> impl Iterator<Item = (usize, usize)> {
+    assert!(block > 0, "block extent must be positive");
+    (0..n).step_by(block).map(move |start| (start, block.min(n - start)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,5 +330,16 @@ mod tests {
         assert_eq!(blocks.len(), 8);
         let total: usize = blocks.iter().map(CgBlock::len).sum();
         assert_eq!(total, dims.len());
+    }
+
+    #[test]
+    fn blocks_cover_exactly_with_remainder_tail() {
+        let got: Vec<(usize, usize)> = blocks(10, 4).collect();
+        assert_eq!(got, vec![(0, 4), (4, 4), (8, 2)]);
+        let whole: Vec<(usize, usize)> = blocks(3, 64).collect();
+        assert_eq!(whole, vec![(0, 3)], "a small extent is a single block");
+        assert_eq!(blocks(0, 8).count(), 0);
+        let covered: usize = blocks(1000, 7).map(|(_, len)| len).sum();
+        assert_eq!(covered, 1000);
     }
 }

@@ -167,6 +167,13 @@ pub struct PerfLedger {
     pub step_p50_s: f64,
     /// Nearest-rank p95 of per-step wall seconds.
     pub step_p95_s: f64,
+    /// Resolved execution path the run routed kernels through
+    /// ("serial" / "parallel" / "simd"). `None` in pre-extension
+    /// ledgers (additive field; schema stays v1).
+    pub exec_mode: Option<String>,
+    /// Compiled feature set active for the run (e.g. "simd"), empty
+    /// string for a default build. `None` in pre-extension ledgers.
+    pub features: Option<String>,
     /// Per-kernel records, in [`KERNEL_ORDER`].
     pub kernels: Vec<PerfKernel>,
 }
@@ -218,6 +225,14 @@ impl PerfLedger {
             self.step_p50_s,
             self.step_p95_s,
         ));
+        if self.exec_mode.is_some() || self.features.is_some() {
+            let features = self.features.as_deref().unwrap_or("");
+            out.push_str(&format!(
+                "exec: {}  features: {}\n",
+                self.exec_mode.as_deref().unwrap_or("unknown"),
+                if features.is_empty() { "(default)" } else { features },
+            ));
+        }
         out.push_str(&format!(
             "{:<14} {:>10} {:>12} {:>10} {:>9} {:>9}  verdict\n",
             "kernel", "wall s", "cells/s", "GFLOP/s", "GB/s", "roofline"
@@ -471,6 +486,8 @@ mod tests {
             wall_s: 2.0,
             step_p50_s: 0.19,
             step_p95_s: 0.25,
+            exec_mode: Some("parallel".to_string()),
+            features: Some(String::new()),
             kernels: vec![
                 PerfKernel::from_counts("dvelc", 1.0, 10, 10_000, 760_000.0, 400_000, 0.5),
                 PerfKernel::from_counts("halo", 0.5, 20, 2_000, 0.0, 80_000, 0.0),

@@ -29,9 +29,14 @@
 //! report; `--trace` records a Chrome trace-event timeline (open it in
 //! Perfetto / `chrome://tracing`) and `--roofline` writes the
 //! predicted-vs-simulated per-kernel attribution report. `--exec
-//! serial|parallel|auto` picks the kernel implementation (serial
-//! reference vs the bit-identical Rayon CPE-pool analogue) and
-//! `--threads <n>` pins the worker-pool width. `--health <out.jsonl>`
+//! serial|parallel|simd|auto` picks the kernel implementation (serial
+//! reference, the bit-identical Rayon CPE-pool analogue, or the
+//! vectorized cache-tiled kernels — `simd` needs a `--features simd`
+//! build and degrades to `parallel` otherwise) and `--threads <n>`
+//! pins the worker-pool width. `--fused` runs whole steps on the fused
+//! wavefield layout (elastic core only — attenuation, plasticity, and
+//! compression scenarios are rejected at config validation).
+//! `--health <out.jsonl>`
 //! streams the in-situ simulation-health log (stability watchdog +
 //! compression error budget) and `--health-stride <n>` sets how often
 //! the wavefield is probed (default 10, or `SWQUAKE_HEALTH_STRIDE`).
@@ -103,8 +108,13 @@ flags:
   --metrics <out.json>         telemetry report (stable JSON schema)
   --trace <out.json>           Chrome trace-event timeline
   --roofline <out.json>        per-kernel predicted-vs-simulated report
-  --exec serial|parallel|auto  kernel implementation (default auto)
-  --threads <n>                worker-pool width for --exec parallel
+  --exec serial|parallel|simd|auto
+                               kernel implementation (default auto; simd
+                               needs a --features simd build)
+  --threads <n>                worker-pool width for pool-based modes
+  --fused                      run whole steps on the fused wavefield
+                               layout (elastic core only: rejects
+                               attenuation/nonlinear/compression scenarios)
   --health <out.jsonl>         stream the simulation-health log
   --health-stride <n>          wavefield probe cadence (default 10)
   --checkpoint-dir <dir>       durable checkpoint store
@@ -134,8 +144,9 @@ flags:
                                (default: the file's max_concurrent, or 1)
   --resume                     skip done scenarios, resume the interrupted one
   --fail-fast                  abort on the first failed/unstable scenario
-  --exec serial|parallel|auto  kernel implementation for every scenario
-  --threads <n>                worker-pool width for --exec parallel
+  --exec serial|parallel|simd|auto
+                               kernel implementation for every scenario
+  --threads <n>                worker-pool width for pool-based modes
   --perf                       write each scenario's per-kernel ledger to
                                <dir>/<id>/perf.json (the summary.json
                                perf rollup is always populated)
@@ -189,6 +200,7 @@ struct RunOutputs {
     roofline: Option<String>,
     exec: Option<ExecMode>,
     threads: Option<usize>,
+    fused: bool,
     health: Option<String>,
     health_stride: Option<u64>,
     checkpoint_dir: Option<String>,
@@ -226,6 +238,7 @@ fn parse_args(args: &[String]) -> Option<Command> {
             "--roofline" => outputs.roofline = Some(iter.next()?.clone()),
             "--exec" => outputs.exec = Some(iter.next()?.parse().ok()?),
             "--threads" => outputs.threads = Some(iter.next()?.parse().ok()?),
+            "--fused" => outputs.fused = true,
             "--health" => outputs.health = Some(iter.next()?.clone()),
             "--health-stride" => outputs.health_stride = Some(iter.next()?.parse().ok()?),
             "--checkpoint-dir" => outputs.checkpoint_dir = Some(iter.next()?.clone()),
@@ -546,6 +559,9 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
     if let Some(threads) = outputs.threads {
         cfg = cfg.with_threads(threads);
     }
+    if outputs.fused {
+        cfg = cfg.with_fused(true);
+    }
     // Health monitoring is always armed so a blow-up aborts with a
     // diagnosis; `--health` additionally streams the JSONL log.
     let stride = outputs
@@ -583,14 +599,18 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
         cfg = cfg.with_fault_plan(Some(Arc::new(plan)));
     }
     println!(
-        "mesh {} at dx = {} m, {} steps, model {}, nonlinear {}, compression {}, exec {}",
+        "mesh {} at dx = {} m, {} steps, model {}, nonlinear {}, compression {}, exec {} \
+         (path {}, features {}){}",
         cfg.dims,
         cfg.dx,
         cfg.steps,
         scenario.model,
         scenario.nonlinear,
         scenario.compression,
-        cfg.exec
+        cfg.exec,
+        cfg.exec.resolve_path(cfg.dims.len()),
+        if swquake::core::simd_compiled() { "simd" } else { "(default)" },
+        if cfg.fused { ", fused layout" } else { "" }
     );
     let t0 = std::time::Instant::now();
     let mut sim = if outputs.resume {
