@@ -51,6 +51,7 @@ use sw_source::{PointSource, SourcePartitioner};
 use sw_telemetry::perf::{
     HostFingerprint, PerfKernel, PerfLedger, PerfRecorder, PerfScope, PERF_SCHEMA_VERSION,
 };
+use sw_telemetry::timeline::{phase as tl_phase, TimelineRecorder};
 use sw_telemetry::Telemetry;
 
 /// The nine wavefields the compression scheme stores 16-bit.
@@ -139,6 +140,13 @@ pub struct SimConfig {
     /// armed, every production-step kernel accumulates wall time and
     /// cell/flop/DMA-byte counts; freeze with [`Simulation::perf_ledger`].
     pub perf: Option<Arc<PerfRecorder>>,
+    /// Step-aligned run-timeline recorder (`None` — the default — costs
+    /// one branch per step, same pattern as `perf`). When armed, every
+    /// step's velocity/stress/finish split and the halo wait/pack/unpack
+    /// split accumulate per rank, plus per-field resident-bytes gauges
+    /// at construction. Recording never touches the numerics: an
+    /// instrumented run is bit-identical to an uninstrumented one.
+    pub timeline: Option<Arc<TimelineRecorder>>,
 }
 
 impl SimConfig {
@@ -171,6 +179,7 @@ impl SimConfig {
             fault: None,
             resume: false,
             perf: None,
+            timeline: None,
         }
     }
 
@@ -299,6 +308,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_perf(mut self, perf: Arc<PerfRecorder>) -> Self {
         self.perf = Some(perf);
+        self
+    }
+
+    /// Arm a run-timeline recorder (shared across ranks in a multirank
+    /// run); see [`SimConfig::timeline`].
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: Arc<TimelineRecorder>) -> Self {
+        self.timeline = Some(timeline);
         self
     }
 
@@ -725,6 +742,9 @@ pub struct Simulation {
     /// precomputed per-step charges; both `None` when perf is off.
     perf: Option<Arc<PerfRecorder>>,
     perf_charges: Option<PerfCharges>,
+    /// Step-aligned run-timeline recorder (shared across ranks), `None`
+    /// when observability is off.
+    timeline: Option<Arc<TimelineRecorder>>,
 }
 
 /// Index a wavefield by its `COMPRESSED_FIELDS` position.
@@ -739,6 +759,60 @@ fn wavefield_mut(state: &mut SolverState, idx: usize) -> &mut Field3 {
         6 => &mut state.xy,
         7 => &mut state.xz,
         _ => &mut state.yz,
+    }
+}
+
+/// Feed the per-field resident-bytes gauges of one rank's working set
+/// into the run timeline: the nine wavefields individually (they are what
+/// the compressed-resident-grid arc will shrink), plus the attenuation
+/// memory variables, the material arrays, and any fused AoS mirror as
+/// aggregates. Called once at construction — allocations are fixed for
+/// the life of a simulation, so this is also the high-water mark.
+fn record_resident_memory(
+    tl: &TimelineRecorder,
+    rank: usize,
+    state: &SolverState,
+    fused: Option<&FusedWavefield>,
+) {
+    for name in COMPRESSED_FIELDS {
+        let f = match name {
+            "u" => &state.u,
+            "v" => &state.v,
+            "w" => &state.w,
+            "xx" => &state.xx,
+            "yy" => &state.yy,
+            "zz" => &state.zz,
+            "xy" => &state.xy,
+            "xz" => &state.xz,
+            _ => &state.yz,
+        };
+        tl.record_memory(rank, &format!("state.{name}"), f.resident_bytes() as u64);
+    }
+    let memvars: usize = state.r.iter().map(Field3::resident_bytes).sum();
+    tl.record_memory(rank, "state.memvars", memvars as u64);
+    let material: usize = [
+        &state.lam,
+        &state.mu,
+        &state.rho,
+        &state.buoyancy,
+        &state.wp,
+        &state.ws,
+        &state.cohes,
+        &state.sinphi,
+        &state.cosphi,
+        &state.pf,
+        &state.sigma0,
+        &state.yldfac,
+        &state.eqp,
+        &state.dcrj,
+    ]
+    .iter()
+    .map(|f| f.resident_bytes())
+    .sum();
+    tl.record_memory(rank, "state.material", material as u64);
+    if let Some(fw) = fused {
+        tl.record_memory(rank, "fused.velocity", fw.vel.resident_bytes() as u64);
+        tl.record_memory(rank, "fused.stress", fw.stress.resident_bytes() as u64);
     }
 }
 
@@ -901,6 +975,10 @@ impl Simulation {
             )
         });
         let fused = config.fused.then(|| FusedWavefield::from_state(&state));
+        let timeline = config.timeline.clone();
+        if let Some(tl) = &timeline {
+            record_resident_memory(tl, config.rank, &state, fused.as_ref());
+        }
         Self {
             state,
             sources: config.sources.clone(),
@@ -930,6 +1008,7 @@ impl Simulation {
                 .map(|h| HealthMonitor::new(h, config.rank, config.shared_health_log.clone())),
             perf,
             perf_charges,
+            timeline,
         }
     }
 
@@ -1034,17 +1113,37 @@ impl Simulation {
     /// Advance one step (single-rank path: no halo exchange needed).
     pub fn step(&mut self) {
         let tel = self.telemetry.clone();
-        let start = (tel.is_enabled() || self.perf.is_some()).then(Instant::now);
+        let start =
+            (tel.is_enabled() || self.perf.is_some() || self.timeline.is_some()).then(Instant::now);
         {
             let _step = tel.phase("step");
-            self.step_interior();
-            self.finish_step();
+            if let Some(tl) = self.timeline.clone() {
+                // Same kernel sequence as the untimed branch; the extra
+                // clock reads never touch the numerics, so instrumented
+                // runs stay bit-identical.
+                let rank = self.rank;
+                let t = Instant::now();
+                self.velocity_half();
+                tl.record_phase(rank, tl_phase::VELOCITY, t.elapsed().as_secs_f64());
+                let t = Instant::now();
+                self.stress_half();
+                tl.record_phase(rank, tl_phase::STRESS, t.elapsed().as_secs_f64());
+                let t = Instant::now();
+                self.finish_step();
+                tl.record_phase(rank, tl_phase::FINISH, t.elapsed().as_secs_f64());
+            } else {
+                self.step_interior();
+                self.finish_step();
+            }
         }
         if let Some(start) = start {
             let wall = start.elapsed().as_secs_f64();
             tel.sample("step.wall_s", wall);
             if let Some(p) = self.perf.as_deref() {
                 p.note_step(self.step_count, wall);
+            }
+            if let Some(tl) = self.timeline.as_deref() {
+                tl.note_step(self.rank, self.step_count, wall);
             }
         }
     }
@@ -1488,7 +1587,19 @@ impl Simulation {
         if let Some(e) = self.health_failure() {
             return Err(RunError::Unstable(e.clone()));
         }
+        // A `slow` fault stretches the step it is due for (step_count is
+        // pre-increment here, so +1 matches the post-step numbering the
+        // kill check uses) by sleeping a fraction of the step's own
+        // measured wall time. Sleeping never touches the numerics, so
+        // outputs stay bit-identical to a healthy run.
+        let slow = self.fault.as_ref().and_then(|p| p.slow_due(self.step_count + 1, self.rank));
+        let slow_t0 = slow.map(|_| Instant::now());
         self.step();
+        if let (Some(frac), Some(t0)) = (slow, slow_t0) {
+            std::thread::sleep(std::time::Duration::from_secs_f64(
+                t0.elapsed().as_secs_f64() * frac,
+            ));
+        }
         if let Some(e) = self.health_failure() {
             return Err(RunError::Unstable(e.clone()));
         }
@@ -1737,6 +1848,8 @@ pub struct MultiRankOutput {
     /// Health records merged across ranks, sorted by `(step, rank)`
     /// (empty when the config carries no health monitoring).
     pub health: Vec<HealthRecord>,
+    /// Timestep in seconds (CFL-derived, identical on every rank).
+    pub dt: f64,
 }
 
 /// Run `config` on an `Mx × My` rank grid; observables are merged and the
@@ -1767,7 +1880,10 @@ pub fn run_multirank(
     let telemetry = config.telemetry.clone();
     let partitioner = SourcePartitioner::new(grid.mx, grid.my, global.nx, global.ny);
     let per_rank_sources = partitioner.partition(&config.sources);
-    let exchanger = HaloExchanger::standard().with_telemetry(telemetry.clone());
+    let mut exchanger = HaloExchanger::standard().with_telemetry(telemetry.clone());
+    if let Some(tl) = &config.timeline {
+        exchanger = exchanger.with_timeline(Arc::clone(tl));
+    }
     // All ranks stream into one shared JSONL log (per-line writes are
     // atomic); opening it per rank would truncate it repeatedly.
     let shared_health_log: Option<Arc<HealthLog>> = match &config.health {
@@ -1892,8 +2008,17 @@ pub fn run_multirank(
             let floats = 9.0 * hw * planes;
             ((hw * planes) as u64, (floats * 4.0) as u64)
         });
+        let timeline = config.timeline.clone();
         for _ in start_step..config.steps {
-            let start = (tel.is_enabled() || sim.perf.is_some()).then(Instant::now);
+            let start =
+                (tel.is_enabled() || sim.perf.is_some() || timeline.is_some()).then(Instant::now);
+            // A `slow` fault stretches this rank's compute (step numbering
+            // is post-step, hence +1); the sleep lands inside the stress
+            // phase's timing window below, so the timeline attributes the
+            // skew to this rank's compute — exactly what a real straggler
+            // looks like to its neighbors.
+            let slow = sim.fault.as_ref().and_then(|p| p.slow_due(sim.step_count + 1, comm.rank));
+            let slow_t0 = slow.map(|_| Instant::now());
             let _step = tel.phase("step");
             // stress halos feed the velocity stencils
             {
@@ -1905,7 +2030,11 @@ pub fn run_multirank(
                     &mut [&mut s.xx, &mut s.yy, &mut s.zz, &mut s.xy, &mut s.xz, &mut s.yz],
                 );
             }
+            let t_vel = timeline.as_ref().map(|_| Instant::now());
             sim.velocity_half();
+            if let (Some(tl), Some(t)) = (&timeline, t_vel) {
+                tl.record_phase(comm.rank, tl_phase::VELOCITY, t.elapsed().as_secs_f64());
+            }
             // velocity halos feed the stress stencils
             {
                 let _h = tel.phase("halo_velocity");
@@ -1913,8 +2042,21 @@ pub fn run_multirank(
                 let s = &mut sim.state;
                 exchanger.exchange(comm, &mut [&mut s.u, &mut s.v, &mut s.w]);
             }
+            let t_str = timeline.as_ref().map(|_| Instant::now());
             sim.stress_half();
+            if let (Some(frac), Some(t0)) = (slow, slow_t0) {
+                std::thread::sleep(std::time::Duration::from_secs_f64(
+                    t0.elapsed().as_secs_f64() * frac,
+                ));
+            }
+            if let (Some(tl), Some(t)) = (&timeline, t_str) {
+                tl.record_phase(comm.rank, tl_phase::STRESS, t.elapsed().as_secs_f64());
+            }
+            let t_fin = timeline.as_ref().map(|_| Instant::now());
             sim.finish_step();
+            if let (Some(tl), Some(t)) = (&timeline, t_fin) {
+                tl.record_phase(comm.rank, tl_phase::FINISH, t.elapsed().as_secs_f64());
+            }
             if let (Some(p), Some((cells, bytes))) = (sim.perf.as_deref(), halo_model) {
                 p.charge("halo", cells, 0.0, bytes);
             }
@@ -1928,6 +2070,11 @@ pub fn run_multirank(
                     if let Some(p) = sim.perf.as_deref() {
                         p.note_step(sim.step_count, wall);
                     }
+                }
+                // The timeline keeps per-rank step walls, so every rank
+                // reports (rank 0's notes also drive the heartbeats).
+                if let Some(tl) = &timeline {
+                    tl.note_step(comm.rank, sim.step_count, wall);
                 }
             }
             // Rank-death vote, BEFORE the commit barrier: a step on
@@ -2027,7 +2174,8 @@ pub fn run_multirank(
     seismograms.sort_by_key(|s| {
         config.stations.iter().position(|st| st.name == s.station.name).unwrap_or(usize::MAX)
     });
-    Ok(MultiRankOutput { seismograms, pgv, flops, health })
+    let dt = results.first().map_or(0.0, |(_, _, _, sim)| sim.state.dt);
+    Ok(MultiRankOutput { seismograms, pgv, flops, health, dt })
 }
 
 #[cfg(test)]

@@ -24,7 +24,11 @@
 //! * **Performance rollup** — runners deposit per-scenario
 //!   [`PerfLedger`]s in a [`PerfRollup`]; `summary.json` carries the
 //!   aggregate per-kernel totals, per-scenario step-time percentiles and
-//!   the artifact-cache hit rate.
+//!   the artifact-cache hit rate;
+//! * **Timeline rollup** — runners that arm a run timeline deposit each
+//!   scenario's final [`TimelineReport`] in a [`TimelineRollup`];
+//!   `summary.json` carries one skew summary per scenario (max phase
+//!   skew, critical-path rank, halo-wait fraction).
 //!
 //! The engine is solver-agnostic: scenarios are opaque JSON values, and
 //! the embedding crate supplies a runner closure that lowers and runs
@@ -50,6 +54,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use sw_telemetry::perf::{PerfLedger, KERNEL_ORDER};
+use sw_telemetry::timeline::TimelineReport;
 use sw_telemetry::Telemetry;
 
 /// Campaign file schema version this build reads.
@@ -326,6 +331,39 @@ impl PerfRollup {
     }
 }
 
+/// Per-scenario run timelines accumulated campaign-wide.
+///
+/// Runner closures that arm a timeline recorder deposit each scenario's
+/// final [`TimelineReport`] here; the engine folds the collection into
+/// the `timeline` block of `summary.json` — one skew summary per
+/// scenario (max phase skew, critical-path rank, halo-wait fraction) so
+/// a campaign-wide imbalance scan does not have to open every
+/// scenario's `timeline.json`.
+#[derive(Debug, Default)]
+pub struct TimelineRollup {
+    reports: Mutex<Vec<(String, TimelineReport)>>,
+}
+
+impl TimelineRollup {
+    /// An empty rollup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit one scenario's final timeline report under its id.
+    pub fn record(&self, id: &str, report: TimelineReport) {
+        self.reports.lock().unwrap_or_else(|p| p.into_inner()).push((id.to_string(), report));
+    }
+
+    /// Snapshot of the deposited reports, sorted by scenario id so the
+    /// summary is deterministic under concurrent completion order.
+    pub fn reports(&self) -> Vec<(String, TimelineReport)> {
+        let mut out = self.reports.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
 /// One scenario's slot handed to the runner closure.
 pub struct Task<'a> {
     /// Queue position.
@@ -347,6 +385,10 @@ pub struct Task<'a> {
     /// The campaign-wide performance rollup; deposit the scenario's
     /// [`PerfLedger`] here so `summary.json` can aggregate it.
     pub perf: &'a PerfRollup,
+    /// The campaign-wide timeline rollup; deposit the scenario's final
+    /// [`TimelineReport`] here so `summary.json` carries its skew
+    /// summary.
+    pub timeline: &'a TimelineRollup,
 }
 
 /// Engine options (the CLI flags, minus the campaign file itself).
@@ -409,6 +451,9 @@ pub struct CampaignReport {
     /// Per-scenario performance ledgers deposited by the runner, sorted
     /// by scenario id (empty when the runner records none).
     pub perf: Vec<(String, PerfLedger)>,
+    /// Per-scenario timeline reports deposited by the runner, sorted by
+    /// scenario id (empty when the runner records none).
+    pub timeline: Vec<(String, TimelineReport)>,
 }
 
 impl CampaignReport {
@@ -426,6 +471,7 @@ impl CampaignReport {
             "artifact_hit_rate": self.artifact_hit_rate(),
             "wall_s": self.wall_s,
             "perf": self.perf_json(),
+            "timeline": self.timeline_json(),
             "aborted": match &self.aborted {
                 None => Value::Null,
                 Some(e) => json!({
@@ -516,6 +562,29 @@ impl CampaignReport {
             .collect();
         json!({ "kernels": kernels, "scenarios": scenarios })
     }
+
+    /// The `timeline` block of `summary.json`: one skew summary per
+    /// deposited report, in scenario-id order. Full per-phase detail
+    /// stays in each scenario's own `timeline.json`; the summary carries
+    /// only the fields an imbalance scan filters on.
+    fn timeline_json(&self) -> Value {
+        let scenarios: Vec<Value> = self
+            .timeline
+            .iter()
+            .map(|(id, t)| {
+                json!({
+                    "id": id,
+                    "ranks": t.ranks,
+                    "steps": t.steps,
+                    "wall_s": t.wall_s,
+                    "max_skew": t.max_skew,
+                    "critical_rank": t.critical_rank,
+                    "halo_wait_frac": t.halo_wait_frac,
+                })
+            })
+            .collect();
+        json!({ "scenarios": scenarios })
+    }
 }
 
 /// Run (or resume) a campaign in `dir`, calling `runner` for every
@@ -576,6 +645,7 @@ where
     let abort: Mutex<Option<CampaignError>> = Mutex::new(None);
     let abort_flag = AtomicBool::new(false);
     let perf_rollup = PerfRollup::new();
+    let timeline_rollup = TimelineRollup::new();
     // Heartbeat state: scenarios already terminal before this run, plus
     // live counters updated as this run's scenarios start and finish.
     let total = spec.scenarios.len();
@@ -666,6 +736,7 @@ where
             cache: &cache,
             telemetry,
             perf: &perf_rollup,
+            timeline: &timeline_rollup,
         };
         // A scenario whose state cannot be persisted must not run: the
         // manifest is the durable record resume trusts.
@@ -784,6 +855,7 @@ where
         aborted: abort.into_inner().unwrap_or_else(|p| p.into_inner()),
         scenarios: reports,
         perf: perf_rollup.ledgers(),
+        timeline: timeline_rollup.reports(),
     };
     let summary = report.summary_json();
     log.event(&json!({
@@ -1008,6 +1080,36 @@ mod tests {
         assert_eq!(last.get("done").and_then(Value::as_u64), Some(3));
         assert_eq!(last.get("pending").and_then(Value::as_u64), Some(0));
         assert!(last.get("eta_s").and_then(Value::as_f64).is_some());
+    }
+
+    #[test]
+    fn summary_rolls_up_timeline_skew() {
+        use sw_telemetry::timeline::{phase, TimelineRecorder};
+        let d = dir("timeline");
+        let report = run_campaign(&spec(2), &d, &CampaignOptions::default(), |task| {
+            // Two ranks with a 3:1 stress imbalance on rank 1.
+            let rec = TimelineRecorder::new();
+            rec.record_phase(0, phase::STRESS, 1.0);
+            rec.record_phase(1, phase::STRESS, 3.0);
+            task.timeline.record(task.id, rec.finish());
+            Outcome::Done { detail: String::new() }
+        })
+        .unwrap();
+        assert_eq!(report.timeline.len(), 2);
+        let text = std::fs::read_to_string(d.join(SUMMARY_NAME)).unwrap();
+        let summary: Value = serde_json::from_str(&text).unwrap();
+        let scenarios = summary
+            .get("timeline")
+            .and_then(|t| t.get("scenarios"))
+            .and_then(Value::as_array)
+            .expect("summary carries a timeline block");
+        assert_eq!(scenarios.len(), 2);
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.get("id").and_then(Value::as_str), Some(format!("s{i}").as_str()));
+            assert_eq!(s.get("critical_rank").and_then(Value::as_u64), Some(1));
+            let skew = s.get("max_skew").and_then(Value::as_f64).unwrap();
+            assert!((skew - 1.0).abs() < 1e-12, "(3-1)/2 = 1.0, got {skew}");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! ioerr@40                 the step-40 checkpoint write fails with an I/O error
 //! torn@80:frac=0.4         the step-80 checkpoint file is truncated to 40 %
 //! flip@60:flips=3          3 seeded bit flips in the step-60 checkpoint image
+//! slow@50:rank=2:frac=0.5  rank 2 runs 50 % slower from step 50 onward
 //! seed=7;flip@60;kill@120  a composite plan with an explicit RNG seed
 //! ```
 
@@ -61,6 +62,16 @@ pub enum FaultKind {
     /// the atomic rename — the worst-timed crash the atomic protocol
     /// must survive.
     KillMidWrite,
+    /// The rank becomes a straggler: from `step` onward (persistent,
+    /// unlike the one-shot kinds) every step is stretched by `frac` of
+    /// its measured compute time. Injected as a sleep, so the numerics —
+    /// and therefore the outputs — are bit-identical to a healthy run;
+    /// only the timeline's skew attribution sees it.
+    Slow {
+        /// Extra wall time per step, as a fraction of the step's own
+        /// compute time (0.5 = 50 % slower). Must be finite and > 0.
+        frac: f64,
+    },
 }
 
 /// One scheduled fault.
@@ -146,11 +157,6 @@ impl FaultPlan {
                         frac = value
                             .parse()
                             .map_err(|_| FaultPlanError(format!("bad frac in `{token}`")))?;
-                        if !(0.0..1.0).contains(&frac) {
-                            return Err(FaultPlanError(format!(
-                                "frac must be in [0, 1) in `{token}`"
-                            )));
-                        }
                     }
                     "flips" => {
                         flips = value
@@ -170,12 +176,27 @@ impl FaultPlan {
                 "flip" => FaultKind::BitFlip { flips },
                 "kill" => FaultKind::Kill,
                 "killwrite" => FaultKind::KillMidWrite,
+                "slow" => FaultKind::Slow { frac },
                 other => {
                     return Err(FaultPlanError(format!(
-                        "unknown fault kind `{other}` (ioerr|torn|flip|kill|killwrite)"
+                        "unknown fault kind `{other}` (ioerr|torn|flip|kill|killwrite|slow)"
                     )));
                 }
             };
+            // Range rules differ per kind: a torn file must keep less
+            // than the whole image, while a straggler may be stretched
+            // past 100 % of its step time.
+            match kind {
+                FaultKind::Torn { frac } if !(0.0..1.0).contains(&frac) => {
+                    return Err(FaultPlanError(format!("frac must be in [0, 1) in `{token}`")));
+                }
+                FaultKind::Slow { frac } if !(frac > 0.0 && frac.is_finite()) => {
+                    return Err(FaultPlanError(format!(
+                        "frac must be finite and > 0 in `{token}`"
+                    )));
+                }
+                _ => {}
+            }
             events.push(FaultEvent { step, rank, kind });
         }
         if events.is_empty() {
@@ -206,12 +227,32 @@ impl FaultPlan {
     }
 
     /// The write fault scheduled for the checkpoint of `(step, rank)`,
-    /// if any (`ioerr`, `torn`, `flip`, or `killwrite`).
+    /// if any (`ioerr`, `torn`, `flip`, or `killwrite` — `slow` is a
+    /// timing fault and must never touch checkpoint bytes).
     pub fn write_fault(&self, step: u64, rank: usize) -> Option<FaultEvent> {
         self.events
             .iter()
-            .find(|e| !matches!(e.kind, FaultKind::Kill) && e.matches(step, rank))
+            .find(|e| {
+                !matches!(e.kind, FaultKind::Kill | FaultKind::Slow { .. }) && e.matches(step, rank)
+            })
             .copied()
+    }
+
+    /// The slowdown fraction in force for `(step, rank)`, if any. Unlike
+    /// the one-shot kinds, a `slow` event is persistent: it matches every
+    /// step at or after its trigger step, modeling a rank that *stays*
+    /// degraded (thermal throttling, a sick node) rather than one that
+    /// hiccups once. Overlapping events resolve to the largest fraction.
+    pub fn slow_due(&self, step: u64, rank: usize) -> Option<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Slow { frac } if step >= e.step && e.rank.is_none_or(|r| r == rank) => {
+                    Some(frac)
+                }
+                _ => None,
+            })
+            .fold(None, |acc, f| Some(acc.map_or(f, |a: f64| a.max(f))))
     }
 
     /// Apply a `torn`/`flip` mutation to an encoded image, seeded by
@@ -321,6 +362,27 @@ mod tests {
         assert_eq!(plan.write_fault(60, 0).unwrap().kind, FaultKind::BitFlip { flips: 1 });
         assert!(plan.write_fault(120, 0).is_none(), "kill is not a write fault");
         assert!(plan.write_fault(59, 0).is_none());
+    }
+
+    #[test]
+    fn slow_is_persistent_rank_targeted_and_never_a_write_fault() {
+        let plan = FaultPlan::parse("slow@50:rank=2:frac=0.5").unwrap();
+        assert_eq!(plan.slow_due(50, 2), Some(0.5));
+        assert_eq!(plan.slow_due(500, 2), Some(0.5), "slow persists past its trigger step");
+        assert_eq!(plan.slow_due(49, 2), None, "slow is inactive before its trigger step");
+        assert_eq!(plan.slow_due(50, 0), None, "other ranks are unaffected");
+        assert!(plan.write_fault(50, 2).is_none(), "slow must never corrupt a checkpoint");
+        assert!(!plan.kill_due(50, 2));
+    }
+
+    #[test]
+    fn overlapping_slow_events_take_the_largest_fraction() {
+        let plan = FaultPlan::parse("slow@10:frac=0.25;slow@20:rank=1:frac=2.0").unwrap();
+        assert_eq!(plan.slow_due(30, 1), Some(2.0));
+        assert_eq!(plan.slow_due(30, 0), Some(0.25));
+        assert!(FaultPlan::parse("slow@10:frac=2.0").is_ok(), "slow frac may exceed 1");
+        assert!(FaultPlan::parse("slow@10:frac=0").is_err());
+        assert!(FaultPlan::parse("slow@10:frac=-1").is_err());
     }
 
     #[test]

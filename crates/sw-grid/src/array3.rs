@@ -125,6 +125,12 @@ impl Field3 {
         self.halo
     }
 
+    /// Bytes resident in the padded allocation (halo included) — the
+    /// working-set gauge the run timeline reports per field.
+    pub fn resident_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
     /// Linear offset into the padded store for interior coords (may be
     /// negative-side halo when `x` etc. come in as signed via `at_i`).
     #[inline(always)]
@@ -318,6 +324,12 @@ impl Field3 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn resident_bytes_counts_the_padded_allocation() {
+        let f = Field3::new(Dims3::new(3, 3, 3), 2);
+        assert_eq!(f.resident_bytes(), 7 * 7 * 7 * 4);
+    }
 
     #[test]
     fn halo_padding_is_invisible_to_interior() {

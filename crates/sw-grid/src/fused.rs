@@ -47,6 +47,13 @@ macro_rules! fused_field {
                 self.halo
             }
 
+            /// Bytes resident in the padded allocation (halo included,
+            /// all fused components) — the working-set gauge the run
+            /// timeline reports per field.
+            pub fn resident_bytes(&self) -> usize {
+                self.data.len() * core::mem::size_of::<[f32; $k]>()
+            }
+
             #[inline(always)]
             fn off(&self, x: usize, y: usize, z: usize) -> usize {
                 self.padded.offset(x + self.halo, y + self.halo, z + self.halo)
@@ -225,6 +232,14 @@ mod tests {
         assert_eq!(f.get(0, 0, 0), [1.0, 2.0, 3.0]);
         assert_eq!(f.at_i(-1, 0, 0), [0.0; 3]);
         assert_eq!(f.comp_i(1, 0, 0, 0), 2.0);
+    }
+
+    #[test]
+    fn resident_bytes_counts_all_fused_components() {
+        let f = Vec3Field::new(Dims3::cube(3), 2);
+        assert_eq!(f.resident_bytes(), 7 * 7 * 7 * 3 * 4);
+        let s = Vec6Field::new(Dims3::cube(3), 2);
+        assert_eq!(s.resident_bytes(), 7 * 7 * 7 * 6 * 4);
     }
 
     #[test]

@@ -14,11 +14,18 @@
 //! carries a tracer, those timings appear as spans on the calling rank's
 //! lane, plus `halo.send`/`halo.recv` instant events tagging the bytes on
 //! the wire.
+//!
+//! With a timeline recorder attached ([`HaloExchanger::with_timeline`]),
+//! the same wait/pack/unpack split also feeds the step-aligned run
+//! timeline (`halo.wait` per rank is the load-imbalance signal: time a
+//! rank spends blocked on a slower neighbor).
 
 use crate::fabric::RankComm;
+use std::sync::Arc;
 use std::time::Instant;
 use sw_grid::halo::{Face, HaloSpec};
 use sw_grid::Field3;
+use sw_telemetry::timeline::{phase, TimelineRecorder};
 use sw_telemetry::Telemetry;
 
 /// Exchanges the halos of a set of fields between neighbouring ranks.
@@ -27,12 +34,17 @@ pub struct HaloExchanger {
     /// Halo geometry (width 2 for the 4th-order scheme).
     pub spec: HaloSpec,
     telemetry: Telemetry,
+    timeline: Option<Arc<TimelineRecorder>>,
 }
 
 impl HaloExchanger {
     /// Exchanger with the solver's standard halo width.
     pub fn standard() -> Self {
-        Self { spec: HaloSpec { width: sw_grid::HALO_WIDTH }, telemetry: Telemetry::disabled() }
+        Self {
+            spec: HaloSpec { width: sw_grid::HALO_WIDTH },
+            telemetry: Telemetry::disabled(),
+            timeline: None,
+        }
     }
 
     /// Attach a telemetry handle recording per-rank fabric timings.
@@ -42,12 +54,20 @@ impl HaloExchanger {
         self
     }
 
+    /// Attach a timeline recorder: every exchange's pack/wait/unpack
+    /// seconds accumulate into the per-rank run timeline.
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: Arc<TimelineRecorder>) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
     /// Post all faces of all `fields` (pack + non-blocking send). Fields
     /// are packed in order into one buffer per face, so one message per
     /// face carries every field — fewer, larger messages, as on the real
     /// network.
     pub fn post(&self, comm: &RankComm, fields: &[&Field3]) {
-        let start = self.telemetry.is_enabled().then(Instant::now);
+        let start = (self.telemetry.is_enabled() || self.timeline.is_some()).then(Instant::now);
         let mut bytes = 0usize;
         let mut scratch = Vec::new();
         for face in Face::ALL {
@@ -64,17 +84,22 @@ impl HaloExchanger {
         }
         if let Some(start) = start {
             let rank = comm.rank;
-            self.telemetry
-                .record_duration(&format!("halo.pack.rank{rank}"), start.elapsed().as_secs_f64());
-            self.telemetry.add("halo.bytes_sent", bytes as u64);
-            self.telemetry.add(&format!("halo.bytes_sent.rank{rank}"), bytes as u64);
+            let pack_s = start.elapsed().as_secs_f64();
+            if self.telemetry.is_enabled() {
+                self.telemetry.record_duration(&format!("halo.pack.rank{rank}"), pack_s);
+                self.telemetry.add("halo.bytes_sent", bytes as u64);
+                self.telemetry.add(&format!("halo.bytes_sent.rank{rank}"), bytes as u64);
+            }
+            if let Some(tl) = &self.timeline {
+                tl.record_phase(rank, phase::HALO_PACK, pack_s);
+            }
         }
         self.telemetry.event("halo.send", &[("rank", comm.rank as f64), ("bytes", bytes as f64)]);
     }
 
     /// Receive and unpack all faces into the fields' halo slabs.
     pub fn finish(&self, comm: &RankComm, fields: &mut [&mut Field3]) {
-        let enabled = self.telemetry.is_enabled();
+        let enabled = self.telemetry.is_enabled() || self.timeline.is_some();
         let mut wait_s = 0.0;
         let mut unpack_s = 0.0;
         let mut recv_bytes = 0usize;
@@ -103,8 +128,14 @@ impl HaloExchanger {
         }
         if enabled {
             let rank = comm.rank;
-            self.telemetry.record_duration(&format!("halo.wait.rank{rank}"), wait_s);
-            self.telemetry.record_duration(&format!("halo.unpack.rank{rank}"), unpack_s);
+            if self.telemetry.is_enabled() {
+                self.telemetry.record_duration(&format!("halo.wait.rank{rank}"), wait_s);
+                self.telemetry.record_duration(&format!("halo.unpack.rank{rank}"), unpack_s);
+            }
+            if let Some(tl) = &self.timeline {
+                tl.record_phase(rank, phase::HALO_WAIT, wait_s);
+                tl.record_phase(rank, phase::HALO_UNPACK, unpack_s);
+            }
         }
         self.telemetry
             .event("halo.recv", &[("rank", comm.rank as f64), ("bytes", recv_bytes as f64)]);
@@ -208,6 +239,29 @@ mod tests {
         f.set_i(-1, 0, 0, -99.0);
         HaloExchanger::standard().exchange(&comms[0], &mut [&mut f]);
         assert_eq!(f.at_i(-1, 0, 0), -99.0);
+    }
+
+    /// With a timeline recorder attached (and telemetry off), every rank
+    /// still accumulates the pack/wait/unpack split into the timeline.
+    #[test]
+    fn timeline_hook_records_wait_compute_split() {
+        let grid = RankGrid::new(2, 1);
+        let d = Dims3::new(4, 4, 4);
+        let rec = Arc::new(TimelineRecorder::new());
+        let ex = HaloExchanger::standard().with_timeline(rec.clone());
+        let ex = &ex;
+        run_ranks(grid, |comm| {
+            let mut f = Field3::filled(d, 2, comm.rank as f32);
+            ex.exchange(comm, &mut [&mut f]);
+        });
+        let rep = rec.report();
+        assert_eq!(rep.ranks, 2);
+        for name in [phase::HALO_PACK, phase::HALO_WAIT, phase::HALO_UNPACK] {
+            let p = rep.phases.iter().find(|p| p.name == name).unwrap_or_else(|| {
+                panic!("missing timeline phase {name}");
+            });
+            assert!(p.calls.iter().all(|&c| c > 0), "{name} recorded on every rank");
+        }
     }
 
     /// With telemetry attached, every rank reports pack/wait/unpack

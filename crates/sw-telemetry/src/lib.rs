@@ -39,6 +39,7 @@ use std::time::Instant;
 
 pub mod bench;
 pub mod perf;
+pub mod timeline;
 
 pub use sw_trace as trace;
 pub use sw_trace::{TraceSpan, Tracer};
@@ -192,7 +193,22 @@ impl Telemetry {
     pub fn report(&self) -> Report {
         match &self.registry {
             None => Report { schema_version: SCHEMA_VERSION, ..Default::default() },
-            Some(reg) => reg.snapshot(),
+            Some(reg) => {
+                let mut rep = reg.snapshot();
+                // Ring-buffer drops in the attached tracer would otherwise
+                // be silent until Chrome-JSON export; surface them as a
+                // counter. Injected at snapshot time (not `add`ed) so
+                // repeated report() calls never double-count.
+                let dropped = self.tracer.dropped_events();
+                if dropped > 0 {
+                    rep.counters.push(CounterEntry {
+                        name: "trace.dropped_events".to_string(),
+                        value: dropped,
+                    });
+                    rep.counters.sort_by(|a, b| a.name.cmp(&b.name));
+                }
+                rep
+            }
         }
     }
 }

@@ -21,6 +21,10 @@
 //! * `perf-diff <old> <new>` — the per-kernel regression gate: compares
 //!   two perf ledgers (or bench reports — the formats are
 //!   auto-detected and interchangeable here);
+//! * `imbalance-report <timeline.json>` — render a run timeline (from
+//!   `run --obs`) as a per-phase imbalance table; `--max-skew <frac>`
+//!   turns it into a gate that exits 1 when any phase's skew
+//!   `(max − min) / mean` across ranks exceeds the floor;
 //! * `--write-example [path]` — emit a commented scenario template.
 //!
 //! Every subcommand answers `--help`. For `run`: `--metrics` writes
@@ -44,10 +48,16 @@
 //! versioned manifest, keep-N retention; `--checkpoint-interval` and
 //! `--checkpoint-keep` tune the cadence and retention) and `--resume`
 //! restarts a killed run from the newest valid generation —
-//! bit-identically, including the seismogram/hazard outputs. The
+//! bit-identically, including the seismogram/hazard outputs.
+//! `--ranks <MX>x<MY>` runs the scenario on an MX×MY rank grid (the
+//! multirank runner: overlapped halo exchange, merged observables,
+//! bit-identical to single-rank). `--obs <dir>` arms the run timeline:
+//! heartbeat lines stream to `<dir>/run.jsonl` every `--obs-stride`
+//! steps (default 10) and the final per-rank, per-phase
+//! `<dir>/timeline.json` feeds `swquake imbalance-report`. The
 //! `SWQUAKE_FAULT_PLAN` environment variable arms the deterministic
-//! crash drills (`seed=N;kill@STEP`, `torn@STEP:frac=F`, ... — see
-//! `swquake::fault`).
+//! crash drills (`seed=N;kill@STEP`, `torn@STEP:frac=F`,
+//! `slow@STEP:rank=R:frac=F`, ... — see `swquake::fault`).
 //!
 //! ```text
 //! swquake --write-example scenario.json           # emit a commented template
@@ -66,12 +76,15 @@
 //! swquake perf-report perf.json --min-fraction 0.1
 //! swquake perf-diff old_perf.json new_perf.json --tolerance 0.2
 //! swquake bench-diff old.json new.json --tolerance 0.15
+//! swquake run scenario.json --ranks 2x2 --obs obs  # multirank + timeline
+//! swquake imbalance-report obs/timeline.json --max-skew 0.25
 //! ```
 //!
 //! Exit codes: 0 on success, 1 when the solver goes unstable, a
 //! campaign completes with unstable scenarios, `bench-diff`/`perf-diff`
-//! find a regression, or `perf-report` flags a kernel below
-//! `--min-fraction`, 2 for any usage, parse, or configuration error
+//! find a regression, `perf-report` flags a kernel below
+//! `--min-fraction`, or `imbalance-report` finds a phase over
+//! `--max-skew`, 2 for any usage, parse, or configuration error
 //! (including unknown flags, unusable checkpoint stores, and
 //! unit-mismatched bench records), 3 when a
 //! campaign completes with failed scenarios (failures dominate
@@ -81,10 +94,15 @@
 
 use std::sync::Arc;
 use swquake::campaign::CampaignRunOptions;
+use swquake::core::driver::run_multirank;
 use swquake::core::{ExecMode, Simulation};
 use swquake::health::{HealthConfig, HealthLog};
+use swquake::parallel::RankGrid;
 use swquake::telemetry::bench::{compare, BenchReport};
 use swquake::telemetry::perf::{PerfLedger, PerfRecorder};
+use swquake::telemetry::timeline::{
+    TimelineRecorder, TimelineReport, DEFAULT_HEARTBEAT_STRIDE, RUN_LOG_NAME, TIMELINE_NAME,
+};
 use swquake::telemetry::{Telemetry, Tracer};
 use swquake::{Error, Scenario, ScenarioVersion};
 
@@ -94,6 +112,7 @@ usage: swquake [run] <scenario.json> [run flags]
        swquake bench-diff <old.json> <new.json> [--tolerance <frac>]
        swquake perf-report <perf.json> [--min-fraction <frac>]
        swquake perf-diff <old.json> <new.json> [--tolerance <frac>]
+       swquake imbalance-report <timeline.json> [--max-skew <frac>]
        swquake --write-example [path]
        swquake <subcommand> --help";
 
@@ -124,7 +143,17 @@ flags:
   --perf <out.json>            per-kernel performance ledger (wall time,
                                cells/s, GFLOP/s, GB/s, roofline fraction);
                                also appends one line to perf_history.jsonl
-                               next to <out.json>";
+                               next to <out.json>
+  --ranks <MX>x<MY>            run on an MX x MY rank grid (multirank
+                               halo exchange; observables are merged and
+                               bit-identical to the single-rank run;
+                               incompatible with --fused and --perf)
+  --obs <dir>                  run timeline: stream heartbeat lines to
+                               <dir>/run.jsonl and write the final
+                               per-rank, per-phase <dir>/timeline.json
+                               (consumed by `swquake imbalance-report`)
+  --obs-stride <n>             steps between heartbeat lines (default 10;
+                               a final line is always written)";
 
 const CAMPAIGN_HELP: &str = "\
 usage: swquake campaign <campaign.json> [flags]
@@ -178,9 +207,24 @@ usage: swquake perf-diff <old.json> <new.json> [--tolerance <frac>]
 
 Per-kernel perf-regression gate. Each side may be a perf ledger (from
 `run --perf`) or a BENCH_<name>.json report — auto-detected, so a
-ledger can be diffed against a committed bench baseline. Exit 0 on
-pass, 1 on regression beyond the tolerance (default 0.1; per-record
-`tolerance` overrides), 2 on load failures or unit mismatches.";
+ledger can be diffed against a committed bench baseline. Ledger sides
+echo their exec mode and compiled features above the table, so
+cross-mode comparisons are self-describing. Exit 0 on pass, 1 on
+regression beyond the tolerance (default 0.1; per-record `tolerance`
+overrides), 2 on load failures or unit mismatches.";
+
+const IMBALANCE_REPORT_HELP: &str = "\
+usage: swquake imbalance-report <timeline.json> [--max-skew <frac>]
+
+Render a run timeline (written by `swquake run --obs <dir>`) as a
+per-phase load-imbalance table: per-rank wall time, skew
+`(max - min) / mean`, the phase's critical rank, the run's overall
+critical-path rank (most non-wait work), the halo-wait fraction, and
+the per-field resident-memory gauges.
+
+With --max-skew the report becomes a gate: exit 1 when any phase's
+skew exceeds the floor (the offending phases and their critical ranks
+are listed). Exit 0 otherwise, 2 when the file fails to load.";
 
 enum Command {
     Help(&'static str),
@@ -190,6 +234,7 @@ enum Command {
     BenchDiff { old: String, new: String, tolerance: f64 },
     PerfReport { path: String, min_fraction: f64 },
     PerfDiff { old: String, new: String, tolerance: f64 },
+    ImbalanceReport { path: String, max_skew: Option<f64> },
 }
 
 /// Optional report files a `run` can emit, plus execution overrides.
@@ -208,6 +253,9 @@ struct RunOutputs {
     checkpoint_keep: Option<usize>,
     resume: bool,
     perf: Option<String>,
+    ranks: Option<(usize, usize)>,
+    obs: Option<String>,
+    obs_stride: Option<u64>,
 }
 
 impl RunOutputs {
@@ -222,6 +270,7 @@ fn parse_args(args: &[String]) -> Option<Command> {
         Some("bench-diff") => return parse_bench_diff(&args[1..]),
         Some("perf-report") => return parse_perf_report(&args[1..]),
         Some("perf-diff") => return parse_perf_diff(&args[1..]),
+        Some("imbalance-report") => return parse_imbalance_report(&args[1..]),
         Some("campaign") => return parse_campaign(&args[1..]),
         _ => {}
     }
@@ -248,12 +297,22 @@ fn parse_args(args: &[String]) -> Option<Command> {
             "--checkpoint-keep" => outputs.checkpoint_keep = Some(iter.next()?.parse().ok()?),
             "--resume" => outputs.resume = true,
             "--perf" => outputs.perf = Some(iter.next()?.clone()),
+            "--ranks" => outputs.ranks = Some(parse_rank_grid(iter.next()?)?),
+            "--obs" => outputs.obs = Some(iter.next()?.clone()),
+            "--obs-stride" => outputs.obs_stride = Some(iter.next()?.parse().ok()?),
             flag if flag.starts_with("--") => return None,
             other => positional.push(other.to_string()),
         }
     }
     // Resuming without a store to resume from is a usage error.
     if outputs.resume && outputs.checkpoint_dir.is_none() {
+        return None;
+    }
+    // The multirank runner exchanges scalar wavefield halos (no fused
+    // layout) and the per-kernel ledger needs a resident Simulation.
+    if outputs.ranks.is_some_and(|(mx, my)| mx * my > 1)
+        && (outputs.fused || outputs.perf.is_some())
+    {
         return None;
     }
     if write_example {
@@ -266,6 +325,32 @@ fn parse_args(args: &[String]) -> Option<Command> {
     }
     if positional.len() == 1 {
         Some(Command::Run { scenario: positional.remove(0), outputs })
+    } else {
+        None
+    }
+}
+
+/// `MXxMY` (e.g. `2x2`) → a rank-grid shape; both factors must be ≥ 1.
+fn parse_rank_grid(spec: &str) -> Option<(usize, usize)> {
+    let (mx, my) = spec.split_once('x')?;
+    let (mx, my): (usize, usize) = (mx.parse().ok()?, my.parse().ok()?);
+    (mx >= 1 && my >= 1).then_some((mx, my))
+}
+
+fn parse_imbalance_report(args: &[String]) -> Option<Command> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut max_skew = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Some(Command::Help(IMBALANCE_REPORT_HELP)),
+            "--max-skew" => max_skew = Some(iter.next()?.parse().ok()?),
+            flag if flag.starts_with("--") => return None,
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() == 1 {
+        Some(Command::ImbalanceReport { path: positional.remove(0), max_skew })
     } else {
         None
     }
@@ -390,6 +475,7 @@ fn main() {
         Some(Command::BenchDiff { old, new, tolerance }) => bench_diff(&old, &new, tolerance),
         Some(Command::PerfReport { path, min_fraction }) => perf_report(&path, min_fraction),
         Some(Command::PerfDiff { old, new, tolerance }) => perf_diff(&old, &new, tolerance),
+        Some(Command::ImbalanceReport { path, max_skew }) => imbalance_report(&path, max_skew),
     };
     std::process::exit(code);
 }
@@ -493,8 +579,10 @@ fn load_perf_ledger(path: &str) -> Result<PerfLedger, String> {
 fn perf_diff(old_path: &str, new_path: &str, tolerance: f64) -> i32 {
     // A perf ledger has a top-level `kernels` array; a bench report has
     // `records`. Ledgers are lowered to per-kernel bench records so the
-    // two formats diff against each other.
-    let load = |path: &str, role: &str| -> Result<BenchReport, String> {
+    // two formats diff against each other. The lowering drops the
+    // ledger's exec_mode/features stamps, so they are echoed per side
+    // here — a cross-mode diff must say what it is comparing.
+    let load = |path: &str, role: &str| -> Result<(BenchReport, Option<String>), String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("perf-diff: cannot read {role} {path}: {e}"))?;
         let probe: serde_json::Value = serde_json::from_str(&text)
@@ -502,19 +590,37 @@ fn perf_diff(old_path: &str, new_path: &str, tolerance: f64) -> i32 {
         if probe.as_object().is_some_and(|o| o.iter().any(|(k, _)| k == "kernels")) {
             let ledger = PerfLedger::from_json(&text)
                 .map_err(|e| format!("perf-diff: cannot parse {role} ledger {path}: {e}"))?;
-            Ok(ledger.to_bench_report("perf"))
+            let echo = (ledger.exec_mode.is_some() || ledger.features.is_some()).then(|| {
+                format!(
+                    "exec: {}  features: {}",
+                    ledger.exec_mode.as_deref().unwrap_or("?"),
+                    match ledger.features.as_deref() {
+                        Some("") | None => "(default)",
+                        Some(f) => f,
+                    }
+                )
+            });
+            Ok((ledger.to_bench_report("perf"), echo))
         } else {
             BenchReport::from_json(&text)
+                .map(|r| (r, None))
                 .map_err(|e| format!("perf-diff: cannot parse {role} {path}: {e}"))
         }
     };
-    let (old, new) = match (load(old_path, "baseline"), load(new_path, "candidate")) {
-        (Ok(o), Ok(n)) => (o, n),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("{e}");
-            return 2;
-        }
-    };
+    let ((old, old_echo), (new, new_echo)) =
+        match (load(old_path, "baseline"), load(new_path, "candidate")) {
+            (Ok(o), Ok(n)) => (o, n),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        };
+    if let Some(echo) = &old_echo {
+        println!("baseline:  {echo}");
+    }
+    if let Some(echo) = &new_echo {
+        println!("candidate: {echo}");
+    }
     let cmp = compare(&old, &new, tolerance);
     print!("{}", cmp.text_table());
     if !cmp.unit_errors.is_empty() {
@@ -522,6 +628,39 @@ fn perf_diff(old_path: &str, new_path: &str, tolerance: f64) -> i32 {
     } else if cmp.passed() {
         0
     } else {
+        1
+    }
+}
+
+/// Render a run timeline as a per-phase imbalance table; with a skew
+/// floor, exit 1 when any phase exceeds it. Exit 2 on load failure.
+fn imbalance_report(path: &str, max_skew: Option<f64>) -> i32 {
+    let report: TimelineReport = match std::fs::read_to_string(path)
+        .map_err(|e| format!("imbalance-report: cannot read {path}: {e}"))
+        .and_then(|text| {
+            serde_json::from_str(&text)
+                .map_err(|e| format!("imbalance-report: cannot parse {path}: {e}"))
+        }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    print!("{}", report.text_table());
+    let Some(floor) = max_skew else { return 0 };
+    let over = report.phases_over(floor);
+    if over.is_empty() {
+        println!("imbalance gate passed: no phase over skew {floor:.3}");
+        0
+    } else {
+        for p in &over {
+            eprintln!(
+                "imbalance: phase `{}` skew {:.3} exceeds {:.3} (critical rank {})",
+                p.name, p.skew, floor, p.critical_rank
+            );
+        }
+        eprintln!("critical-path rank: {}", report.critical_rank);
         1
     }
 }
@@ -598,6 +737,22 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
         eprintln!("fault plan armed from SWQUAKE_FAULT_PLAN: {} event(s)", plan.events().len());
         cfg = cfg.with_fault_plan(Some(Arc::new(plan)));
     }
+    // `--obs` arms the run timeline: per-rank per-phase spans, streamed
+    // heartbeats in <dir>/run.jsonl, final report in <dir>/timeline.json.
+    let timeline = match &outputs.obs {
+        Some(dir) => {
+            let stride = outputs.obs_stride.unwrap_or(DEFAULT_HEARTBEAT_STRIDE);
+            let rec = TimelineRecorder::new()
+                .with_total_steps(cfg.steps as u64)
+                .with_stream(std::path::Path::new(dir), stride)
+                .map_err(|e| Error::Io { path: dir.clone(), source: e })?;
+            Some(Arc::new(rec))
+        }
+        None => None,
+    };
+    if let Some(tl) = &timeline {
+        cfg = cfg.with_timeline(Arc::clone(tl));
+    }
     println!(
         "mesh {} at dx = {} m, {} steps, model {}, nonlinear {}, compression {}, exec {} \
          (path {}, features {}){}",
@@ -612,6 +767,52 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
         if swquake::core::simd_compiled() { "simd" } else { "(default)" },
         if cfg.fused { ", fused layout" } else { "" }
     );
+    // `--ranks MxN` routes through the multi-rank driver: same physics
+    // on halo-exchanged subdomains, observables merged back to global
+    // coordinates (bit-identical to the single-rank run).
+    if let Some((mx, my)) = outputs.ranks.filter(|&(mx, my)| mx * my > 1) {
+        cfg = cfg.with_resume(outputs.resume);
+        let t0 = std::time::Instant::now();
+        let out = run_multirank(model.as_ref(), &cfg, RankGrid::new(mx, my))?;
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "simulated {:.2} s in {wall:.1} s wall time ({:.2} Gflop/s sustained) on {mx}x{my} \
+             ranks",
+            cfg.steps as f64 * out.dt,
+            out.flops / wall / 1e9
+        );
+        let files = swquake::outputs::write_multirank_outputs(
+            &out,
+            &cfg,
+            &scenario.output_prefix,
+            &telemetry,
+        )?;
+        println!("wrote {} and {}", files.seismograms, files.hazard);
+        println!("PGV max {:.3e} m/s, max intensity {:.1}", files.pgv_max, files.max_intensity);
+        if let Some(metrics_path) = &outputs.metrics {
+            std::fs::write(metrics_path, telemetry.report().to_json())
+                .map_err(|e| Error::Io { path: metrics_path.to_string(), source: e })?;
+            println!("wrote metrics to {metrics_path}");
+        }
+        if let Some(roofline_path) = &outputs.roofline {
+            let report = swquake::core::roofline::attribute(
+                cfg.dims,
+                cfg.options.nonlinear,
+                cfg.compression,
+                &telemetry.report(),
+            );
+            std::fs::write(roofline_path, report.to_json())
+                .map_err(|e| Error::Io { path: roofline_path.to_string(), source: e })?;
+            print!("{}", report.text_table());
+            println!("wrote roofline report to {roofline_path}");
+        }
+        write_trace(outputs, &telemetry)?;
+        if let Some(health_path) = &outputs.health {
+            println!("wrote health log to {health_path} ({} records)", out.health.len());
+        }
+        finalize_timeline(outputs, timeline.as_ref())?;
+        return Ok(());
+    }
     let t0 = std::time::Instant::now();
     let mut sim = if outputs.resume {
         let (sim, info) = Simulation::resume(model.as_ref(), &cfg)?;
@@ -661,11 +862,7 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
         print!("{}", report.text_table());
         println!("wrote roofline report to {roofline_path}");
     }
-    if let Some(trace_path) = &outputs.trace {
-        std::fs::write(trace_path, telemetry.tracer().to_chrome_json())
-            .map_err(|e| Error::Io { path: trace_path.to_string(), source: e })?;
-        println!("wrote trace to {trace_path} (open in Perfetto or chrome://tracing)");
-    }
+    write_trace(outputs, &telemetry)?;
     if let Some(health_path) = &outputs.health {
         if let Some(report) = sim.health() {
             println!(
@@ -691,5 +888,44 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
             );
         }
     }
+    finalize_timeline(outputs, timeline.as_ref())?;
+    Ok(())
+}
+
+/// Export the Chrome trace when `--trace` was given, warning first when
+/// ring-buffer eviction dropped events — the `trace.dropped_events`
+/// counter alone is easy to miss, and a silently truncated trace reads
+/// as a complete one.
+#[allow(clippy::result_large_err)] // cold abort-path error; see Scenario::from_json
+fn write_trace(outputs: &RunOutputs, telemetry: &Telemetry) -> Result<(), Error> {
+    let Some(trace_path) = &outputs.trace else { return Ok(()) };
+    let dropped = telemetry.tracer().dropped_events();
+    if dropped > 0 {
+        eprintln!(
+            "warning: {dropped} trace event(s) were dropped by ring-buffer eviction; \
+             the exported trace is incomplete"
+        );
+    }
+    std::fs::write(trace_path, telemetry.tracer().to_chrome_json())
+        .map_err(|e| Error::Io { path: trace_path.to_string(), source: e })?;
+    println!("wrote trace to {trace_path} (open in Perfetto or chrome://tracing)");
+    Ok(())
+}
+
+/// Finalize the `--obs` timeline: emit the closing heartbeat, write
+/// `<dir>/timeline.json`, and print the per-phase imbalance table.
+#[allow(clippy::result_large_err)] // cold abort-path error; see Scenario::from_json
+fn finalize_timeline(
+    outputs: &RunOutputs,
+    timeline: Option<&Arc<TimelineRecorder>>,
+) -> Result<(), Error> {
+    let (Some(dir), Some(tl)) = (&outputs.obs, timeline) else { return Ok(()) };
+    let report = tl.finish();
+    let path = std::path::Path::new(dir).join(TIMELINE_NAME);
+    let text = serde_json::to_string(&report).expect("timeline serialization is infallible");
+    std::fs::write(&path, text)
+        .map_err(|e| Error::Io { path: path.display().to_string(), source: e })?;
+    print!("{}", report.text_table());
+    println!("wrote run timeline to {} (heartbeats in {dir}/{RUN_LOG_NAME})", path.display());
     Ok(())
 }

@@ -203,6 +203,14 @@ fn try_run_scenario(
     // only adds the per-scenario `perf.json` file.
     let perf_recorder = Arc::new(sw_telemetry::perf::PerfRecorder::new());
     cfg = cfg.with_perf(Arc::clone(&perf_recorder));
+    // The run timeline rides along the same way: always armed (no
+    // heartbeat stream — phase timing is a few monotonic-clock reads per
+    // step), final report written to `<dir>/timeline.json` and its skew
+    // summary deposited in the campaign rollup.
+    let timeline_rec = Arc::new(
+        sw_telemetry::timeline::TimelineRecorder::new().with_total_steps(cfg.steps as u64),
+    );
+    cfg = cfg.with_timeline(Arc::clone(&timeline_rec));
     if let Some(exec) = opts.exec {
         cfg = cfg.with_exec(exec);
     }
@@ -273,5 +281,12 @@ fn try_run_scenario(
                 .map_err(|e| Error::Io { path: perf_path.display().to_string(), source: e })?;
         }
     }
+    let timeline = timeline_rec.finish();
+    let timeline_path = task.dir.join(sw_telemetry::timeline::TIMELINE_NAME);
+    let timeline_text =
+        serde_json::to_string(&timeline).expect("timeline serialization is infallible");
+    std::fs::write(&timeline_path, timeline_text)
+        .map_err(|e| Error::Io { path: timeline_path.display().to_string(), source: e })?;
+    task.timeline.record(task.id, timeline);
     Ok(format!("PGV max {:.3e} m/s, max intensity {:.1}", files.pgv_max, files.max_intensity))
 }

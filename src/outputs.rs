@@ -6,9 +6,10 @@
 //! one place, instead of being duplicated in the binary.
 
 use crate::error::Error;
+use sw_io::recorder::{PgvRecorder, Seismogram};
 use sw_telemetry::Telemetry;
 use swquake_core::hazard::HazardMap;
-use swquake_core::{SimConfig, Simulation};
+use swquake_core::{MultiRankOutput, SimConfig, Simulation};
 
 /// What [`write_outputs`] produced, for the caller's result line.
 pub struct OutputFiles {
@@ -32,16 +33,42 @@ pub fn write_outputs(
     prefix: &str,
     telemetry: &Telemetry,
 ) -> Result<OutputFiles, Error> {
+    write_result_files(sim.seismo.seismograms(), &sim.pgv, sim.state.dt, cfg, prefix, telemetry)
+}
+
+/// Multi-rank twin of [`write_outputs`]: same files, same bytes, fed
+/// from the merged observables of [`swquake_core::driver::run_multirank`].
+#[allow(clippy::result_large_err)] // cold abort-path error; see Scenario::from_json
+pub fn write_multirank_outputs(
+    out: &MultiRankOutput,
+    cfg: &SimConfig,
+    prefix: &str,
+    telemetry: &Telemetry,
+) -> Result<OutputFiles, Error> {
+    write_result_files(&out.seismograms, &out.pgv, out.dt, cfg, prefix, telemetry)
+}
+
+/// Shared rendering core: both entry points funnel here so the
+/// single-rank and multi-rank paths stay byte-identical by construction.
+#[allow(clippy::result_large_err)]
+fn write_result_files(
+    seismograms: &[Seismogram],
+    pgv: &PgvRecorder,
+    dt: f64,
+    cfg: &SimConfig,
+    prefix: &str,
+    telemetry: &Telemetry,
+) -> Result<OutputFiles, Error> {
     let t_out = std::time::Instant::now();
     let mut csv = String::from("t");
-    for s in sim.seismo.seismograms() {
+    for s in seismograms {
         let n = &s.station.name;
         csv.push_str(&format!(",{n}_vx,{n}_vy,{n}_vz"));
     }
     csv.push('\n');
     for i in 0..cfg.steps {
-        csv.push_str(&format!("{:.5}", i as f64 * sim.state.dt));
-        for s in sim.seismo.seismograms() {
+        csv.push_str(&format!("{:.5}", i as f64 * dt));
+        for s in seismograms {
             let v = s.samples[i];
             csv.push_str(&format!(",{:.6e},{:.6e},{:.6e}", v[0], v[1], v[2]));
         }
@@ -51,12 +78,12 @@ pub fn write_outputs(
     std::fs::write(&seismo_path, &csv)
         .map_err(|e| Error::Io { path: seismo_path.clone(), source: e })?;
 
-    let map = HazardMap::from_pgv(&sim.pgv, cfg.dims.nx, cfg.dims.ny);
+    let map = HazardMap::from_pgv(pgv, cfg.dims.nx, cfg.dims.ny);
     let hazard = serde_json::json!({
         "nx": cfg.dims.nx,
         "ny": cfg.dims.ny,
         "dx_m": cfg.dx,
-        "pgv_ms": sim.pgv.pgv,
+        "pgv_ms": pgv.pgv,
         "intensity": map.intensity,
         "max_intensity": map.max(),
     });
@@ -69,7 +96,7 @@ pub fn write_outputs(
     Ok(OutputFiles {
         seismograms: seismo_path,
         hazard: hazard_path,
-        pgv_max: sim.pgv.max(),
+        pgv_max: pgv.max(),
         max_intensity: map.max(),
     })
 }
