@@ -29,6 +29,7 @@ use crate::flops::{
 use crate::health::HealthMonitor;
 use crate::kernels;
 use crate::kernels::FusedWavefield;
+use crate::resident::{ResidentEngine, ResidentMode, RESIDENT_FIELDS, SIDECAR_FIELD};
 use crate::state::{SolverState, StateOptions};
 use rayon::prelude::*;
 use std::path::PathBuf;
@@ -40,8 +41,10 @@ use sw_arch::spec::CoreGroupSpec;
 use sw_arch::{KernelPerfModel, OptLevel};
 use sw_compress::{Codec, Codec16, FieldStats};
 use sw_fault::FaultHook;
-use sw_grid::{Dims3, Field3};
-use sw_health::{HealthConfig, HealthLog, HealthRecord, HealthReport};
+use sw_grid::{Dims3, Field3, HALO_WIDTH};
+use sw_health::{
+    CflInfo, FieldProbe, HealthConfig, HealthLog, HealthRecord, HealthReport, StepProbe,
+};
 use sw_io::checkpoint::{Checkpoint, RestartController};
 use sw_io::store::{CheckpointStore, RestoredGeneration, WriteError};
 use sw_io::{PgvRecorder, SeismogramRecorder, SnapshotRecorder, Station};
@@ -98,6 +101,21 @@ pub struct SimConfig {
     /// attenuation, plasticity, inter-step compression and multirank
     /// runs — [`SimConfig::validate`] rejects those combinations.
     pub fused: bool,
+    /// How the dynamic wavefields (and attenuation memory variables) live
+    /// between steps: [`ResidentMode::Full`] keeps plain f32 arrays;
+    /// [`ResidentMode::Compressed16`] keeps them as 16-bit planes and
+    /// streams x-tiles through a small f32 slab each step (see
+    /// [`crate::resident`]). Defaults to the `SWQUAKE_RESIDENT`
+    /// environment override when set. Incompatible with the fused
+    /// layout, §6.5 inter-step compression, surface snapshots and
+    /// multirank runs — [`SimConfig::validate`] / [`run_multirank`]
+    /// reject those combinations.
+    pub resident: ResidentMode,
+    /// Byte budget for the compressed-resident decode slab; the engine
+    /// solves the widest tile that fits (see
+    /// [`crate::resident::tile_width_for_cap`]). `None` uses the default
+    /// tile width. Ignored in `Full` mode.
+    pub memory_cap_bytes: Option<u64>,
     /// Pin the global Rayon worker budget to this many threads (0 = keep
     /// the current setting). Defaults to `SWQUAKE_THREADS` when set.
     pub threads: usize,
@@ -167,6 +185,8 @@ impl SimConfig {
             origin: (0.0, 0.0, 0.0),
             exec: ExecMode::from_env(),
             fused: false,
+            resident: ResidentMode::from_env(),
+            memory_cap_bytes: None,
             threads: exec::threads_from_env(),
             telemetry: Telemetry::disabled(),
             health: None,
@@ -195,6 +215,23 @@ impl SimConfig {
     #[must_use]
     pub fn with_fused(mut self, fused: bool) -> Self {
         self.fused = fused;
+        self
+    }
+
+    /// Choose how wavefields are stored between steps (overrides the
+    /// `SWQUAKE_RESIDENT` default); see [`SimConfig::resident`] for the
+    /// compatibility contract.
+    #[must_use]
+    pub fn with_resident(mut self, resident: ResidentMode) -> Self {
+        self.resident = resident;
+        self
+    }
+
+    /// Cap the compressed-resident decode slab at `bytes`; see
+    /// [`SimConfig::memory_cap_bytes`].
+    #[must_use]
+    pub fn with_memory_cap(mut self, bytes: u64) -> Self {
+        self.memory_cap_bytes = Some(bytes);
         self
     }
 
@@ -375,6 +412,17 @@ impl SimConfig {
             }
             if self.compression {
                 return Err(ConfigError::FusedUnsupported { feature: "inter-step compression" });
+            }
+        }
+        if self.resident == ResidentMode::Compressed16 {
+            if self.fused {
+                return Err(ConfigError::ResidentUnsupported { feature: "the fused layout" });
+            }
+            if self.compression {
+                return Err(ConfigError::ResidentUnsupported { feature: "inter-step compression" });
+            }
+            if !self.snapshot_times.is_empty() {
+                return Err(ConfigError::ResidentUnsupported { feature: "surface snapshots" });
             }
         }
         Ok(())
@@ -735,6 +783,10 @@ pub struct Simulation {
     /// [`SimConfig::fused`] is set; the scalar state is refreshed from
     /// it at output boundaries only.
     fused: Option<FusedWavefield>,
+    /// The compressed-resident engine when [`SimConfig::resident`] is
+    /// `Compressed16`; the state's dynamic arrays are detached and every
+    /// step phase streams tiles through the engine's f32 slab instead.
+    resident: Option<ResidentEngine>,
     telemetry: Telemetry,
     arch: Option<ArchCharges>,
     health: Option<HealthMonitor>,
@@ -814,6 +866,31 @@ fn record_resident_memory(
         tl.record_memory(rank, "fused.velocity", fw.vel.resident_bytes() as u64);
         tl.record_memory(rank, "fused.stress", fw.stress.resident_bytes() as u64);
     }
+}
+
+/// Build a health probe from the compressed-resident engine's per-step
+/// encode statistics: max-abs per wavefield comes from the (finite-only)
+/// encode scans for free; the decode scan for exact NaN/Inf locations
+/// runs only on the cold path (a step whose encodes saw nonfinite
+/// values). Kinetic energy needs a full-field pass the resident path
+/// deliberately avoids, so it is reported as NaN — the watchdog skips
+/// non-finite energy baselines by contract.
+fn resident_probe(engine: &ResidentEngine, step: u64, time: f64, rank: usize) -> StepProbe {
+    let mut fields = Vec::with_capacity(COMPRESSED_FIELDS.len());
+    for (idx, (name, stats)) in engine.step_stats().take(COMPRESSED_FIELDS.len()).enumerate() {
+        let (nan_count, inf_count, first_bad) =
+            if stats.nonfinite > 0 { engine.scan_nonfinite(idx) } else { (0, 0, None) };
+        fields.push(FieldProbe {
+            name: name.to_string(),
+            max_abs: f64::from(stats.max_abs),
+            nan_count,
+            inf_count,
+            first_bad,
+        });
+    }
+    let max_velocity = fields[..3].iter().fold(0.0f64, |m, f| m.max(f.max_abs));
+    let max_stress = fields[3..].iter().fold(0.0f64, |m, f| m.max(f.max_abs));
+    StepProbe { step, time, rank, max_velocity, max_stress, kinetic_energy: f64::NAN, fields }
 }
 
 fn wavefield(state: &SolverState, idx: usize) -> &Field3 {
@@ -928,7 +1005,7 @@ impl Simulation {
 
     /// Build from an existing state (used by the multi-rank runner). The
     /// caller is responsible for having validated the config.
-    pub fn from_state(state: SolverState, config: &SimConfig) -> Self {
+    pub fn from_state(mut state: SolverState, config: &SimConfig) -> Self {
         let d = state.dims;
         let compression = config.compression.then(|| {
             COMPRESSED_FIELDS
@@ -975,9 +1052,32 @@ impl Simulation {
             )
         });
         let fused = config.fused.then(|| FusedWavefield::from_state(&state));
+        let resident = (config.resident == ResidentMode::Compressed16).then(|| {
+            let engine = ResidentEngine::new(&state, config.memory_cap_bytes);
+            // The engine now holds the dynamic values 16-bit; detach the
+            // f32 arrays so the footprint win is real, not additive.
+            for idx in 0..COMPRESSED_FIELDS.len() {
+                *wavefield_mut(&mut state, idx) = Field3::detached(d, HALO_WIDTH);
+            }
+            for r in &mut state.r {
+                *r = Field3::detached(d, HALO_WIDTH);
+            }
+            engine
+        });
         let timeline = config.timeline.clone();
         if let Some(tl) = &timeline {
             record_resident_memory(tl, config.rank, &state, fused.as_ref());
+            if let Some(engine) = &resident {
+                for (i, name) in COMPRESSED_FIELDS.iter().enumerate() {
+                    tl.record_memory(config.rank, &format!("state.{name}"), engine.stored_bytes(i));
+                }
+                let memvars: u64 = (COMPRESSED_FIELDS.len()..RESIDENT_FIELDS.len())
+                    .map(|i| engine.stored_bytes(i))
+                    .sum();
+                tl.record_memory(config.rank, "state.memvars", memvars);
+                tl.record_memory(config.rank, "resident.working_set", engine.working_set_bytes());
+            }
+            tl.set_resident_mode(config.resident.to_string());
         }
         Self {
             state,
@@ -1000,6 +1100,7 @@ impl Simulation {
             compression,
             path,
             fused,
+            resident,
             telemetry,
             arch,
             health: config
@@ -1027,6 +1128,27 @@ impl Simulation {
     /// Whether production steps run on the fused array layout (§6.4).
     pub fn is_fused(&self) -> bool {
         self.fused.is_some()
+    }
+
+    /// How this simulation stores its wavefields between steps.
+    pub fn resident_mode(&self) -> ResidentMode {
+        if self.resident.is_some() {
+            ResidentMode::Compressed16
+        } else {
+            ResidentMode::Full
+        }
+    }
+
+    /// The compressed-resident decode slab's f32 byte footprint (`None`
+    /// in full mode) — what [`SimConfig::memory_cap_bytes`] bounds.
+    pub fn resident_working_set_bytes(&self) -> Option<u64> {
+        self.resident.as_ref().map(ResidentEngine::working_set_bytes)
+    }
+
+    /// Total bytes the compressed 16-bit stores occupy (`None` in full
+    /// mode) — what replaces the f32 wavefield + memory-variable arrays.
+    pub fn resident_stored_bytes(&self) -> Option<u64> {
+        self.resident.as_ref().map(|e| (0..RESIDENT_FIELDS.len()).map(|i| e.stored_bytes(i)).sum())
     }
 
     /// The telemetry handle this simulation records into.
@@ -1094,6 +1216,7 @@ impl Simulation {
             step_p95_s: p95,
             exec_mode: Some(self.path.to_string()),
             features: Some(if exec::simd_compiled() { "simd" } else { "" }.to_string()),
+            resident_mode: Some(self.resident_mode().to_string()),
             kernels,
         })
     }
@@ -1160,6 +1283,16 @@ impl Simulation {
     /// halos (which feed the velocity stencils).
     fn velocity_half(&mut self) {
         let tel = self.telemetry.clone();
+        if let Some(mut engine) = self.resident.take() {
+            engine.begin_step();
+            {
+                let _p = tel.phase("velocity");
+                let _k = pscope(&self.perf, "dvelc");
+                engine.velocity_sweep(&self.state);
+            }
+            self.resident = Some(engine);
+            return;
+        }
         if let Some(mut w) = self.fused.take() {
             let s = &self.state;
             {
@@ -1215,6 +1348,24 @@ impl Simulation {
     /// (which feed the stress stencils).
     fn stress_half(&mut self) {
         let tel = self.telemetry.clone();
+        if let Some(mut engine) = self.resident.take() {
+            {
+                let _p = tel.phase("stress");
+                let _k = pscope(&self.perf, "dstrqc");
+                engine.stress_sweep(&self.state);
+            }
+            {
+                let _p = tel.phase("source");
+                engine.inject_sources(&self.state, &self.sources, self.time);
+            }
+            if engine.wants_plastic_sponge() {
+                let _p = tel.phase("sponge");
+                let _k = pscope(&self.perf, "sponge");
+                engine.plastic_sponge_sweep(&mut self.state);
+            }
+            self.resident = Some(engine);
+            return;
+        }
         if let Some(mut w) = self.fused.take() {
             // The fused path covers the elastic step only (validated at
             // construction): no attenuation memory, no plasticity, no
@@ -1454,6 +1605,10 @@ impl Simulation {
     /// Recording, flop accounting, checkpointing, clock advance.
     fn finish_step(&mut self) {
         let tel = self.telemetry.clone();
+        if self.resident.is_some() {
+            self.finish_step_resident(&tel);
+            return;
+        }
         if self.fused.is_some() {
             // Output boundary: the recorders below read scalar
             // velocities every step; checkpoints and health probes also
@@ -1519,6 +1674,91 @@ impl Simulation {
         }
         if let Some(monitor) = &mut self.health {
             monitor.check(&self.state, self.step_count, self.time, self.path.is_parallel(), &tel);
+        }
+    }
+
+    /// [`Simulation::finish_step`] for the compressed-resident path:
+    /// recorders tap decoded cells, the decode/encode traffic lands in
+    /// its own perf-ledger rows, and the health probe is built from the
+    /// step's encode statistics instead of scanning f32 arrays (which are
+    /// detached in this mode).
+    fn finish_step_resident(&mut self, tel: &Telemetry) {
+        {
+            let _p = tel.phase("record");
+            let engine = self.resident.as_ref().expect("resident finish without engine");
+            self.seismo.record_with(|ix, iy| {
+                [
+                    engine.sample(0, ix, iy, 0),
+                    engine.sample(1, ix, iy, 0),
+                    engine.sample(2, ix, iy, 0),
+                ]
+            });
+            self.pgv.record_with(|x, y| (engine.sample(0, x, y, 0), engine.sample(1, x, y, 0)));
+        }
+        let s = &self.state;
+        let flops_before = self.flops.flops;
+        self.flops.charge_step(s.dims, s.options.nonlinear, s.options.attenuation);
+        tel.sample("step.flops", self.flops.flops - flops_before);
+        if let Some(arch) = &self.arch {
+            arch.charge(tel);
+        }
+        if let (Some(p), Some(charges)) = (self.perf.as_deref(), &self.perf_charges) {
+            for k in &charges.kernels {
+                p.charge(k.name, k.cells, k.flops, k.bytes);
+            }
+        }
+        if let Some(p) = self.perf.as_deref() {
+            let rp = self.resident.as_ref().expect("resident finish without engine").perf();
+            // DMA convention: each decoded/encoded value moves a 2-byte
+            // code on one side and a 4-byte float on the other.
+            p.add_wall("resident_decode", rp.decode_s);
+            p.charge("resident_decode", rp.decoded_cells, 0.0, rp.decoded_cells * 6);
+            p.add_wall("resident_encode", rp.encode_s);
+            p.charge("resident_encode", rp.encoded_cells, 0.0, rp.encoded_cells * 6);
+        }
+        self.time += s.dt;
+        self.step_count += 1;
+        // Surface snapshots are rejected at validation in this mode.
+        if self.restart.due(self.step_count) {
+            let t0 = self.perf.is_some().then(Instant::now);
+            {
+                let _p = tel.phase("checkpoint");
+                let ckpt = self.make_checkpoint();
+                if tel.is_enabled() || self.perf.is_some() {
+                    let bytes: usize = ckpt.fields.iter().map(|(_, f)| f.raw().len() * 4).sum();
+                    if tel.is_enabled() {
+                        tel.add("io.checkpoint_bytes", bytes as u64);
+                        tel.add("io.checkpoints", 1);
+                        tel.event(
+                            "io.checkpoint",
+                            &[("bytes", bytes as f64), ("step", self.step_count as f64)],
+                        );
+                    }
+                    if let Some(p) = self.perf.as_deref() {
+                        p.charge("checkpoint", self.state.dims.len() as u64, 0.0, bytes as u64);
+                    }
+                }
+                self.persist_checkpoint(&ckpt, tel);
+                self.checkpoints.push(ckpt);
+            }
+            if let (Some(p), Some(t0)) = (self.perf.as_deref(), t0) {
+                p.add_wall("checkpoint", t0.elapsed().as_secs_f64());
+            }
+        }
+        if let Some(monitor) = &mut self.health {
+            let engine = self.resident.as_ref().expect("resident finish without engine");
+            if monitor.wants_compression_sample(self.step_count) {
+                for (name, stats) in engine.step_stats() {
+                    if stats.count > 0 || stats.nonfinite > 0 {
+                        monitor.record_encode_stats(name, stats, tel);
+                    }
+                }
+            }
+            if monitor.wants_probe(self.step_count) {
+                let probe = resident_probe(engine, self.step_count, self.time, self.rank);
+                let cfl = CflInfo { dt: self.state.dt, dt_stable: self.state.dt_stable };
+                monitor.check_probe(probe, cfl, tel);
+            }
         }
     }
 
@@ -1648,6 +1888,26 @@ impl Simulation {
     /// field clones fan out over the pool (order-preserving map, so the
     /// checkpoint layout is identical either way).
     pub fn make_checkpoint(&self) -> Checkpoint {
+        if let Some(engine) = &self.resident {
+            // Compressed-resident runs checkpoint decompressed f32 fields
+            // (same schema as full mode, so either mode can restore the
+            // other's checkpoints) plus a bucket sidecar that lets a
+            // compressed resume re-encode byte-identically.
+            let mut fields: Vec<(String, Field3)> = Vec::with_capacity(RESIDENT_FIELDS.len() + 2);
+            fields.push((SIDECAR_FIELD.to_string(), engine.sidecar()));
+            for (i, name) in RESIDENT_FIELDS.iter().enumerate() {
+                fields.push((name.to_string(), engine.to_field(i)));
+            }
+            fields.push(("eqp".to_string(), self.state.eqp.clone()));
+            return Checkpoint {
+                step: self.step_count,
+                time: self.time,
+                flops: self.flops.flops,
+                fields,
+                seismograms: self.seismo.seismograms().to_vec(),
+                pgv: Some((self.pgv.nx(), self.pgv.ny(), self.pgv.pgv.clone())),
+            };
+        }
         let mut sources: Vec<(String, &Field3)> = Vec::new();
         for (i, name) in COMPRESSED_FIELDS.iter().enumerate() {
             sources.push((name.to_string(), wavefield(&self.state, i)));
@@ -1677,8 +1937,17 @@ impl Simulation {
     /// when the checkpoint names an unknown field, carries a mismatched
     /// mesh, or references a memory variable this run does not have.
     pub fn restore(&mut self, ckpt: &Checkpoint) -> Result<(), RestoreError> {
+        if self.resident.is_some() {
+            return self.restore_resident(ckpt);
+        }
         let dims = self.state.dims;
         for (name, field) in &ckpt.fields {
+            if name == SIDECAR_FIELD {
+                // A compressed-resident checkpoint's bucket sidecar; the
+                // fields themselves are stored decompressed, so a full-mode
+                // run restores them directly and the sidecar is moot.
+                continue;
+            }
             if field.dims() != dims {
                 return Err(RestoreError::DimsMismatch {
                     field: name.clone(),
@@ -1704,12 +1973,49 @@ impl Simulation {
                 return Err(RestoreError::UnknownField { field: name.clone() });
             }
         }
+        self.restore_observables(ckpt)
+    }
+
+    /// [`Simulation::restore`] for the compressed-resident path: every
+    /// dynamic field is re-encoded into its 16-bit store. With the bucket
+    /// sidecar a compressed-mode checkpoint restores byte-identically;
+    /// a full-mode checkpoint (no sidecar) re-derives buckets from the
+    /// content.
+    fn restore_resident(&mut self, ckpt: &Checkpoint) -> Result<(), RestoreError> {
+        let dims = self.state.dims;
+        let sidecar = ckpt.fields.iter().find(|(n, _)| n == SIDECAR_FIELD).map(|(_, f)| f);
+        for (name, field) in &ckpt.fields {
+            if name == SIDECAR_FIELD {
+                continue;
+            }
+            if field.dims() != dims {
+                return Err(RestoreError::DimsMismatch {
+                    field: name.clone(),
+                    checkpoint: field.dims(),
+                    simulation: dims,
+                });
+            }
+            let engine = self.resident.as_mut().expect("resident restore without engine");
+            if engine.restore_field(name, field, sidecar) {
+                continue;
+            }
+            if name == "eqp" {
+                self.state.eqp = field.clone();
+            } else {
+                return Err(RestoreError::UnknownField { field: name.clone() });
+            }
+        }
+        self.restore_observables(ckpt)
+    }
+
+    /// Recorder/accumulator tail shared by both restore paths, so a
+    /// resumed run's seismograms, hazard map and flop totals are
+    /// byte-identical to an uninterrupted one. (Missing in pre-v2
+    /// snapshots → left at whatever the simulation already holds.)
+    fn restore_observables(&mut self, ckpt: &Checkpoint) -> Result<(), RestoreError> {
+        let dims = self.state.dims;
         self.step_count = ckpt.step;
         self.time = ckpt.time;
-        // Recorder/accumulator state rides along so a resumed run's
-        // seismograms, hazard map and flop totals are byte-identical to
-        // an uninterrupted one. (Missing in pre-v2 snapshots → left at
-        // whatever the simulation already holds.)
         self.flops = FlopCounter { flops: ckpt.flops, steps: ckpt.step };
         self.seismo.restore_samples(&ckpt.seismograms);
         if let Some((nx, ny, pgv)) = &ckpt.pgv {
@@ -1740,6 +2046,13 @@ impl Simulation {
     pub fn collect_stats(&self) -> Vec<(String, FieldStats)> {
         let scan =
             if self.path.is_parallel() { FieldStats::of_field_par } else { FieldStats::of_field };
+        if let Some(engine) = &self.resident {
+            return COMPRESSED_FIELDS
+                .iter()
+                .enumerate()
+                .map(|(i, name)| (name.to_string(), scan(&engine.to_field(i))))
+                .collect();
+        }
         COMPRESSED_FIELDS
             .iter()
             .enumerate()
@@ -1875,6 +2188,12 @@ pub fn run_multirank(
     // rank would exchange stale planes.
     if config.fused && grid.len() > 1 {
         return Err(ConfigError::FusedUnsupported { feature: "multirank halo exchange" }.into());
+    }
+    // Halo exchange (and the 1-rank degenerate case of this runner)
+    // assumes f32 wavefield arrays, which the compressed-resident mode
+    // detaches.
+    if config.resident == ResidentMode::Compressed16 {
+        return Err(ConfigError::ResidentUnsupported { feature: "multirank halo exchange" }.into());
     }
     let global = config.dims;
     let telemetry = config.telemetry.clone();

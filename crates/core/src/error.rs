@@ -62,6 +62,14 @@ pub enum ConfigError {
         /// The incompatible feature.
         feature: &'static str,
     },
+    /// The compressed-resident wavefield path was requested together with
+    /// a feature it does not cover (the fused layout, the §6.5 inter-step
+    /// compression round trip, surface snapshots, or multirank halo
+    /// exchange — those operate on full f32 wavefields).
+    ResidentUnsupported {
+        /// The incompatible feature.
+        feature: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -91,6 +99,9 @@ impl fmt::Display for ConfigError {
             }
             Self::FusedUnsupported { feature } => {
                 write!(f, "the fused wavefield path does not support {feature}")
+            }
+            Self::ResidentUnsupported { feature } => {
+                write!(f, "the compressed-resident wavefield path does not support {feature}")
             }
         }
     }

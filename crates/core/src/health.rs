@@ -318,6 +318,31 @@ impl HealthMonitor {
             count: stats.count,
             max_abs_value: stats.max_abs_value,
         };
+        self.record_sample(field, sample, tel);
+    }
+
+    /// Fold one resident store's per-step encode statistics into the
+    /// budget ledger (the compressed-resident analogue of
+    /// [`record_compression`](Self::record_compression)). An f16
+    /// overflow encodes to ±inf, making `max_err` infinite — the budget
+    /// breach then rides (or, with the hard gate, aborts) the next
+    /// probe's verdict.
+    pub(crate) fn record_encode_stats(
+        &mut self,
+        field: &'static str,
+        stats: sw_compress::EncodeStats,
+        tel: &Telemetry,
+    ) {
+        let sample = CompressionSample {
+            max_abs_err: f64::from(stats.max_err),
+            sum_sq_err: stats.sum_sq_err,
+            count: stats.count,
+            max_abs_value: f64::from(stats.max_abs),
+        };
+        self.record_sample(field, sample, tel);
+    }
+
+    fn record_sample(&mut self, field: &'static str, sample: CompressionSample, tel: &Telemetry) {
         let rel_err = sample.binade_rel_err();
         if tel.is_enabled() {
             tel.sample(&format!("health.compress.rel_err.{field}"), rel_err);
@@ -337,6 +362,12 @@ impl HealthMonitor {
         }
     }
 
+    /// Whether step `step` is a probe step (and the monitor is still
+    /// live) — lets the driver skip building an expensive probe.
+    pub(crate) fn wants_probe(&self, step: u64) -> bool {
+        self.failure.is_none() && step.is_multiple_of(self.stride())
+    }
+
     /// Evaluate the state after step `step` completed. No-op except at
     /// probe steps; after a fatal verdict the monitor stops probing
     /// (the failure is latched for the driver to surface).
@@ -348,11 +379,50 @@ impl HealthMonitor {
         parallel: bool,
         tel: &Telemetry,
     ) {
-        if self.failure.is_some() || !step.is_multiple_of(self.stride()) {
+        if !self.wants_probe(step) {
             return;
         }
         let probe = probe_state(state, parallel, step, time, self.rank);
         let cfl = CflInfo { dt: state.dt, dt_stable: state.dt_stable };
+        if let Some(fatal) = self.judge(probe, cfl, tel) {
+            let bundle = self.dump_bundle(state, step, &fatal);
+            self.failure = Some(UnstableError {
+                step,
+                rank: self.rank,
+                field: fatal.field().to_string(),
+                index: fatal.index(),
+                cause: fatal,
+                bundle,
+            });
+        }
+    }
+
+    /// Evaluate an externally built probe (the compressed-resident path,
+    /// which has no full f32 state to scan or snapshot — a fatal verdict
+    /// therefore carries no diagnostic bundle). No-op except at probe
+    /// steps.
+    pub(crate) fn check_probe(&mut self, probe: StepProbe, cfl: CflInfo, tel: &Telemetry) {
+        if !self.wants_probe(probe.step) {
+            return;
+        }
+        let step = probe.step;
+        if let Some(fatal) = self.judge(probe, cfl, tel) {
+            self.failure = Some(UnstableError {
+                step,
+                rank: self.rank,
+                field: fatal.field().to_string(),
+                index: fatal.index(),
+                cause: fatal,
+                bundle: None,
+            });
+        }
+    }
+
+    /// Run one probe through the watchdog: verdict, telemetry, health
+    /// log. Returns the fatal cause, if any (latching is the caller's
+    /// job — the bundle policy differs by state representation).
+    fn judge(&mut self, probe: StepProbe, cfl: CflInfo, tel: &Telemetry) -> Option<Fatal> {
+        let step = probe.step;
         let pending = std::mem::take(&mut self.pending);
         let record = self.watchdog.evaluate(probe, cfl, &pending);
 
@@ -383,16 +453,9 @@ impl HealthMonitor {
             }
         }
 
-        if let Verdict::Fatal(fatal) = &record.verdict {
-            let bundle = self.dump_bundle(state, step, fatal);
-            self.failure = Some(UnstableError {
-                step,
-                rank: self.rank,
-                field: fatal.field().to_string(),
-                index: fatal.index(),
-                cause: fatal.clone(),
-                bundle,
-            });
+        match record.verdict {
+            Verdict::Fatal(fatal) => Some(fatal),
+            _ => None,
         }
     }
 

@@ -15,11 +15,23 @@
 //! (4–5× speedup instead of ~30×).
 
 use crate::state::SolverState;
+use std::ops::Range;
 
 /// Apply the free-surface condition to the stress (and `w`) halos.
 pub fn fstr(s: &mut SolverState) {
+    let nx = s.dims.nx;
+    fstr_region(s, 0..nx);
+}
+
+/// Apply the free-surface condition to the columns in `x_range` only.
+///
+/// Every halo value `fstr` writes is read back only at the same `(x, y)`
+/// column (the velocity/stress stencils are purely vertical through these
+/// planes), so imaging a sub-range of columns is exactly the restriction
+/// of the full kernel — the resident slab sweeps rely on this.
+pub fn fstr_region(s: &mut SolverState, x_range: Range<usize>) {
     let d = s.dims;
-    for x in 0..d.nx {
+    for x in x_range {
         for y in 0..d.ny {
             let (xi, yi) = (x as isize, y as isize);
             // zz: zero on the surface plane, antisymmetric above.

@@ -27,15 +27,15 @@ pub mod sponge;
 pub mod stress;
 pub mod velocity;
 
-pub use freesurf::fstr;
+pub use freesurf::{fstr, fstr_region};
 pub use fused::{
     addsrc_fused, apply_sponge_fused, dstrqc_fused, dvelc_fused, fstr_fused, FusedWavefield,
 };
 pub use parallel::{
     apply_sponge_par, drprecpc_app_par, drprecpc_calc_par, dstrqc_par, dvelc_par, fstr_par,
 };
-pub use plastic::{drprecpc_app, drprecpc_calc};
+pub use plastic::{drprecpc_app, drprecpc_app_region, drprecpc_calc, drprecpc_calc_region};
 pub use source::addsrc;
-pub use sponge::apply_sponge;
+pub use sponge::{apply_sponge, apply_sponge_region};
 pub use stress::dstrqc;
 pub use velocity::{dvelcx, dvelcy};

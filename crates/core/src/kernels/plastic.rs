@@ -15,14 +15,21 @@
 //! tensor plus four material arrays, and takes a square root per point.
 
 use crate::state::SolverState;
+use std::ops::Range;
 
 /// `drprecpc_calc`: compute the yield factor `r` for every point into
 /// `yldfac` (1.0 where elastic). Returns the number of yielding points.
 pub fn drprecpc_calc(s: &mut SolverState) -> usize {
+    let nx = s.dims.nx;
+    drprecpc_calc_region(s, 0..nx)
+}
+
+/// Pointwise yield-factor computation restricted to `x_range` columns.
+pub fn drprecpc_calc_region(s: &mut SolverState, x_range: Range<usize>) -> usize {
     debug_assert!(s.options.nonlinear);
     let d = s.dims;
     let mut yielding = 0usize;
-    for x in 0..d.nx {
+    for x in x_range {
         for y in 0..d.ny {
             for z in 0..d.nz {
                 let (sxx, syy, szz) = (s.xx.get(x, y, z), s.yy.get(x, y, z), s.zz.get(x, y, z));
@@ -55,9 +62,15 @@ pub fn drprecpc_calc(s: &mut SolverState) -> usize {
 /// `drprecpc_app`: apply the yield factors — scale the stress deviator
 /// back onto the yield surface and accumulate plastic strain.
 pub fn drprecpc_app(s: &mut SolverState) {
+    let nx = s.dims.nx;
+    drprecpc_app_region(s, 0..nx);
+}
+
+/// Pointwise return mapping restricted to `x_range` columns.
+pub fn drprecpc_app_region(s: &mut SolverState, x_range: Range<usize>) {
     debug_assert!(s.options.nonlinear);
     let d = s.dims;
-    for x in 0..d.nx {
+    for x in x_range {
         for y in 0..d.ny {
             for z in 0..d.nz {
                 let r = s.yldfac.get(x, y, z);

@@ -7,14 +7,24 @@
 //! interest.
 
 use crate::state::SolverState;
+use std::ops::Range;
 
 /// Apply the sponge to all dynamic fields.
 pub fn apply_sponge(s: &mut SolverState) {
+    let nx = s.dims.nx;
+    apply_sponge_region(s, 0..nx);
+}
+
+/// Apply the sponge to the columns in `x_range` only.
+///
+/// The damping is a pointwise multiply by `dcrj`, so restricting the x
+/// range is exactly the restriction of the full kernel.
+pub fn apply_sponge_region(s: &mut SolverState, x_range: Range<usize>) {
     let d = s.dims;
     if s.options.sponge_width == 0 {
         return;
     }
-    for x in 0..d.nx {
+    for x in x_range {
         for y in 0..d.ny {
             let damp: Vec<f32> = s.dcrj.row(x, y).to_vec();
             for f in [

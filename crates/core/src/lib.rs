@@ -25,6 +25,9 @@
 //! * [`exec`] — execution modes: serial reference kernels vs the Rayon
 //!   CPE-pool analogue (bit-identical; §6.2's "never compute on the
 //!   MPE" as a host-side switch);
+//! * [`resident`] — compressed-resident wavefields: the dynamic arrays
+//!   live as 16-bit planes and each phase streams column tiles through a
+//!   small f32 slab, so scenarios bigger than RAM still run;
 //! * [`framework`] — the unified workflow of Fig. 3 (rupture → partition
 //!   → interpolate → propagate → record);
 //! * [`hazard`] — PGV → Chinese seismic intensity hazard maps
@@ -44,6 +47,7 @@ pub mod framework;
 pub mod hazard;
 pub mod health;
 pub mod kernels;
+pub mod resident;
 pub mod roofline;
 pub mod staggered;
 pub mod state;
@@ -53,4 +57,5 @@ pub use driver::{MultiRankOutput, ResumeInfo, SimConfig, Simulation};
 pub use error::{ConfigError, KilledError, RestoreError, RunError, UnstableError};
 pub use exec::{simd_compiled, ExecMode, ExecPath};
 pub use framework::UnifiedFramework;
+pub use resident::ResidentMode;
 pub use state::SolverState;

@@ -1,0 +1,720 @@
+//! Compressed-resident wavefields: the dynamic state lives as 16-bit
+//! planes and each step streams x-column tiles through a small f32 slab.
+//!
+//! [`ResidentMode::Compressed16`] halves the footprint of the 15 dynamic
+//! arrays (9 wavefields + 6 attenuation memory variables) by keeping them
+//! in [`ResidentField3`] stores — one calibrated codec per x-plane — and
+//! never materializing a full f32 copy. Every step phase runs as a sweep
+//! over column tiles: decode the tile (plus a two-column stencil skirt)
+//! into a reusable slab [`SolverState`], run the *unchanged* region
+//! kernels on the core columns, and re-encode only the planes the phase
+//! updated. The slab is the only f32 working set, so a scenario whose f32
+//! wavefields exceed RAM (or a configured cap) still runs; the cap solves
+//! the tile width.
+//!
+//! Correctness leans on two properties of the serial step, both pinned by
+//! tests:
+//!
+//! * **Column locality** — every z-direction stencil and every halo value
+//!   written by `fstr` is read back at the same `(x, y)` column, and the
+//!   x-stencils reach at most two columns sideways. A two-column skirt
+//!   therefore reproduces the full-grid kernels on the core columns
+//!   exactly (up to the 16-bit quantization of the *inputs*, which is the
+//!   documented accuracy contract).
+//! * **No cross-tile flow inside a phase** — the velocity sweep writes
+//!   only `u,v,w` but stencils only stresses; the stress sweep writes only
+//!   stresses (and `r`) but stencils only velocities; plasticity and the
+//!   sponge are pointwise. Tiles within one sweep are independent, so the
+//!   result is bit-for-bit independent of the tile width (and hence of
+//!   the memory cap).
+//!
+//! The sponge runs in its own pointwise sweep *after* the stress sweep
+//! (fused with plasticity), mirroring the full-mode phase order.
+
+use crate::state::SolverState;
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
+use sw_compress::{Codec, EncodeStats, FieldStats, ResidentField3};
+use sw_grid::{Dims3, Field3, HALO_WIDTH};
+use sw_source::PointSource;
+
+/// How the dynamic fields are stored between steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResidentMode {
+    /// Plain f32 [`Field3`] arrays (the reference representation).
+    #[default]
+    Full,
+    /// 16-bit plane-compressed stores streamed through an f32 slab.
+    Compressed16,
+}
+
+impl ResidentMode {
+    /// The process-wide default: `SWQUAKE_RESIDENT` when set (same syntax
+    /// as `--resident`; invalid values are ignored), `Full` otherwise.
+    /// Explicit [`crate::SimConfig::with_resident`] wins over the
+    /// environment.
+    pub fn from_env() -> Self {
+        std::env::var("SWQUAKE_RESIDENT").ok().and_then(|v| v.parse().ok()).unwrap_or_default()
+    }
+}
+
+impl FromStr for ResidentMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "full" => Ok(ResidentMode::Full),
+            "compressed16" => Ok(ResidentMode::Compressed16),
+            other => Err(format!("unknown resident mode `{other}` (expected full|compressed16)")),
+        }
+    }
+}
+
+impl fmt::Display for ResidentMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResidentMode::Full => "full",
+            ResidentMode::Compressed16 => "compressed16",
+        })
+    }
+}
+
+/// The compressed-resident dynamic fields, in store order: the nine
+/// wavefields, then the six attenuation memory variables.
+pub const RESIDENT_FIELDS: [&str; 15] =
+    ["u", "v", "w", "xx", "yy", "zz", "xy", "xz", "yz", "r1", "r2", "r3", "r4", "r5", "r6"];
+
+/// Pseudo-field name carrying the per-plane binade buckets in checkpoints
+/// (the restore path re-encodes under pinned buckets to stay byte-exact).
+pub const SIDECAR_FIELD: &str = "__resident_planes";
+
+/// Default tile width (core columns per slab pass) when no memory cap
+/// constrains it.
+pub const DEFAULT_TILE_W: usize = 8;
+
+/// f32 arrays the slab state keeps live (everything except `rho`, which
+/// only seeds `buoyancy`): 9 wavefields + 6 memory variables + 13
+/// material/derived arrays.
+const SLAB_FIELDS: usize = 28;
+
+const H: usize = HALO_WIDTH;
+
+/// Decode/encode traffic of one step, for the perf ledger's
+/// `resident_decode` / `resident_encode` kernel rows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResidentPerf {
+    /// Wall seconds spent decoding planes into the slab.
+    pub decode_s: f64,
+    /// Wall seconds spent re-encoding updated planes.
+    pub encode_s: f64,
+    /// f32 values decoded.
+    pub decoded_cells: u64,
+    /// f32 values encoded.
+    pub encoded_cells: u64,
+}
+
+/// The 15 compressed stores plus the reusable f32 slab the sweeps stream
+/// tiles through.
+pub struct ResidentEngine {
+    stores: Vec<ResidentField3>,
+    slab: SolverState,
+    dims: Dims3,
+    tile_w: usize,
+    step_stats: [EncodeStats; 15],
+    perf: ResidentPerf,
+}
+
+/// Solve the widest tile whose slab working set fits `cap` bytes
+/// (`None` → [`DEFAULT_TILE_W`]). The floor is one column — the cap is a
+/// target for the *slab*; the compressed stores themselves are a fixed
+/// cost of the scenario.
+pub fn tile_width_for_cap(dims: Dims3, cap: Option<u64>) -> usize {
+    let w = match cap {
+        None => DEFAULT_TILE_W,
+        Some(cap) => {
+            let plane = ((dims.ny + 2 * H) * (dims.nz + 2 * H)) as u64;
+            let per_column = (SLAB_FIELDS * 4) as u64 * plane;
+            // slab padded width = tile_w + 4·H (skirt + halo)
+            (cap / per_column.max(1)).saturating_sub(4 * H as u64) as usize
+        }
+    };
+    w.clamp(1, dims.nx.max(1))
+}
+
+impl ResidentEngine {
+    /// Compress `state`'s dynamic fields into resident stores and build
+    /// the f32 slab sized for `cap` bytes. `state` itself is not
+    /// modified; the driver detaches its dynamic arrays afterwards.
+    pub fn new(state: &SolverState, cap: Option<u64>) -> Self {
+        let dims = state.dims;
+        let stores: Vec<ResidentField3> = RESIDENT_FIELDS
+            .iter()
+            .map(|name| ResidentField3::from_field(wavefield_of(state, name), base_codec(name)))
+            .collect();
+        let tile_w = tile_width_for_cap(dims, cap);
+        let slab = slab_state(state, tile_w);
+        Self {
+            stores,
+            slab,
+            dims,
+            tile_w,
+            step_stats: [EncodeStats::empty(); 15],
+            perf: ResidentPerf::default(),
+        }
+    }
+
+    /// Core columns per slab pass (solved from the memory cap).
+    pub fn tile_w(&self) -> usize {
+        self.tile_w
+    }
+
+    /// Bytes held by the 16-bit store of field `idx`.
+    pub fn stored_bytes(&self, idx: usize) -> u64 {
+        self.stores[idx].stored_bytes() as u64
+    }
+
+    /// f32 bytes of the reusable slab — the step's whole decompressed
+    /// working set, and the quantity the memory cap bounds.
+    pub fn working_set_bytes(&self) -> u64 {
+        let s = &self.slab;
+        let fields = [
+            &s.u,
+            &s.v,
+            &s.w,
+            &s.xx,
+            &s.yy,
+            &s.zz,
+            &s.xy,
+            &s.xz,
+            &s.yz,
+            &s.lam,
+            &s.mu,
+            &s.rho,
+            &s.buoyancy,
+            &s.wp,
+            &s.ws,
+            &s.cohes,
+            &s.sinphi,
+            &s.cosphi,
+            &s.pf,
+            &s.sigma0,
+            &s.yldfac,
+            &s.eqp,
+            &s.dcrj,
+        ];
+        let mut bytes: u64 = fields.iter().map(|f| (f.raw().len() * 4) as u64).sum();
+        for f in &s.r {
+            bytes += (f.raw().len() * 4) as u64;
+        }
+        bytes
+    }
+
+    /// Per-field round-trip statistics merged over every encode of the
+    /// current step (reset by [`begin_step`](Self::begin_step)); pairs
+    /// with [`RESIDENT_FIELDS`].
+    pub fn step_stats(&self) -> impl Iterator<Item = (&'static str, EncodeStats)> + '_ {
+        RESIDENT_FIELDS.iter().copied().zip(self.step_stats.iter().copied())
+    }
+
+    /// Decode/encode traffic of the current step (reset by
+    /// [`begin_step`](Self::begin_step)).
+    pub fn perf(&self) -> ResidentPerf {
+        self.perf
+    }
+
+    /// Reset the per-step statistics; call once at the top of each step.
+    pub fn begin_step(&mut self) {
+        self.step_stats = [EncodeStats::empty(); 15];
+        self.perf = ResidentPerf::default();
+    }
+
+    /// Decode one interior value of field `idx` (seismogram taps, PGV
+    /// scans, spot checks).
+    pub fn sample(&self, idx: usize, x: usize, y: usize, z: usize) -> f32 {
+        self.stores[idx].get(x, y, z)
+    }
+
+    /// Largest advisory plane max-abs of field `idx`.
+    pub fn max_abs(&self, idx: usize) -> f32 {
+        self.stores[idx].max_abs()
+    }
+
+    /// Decompress field `idx` into a fresh f32 field (checkpoints,
+    /// statistics).
+    pub fn to_field(&self, idx: usize) -> Field3 {
+        self.stores[idx].to_field()
+    }
+
+    /// Decode-scan the interior of field `idx`: `(nan, inf, first_bad)`
+    /// in the same x-major order as a full-field probe. Only called on
+    /// the cold path (a step whose encodes saw nonfinite values).
+    pub fn scan_nonfinite(&self, idx: usize) -> (u64, u64, Option<(usize, usize, usize)>) {
+        let store = &self.stores[idx];
+        let d = self.dims;
+        let (mut nan, mut inf) = (0u64, 0u64);
+        let mut first = None;
+        let mut buf = vec![0.0f32; store.plane_len()];
+        let pnz = d.nz + 2 * H;
+        for x in 0..d.nx {
+            store.decode_plane_into(x + H, &mut buf);
+            for y in 0..d.ny {
+                for z in 0..d.nz {
+                    let v = buf[(y + H) * pnz + z + H];
+                    if v.is_nan() {
+                        nan += 1;
+                    } else if v.is_infinite() {
+                        inf += 1;
+                    } else {
+                        continue;
+                    }
+                    if first.is_none() {
+                        first = Some((x, y, z));
+                    }
+                }
+            }
+        }
+        (nan, inf, first)
+    }
+
+    /// The per-plane buckets of every store, packed as an f32 pseudo-field
+    /// of dims `(15, plane_count, 1)` with no halo — the checkpoint
+    /// sidecar. Bucket integers (including the `i32::MIN` zero sentinel)
+    /// are exactly representable in f32.
+    pub fn sidecar(&self) -> Field3 {
+        let planes = self.stores[0].plane_count();
+        let mut f = Field3::new(Dims3::new(RESIDENT_FIELDS.len(), planes, 1), 0);
+        for (i, store) in self.stores.iter().enumerate() {
+            for (p, &b) in store.plane_buckets().iter().enumerate() {
+                f.set(i, p, 0, b as f32);
+            }
+        }
+        f
+    }
+
+    /// Rebuild the store of `name` from checkpointed f32 content. With
+    /// `sidecar` buckets the re-encode is byte-identical to the store the
+    /// checkpoint was taken from; without (a checkpoint written by a
+    /// full-mode run) the buckets are re-derived from the content.
+    /// Returns `false` when `name` is not a resident field.
+    pub fn restore_field(&mut self, name: &str, f: &Field3, sidecar: Option<&Field3>) -> bool {
+        let Some(idx) = RESIDENT_FIELDS.iter().position(|n| *n == name) else {
+            return false;
+        };
+        assert_eq!(f.dims(), self.dims, "checkpoint field dims mismatch for {name}");
+        let base = base_codec(name);
+        self.stores[idx] = match sidecar {
+            Some(side) => {
+                let buckets: Vec<i32> = (0..self.stores[idx].plane_count())
+                    .map(|p| side.get(idx, p, 0) as i32)
+                    .collect();
+                ResidentField3::from_field_with_buckets(f, base, &buckets)
+            }
+            None => ResidentField3::from_field(f, base),
+        };
+        true
+    }
+
+    /// Whether the plasticity/sponge sweep has any work for this state.
+    pub fn wants_plastic_sponge(&self) -> bool {
+        self.slab.options.nonlinear || self.slab.options.sponge_width > 0
+    }
+
+    /// The velocity half-step: free-surface imaging + `dvelc` per tile.
+    pub fn velocity_sweep(&mut self, main: &SolverState) {
+        let nx = self.dims.nx;
+        let mut c0 = 0;
+        while c0 < nx {
+            let c1 = (c0 + self.tile_w).min(nx);
+            self.velocity_tile(main, c0, c1);
+            c0 = c1;
+        }
+    }
+
+    /// The stress half-step: free-surface imaging + `dstrqc` per tile.
+    pub fn stress_sweep(&mut self, main: &SolverState) {
+        let nx = self.dims.nx;
+        let mut c0 = 0;
+        while c0 < nx {
+            let c1 = (c0 + self.tile_w).min(nx);
+            self.stress_tile(main, c0, c1);
+            c0 = c1;
+        }
+    }
+
+    /// `addsrc` on the compressed stores: decode–add–re-encode each
+    /// source cell in place (escalating a plane's bucket only when the
+    /// increment outgrows it).
+    pub fn inject_sources(&mut self, main: &SolverState, sources: &[PointSource], t: f64) {
+        let d = self.dims;
+        let vol = main.dx * main.dx * main.dx;
+        let mut adds: [Vec<(usize, usize, usize, f32)>; 6] = Default::default();
+        for src in sources {
+            if src.ix >= d.nx || src.iy >= d.ny || src.iz >= d.nz {
+                continue;
+            }
+            let inc = src.stress_increment(t, main.dt, vol);
+            for (c, list) in adds.iter_mut().enumerate() {
+                list.push((src.ix, src.iy, src.iz, inc[c]));
+            }
+        }
+        for (c, list) in adds.iter().enumerate() {
+            if !list.is_empty() {
+                self.stores[3 + c].apply_adds(list);
+            }
+        }
+    }
+
+    /// Plasticity and the absorbing sponge, fused in one pointwise sweep.
+    /// Writes the accumulated plastic strain back into `main.eqp` (the
+    /// only dynamic array that stays f32-resident).
+    pub fn plastic_sponge_sweep(&mut self, main: &mut SolverState) {
+        if !self.wants_plastic_sponge() {
+            return;
+        }
+        let nx = self.dims.nx;
+        let mut c0 = 0;
+        while c0 < nx {
+            let c1 = (c0 + self.tile_w).min(nx);
+            self.plastic_sponge_tile(main, c0, c1);
+            c0 = c1;
+        }
+    }
+
+    fn velocity_tile(&mut self, main: &SolverState, c0: usize, c1: usize) {
+        let w0 = c0.saturating_sub(H);
+        let core = (c0 - w0)..(c1 - w0);
+        let t0 = Instant::now();
+        let mut cells = 0u64;
+        {
+            let s = &mut self.slab;
+            // Stresses feed the velocity stencils: decode the whole slab
+            // (core + skirt), zero-filling past the grid edge.
+            for (store, f) in self.stores[3..9]
+                .iter()
+                .zip([&mut s.xx, &mut s.yy, &mut s.zz, &mut s.xy, &mut s.xz, &mut s.yz])
+            {
+                cells += decode_window(store, f, w0);
+            }
+            // Velocities are read and written same-cell: core columns only.
+            for (store, f) in self.stores[0..3].iter().zip([&mut s.u, &mut s.v, &mut s.w]) {
+                cells += decode_core(store, f, w0, c0, c1);
+            }
+            // Buoyancy is read pointwise at the updated cell.
+            copy_core(&mut s.buoyancy, &main.buoyancy, w0, c0, c1);
+        }
+        self.perf.decode_s += t0.elapsed().as_secs_f64();
+        self.perf.decoded_cells += cells;
+
+        crate::kernels::fstr_region(&mut self.slab, core.clone());
+        let ny = self.dims.ny;
+        crate::kernels::velocity::update_velocity_region(&mut self.slab, core, 0..ny);
+
+        let t1 = Instant::now();
+        let mut enc = 0u64;
+        let s = &self.slab;
+        for ((store, f), stats) in self.stores[0..3]
+            .iter_mut()
+            .zip([&s.u, &s.v, &s.w])
+            .zip(self.step_stats[0..3].iter_mut())
+        {
+            enc += encode_core(store, f, w0, c0, c1, stats);
+        }
+        self.perf.encode_s += t1.elapsed().as_secs_f64();
+        self.perf.encoded_cells += enc;
+    }
+
+    fn stress_tile(&mut self, main: &SolverState, c0: usize, c1: usize) {
+        let w0 = c0.saturating_sub(H);
+        let core = (c0 - w0)..(c1 - w0);
+        let atten = self.slab.options.attenuation;
+        let t0 = Instant::now();
+        let mut cells = 0u64;
+        {
+            let s = &mut self.slab;
+            // Velocities feed the strain-rate stencils: whole-slab decode.
+            for (store, f) in self.stores[0..3].iter().zip([&mut s.u, &mut s.v, &mut s.w]) {
+                cells += decode_window(store, f, w0);
+            }
+            // Stresses and memory variables update same-cell: core only.
+            for (store, f) in self.stores[3..9]
+                .iter()
+                .zip([&mut s.xx, &mut s.yy, &mut s.zz, &mut s.xy, &mut s.xz, &mut s.yz])
+            {
+                cells += decode_core(store, f, w0, c0, c1);
+            }
+            if atten {
+                for (store, f) in self.stores[9..15].iter().zip(s.r.iter_mut()) {
+                    cells += decode_core(store, f, w0, c0, c1);
+                }
+            }
+            // Moduli are read pointwise at the updated cell.
+            for (src, dst) in [
+                (&main.lam, &mut s.lam),
+                (&main.mu, &mut s.mu),
+                (&main.wp, &mut s.wp),
+                (&main.ws, &mut s.ws),
+            ] {
+                copy_core(dst, src, w0, c0, c1);
+            }
+        }
+        self.perf.decode_s += t0.elapsed().as_secs_f64();
+        self.perf.decoded_cells += cells;
+
+        crate::kernels::fstr_region(&mut self.slab, core.clone());
+        let ny = self.dims.ny;
+        crate::kernels::stress::update_stress_region(&mut self.slab, core, 0..ny);
+
+        let t1 = Instant::now();
+        let mut enc = 0u64;
+        let s = &self.slab;
+        for ((store, f), stats) in self.stores[3..9]
+            .iter_mut()
+            .zip([&s.xx, &s.yy, &s.zz, &s.xy, &s.xz, &s.yz])
+            .zip(self.step_stats[3..9].iter_mut())
+        {
+            enc += encode_core(store, f, w0, c0, c1, stats);
+        }
+        if atten {
+            for ((store, f), stats) in
+                self.stores[9..15].iter_mut().zip(s.r.iter()).zip(self.step_stats[9..15].iter_mut())
+            {
+                enc += encode_core(store, f, w0, c0, c1, stats);
+            }
+        }
+        self.perf.encode_s += t1.elapsed().as_secs_f64();
+        self.perf.encoded_cells += enc;
+    }
+
+    fn plastic_sponge_tile(&mut self, main: &mut SolverState, c0: usize, c1: usize) {
+        let w0 = c0.saturating_sub(H);
+        let core = (c0 - w0)..(c1 - w0);
+        let nonlinear = self.slab.options.nonlinear;
+        let sponge = self.slab.options.sponge_width > 0;
+        let atten = self.slab.options.attenuation;
+        let t0 = Instant::now();
+        let mut cells = 0u64;
+        {
+            let s = &mut self.slab;
+            for (store, f) in self.stores[3..9]
+                .iter()
+                .zip([&mut s.xx, &mut s.yy, &mut s.zz, &mut s.xy, &mut s.xz, &mut s.yz])
+            {
+                cells += decode_core(store, f, w0, c0, c1);
+            }
+            if sponge {
+                for (store, f) in self.stores[0..3].iter().zip([&mut s.u, &mut s.v, &mut s.w]) {
+                    cells += decode_core(store, f, w0, c0, c1);
+                }
+                if atten {
+                    for (store, f) in self.stores[9..15].iter().zip(s.r.iter_mut()) {
+                        cells += decode_core(store, f, w0, c0, c1);
+                    }
+                }
+                copy_core(&mut s.dcrj, &main.dcrj, w0, c0, c1);
+            }
+            if nonlinear {
+                for (src, dst) in [
+                    (&main.mu, &mut s.mu),
+                    (&main.sigma0, &mut s.sigma0),
+                    (&main.cohes, &mut s.cohes),
+                    (&main.cosphi, &mut s.cosphi),
+                    (&main.sinphi, &mut s.sinphi),
+                    (&main.pf, &mut s.pf),
+                    (&main.eqp, &mut s.eqp),
+                ] {
+                    copy_core(dst, src, w0, c0, c1);
+                }
+            }
+        }
+        self.perf.decode_s += t0.elapsed().as_secs_f64();
+        self.perf.decoded_cells += cells;
+
+        if nonlinear {
+            crate::kernels::drprecpc_calc_region(&mut self.slab, core.clone());
+            crate::kernels::drprecpc_app_region(&mut self.slab, core.clone());
+        }
+        if sponge {
+            crate::kernels::apply_sponge_region(&mut self.slab, core);
+        }
+
+        let t1 = Instant::now();
+        let mut enc = 0u64;
+        let s = &self.slab;
+        for ((store, f), stats) in self.stores[3..9]
+            .iter_mut()
+            .zip([&s.xx, &s.yy, &s.zz, &s.xy, &s.xz, &s.yz])
+            .zip(self.step_stats[3..9].iter_mut())
+        {
+            enc += encode_core(store, f, w0, c0, c1, stats);
+        }
+        if sponge {
+            for ((store, f), stats) in self.stores[0..3]
+                .iter_mut()
+                .zip([&s.u, &s.v, &s.w])
+                .zip(self.step_stats[0..3].iter_mut())
+            {
+                enc += encode_core(store, f, w0, c0, c1, stats);
+            }
+            if atten {
+                for ((store, f), stats) in self.stores[9..15]
+                    .iter_mut()
+                    .zip(s.r.iter())
+                    .zip(self.step_stats[9..15].iter_mut())
+                {
+                    enc += encode_core(store, f, w0, c0, c1, stats);
+                }
+            }
+        }
+        self.perf.encode_s += t1.elapsed().as_secs_f64();
+        self.perf.encoded_cells += enc;
+        if nonlinear {
+            main.eqp.copy_planes_from(&self.slab.eqp, c0 - w0 + H, c0 + H, c1 - c0);
+        }
+    }
+}
+
+/// The dynamic array of `state` matching a [`RESIDENT_FIELDS`] name.
+fn wavefield_of<'a>(state: &'a SolverState, name: &str) -> &'a Field3 {
+    match name {
+        "u" => &state.u,
+        "v" => &state.v,
+        "w" => &state.w,
+        "xx" => &state.xx,
+        "yy" => &state.yy,
+        "zz" => &state.zz,
+        "xy" => &state.xy,
+        "xz" => &state.xz,
+        "yz" => &state.yz,
+        "r1" => &state.r[0],
+        "r2" => &state.r[1],
+        "r3" => &state.r[2],
+        "r4" => &state.r[3],
+        "r5" => &state.r[4],
+        "r6" => &state.r[5],
+        other => panic!("not a resident field: {other}"),
+    }
+}
+
+/// Base codec for a resident field: Fig. 5d's assignment with per-plane
+/// calibration layered on top (the empty stats are calibrated away per
+/// plane at encode time).
+fn base_codec(name: &str) -> Codec {
+    Codec::paper_assignment(name, &FieldStats::empty())
+}
+
+/// Build the reusable slab: a narrow [`SolverState`] of `tile_w + 2·H`
+/// interior columns whose padded planes map to the global padded planes
+/// `q ↦ q + w0` for the tile starting at `w0 = c0 − H`.
+fn slab_state(main: &SolverState, tile_w: usize) -> SolverState {
+    let dims = Dims3::new((tile_w + 2 * H).min(main.dims.nx), main.dims.ny, main.dims.nz);
+    let f = || Field3::new(dims, H);
+    SolverState {
+        dims,
+        dx: main.dx,
+        dt: main.dt,
+        dt_stable: main.dt_stable,
+        u: f(),
+        v: f(),
+        w: f(),
+        xx: f(),
+        yy: f(),
+        zz: f(),
+        xy: f(),
+        xz: f(),
+        yz: f(),
+        r: [f(), f(), f(), f(), f(), f()],
+        lam: f(),
+        mu: f(),
+        rho: Field3::detached(dims, H),
+        buoyancy: f(),
+        wp: f(),
+        ws: f(),
+        cohes: f(),
+        sinphi: f(),
+        cosphi: f(),
+        pf: f(),
+        sigma0: f(),
+        yldfac: Field3::filled(dims, H, 1.0),
+        eqp: f(),
+        dcrj: Field3::filled(dims, H, 1.0),
+        tau: main.tau,
+        options: main.options,
+    }
+}
+
+/// Decode every slab plane of `store` into `dst`, mapping slab padded
+/// plane `q` to global padded plane `q + w0` (zero-fill past the edge).
+/// Returns the number of values written.
+fn decode_window(store: &ResidentField3, dst: &mut Field3, w0: usize) -> u64 {
+    let planes = dst.raw().len() / dst.plane_len();
+    for q in 0..planes {
+        let g = q + w0;
+        if g < store.plane_count() {
+            store.decode_plane_into(g, dst.plane_mut(q));
+        } else {
+            dst.plane_mut(q).fill(0.0);
+        }
+    }
+    (planes * dst.plane_len()) as u64
+}
+
+/// Decode only the core interior planes `c0..c1` (global column indices).
+fn decode_core(store: &ResidentField3, dst: &mut Field3, w0: usize, c0: usize, c1: usize) -> u64 {
+    for x in c0..c1 {
+        store.decode_plane_into(x + H, dst.plane_mut(x - w0 + H));
+    }
+    ((c1 - c0) * dst.plane_len()) as u64
+}
+
+/// Re-encode the core interior planes `c0..c1` from the slab, folding the
+/// round-trip statistics into `stats`. Returns the number of values read.
+fn encode_core(
+    store: &mut ResidentField3,
+    src: &Field3,
+    w0: usize,
+    c0: usize,
+    c1: usize,
+    stats: &mut EncodeStats,
+) -> u64 {
+    for x in c0..c1 {
+        stats.merge(&store.encode_plane(x + H, src.plane(x - w0 + H)));
+    }
+    ((c1 - c0) * src.plane_len()) as u64
+}
+
+/// Copy the core interior planes of a pointwise-read material array into
+/// the slab (stale skirt columns are never read by the region kernels).
+fn copy_core(dst: &mut Field3, src: &Field3, w0: usize, c0: usize, c1: usize) {
+    dst.copy_planes_from(src, c0 + H, c0 - w0 + H, c1 - c0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        for mode in [ResidentMode::Full, ResidentMode::Compressed16] {
+            assert_eq!(mode.to_string().parse::<ResidentMode>().unwrap(), mode);
+        }
+        assert_eq!("COMPRESSED16".parse::<ResidentMode>().unwrap(), ResidentMode::Compressed16);
+        assert!("f16".parse::<ResidentMode>().is_err());
+    }
+
+    #[test]
+    fn tile_width_honours_the_cap() {
+        let d = Dims3::new(64, 32, 32);
+        assert_eq!(tile_width_for_cap(d, None), DEFAULT_TILE_W);
+        // A huge cap admits the whole grid as one tile.
+        assert_eq!(tile_width_for_cap(d, Some(u64::MAX)), 64);
+        // A tiny cap clamps to the one-column floor instead of failing.
+        assert_eq!(tile_width_for_cap(d, Some(1)), 1);
+        // The solved width's slab actually fits the cap when above floor.
+        let cap = 64u64 << 20;
+        let w = tile_width_for_cap(d, Some(cap));
+        let plane = ((d.ny + 2 * H) * (d.nz + 2 * H)) as u64;
+        assert!((SLAB_FIELDS * 4) as u64 * plane * (w as u64 + 4 * H as u64) <= cap);
+        assert!(w >= 1);
+    }
+}

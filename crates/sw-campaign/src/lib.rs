@@ -1035,6 +1035,7 @@ mod tests {
             step_p95_s: 0.012,
             exec_mode: None,
             features: None,
+            resident_mode: None,
             kernels: vec![PerfKernel::from_counts(
                 "dvelc",
                 steps as f64 * 0.004,

@@ -1,0 +1,180 @@
+//! Binade-bucket codec calibration, shared by the §6.5 per-step
+//! round-trip path and the plane-granular resident store.
+//!
+//! A self-calibrating codec is a pure function of `(base codec, binade
+//! bucket of the data's max-abs)` — never of run history — so a cached
+//! build and a from-scratch build always agree. That purity, plus the
+//! round-trip idempotence checked below, is what keeps the resident
+//! store's checkpoint/restore cycle byte-exact.
+
+use crate::field::Codec;
+use crate::stats::unbiased_exponent;
+use crate::{AdaptiveCodec, NormCodec};
+
+/// Binade bucket of a finite max-abs (`i32::MIN` = all-zero data).
+pub fn max_abs_bucket(max_abs: f32) -> i32 {
+    if max_abs == 0.0 {
+        i32::MIN
+    } else {
+        unbiased_exponent(max_abs)
+    }
+}
+
+/// The self-calibrated codec for a binade bucket — a pure function of
+/// `(base, bucket)`, so a cached build and a from-scratch build always
+/// agree (what makes the cache transparent and restart-safe).
+///
+/// Both calibrations are chosen so every code the encoder can emit is a
+/// *fixed point* of the round trip (`encode(decode(c)) == c`):
+///
+/// * `Norm` ranges are symmetric powers of two, so normalization and
+///   denormalization are exact power-of-two scalings of ≤16-bit integers.
+/// * `Adaptive` windows span exactly the 31 binades the 5-bit exponent
+///   field can address, so no decodable code lands above `exp_max` where
+///   re-encoding would clamp it.
+///
+/// Buckets are clamped away from the subnormal and overflow edges of f32
+/// (where the scalings above would stop being exact); values beyond the
+/// clamped window saturate or flush to zero with an absolute error far
+/// below the codec's quantization step.
+pub fn calibrated_codec(base: &Codec, bucket: i32) -> Codec {
+    match base {
+        Codec::Norm(_) => {
+            if bucket == i32::MIN {
+                Codec::Norm(NormCodec::new(0.0, 0.0))
+            } else {
+                // max_abs ∈ [2^e, 2^(e+1)): the symmetric range ±2^(e+1)
+                // covers the whole bucket, so the codec is stable until
+                // the bucket moves.
+                let r = 2.0f32.powi(bucket.clamp(-120, 125) + 1);
+                Codec::Norm(NormCodec::new(-r, r))
+            }
+        }
+        Codec::Adaptive(_) => {
+            if bucket == i32::MIN {
+                *base
+            } else {
+                // Four binades of saturation headroom above the bucket
+                // (the next steps sharpen pulses), 30 below it: span 31
+                // binades + the zero code = exactly 2^5 exponent codes.
+                let hi = bucket.clamp(-100, 123) + 4;
+                Codec::Adaptive(AdaptiveCodec::new(hi - 30, hi))
+            }
+        }
+        c => *c,
+    }
+}
+
+/// A small cache of calibrated codecs keyed by binade bucket.
+///
+/// The resident store encodes one x-plane at a time; consecutive planes of
+/// a smooth wavefield usually share a bucket, so the per-plane calibration
+/// is almost always a cache hit instead of a codec build. The cache holds
+/// at most one entry per distinct bucket the field ever visits.
+#[derive(Debug, Clone)]
+pub struct CodecCache {
+    base: Codec,
+    entries: Vec<(i32, Codec)>,
+}
+
+impl CodecCache {
+    /// A cache deriving all codecs from `base`.
+    pub fn new(base: Codec) -> Self {
+        Self { base, entries: Vec::new() }
+    }
+
+    /// The base codec calibrations derive from.
+    pub fn base(&self) -> &Codec {
+        &self.base
+    }
+
+    /// The calibrated codec for `bucket`, built on first use.
+    pub fn get(&mut self, bucket: i32) -> Codec {
+        if let Some((_, c)) = self.entries.iter().find(|(b, _)| *b == bucket) {
+            return *c;
+        }
+        let c = calibrated_codec(&self.base, bucket);
+        self.entries.push((bucket, c));
+        c
+    }
+
+    /// Number of distinct buckets built so far.
+    pub fn built(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Codec16, FieldStats};
+
+    #[test]
+    fn bucket_of_zero_is_sentinel() {
+        assert_eq!(max_abs_bucket(0.0), i32::MIN);
+        assert_eq!(max_abs_bucket(1.0), 0);
+        assert_eq!(max_abs_bucket(0.75), -1);
+        assert_eq!(max_abs_bucket(1.0e-3), -10);
+    }
+
+    #[test]
+    fn cache_is_transparent() {
+        let empty = FieldStats::empty();
+        for base in [Codec::paper_assignment("xx", &empty), Codec::paper_assignment("lam", &empty)]
+        {
+            let mut cache = CodecCache::new(base);
+            for max_abs in [0.0f32, 1.0e-3, 8.0e-3, 0.5, 0.9, 0.0] {
+                let b = max_abs_bucket(max_abs);
+                assert_eq!(cache.get(b), calibrated_codec(&base, b));
+            }
+            assert_eq!(cache.built(), 4, "one build per distinct bucket");
+        }
+    }
+
+    /// One round trip canonicalizes a code; after that it is a fixed point:
+    /// `encode(decode(c))` is idempotent over all 65536 codes, for every
+    /// codec family and representative buckets across the clamp range.
+    /// This is the property that makes a decode→re-encode checkpoint
+    /// cycle of resident-compressed state byte-exact.
+    #[test]
+    fn calibrated_roundtrip_is_idempotent_on_codes() {
+        let empty = FieldStats::empty();
+        for base in [
+            Codec::paper_assignment("xx", &empty),  // Adaptive
+            Codec::paper_assignment("lam", &empty), // Norm
+            Codec::paper_assignment("u", &empty),   // F16 (passes through)
+        ] {
+            for bucket in [i32::MIN, -140, -40, -10, -1, 0, 1, 13, 100, 127] {
+                let codec = calibrated_codec(&base, bucket);
+                for code in 0..=u16::MAX {
+                    let c1 = codec.encode(codec.decode(code));
+                    let c2 = codec.encode(codec.decode(c1));
+                    assert_eq!(
+                        c2, c1,
+                        "{codec:?} bucket {bucket}: code {code:#06x} → {c1:#06x} → {c2:#06x}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every code the encoder emits for a finite in-window value is already
+    /// canonical (`encode(decode(encode(v))) == encode(v)`).
+    #[test]
+    fn encoded_values_are_already_canonical() {
+        let empty = FieldStats::empty();
+        for base in [Codec::paper_assignment("xx", &empty), Codec::paper_assignment("lam", &empty)]
+        {
+            for bucket in [-40, 0, 13] {
+                let codec = calibrated_codec(&base, bucket);
+                let scale = 2.0f32.powi(bucket);
+                let mut v = -2.0 * scale;
+                while v <= 2.0 * scale {
+                    let c = codec.encode(v);
+                    assert_eq!(codec.encode(codec.decode(c)), c, "{codec:?} v={v}");
+                    v += 0.0173 * scale;
+                }
+            }
+        }
+    }
+}

@@ -126,6 +126,12 @@ impl CompressedField3 {
         self.data.len() * 2
     }
 
+    /// The raw 16-bit codes in memory order (halo included) — for bitwise
+    /// comparisons and serialization.
+    pub fn codes(&self) -> &[u16] {
+        &self.data
+    }
+
     #[inline(always)]
     fn off(&self, x: usize, y: usize, z: usize) -> usize {
         self.padded.offset(x + self.halo, y + self.halo, z + self.halo)
@@ -160,6 +166,24 @@ impl CompressedField3 {
         let o = self.off(x, y, 0);
         for (c, &v) in self.data[o..o + buf.len()].iter_mut().zip(buf) {
             *c = self.codec.encode(v);
+        }
+    }
+
+    /// Batched read-modify-write of scattered cells — the source-injection
+    /// path. Each `(x, y, z, increment)` decodes one code, adds, and
+    /// re-encodes that one code.
+    ///
+    /// This exists because the z-run workflow is the wrong tool for point
+    /// updates: incrementing a single cell through
+    /// [`decode_z_run`](Self::decode_z_run)/[`encode_z_run`](Self::encode_z_run)
+    /// rewrites all `nz` codes of the run, and for codecs whose round trip
+    /// is not idempotent on codes the rewrite can perturb *untouched*
+    /// neighbours (their decoded values re-encode to different codes).
+    /// `apply_adds` touches exactly the target codes and nothing else.
+    pub fn apply_adds(&mut self, adds: &[(usize, usize, usize, f32)]) {
+        for &(x, y, z, v) in adds {
+            let o = self.off(x, y, z);
+            self.data[o] = self.codec.encode(self.codec.decode(self.data[o]) + v);
         }
     }
 
@@ -255,6 +279,57 @@ mod tests {
         assert!(matches!(Codec::paper_assignment("yldfac", &s), Codec::Adaptive(_)));
         assert!(matches!(Codec::paper_assignment("lam", &s), Codec::Norm(_)));
         assert!(matches!(Codec::paper_assignment("unknown_array", &s), Codec::Norm(_)));
+    }
+
+    /// Documents the read-modify-write cost that motivates `apply_adds`:
+    /// injecting one source increment through the z-run workflow performs
+    /// `2 · nz` codec operations and `nz` code stores for a single-cell
+    /// write — a write amplification of `nz` (here 16×, and the production
+    /// z extent is thousands). The batched setter performs exactly one
+    /// decode and one encode per increment.
+    ///
+    /// The test also pins the safety property both paths share: stored
+    /// codes are canonical (`encode` maps every decoded value back to the
+    /// code it came from), so neither path may perturb untouched codes —
+    /// only the *cost* differs, which is why the source-injection path
+    /// uses `apply_adds`.
+    #[test]
+    fn apply_adds_avoids_z_run_write_amplification() {
+        let d = Dims3::new(4, 4, 16);
+        let f = wavefield(d);
+        let stats = FieldStats::of_field(&f);
+        let codec = Codec::Norm(NormCodec::from_stats(&stats));
+
+        // Path A (the documented cost): decode the whole z-run, add to one
+        // cell, encode the whole z-run back — 2·nz codec ops, nz stores.
+        let mut z_run_path = CompressedField3::from_field(&f, codec);
+        let mut run = vec![0.0f32; d.nz];
+        z_run_path.decode_z_run(2, 2, &mut run);
+        run[5] += 0.01;
+        z_run_path.encode_z_run(2, 2, &run);
+        let z_run_ops = 2 * d.nz;
+
+        // Path B: the batched setter — one decode + one encode per add.
+        let mut batched = CompressedField3::from_field(&f, codec);
+        batched.apply_adds(&[(2, 2, 5, 0.01)]);
+        let batched_ops = 2;
+
+        assert!(
+            z_run_ops >= 16 * batched_ops,
+            "the z-run path amplifies one write into {z_run_ops} codec ops"
+        );
+
+        // Same result, radically different cost: both paths change exactly
+        // the target code and leave every untouched code bit-identical.
+        let reference = CompressedField3::from_field(&f, codec);
+        let diff = |a: &CompressedField3| {
+            a.codes().iter().zip(reference.codes()).filter(|(x, y)| x != y).count()
+        };
+        assert_eq!(diff(&z_run_path), 1);
+        assert_eq!(diff(&batched), 1);
+        assert_eq!(z_run_path.codes(), batched.codes());
+        let expect = f.get(2, 2, 5) + 0.01;
+        assert!((batched.get(2, 2, 5) - expect).abs() <= 3.0 * codec.max_abs_error());
     }
 
     #[test]

@@ -21,18 +21,22 @@
 //! compression" to shrink the 108-TB restart wavefields).
 
 pub mod adaptive;
+pub mod calib;
 pub mod errstats;
 pub mod f16;
 pub mod field;
 pub mod lz4;
 pub mod norm;
 pub mod par;
+pub mod plane;
 pub mod stats;
 
 pub use adaptive::AdaptiveCodec;
+pub use calib::{calibrated_codec, max_abs_bucket, CodecCache};
 pub use f16::{f16_to_f32, f32_to_f16, F16Codec};
 pub use field::{Codec, CompressedField3};
 pub use norm::NormCodec;
+pub use plane::{value_bucket, EncodeStats, ResidentField3};
 pub use stats::FieldStats;
 
 /// Every lossy 16-bit codec compresses one f32 to one u16 and back.

@@ -230,6 +230,56 @@ impl Field3 {
         &mut self.data[o..o + len]
     }
 
+    /// A detached placeholder: records the shape of a field whose payload
+    /// lives elsewhere (e.g. in a compressed-resident store) but owns no
+    /// f32 storage — `resident_bytes()` is 0 and any element access panics
+    /// loudly instead of returning stale zeros.
+    pub fn detached(dims: Dims3, halo: usize) -> Self {
+        Self { interior: dims, padded: dims.padded(halo), halo, data: Vec::new() }
+    }
+
+    /// Whether this field is a detached placeholder (no storage).
+    pub fn is_detached(&self) -> bool {
+        self.data.is_empty() && !self.padded.is_empty()
+    }
+
+    /// Values per padded x-plane (`padded.ny * padded.nz`).
+    #[inline]
+    pub fn plane_len(&self) -> usize {
+        self.padded.ny * self.padded.nz
+    }
+
+    /// The contiguous padded x-plane `p ∈ 0..padded.nx` (y/z halos
+    /// included) — the streaming unit of the compressed-resident store.
+    /// Interior plane `x` is padded plane `x + halo`.
+    #[inline]
+    pub fn plane(&self, p: usize) -> &[f32] {
+        debug_assert!(p < self.padded.nx);
+        let len = self.plane_len();
+        &self.data[p * len..(p + 1) * len]
+    }
+
+    /// Mutable contiguous padded x-plane `p`.
+    #[inline]
+    pub fn plane_mut(&mut self, p: usize) -> &mut [f32] {
+        debug_assert!(p < self.padded.nx);
+        let len = self.plane_len();
+        &mut self.data[p * len..(p + 1) * len]
+    }
+
+    /// Copy `n` padded x-planes from `src` (starting at `src_p`) into this
+    /// field (starting at `dst_p`). Both fields must share `ny`, `nz`, and
+    /// halo width — the slab-window copy of the resident step loop, which
+    /// moves material planes into a narrow working set without touching
+    /// per-element indexing.
+    pub fn copy_planes_from(&mut self, src: &Field3, src_p: usize, dst_p: usize, n: usize) {
+        assert_eq!(self.plane_len(), src.plane_len(), "plane shapes must match");
+        assert!(src_p + n <= src.padded.nx && dst_p + n <= self.padded.nx);
+        let len = self.plane_len();
+        self.data[dst_p * len..(dst_p + n) * len]
+            .copy_from_slice(&src.data[src_p * len..(src_p + n) * len]);
+    }
+
     /// Fill interior from a closure over interior coordinates.
     pub fn fill_with(&mut self, f: impl Fn(usize, usize, usize) -> f32) {
         let d = self.interior;
@@ -403,6 +453,62 @@ mod tests {
         assert_eq!(f.get(1, 1, 6), 3.0);
         assert_eq!(f.get(1, 1, 3), 0.0);
         assert_eq!(f.get(1, 1, 7), 0.0);
+    }
+
+    #[test]
+    fn planes_are_contiguous_padded_slabs() {
+        let d = Dims3::new(3, 2, 4);
+        let mut f = Field3::new(d, 2);
+        f.fill_with(|x, y, z| (x * 100 + y * 10 + z) as f32 + 1.0);
+        // Interior x=1 lives in padded plane 3.
+        let p = f.plane(1 + 2);
+        assert_eq!(p.len(), f.plane_len());
+        assert_eq!(p.len(), (2 + 4) * (4 + 4));
+        // (y=0, z=0) of interior x=1 sits at padded (2, 2) within the plane.
+        assert_eq!(p[2 * (4 + 4) + 2], 101.0);
+        // Halo plane 0 is all zeros.
+        assert!(f.plane(0).iter().all(|&v| v == 0.0));
+        // Mutation through plane_mut lands at the right interior cell.
+        let len = f.plane_len();
+        f.plane_mut(2)[2 * (4 + 4) + 2] = 9.0;
+        assert_eq!(f.get(0, 0, 0), 9.0);
+        let _ = len;
+    }
+
+    #[test]
+    fn copy_planes_between_different_nx() {
+        let big = {
+            let mut f = Field3::new(Dims3::new(8, 3, 4), 2);
+            f.fill_with(|x, y, z| (x * 100 + y * 10 + z) as f32);
+            f
+        };
+        // A narrow slab with the same (ny, nz, halo) receives planes 4..7.
+        let mut slab = Field3::new(Dims3::new(3, 3, 4), 2);
+        slab.copy_planes_from(&big, 4, 1, 3);
+        // big padded plane 4 = interior x=2; slab padded plane 1 = interior x=-1.
+        assert_eq!(slab.at_i(-1, 0, 0), big.get(2, 0, 0));
+        assert_eq!(slab.get(0, 1, 2), big.get(3, 1, 2));
+        assert_eq!(slab.get(1, 2, 3), big.get(4, 2, 3));
+        // Untouched slab planes stay zero.
+        assert!(slab.plane(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn detached_field_records_shape_without_storage() {
+        let f = Field3::detached(Dims3::new(4, 5, 6), 2);
+        assert!(f.is_detached());
+        assert_eq!(f.dims(), Dims3::new(4, 5, 6));
+        assert_eq!(f.halo(), 2);
+        assert_eq!(f.resident_bytes(), 0);
+        let live = Field3::new(Dims3::new(4, 5, 6), 2);
+        assert!(!live.is_detached());
+    }
+
+    #[test]
+    #[should_panic]
+    fn detached_field_access_panics() {
+        let f = Field3::detached(Dims3::cube(3), 2);
+        let _ = f.get(0, 0, 0);
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub struct HealthConfig {
     /// the binade of the field's max |value|) raises a hard `Warning`.
     /// The default sits just above f16's worst case of `2^-11 ≈ 4.9e-4`.
     pub compression_budget: f64,
+    /// Escalate a compression-budget breach from a warning to a fatal
+    /// verdict (abort the run). The hard gate for compressed-resident
+    /// wavefields, where quantization error *is* solution error; off by
+    /// default so the §6.5 round-trip path keeps its advisory semantics.
+    pub compression_budget_fatal: bool,
     /// Stream records to this JSONL file as the run progresses.
     pub log_path: Option<String>,
     /// Where to write the diagnostic bundle on a fatal verdict.
@@ -76,6 +81,7 @@ impl Default for HealthConfig {
             energy_growth_factor: 1.0e8,
             energy_floor: 1.0e-9,
             compression_budget: 1.0e-3,
+            compression_budget_fatal: false,
             log_path: None,
             bundle_dir: None,
         }
@@ -100,6 +106,13 @@ impl HealthConfig {
 
     pub fn with_bundle_dir(mut self, dir: impl Into<String>) -> Self {
         self.bundle_dir = Some(dir.into());
+        self
+    }
+
+    /// Make compression-budget breaches fatal (see
+    /// [`compression_budget_fatal`](Self::compression_budget_fatal)).
+    pub fn with_budget_fatal(mut self, fatal: bool) -> Self {
+        self.compression_budget_fatal = fatal;
         self
     }
 }

@@ -92,6 +92,17 @@ pub enum Fatal {
         dt: f64,
         dt_stable: f64,
     },
+    /// A field's 16-bit round-trip error exceeded its binade budget while
+    /// the budget was configured as a hard gate
+    /// (`HealthConfig::compression_budget_fatal`) — the abort condition
+    /// for compressed-resident runs, where quantization error *is*
+    /// solution error. No grid index: the breach is a per-plane
+    /// aggregate, not a single bad cell.
+    CompressionBudget {
+        field: String,
+        rel_err: f64,
+        budget: f64,
+    },
 }
 
 impl Fatal {
@@ -99,7 +110,8 @@ impl Fatal {
         match self {
             Fatal::Nan { field, .. }
             | Fatal::Inf { field, .. }
-            | Fatal::CflViolation { field, .. } => field,
+            | Fatal::CflViolation { field, .. }
+            | Fatal::CompressionBudget { field, .. } => field,
         }
     }
 
@@ -108,6 +120,7 @@ impl Fatal {
             Fatal::Nan { index, .. }
             | Fatal::Inf { index, .. }
             | Fatal::CflViolation { index, .. } => *index,
+            Fatal::CompressionBudget { .. } => (0, 0, 0),
         }
     }
 }
@@ -126,6 +139,11 @@ impl std::fmt::Display for Fatal {
                 "CFL violation (dt {dt:.6e} s > stable {dt_stable:.6e} s) blew up field \
                  '{field}' at ({}, {}, {})",
                 index.0, index.1, index.2
+            ),
+            Fatal::CompressionBudget { field, rel_err, budget } => write!(
+                f,
+                "compression error budget breached in field '{field}': binade-relative \
+                 round-trip error {rel_err:.3e} > budget {budget:.3e}"
             ),
         }
     }

@@ -89,6 +89,8 @@ impl Watchdog {
 
         let verdict = if let Some((field, index)) = probe.first_bad() {
             Verdict::Fatal(classify(field.nan_count > 0, &field.name, index, cfl))
+        } else if let Some(breach) = self.budget_breach(&warnings) {
+            Verdict::Fatal(breach)
         } else if warnings.is_empty() {
             Verdict::Healthy
         } else {
@@ -126,6 +128,28 @@ impl Watchdog {
             self.records.pop_front();
         }
         record
+    }
+
+    /// When the budget is configured as a hard gate, escalate the worst
+    /// compression-budget warning of this probe to a fatal verdict.
+    fn budget_breach(&self, warnings: &[Warning]) -> Option<Fatal> {
+        if !self.config.compression_budget_fatal {
+            return None;
+        }
+        warnings
+            .iter()
+            .filter_map(|w| match w {
+                Warning::CompressionBudget { field, rel_err, budget } => {
+                    Some((field, *rel_err, *budget))
+                }
+                _ => None,
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(field, rel_err, budget)| Fatal::CompressionBudget {
+                field: field.clone(),
+                rel_err,
+                budget,
+            })
     }
 
     /// Retained records, oldest first.
@@ -243,6 +267,38 @@ mod tests {
         let w = Warning::CompressionBudget { field: "xx".into(), rel_err: 1.0e-2, budget: 1.0e-3 };
         let rec = dog.evaluate(probe(1, 1.0e-3, 1.0), stable_cfl(), std::slice::from_ref(&w));
         assert_eq!(rec.verdict, Verdict::Warning(vec![w]));
+    }
+
+    #[test]
+    fn budget_breach_escalates_to_fatal_when_configured() {
+        let breach = |field: &str, rel_err: f64| Warning::CompressionBudget {
+            field: field.into(),
+            rel_err,
+            budget: 1.0e-3,
+        };
+        // Advisory by default: the breach stays a warning.
+        let mut dog = watchdog(1.0e9, 1.0e9);
+        let rec = dog.evaluate(probe(1, 1.0e-3, 1.0), stable_cfl(), &[breach("xx", 2.0e-2)]);
+        assert_eq!(rec.verdict.code(), 1);
+
+        // Hard gate: the worst breach becomes the fatal cause.
+        let mut dog = Watchdog::new(HealthConfig {
+            compression_budget_fatal: true,
+            ..HealthConfig::default()
+        });
+        let rec = dog.evaluate(
+            probe(1, 1.0e-3, 1.0),
+            stable_cfl(),
+            &[breach("xx", 2.0e-2), breach("u", 5.0e-2)],
+        );
+        match rec.verdict {
+            Verdict::Fatal(Fatal::CompressionBudget { ref field, rel_err, budget }) => {
+                assert_eq!(field, "u", "worst breach wins");
+                assert_eq!(rel_err, 5.0e-2);
+                assert_eq!(budget, 1.0e-3);
+            }
+            other => panic!("expected fatal budget breach, got {other:?}"),
+        }
     }
 
     #[test]

@@ -89,6 +89,16 @@ impl SeismogramRecorder {
         }
     }
 
+    /// Record one step from a surface-velocity sampler `(ix, iy) →
+    /// (vx, vy, vz)` — the entry point for state representations that
+    /// have no full f32 arrays to hand (e.g. compressed-resident
+    /// wavefields decode exactly the tapped cells).
+    pub fn record_with(&mut self, mut sample: impl FnMut(usize, usize) -> [f32; 3]) {
+        for rec in &mut self.records {
+            rec.samples.push(sample(rec.station.ix, rec.station.iy));
+        }
+    }
+
     /// The recorded seismograms.
     pub fn seismograms(&self) -> &[Seismogram] {
         &self.records
@@ -185,6 +195,21 @@ impl PgvRecorder {
         for x in 0..self.nx {
             for y in 0..self.ny {
                 let (a, b) = (u.get(x, y, 0), v.get(x, y, 0));
+                let h = (a * a + b * b).sqrt();
+                let p = &mut self.pgv[x * self.ny + y];
+                if h > *p {
+                    *p = h;
+                }
+            }
+        }
+    }
+
+    /// Fold in one step from a surface-velocity sampler `(x, y) →
+    /// (vx, vy)` (see [`SeismogramRecorder::record_with`]).
+    pub fn record_with(&mut self, mut sample: impl FnMut(usize, usize) -> (f32, f32)) {
+        for x in 0..self.nx {
+            for y in 0..self.ny {
+                let (a, b) = sample(x, y);
                 let h = (a * a + b * b).sqrt();
                 let p = &mut self.pgv[x * self.ny + y];
                 if h > *p {

@@ -33,13 +33,15 @@ pub const PERF_SCHEMA_VERSION: u32 = 1;
 
 /// Canonical display order for the production-step kernels. Kernels not
 /// in this list sort after it, alphabetically.
-pub const KERNEL_ORDER: [&str; 9] = [
+pub const KERNEL_ORDER: [&str; 11] = [
     "fstr",
     "dvelc",
     "dstrqc",
     "attenuation",
     "drprecpc",
     "sponge",
+    "resident_decode",
+    "resident_encode",
     "halo",
     "compression",
     "checkpoint",
@@ -174,6 +176,9 @@ pub struct PerfLedger {
     /// Compiled feature set active for the run (e.g. "simd"), empty
     /// string for a default build. `None` in pre-extension ledgers.
     pub features: Option<String>,
+    /// Wavefield storage mode of the run ("full" / "compressed16");
+    /// `None` in pre-extension ledgers (additive field; schema stays v1).
+    pub resident_mode: Option<String>,
     /// Per-kernel records, in [`KERNEL_ORDER`].
     pub kernels: Vec<PerfKernel>,
 }
@@ -228,9 +233,13 @@ impl PerfLedger {
         if self.exec_mode.is_some() || self.features.is_some() {
             let features = self.features.as_deref().unwrap_or("");
             out.push_str(&format!(
-                "exec: {}  features: {}\n",
+                "exec: {}  features: {}{}\n",
                 self.exec_mode.as_deref().unwrap_or("unknown"),
                 if features.is_empty() { "(default)" } else { features },
+                match self.resident_mode.as_deref() {
+                    Some(mode) => format!("  resident: {mode}"),
+                    None => String::new(),
+                },
             ));
         }
         out.push_str(&format!(
@@ -488,6 +497,7 @@ mod tests {
             step_p95_s: 0.25,
             exec_mode: Some("parallel".to_string()),
             features: Some(String::new()),
+            resident_mode: None,
             kernels: vec![
                 PerfKernel::from_counts("dvelc", 1.0, 10, 10_000, 760_000.0, 400_000, 0.5),
                 PerfKernel::from_counts("halo", 0.5, 20, 2_000, 0.0, 80_000, 0.0),

@@ -92,6 +92,9 @@ struct Inner {
     memory: BTreeMap<String, Vec<u64>>,
     /// Largest total resident-bytes sum ever observed.
     high_water_bytes: u64,
+    /// Wavefield storage mode of the run (`full` / `compressed16`),
+    /// `None` until a driver declares it.
+    resident_mode: Option<String>,
 }
 
 impl Inner {
@@ -147,6 +150,7 @@ impl TimelineRecorder {
                 step_wall_s: Vec::new(),
                 memory: BTreeMap::new(),
                 high_water_bytes: 0,
+                resident_mode: None,
             }),
             stream: None,
             started: Instant::now(),
@@ -183,6 +187,12 @@ impl TimelineRecorder {
         slot.calls[rank] += 1;
     }
 
+    /// Declare how the run stores its wavefields (`full` /
+    /// `compressed16`); echoed in heartbeats and the report.
+    pub fn set_resident_mode(&self, mode: impl Into<String>) {
+        lock(&self.inner).resident_mode = Some(mode.into());
+    }
+
     /// Record the current resident bytes of one named field on `rank`
     /// (idempotent: re-recording replaces the value). The total across all
     /// fields and ranks feeds the high-water mark.
@@ -210,7 +220,9 @@ impl TimelineRecorder {
             inner.grow(rank);
             inner.steps[rank] = inner.steps[rank].max(step);
             inner.step_wall_s[rank] += wall_s.max(0.0);
-            rank == 0 && step > 0 && self.stream.as_ref().is_some_and(|s| step.is_multiple_of(s.stride))
+            rank == 0
+                && step > 0
+                && self.stream.as_ref().is_some_and(|s| step.is_multiple_of(s.stride))
         };
         if due {
             self.emit_heartbeat(false);
@@ -233,7 +245,7 @@ impl TimelineRecorder {
         } else {
             rep.wall_s / step as f64 * rep.total_steps.saturating_sub(step) as f64
         };
-        let line = serde_json::json!({
+        let mut line = serde_json::json!({
             "event": "heartbeat",
             "final": fin,
             "step": step,
@@ -245,6 +257,9 @@ impl TimelineRecorder {
             "halo_wait_frac": rep.halo_wait_frac,
             "resident_bytes": rep.memory.resident_bytes,
         });
+        if let Some(mode) = &rep.resident_mode {
+            line["resident"] = serde_json::json!(mode);
+        }
         let text = serde_json::to_string(&line).expect("heartbeat serialization is infallible");
         let mut file = lock(&stream.file);
         // Observability must never abort the run it observes: a full disk
@@ -324,6 +339,7 @@ impl TimelineRecorder {
                 resident_bytes,
                 high_water_bytes: inner.high_water_bytes.max(resident_bytes),
             },
+            resident_mode: inner.resident_mode.clone(),
         }
     }
 }
@@ -415,6 +431,10 @@ pub struct TimelineReport {
     pub halo_wait_frac: f64,
     /// Per-field resident-bytes gauges and the allocation high-water mark.
     pub memory: MemoryReport,
+    /// Wavefield storage mode (`full` / `compressed16`); absent in
+    /// reports from builds or runs that never declared one (additive,
+    /// schema v1 stays parseable).
+    pub resident_mode: Option<String>,
 }
 
 impl TimelineReport {
@@ -441,6 +461,9 @@ impl TimelineReport {
             self.memory.resident_bytes as f64 / (1024.0 * 1024.0),
             self.memory.high_water_bytes as f64 / (1024.0 * 1024.0)
         ));
+        if let Some(mode) = &self.resident_mode {
+            out.push_str(&format!("resident mode: {mode}\n"));
+        }
         out.push_str(&format!(
             "{:<14} {:>10} {:>10} {:>10} {:>8} {:>9}\n",
             "phase", "mean_s", "min_s", "max_s", "skew", "crit-rank"

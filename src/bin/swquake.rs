@@ -95,7 +95,7 @@
 use std::sync::Arc;
 use swquake::campaign::CampaignRunOptions;
 use swquake::core::driver::run_multirank;
-use swquake::core::{ExecMode, Simulation};
+use swquake::core::{ExecMode, ResidentMode, Simulation};
 use swquake::health::{HealthConfig, HealthLog};
 use swquake::parallel::RankGrid;
 use swquake::telemetry::bench::{compare, BenchReport};
@@ -134,6 +134,15 @@ flags:
   --fused                      run whole steps on the fused wavefield
                                layout (elastic core only: rejects
                                attenuation/nonlinear/compression scenarios)
+  --resident full|compressed16 wavefield storage between steps (default
+                               full, or SWQUAKE_RESIDENT; compressed16
+                               keeps wavefields 16-bit and streams tiles
+                               through a capped f32 slab — rejects
+                               --fused, compression scenarios, snapshots
+                               and --ranks)
+  --memory-cap <bytes>         byte budget for the compressed16 decode
+                               slab (suffixes k/m/g; default: an 8-column
+                               tile)
   --health <out.jsonl>         stream the simulation-health log
   --health-stride <n>          wavefield probe cadence (default 10)
   --checkpoint-dir <dir>       durable checkpoint store
@@ -226,6 +235,9 @@ With --max-skew the report becomes a gate: exit 1 when any phase's
 skew exceeds the floor (the offending phases and their critical ranks
 are listed). Exit 0 otherwise, 2 when the file fails to load.";
 
+// One value, built once at startup and consumed immediately — the
+// size skew between variants never multiplies.
+#[allow(clippy::large_enum_variant)]
 enum Command {
     Help(&'static str),
     WriteExample(String),
@@ -246,6 +258,8 @@ struct RunOutputs {
     exec: Option<ExecMode>,
     threads: Option<usize>,
     fused: bool,
+    resident: Option<ResidentMode>,
+    memory_cap: Option<u64>,
     health: Option<String>,
     health_stride: Option<u64>,
     checkpoint_dir: Option<String>,
@@ -288,6 +302,8 @@ fn parse_args(args: &[String]) -> Option<Command> {
             "--exec" => outputs.exec = Some(iter.next()?.parse().ok()?),
             "--threads" => outputs.threads = Some(iter.next()?.parse().ok()?),
             "--fused" => outputs.fused = true,
+            "--resident" => outputs.resident = Some(iter.next()?.parse().ok()?),
+            "--memory-cap" => outputs.memory_cap = Some(parse_bytes(iter.next()?)?),
             "--health" => outputs.health = Some(iter.next()?.clone()),
             "--health-stride" => outputs.health_stride = Some(iter.next()?.parse().ok()?),
             "--checkpoint-dir" => outputs.checkpoint_dir = Some(iter.next()?.clone()),
@@ -311,7 +327,9 @@ fn parse_args(args: &[String]) -> Option<Command> {
     // The multirank runner exchanges scalar wavefield halos (no fused
     // layout) and the per-kernel ledger needs a resident Simulation.
     if outputs.ranks.is_some_and(|(mx, my)| mx * my > 1)
-        && (outputs.fused || outputs.perf.is_some())
+        && (outputs.fused
+            || outputs.perf.is_some()
+            || outputs.resident == Some(ResidentMode::Compressed16))
     {
         return None;
     }
@@ -328,6 +346,20 @@ fn parse_args(args: &[String]) -> Option<Command> {
     } else {
         None
     }
+}
+
+/// A byte count with an optional k/m/g suffix (powers of 1024), e.g.
+/// `64m` → 67108864.
+fn parse_bytes(spec: &str) -> Option<u64> {
+    let spec = spec.trim();
+    let (digits, shift) = match spec.char_indices().last()? {
+        (i, 'k') | (i, 'K') => (&spec[..i], 10),
+        (i, 'm') | (i, 'M') => (&spec[..i], 20),
+        (i, 'g') | (i, 'G') => (&spec[..i], 30),
+        _ => (spec, 0),
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_shl(shift).filter(|v| v >> shift == n)
 }
 
 /// `MXxMY` (e.g. `2x2`) → a rank-grid shape; both factors must be ≥ 1.
@@ -701,6 +733,12 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
     if outputs.fused {
         cfg = cfg.with_fused(true);
     }
+    if let Some(resident) = outputs.resident {
+        cfg = cfg.with_resident(resident);
+    }
+    if let Some(cap) = outputs.memory_cap {
+        cfg = cfg.with_memory_cap(cap);
+    }
     // Health monitoring is always armed so a blow-up aborts with a
     // diagnosis; `--health` additionally streams the JSONL log.
     let stride = outputs
@@ -755,7 +793,7 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
     }
     println!(
         "mesh {} at dx = {} m, {} steps, model {}, nonlinear {}, compression {}, exec {} \
-         (path {}, features {}){}",
+         (path {}, features {}){}{}",
         cfg.dims,
         cfg.dx,
         cfg.steps,
@@ -765,7 +803,8 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
         cfg.exec,
         cfg.exec.resolve_path(cfg.dims.len()),
         if swquake::core::simd_compiled() { "simd" } else { "(default)" },
-        if cfg.fused { ", fused layout" } else { "" }
+        if cfg.fused { ", fused layout" } else { "" },
+        if cfg.resident == ResidentMode::Compressed16 { ", resident compressed16" } else { "" }
     );
     // `--ranks MxN` routes through the multi-rank driver: same physics
     // on halo-exchanged subdomains, observables merged back to global
@@ -827,6 +866,17 @@ fn run(path: &str, outputs: &RunOutputs) -> Result<(), Error> {
     } else {
         Simulation::new(model.as_ref(), &cfg)?
     };
+    if let (Some(stored), Some(slab)) =
+        (sim.resident_stored_bytes(), sim.resident_working_set_bytes())
+    {
+        println!(
+            "resident compressed16: stores {stored} B, decode slab {slab} B{}",
+            match outputs.memory_cap {
+                Some(cap) => format!(" (cap {cap} B)"),
+                None => String::new(),
+            }
+        );
+    }
     let remaining = cfg.steps.saturating_sub(sim.step_count as usize);
     let run_result = sim.run_checked(remaining);
     let wall = t0.elapsed().as_secs_f64();

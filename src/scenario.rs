@@ -126,6 +126,13 @@ pub struct Scenario {
     /// Checkpoint every N steps (omitted = the CLI default when a
     /// checkpoint directory is configured, otherwise never).
     pub checkpoint_interval: Option<u64>,
+    /// Wavefield storage between steps: `"full"` (omitted default) or
+    /// `"compressed16"` (16-bit resident stores streamed through a
+    /// capped f32 slab; see the `--resident` CLI flag).
+    pub resident: Option<String>,
+    /// Byte budget for the compressed16 decode slab (omitted = default
+    /// tile width). Ignored in full mode.
+    pub memory_cap_bytes: Option<u64>,
     /// Point sources.
     pub sources: Vec<ScenarioSource>,
     /// Surface stations recording three-component seismograms.
@@ -195,6 +202,8 @@ impl ScenarioV1 {
             sponge_width: self.sponge_width,
             dt_scale: self.dt_scale,
             checkpoint_interval: self.checkpoint_interval,
+            resident: None,
+            memory_cap_bytes: None,
             sources: self.sources,
             stations: self
                 .stations
@@ -221,6 +230,8 @@ impl Scenario {
             sponge_width: 8,
             dt_scale: None,
             checkpoint_interval: None,
+            resident: None,
+            memory_cap_bytes: None,
             sources: vec![ScenarioSource {
                 position: [24, 24, 12],
                 mw: 5.5,
@@ -350,6 +361,13 @@ impl Scenario {
         cfg.options.sponge_width = self.sponge_width;
         cfg.options.dt_scale = dt_scale;
         cfg.checkpoint_interval = self.checkpoint_interval.unwrap_or(0);
+        if let Some(tag) = &self.resident {
+            let mode = tag.parse().map_err(Error::Scenario)?;
+            cfg = cfg.with_resident(mode);
+        }
+        if let Some(cap) = self.memory_cap_bytes {
+            cfg = cfg.with_memory_cap(cap);
+        }
         cfg.validate()?;
         Ok(cfg)
     }

@@ -114,6 +114,75 @@ fn cli_kill_then_resume_is_byte_identical() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The same CLI drill under `"resident": "compressed16"`: the kill
+/// lands while every wavefield lives in its 16-bit store, the committed
+/// generation carries the bucket sidecar, and the resumed campaign's
+/// outputs are byte-identical to a compressed run that never died —
+/// the sidecar restores the stores to the exact planes the kill
+/// interrupted, so the 16-bit round-trip sequence replays identically.
+#[test]
+fn cli_kill_then_resume_compressed16_is_byte_identical() {
+    let dir = workdir("cli_kill_resident");
+    let reference = write_scenario(&dir, "reference.json", "ref");
+    let drill = write_scenario(&dir, "drill.json", "drill");
+    for path in [&reference, &drill] {
+        let mut json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        json["resident"] = serde_json::json!("compressed16");
+        json["memory_cap_bytes"] = serde_json::json!(512 * 1024);
+        std::fs::write(path, serde_json::to_string(&json).unwrap()).unwrap();
+    }
+    let ckpt_dir = dir.join("ckpt");
+
+    let out = Command::new(bin()).arg(reference.to_str().unwrap()).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("resident compressed16"), "no resident echo, stdout: {stdout}");
+
+    let killed = Command::new(bin())
+        .args([
+            "run",
+            drill.to_str().unwrap(),
+            "--checkpoint-dir",
+            ckpt_dir.to_str().unwrap(),
+            "--checkpoint-interval",
+            "10",
+        ])
+        .env("SWQUAKE_FAULT_PLAN", "kill@20")
+        .output()
+        .unwrap();
+    assert_eq!(
+        killed.status.code(),
+        Some(137),
+        "stderr: {}",
+        String::from_utf8_lossy(&killed.stderr)
+    );
+    assert!(ckpt_dir.join("MANIFEST.json").exists(), "no manifest committed before the kill");
+
+    let resumed = Command::new(bin())
+        .args([
+            "run",
+            drill.to_str().unwrap(),
+            "--checkpoint-dir",
+            ckpt_dir.to_str().unwrap(),
+            "--checkpoint-interval",
+            "10",
+            "--resume",
+        ])
+        .env_remove("SWQUAKE_FAULT_PLAN")
+        .output()
+        .unwrap();
+    assert!(resumed.status.success(), "stderr: {}", String::from_utf8_lossy(&resumed.stderr));
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(stdout.contains("resumed from checkpoint generation at step 20"), "stdout: {stdout}");
+
+    let (ref_csv, ref_hazard) = read_outputs(&dir, "ref");
+    let (drill_csv, drill_hazard) = read_outputs(&dir, "drill");
+    assert_eq!(ref_csv, drill_csv, "compressed16 seismogram CSV diverged after resume");
+    assert_eq!(ref_hazard, drill_hazard, "compressed16 hazard map diverged after resume");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Corrupting the newest committed generation on disk must not fail the
 /// resume: the store falls back to the previous generation, warns on
 /// stderr, and the finished outputs are still byte-identical.

@@ -1,0 +1,315 @@
+//! The compressed-resident error-budget contract. `ResidentMode::
+//! Compressed16` trades per-step decode/encode work for a ~2x cut in
+//! dynamic memory; this harness pins what that trade is allowed to
+//! cost:
+//!
+//! * **Epsilon tier** — a compressed16 run's seismograms and hazard map
+//!   must stay within [`SEISMO_MISFIT_EPS`] / [`PGV_REL_EPS`] of the
+//!   full-precision run, across every execution mode;
+//! * **Full is untouched** — the resident plumbing (config knobs,
+//!   dispatch branches) must leave `ResidentMode::Full` bit-identical;
+//! * **Determinism** — the tile sweeps are exec-agnostic, so the
+//!   compressed16 wavefield is *bitwise* identical across
+//!   serial/parallel/simd, and checkpoints cross the mode boundary in
+//!   both directions;
+//! * **The cap holds** — a mesh whose f32 footprint is >= 2x the
+//!   configured cap still runs end-to-end with the decode slab under
+//!   the cap, gauged and health-gated.
+
+use swquake::core::driver::run_multirank;
+use swquake::core::{ConfigError, ExecMode, ResidentMode, RunError, SimConfig, Simulation};
+use swquake::grid::Dims3;
+use swquake::health::HealthConfig;
+use swquake::io::Station;
+use swquake::model::LayeredModel;
+use swquake::parallel::RankGrid;
+use swquake::source::{MomentTensor, PointSource, SourceTimeFunction};
+
+/// Epsilon tier for the 16-bit resident representation, pinned from
+/// measurement: on the production config below the observed seismogram
+/// misfit is ~4e-3 and the PGV deviation ~6e-3. The tier leaves ~10x
+/// headroom so it fails on regressions, not on noise, while still
+/// rejecting anything that would be visible on a Fig. 6-style overlay.
+const SEISMO_MISFIT_EPS: f64 = 0.05;
+/// Relative hazard-map (PGV) tolerance of the same tier.
+const PGV_REL_EPS: f32 = 0.05;
+
+fn pin_pool() {
+    rayon::ThreadPoolBuilder::new().num_threads(4).build_global().ok();
+}
+
+/// The resident-compatible production feature set: nonlinear
+/// plasticity, attenuation, and the Cerjan sponge on; the inter-step
+/// compression round trip off (compressed16 *replaces* it).
+fn production_config() -> SimConfig {
+    let dims = Dims3::new(30, 28, 16);
+    let mut cfg = SimConfig::new(dims, 150.0, 60);
+    cfg.options.sponge_width = 5;
+    cfg.options.attenuation = true;
+    cfg.options.nonlinear = true;
+    let moment = MomentTensor::double_couple(30.0, 80.0, 170.0, 3.0e14);
+    let stf = SourceTimeFunction::Triangle { onset: 0.05, duration: 0.5 };
+    cfg.sources = vec![
+        PointSource { ix: 14, iy: 13, iz: 8, moment, stf },
+        PointSource { ix: 15, iy: 14, iz: 5, moment, stf },
+        PointSource { ix: 1, iy: 26, iz: 10, moment, stf },
+    ];
+    // Stations sit outside the Cerjan sponge: absorbed-zone amplitudes
+    // are tiny, so a *relative* misfit there measures boundary noise,
+    // not representation error.
+    cfg.stations = vec![
+        Station { name: "A".into(), ix: 8, iy: 8 },
+        Station { name: "B".into(), ix: 15, iy: 14 },
+        Station { name: "C".into(), ix: 22, iy: 20 },
+    ];
+    cfg
+}
+
+fn run_cfg(cfg: &SimConfig) -> Simulation {
+    let model = LayeredModel::north_china();
+    let mut sim = Simulation::new(&model, cfg).expect("valid config");
+    sim.run(cfg.steps);
+    sim
+}
+
+/// Assert the epsilon tier between a full-precision reference and a
+/// compressed16 run: seismograms within the misfit tier, hazard map
+/// within the relative tier, and the motion itself non-trivial (so a
+/// zeroed wavefield can never pass as "close").
+fn assert_within_epsilon(reference: &Simulation, compressed: &Simulation, label: &str) {
+    for (full, comp) in reference.seismo.seismograms().iter().zip(compressed.seismo.seismograms()) {
+        assert_eq!(full.station.name, comp.station.name);
+        assert_eq!(full.samples.len(), comp.samples.len(), "{label}: sample count");
+        let misfit = comp.normalized_misfit(full);
+        assert!(
+            misfit.is_finite() && misfit < SEISMO_MISFIT_EPS,
+            "{label}: station {} misfit {misfit:.3e} exceeds tier {SEISMO_MISFIT_EPS:.0e}",
+            full.station.name
+        );
+    }
+    let d = reference.state.dims;
+    let mut peak = 0.0f32;
+    for x in 0..d.nx {
+        for y in 0..d.ny {
+            peak = peak.max(reference.pgv.at(x, y));
+        }
+    }
+    assert!(peak > 0.0, "{label}: reference run produced no surface motion");
+    for x in 0..d.nx {
+        for y in 0..d.ny {
+            let full = reference.pgv.at(x, y);
+            let comp = compressed.pgv.at(x, y);
+            assert!(
+                (full - comp).abs() <= PGV_REL_EPS * peak,
+                "{label}: PGV at ({x},{y}) {comp:.4e} vs {full:.4e} (peak {peak:.4e})"
+            );
+        }
+    }
+}
+
+/// Bitwise comparison of two compressed16 runs via their checkpoints
+/// (the 16-bit stores decode through `to_field`, so equal planes =>
+/// equal checkpoint fields) plus recorders.
+fn assert_compressed_identical(a: &Simulation, b: &Simulation, label: &str) {
+    let ca = a.make_checkpoint();
+    let cb = b.make_checkpoint();
+    assert_eq!(ca.fields.len(), cb.fields.len(), "{label}: field count");
+    for ((na, fa), (nb, fb)) in ca.fields.iter().zip(&cb.fields) {
+        assert_eq!(na, nb, "{label}: field order");
+        assert_eq!(fa.raw(), fb.raw(), "{label}: field {na} differs");
+    }
+    for (sa, sb) in a.seismo.seismograms().iter().zip(b.seismo.seismograms()) {
+        assert_eq!(sa.samples, sb.samples, "{label}: station {} differs", sa.station.name);
+    }
+}
+
+/// Tier test: compressed16 matches the full-precision run within the
+/// documented epsilon tier under every execution mode, and — because
+/// the tile sweeps are exec-agnostic — the compressed16 runs themselves
+/// are bitwise identical across modes.
+#[test]
+fn compressed16_matches_full_within_epsilon_across_exec_modes() {
+    pin_pool();
+    let cfg = production_config();
+    let reference = run_cfg(&cfg.clone().with_exec(ExecMode::Serial));
+    assert!(!reference.state.has_blown_up());
+
+    let compressed: Vec<Simulation> = [ExecMode::Serial, ExecMode::Parallel, ExecMode::Simd]
+        .into_iter()
+        .map(|exec| {
+            let sim =
+                run_cfg(&cfg.clone().with_exec(exec).with_resident(ResidentMode::Compressed16));
+            assert_eq!(sim.resident_mode(), ResidentMode::Compressed16);
+            assert_within_epsilon(&reference, &sim, &format!("compressed16/{exec}"));
+            sim
+        })
+        .collect();
+    assert_compressed_identical(&compressed[0], &compressed[1], "serial vs parallel");
+    assert_compressed_identical(&compressed[0], &compressed[2], "serial vs simd");
+}
+
+/// Pin: the resident plumbing leaves `ResidentMode::Full` untouched.
+/// `Full` is the default, and neither spelling it explicitly nor
+/// setting a memory cap (which only sizes the compressed decode slab)
+/// may perturb a single bit of the full-precision run.
+#[test]
+fn full_mode_is_bitwise_unchanged_by_resident_knobs() {
+    pin_pool();
+    let cfg = production_config().with_exec(ExecMode::Parallel);
+    assert_eq!(cfg.resident, ResidentMode::Full);
+    let baseline = run_cfg(&cfg);
+    let explicit = run_cfg(&cfg.clone().with_resident(ResidentMode::Full));
+    let capped = run_cfg(&cfg.clone().with_memory_cap(1 << 20));
+    for (label, other) in [("explicit full", &explicit), ("full with cap", &capped)] {
+        assert_eq!(baseline.state.u.max_abs_diff(&other.state.u), 0.0, "{label}: u");
+        assert_eq!(baseline.state.xx.max_abs_diff(&other.state.xx), 0.0, "{label}: xx");
+        assert_eq!(baseline.state.eqp.max_abs_diff(&other.state.eqp), 0.0, "{label}: eqp");
+        for (i, (ra, rb)) in baseline.state.r.iter().zip(other.state.r.iter()).enumerate() {
+            assert_eq!(ra.max_abs_diff(rb), 0.0, "{label}: r{}", i + 1);
+        }
+        for (sa, sb) in baseline.seismo.seismograms().iter().zip(other.seismo.seismograms()) {
+            assert_eq!(sa.samples, sb.samples, "{label}: station {}", sa.station.name);
+        }
+        assert!(other.resident_stored_bytes().is_none(), "{label}: no engine in full mode");
+    }
+}
+
+/// The over-cap scenario: a mesh whose dynamic f32 footprint is at
+/// least 2x the configured memory cap runs end-to-end under
+/// compressed16, with the decode slab bounded by the cap, the total
+/// resident bytes (16-bit stores + slab) under the f32 footprint, and
+/// the results still inside the epsilon tier.
+#[test]
+fn over_cap_scenario_completes_with_bounded_working_set() {
+    pin_pool();
+    // A taller mesh than the tier tests use: the cap must leave room
+    // for the slab's fixed 4H-plane skirt while staying under half the
+    // f32 footprint.
+    let mut cfg = production_config().with_exec(ExecMode::Parallel);
+    cfg.dims = Dims3::new(40, 36, 20);
+    let reference = run_cfg(&cfg);
+    let f32_footprint: u64 = {
+        let s = &reference.state;
+        let wave: u64 = [&s.u, &s.v, &s.w, &s.xx, &s.yy, &s.zz, &s.xy, &s.xz, &s.yz]
+            .iter()
+            .map(|f| f.resident_bytes() as u64)
+            .sum();
+        wave + s.r.iter().map(|f| f.resident_bytes() as u64).sum::<u64>()
+    };
+    let cap: u64 = 1 << 20;
+    assert!(
+        f32_footprint >= 2 * cap,
+        "mesh too small to exercise the cap: {f32_footprint} B vs cap {cap} B"
+    );
+
+    let sim = run_cfg(&cfg.clone().with_resident(ResidentMode::Compressed16).with_memory_cap(cap));
+    let slab = sim.resident_working_set_bytes().expect("compressed mode");
+    let stored = sim.resident_stored_bytes().expect("compressed mode");
+    assert!(slab <= cap, "decode slab {slab} B exceeds cap {cap} B");
+    assert!(
+        stored + slab < f32_footprint,
+        "resident total {} B does not undercut the f32 footprint {f32_footprint} B",
+        stored + slab
+    );
+    assert_within_epsilon(&reference, &sim, "over-cap compressed16");
+}
+
+/// The hard health gate: a compressed16 run under an attached monitor
+/// with the compression budget promoted to fatal completes cleanly —
+/// the per-step encode error stays inside the binade-relative budget —
+/// and the probe/budget machinery actually engaged.
+#[test]
+fn health_budget_gate_passes_under_compressed16() {
+    pin_pool();
+    let cfg = production_config()
+        .with_exec(ExecMode::Parallel)
+        .with_resident(ResidentMode::Compressed16)
+        .with_health(HealthConfig::default().with_stride(5).with_budget_fatal(true));
+    let sim = run_cfg(&cfg);
+    assert!(sim.health_failure().is_none(), "budget gate tripped: {:?}", sim.health_failure());
+    let report = sim.health().expect("monitor attached");
+    assert!(report.checks > 0, "no health checks ran");
+    assert!(!report.records.is_empty(), "no probes recorded");
+    assert!(!report.budget.is_empty(), "no budget ledger entries");
+}
+
+/// Checkpoints cross the resident-mode boundary in both directions: a
+/// compressed16 checkpoint (decompressed fields + bucket sidecar)
+/// restores into a full-precision run and vice versa, each landing
+/// within the epsilon tier of the uninterrupted full reference; and a
+/// compressed16 -> compressed16 resume is *bitwise* identical thanks to
+/// the sidecar.
+#[test]
+fn checkpoints_cross_the_resident_mode_boundary() {
+    pin_pool();
+    let model = LayeredModel::north_china();
+    let cfg = production_config().with_exec(ExecMode::Parallel);
+    let reference = run_cfg(&cfg);
+    let compressed_cfg = cfg.clone().with_resident(ResidentMode::Compressed16);
+
+    // Uninterrupted compressed16 run: the bitwise pin target.
+    let uninterrupted = run_cfg(&compressed_cfg);
+
+    // compressed16 -> compressed16: byte-identical resume.
+    let mut first = Simulation::new(&model, &compressed_cfg).expect("valid config");
+    first.run(30);
+    let compressed_ckpt = first.make_checkpoint();
+    let mut resumed = Simulation::new(&model, &compressed_cfg).expect("valid config");
+    resumed.restore(&compressed_ckpt).expect("compressed checkpoint restores");
+    resumed.run(30);
+    assert_compressed_identical(&uninterrupted, &resumed, "compressed resume");
+
+    // compressed16 -> full: the sidecar is skipped, the decompressed
+    // fields restore directly; the tail runs at full precision.
+    let mut to_full = Simulation::new(&model, &cfg).expect("valid config");
+    to_full.restore(&compressed_ckpt).expect("full mode accepts the compressed checkpoint");
+    to_full.run(30);
+    assert_within_epsilon(&reference, &to_full, "compressed -> full restore");
+
+    // full -> compressed16: no sidecar, buckets re-derived on encode.
+    let mut full_half = Simulation::new(&model, &cfg).expect("valid config");
+    full_half.run(30);
+    let full_ckpt = full_half.make_checkpoint();
+    let mut to_compressed = Simulation::new(&model, &compressed_cfg).expect("valid config");
+    to_compressed.restore(&full_ckpt).expect("compressed mode accepts the full checkpoint");
+    to_compressed.run(30);
+    assert_within_epsilon(&reference, &to_compressed, "full -> compressed restore");
+}
+
+/// The compatibility contract is enforced up front, mirroring the fused
+/// path: the fused layout, inter-step compression, surface snapshots,
+/// and multirank runs are rejected at validation, not mis-simulated.
+#[test]
+fn resident_config_rejects_unsupported_features() {
+    let base = production_config().with_resident(ResidentMode::Compressed16);
+    assert!(base.validate().is_ok());
+
+    let mut elastic = base.clone();
+    elastic.options.attenuation = false;
+    elastic.options.nonlinear = false;
+    assert!(matches!(
+        elastic.clone().with_fused(true).validate(),
+        Err(ConfigError::ResidentUnsupported { feature: "the fused layout" })
+    ));
+
+    assert!(matches!(
+        base.clone().with_compression(true).validate(),
+        Err(ConfigError::ResidentUnsupported { feature: "inter-step compression" })
+    ));
+
+    let mut snaps = base.clone();
+    snaps.snapshot_times = vec![0.1];
+    assert!(matches!(
+        snaps.validate(),
+        Err(ConfigError::ResidentUnsupported { feature: "surface snapshots" })
+    ));
+
+    let model = LayeredModel::north_china();
+    let multi = run_multirank(&model, &base, RankGrid::new(2, 2));
+    assert!(matches!(
+        multi,
+        Err(RunError::Config(ConfigError::ResidentUnsupported {
+            feature: "multirank halo exchange"
+        }))
+    ));
+}
